@@ -1,0 +1,108 @@
+// E11 — Microbenchmarks of the hot-path primitives (google-benchmark).
+//
+// Paper claim (Section II-C2): "BCS and PCS can be updated incrementally
+// and thus will be very quickly. Also, the outlier-ness check of each data
+// in the stream is also very efficient." These benches measure the
+// individual operations: BCS update, projected-grid update, PCS query,
+// fringe check, decay solve, and the full per-point detection step.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "grid/base_grid.h"
+#include "grid/projected_grid.h"
+#include "grid/synapse_manager.h"
+
+namespace spot {
+namespace {
+
+std::vector<double> RandomPoint(Rng& rng, int dims) {
+  std::vector<double> p(static_cast<std::size_t>(dims));
+  for (double& v : p) v = rng.NextDouble();
+  return p;
+}
+
+void BM_BcsAdd(benchmark::State& state) {
+  const int dims = static_cast<int>(state.range(0));
+  const DecayModel model(2000, 0.01);
+  Bcs bcs(dims);
+  Rng rng(1);
+  const std::vector<double> p = RandomPoint(rng, dims);
+  std::uint64_t tick = 0;
+  for (auto _ : state) {
+    bcs.Add(p, tick++, model);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BcsAdd)->Arg(10)->Arg(20)->Arg(50);
+
+void BM_BaseGridAdd(benchmark::State& state) {
+  const int dims = static_cast<int>(state.range(0));
+  BaseGrid grid(Partition(dims, 5, 0.0, 1.0), DecayModel(2000, 0.01));
+  Rng rng(2);
+  std::vector<std::vector<double>> points;
+  for (int i = 0; i < 512; ++i) points.push_back(RandomPoint(rng, dims));
+  std::uint64_t tick = 0;
+  for (auto _ : state) {
+    grid.Add(points[tick % points.size()], tick);
+    ++tick;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BaseGridAdd)->Arg(10)->Arg(20)->Arg(50);
+
+void BM_ProjectedGridAddAndQuery(benchmark::State& state) {
+  const int subspace_dim = static_cast<int>(state.range(0));
+  const int dims = 20;
+  const Partition part(dims, 5, 0.0, 1.0);
+  std::vector<int> idx;
+  for (int i = 0; i < subspace_dim; ++i) idx.push_back(i * 2);
+  ProjectedGrid grid(Subspace::FromIndices(idx), &part,
+                     DecayModel(2000, 0.01));
+  Rng rng(3);
+  std::vector<std::vector<double>> points;
+  for (int i = 0; i < 512; ++i) points.push_back(RandomPoint(rng, dims));
+  std::uint64_t tick = 0;
+  for (auto _ : state) {
+    const auto& p = points[tick % points.size()];
+    grid.Add(p, tick);
+    benchmark::DoNotOptimize(grid.Query(p, 100.0));
+    ++tick;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ProjectedGridAddAndQuery)->Arg(1)->Arg(2)->Arg(3)->Arg(4);
+
+void BM_DecayModelSolve(benchmark::State& state) {
+  std::uint64_t omega = 100;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DecayModel::SolveAlpha(omega, 0.01));
+    omega = omega == 100 ? 10000 : 100;
+  }
+}
+BENCHMARK(BM_DecayModelSolve);
+
+void BM_SpotProcess(benchmark::State& state) {
+  const int dims = 20;
+  SpotConfig cfg = bench::ExperimentConfig(43);
+  cfg.fs_cap = static_cast<std::size_t>(state.range(0));
+  cfg.os_update_every = 0;
+  SpotDetector det(cfg);
+  det.Learn(bench::MakeTraining(dims, 500, /*concept=*/1100));
+  Rng rng(4);
+  std::vector<std::vector<double>> points;
+  for (int i = 0; i < 1024; ++i) points.push_back(RandomPoint(rng, dims));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(det.Process(points[i % points.size()]));
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SpotProcess)->Arg(32)->Arg(128)->Arg(512);
+
+}  // namespace
+}  // namespace spot
+
+BENCHMARK_MAIN();

@@ -1,0 +1,48 @@
+// E2 — Efficiency vs SST size (figure).
+//
+// Paper claim: the detection-stage cost is one PCS update + check per SST
+// subspace, so throughput should fall roughly as 1/|SST|. We hold phi = 20
+// and sweep the FS cap.
+
+#include "bench/bench_util.h"
+#include "eval/harness.h"
+#include "eval/table.h"
+#include "stream/replay.h"
+
+namespace spot {
+namespace {
+
+void Run() {
+  eval::Table table({"SST size", "pts/s", "us/pt"});
+  const int kDims = 20;
+  const int kStreamLen = 6000;
+  const auto points = bench::MakeEvalStream(kDims, kStreamLen, 0.01, /*concept=*/40);
+  const auto training = bench::MakeTraining(kDims, 600, /*concept=*/40);
+
+  for (std::size_t cap : {8u, 16u, 32u, 64u, 128u, 256u}) {
+    SpotConfig cfg = bench::ExperimentConfig(13);
+    cfg.fs_max_dimension = 3;
+    cfg.fs_cap = cap;
+    cfg.unsupervised.top_subspaces_per_run = 0;  // CS off: isolate FS cost
+    cfg.os_update_every = 0;                     // OS growth off
+    SpotDetector det(cfg);
+    det.Learn(training);
+    SpotStreamAdapter spot(&det);
+
+    stream::ReplaySource replay(points);
+    const eval::RunResult r =
+        eval::RunDetection(spot, replay, points.size());
+    table.AddRow({eval::Table::Int(det.TrackedSubspaces()),
+                  eval::Table::Num(r.throughput, 0),
+                  eval::Table::Num(1e6 / r.throughput, 1)});
+  }
+  table.Print("E2: throughput vs SST size (phi=20)");
+}
+
+}  // namespace
+}  // namespace spot
+
+int main() {
+  spot::Run();
+  return 0;
+}

@@ -1,0 +1,80 @@
+#ifndef SPOT_BENCH_BENCH_UTIL_H_
+#define SPOT_BENCH_BENCH_UTIL_H_
+
+// Shared helpers for the experiment binaries (bench/bench_e*.cc). Each
+// binary reproduces one table/figure from DESIGN.md Section 5 and prints it
+// via eval::Table so EXPERIMENTS.md can quote the rows verbatim.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/detector.h"
+#include "core/spot_config.h"
+#include "stream/data_point.h"
+#include "stream/synthetic.h"
+
+namespace spot {
+namespace bench {
+
+/// A SPOT configuration sized for experiment runs: moderate MOGA budget,
+/// FS depth 2, self-evolution off unless the experiment studies it.
+inline SpotConfig ExperimentConfig(std::uint64_t seed = 7) {
+  SpotConfig cfg;
+  cfg.omega = 2000;
+  cfg.epsilon = 0.01;
+  cfg.cells_per_dim = 5;
+  cfg.fs_max_dimension = 2;
+  cfg.fs_cap = 512;
+  cfg.cs_capacity = 16;
+  cfg.os_capacity = 24;
+  cfg.unsupervised.moga.population_size = 24;
+  cfg.unsupervised.moga.generations = 10;
+  cfg.unsupervised.top_outlying_points = 8;
+  cfg.unsupervised.top_subspaces_per_run = 8;
+  cfg.supervised.moga.population_size = 24;
+  cfg.supervised.moga.generations = 8;
+  cfg.evolution_period = 0;
+  cfg.os_update_every = 32;
+  cfg.domain_lo = 0.0;
+  cfg.domain_hi = 1.0;  // all experiment streams emit unit-cube data
+  cfg.drift_detection = false;
+  cfg.seed = seed;
+  return cfg;
+}
+
+/// Training batch of `n` normal points from a `dims`-dimensional Gaussian
+/// stream. `concept_seed` fixes the cluster layout so the evaluation stream can
+/// be drawn from the same concept with a different sampling seed.
+inline std::vector<std::vector<double>> MakeTraining(int dims, int n,
+                                                     std::uint64_t concept_seed,
+                                                     std::uint64_t seed = 1) {
+  stream::SyntheticConfig scfg;
+  scfg.dimension = dims;
+  scfg.outlier_probability = 0.0;
+  scfg.concept_seed = concept_seed;
+  scfg.seed = seed;
+  stream::GaussianStream gen(scfg);
+  return ValuesOf(Take(gen, static_cast<std::size_t>(n)));
+}
+
+/// Labeled evaluation stream with planted projected outliers, drawn from
+/// the concept fixed by `concept_seed`.
+inline std::vector<LabeledPoint> MakeEvalStream(int dims, int n,
+                                                double outlier_prob,
+                                                std::uint64_t concept_seed,
+                                                std::uint64_t seed = 2,
+                                                int max_subspace_dim = 2) {
+  stream::SyntheticConfig scfg;
+  scfg.dimension = dims;
+  scfg.outlier_probability = outlier_prob;
+  scfg.max_outlier_subspace_dim = max_subspace_dim;
+  scfg.concept_seed = concept_seed;
+  scfg.seed = seed;
+  stream::GaussianStream gen(scfg);
+  return Take(gen, static_cast<std::size_t>(n));
+}
+
+}  // namespace bench
+}  // namespace spot
+
+#endif  // SPOT_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,82 @@
+// Quickstart: the minimal end-to-end SPOT workflow.
+//
+//   1. configure the detector,
+//   2. learn the SST offline from a training batch,
+//   3. process a stream one point at a time,
+//   4. read each verdict's outlying subspaces.
+//
+// Build & run:  ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/detector.h"
+#include "stream/synthetic.h"
+
+int main() {
+  // --- 1. Configure ------------------------------------------------------
+  spot::SpotConfig config;
+  config.omega = 2000;        // sliding-window size (points)
+  config.epsilon = 0.01;      // out-of-window residual weight
+  config.fs_max_dimension = 2;  // FS: all 1-d and 2-d subspaces
+  config.domain_lo = 0.0;     // our data lives in the unit hypercube
+  config.domain_hi = 1.0;
+  config.seed = 7;
+
+  // --- 2. Learn from a training batch ------------------------------------
+  // A 12-dimensional stream: Gaussian clusters plus rare projected
+  // outliers, each anomalous in only 1-2 attributes.
+  spot::stream::SyntheticConfig stream_config;
+  stream_config.dimension = 12;
+  stream_config.outlier_probability = 0.0;  // clean training data
+  stream_config.concept_seed = 99;
+  stream_config.seed = 1;
+  spot::stream::GaussianStream training_stream(stream_config);
+
+  const auto training = spot::ValuesOf(spot::Take(training_stream, 1500));
+  spot::SpotDetector detector(config);
+  if (!detector.Learn(training)) {
+    std::fprintf(stderr, "learning failed\n");
+    return 1;
+  }
+  std::printf("Learned SST with %zu subspaces:\n%s\n",
+              detector.sst().TotalSize(), detector.sst().Summary().c_str());
+
+  // --- 3. Detect on the live stream ---------------------------------------
+  stream_config.outlier_probability = 0.01;  // now with planted outliers
+  stream_config.seed = 2;  // same concept, fresh points
+  spot::stream::GaussianStream live_stream(stream_config);
+
+  int shown = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const auto labeled = live_stream.Next();
+    const spot::SpotResult result =
+        detector.Process(labeled->point.values);
+
+    // --- 4. Use the verdict ---------------------------------------------
+    if (result.is_outlier && shown < 10) {
+      ++shown;
+      std::printf("point %5llu flagged (score %.2f, truth: %s) in:",
+                  static_cast<unsigned long long>(labeled->point.id),
+                  result.score,
+                  labeled->is_outlier ? "planted outlier" : "regular");
+      for (const auto& finding : result.findings) {
+        std::printf(" %s", finding.subspace.ToString().c_str());
+      }
+      if (labeled->is_outlier) {
+        std::printf("  [planted subspace %s]",
+                    labeled->outlying_subspace.ToString().c_str());
+      }
+      std::printf("\n");
+    }
+  }
+
+  const spot::SpotStats& stats = detector.stats();
+  std::printf(
+      "\nprocessed %llu points, flagged %llu, "
+      "%llu self-evolution rounds, %llu OS-growth runs\n",
+      static_cast<unsigned long long>(stats.points_processed),
+      static_cast<unsigned long long>(stats.outliers_detected),
+      static_cast<unsigned long long>(stats.evolution_rounds),
+      static_cast<unsigned long long>(stats.os_growth_runs));
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Sensor-network monitoring under concept drift: a fleet of sensors whose
+// normal operating regime shifts abruptly (e.g. season change, firmware
+// rollout). Demonstrates SPOT's adaptation machinery — decaying summaries,
+// Page-Hinkley drift detection with CS relearning, and periodic CS
+// self-evolution — keeping the detector useful after each regime change.
+//
+// Build & run:  ./build/examples/sensor_drift
+
+#include <cstdio>
+
+#include "core/detector.h"
+#include "eval/metrics.h"
+#include "stream/drift.h"
+
+int main() {
+  // A 14-attribute sensor stream whose concept is replaced every 6000
+  // readings; 1.5% of readings are faulty sensors (projected outliers).
+  spot::stream::DriftConfig stream_config;
+  stream_config.base.dimension = 14;
+  stream_config.base.outlier_probability = 0.015;
+  stream_config.base.seed = 21;
+  stream_config.kind = spot::stream::DriftKind::kAbrupt;
+  stream_config.period = 6000;
+  spot::stream::DriftingStream sensors(stream_config);
+
+  spot::SpotConfig config;
+  config.domain_lo = 0.0;
+  config.domain_hi = 1.0;
+  config.evolution_period = 1500;  // CS self-evolution cadence
+  config.drift_detection = true;   // Page-Hinkley on the outlier rate
+  config.relearn_on_drift = true;  // rebuild CS from the reservoir
+  config.drift_lambda = 8.0;
+  config.seed = 22;
+
+  spot::SpotDetector detector(config);
+  if (!detector.Learn(spot::ValuesOf(spot::Take(sensors, 1500)))) {
+    std::fprintf(stderr, "learning failed\n");
+    return 1;
+  }
+
+  std::printf("segment |   F1   | drift alarms | evolution rounds\n");
+  std::printf("--------+--------+--------------+-----------------\n");
+
+  const int kSegment = 3000;
+  const int kSegments = 8;
+  std::uint64_t drifts_before = 0;
+  std::uint64_t evolutions_before = 0;
+  for (int seg = 1; seg <= kSegments; ++seg) {
+    spot::eval::Confusion confusion;
+    for (int i = 0; i < kSegment; ++i) {
+      const auto reading = sensors.Next();
+      const spot::SpotResult verdict =
+          detector.Process(reading->point.values);
+      confusion.Add(verdict.is_outlier, reading->is_outlier);
+    }
+    const spot::SpotStats& stats = detector.stats();
+    std::printf("   %2d   | %.3f  | %12llu | %16llu\n", seg, confusion.F1(),
+                static_cast<unsigned long long>(stats.drifts_detected -
+                                                drifts_before),
+                static_cast<unsigned long long>(stats.evolution_rounds -
+                                                evolutions_before));
+    drifts_before = stats.drifts_detected;
+    evolutions_before = stats.evolution_rounds;
+  }
+
+  std::printf(
+      "\nconcept switches in stream: %llu, drift alarms raised: %llu\n",
+      static_cast<unsigned long long>(sensors.concept_switches()),
+      static_cast<unsigned long long>(detector.stats().drifts_detected));
+  std::printf(
+      "(F1 dips in the segment containing a switch, then recovers as the\n"
+      " decayed summaries refill and CS is relearned from the reservoir)\n");
+  return 0;
+}

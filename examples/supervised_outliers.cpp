@@ -1,0 +1,94 @@
+// Supervised learning: incorporating expert knowledge into the SST.
+//
+// A fraud-screening scenario: domain experts hand SPOT (a) a few labeled
+// fraudulent records and (b) the attributes known to matter. The
+// supervised learning path runs MOGA on each example to build the
+// Outlier-driven SST Subspaces (OS), restricted to the relevant
+// attributes — then example-based detection catches new fraud that is
+// "similar to these outlier examples" (paper, Section II-C1).
+//
+// Build & run:  ./build/examples/supervised_outliers
+
+#include <cstdio>
+
+#include "core/detector.h"
+#include "stream/synthetic.h"
+
+int main() {
+  const int kDims = 16;
+
+  // Normal transaction traffic.
+  spot::stream::SyntheticConfig stream_config;
+  stream_config.dimension = kDims;
+  stream_config.outlier_probability = 0.0;
+  stream_config.concept_seed = 31;
+  stream_config.seed = 32;
+  spot::stream::GaussianStream training_stream(stream_config);
+  const auto training = spot::ValuesOf(spot::Take(training_stream, 1500));
+
+  // Expert knowledge: fraud manifests in attributes {3, 7, 11} (say:
+  // amount, merchant-risk, velocity). Provide three labeled examples that
+  // are extreme in some of those attributes.
+  spot::DomainKnowledge knowledge;
+  knowledge.relevant_attributes = {3, 7, 11};
+  for (int k = 0; k < 3; ++k) {
+    std::vector<double> example = training[static_cast<std::size_t>(k)];
+    example[3] = 0.98;             // all three: extreme amount
+    if (k % 2 == 0) example[7] = 0.02;   // some: extreme merchant risk
+    if (k == 2) example[11] = 0.97;      // one: extreme velocity
+    knowledge.outlier_examples.push_back(std::move(example));
+  }
+
+  spot::SpotConfig config;
+  config.domain_lo = 0.0;
+  config.domain_hi = 1.0;
+  config.fs_max_dimension = 1;  // lean FS: OS carries the expert signal
+  config.seed = 33;
+
+  spot::SpotDetector detector(config);
+  if (!detector.Learn(training, &knowledge)) {
+    std::fprintf(stderr, "learning failed\n");
+    return 1;
+  }
+
+  std::printf("OS learned from expert examples:\n");
+  for (const auto& scored : detector.sst().outlier_driven().Ranked()) {
+    std::printf("  %s (sparsity score %.3f)\n",
+                scored.subspace.ToString().c_str(), scored.score);
+  }
+
+  // New fraud attempts similar to the examples, plus normal traffic.
+  stream_config.seed = 34;
+  spot::stream::GaussianStream live(stream_config);
+  int fraud_caught = 0;
+  const int kFraudTrials = 25;
+  int normal_flagged = 0;
+  const int kNormalTrials = 2000;
+
+  // Interleave fraud among normal traffic (1 in 150). Note: identical fraud
+  // repeated at a high rate would accumulate decayed mass in its own cells
+  // and start to self-mask — recurrence is the limit of any density-based
+  // detector.
+  int fraud_sent = 0;
+  for (int i = 0; i < kNormalTrials + kFraudTrials * 150; ++i) {
+    const auto p = live.Next();
+    if (i % 150 == 149 && fraud_sent < kFraudTrials) {
+      std::vector<double> fraud = p->point.values;
+      fraud[3] = 0.97;  // same fraud pattern, new transactions
+      if (fraud_sent % 2 == 0) fraud[7] = 0.03;
+      ++fraud_sent;
+      if (detector.Process(fraud).is_outlier) ++fraud_caught;
+    } else if (i < kNormalTrials) {
+      if (detector.Process(p->point.values).is_outlier) ++normal_flagged;
+    } else {
+      detector.Process(p->point.values);
+    }
+  }
+
+  std::printf("\nfraud-like transactions caught: %d/%d\n", fraud_caught,
+              kFraudTrials);
+  std::printf("normal transactions flagged:    %d/%d (%.2f%%)\n",
+              normal_flagged, kNormalTrials,
+              100.0 * normal_flagged / kNormalTrials);
+  return 0;
+}

@@ -1,0 +1,76 @@
+#include "baselines/incremental_lof.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_util.h"
+
+namespace spot {
+namespace baselines {
+
+namespace {
+constexpr std::size_t kNoExclude = static_cast<std::size_t>(-1);
+}  // namespace
+
+IncrementalLofDetector::IncrementalLofDetector(
+    const IncrementalLofConfig& config)
+    : config_(config) {}
+
+std::vector<std::pair<double, std::size_t>> IncrementalLofDetector::KnnOf(
+    const std::vector<double>& values, std::size_t exclude) const {
+  std::vector<std::pair<double, std::size_t>> dists;
+  dists.reserve(window_.size());
+  for (std::size_t i = 0; i < window_.size(); ++i) {
+    if (i == exclude) continue;
+    dists.emplace_back(EuclideanDistance(values, window_[i]), i);
+  }
+  const std::size_t k = std::min(config_.k, dists.size());
+  std::partial_sort(dists.begin(), dists.begin() + static_cast<long>(k),
+                    dists.end());
+  dists.resize(k);
+  return dists;
+}
+
+double IncrementalLofDetector::KDistance(std::size_t index) const {
+  const auto knn = KnnOf(window_[index], index);
+  return knn.empty() ? 0.0 : knn.back().first;
+}
+
+double IncrementalLofDetector::LocalReachabilityDensity(
+    std::size_t index) const {
+  const auto knn = KnnOf(window_[index], index);
+  if (knn.empty()) return 0.0;
+  double reach_sum = 0.0;
+  for (const auto& [dist, nbr] : knn) {
+    reach_sum += std::max(dist, KDistance(nbr));
+  }
+  const double mean_reach = reach_sum / static_cast<double>(knn.size());
+  return mean_reach > 1e-12 ? 1.0 / mean_reach : 1e12;
+}
+
+Detection IncrementalLofDetector::Process(const DataPoint& point) {
+  Detection d;
+  // Need enough history for a meaningful neighborhood.
+  if (window_.size() >= config_.k + 1) {
+    const auto knn = KnnOf(point.values, kNoExclude);
+    double reach_sum = 0.0;
+    double lrd_sum = 0.0;
+    for (const auto& [dist, nbr] : knn) {
+      reach_sum += std::max(dist, KDistance(nbr));
+      lrd_sum += LocalReachabilityDensity(nbr);
+    }
+    const double n = static_cast<double>(knn.size());
+    const double mean_reach = reach_sum / n;
+    const double lrd_p = mean_reach > 1e-12 ? 1.0 / mean_reach : 1e12;
+    const double lof = (lrd_sum / n) / lrd_p;
+    last_lof_ = lof;
+    d.is_outlier = lof > config_.lof_threshold;
+    d.score = lof;
+  }
+  window_.push_back(point.values);
+  if (window_.size() > config_.window) window_.pop_front();
+  return d;
+}
+
+}  // namespace baselines
+}  // namespace spot

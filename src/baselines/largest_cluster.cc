@@ -1,0 +1,67 @@
+#include "baselines/largest_cluster.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/math_util.h"
+
+namespace spot {
+namespace baselines {
+
+LargestClusterDetector::LargestClusterDetector(
+    const LargestClusterConfig& config)
+    : config_(config) {}
+
+Detection LargestClusterDetector::Process(const DataPoint& point) {
+  Detection d;
+
+  // Decay all cluster weights (stream recency).
+  total_weight_ = 0.0;
+  for (auto& c : clusters_) {
+    c.weight *= config_.decay;
+    total_weight_ += c.weight;
+  }
+
+  // Nearest cluster.
+  std::size_t best = clusters_.size();
+  double best_dist = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < clusters_.size(); ++i) {
+    const double dist = EuclideanDistance(point.values, clusters_[i].centroid);
+    if (dist < best_dist) {
+      best_dist = dist;
+      best = i;
+    }
+  }
+
+  double member_weight = 0.0;
+  if (best < clusters_.size() && best_dist <= config_.radius) {
+    // Absorb: move the centroid toward the point proportionally.
+    MicroCluster& c = clusters_[best];
+    const double lr = 1.0 / (c.weight + 1.0);
+    for (std::size_t j = 0; j < c.centroid.size(); ++j) {
+      c.centroid[j] += lr * (point.values[j] - c.centroid[j]);
+    }
+    c.weight += 1.0;
+    member_weight = c.weight;
+  } else {
+    // Found a new cluster, evicting the lightest when full.
+    if (clusters_.size() >= config_.max_clusters) {
+      std::size_t lightest = 0;
+      for (std::size_t i = 1; i < clusters_.size(); ++i) {
+        if (clusters_[i].weight < clusters_[lightest].weight) lightest = i;
+      }
+      clusters_.erase(clusters_.begin() + static_cast<long>(lightest));
+    }
+    clusters_.push_back({point.values, 1.0});
+    member_weight = 1.0;
+  }
+  total_weight_ += 1.0;
+
+  const double fraction = member_weight / std::max(total_weight_, 1.0);
+  d.is_outlier = fraction < config_.small_cluster_fraction;
+  d.score = 1.0 - fraction;
+  return d;
+}
+
+}  // namespace baselines
+}  // namespace spot

@@ -1,0 +1,36 @@
+#include "baselines/storm.h"
+
+#include "common/math_util.h"
+
+namespace spot {
+namespace baselines {
+
+StormDetector::StormDetector(const StormConfig& config) : config_(config) {}
+
+Detection StormDetector::Process(const DataPoint& point) {
+  Detection d;
+  const double radius_sq = config_.radius * config_.radius;
+  std::size_t neighbors = 0;
+  double nearest = radius_sq * 1e6;
+  for (const auto& other : window_) {
+    const double dist = SquaredDistance(point.values, other);
+    nearest = dist < nearest ? dist : nearest;
+    if (dist <= radius_sq) {
+      if (++neighbors >= config_.min_neighbors) break;
+    }
+  }
+  d.is_outlier = neighbors < config_.min_neighbors;
+  // Score: shortfall of neighbors, softened by how far the nearest window
+  // point is. Purely full-space — no subspace attribution is possible.
+  const double shortfall =
+      1.0 - static_cast<double>(neighbors) /
+                static_cast<double>(config_.min_neighbors);
+  d.score = d.is_outlier ? shortfall : 0.0;
+
+  window_.push_back(point.values);
+  if (window_.size() > config_.window) window_.pop_front();
+  return d;
+}
+
+}  // namespace baselines
+}  // namespace spot

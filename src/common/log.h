@@ -1,0 +1,49 @@
+#ifndef SPOT_COMMON_LOG_H_
+#define SPOT_COMMON_LOG_H_
+
+#include <sstream>
+#include <string>
+
+namespace spot {
+
+/// Log severity, in increasing order of importance.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global minimum severity that is actually emitted.
+/// Defaults to kWarning so library internals stay quiet in benchmarks.
+void SetLogLevel(LogLevel level);
+
+/// Current global minimum severity.
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log line; emits to stderr on destruction when enabled.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace spot
+
+#define SPOT_LOG(severity)                                              \
+  ::spot::internal::LogMessage(::spot::LogLevel::k##severity, __FILE__, \
+                               __LINE__)
+
+#endif  // SPOT_COMMON_LOG_H_

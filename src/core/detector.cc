@@ -1,0 +1,252 @@
+#include "core/detector.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+#include "common/math_util.h"
+#include "learning/self_evolution.h"
+#include "moga/moga_search.h"
+#include "moga/objectives.h"
+#include "subspace/lattice.h"
+
+namespace spot {
+
+SpotDetector::SpotDetector(const SpotConfig& config)
+    : config_(config),
+      rng_(config.seed),
+      sst_(config.cs_capacity, config.os_capacity),
+      reservoir_(config.reservoir_capacity, config.seed ^ 0xABCDEF),
+      drift_(config.drift_delta, config.drift_lambda) {}
+
+SpotDetector::~SpotDetector() = default;
+
+bool SpotDetector::Learn(const std::vector<std::vector<double>>& training_data,
+                         const DomainKnowledge* knowledge) {
+  const std::string problem = config_.Validate();
+  if (!problem.empty()) {
+    SPOT_LOG(Error) << "invalid SpotConfig: " << problem;
+    return false;
+  }
+  if (training_data.empty()) {
+    SPOT_LOG(Error) << "Learn() requires a non-empty training batch";
+    return false;
+  }
+
+  const int num_dims = static_cast<int>(training_data.front().size());
+  if (num_dims > Subspace::kMaxDimensions) {
+    SPOT_LOG(Error) << "dimensionality " << num_dims << " exceeds "
+                    << Subspace::kMaxDimensions;
+    return false;
+  }
+
+  if (config_.domain_lo < config_.domain_hi) {
+    partition_ = Partition(num_dims, config_.cells_per_dim,
+                           config_.domain_lo, config_.domain_hi);
+  } else {
+    partition_ = Partition::FitToData(training_data, config_.cells_per_dim,
+                                      config_.partition_margin);
+  }
+
+  // --- FS: the lattice up to MaxDimension, capped by uniform sampling. ---
+  const int max_dim = std::min(config_.fs_max_dimension, num_dims);
+  std::vector<Subspace> fs;
+  if (max_dim > 0) {
+    const std::uint64_t lattice = LatticeSize(num_dims, max_dim);
+    if (config_.fs_cap != 0 && lattice > config_.fs_cap) {
+      SPOT_LOG(Warning) << "FS lattice has " << lattice
+                        << " subspaces; sampling " << config_.fs_cap;
+      fs = SampleLattice(num_dims, max_dim, config_.fs_cap, rng_);
+    } else {
+      fs = EnumerateLattice(num_dims, max_dim);
+    }
+  }
+  sst_.SetFixed(std::move(fs));
+
+  // --- CS: unsupervised learning (MOGA + lead clustering + MOGA). ---
+  UnsupervisedConfig ucfg = config_.unsupervised;
+  ucfg.moga.num_dims = num_dims;
+  ucfg.moga.max_dimension = std::min(ucfg.moga.max_dimension, num_dims);
+  if (ucfg.top_subspaces_per_run > 0) {
+    // Candidates already present in FS are deduplicated away by
+    // AddClustering; over-request so CS still receives novel subspaces.
+    ucfg.top_subspaces_per_run +=
+        std::min<std::size_t>(sst_.fixed().size(), 64);
+  }
+  std::size_t cs_added = 0;
+  for (const auto& ss : LearnClusteringSubspaces(training_data, *partition_,
+                                                 ucfg, rng_.NextUint64())) {
+    if (cs_added >= config_.unsupervised.top_subspaces_per_run) break;
+    const std::size_t before = sst_.clustering().size();
+    sst_.AddClustering(ss.subspace, ss.score);
+    if (sst_.clustering().size() > before) ++cs_added;
+  }
+
+  // --- OS: supervised learning from expert examples, when provided. ---
+  if (knowledge != nullptr && !knowledge->outlier_examples.empty()) {
+    SupervisedConfig scfg = config_.supervised;
+    scfg.moga.num_dims = num_dims;
+    scfg.moga.max_dimension = std::min(scfg.moga.max_dimension, num_dims);
+    for (const auto& ss : LearnOutlierDrivenSubspaces(
+             training_data, *partition_, *knowledge, scfg,
+             rng_.NextUint64())) {
+      sst_.AddOutlierDriven(ss.subspace, ss.score);
+    }
+  }
+
+  // --- Synapses: track the SST and warm-start from the training batch. ---
+  synapses_ = std::make_unique<SynapseManager>(
+      *partition_,
+      config_.use_decay ? DecayModel(config_.omega, config_.epsilon)
+                        : DecayModel::None(),
+      config_.prune_threshold, config_.compaction_period);
+  SyncTrackedSubspaces();
+  tick_ = 0;
+  for (const auto& row : training_data) {
+    synapses_->Add(row, tick_++);
+    reservoir_.Add(row);
+  }
+  return true;
+}
+
+void SpotDetector::SyncTrackedSubspaces() {
+  const std::vector<Subspace> wanted = sst_.AllSubspaces();
+  // Track additions.
+  for (const auto& s : wanted) synapses_->Track(s);
+  // Untrack removals (subspaces evicted from CS/OS).
+  for (const auto& s : synapses_->TrackedSubspaces()) {
+    if (!sst_.Contains(s)) synapses_->Untrack(s);
+  }
+  tracked_cache_ = synapses_->TrackedSubspaces();
+}
+
+SpotResult SpotDetector::Process(const DataPoint& point) {
+  SpotResult result;
+  if (!learned()) {
+    SPOT_LOG(Error) << "Process() called before a successful Learn()";
+    return result;
+  }
+
+  // 1. Update data synapses (BCS + every tracked PCS grid).
+  synapses_->Add(point.values, tick_++);
+  reservoir_.Add(point.values);
+
+  // 2. Outlier-ness check: PCS of the point's cell in every SST subspace.
+  double min_rd = 1.0;
+  for (const auto& s : tracked_cache_) {
+    const Pcs pcs = synapses_->Query(point.values, s);
+    min_rd = std::min(min_rd, pcs.rd);
+    if (pcs.IsSparse(config_.rd_threshold, config_.irsd_threshold)) {
+      // Veto sparse cells that are merely the fringe of an adjacent dense
+      // cluster (statistical tails revisit such cells forever; genuinely
+      // projected outliers sit in isolated cells).
+      if (config_.fringe_factor > 0.0 &&
+          synapses_->IsClusterFringe(point.values, s, pcs.count,
+                                     config_.fringe_factor)) {
+        continue;
+      }
+      result.findings.push_back({s, pcs});
+    }
+  }
+  result.is_outlier = !result.findings.empty();
+  result.score = Clamp(1.0 - min_rd, 0.0, 1.0);
+
+  ++stats_.points_processed;
+  if (result.is_outlier) {
+    ++stats_.outliers_detected;
+    // 3. OS growth: the detected outlier's top sparse subspaces join OS.
+    if (config_.os_update_every != 0 &&
+        ++outliers_since_os_update_ >= config_.os_update_every) {
+      outliers_since_os_update_ = 0;
+      GrowOutlierDriven(point.values);
+    }
+  }
+
+  // 4. Periodic CS self-evolution.
+  if (config_.evolution_period != 0 &&
+      stats_.points_processed % config_.evolution_period == 0) {
+    RunSelfEvolution();
+  }
+
+  // 5. Concept-drift watch on the outlier-rate signal.
+  if (config_.drift_detection &&
+      drift_.Add(result.is_outlier ? 1.0 : 0.0)) {
+    ++stats_.drifts_detected;
+    if (config_.relearn_on_drift) RelearnAfterDrift();
+  }
+
+  return result;
+}
+
+SpotResult SpotDetector::Process(const std::vector<double>& values) {
+  DataPoint p;
+  p.id = tick_;
+  p.values = values;
+  return Process(p);
+}
+
+void SpotDetector::GrowOutlierDriven(const std::vector<double>& values) {
+  const std::vector<std::vector<double>>& sample = reservoir_.Items();
+  if (sample.size() < 8) return;
+  ++stats_.os_growth_runs;
+
+  // Mini-MOGA targeted at this outlier against the recent sample.
+  std::vector<std::vector<double>> batch = sample;
+  batch.push_back(values);
+  BatchSparsityObjectives obj(&*partition_, &batch, {batch.size() - 1});
+  Nsga2Config cfg = config_.supervised.moga;
+  cfg.num_dims = partition_->num_dims();
+  cfg.max_dimension = std::min(cfg.max_dimension, cfg.num_dims);
+  // A light budget: OS growth runs inside the detection loop.
+  cfg.population_size = std::min(cfg.population_size, 24);
+  cfg.generations = std::min(cfg.generations, 10);
+  cfg.seed = rng_.NextUint64();
+  MogaSearch search(cfg, &obj);
+  for (const auto& ss :
+       search.FindTopSparse(config_.supervised.top_subspaces_per_example)) {
+    sst_.AddOutlierDriven(ss.subspace, ss.score);
+  }
+  SyncTrackedSubspaces();
+}
+
+void SpotDetector::RunSelfEvolution() {
+  if (sst_.clustering().empty() || reservoir_.size() < 8) return;
+  ++stats_.evolution_rounds;
+  SelfEvolutionConfig ecfg = config_.evolution;
+  ecfg.max_dimension = std::min(ecfg.max_dimension, partition_->num_dims());
+  EvolveClusteringSubspaces(&sst_, *partition_, reservoir_.Items(), ecfg,
+                            rng_);
+  SyncTrackedSubspaces();
+}
+
+void SpotDetector::RelearnAfterDrift() {
+  if (reservoir_.size() < 32) return;
+  SPOT_LOG(Info) << "concept drift at tick " << tick_ << "; relearning CS";
+  sst_.ClearClustering();
+  UnsupervisedConfig ucfg = config_.unsupervised;
+  ucfg.moga.num_dims = partition_->num_dims();
+  ucfg.moga.max_dimension =
+      std::min(ucfg.moga.max_dimension, partition_->num_dims());
+  // Lighter budget than offline learning: this runs mid-stream.
+  ucfg.moga.generations = std::max(5, ucfg.moga.generations / 3);
+  for (const auto& ss : LearnClusteringSubspaces(
+           reservoir_.Items(), *partition_, ucfg, rng_.NextUint64())) {
+    sst_.AddClustering(ss.subspace, ss.score);
+  }
+  SyncTrackedSubspaces();
+}
+
+std::size_t SpotDetector::TrackedSubspaces() const {
+  return learned() ? synapses_->NumTracked() : 0;
+}
+
+Detection SpotStreamAdapter::Process(const DataPoint& point) {
+  const SpotResult r = detector_->Process(point);
+  Detection d;
+  d.is_outlier = r.is_outlier;
+  d.score = r.score;
+  d.outlying_subspaces.reserve(r.findings.size());
+  for (const auto& f : r.findings) d.outlying_subspaces.push_back(f.subspace);
+  return d;
+}
+
+}  // namespace spot

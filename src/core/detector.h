@@ -1,0 +1,126 @@
+#ifndef SPOT_CORE_DETECTOR_H_
+#define SPOT_CORE_DETECTOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/drift_detector.h"
+#include "core/reservoir.h"
+#include "core/spot_config.h"
+#include "grid/pcs.h"
+#include "grid/synapse_manager.h"
+#include "learning/sst.h"
+#include "learning/supervised.h"
+#include "stream/detector_iface.h"
+
+namespace spot {
+
+/// One subspace in which a point was found outlying, with the PCS evidence.
+struct SubspaceFinding {
+  Subspace subspace;
+  Pcs pcs;
+};
+
+/// Verdict of SPOT on one streaming point: the label plus the outlying
+/// subspace(s) — "the context where these projected outliers exist"
+/// (paper, Section I).
+struct SpotResult {
+  bool is_outlier = false;
+  std::vector<SubspaceFinding> findings;
+
+  /// Anomaly score in [0, 1]: 1 - min cell RD over all checked subspaces,
+  /// clamped. Monotone in sparsity; used for ROC sweeps.
+  double score = 0.0;
+};
+
+/// Running counters of the detection stage.
+struct SpotStats {
+  std::uint64_t points_processed = 0;
+  std::uint64_t outliers_detected = 0;
+  std::uint64_t evolution_rounds = 0;
+  std::uint64_t os_growth_runs = 0;
+  std::uint64_t drifts_detected = 0;
+};
+
+/// The Stream Projected Outlier deTector.
+///
+/// Lifecycle: construct with a SpotConfig, call Learn() once with a batch
+/// of training data (plus optional expert knowledge), then call Process()
+/// for every streaming point. Learn() builds the partition and the SST
+/// (FS + CS + OS); Process() updates the decaying data synapses, checks the
+/// point's PCS in every SST subspace, grows OS from detected outliers,
+/// periodically self-evolves CS, and watches for concept drift.
+class SpotDetector {
+ public:
+  explicit SpotDetector(const SpotConfig& config);
+  ~SpotDetector();
+
+  SpotDetector(const SpotDetector&) = delete;
+  SpotDetector& operator=(const SpotDetector&) = delete;
+
+  /// Offline learning stage. `knowledge` may be nullptr (pure unsupervised).
+  /// Training points also warm-start the data synapses. Returns false (and
+  /// leaves the detector unlearned) when the config is invalid or the
+  /// training batch is empty.
+  bool Learn(const std::vector<std::vector<double>>& training_data,
+             const DomainKnowledge* knowledge = nullptr);
+
+  /// Online detection stage: one-pass processing of the next point.
+  /// Requires Learn() to have succeeded.
+  SpotResult Process(const DataPoint& point);
+
+  /// Convenience overload for raw value vectors (ids auto-assigned).
+  SpotResult Process(const std::vector<double>& values);
+
+  bool learned() const { return synapses_ != nullptr; }
+  const Sst& sst() const { return sst_; }
+  const SynapseManager& synapses() const { return *synapses_; }
+  const SpotStats& stats() const { return stats_; }
+  const SpotConfig& config() const { return config_; }
+  const ReservoirSample& reservoir() const { return reservoir_; }
+
+  /// Number of SST subspaces currently tracked by the synapses.
+  std::size_t TrackedSubspaces() const;
+
+ private:
+  void SyncTrackedSubspaces();
+  void GrowOutlierDriven(const std::vector<double>& values);
+  void RunSelfEvolution();
+  void RelearnAfterDrift();
+
+  SpotConfig config_;
+  Rng rng_;
+  Sst sst_;
+  /// Tracked-subspace list cached across Process() calls (refreshed by
+  /// SyncTrackedSubspaces) so the hot path does not allocate.
+  std::vector<Subspace> tracked_cache_;
+  std::optional<Partition> partition_;
+  std::unique_ptr<SynapseManager> synapses_;
+  ReservoirSample reservoir_;
+  PageHinkley drift_;
+  SpotStats stats_;
+  std::uint64_t tick_ = 0;
+  std::uint64_t outliers_since_os_update_ = 0;
+};
+
+/// Adapter exposing SpotDetector through the generic StreamDetector
+/// interface used by the comparative-evaluation harness.
+class SpotStreamAdapter : public StreamDetector {
+ public:
+  /// Borrows `detector`, which must be learned and outlive the adapter.
+  explicit SpotStreamAdapter(SpotDetector* detector) : detector_(detector) {}
+
+  Detection Process(const DataPoint& point) override;
+  std::string name() const override { return "SPOT"; }
+
+ private:
+  SpotDetector* detector_;
+};
+
+}  // namespace spot
+
+#endif  // SPOT_CORE_DETECTOR_H_

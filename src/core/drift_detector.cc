@@ -1,0 +1,32 @@
+#include "core/drift_detector.h"
+
+#include <algorithm>
+
+namespace spot {
+
+PageHinkley::PageHinkley(double delta, double lambda)
+    : delta_(delta), lambda_(lambda) {}
+
+bool PageHinkley::Add(double x) {
+  ++count_;
+  mean_ += (x - mean_) / static_cast<double>(count_);
+  m_ += x - mean_ - delta_;
+  m_min_ = std::min(m_min_, m_);
+  if (m_ - m_min_ > lambda_) {
+    ++drifts_;
+    const std::uint64_t keep = drifts_;
+    Reset();
+    drifts_ = keep;
+    return true;
+  }
+  return false;
+}
+
+void PageHinkley::Reset() {
+  mean_ = 0.0;
+  m_ = 0.0;
+  m_min_ = 0.0;
+  count_ = 0;
+}
+
+}  // namespace spot

@@ -1,0 +1,27 @@
+#include "core/reservoir.h"
+
+namespace spot {
+
+ReservoirSample::ReservoirSample(std::size_t capacity, std::uint64_t seed)
+    : capacity_(capacity), rng_(seed) {
+  items_.reserve(capacity_);
+}
+
+void ReservoirSample::Add(const std::vector<double>& values) {
+  ++seen_;
+  if (items_.size() < capacity_) {
+    items_.push_back(values);
+    return;
+  }
+  const std::uint64_t j = rng_.NextUint64(seen_);
+  if (j < capacity_) {
+    items_[static_cast<std::size_t>(j)] = values;
+  }
+}
+
+void ReservoirSample::Clear() {
+  items_.clear();
+  seen_ = 0;
+}
+
+}  // namespace spot

@@ -1,0 +1,40 @@
+#ifndef SPOT_CORE_RESERVOIR_H_
+#define SPOT_CORE_RESERVOIR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace spot {
+
+/// Uniform reservoir sample (Vitter's algorithm R) of the stream seen so
+/// far. The detection stage keeps one as its stand-in for "recent data":
+/// self-evolution scoring, OS growth and drift relearning all evaluate
+/// against it, because the raw stream cannot be stored.
+class ReservoirSample {
+ public:
+  explicit ReservoirSample(std::size_t capacity, std::uint64_t seed = 99);
+
+  /// Offers one point to the reservoir.
+  void Add(const std::vector<double>& values);
+
+  /// Current sample contents (size <= capacity).
+  const std::vector<std::vector<double>>& Items() const { return items_; }
+
+  std::size_t size() const { return items_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  std::uint64_t seen() const { return seen_; }
+
+  void Clear();
+
+ private:
+  std::size_t capacity_;
+  Rng rng_;
+  std::vector<std::vector<double>> items_;
+  std::uint64_t seen_ = 0;
+};
+
+}  // namespace spot
+
+#endif  // SPOT_CORE_RESERVOIR_H_

@@ -1,0 +1,208 @@
+#include "core/snapshot.h"
+
+#include <cstdlib>
+#include <sstream>
+#include <vector>
+
+namespace spot {
+
+namespace {
+
+// Parses "{0,3,17}" back into a Subspace; returns false on malformed input.
+bool ParseSubspace(const std::string& token, Subspace* out) {
+  if (token.size() < 2 || token.front() != '{' || token.back() != '}') {
+    return false;
+  }
+  Subspace s;
+  const std::string inner = token.substr(1, token.size() - 2);
+  if (inner.empty()) {
+    *out = s;
+    return true;
+  }
+  std::stringstream ss(inner);
+  std::string part;
+  while (std::getline(ss, part, ',')) {
+    char* end = nullptr;
+    const long v = std::strtol(part.c_str(), &end, 10);
+    if (end == part.c_str() || *end != '\0' || v < 0 ||
+        v >= Subspace::kMaxDimensions) {
+      return false;
+    }
+    s.Add(static_cast<int>(v));
+  }
+  *out = s;
+  return true;
+}
+
+bool ParseDouble(const std::string& token, double* out) {
+  char* end = nullptr;
+  *out = std::strtod(token.c_str(), &end);
+  return end != token.c_str() && *end == '\0';
+}
+
+bool ParseUint(const std::string& token, std::uint64_t* out) {
+  char* end = nullptr;
+  *out = std::strtoull(token.c_str(), &end, 10);
+  return end != token.c_str() && *end == '\0';
+}
+
+}  // namespace
+
+std::string ExportSst(const Sst& sst) {
+  std::ostringstream out;
+  out << "spot-sst v1\n";
+  for (const auto& s : sst.fixed()) {
+    out << "fs " << s.ToString() << "\n";
+  }
+  for (const auto& ss : sst.clustering().Ranked()) {
+    out << "cs " << ss.subspace.ToString() << " " << ss.score << "\n";
+  }
+  for (const auto& ss : sst.outlier_driven().Ranked()) {
+    out << "os " << ss.subspace.ToString() << " " << ss.score << "\n";
+  }
+  return out.str();
+}
+
+bool ImportSst(const std::string& text, Sst* sst) {
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || line != "spot-sst v1") return false;
+
+  std::vector<Subspace> fs;
+  std::vector<ScoredSubspace> cs;
+  std::vector<ScoredSubspace> os;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string kind;
+    std::string subspace_token;
+    if (!(ls >> kind >> subspace_token)) return false;
+    Subspace s;
+    if (!ParseSubspace(subspace_token, &s) || s.IsEmpty()) return false;
+    if (kind == "fs") {
+      std::string extra;
+      if (ls >> extra) return false;
+      fs.push_back(s);
+    } else if (kind == "cs" || kind == "os") {
+      std::string score_token;
+      if (!(ls >> score_token)) return false;
+      double score = 0.0;
+      if (!ParseDouble(score_token, &score)) return false;
+      (kind == "cs" ? cs : os).push_back({s, score});
+    } else {
+      return false;
+    }
+  }
+
+  sst->SetFixed(std::move(fs));
+  sst->ClearClustering();
+  for (const auto& ss : cs) sst->AddClustering(ss.subspace, ss.score);
+  for (const auto& ss : os) sst->AddOutlierDriven(ss.subspace, ss.score);
+  return true;
+}
+
+std::string ExportConfig(const SpotConfig& c) {
+  std::ostringstream out;
+  out.precision(17);
+  out << "spot-config v1\n";
+  out << "omega " << c.omega << "\n";
+  out << "epsilon " << c.epsilon << "\n";
+  out << "use_decay " << (c.use_decay ? 1 : 0) << "\n";
+  out << "cells_per_dim " << c.cells_per_dim << "\n";
+  out << "partition_margin " << c.partition_margin << "\n";
+  out << "domain_lo " << c.domain_lo << "\n";
+  out << "domain_hi " << c.domain_hi << "\n";
+  out << "fs_max_dimension " << c.fs_max_dimension << "\n";
+  out << "fs_cap " << c.fs_cap << "\n";
+  out << "cs_capacity " << c.cs_capacity << "\n";
+  out << "os_capacity " << c.os_capacity << "\n";
+  out << "rd_threshold " << c.rd_threshold << "\n";
+  out << "irsd_threshold " << c.irsd_threshold << "\n";
+  out << "fringe_factor " << c.fringe_factor << "\n";
+  out << "evolution_period " << c.evolution_period << "\n";
+  out << "reservoir_capacity " << c.reservoir_capacity << "\n";
+  out << "os_update_every " << c.os_update_every << "\n";
+  out << "drift_detection " << (c.drift_detection ? 1 : 0) << "\n";
+  out << "drift_delta " << c.drift_delta << "\n";
+  out << "drift_lambda " << c.drift_lambda << "\n";
+  out << "relearn_on_drift " << (c.relearn_on_drift ? 1 : 0) << "\n";
+  out << "prune_threshold " << c.prune_threshold << "\n";
+  out << "compaction_period " << c.compaction_period << "\n";
+  out << "seed " << c.seed << "\n";
+  return out.str();
+}
+
+bool ImportConfig(const std::string& text, SpotConfig* config) {
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || line != "spot-config v1") return false;
+
+  SpotConfig c = *config;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string key;
+    std::string value;
+    if (!(ls >> key >> value)) return false;
+    std::string extra;
+    if (ls >> extra) return false;
+
+    double d = 0.0;
+    std::uint64_t u = 0;
+    if (key == "omega" && ParseUint(value, &u)) {
+      c.omega = u;
+    } else if (key == "epsilon" && ParseDouble(value, &d)) {
+      c.epsilon = d;
+    } else if (key == "use_decay" && ParseUint(value, &u)) {
+      c.use_decay = u != 0;
+    } else if (key == "cells_per_dim" && ParseUint(value, &u)) {
+      c.cells_per_dim = static_cast<int>(u);
+    } else if (key == "partition_margin" && ParseDouble(value, &d)) {
+      c.partition_margin = d;
+    } else if (key == "domain_lo" && ParseDouble(value, &d)) {
+      c.domain_lo = d;
+    } else if (key == "domain_hi" && ParseDouble(value, &d)) {
+      c.domain_hi = d;
+    } else if (key == "fs_max_dimension" && ParseUint(value, &u)) {
+      c.fs_max_dimension = static_cast<int>(u);
+    } else if (key == "fs_cap" && ParseUint(value, &u)) {
+      c.fs_cap = u;
+    } else if (key == "cs_capacity" && ParseUint(value, &u)) {
+      c.cs_capacity = u;
+    } else if (key == "os_capacity" && ParseUint(value, &u)) {
+      c.os_capacity = u;
+    } else if (key == "rd_threshold" && ParseDouble(value, &d)) {
+      c.rd_threshold = d;
+    } else if (key == "irsd_threshold" && ParseDouble(value, &d)) {
+      c.irsd_threshold = d;
+    } else if (key == "fringe_factor" && ParseDouble(value, &d)) {
+      c.fringe_factor = d;
+    } else if (key == "evolution_period" && ParseUint(value, &u)) {
+      c.evolution_period = u;
+    } else if (key == "reservoir_capacity" && ParseUint(value, &u)) {
+      c.reservoir_capacity = u;
+    } else if (key == "os_update_every" && ParseUint(value, &u)) {
+      c.os_update_every = u;
+    } else if (key == "drift_detection" && ParseUint(value, &u)) {
+      c.drift_detection = u != 0;
+    } else if (key == "drift_delta" && ParseDouble(value, &d)) {
+      c.drift_delta = d;
+    } else if (key == "drift_lambda" && ParseDouble(value, &d)) {
+      c.drift_lambda = d;
+    } else if (key == "relearn_on_drift" && ParseUint(value, &u)) {
+      c.relearn_on_drift = u != 0;
+    } else if (key == "prune_threshold" && ParseDouble(value, &d)) {
+      c.prune_threshold = d;
+    } else if (key == "compaction_period" && ParseUint(value, &u)) {
+      c.compaction_period = u;
+    } else if (key == "seed" && ParseUint(value, &u)) {
+      c.seed = u;
+    } else {
+      return false;
+    }
+  }
+  *config = c;
+  return true;
+}
+
+}  // namespace spot

@@ -1,0 +1,44 @@
+#ifndef SPOT_CORE_SNAPSHOT_H_
+#define SPOT_CORE_SNAPSHOT_H_
+
+#include <string>
+
+#include "core/spot_config.h"
+#include "learning/sst.h"
+
+namespace spot {
+
+/// Plain-text export/import of a learned Sparse Subspace Template and of a
+/// SpotConfig — the artifacts worth persisting across process restarts.
+/// (Data synapses are deliberately not persisted: they are decayed stream
+/// state and refill within one window of fresh data; the SST is the product
+/// of the expensive learning stage.)
+///
+/// SST format, one entry per line:
+///
+///     spot-sst v1
+///     fs {0,3}
+///     cs {1,2} 0.125
+///     os {4} 0.001
+///
+/// Config format: `key value` pairs, one per line, headed by `spot-config
+/// v1`. Unknown keys are rejected; missing keys keep their defaults.
+
+/// Serializes the SST (FS members, CS/OS members with scores).
+std::string ExportSst(const Sst& sst);
+
+/// Parses an ExportSst() document into `sst` (which keeps its capacities;
+/// prior contents are cleared on success). Returns false — leaving `sst`
+/// untouched — on any syntax error.
+bool ImportSst(const std::string& text, Sst* sst);
+
+/// Serializes every field of a SpotConfig.
+std::string ExportConfig(const SpotConfig& config);
+
+/// Parses an ExportConfig() document. Returns false on any syntax error or
+/// unknown key; `config` keeps defaults for keys absent from the document.
+bool ImportConfig(const std::string& text, SpotConfig* config);
+
+}  // namespace spot
+
+#endif  // SPOT_CORE_SNAPSHOT_H_

@@ -1,0 +1,26 @@
+#include "core/spot_config.h"
+
+namespace spot {
+
+std::string SpotConfig::Validate() const {
+  if (omega == 0) return "omega must be positive";
+  if (epsilon <= 0.0 || epsilon >= 1.0) return "epsilon must be in (0, 1)";
+  if (cells_per_dim < 2) return "cells_per_dim must be at least 2";
+  if (fs_max_dimension < 0) return "fs_max_dimension must be non-negative";
+  if (rd_threshold < 0.0) return "rd_threshold must be non-negative";
+  if (irsd_threshold < 0.0) return "irsd_threshold must be non-negative";
+  if (partition_margin < 0.0) return "partition_margin must be non-negative";
+  if (prune_threshold < 0.0) return "prune_threshold must be non-negative";
+  if (drift_detection && drift_lambda <= 0.0) {
+    return "drift_lambda must be positive when drift detection is enabled";
+  }
+  if (unsupervised.moga.population_size < 2) {
+    return "moga population_size must be at least 2";
+  }
+  if (unsupervised.moga.generations < 1) {
+    return "moga generations must be at least 1";
+  }
+  return "";
+}
+
+}  // namespace spot

@@ -1,0 +1,65 @@
+#include "eval/harness.h"
+
+#include "common/timer.h"
+#include "stream/replay.h"
+
+namespace spot {
+namespace eval {
+
+RunResult RunDetection(StreamDetector& detector, StreamSource& source,
+                       std::size_t count, const RunOptions& options) {
+  RunResult result;
+  result.detector_name = detector.name();
+
+  for (std::size_t i = 0; i < options.warmup; ++i) {
+    std::optional<LabeledPoint> p = source.Next();
+    if (!p.has_value()) break;
+    detector.Process(p->point);
+  }
+
+  double jaccard_sum = 0.0;
+  std::uint64_t jaccard_count = 0;
+  Timer timer;
+  std::size_t processed = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    std::optional<LabeledPoint> p = source.Next();
+    if (!p.has_value()) break;
+    const Detection d = detector.Process(p->point);
+    ++processed;
+    result.confusion.Add(d.is_outlier, p->is_outlier);
+    if (d.is_outlier && p->is_outlier && !p->outlying_subspace.IsEmpty()) {
+      jaccard_sum += BestSubspaceJaccard(p->outlying_subspace,
+                                         d.outlying_subspaces);
+      ++jaccard_count;
+    }
+    if (options.collect_scores) {
+      result.scores.push_back(d.score);
+      result.labels.push_back(p->is_outlier);
+    }
+  }
+  const double elapsed = timer.ElapsedSeconds();
+  result.throughput =
+      elapsed > 0.0 ? static_cast<double>(processed) / elapsed : 0.0;
+  result.mean_subspace_jaccard =
+      jaccard_count == 0 ? 0.0 : jaccard_sum / static_cast<double>(jaccard_count);
+  if (options.collect_scores) {
+    result.auc = RocAuc(result.scores, result.labels);
+  }
+  return result;
+}
+
+std::vector<RunResult> CompareDetectors(
+    const std::vector<StreamDetector*>& detectors,
+    const std::vector<LabeledPoint>& points, const RunOptions& options) {
+  std::vector<RunResult> results;
+  results.reserve(detectors.size());
+  for (StreamDetector* detector : detectors) {
+    stream::ReplaySource replay(points);
+    results.push_back(
+        RunDetection(*detector, replay, points.size(), options));
+  }
+  return results;
+}
+
+}  // namespace eval
+}  // namespace spot

@@ -1,0 +1,115 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <numeric>
+
+namespace spot {
+namespace eval {
+
+void Confusion::Add(bool predicted, bool actual) {
+  if (predicted && actual) {
+    ++tp_;
+  } else if (predicted && !actual) {
+    ++fp_;
+  } else if (!predicted && actual) {
+    ++fn_;
+  } else {
+    ++tn_;
+  }
+}
+
+double Confusion::Precision() const {
+  const std::uint64_t denom = tp_ + fp_;
+  return denom == 0 ? 0.0 : static_cast<double>(tp_) / static_cast<double>(denom);
+}
+
+double Confusion::Recall() const {
+  const std::uint64_t denom = tp_ + fn_;
+  return denom == 0 ? 0.0 : static_cast<double>(tp_) / static_cast<double>(denom);
+}
+
+double Confusion::F1() const {
+  const double p = Precision();
+  const double r = Recall();
+  return (p + r) <= 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+}
+
+double Confusion::FalsePositiveRate() const {
+  const std::uint64_t denom = fp_ + tn_;
+  return denom == 0 ? 0.0 : static_cast<double>(fp_) / static_cast<double>(denom);
+}
+
+std::vector<RocPoint> RocCurve(const std::vector<double>& scores,
+                               const std::vector<bool>& labels) {
+  std::vector<RocPoint> curve;
+  const std::size_t n = std::min(scores.size(), labels.size());
+  std::uint64_t positives = 0;
+  std::uint64_t negatives = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (labels[i]) {
+      ++positives;
+    } else {
+      ++negatives;
+    }
+  }
+  if (positives == 0 || negatives == 0) return curve;
+
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return scores[a] > scores[b];
+  });
+
+  std::uint64_t tp = 0;
+  std::uint64_t fp = 0;
+  curve.push_back({scores[order.front()] + 1.0, 0.0, 0.0});
+  for (std::size_t i = 0; i < n;) {
+    const double threshold = scores[order[i]];
+    // Consume all points with this score together (threshold granularity).
+    while (i < n && scores[order[i]] == threshold) {
+      if (labels[order[i]]) {
+        ++tp;
+      } else {
+        ++fp;
+      }
+      ++i;
+    }
+    curve.push_back({threshold,
+                     static_cast<double>(tp) / static_cast<double>(positives),
+                     static_cast<double>(fp) / static_cast<double>(negatives)});
+  }
+  return curve;
+}
+
+double RocAuc(const std::vector<double>& scores,
+              const std::vector<bool>& labels) {
+  const std::vector<RocPoint> curve = RocCurve(scores, labels);
+  if (curve.size() < 2) return 0.5;
+  double auc = 0.0;
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    const double dx = curve[i].fpr - curve[i - 1].fpr;
+    auc += dx * 0.5 * (curve[i].tpr + curve[i - 1].tpr);
+  }
+  return auc;
+}
+
+double SubspaceJaccard(const Subspace& a, const Subspace& b) {
+  const std::uint64_t uni = a.bits() | b.bits();
+  if (uni == 0) return 1.0;
+  const std::uint64_t inter = a.bits() & b.bits();
+  return static_cast<double>(std::popcount(inter)) /
+         static_cast<double>(std::popcount(uni));
+}
+
+double BestSubspaceJaccard(const Subspace& truth,
+                           const std::vector<Subspace>& reported) {
+  double best = 0.0;
+  for (const auto& s : reported) {
+    best = std::max(best, SubspaceJaccard(truth, s));
+  }
+  return best;
+}
+
+}  // namespace eval
+}  // namespace spot

@@ -1,0 +1,74 @@
+#ifndef SPOT_EVAL_METRICS_H_
+#define SPOT_EVAL_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "subspace/subspace.h"
+
+namespace spot {
+namespace eval {
+
+/// Binary confusion-matrix accumulator with the derived detection metrics.
+class Confusion {
+ public:
+  /// Records one (prediction, truth) pair.
+  void Add(bool predicted, bool actual);
+
+  std::uint64_t tp() const { return tp_; }
+  std::uint64_t fp() const { return fp_; }
+  std::uint64_t tn() const { return tn_; }
+  std::uint64_t fn() const { return fn_; }
+  std::uint64_t total() const { return tp_ + fp_ + tn_ + fn_; }
+
+  /// tp / (tp + fp); 0 when no positives were predicted.
+  double Precision() const;
+
+  /// tp / (tp + fn); also the detection rate. 0 when no actual positives.
+  double Recall() const;
+
+  /// Harmonic mean of precision and recall.
+  double F1() const;
+
+  /// fp / (fp + tn); the false-alarm rate.
+  double FalsePositiveRate() const;
+
+ private:
+  std::uint64_t tp_ = 0;
+  std::uint64_t fp_ = 0;
+  std::uint64_t tn_ = 0;
+  std::uint64_t fn_ = 0;
+};
+
+/// One ROC operating point.
+struct RocPoint {
+  double threshold = 0.0;
+  double tpr = 0.0;
+  double fpr = 0.0;
+};
+
+/// ROC curve from per-point anomaly scores and ground-truth labels,
+/// computed by sweeping the threshold over every distinct score. Points are
+/// ordered by increasing FPR.
+std::vector<RocPoint> RocCurve(const std::vector<double>& scores,
+                               const std::vector<bool>& labels);
+
+/// Area under the ROC curve (trapezoidal). 0.5 = chance; 1.0 = perfect.
+/// Returns 0.5 when either class is absent.
+double RocAuc(const std::vector<double>& scores,
+              const std::vector<bool>& labels);
+
+/// Jaccard similarity |a ∩ b| / |a ∪ b| of two subspaces (1 when both are
+/// empty). Measures how well a reported outlying subspace matches the
+/// planted one.
+double SubspaceJaccard(const Subspace& a, const Subspace& b);
+
+/// Best Jaccard between the planted subspace and any reported one
+/// (0 when nothing was reported).
+double BestSubspaceJaccard(const Subspace& truth,
+                           const std::vector<Subspace>& reported);
+
+}  // namespace eval
+}  // namespace spot
+
+#endif  // SPOT_EVAL_METRICS_H_

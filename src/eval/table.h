@@ -1,0 +1,39 @@
+#ifndef SPOT_EVAL_TABLE_H_
+#define SPOT_EVAL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace spot {
+namespace eval {
+
+/// Minimal fixed-width ASCII table printer used by every bench binary to
+/// emit its experiment's rows in a uniform, diff-friendly format.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Adds one row; missing cells print empty, extra cells are dropped.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Formats a double with `precision` decimals.
+  static std::string Num(double v, int precision = 3);
+
+  /// Formats an integer count.
+  static std::string Int(std::uint64_t v);
+
+  /// Renders the table (header, separator, rows).
+  std::string ToString() const;
+
+  /// Renders with a title line on top and prints to stdout.
+  void Print(const std::string& title) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace eval
+}  // namespace spot
+
+#endif  // SPOT_EVAL_TABLE_H_

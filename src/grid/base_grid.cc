@@ -1,0 +1,51 @@
+#include "grid/base_grid.h"
+
+namespace spot {
+
+BaseGrid::BaseGrid(Partition partition, DecayModel model,
+                   double prune_threshold, std::uint64_t compaction_period)
+    : partition_(std::move(partition)),
+      model_(model),
+      prune_threshold_(prune_threshold),
+      compaction_period_(compaction_period),
+      total_(model_) {}
+
+void BaseGrid::Add(const std::vector<double>& point, std::uint64_t tick) {
+  last_tick_ = tick;
+  total_.Observe(tick);
+  CellCoords coords = partition_.BaseCell(point);
+  auto [it, inserted] = cells_.try_emplace(std::move(coords),
+                                           partition_.num_dims());
+  it->second.Add(point, tick, model_);
+  if (compaction_period_ != 0 &&
+      ++arrivals_since_compaction_ >= compaction_period_) {
+    Compact(tick);
+    arrivals_since_compaction_ = 0;
+  }
+}
+
+const Bcs* BaseGrid::Find(const std::vector<double>& point) const {
+  return FindByCoords(partition_.BaseCell(point));
+}
+
+const Bcs* BaseGrid::FindByCoords(const CellCoords& coords) const {
+  auto it = cells_.find(coords);
+  return it == cells_.end() ? nullptr : &it->second;
+}
+
+double BaseGrid::TotalWeight() const { return total_.WeightAt(last_tick_); }
+
+std::size_t BaseGrid::Compact(std::uint64_t tick) {
+  std::size_t removed = 0;
+  for (auto it = cells_.begin(); it != cells_.end();) {
+    if (it->second.CountAt(tick, model_) < prune_threshold_) {
+      it = cells_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+}  // namespace spot

@@ -1,0 +1,71 @@
+#ifndef SPOT_GRID_BASE_GRID_H_
+#define SPOT_GRID_BASE_GRID_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "grid/bcs.h"
+#include "grid/decay.h"
+#include "grid/partition.h"
+
+namespace spot {
+
+/// Sparse hypercube of Base Cell Summaries at the finest granularity.
+///
+/// Only populated cells are materialized (hash map keyed by base-cell
+/// coordinates); with decay, cells whose weight falls below
+/// `prune_threshold` are reclaimed during periodic compaction, which bounds
+/// memory by the effective window content rather than the stream length.
+class BaseGrid {
+ public:
+  /// `prune_threshold`: decayed count below which a cell is dropped during
+  /// compaction. `compaction_period`: number of arrivals between sweeps
+  /// (0 disables automatic compaction).
+  BaseGrid(Partition partition, DecayModel model,
+           double prune_threshold = 1e-3,
+           std::uint64_t compaction_period = 4096);
+
+  /// Folds a point in at tick `tick` (non-decreasing), updating its base
+  /// cell's BCS, the decayed total weight, and (periodically) compacting.
+  void Add(const std::vector<double>& point, std::uint64_t tick);
+
+  /// BCS of the base cell containing `point`, or nullptr if unpopulated.
+  const Bcs* Find(const std::vector<double>& point) const;
+
+  /// BCS by explicit coordinates, or nullptr.
+  const Bcs* FindByCoords(const CellCoords& coords) const;
+
+  /// Decayed total stream weight as of the last Add().
+  double TotalWeight() const;
+
+  /// Number of materialized cells (after lazy pruning at compaction time).
+  std::size_t PopulatedCells() const { return cells_.size(); }
+
+  /// Removes every cell whose decayed count (as of `tick`) is below the
+  /// prune threshold. Returns the number of removed cells.
+  std::size_t Compact(std::uint64_t tick);
+
+  std::uint64_t last_tick() const { return last_tick_; }
+  const Partition& partition() const { return partition_; }
+  const DecayModel& decay_model() const { return model_; }
+
+  /// Read-only access to every populated cell (coordinates + summary).
+  const std::unordered_map<CellCoords, Bcs, CellCoordsHash>& cells() const {
+    return cells_;
+  }
+
+ private:
+  Partition partition_;
+  DecayModel model_;
+  double prune_threshold_;
+  std::uint64_t compaction_period_;
+  std::uint64_t arrivals_since_compaction_ = 0;
+  std::uint64_t last_tick_ = 0;
+  DecayedCounter total_;
+  std::unordered_map<CellCoords, Bcs, CellCoordsHash> cells_;
+};
+
+}  // namespace spot
+
+#endif  // SPOT_GRID_BASE_GRID_H_

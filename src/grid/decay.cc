@@ -1,0 +1,75 @@
+#include "grid/decay.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace spot {
+
+DecayModel::DecayModel(std::uint64_t omega, double epsilon) {
+  omega_ = std::max<std::uint64_t>(1, omega);
+  epsilon_ = std::clamp(epsilon, 1e-12, 0.999999);
+  alpha_ = SolveAlpha(omega_, epsilon_);
+}
+
+DecayModel DecayModel::None() {
+  DecayModel m;
+  m.omega_ = 0;
+  m.epsilon_ = 0.0;
+  m.alpha_ = 1.0;
+  return m;
+}
+
+double DecayModel::WeightAtAge(std::uint64_t age) const {
+  if (alpha_ >= 1.0) return 1.0;
+  // alpha^age via exp/log is precise enough and O(1); std::pow handles the
+  // integral exponent internally.
+  return std::pow(alpha_, static_cast<double>(age));
+}
+
+double DecayModel::SteadyStateWeight() const {
+  if (alpha_ >= 1.0) return std::numeric_limits<double>::infinity();
+  return 1.0 / (1.0 - alpha_);
+}
+
+double DecayModel::SolveAlpha(std::uint64_t omega, double epsilon) {
+  // f(alpha) = alpha^omega / (1 - alpha) - epsilon is strictly increasing on
+  // (0, 1): numerator grows, denominator shrinks. Bisect.
+  const double w = static_cast<double>(omega);
+  auto f = [&](double a) {
+    return std::exp(w * std::log(a)) / (1.0 - a) - epsilon;
+  };
+  double lo = 1e-9;
+  double hi = 1.0 - 1e-12;
+  if (f(hi) < 0.0) return hi;  // epsilon so large that no decay is needed
+  if (f(lo) > 0.0) return lo;  // omega == tiny and epsilon tiny: max decay
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (f(mid) < 0.0) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+void DecayedCounter::Observe(std::uint64_t tick) {
+  if (!seen_any_) {
+    weight_ = 1.0;
+    last_tick_ = tick;
+    seen_any_ = true;
+    return;
+  }
+  const std::uint64_t delta = tick >= last_tick_ ? tick - last_tick_ : 0;
+  weight_ = weight_ * model_->WeightAtAge(delta) + 1.0;
+  last_tick_ = tick;
+}
+
+double DecayedCounter::WeightAt(std::uint64_t tick) const {
+  if (!seen_any_) return 0.0;
+  const std::uint64_t delta = tick >= last_tick_ ? tick - last_tick_ : 0;
+  return weight_ * model_->WeightAtAge(delta);
+}
+
+}  // namespace spot

@@ -1,0 +1,77 @@
+#ifndef SPOT_GRID_DECAY_H_
+#define SPOT_GRID_DECAY_H_
+
+#include <cstdint>
+
+namespace spot {
+
+/// The paper's (omega, epsilon) window-based time model.
+///
+/// Each arriving point defines one tick. A point of age `a` ticks carries
+/// weight `alpha^a`, where `alpha` is chosen so that the total weight of all
+/// points that have slid out of a window of size `omega` never exceeds
+/// `epsilon`:
+///
+///     sum_{a >= omega} alpha^a = alpha^omega / (1 - alpha) = epsilon.
+///
+/// This approximates a hard sliding window of size `omega` without keeping
+/// any per-point data or historical snapshots — only the latest decayed
+/// summaries are stored, and decay is applied lazily via tick stamps.
+class DecayModel {
+ public:
+  /// Builds the model for a window of `omega` points and residual bound
+  /// `epsilon` in (0, 1). Invalid arguments are clamped to sane values.
+  DecayModel(std::uint64_t omega, double epsilon);
+
+  /// A model with no decay (alpha = 1): an infinite landmark window.
+  static DecayModel None();
+
+  double alpha() const { return alpha_; }
+  std::uint64_t omega() const { return omega_; }
+  double epsilon() const { return epsilon_; }
+
+  /// alpha^age, computed in O(log age).
+  double WeightAtAge(std::uint64_t age) const;
+
+  /// Total steady-state window weight: sum_{a>=0} alpha^a = 1/(1-alpha)
+  /// (infinite for the no-decay model; callers use it only for reporting).
+  double SteadyStateWeight() const;
+
+  /// Solves alpha^omega / (1 - alpha) = epsilon for alpha in (0,1) by
+  /// bisection. Exposed for testing.
+  static double SolveAlpha(std::uint64_t omega, double epsilon);
+
+ private:
+  DecayModel() = default;
+
+  std::uint64_t omega_ = 0;
+  double epsilon_ = 0.0;
+  double alpha_ = 1.0;
+};
+
+/// Helper that maintains the decayed total weight of everything seen so far:
+/// W(t) = sum_i alpha^(t - t_i). Advancing by one tick and adding the new
+/// point is O(1).
+class DecayedCounter {
+ public:
+  explicit DecayedCounter(const DecayModel& model) : model_(&model) {}
+
+  /// Registers the arrival of one point at tick `tick` (ticks must be
+  /// non-decreasing across calls).
+  void Observe(std::uint64_t tick);
+
+  /// Decayed total weight as of tick `tick`.
+  double WeightAt(std::uint64_t tick) const;
+
+  std::uint64_t last_tick() const { return last_tick_; }
+
+ private:
+  const DecayModel* model_;
+  double weight_ = 0.0;
+  std::uint64_t last_tick_ = 0;
+  bool seen_any_ = false;
+};
+
+}  // namespace spot
+
+#endif  // SPOT_GRID_DECAY_H_

@@ -1,0 +1,6 @@
+#include "grid/pcs.h"
+
+// Pcs is a header-only value type; this TU exists so the module always has
+// at least one object file and the header stays self-contained-checked.
+
+namespace spot {}  // namespace spot

@@ -1,0 +1,45 @@
+#ifndef SPOT_GRID_PCS_H_
+#define SPOT_GRID_PCS_H_
+
+namespace spot {
+
+/// Projected Cell Summary (paper, Definition 2).
+///
+/// PCS(c, s) = (RD, IRSD) for a cell c of subspace s:
+///
+/// * RD — Relative Density: the cell's decayed count relative to the
+///   count-weighted average cell mass of the subspace,
+///   RD = D_c * W / sum_i(D_i^2). RD << 1 marks a sparse cell.
+///   (Relative-to-average rather than relative-to-uniform keeps RD
+///   comparable across subspace dimensionalities, and count-weighting makes
+///   it robust to nearly-empty decayed cells; see DESIGN.md Section 3.3.)
+/// * IRSD — Inverse Relative Standard Deviation: mean over the retained
+///   dimensions of sigma_uniform / sigma_cell, where sigma_uniform =
+///   cell_width / sqrt(12) is the spread of a uniform distribution over the
+///   cell. IRSD is ~1 for uniformly spread content, large for tightly
+///   clustered content, 0 when the cell holds fewer than 2 (decayed) points,
+///   and capped at kIrsdCap.
+///
+/// Small RD *and* small IRSD together indicate a sparse projected cell — the
+/// signature of a projected outlier.
+struct Pcs {
+  /// Cap applied to IRSD so near-zero spreads do not produce infinities.
+  static constexpr double kIrsdCap = 100.0;
+
+  double rd = 0.0;
+  double irsd = 0.0;
+
+  /// Decayed count of the cell (not part of the paper's pair, but needed by
+  /// callers to reason about evidence mass).
+  double count = 0.0;
+
+  /// The outlier-ness check of the detection stage: both measures at or
+  /// under their thresholds.
+  bool IsSparse(double rd_threshold, double irsd_threshold) const {
+    return rd <= rd_threshold && irsd <= irsd_threshold;
+  }
+};
+
+}  // namespace spot
+
+#endif  // SPOT_GRID_PCS_H_

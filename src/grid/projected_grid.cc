@@ -1,0 +1,201 @@
+#include "grid/projected_grid.h"
+
+#include <cmath>
+#include <cstdint>
+
+namespace spot {
+
+void ProjectedCellStats::DecayTo(std::uint64_t tick, const DecayModel& model) {
+  if (tick <= last_tick) return;
+  const double factor = model.WeightAtAge(tick - last_tick);
+  if (factor != 1.0) {
+    count *= factor;
+    for (double& v : ls) v *= factor;
+    for (double& v : ss) v *= factor;
+  }
+  last_tick = tick;
+}
+
+ProjectedGrid::ProjectedGrid(Subspace subspace, const Partition* partition,
+                             DecayModel model, double prune_threshold,
+                             std::uint64_t compaction_period)
+    : subspace_(subspace),
+      dims_(subspace.Indices()),
+      partition_(partition),
+      model_(model),
+      prune_threshold_(prune_threshold),
+      compaction_period_(compaction_period) {
+  sigma_uniform_.reserve(dims_.size());
+  for (int d : dims_) {
+    sigma_uniform_.push_back(partition_->CellWidth(d) / std::sqrt(12.0));
+  }
+}
+
+double ProjectedGrid::SumSqAt(std::uint64_t tick) const {
+  if (tick <= sumsq_tick_) return sumsq_;
+  // Squared counts decay twice as fast as counts.
+  return sumsq_ * model_.WeightAtAge(2 * (tick - sumsq_tick_));
+}
+
+void ProjectedGrid::Add(const std::vector<double>& point, std::uint64_t tick) {
+  last_tick_ = tick;
+  sumsq_ = SumSqAt(tick);
+  sumsq_tick_ = tick;
+
+  CellCoords coords;
+  coords.reserve(dims_.size());
+  for (int d : dims_) {
+    coords.push_back(
+        partition_->IntervalIndex(d, point[static_cast<std::size_t>(d)]));
+  }
+  auto [it, inserted] = cells_.try_emplace(std::move(coords));
+  ProjectedCellStats& cell = it->second;
+  if (inserted) {
+    cell.ls.assign(dims_.size(), 0.0);
+    cell.ss.assign(dims_.size(), 0.0);
+    cell.last_tick = tick;
+  }
+  cell.DecayTo(tick, model_);
+  const double old_count = cell.count;
+  cell.count += 1.0;
+  sumsq_ += cell.count * cell.count - old_count * old_count;
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    const double v = point[static_cast<std::size_t>(dims_[i])];
+    cell.ls[i] += v;
+    cell.ss[i] += v * v;
+  }
+  if (compaction_period_ != 0 &&
+      ++arrivals_since_compaction_ >= compaction_period_) {
+    Compact(tick);
+    arrivals_since_compaction_ = 0;
+  }
+}
+
+Pcs ProjectedGrid::Query(const std::vector<double>& point,
+                         double total_weight) const {
+  CellCoords coords;
+  coords.reserve(dims_.size());
+  for (int d : dims_) {
+    coords.push_back(
+        partition_->IntervalIndex(d, point[static_cast<std::size_t>(d)]));
+  }
+  return QueryCoords(coords, total_weight);
+}
+
+Pcs ProjectedGrid::QueryCoords(const CellCoords& coords,
+                               double total_weight) const {
+  auto it = cells_.find(coords);
+  if (it == cells_.end()) return Pcs{};
+  ProjectedCellStats cell = it->second;  // copy: decay without mutating
+  cell.DecayTo(last_tick_, model_);
+  return ComputePcs(cell, total_weight);
+}
+
+Pcs ProjectedGrid::ComputePcs(const ProjectedCellStats& cell,
+                              double total_weight) const {
+  Pcs pcs;
+  pcs.count = cell.count;
+  if (cell.count <= 0.0 || total_weight <= 0.0) return pcs;
+
+  // RD: density relative to the count-weighted average cell mass.
+  const double sumsq = SumSqAt(last_tick_);
+  pcs.rd = sumsq > 0.0 ? cell.count * total_weight / sumsq : 0.0;
+
+  // IRSD: 0 when fewer than 2 decayed points (no spread evidence).
+  if (cell.count < 2.0) {
+    pcs.irsd = 0.0;
+    return pcs;
+  }
+  double irsd_sum = 0.0;
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    const double mean = cell.ls[i] / cell.count;
+    const double var = cell.ss[i] / cell.count - mean * mean;
+    const double sigma = var > 0.0 ? std::sqrt(var) : 0.0;
+    const double su = sigma_uniform_[i];
+    const double ratio = su / (sigma + 0.01 * su);
+    irsd_sum += ratio > Pcs::kIrsdCap ? Pcs::kIrsdCap : ratio;
+  }
+  pcs.irsd = irsd_sum / static_cast<double>(dims_.size());
+  return pcs;
+}
+
+bool ProjectedGrid::IsClusterFringe(const CellCoords& coords,
+                                    double cell_count, double factor) const {
+  const double heavy = factor * (cell_count > 1.0 ? cell_count : 1.0);
+  const std::uint32_t max_coord =
+      static_cast<std::uint32_t>(partition_->cells_per_dim() - 1);
+  auto neighbor_is_heavy = [&](const CellCoords& c) {
+    auto it = cells_.find(c);
+    if (it == cells_.end()) return false;
+    ProjectedCellStats cell = it->second;
+    cell.DecayTo(last_tick_, model_);
+    return cell.count >= heavy;
+  };
+
+  const std::size_t n = coords.size();
+  if (n <= 3) {
+    // Full Moore neighborhood via odometer over {-1, 0, +1}^n.
+    std::vector<int> offset(n, -1);
+    for (;;) {
+      bool all_zero = true;
+      bool in_range = true;
+      CellCoords probe(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        if (offset[i] != 0) all_zero = false;
+        const std::int64_t v =
+            static_cast<std::int64_t>(coords[i]) + offset[i];
+        if (v < 0 || v > static_cast<std::int64_t>(max_coord)) {
+          in_range = false;
+          break;
+        }
+        probe[i] = static_cast<std::uint32_t>(v);
+      }
+      if (!all_zero && in_range && neighbor_is_heavy(probe)) return true;
+      // Advance the odometer.
+      std::size_t pos = 0;
+      while (pos < n && offset[pos] == 1) {
+        offset[pos] = -1;
+        ++pos;
+      }
+      if (pos == n) break;
+      ++offset[pos];
+    }
+    return false;
+  }
+
+  // High-dimensional subspaces: axis-aligned neighbors only.
+  for (std::size_t i = 0; i < n; ++i) {
+    for (int delta : {-1, 1}) {
+      const std::int64_t v = static_cast<std::int64_t>(coords[i]) + delta;
+      if (v < 0 || v > static_cast<std::int64_t>(max_coord)) continue;
+      CellCoords probe = coords;
+      probe[i] = static_cast<std::uint32_t>(v);
+      if (neighbor_is_heavy(probe)) return true;
+    }
+  }
+  return false;
+}
+
+std::size_t ProjectedGrid::Compact(std::uint64_t tick) {
+  std::size_t removed = 0;
+  double sumsq = 0.0;
+  for (auto it = cells_.begin(); it != cells_.end();) {
+    ProjectedCellStats& cell = it->second;
+    cell.DecayTo(tick, model_);
+    if (cell.count < prune_threshold_) {
+      it = cells_.erase(it);
+      ++removed;
+    } else {
+      sumsq += cell.count * cell.count;
+      ++it;
+    }
+  }
+  // Sweeping visits every cell anyway: recompute the squared-count sum
+  // exactly, cancelling any accumulated floating-point drift.
+  sumsq_ = sumsq;
+  sumsq_tick_ = tick;
+  if (tick > last_tick_) last_tick_ = tick;
+  return removed;
+}
+
+}  // namespace spot

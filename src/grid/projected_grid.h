@@ -1,0 +1,103 @@
+#ifndef SPOT_GRID_PROJECTED_GRID_H_
+#define SPOT_GRID_PROJECTED_GRID_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "grid/decay.h"
+#include "grid/partition.h"
+#include "grid/pcs.h"
+#include "subspace/subspace.h"
+
+namespace spot {
+
+/// Decayed aggregates of one projected cell: count plus linear/squared sums
+/// of the retained dimensions only (the minimum needed to derive a PCS).
+struct ProjectedCellStats {
+  double count = 0.0;
+  std::vector<double> ls;  // per retained dimension, subspace index order
+  std::vector<double> ss;
+  std::uint64_t last_tick = 0;
+
+  /// Decays the aggregates in place to `tick`.
+  void DecayTo(std::uint64_t tick, const DecayModel& model);
+};
+
+/// Sparse grid of decayed cell aggregates for a single subspace of the SST.
+///
+/// Mirrors BaseGrid but keyed by projected-cell coordinates, and able to
+/// answer PCS queries. One ProjectedGrid exists per SST subspace; the
+/// per-arrival update cost is O(|s|) plus one hash probe, which is what lets
+/// SPOT keep up with fast streams.
+class ProjectedGrid {
+ public:
+  ProjectedGrid(Subspace subspace, const Partition* partition,
+                DecayModel model, double prune_threshold = 1e-3,
+                std::uint64_t compaction_period = 4096);
+
+  /// Folds a full-dimensional point in at tick `tick` (non-decreasing).
+  void Add(const std::vector<double>& point, std::uint64_t tick);
+
+  /// PCS of the cell containing `point`, computed against the decayed total
+  /// weight `total_weight` of the stream (supplied by the caller so every
+  /// subspace grid shares one authoritative W). An unpopulated cell yields
+  /// PCS{rd=0, irsd=0, count=0} — maximally sparse.
+  ///
+  /// RD is the cell's decayed count relative to the *count-weighted average
+  /// cell mass* of this subspace: RD = D_c * W / sum_i(D_i^2). Weighting by
+  /// count makes the reference robust to swarms of nearly-empty decayed
+  /// cells, and sum_i(D_i^2) decays by alpha^(2*delta) per tick, so it stays
+  /// incrementally maintainable (DESIGN.md Section 3.3).
+  Pcs Query(const std::vector<double>& point, double total_weight) const;
+
+  /// PCS from explicit projected coordinates.
+  Pcs QueryCoords(const CellCoords& coords, double total_weight) const;
+
+  /// Removes cells whose decayed count at `tick` is below the prune
+  /// threshold; returns the number removed.
+  std::size_t Compact(std::uint64_t tick);
+
+  const Subspace& subspace() const { return subspace_; }
+  std::size_t PopulatedCells() const { return cells_.size(); }
+  std::uint64_t last_tick() const { return last_tick_; }
+
+  /// Decayed sum of squared cell counts (see Query): the basis of the
+  /// count-weighted average cell mass that RD is measured against.
+  double SumSqAt(std::uint64_t tick) const;
+
+  /// True when the cell at `coords` (holding `cell_count` decayed weight)
+  /// has a neighboring cell at Chebyshev distance 1 whose decayed count is
+  /// at least `factor * max(1, cell_count)` — i.e. the cell is the *fringe*
+  /// of a dense cluster rather than a genuinely isolated region. The
+  /// detection stage uses this to veto sparse-cell findings that are merely
+  /// cluster tails (DESIGN.md Section 3.3, fringe suppression).
+  ///
+  /// The full Moore neighborhood (3^|s|-1 probes) is scanned for subspaces
+  /// of dimension <= 3; beyond that only axis-aligned neighbors (2|s|) are
+  /// probed to bound the cost.
+  bool IsClusterFringe(const CellCoords& coords, double cell_count,
+                       double factor) const;
+
+ private:
+  Pcs ComputePcs(const ProjectedCellStats& cell, double total_weight) const;
+
+  Subspace subspace_;
+  std::vector<int> dims_;          // cached subspace.Indices()
+  std::vector<double> sigma_uniform_;  // per retained dim: width / sqrt(12)
+  const Partition* partition_;     // not owned
+  DecayModel model_;
+  double prune_threshold_;
+  std::uint64_t compaction_period_;
+  std::uint64_t arrivals_since_compaction_ = 0;
+  std::uint64_t last_tick_ = 0;
+  // Sum over cells of (decayed count)^2, maintained lazily: every cell
+  // decays by the same alpha^delta, so the sum decays by alpha^(2*delta).
+  double sumsq_ = 0.0;
+  std::uint64_t sumsq_tick_ = 0;
+  std::unordered_map<CellCoords, ProjectedCellStats, CellCoordsHash> cells_;
+};
+
+}  // namespace spot
+
+#endif  // SPOT_GRID_PROJECTED_GRID_H_

@@ -1,0 +1,74 @@
+#include "grid/synapse_manager.h"
+
+namespace spot {
+
+SynapseManager::SynapseManager(Partition partition, DecayModel model,
+                               double prune_threshold,
+                               std::uint64_t compaction_period)
+    : partition_(std::move(partition)),
+      model_(model),
+      prune_threshold_(prune_threshold),
+      compaction_period_(compaction_period),
+      base_(partition_, model_, prune_threshold_, compaction_period_) {}
+
+void SynapseManager::Track(const Subspace& s) {
+  if (s.IsEmpty() || IsTracked(s)) return;
+  grids_.emplace(s, std::make_unique<ProjectedGrid>(
+                        s, &partition_, model_, prune_threshold_,
+                        compaction_period_));
+}
+
+void SynapseManager::Untrack(const Subspace& s) { grids_.erase(s); }
+
+bool SynapseManager::IsTracked(const Subspace& s) const {
+  return grids_.find(s) != grids_.end();
+}
+
+void SynapseManager::Add(const std::vector<double>& point,
+                         std::uint64_t tick) {
+  base_.Add(point, tick);
+  for (auto& [subspace, grid] : grids_) grid->Add(point, tick);
+}
+
+Pcs SynapseManager::Query(const std::vector<double>& point,
+                          const Subspace& s) const {
+  auto it = grids_.find(s);
+  if (it == grids_.end()) return Pcs{};
+  return it->second->Query(point, base_.TotalWeight());
+}
+
+bool SynapseManager::IsClusterFringe(const std::vector<double>& point,
+                                     const Subspace& s, double cell_count,
+                                     double factor) const {
+  auto it = grids_.find(s);
+  if (it == grids_.end()) return false;
+  CellCoords coords;
+  const std::vector<int> dims = s.Indices();
+  coords.reserve(dims.size());
+  for (int d : dims) {
+    coords.push_back(
+        partition_.IntervalIndex(d, point[static_cast<std::size_t>(d)]));
+  }
+  return it->second->IsClusterFringe(coords, cell_count, factor);
+}
+
+std::vector<Subspace> SynapseManager::TrackedSubspaces() const {
+  std::vector<Subspace> out;
+  out.reserve(grids_.size());
+  for (const auto& [subspace, grid] : grids_) out.push_back(subspace);
+  return out;
+}
+
+std::size_t SynapseManager::TotalPopulatedCells() const {
+  std::size_t total = base_.PopulatedCells();
+  for (const auto& [subspace, grid] : grids_) total += grid->PopulatedCells();
+  return total;
+}
+
+std::size_t SynapseManager::CompactAll(std::uint64_t tick) {
+  std::size_t removed = base_.Compact(tick);
+  for (auto& [subspace, grid] : grids_) removed += grid->Compact(tick);
+  return removed;
+}
+
+}  // namespace spot

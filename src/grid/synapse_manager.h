@@ -1,0 +1,93 @@
+#ifndef SPOT_GRID_SYNAPSE_MANAGER_H_
+#define SPOT_GRID_SYNAPSE_MANAGER_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "grid/base_grid.h"
+#include "grid/decay.h"
+#include "grid/partition.h"
+#include "grid/pcs.h"
+#include "grid/projected_grid.h"
+#include "subspace/subspace.h"
+
+namespace spot {
+
+/// Owns the complete set of data synapses: the BaseGrid (BCS hypercube) plus
+/// one ProjectedGrid per tracked SST subspace, all sharing one partition and
+/// one (omega, epsilon) decay model.
+///
+/// This is the state the paper's detection stage updates per arrival
+/// ("data synapses (BCS and PCS) are first updated dynamically") and then
+/// queries ("retrieve PCS of the projected cell to which each data belongs
+/// in subspace of SST").
+class SynapseManager {
+ public:
+  SynapseManager(Partition partition, DecayModel model,
+                 double prune_threshold = 1e-3,
+                 std::uint64_t compaction_period = 4096);
+
+  // Projected grids hold pointers into partition_, so the manager is pinned
+  // in memory: neither copyable nor movable. Hold it via unique_ptr when a
+  // movable handle is needed.
+  SynapseManager(const SynapseManager&) = delete;
+  SynapseManager& operator=(const SynapseManager&) = delete;
+  SynapseManager(SynapseManager&&) = delete;
+  SynapseManager& operator=(SynapseManager&&) = delete;
+
+  /// Starts tracking a subspace (idempotent). New grids start empty; their
+  /// summaries fill in as the stream flows.
+  void Track(const Subspace& s);
+
+  /// Stops tracking a subspace and frees its grid.
+  void Untrack(const Subspace& s);
+
+  bool IsTracked(const Subspace& s) const;
+
+  /// Folds one point into the base grid and every tracked projected grid,
+  /// advancing the clock to `tick` (non-decreasing).
+  void Add(const std::vector<double>& point, std::uint64_t tick);
+
+  /// PCS of `point`'s cell in tracked subspace `s` (PCS{} if untracked).
+  Pcs Query(const std::vector<double>& point, const Subspace& s) const;
+
+  /// Fringe test for `point`'s cell in `s` (see
+  /// ProjectedGrid::IsClusterFringe). False when `s` is untracked.
+  bool IsClusterFringe(const std::vector<double>& point, const Subspace& s,
+                       double cell_count, double factor) const;
+
+  /// Decayed total stream weight at the current tick.
+  double TotalWeight() const { return base_.TotalWeight(); }
+
+  std::uint64_t last_tick() const { return base_.last_tick(); }
+  const Partition& partition() const { return partition_; }
+  const DecayModel& decay_model() const { return model_; }
+  const BaseGrid& base_grid() const { return base_; }
+
+  /// Tracked subspaces, in unspecified order.
+  std::vector<Subspace> TrackedSubspaces() const;
+
+  std::size_t NumTracked() const { return grids_.size(); }
+
+  /// Total populated projected cells across all tracked grids (memory
+  /// proxy reported by the scalability experiments).
+  std::size_t TotalPopulatedCells() const;
+
+  /// Compacts the base grid and every projected grid at `tick`.
+  std::size_t CompactAll(std::uint64_t tick);
+
+ private:
+  Partition partition_;
+  DecayModel model_;
+  double prune_threshold_;
+  std::uint64_t compaction_period_;
+  BaseGrid base_;
+  std::unordered_map<Subspace, std::unique_ptr<ProjectedGrid>, SubspaceHash>
+      grids_;
+};
+
+}  // namespace spot
+
+#endif  // SPOT_GRID_SYNAPSE_MANAGER_H_

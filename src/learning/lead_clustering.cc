@@ -1,0 +1,57 @@
+#include "learning/lead_clustering.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/math_util.h"
+#include "common/stats.h"
+
+namespace spot {
+
+LeadClusteringResult LeadCluster(const std::vector<std::vector<double>>& data,
+                                 const std::vector<std::size_t>& order,
+                                 double threshold) {
+  LeadClusteringResult result;
+  result.assignment.assign(data.size(), -1);
+  const double threshold_sq = threshold * threshold;
+
+  for (std::size_t idx : order) {
+    const std::vector<double>& p = data[idx];
+    int best_cluster = -1;
+    double best_dist = std::numeric_limits<double>::infinity();
+    for (std::size_t c = 0; c < result.leaders.size(); ++c) {
+      const double d = SquaredDistance(p, data[result.leaders[c]]);
+      if (d < best_dist) {
+        best_dist = d;
+        best_cluster = static_cast<int>(c);
+      }
+    }
+    if (best_cluster >= 0 && best_dist <= threshold_sq) {
+      result.assignment[idx] = best_cluster;
+      ++result.sizes[static_cast<std::size_t>(best_cluster)];
+    } else {
+      result.assignment[idx] = static_cast<int>(result.leaders.size());
+      result.leaders.push_back(idx);
+      result.sizes.push_back(1);
+    }
+  }
+  return result;
+}
+
+double EstimateLeadThreshold(const std::vector<std::vector<double>>& data,
+                             Rng& rng, std::size_t sample_size, double scale) {
+  if (data.size() < 2) return 1.0;
+  const std::size_t n = std::min(sample_size, data.size());
+  std::vector<std::size_t> sample = rng.SampleIndices(data.size(), n);
+  std::vector<double> dists;
+  dists.reserve(n * (n - 1) / 2);
+  for (std::size_t i = 0; i < sample.size(); ++i) {
+    for (std::size_t j = i + 1; j < sample.size(); ++j) {
+      dists.push_back(EuclideanDistance(data[sample[i]], data[sample[j]]));
+    }
+  }
+  const double lower_quartile = Quantile(std::move(dists), 0.25);
+  return std::max(1e-9, scale * lower_quartile);
+}
+
+}  // namespace spot

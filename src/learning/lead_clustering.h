@@ -1,0 +1,41 @@
+#ifndef SPOT_LEARNING_LEAD_CLUSTERING_H_
+#define SPOT_LEARNING_LEAD_CLUSTERING_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace spot {
+
+/// Result of one lead-clustering pass: per-point cluster assignment plus
+/// cluster sizes and leader indices.
+struct LeadClusteringResult {
+  std::vector<int> assignment;       // point index -> cluster id
+  std::vector<std::size_t> sizes;    // cluster id -> member count
+  std::vector<std::size_t> leaders;  // cluster id -> index of its leader
+};
+
+/// Single-pass lead (leader) clustering — the cheap clustering the paper's
+/// unsupervised learning uses to score training data's outlying degree.
+///
+/// Points are visited in the order given by `order` (a permutation of
+/// [0, n)). The first point becomes a leader; each subsequent point joins
+/// the nearest existing leader if within `threshold` (Euclidean distance),
+/// otherwise it founds a new cluster.
+LeadClusteringResult LeadCluster(const std::vector<std::vector<double>>& data,
+                                 const std::vector<std::size_t>& order,
+                                 double threshold);
+
+/// Heuristic distance threshold: `scale` times the lower-quartile pairwise
+/// distance of a random sample of `sample_size` points. The lower quartile
+/// tracks the intra-cluster distance scale even when well-separated
+/// clusters push the median toward the inter-cluster scale; the default
+/// scale of 3 then approximates a cluster diameter.
+double EstimateLeadThreshold(const std::vector<std::vector<double>>& data,
+                             Rng& rng, std::size_t sample_size = 200,
+                             double scale = 3.0);
+
+}  // namespace spot
+
+#endif  // SPOT_LEARNING_LEAD_CLUSTERING_H_

@@ -1,0 +1,51 @@
+#include "learning/outlying_degree.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "learning/lead_clustering.h"
+
+namespace spot {
+
+std::vector<double> ComputeOutlyingDegrees(
+    const std::vector<std::vector<double>>& data,
+    const OutlyingDegreeConfig& config, Rng& rng) {
+  std::vector<double> degrees(data.size(), 0.0);
+  if (data.empty()) return degrees;
+
+  double threshold = config.threshold;
+  if (threshold <= 0.0) {
+    threshold = EstimateLeadThreshold(data, rng, 200, config.threshold_scale);
+  }
+
+  const int runs = std::max(1, config.num_runs);
+  std::vector<std::size_t> order(data.size());
+  std::iota(order.begin(), order.end(), 0);
+  const double n = static_cast<double>(data.size());
+
+  for (int r = 0; r < runs; ++r) {
+    rng.Shuffle(order);
+    const LeadClusteringResult result = LeadCluster(data, order, threshold);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      const std::size_t cluster =
+          static_cast<std::size_t>(result.assignment[i]);
+      degrees[i] += 1.0 - static_cast<double>(result.sizes[cluster]) / n;
+    }
+  }
+  for (double& d : degrees) d /= static_cast<double>(runs);
+  return degrees;
+}
+
+std::vector<std::size_t> TopOutlyingIndices(const std::vector<double>& degrees,
+                                            std::size_t k) {
+  std::vector<std::size_t> idx(degrees.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  std::sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+    if (degrees[a] != degrees[b]) return degrees[a] > degrees[b];
+    return a < b;
+  });
+  if (idx.size() > k) idx.resize(k);
+  return idx;
+}
+
+}  // namespace spot

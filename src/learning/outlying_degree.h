@@ -1,0 +1,41 @@
+#ifndef SPOT_LEARNING_OUTLYING_DEGREE_H_
+#define SPOT_LEARNING_OUTLYING_DEGREE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace spot {
+
+/// Parameters of the outlying-degree computation.
+struct OutlyingDegreeConfig {
+  /// Number of independent lead-clustering passes (each with a fresh random
+  /// visiting order). Averaging across orders removes the order sensitivity
+  /// of single-pass leader clustering.
+  int num_runs = 5;
+
+  /// Leader distance threshold; <= 0 means estimate from the data.
+  double threshold = 0.0;
+
+  /// Scale applied to the estimated threshold (see EstimateLeadThreshold).
+  double threshold_scale = 3.0;
+};
+
+/// Overall outlying degree of every training point (paper, Section II-C1):
+/// lead clustering is run under `num_runs` different data orders and a
+/// point's degree is the mean of (1 - |cluster(p)| / N) across runs — points
+/// that repeatedly land in small clusters score high.
+///
+/// Returned values are in [0, 1), one per point.
+std::vector<double> ComputeOutlyingDegrees(
+    const std::vector<std::vector<double>>& data,
+    const OutlyingDegreeConfig& config, Rng& rng);
+
+/// Indices of the `k` highest-degree points, best first.
+std::vector<std::size_t> TopOutlyingIndices(const std::vector<double>& degrees,
+                                            std::size_t k);
+
+}  // namespace spot
+
+#endif  // SPOT_LEARNING_OUTLYING_DEGREE_H_

@@ -1,0 +1,61 @@
+#include "learning/self_evolution.h"
+
+#include <algorithm>
+
+#include "moga/objectives.h"
+#include "moga/operators.h"
+
+namespace spot {
+
+std::size_t EvolveClusteringSubspaces(
+    Sst* sst, const Partition& partition,
+    const std::vector<std::vector<double>>& recent_sample,
+    const SelfEvolutionConfig& config, Rng& rng) {
+  if (recent_sample.empty() || sst->clustering().empty()) return 0;
+
+  const int num_dims = partition.num_dims();
+  BatchSparsityObjectives obj(&partition, &recent_sample);
+
+  // Parent pool: the current top of CS.
+  std::vector<Subspace> parents =
+      sst->clustering().TopK(std::max<std::size_t>(2, config.parent_pool));
+
+  // Generate offspring by crossover + mutation of random parent pairs.
+  std::vector<Subspace> offspring;
+  offspring.reserve(config.offspring);
+  for (std::size_t i = 0; i < config.offspring; ++i) {
+    const Subspace& p1 =
+        parents[static_cast<std::size_t>(rng.NextUint64(parents.size()))];
+    const Subspace& p2 =
+        parents[static_cast<std::size_t>(rng.NextUint64(parents.size()))];
+    Subspace child = UniformCrossover(p1, p2, rng);
+    child = BitFlipMutation(child, num_dims, config.mutation_prob, rng);
+    child = Repair(child, num_dims, config.max_dimension, rng);
+    offspring.push_back(child);
+  }
+
+  // Re-rank: rescore every current member and every offspring against the
+  // recent sample, then rebuild CS (its capacity evicts the worst).
+  RankedSubspaceSet& cs = sst->mutable_clustering();
+  const std::vector<Subspace> current = cs.Members();
+  const std::size_t capacity = cs.capacity();
+  RankedSubspaceSet next(capacity);
+  for (const auto& s : current) next.Insert(s, obj.SparsityScore(s));
+  for (const auto& s : offspring) next.Insert(s, obj.SparsityScore(s));
+
+  std::size_t admitted = 0;
+  for (const auto& s : offspring) {
+    bool was_member = false;
+    for (const auto& c : current) {
+      if (c == s) {
+        was_member = true;
+        break;
+      }
+    }
+    if (!was_member && next.Contains(s)) ++admitted;
+  }
+  cs = std::move(next);
+  return admitted;
+}
+
+}  // namespace spot

@@ -1,0 +1,70 @@
+#include "learning/sst.h"
+
+#include <sstream>
+#include <unordered_set>
+
+namespace spot {
+
+Sst::Sst(std::size_t cs_capacity, std::size_t os_capacity)
+    : cs_(cs_capacity), os_(os_capacity) {}
+
+void Sst::SetFixed(std::vector<Subspace> fs) { fs_ = std::move(fs); }
+
+bool Sst::InFixed(const Subspace& s) const {
+  for (const auto& f : fs_) {
+    if (f == s) return true;
+  }
+  return false;
+}
+
+void Sst::AddClustering(const Subspace& s, double score) {
+  if (s.IsEmpty() || InFixed(s)) return;
+  cs_.Insert(s, score);
+}
+
+void Sst::AddOutlierDriven(const Subspace& s, double score) {
+  if (s.IsEmpty() || InFixed(s)) return;
+  os_.Insert(s, score);
+}
+
+void Sst::ClearClustering() { cs_.Clear(); }
+
+std::vector<Subspace> Sst::AllSubspaces() const {
+  std::unordered_set<Subspace, SubspaceHash> seen;
+  std::vector<Subspace> out;
+  out.reserve(fs_.size() + cs_.size() + os_.size());
+  for (const auto& s : fs_) {
+    if (seen.insert(s).second) out.push_back(s);
+  }
+  for (const auto& s : cs_.Members()) {
+    if (seen.insert(s).second) out.push_back(s);
+  }
+  for (const auto& s : os_.Members()) {
+    if (seen.insert(s).second) out.push_back(s);
+  }
+  return out;
+}
+
+bool Sst::Contains(const Subspace& s) const {
+  return InFixed(s) || cs_.Contains(s) || os_.Contains(s);
+}
+
+std::size_t Sst::TotalSize() const { return AllSubspaces().size(); }
+
+std::string Sst::Summary() const {
+  std::ostringstream os;
+  os << "SST: " << TotalSize() << " distinct subspaces\n";
+  os << "  FS (" << fs_.size() << ")\n";
+  os << "  CS (" << cs_.size() << "):";
+  for (const auto& ss : cs_.Ranked()) {
+    os << " " << ss.subspace.ToString();
+  }
+  os << "\n  OS (" << os_.size() << "):";
+  for (const auto& ss : os_.Ranked()) {
+    os << " " << ss.subspace.ToString();
+  }
+  os << "\n";
+  return os.str();
+}
+
+}  // namespace spot

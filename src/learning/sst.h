@@ -1,0 +1,74 @@
+#ifndef SPOT_LEARNING_SST_H_
+#define SPOT_LEARNING_SST_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "subspace/subspace.h"
+#include "subspace/subspace_set.h"
+
+namespace spot {
+
+/// Which SST subset a subspace belongs to.
+enum class SstSubset { kFixed, kClustering, kOutlierDriven };
+
+/// Sparse Subspace Template (paper, Section II-C): the set of subspaces in
+/// which every streaming point is checked for outlier-ness. Union of three
+/// mutually supplementing subsets:
+///
+///  * FS — Fixed SST Subspaces: the full lattice up to MaxDimension.
+///    Static; guarantees low-dimensional coverage.
+///  * CS — Clustering-based SST Subspaces: top sparse subspaces of the most
+///    outlying training points (unsupervised learning). Capacity-bounded,
+///    re-ranked and regenerated online (self-evolution).
+///  * OS — Outlier-driven SST Subspaces: top sparse subspaces of expert-
+///    provided outlier examples, and of every outlier detected online.
+///    Capacity-bounded with worst-score eviction.
+class Sst {
+ public:
+  Sst(std::size_t cs_capacity, std::size_t os_capacity);
+
+  /// Replaces FS wholesale (built once from the lattice).
+  void SetFixed(std::vector<Subspace> fs);
+
+  /// Inserts into CS with a sparsity score (lower = better); evicts the
+  /// worst member when over capacity. No-op for subspaces already in FS.
+  void AddClustering(const Subspace& s, double score);
+
+  /// Inserts into OS with a sparsity score; eviction as above. No-op for
+  /// subspaces already in FS.
+  void AddOutlierDriven(const Subspace& s, double score);
+
+  /// Clears CS (used when drift forces relearning).
+  void ClearClustering();
+
+  /// Every distinct subspace of FS ∪ CS ∪ OS.
+  std::vector<Subspace> AllSubspaces() const;
+
+  /// True when `s` is in any subset.
+  bool Contains(const Subspace& s) const;
+
+  const std::vector<Subspace>& fixed() const { return fs_; }
+  const RankedSubspaceSet& clustering() const { return cs_; }
+  const RankedSubspaceSet& outlier_driven() const { return os_; }
+
+  /// Mutable access for re-ranking during self-evolution.
+  RankedSubspaceSet& mutable_clustering() { return cs_; }
+
+  std::size_t TotalSize() const;
+
+  /// Multi-line human-readable summary.
+  std::string Summary() const;
+
+ private:
+  bool InFixed(const Subspace& s) const;
+
+  std::vector<Subspace> fs_;
+  RankedSubspaceSet cs_;
+  RankedSubspaceSet os_;
+};
+
+}  // namespace spot
+
+#endif  // SPOT_LEARNING_SST_H_

@@ -1,0 +1,106 @@
+#include "learning/supervised.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/rng.h"
+#include "moga/moga_search.h"
+#include "moga/objectives.h"
+
+namespace spot {
+
+namespace {
+
+// Projects rows onto the listed attributes (identity when dims is empty).
+std::vector<std::vector<double>> ProjectRows(
+    const std::vector<std::vector<double>>& rows, const std::vector<int>& dims) {
+  if (dims.empty()) return rows;
+  std::vector<std::vector<double>> out;
+  out.reserve(rows.size());
+  for (const auto& row : rows) {
+    std::vector<double> r;
+    r.reserve(dims.size());
+    for (int d : dims) r.push_back(row[static_cast<std::size_t>(d)]);
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<ScoredSubspace> LearnOutlierDrivenSubspaces(
+    const std::vector<std::vector<double>>& training_data,
+    const Partition& partition, const DomainKnowledge& knowledge,
+    const SupervisedConfig& config, std::uint64_t seed) {
+  std::vector<ScoredSubspace> out;
+  if (training_data.empty() || knowledge.outlier_examples.empty()) return out;
+  Rng rng(seed);
+
+  // Attribute-relevance restriction: remap the problem onto the relevant
+  // attributes, search there, then map discovered subspaces back.
+  std::vector<int> relevant = knowledge.relevant_attributes;
+  std::sort(relevant.begin(), relevant.end());
+  relevant.erase(std::unique(relevant.begin(), relevant.end()),
+                 relevant.end());
+  const bool restricted = !relevant.empty();
+
+  std::vector<int> dims;  // reduced index -> original attribute
+  if (restricted) {
+    dims = relevant;
+  } else {
+    dims.resize(static_cast<std::size_t>(partition.num_dims()));
+    for (std::size_t i = 0; i < dims.size(); ++i) dims[i] = static_cast<int>(i);
+  }
+
+  std::vector<double> lo;
+  std::vector<double> hi;
+  lo.reserve(dims.size());
+  hi.reserve(dims.size());
+  for (int d : dims) {
+    lo.push_back(partition.lo(d));
+    hi.push_back(partition.hi(d));
+  }
+  const Partition reduced_partition(lo, hi, partition.cells_per_dim());
+  const std::vector<std::vector<double>> reduced_training =
+      restricted ? ProjectRows(training_data, dims) : training_data;
+
+  Nsga2Config moga_cfg = config.moga;
+  moga_cfg.num_dims = static_cast<int>(dims.size());
+  moga_cfg.max_dimension = std::min(moga_cfg.max_dimension,
+                                    static_cast<int>(dims.size()));
+
+  // Best score per discovered subspace across all examples.
+  std::unordered_map<Subspace, double, SubspaceHash> best;
+
+  for (const auto& example : knowledge.outlier_examples) {
+    std::vector<std::vector<double>> batch = reduced_training;
+    batch.push_back(restricted
+                        ? ProjectRows({example}, dims).front()
+                        : example);
+    const std::vector<std::size_t> target = {batch.size() - 1};
+    BatchSparsityObjectives obj(&reduced_partition, &batch, target);
+    moga_cfg.seed = rng.NextUint64();
+    MogaSearch search(moga_cfg, &obj);
+    for (const auto& ss :
+         search.FindTopSparse(config.top_subspaces_per_example)) {
+      // Map reduced attribute indices back to original ones.
+      Subspace mapped;
+      for (int i : ss.subspace.Indices()) {
+        mapped.Add(dims[static_cast<std::size_t>(i)]);
+      }
+      auto it = best.find(mapped);
+      if (it == best.end() || ss.score < it->second) best[mapped] = ss.score;
+    }
+  }
+
+  out.reserve(best.size());
+  for (const auto& [subspace, score] : best) out.push_back({subspace, score});
+  std::sort(out.begin(), out.end(),
+            [](const ScoredSubspace& a, const ScoredSubspace& b) {
+              if (a.score != b.score) return a.score < b.score;
+              return a.subspace < b.subspace;
+            });
+  return out;
+}
+
+}  // namespace spot

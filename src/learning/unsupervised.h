@@ -1,0 +1,49 @@
+#ifndef SPOT_LEARNING_UNSUPERVISED_H_
+#define SPOT_LEARNING_UNSUPERVISED_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "grid/partition.h"
+#include "learning/outlying_degree.h"
+#include "learning/sst.h"
+#include "moga/nsga2.h"
+#include "subspace/subspace_set.h"
+
+namespace spot {
+
+/// Knobs of the unsupervised learning pipeline.
+struct UnsupervisedConfig {
+  /// NSGA-II budget for each MOGA invocation.
+  Nsga2Config moga;
+
+  /// Outlying-degree scoring knobs.
+  OutlyingDegreeConfig outlying_degree;
+
+  /// How many of the most outlying training points get a dedicated MOGA
+  /// run (their sparse subspaces seed CS).
+  std::size_t top_outlying_points = 10;
+
+  /// Sparse subspaces kept per MOGA run.
+  std::size_t top_subspaces_per_run = 8;
+};
+
+/// The paper's unsupervised learning process (Section II-C1):
+///
+///  1. run MOGA on the whole (unlabeled) training batch to find its top
+///     sparse subspaces;
+///  2. lead-cluster the training data under several random orders and score
+///     every point's overall outlying degree;
+///  3. re-run MOGA targeted at the top outlying points; the union of sparse
+///     subspaces found becomes the CS subset of the SST.
+///
+/// Returns the scored CS candidates (lowest score = sparsest first).
+/// `partition` must already cover the training data's domain.
+std::vector<ScoredSubspace> LearnClusteringSubspaces(
+    const std::vector<std::vector<double>>& training_data,
+    const Partition& partition, const UnsupervisedConfig& config,
+    std::uint64_t seed);
+
+}  // namespace spot
+
+#endif  // SPOT_LEARNING_UNSUPERVISED_H_

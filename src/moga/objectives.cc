@@ -1,0 +1,120 @@
+#include "moga/objectives.h"
+
+#include <cmath>
+
+#include "grid/pcs.h"
+
+namespace spot {
+
+bool Dominates(const ObjectiveVector& a, const ObjectiveVector& b) {
+  bool strictly_better = false;
+  for (std::size_t i = 0; i < a.values.size(); ++i) {
+    if (a.values[i] > b.values[i]) return false;
+    if (a.values[i] < b.values[i]) strictly_better = true;
+  }
+  return strictly_better;
+}
+
+BatchSparsityObjectives::BatchSparsityObjectives(
+    const Partition* partition, const std::vector<std::vector<double>>* data,
+    std::vector<std::size_t> targets)
+    : partition_(partition), data_(data), targets_(std::move(targets)) {
+  if (targets_.empty()) {
+    targets_.resize(data_->size());
+    for (std::size_t i = 0; i < targets_.size(); ++i) targets_[i] = i;
+  }
+}
+
+const ObjectiveVector& BatchSparsityObjectives::EvaluateCached(
+    const Subspace& s) {
+  auto it = cache_.find(s);
+  if (it != cache_.end()) return it->second;
+  ++eval_count_;
+
+  const std::vector<int> dims = s.Indices();
+  struct CellAgg {
+    double count = 0.0;
+    std::vector<double> ls;
+    std::vector<double> ss;
+  };
+  std::unordered_map<CellCoords, CellAgg, CellCoordsHash> hist;
+
+  // Pass 1: histogram of the whole batch in subspace s.
+  std::vector<CellCoords> point_cells;
+  point_cells.reserve(data_->size());
+  for (const auto& row : *data_) {
+    CellCoords coords;
+    coords.reserve(dims.size());
+    for (int d : dims) {
+      coords.push_back(
+          partition_->IntervalIndex(d, row[static_cast<std::size_t>(d)]));
+    }
+    auto [cit, inserted] = hist.try_emplace(coords);
+    CellAgg& cell = cit->second;
+    if (inserted) {
+      cell.ls.assign(dims.size(), 0.0);
+      cell.ss.assign(dims.size(), 0.0);
+    }
+    cell.count += 1.0;
+    for (std::size_t i = 0; i < dims.size(); ++i) {
+      const double v = row[static_cast<std::size_t>(dims[i])];
+      cell.ls[i] += v;
+      cell.ss[i] += v * v;
+    }
+    point_cells.push_back(std::move(coords));
+  }
+
+  // Pass 2: average RD / IRSD over the target points' cells. RD uses the
+  // same count-weighted-average reference as the online PCS:
+  // RD = count * N / sum(count_i^2).
+  const double total = static_cast<double>(data_->size());
+  double sumsq = 0.0;
+  for (const auto& [coords, cell] : hist) sumsq += cell.count * cell.count;
+  if (sumsq <= 0.0) sumsq = 1.0;
+  double rd_sum = 0.0;
+  double irsd_sum = 0.0;
+  for (std::size_t t : targets_) {
+    const CellAgg& cell = hist.at(point_cells[t]);
+    rd_sum += cell.count * total / sumsq;
+    if (cell.count >= 2.0) {
+      double acc = 0.0;
+      for (std::size_t i = 0; i < dims.size(); ++i) {
+        const double mean = cell.ls[i] / cell.count;
+        const double var = cell.ss[i] / cell.count - mean * mean;
+        const double sigma = var > 0.0 ? std::sqrt(var) : 0.0;
+        const double su =
+            partition_->CellWidth(dims[i]) / std::sqrt(12.0);
+        const double ratio = su / (sigma + 0.01 * su);
+        acc += ratio > Pcs::kIrsdCap ? Pcs::kIrsdCap : ratio;
+      }
+      irsd_sum += acc / static_cast<double>(dims.size());
+    }
+    // count < 2: IRSD contribution is 0 (maximally sparse).
+  }
+  const double n_targets = static_cast<double>(targets_.size());
+
+  ObjectiveVector obj;
+  obj.values = {rd_sum / n_targets, irsd_sum / n_targets,
+                static_cast<double>(s.Dimension())};
+  auto [rit, ok] = cache_.emplace(s, std::move(obj));
+  return rit->second;
+}
+
+ObjectiveVector BatchSparsityObjectives::Evaluate(const Subspace& s) {
+  return EvaluateCached(s);
+}
+
+double BatchSparsityObjectives::SparsityScore(const Subspace& s) {
+  const ObjectiveVector& obj = EvaluateCached(s);
+  return obj.values[0] + obj.values[1];
+}
+
+void BatchSparsityObjectives::AppendEvaluated(
+    std::vector<std::pair<Subspace, double>>* out) {
+  out->reserve(out->size() + cache_.size());
+  for (const auto& [subspace, obj] : cache_) {
+    out->emplace_back(subspace, obj.values[0] + obj.values[1]);
+  }
+}
+
+}  // namespace spot

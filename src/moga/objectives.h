@@ -1,0 +1,91 @@
+#ifndef SPOT_MOGA_OBJECTIVES_H_
+#define SPOT_MOGA_OBJECTIVES_H_
+
+#include <cstddef>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "grid/partition.h"
+#include "subspace/subspace.h"
+
+namespace spot {
+
+/// A vector of objective values, all to be *minimized*.
+struct ObjectiveVector {
+  std::vector<double> values;
+};
+
+/// Pareto dominance: `a` dominates `b` iff a is no worse in every objective
+/// and strictly better in at least one (minimization).
+bool Dominates(const ObjectiveVector& a, const ObjectiveVector& b);
+
+/// Interface the genetic search optimizes against. SPOT uses "multiple
+/// measurements" of outlier-ness (paper, Section III): implementations
+/// return one value per criterion.
+class SubspaceObjectives {
+ public:
+  virtual ~SubspaceObjectives() = default;
+
+  /// Objective values of candidate subspace `s` (lower = sparser = better).
+  virtual ObjectiveVector Evaluate(const Subspace& s) = 0;
+
+  virtual int num_objectives() const = 0;
+
+  /// Scalarized sparsity score used for ranking SST members
+  /// (RD-mean + IRSD-mean; dimension excluded). Lower is sparser.
+  virtual double SparsityScore(const Subspace& s) = 0;
+
+  /// Appends every subspace this object has evaluated so far, with its
+  /// sparsity score — the search archive. Implementations without a memo
+  /// table may leave this empty; MogaSearch then ranks only the final
+  /// population.
+  virtual void AppendEvaluated(std::vector<std::pair<Subspace, double>>* out) {
+    (void)out;
+  }
+};
+
+/// Sparsity objectives of a candidate subspace measured over a static batch
+/// of points (the learning stage's training data, or the detection stage's
+/// reservoir sample during self-evolution).
+///
+/// Objectives, all minimized:
+///   f1 = mean over target points of RD of the point's projected cell
+///   f2 = mean over target points of IRSD of the point's projected cell
+///   f3 = |s| (prefer low-dimensional, interpretable outlying subspaces)
+///
+/// RD / IRSD use the same definitions as the online PCS (DESIGN.md 3.3),
+/// computed over an un-decayed histogram of the batch. Evaluations are
+/// memoized: MOGA revisits subspaces freely at no extra cost.
+class BatchSparsityObjectives : public SubspaceObjectives {
+ public:
+  /// `partition` and `data` must outlive this object. `targets` restricts
+  /// the points whose sparsity is averaged (empty = all points); the
+  /// histogram is always built from the whole batch.
+  BatchSparsityObjectives(const Partition* partition,
+                          const std::vector<std::vector<double>>* data,
+                          std::vector<std::size_t> targets = {});
+
+  ObjectiveVector Evaluate(const Subspace& s) override;
+  int num_objectives() const override { return 3; }
+  double SparsityScore(const Subspace& s) override;
+  void AppendEvaluated(
+      std::vector<std::pair<Subspace, double>>* out) override;
+
+  /// Number of distinct subspaces evaluated so far (memoization hits do not
+  /// count). Reported by the MOGA-vs-exhaustive experiment.
+  std::size_t evaluation_count() const { return eval_count_; }
+
+ private:
+  const ObjectiveVector& EvaluateCached(const Subspace& s);
+
+  const Partition* partition_;
+  const std::vector<std::vector<double>>* data_;
+  std::vector<std::size_t> targets_;
+  std::unordered_map<Subspace, ObjectiveVector, SubspaceHash> cache_;
+  std::size_t eval_count_ = 0;
+};
+
+}  // namespace spot
+
+#endif  // SPOT_MOGA_OBJECTIVES_H_

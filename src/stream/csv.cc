@@ -1,0 +1,103 @@
+#include "stream/csv.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace spot {
+namespace stream {
+
+namespace {
+
+// Splits a CSV line on commas (no quoting support — numeric exports) and
+// trims surrounding whitespace from each field.
+std::vector<std::string> SplitFields(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  std::stringstream ss(line);
+  while (std::getline(ss, field, ',')) {
+    const std::size_t begin = field.find_first_not_of(" \t\r");
+    const std::size_t end = field.find_last_not_of(" \t\r");
+    fields.push_back(begin == std::string::npos
+                         ? std::string()
+                         : field.substr(begin, end - begin + 1));
+  }
+  return fields;
+}
+
+bool ParseRow(const std::vector<std::string>& fields,
+              std::vector<double>* out) {
+  out->clear();
+  out->reserve(fields.size());
+  for (const auto& f : fields) {
+    if (f.empty()) return false;
+    char* end = nullptr;
+    const double v = std::strtod(f.c_str(), &end);
+    if (end == f.c_str() || *end != '\0') return false;
+    out->push_back(v);
+  }
+  return !out->empty();
+}
+
+}  // namespace
+
+CsvParseResult ParseCsv(std::istream& in) {
+  CsvParseResult result;
+  std::string line;
+  bool first_content_line = true;
+  std::size_t width = 0;
+  std::vector<double> row;
+
+  while (std::getline(in, line)) {
+    if (line.find_first_not_of(" \t\r") == std::string::npos) {
+      ++result.skipped_lines;
+      continue;
+    }
+    const std::vector<std::string> fields = SplitFields(line);
+    const bool ok = ParseRow(fields, &row);
+    if (first_content_line) {
+      first_content_line = false;
+      if (!ok) {
+        result.column_names = fields;  // header
+        continue;
+      }
+    }
+    if (!ok || (width != 0 && row.size() != width)) {
+      ++result.skipped_lines;
+      continue;
+    }
+    width = row.size();
+    result.rows.push_back(row);
+  }
+  return result;
+}
+
+CsvParseResult ParseCsvString(const std::string& text) {
+  std::istringstream in(text);
+  return ParseCsv(in);
+}
+
+CsvParseResult LoadCsvFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) return CsvParseResult{};
+  return ParseCsv(in);
+}
+
+CsvSource::CsvSource(CsvParseResult parsed) : parsed_(std::move(parsed)) {}
+
+std::optional<LabeledPoint> CsvSource::Next() {
+  if (pos_ >= parsed_.rows.size()) return std::nullopt;
+  LabeledPoint lp;
+  lp.point.id = pos_;
+  lp.point.values = parsed_.rows[pos_];
+  ++pos_;
+  return lp;
+}
+
+int CsvSource::dimension() const {
+  return parsed_.rows.empty() ? 0
+                              : static_cast<int>(parsed_.rows.front().size());
+}
+
+}  // namespace stream
+}  // namespace spot

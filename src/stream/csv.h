@@ -1,0 +1,65 @@
+#ifndef SPOT_STREAM_CSV_H_
+#define SPOT_STREAM_CSV_H_
+
+#include <istream>
+#include <string>
+#include <vector>
+
+#include "stream/data_point.h"
+
+namespace spot {
+namespace stream {
+
+/// Result of parsing a numeric CSV document.
+struct CsvParseResult {
+  /// Parsed numeric rows (all the same width).
+  std::vector<std::vector<double>> rows;
+
+  /// Column names when the document had a non-numeric header line.
+  std::vector<std::string> column_names;
+
+  /// Input lines dropped because they were empty, ragged, or non-numeric.
+  std::size_t skipped_lines = 0;
+};
+
+/// Parses comma-separated numeric data from a stream.
+///
+/// The first line is treated as a header (captured into `column_names`)
+/// when any of its fields fails to parse as a number. Rows whose width
+/// disagrees with the first accepted row, or that contain non-numeric
+/// fields, are counted in `skipped_lines` and dropped — a pragmatic policy
+/// for real-world exports with trailing junk.
+CsvParseResult ParseCsv(std::istream& in);
+
+/// Convenience overload over an in-memory document.
+CsvParseResult ParseCsvString(const std::string& text);
+
+/// Loads a CSV file; returns an empty result (rows empty, skipped 0) when
+/// the file cannot be opened.
+CsvParseResult LoadCsvFile(const std::string& path);
+
+/// StreamSource over parsed CSV rows (unlabeled: is_outlier is false for
+/// every point; use the evaluation harness only with labeled sources).
+class CsvSource : public StreamSource {
+ public:
+  explicit CsvSource(CsvParseResult parsed);
+
+  std::optional<LabeledPoint> Next() override;
+  int dimension() const override;
+  std::string name() const override { return "csv"; }
+
+  void Reset() { pos_ = 0; }
+  std::size_t size() const { return parsed_.rows.size(); }
+  const std::vector<std::string>& column_names() const {
+    return parsed_.column_names;
+  }
+
+ private:
+  CsvParseResult parsed_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace stream
+}  // namespace spot
+
+#endif  // SPOT_STREAM_CSV_H_

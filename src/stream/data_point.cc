@@ -1,0 +1,24 @@
+#include "stream/data_point.h"
+
+namespace spot {
+
+std::vector<LabeledPoint> Take(StreamSource& source, std::size_t count) {
+  std::vector<LabeledPoint> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    std::optional<LabeledPoint> p = source.Next();
+    if (!p.has_value()) break;
+    out.push_back(std::move(*p));
+  }
+  return out;
+}
+
+std::vector<std::vector<double>> ValuesOf(
+    const std::vector<LabeledPoint>& pts) {
+  std::vector<std::vector<double>> out;
+  out.reserve(pts.size());
+  for (const auto& p : pts) out.push_back(p.point.values);
+  return out;
+}
+
+}  // namespace spot

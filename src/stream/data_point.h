@@ -1,0 +1,67 @@
+#ifndef SPOT_STREAM_DATA_POINT_H_
+#define SPOT_STREAM_DATA_POINT_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "subspace/subspace.h"
+
+namespace spot {
+
+/// One streaming observation: a dense numeric attribute vector plus a
+/// monotonically increasing arrival id (which doubles as the tick of the
+/// (omega, epsilon) time model).
+struct DataPoint {
+  std::uint64_t id = 0;
+  std::vector<double> values;
+
+  int dimension() const { return static_cast<int>(values.size()); }
+};
+
+/// A stream observation with generator-side ground truth attached. The
+/// truth fields are used only by the evaluation harness — detectors never
+/// see them.
+struct LabeledPoint {
+  DataPoint point;
+
+  /// True when the generator planted this point as a projected outlier.
+  bool is_outlier = false;
+
+  /// The subspace in which the planted outlier is anomalous (empty for
+  /// regular points or when not applicable).
+  Subspace outlying_subspace;
+
+  /// Generator-specific class label (e.g. attack category); 0 = normal.
+  int category = 0;
+};
+
+/// Abstract pull-based source of labeled stream data.
+///
+/// Sources are single-pass by contract, matching the paper's streaming
+/// constraint; those that can rewind expose Reset().
+class StreamSource {
+ public:
+  virtual ~StreamSource() = default;
+
+  /// Next point, or nullopt when the source is exhausted.
+  virtual std::optional<LabeledPoint> Next() = 0;
+
+  /// Attribute count of every emitted point.
+  virtual int dimension() const = 0;
+
+  /// Human-readable source name for reports.
+  virtual std::string name() const = 0;
+};
+
+/// Pulls up to `count` points into a vector (fewer if the source ends).
+std::vector<LabeledPoint> Take(StreamSource& source, std::size_t count);
+
+/// Strips labels, keeping only the raw points (e.g. to build an unlabeled
+/// training batch for unsupervised learning).
+std::vector<std::vector<double>> ValuesOf(const std::vector<LabeledPoint>& pts);
+
+}  // namespace spot
+
+#endif  // SPOT_STREAM_DATA_POINT_H_

@@ -1,0 +1,113 @@
+#include "stream/drift.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_util.h"
+
+namespace spot {
+namespace stream {
+
+DriftingStream::DriftingStream(const DriftConfig& config)
+    : config_(config), rng_(config.base.seed) {
+  RedrawCenters();
+}
+
+void DriftingStream::RedrawCenters() {
+  const std::size_t k = static_cast<std::size_t>(config_.base.num_clusters);
+  const std::size_t dims = static_cast<std::size_t>(config_.base.dimension);
+  centers_.assign(k, std::vector<double>(dims, 0.0));
+  velocities_.assign(k, std::vector<double>(dims, 0.0));
+  for (std::size_t c = 0; c < k; ++c) {
+    for (std::size_t d = 0; d < dims; ++d) {
+      centers_[c][d] = rng_.NextDouble(0.15, 0.85);
+      velocities_[c][d] = rng_.NextGaussian() * config_.drift_rate;
+    }
+  }
+}
+
+std::vector<double> DriftingStream::SampleNormalPoint() {
+  const std::size_t c =
+      static_cast<std::size_t>(rng_.NextUint64(centers_.size()));
+  std::vector<double> v(centers_[c].size());
+  for (std::size_t d = 0; d < v.size(); ++d) {
+    v[d] = Clamp(
+        rng_.NextGaussian(centers_[c][d], config_.base.cluster_stddev), 0.0,
+        1.0);
+  }
+  return v;
+}
+
+LabeledPoint DriftingStream::MakeOutlier() {
+  LabeledPoint lp;
+  lp.is_outlier = true;
+  lp.category = 1;
+  lp.point.values = SampleNormalPoint();
+  const int max_dim =
+      std::min(config_.base.max_outlier_subspace_dim, config_.base.dimension);
+  const int dim_count =
+      rng_.NextInt(config_.base.min_outlier_subspace_dim, std::max(1, max_dim));
+  std::vector<std::size_t> dims = rng_.SampleIndices(
+      static_cast<std::size_t>(config_.base.dimension),
+      static_cast<std::size_t>(std::max(1, dim_count)));
+  const double shift =
+      config_.base.outlier_displacement * config_.base.cluster_stddev;
+  for (std::size_t d : dims) {
+    lp.outlying_subspace.Add(static_cast<int>(d));
+    auto min_gap = [&](double value) {
+      double gap = 1.0;
+      for (const auto& center : centers_) {
+        gap = std::min(gap, std::fabs(value - center[d]));
+      }
+      return gap;
+    };
+    double best = 0.0;
+    double best_gap = min_gap(0.0);
+    if (min_gap(1.0) > best_gap) {
+      best = 1.0;
+      best_gap = min_gap(1.0);
+    }
+    for (int attempt = 0; attempt < 64 && best_gap < shift; ++attempt) {
+      const double candidate = rng_.NextDouble();
+      const double gap = min_gap(candidate);
+      if (gap > best_gap) {
+        best = candidate;
+        best_gap = gap;
+      }
+    }
+    lp.point.values[d] = best;
+  }
+  return lp;
+}
+
+std::optional<LabeledPoint> DriftingStream::Next() {
+  // Advance the concept.
+  if (config_.kind == DriftKind::kGradual) {
+    for (std::size_t c = 0; c < centers_.size(); ++c) {
+      for (std::size_t d = 0; d < centers_[c].size(); ++d) {
+        centers_[c][d] += velocities_[c][d];
+        // Bounce off a safety margin so clusters stay inside the domain.
+        if (centers_[c][d] < 0.1 || centers_[c][d] > 0.9) {
+          velocities_[c][d] = -velocities_[c][d];
+          centers_[c][d] = Clamp(centers_[c][d], 0.1, 0.9);
+        }
+      }
+    }
+  } else if (config_.period != 0 && next_id_ != 0 &&
+             next_id_ % config_.period == 0) {
+    RedrawCenters();
+    ++concept_switches_;
+  }
+
+  LabeledPoint lp;
+  if (rng_.NextBernoulli(config_.base.outlier_probability)) {
+    lp = MakeOutlier();
+  } else {
+    lp.point.values = SampleNormalPoint();
+  }
+  lp.point.id = next_id_++;
+  return lp;
+}
+
+}  // namespace stream
+}  // namespace spot

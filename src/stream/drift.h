@@ -1,0 +1,69 @@
+#ifndef SPOT_STREAM_DRIFT_H_
+#define SPOT_STREAM_DRIFT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "stream/data_point.h"
+#include "stream/synthetic.h"
+
+namespace spot {
+namespace stream {
+
+/// How the underlying concept changes over the stream.
+enum class DriftKind {
+  /// Cluster centers move continuously (incremental drift).
+  kGradual,
+  /// The whole cluster configuration is re-drawn every `period` points
+  /// (sudden drift / concept replacement).
+  kAbrupt,
+};
+
+/// Configuration of the drifting stream.
+struct DriftConfig {
+  SyntheticConfig base;
+  DriftKind kind = DriftKind::kGradual;
+
+  /// Gradual: per-point center displacement magnitude.
+  double drift_rate = 2e-5;
+
+  /// Abrupt: points between concept replacements.
+  std::uint64_t period = 10000;
+};
+
+/// Gaussian-mixture stream whose concept drifts over time — the workload
+/// behind the paper's self-evolution / concept-drift claims. Ground-truth
+/// projected outliers are planted exactly as in GaussianStream, relative to
+/// the *current* concept.
+class DriftingStream : public StreamSource {
+ public:
+  explicit DriftingStream(const DriftConfig& config);
+
+  std::optional<LabeledPoint> Next() override;
+  int dimension() const override { return config_.base.dimension; }
+  std::string name() const override { return "drifting-gaussian"; }
+
+  /// Number of abrupt concept switches that have occurred so far.
+  std::uint64_t concept_switches() const { return concept_switches_; }
+
+  const std::vector<std::vector<double>>& centers() const { return centers_; }
+
+ private:
+  void RedrawCenters();
+  std::vector<double> SampleNormalPoint();
+  LabeledPoint MakeOutlier();
+
+  DriftConfig config_;
+  Rng rng_;
+  std::vector<std::vector<double>> centers_;
+  std::vector<std::vector<double>> velocities_;  // gradual drift directions
+  std::uint64_t next_id_ = 0;
+  std::uint64_t concept_switches_ = 0;
+};
+
+}  // namespace stream
+}  // namespace spot
+
+#endif  // SPOT_STREAM_DRIFT_H_

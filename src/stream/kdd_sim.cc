@@ -1,0 +1,194 @@
+#include "stream/kdd_sim.h"
+
+#include <array>
+#include <cmath>
+
+#include "common/math_util.h"
+
+namespace spot {
+namespace stream {
+
+namespace {
+
+// Feature layout (all values normalized to [0, 1]):
+//   0 duration          1 src_bytes         2 dst_bytes        3 wrong_frag
+//   4 urgent            5 hot               6 failed_logins    7 logged_in
+//   8 num_compromised   9 root_shell       10 su_attempted    11 num_root
+//  12 file_creations   13 num_shells      14 access_files    15 outbound_cmds
+//  16 is_host_login    17 is_guest_login  18 conn_count      19 srv_count
+//  20 serror_rate      21 srv_serror_rate 22 rerror_rate     23 srv_rerror_rate
+//  24 same_srv_rate    25 diff_srv_rate   26 srv_diff_host   27 dst_host_count
+//  28 dst_host_srv     29 dst_same_srv    30 dst_diff_srv    31 dst_same_port
+//  32 dst_srv_diff_host 33 dst_serror     34 dst_srv_serror  35 dst_rerror
+//  36 dst_srv_rerror   37 srv_rate
+constexpr std::array<const char*, KddSimulator::kNumFeatures> kFeatureNames = {
+    "duration",        "src_bytes",       "dst_bytes",      "wrong_frag",
+    "urgent",          "hot",             "failed_logins",  "logged_in",
+    "num_compromised", "root_shell",      "su_attempted",   "num_root",
+    "file_creations",  "num_shells",      "access_files",   "outbound_cmds",
+    "is_host_login",   "is_guest_login",  "conn_count",     "srv_count",
+    "serror_rate",     "srv_serror_rate", "rerror_rate",    "srv_rerror_rate",
+    "same_srv_rate",   "diff_srv_rate",   "srv_diff_host",  "dst_host_count",
+    "dst_host_srv",    "dst_same_srv",    "dst_diff_srv",   "dst_same_port",
+    "dst_srv_diff_host", "dst_serror",    "dst_srv_serror", "dst_rerror",
+    "dst_srv_rerror",  "srv_rate"};
+
+// Characteristic subspaces per category. Each is low-dimensional (2-4
+// attributes), per the projected-outlier premise.
+const std::vector<int> kDosDims = {18, 19, 20, 21};   // counts + syn-error rates
+const std::vector<int> kProbeDims = {25, 30, 31};     // diff-service rates
+const std::vector<int> kR2lDims = {6, 17};            // failed logins, guest
+const std::vector<int> kU2rDims = {9, 12, 13};        // root shell, files, shells
+
+}  // namespace
+
+std::string AttackCategoryName(AttackCategory c) {
+  switch (c) {
+    case AttackCategory::kNormal:
+      return "normal";
+    case AttackCategory::kDos:
+      return "dos";
+    case AttackCategory::kProbe:
+      return "probe";
+    case AttackCategory::kR2l:
+      return "r2l";
+    case AttackCategory::kU2r:
+      return "u2r";
+  }
+  return "?";
+}
+
+Subspace KddSimulator::CategorySubspace(AttackCategory c) {
+  switch (c) {
+    case AttackCategory::kNormal:
+      return Subspace();
+    case AttackCategory::kDos:
+      return Subspace::FromIndices(kDosDims);
+    case AttackCategory::kProbe:
+      return Subspace::FromIndices(kProbeDims);
+    case AttackCategory::kR2l:
+      return Subspace::FromIndices(kR2lDims);
+    case AttackCategory::kU2r:
+      return Subspace::FromIndices(kU2rDims);
+  }
+  return Subspace();
+}
+
+std::string KddSimulator::FeatureName(int index) {
+  if (index < 0 || index >= kNumFeatures) return "?";
+  return kFeatureNames[static_cast<std::size_t>(index)];
+}
+
+KddSimulator::KddSimulator(const KddConfig& config)
+    : config_(config), rng_(config.seed) {}
+
+std::vector<double> KddSimulator::SampleNormal() {
+  std::vector<double> f(kNumFeatures, 0.0);
+  // Three service profiles: web (short, bursty), mail (medium), dns (tiny).
+  const int profile = static_cast<int>(rng_.NextUint64(3));
+  auto g = [&](double mean, double sd) {
+    return Clamp(rng_.NextGaussian(mean, sd), 0.0, 1.0);
+  };
+  switch (profile) {
+    case 0:  // web
+      f[0] = g(0.05, 0.02);   // duration
+      f[1] = g(0.30, 0.08);   // src_bytes
+      f[2] = g(0.45, 0.10);   // dst_bytes
+      f[7] = 1.0;             // logged_in
+      f[18] = g(0.25, 0.05);  // conn_count
+      f[19] = g(0.25, 0.05);  // srv_count
+      f[24] = g(0.85, 0.05);  // same_srv_rate
+      break;
+    case 1:  // mail
+      f[0] = g(0.15, 0.04);
+      f[1] = g(0.40, 0.08);
+      f[2] = g(0.20, 0.06);
+      f[7] = 1.0;
+      f[18] = g(0.15, 0.04);
+      f[19] = g(0.15, 0.04);
+      f[24] = g(0.75, 0.06);
+      break;
+    default:  // dns
+      f[0] = g(0.01, 0.005);
+      f[1] = g(0.05, 0.02);
+      f[2] = g(0.05, 0.02);
+      f[18] = g(0.35, 0.06);
+      f[19] = g(0.35, 0.06);
+      f[24] = g(0.90, 0.04);
+      break;
+  }
+  // Shared low-level noise on the remaining rate features.
+  for (int i : {20, 21, 22, 23, 25, 26, 37}) {
+    f[static_cast<std::size_t>(i)] = g(0.05, 0.02);
+  }
+  for (int i = 27; i <= 36; ++i) {
+    f[static_cast<std::size_t>(i)] = g(0.20, 0.06);
+  }
+  // Rare-but-benign flags.
+  f[5] = rng_.NextBernoulli(0.02) ? g(0.2, 0.05) : 0.0;  // hot
+  f[6] = rng_.NextBernoulli(0.01) ? g(0.1, 0.03) : 0.0;  // failed_logins
+  return f;
+}
+
+LabeledPoint KddSimulator::SampleAttack(AttackCategory c) {
+  LabeledPoint lp;
+  lp.is_outlier = true;
+  lp.category = static_cast<int>(c);
+  lp.outlying_subspace = CategorySubspace(c);
+  lp.point.values = SampleNormal();  // attack hides inside normal traffic
+  auto g = [&](double mean, double sd) {
+    return Clamp(rng_.NextGaussian(mean, sd), 0.0, 1.0);
+  };
+  std::vector<double>& f = lp.point.values;
+  switch (c) {
+    case AttackCategory::kDos:
+      f[18] = g(0.95, 0.03);  // conn_count saturated
+      f[19] = g(0.95, 0.03);  // srv_count saturated
+      f[20] = g(0.90, 0.05);  // serror_rate
+      f[21] = g(0.90, 0.05);  // srv_serror_rate
+      break;
+    case AttackCategory::kProbe:
+      f[25] = g(0.92, 0.04);  // diff_srv_rate: touches many services
+      f[30] = g(0.90, 0.05);  // dst_diff_srv
+      f[31] = g(0.02, 0.01);  // dst_same_port: never repeats a port
+      break;
+    case AttackCategory::kR2l:
+      f[6] = g(0.85, 0.06);   // failed_logins spike
+      f[17] = 1.0;            // is_guest_login
+      break;
+    case AttackCategory::kU2r:
+      f[9] = 1.0;             // root_shell obtained
+      f[12] = g(0.80, 0.08);  // file_creations
+      f[13] = g(0.75, 0.08);  // num_shells
+      break;
+    case AttackCategory::kNormal:
+      lp.is_outlier = false;
+      lp.outlying_subspace = Subspace();
+      break;
+  }
+  return lp;
+}
+
+std::optional<LabeledPoint> KddSimulator::Next() {
+  LabeledPoint lp;
+  if (rng_.NextBernoulli(config_.attack_fraction)) {
+    // dos : probe : r2l : u2r = 8 : 4 : 2 : 1.
+    const std::uint64_t r = rng_.NextUint64(15);
+    AttackCategory c = AttackCategory::kDos;
+    if (r >= 8 && r < 12) {
+      c = AttackCategory::kProbe;
+    } else if (r >= 12 && r < 14) {
+      c = AttackCategory::kR2l;
+    } else if (r >= 14) {
+      c = AttackCategory::kU2r;
+    }
+    lp = SampleAttack(c);
+  } else {
+    lp.point.values = SampleNormal();
+  }
+  lp.point.id = next_id_++;
+  return lp;
+}
+
+}  // namespace stream
+}  // namespace spot

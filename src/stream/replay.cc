@@ -1,0 +1,19 @@
+#include "stream/replay.h"
+
+namespace spot {
+namespace stream {
+
+ReplaySource::ReplaySource(std::vector<LabeledPoint> points)
+    : points_(std::move(points)) {}
+
+std::optional<LabeledPoint> ReplaySource::Next() {
+  if (pos_ >= points_.size()) return std::nullopt;
+  return points_[pos_++];
+}
+
+int ReplaySource::dimension() const {
+  return points_.empty() ? 0 : points_.front().point.dimension();
+}
+
+}  // namespace stream
+}  // namespace spot

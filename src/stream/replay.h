@@ -1,0 +1,37 @@
+#ifndef SPOT_STREAM_REPLAY_H_
+#define SPOT_STREAM_REPLAY_H_
+
+#include <string>
+#include <vector>
+
+#include "stream/data_point.h"
+
+namespace spot {
+namespace stream {
+
+/// Replays a pre-materialized vector of labeled points as a stream. Used by
+/// tests (deterministic fixtures) and by experiments that must feed the
+/// exact same data to several detectors.
+class ReplaySource : public StreamSource {
+ public:
+  explicit ReplaySource(std::vector<LabeledPoint> points);
+
+  std::optional<LabeledPoint> Next() override;
+  int dimension() const override;
+  std::string name() const override { return "replay"; }
+
+  /// Rewinds to the beginning.
+  void Reset() { pos_ = 0; }
+
+  std::size_t size() const { return points_.size(); }
+  const std::vector<LabeledPoint>& points() const { return points_; }
+
+ private:
+  std::vector<LabeledPoint> points_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace stream
+}  // namespace spot
+
+#endif  // SPOT_STREAM_REPLAY_H_

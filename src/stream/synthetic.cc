@@ -1,0 +1,162 @@
+#include "stream/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_util.h"
+
+namespace spot {
+namespace stream {
+
+GaussianStream::GaussianStream(const SyntheticConfig& config)
+    : config_(config), rng_(config.seed) {
+  // The concept (cluster layout) comes from concept_seed when given, so
+  // several streams can share one concept while sampling independently.
+  Rng concept_rng(config_.concept_seed != 0 ? config_.concept_seed
+                                            : config_.seed);
+  Rng* center_source = config_.concept_seed != 0 ? &concept_rng : &rng_;
+  centers_.reserve(static_cast<std::size_t>(config_.num_clusters));
+  for (int c = 0; c < config_.num_clusters; ++c) {
+    std::vector<double> center(static_cast<std::size_t>(config_.dimension));
+    for (double& v : center) v = center_source->NextDouble(0.15, 0.85);
+    centers_.push_back(std::move(center));
+  }
+  // Fixed outlying-subspace pool (part of the concept when configured).
+  for (int i = 0; i < config_.outlier_subspace_pool; ++i) {
+    const int dim_count = center_source->NextInt(
+        std::max(1, config_.min_outlier_subspace_dim),
+        std::max(1, std::min(config_.max_outlier_subspace_dim,
+                             config_.dimension)));
+    subspace_pool_.push_back(center_source->SampleIndices(
+        static_cast<std::size_t>(config_.dimension),
+        static_cast<std::size_t>(dim_count)));
+  }
+}
+
+std::vector<std::size_t> GaussianStream::PickOutlierDims() {
+  if (!subspace_pool_.empty()) {
+    return subspace_pool_[static_cast<std::size_t>(
+        rng_.NextUint64(subspace_pool_.size()))];
+  }
+  const int dim_count = rng_.NextInt(
+      std::max(1, config_.min_outlier_subspace_dim),
+      std::max(1, std::min(config_.max_outlier_subspace_dim,
+                           config_.dimension)));
+  return rng_.SampleIndices(static_cast<std::size_t>(config_.dimension),
+                            static_cast<std::size_t>(dim_count));
+}
+
+std::vector<double> GaussianStream::SampleNormalPoint() {
+  if (config_.noise_fraction > 0.0 &&
+      rng_.NextBernoulli(config_.noise_fraction)) {
+    std::vector<double> v(static_cast<std::size_t>(config_.dimension));
+    for (double& x : v) x = rng_.NextDouble();
+    return v;
+  }
+  const std::size_t c =
+      static_cast<std::size_t>(rng_.NextUint64(centers_.size()));
+  std::vector<double> v(static_cast<std::size_t>(config_.dimension));
+  for (std::size_t d = 0; d < v.size(); ++d) {
+    v[d] = Clamp(rng_.NextGaussian(centers_[c][d], config_.cluster_stddev),
+                 0.0, 1.0);
+  }
+  return v;
+}
+
+LabeledPoint GaussianStream::MakeOutlier() {
+  LabeledPoint lp;
+  lp.is_outlier = true;
+  lp.category = 1;
+  lp.point.values = SampleNormalPoint();
+
+  const std::vector<std::size_t> dims = PickOutlierDims();
+
+  for (std::size_t d : dims) {
+    lp.outlying_subspace.Add(static_cast<int>(d));
+    // Displace this attribute far from *every* cluster's projection. The
+    // candidate pool is a batch of uniform draws plus both domain
+    // boundaries; keep the candidate maximizing the distance to the nearest
+    // cluster center (early exit once `outlier_displacement` sigmas away).
+    const double shift = config_.outlier_displacement * config_.cluster_stddev;
+    auto min_gap = [&](double value) {
+      double gap = 1.0;
+      for (const auto& center : centers_) {
+        gap = std::min(gap, std::fabs(value - center[d]));
+      }
+      return gap;
+    };
+    double best = 0.0;
+    double best_gap = min_gap(0.0);
+    if (min_gap(1.0) > best_gap) {
+      best = 1.0;
+      best_gap = min_gap(1.0);
+    }
+    for (int attempt = 0; attempt < 64 && best_gap < shift; ++attempt) {
+      const double candidate = rng_.NextDouble();
+      const double gap = min_gap(candidate);
+      if (gap > best_gap) {
+        best = candidate;
+        best_gap = gap;
+      }
+    }
+    lp.point.values[d] = best;
+  }
+  return lp;
+}
+
+LabeledPoint GaussianStream::MakeMixedOutlier() {
+  LabeledPoint lp;
+  lp.is_outlier = true;
+  lp.category = 2;
+
+  // Base the point on one cluster, then give a few attributes the values a
+  // *different* cluster would produce there. Marginally every attribute is
+  // normal; the combination never occurs in regular traffic.
+  const std::size_t base =
+      static_cast<std::size_t>(rng_.NextUint64(centers_.size()));
+  lp.point.values.resize(static_cast<std::size_t>(config_.dimension));
+  for (std::size_t d = 0; d < lp.point.values.size(); ++d) {
+    lp.point.values[d] = Clamp(
+        rng_.NextGaussian(centers_[base][d], config_.cluster_stddev), 0.0,
+        1.0);
+  }
+
+  const std::vector<std::size_t> dims = PickOutlierDims();
+  for (std::size_t d : dims) {
+    // Pick a donor cluster whose projection in d is far from the base
+    // cluster's (at least 4 sigma), so the borrowed value lands in a
+    // different cell.
+    std::size_t donor = base;
+    double best_gap = 0.0;
+    for (std::size_t c = 0; c < centers_.size(); ++c) {
+      const double gap = std::fabs(centers_[c][d] - centers_[base][d]);
+      if (gap > best_gap) {
+        best_gap = gap;
+        donor = c;
+      }
+    }
+    lp.outlying_subspace.Add(static_cast<int>(d));
+    lp.point.values[d] = Clamp(
+        rng_.NextGaussian(centers_[donor][d], config_.cluster_stddev), 0.0,
+        1.0);
+  }
+  return lp;
+}
+
+std::optional<LabeledPoint> GaussianStream::Next() {
+  LabeledPoint lp;
+  if (rng_.NextBernoulli(config_.outlier_probability)) {
+    if (rng_.NextBernoulli(config_.mixed_outlier_fraction)) {
+      lp = MakeMixedOutlier();
+    } else {
+      lp = MakeOutlier();
+    }
+  } else {
+    lp.point.values = SampleNormalPoint();
+  }
+  lp.point.id = next_id_++;
+  return lp;
+}
+
+}  // namespace stream
+}  // namespace spot

@@ -1,0 +1,103 @@
+#ifndef SPOT_STREAM_SYNTHETIC_H_
+#define SPOT_STREAM_SYNTHETIC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "stream/data_point.h"
+#include "subspace/subspace.h"
+
+namespace spot {
+namespace stream {
+
+/// Configuration of the synthetic high-dimensional stream generator.
+struct SyntheticConfig {
+  int dimension = 20;
+
+  /// Number of Gaussian clusters forming the "normal" population.
+  int num_clusters = 5;
+
+  /// Per-dimension standard deviation of each cluster (domain is [0, 1]).
+  double cluster_stddev = 0.04;
+
+  /// Probability that an emitted point is a planted projected outlier.
+  double outlier_probability = 0.01;
+
+  /// Dimensionality range of the planted outlying subspaces.
+  int min_outlier_subspace_dim = 1;
+  int max_outlier_subspace_dim = 3;
+
+  /// How far (in cluster standard deviations) the outlying attributes are
+  /// displaced from the nearest cluster's projection.
+  double outlier_displacement = 8.0;
+
+  /// Fraction of uniform background noise mixed into the normal population
+  /// (full-space noise, not labeled as projected outliers).
+  double noise_fraction = 0.0;
+
+  /// Fraction of planted outliers that are *mixed-marginal*: instead of
+  /// displacing attributes away from every cluster, each chosen attribute
+  /// takes the value another cluster would have there. Every attribute is
+  /// then individually normal — only the joint combination is unseen — so
+  /// these outliers are invisible to 1-dimensional projections and require
+  /// multi-dimensional subspaces to detect (the E12 ablation workload).
+  double mixed_outlier_fraction = 0.0;
+
+  /// When positive, outlying subspaces are drawn from a fixed pool of this
+  /// many candidate subspaces (derived from the concept) instead of fresh
+  /// random ones per outlier — real anomalies recur in characteristic
+  /// attribute combinations, which is what lets the learned SST subsets
+  /// (CS/OS) generalize from training to the live stream.
+  int outlier_subspace_pool = 0;
+
+  std::uint64_t seed = 42;
+
+  /// Seed controlling the cluster configuration (the "concept") only.
+  /// 0 = derive from `seed`. Two streams sharing a concept_seed draw the
+  /// same clusters while emitting different point sequences — e.g. a
+  /// training batch and the evaluation stream of the same concept.
+  std::uint64_t concept_seed = 0;
+};
+
+/// Synthetic stream of Gaussian-mixture "normal" traffic with planted
+/// *projected* outliers.
+///
+/// A planted outlier copies a regular cluster member — so it looks perfectly
+/// normal in the full space and in most projections — and then displaces a
+/// small random subset of attributes (1..max dim) far from every cluster's
+/// projection onto those attributes. That subset is recorded as the ground-
+/// truth outlying subspace, mirroring the paper's problem statement: the
+/// result set is "projected outliers and their associated outlying
+/// subspace(s)".
+class GaussianStream : public StreamSource {
+ public:
+  explicit GaussianStream(const SyntheticConfig& config);
+
+  std::optional<LabeledPoint> Next() override;
+  int dimension() const override { return config_.dimension; }
+  std::string name() const override { return "gaussian-projected"; }
+
+  /// Cluster centers (exposed for tests and partition fitting).
+  const std::vector<std::vector<double>>& centers() const { return centers_; }
+
+ private:
+  std::vector<double> SampleNormalPoint();
+  /// Attribute indices of the next outlier's subspace (from the pool when
+  /// configured, otherwise freshly sampled).
+  std::vector<std::size_t> PickOutlierDims();
+  LabeledPoint MakeOutlier();
+  LabeledPoint MakeMixedOutlier();
+
+  SyntheticConfig config_;
+  Rng rng_;
+  std::vector<std::vector<double>> centers_;
+  std::vector<std::vector<std::size_t>> subspace_pool_;
+  std::uint64_t next_id_ = 0;
+};
+
+}  // namespace stream
+}  // namespace spot
+
+#endif  // SPOT_STREAM_SYNTHETIC_H_

@@ -1,0 +1,99 @@
+#include "subspace/lattice.h"
+
+#include <unordered_set>
+
+#include "common/math_util.h"
+
+namespace spot {
+
+namespace {
+
+// Smallest mask with `dim` low bits set.
+std::uint64_t FirstOfDim(int dim) {
+  if (dim <= 0) return 0;
+  if (dim >= 64) return ~0ULL;
+  return (1ULL << static_cast<unsigned>(dim)) - 1ULL;
+}
+
+}  // namespace
+
+Subspace NextSameDimension(const Subspace& s, int num_dims) {
+  const std::uint64_t v = s.bits();
+  if (v == 0) return Subspace();
+  // Gosper's hack: next integer with the same popcount.
+  const std::uint64_t c = v & (~v + 1);
+  const std::uint64_t r = v + c;
+  if (r == 0) return Subspace();  // overflowed 64 bits
+  const std::uint64_t next = (((r ^ v) >> 2) / c) | r;
+  const std::uint64_t domain =
+      num_dims >= 64 ? ~0ULL : (1ULL << static_cast<unsigned>(num_dims)) - 1ULL;
+  if ((next & ~domain) != 0) return Subspace();
+  return Subspace(next);
+}
+
+std::vector<Subspace> EnumerateSubspacesOfDim(int num_dims, int dim) {
+  std::vector<Subspace> out;
+  if (dim <= 0 || dim > num_dims || num_dims > Subspace::kMaxDimensions) {
+    return out;
+  }
+  const std::uint64_t count = BinomialCoefficient(num_dims, dim);
+  out.reserve(static_cast<std::size_t>(count));
+  Subspace s(FirstOfDim(dim));
+  while (!s.IsEmpty()) {
+    out.push_back(s);
+    s = NextSameDimension(s, num_dims);
+  }
+  return out;
+}
+
+std::vector<Subspace> EnumerateLattice(int num_dims, int max_dim,
+                                       std::size_t limit) {
+  std::vector<Subspace> out;
+  for (int d = 1; d <= max_dim && d <= num_dims; ++d) {
+    Subspace s(FirstOfDim(d));
+    while (!s.IsEmpty()) {
+      out.push_back(s);
+      if (limit != 0 && out.size() >= limit) return out;
+      s = NextSameDimension(s, num_dims);
+    }
+  }
+  return out;
+}
+
+std::vector<Subspace> SampleLattice(int num_dims, int max_dim,
+                                    std::size_t count, Rng& rng) {
+  const std::uint64_t total = LatticeSize(num_dims, max_dim);
+  if (total <= count) return EnumerateLattice(num_dims, max_dim);
+
+  // Rejection-sample distinct subspaces: draw a dimension proportionally to
+  // the number of subspaces of that dimension, then a uniform combination.
+  std::vector<double> cumulative;
+  cumulative.reserve(static_cast<std::size_t>(max_dim));
+  double acc = 0.0;
+  for (int d = 1; d <= max_dim && d <= num_dims; ++d) {
+    acc += static_cast<double>(BinomialCoefficient(num_dims, d));
+    cumulative.push_back(acc);
+  }
+
+  std::unordered_set<Subspace, SubspaceHash> seen;
+  std::vector<Subspace> out;
+  while (out.size() < count) {
+    const double u = rng.NextDouble() * acc;
+    int dim = 1;
+    for (std::size_t i = 0; i < cumulative.size(); ++i) {
+      if (u <= cumulative[i]) {
+        dim = static_cast<int>(i) + 1;
+        break;
+      }
+    }
+    std::vector<std::size_t> picked =
+        rng.SampleIndices(static_cast<std::size_t>(num_dims),
+                          static_cast<std::size_t>(dim));
+    Subspace s;
+    for (std::size_t idx : picked) s.Add(static_cast<int>(idx));
+    if (seen.insert(s).second) out.push_back(s);
+  }
+  return out;
+}
+
+}  // namespace spot

@@ -1,0 +1,35 @@
+#ifndef SPOT_SUBSPACE_LATTICE_H_
+#define SPOT_SUBSPACE_LATTICE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "subspace/subspace.h"
+
+namespace spot {
+
+/// Enumerates all subspaces over `num_dims` attributes with dimensionality
+/// exactly `dim`, in deterministic (colex) order.
+std::vector<Subspace> EnumerateSubspacesOfDim(int num_dims, int dim);
+
+/// Enumerates all subspaces with dimensionality in [1, max_dim] — the
+/// paper's Fixed SST Subspaces (FS) set — low dimensions first.
+/// `limit` truncates enumeration (0 = unlimited); callers that need an
+/// unbiased cap should use SampleLattice instead.
+std::vector<Subspace> EnumerateLattice(int num_dims, int max_dim,
+                                       std::size_t limit = 0);
+
+/// Draws `count` distinct subspaces uniformly from the lattice of
+/// dimensionality 1..max_dim. Falls back to full enumeration when the
+/// lattice is no bigger than `count`.
+std::vector<Subspace> SampleLattice(int num_dims, int max_dim,
+                                    std::size_t count, Rng& rng);
+
+/// Next subspace of the same dimensionality in colex order (Gosper's hack),
+/// or the empty subspace when `s` is the last one under `num_dims` bits.
+Subspace NextSameDimension(const Subspace& s, int num_dims);
+
+}  // namespace spot
+
+#endif  // SPOT_SUBSPACE_LATTICE_H_

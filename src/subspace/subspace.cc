@@ -1,0 +1,78 @@
+#include "subspace/subspace.h"
+
+#include <bit>
+
+namespace spot {
+
+Subspace Subspace::FromIndices(const std::vector<int>& indices) {
+  std::uint64_t bits = 0;
+  for (int i : indices) {
+    if (i >= 0 && i < kMaxDimensions) bits |= (1ULL << static_cast<unsigned>(i));
+  }
+  return Subspace(bits);
+}
+
+Subspace Subspace::Full(int num_dims) {
+  if (num_dims <= 0) return Subspace();
+  if (num_dims >= kMaxDimensions) return Subspace(~0ULL);
+  return Subspace((1ULL << static_cast<unsigned>(num_dims)) - 1ULL);
+}
+
+Subspace Subspace::Singleton(int dim) {
+  if (dim < 0 || dim >= kMaxDimensions) return Subspace();
+  return Subspace(1ULL << static_cast<unsigned>(dim));
+}
+
+int Subspace::Dimension() const { return std::popcount(bits_); }
+
+Subspace& Subspace::Add(int dim) {
+  if (dim >= 0 && dim < kMaxDimensions) {
+    bits_ |= (1ULL << static_cast<unsigned>(dim));
+  }
+  return *this;
+}
+
+Subspace& Subspace::Remove(int dim) {
+  if (dim >= 0 && dim < kMaxDimensions) {
+    bits_ &= ~(1ULL << static_cast<unsigned>(dim));
+  }
+  return *this;
+}
+
+std::vector<int> Subspace::Indices() const {
+  std::vector<int> out;
+  out.reserve(static_cast<std::size_t>(Dimension()));
+  std::uint64_t b = bits_;
+  while (b != 0) {
+    const int i = std::countr_zero(b);
+    out.push_back(i);
+    b &= b - 1;
+  }
+  return out;
+}
+
+int Subspace::FirstIndex() const {
+  if (bits_ == 0) return -1;
+  return std::countr_zero(bits_);
+}
+
+std::string Subspace::ToString() const {
+  std::string out = "{";
+  bool first = true;
+  for (int i : Indices()) {
+    if (!first) out += ",";
+    out += std::to_string(i);
+    first = false;
+  }
+  out += "}";
+  return out;
+}
+
+bool operator<(const Subspace& a, const Subspace& b) {
+  const int da = a.Dimension();
+  const int db = b.Dimension();
+  if (da != db) return da < db;
+  return a.bits_ < b.bits_;
+}
+
+}  // namespace spot

@@ -1,0 +1,105 @@
+#ifndef SPOT_SUBSPACE_SUBSPACE_H_
+#define SPOT_SUBSPACE_SUBSPACE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace spot {
+
+/// A subspace of the attribute lattice: a non-empty subset of the stream's
+/// attributes, represented as a 64-bit mask (bit i set = attribute i
+/// retained). SPOT evaluates the outlier-ness of each streaming point inside
+/// every subspace of its Sparse Subspace Template (SST).
+///
+/// Supports streams of up to 64 attributes, which covers the paper's
+/// "dozens, even hundreds" regime for the dimensionalities its experiments
+/// exercise; the mask representation keeps lattice operations (union,
+/// intersection, containment) O(1).
+class Subspace {
+ public:
+  /// Maximum number of attributes representable.
+  static constexpr int kMaxDimensions = 64;
+
+  /// The empty subspace (used as a sentinel; not a valid detection target).
+  constexpr Subspace() = default;
+
+  /// Subspace from a raw attribute bitmask.
+  constexpr explicit Subspace(std::uint64_t bits) : bits_(bits) {}
+
+  /// Subspace retaining exactly the listed attribute indices.
+  static Subspace FromIndices(const std::vector<int>& indices);
+
+  /// The full space over `num_dims` attributes.
+  static Subspace Full(int num_dims);
+
+  /// A single-attribute subspace.
+  static Subspace Singleton(int dim);
+
+  std::uint64_t bits() const { return bits_; }
+
+  /// Number of retained attributes (the subspace's dimensionality).
+  int Dimension() const;
+
+  bool IsEmpty() const { return bits_ == 0; }
+
+  bool Contains(int dim) const {
+    return (bits_ >> static_cast<unsigned>(dim)) & 1ULL;
+  }
+
+  /// True when every attribute of `other` is also retained by this subspace.
+  bool IsSupersetOf(const Subspace& other) const {
+    return (bits_ & other.bits_) == other.bits_;
+  }
+
+  Subspace& Add(int dim);
+  Subspace& Remove(int dim);
+
+  Subspace Union(const Subspace& other) const {
+    return Subspace(bits_ | other.bits_);
+  }
+  Subspace Intersection(const Subspace& other) const {
+    return Subspace(bits_ & other.bits_);
+  }
+  Subspace Difference(const Subspace& other) const {
+    return Subspace(bits_ & ~other.bits_);
+  }
+
+  /// Retained attribute indices in ascending order.
+  std::vector<int> Indices() const;
+
+  /// Index of the lowest retained attribute, or -1 when empty.
+  int FirstIndex() const;
+
+  /// Human-readable form, e.g. "{0,3,17}".
+  std::string ToString() const;
+
+  friend bool operator==(const Subspace& a, const Subspace& b) {
+    return a.bits_ == b.bits_;
+  }
+  friend bool operator!=(const Subspace& a, const Subspace& b) {
+    return a.bits_ != b.bits_;
+  }
+  /// Orders by dimensionality first, then by mask; gives a deterministic,
+  /// low-dimension-first traversal order.
+  friend bool operator<(const Subspace& a, const Subspace& b);
+
+ private:
+  std::uint64_t bits_ = 0;
+};
+
+/// Hash functor for unordered containers keyed by Subspace.
+struct SubspaceHash {
+  std::size_t operator()(const Subspace& s) const {
+    // SplitMix64 finalizer: full-avalanche mixing of the mask.
+    std::uint64_t z = s.bits() + 0x9E3779B97F4A7C15ULL;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return static_cast<std::size_t>(z ^ (z >> 31));
+  }
+};
+
+}  // namespace spot
+
+#endif  // SPOT_SUBSPACE_SUBSPACE_H_

@@ -1,0 +1,307 @@
+// Unit tests of src/common: RNG determinism and distributions, running
+// statistics, math helpers.
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/math_util.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/timer.h"
+
+namespace spot {
+namespace {
+
+// ---------------------------------------------------------------- Rng ----
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, NextDoubleRangeRespected) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.NextDouble(-2.5, 3.5);
+    EXPECT_GE(x, -2.5);
+    EXPECT_LT(x, 3.5);
+  }
+}
+
+TEST(RngTest, BoundedIntegersCoverRange) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t v = rng.NextUint64(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, NextIntInclusiveBounds) {
+  Rng rng(13);
+  std::set<int> seen;
+  for (int i = 0; i < 500; ++i) {
+    const int v = rng.NextInt(3, 5);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 5);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(RngTest, GaussianMomentsRoughlyStandard) {
+  Rng rng(17);
+  RunningStats stats;
+  for (int i = 0; i < 50000; ++i) stats.Add(rng.NextGaussian());
+  EXPECT_NEAR(stats.mean(), 0.0, 0.03);
+  EXPECT_NEAR(stats.stddev(), 1.0, 0.03);
+}
+
+TEST(RngTest, GaussianWithParamsShiftsAndScales) {
+  Rng rng(19);
+  RunningStats stats;
+  for (int i = 0; i < 50000; ++i) stats.Add(rng.NextGaussian(5.0, 2.0));
+  EXPECT_NEAR(stats.mean(), 5.0, 0.1);
+  EXPECT_NEAR(stats.stddev(), 2.0, 0.1);
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(23);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.NextBernoulli(0.0));
+    EXPECT_TRUE(rng.NextBernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliRateApproximatesP) {
+  Rng rng(29);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.NextBernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(31);
+  Rng b = a.Fork();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, ShufflePreservesMultiset) {
+  Rng rng(37);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> original = v;
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(RngTest, SampleIndicesDistinctAndInRange) {
+  Rng rng(41);
+  const auto sample = rng.SampleIndices(100, 20);
+  ASSERT_EQ(sample.size(), 20u);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 20u);
+  for (std::size_t i : sample) EXPECT_LT(i, 100u);
+}
+
+TEST(RngTest, SampleIndicesClampsOversizedRequest) {
+  Rng rng(43);
+  const auto sample = rng.SampleIndices(5, 50);
+  EXPECT_EQ(sample.size(), 5u);
+}
+
+// ------------------------------------------------------- RunningStats ----
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStatsTest, SingleValue) {
+  RunningStats s;
+  s.Add(4.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.5);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 4.5);
+  EXPECT_DOUBLE_EQ(s.max(), 4.5);
+}
+
+TEST(RunningStatsTest, KnownMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);  // classic textbook example
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStatsTest, SampleVarianceUsesNMinusOne) {
+  RunningStats s;
+  for (double x : {1.0, 2.0, 3.0}) s.Add(x);
+  EXPECT_NEAR(s.sample_variance(), 1.0, 1e-12);
+  EXPECT_NEAR(s.variance(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(RunningStatsTest, MergeMatchesCombinedStream) {
+  Rng rng(47);
+  RunningStats all;
+  RunningStats left;
+  RunningStats right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.NextGaussian(3.0, 1.5);
+    all.Add(x);
+    if (i % 2 == 0) {
+      left.Add(x);
+    } else {
+      right.Add(x);
+    }
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmptyIsNoop) {
+  RunningStats a;
+  a.Add(1.0);
+  a.Add(2.0);
+  RunningStats empty;
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 1.5);
+
+  RunningStats b;
+  b.Merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.5);
+}
+
+TEST(VectorStatsTest, MeanAndStdDev) {
+  const std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Mean(v), 2.5);
+  EXPECT_NEAR(StdDev(v), std::sqrt(1.25), 1e-12);
+  EXPECT_EQ(Mean({}), 0.0);
+  EXPECT_EQ(StdDev({}), 0.0);
+}
+
+TEST(VectorStatsTest, QuantileInterpolates) {
+  std::vector<double> v = {4.0, 1.0, 3.0, 2.0};  // sorted: 1 2 3 4
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(Median(v), 2.5);
+}
+
+TEST(VectorStatsTest, QuantileClampsAndHandlesEmpty) {
+  EXPECT_EQ(Quantile({}, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(Quantile({5.0}, -1.0), 5.0);
+  EXPECT_DOUBLE_EQ(Quantile({5.0}, 2.0), 5.0);
+}
+
+// ---------------------------------------------------------- math_util ----
+
+TEST(MathUtilTest, Distances) {
+  const std::vector<double> a = {0.0, 0.0, 0.0};
+  const std::vector<double> b = {1.0, 2.0, 2.0};
+  EXPECT_DOUBLE_EQ(SquaredDistance(a, b), 9.0);
+  EXPECT_DOUBLE_EQ(EuclideanDistance(a, b), 3.0);
+}
+
+TEST(MathUtilTest, DistanceInDimsRestricts) {
+  const std::vector<double> a = {0.0, 0.0, 0.0};
+  const std::vector<double> b = {1.0, 2.0, 2.0};
+  EXPECT_DOUBLE_EQ(SquaredDistanceInDims(a, b, {0}), 1.0);
+  EXPECT_DOUBLE_EQ(SquaredDistanceInDims(a, b, {1, 2}), 8.0);
+  EXPECT_DOUBLE_EQ(SquaredDistanceInDims(a, b, {}), 0.0);
+}
+
+TEST(MathUtilTest, BinomialCoefficients) {
+  EXPECT_EQ(BinomialCoefficient(5, 0), 1u);
+  EXPECT_EQ(BinomialCoefficient(5, 5), 1u);
+  EXPECT_EQ(BinomialCoefficient(5, 2), 10u);
+  EXPECT_EQ(BinomialCoefficient(40, 3), 9880u);
+  EXPECT_EQ(BinomialCoefficient(5, 6), 0u);
+  EXPECT_EQ(BinomialCoefficient(5, -1), 0u);
+}
+
+TEST(MathUtilTest, BinomialSaturatesOnOverflow) {
+  EXPECT_EQ(BinomialCoefficient(64, 32),
+            std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(MathUtilTest, LatticeSizeMatchesHandCount) {
+  // C(4,1) + C(4,2) = 4 + 6 = 10.
+  EXPECT_EQ(LatticeSize(4, 2), 10u);
+  // Full lattice over 4 dims: 2^4 - 1.
+  EXPECT_EQ(LatticeSize(4, 4), 15u);
+  // max_dim beyond n clamps.
+  EXPECT_EQ(LatticeSize(4, 10), 15u);
+}
+
+TEST(MathUtilTest, ClampWorks) {
+  EXPECT_DOUBLE_EQ(Clamp(0.5, 0.0, 1.0), 0.5);
+  EXPECT_DOUBLE_EQ(Clamp(-1.0, 0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(Clamp(2.0, 0.0, 1.0), 1.0);
+}
+
+TEST(MathUtilTest, ApproxEqualScalesWithMagnitude) {
+  EXPECT_TRUE(ApproxEqual(1.0, 1.0 + 1e-10));
+  EXPECT_FALSE(ApproxEqual(1.0, 1.001));
+  EXPECT_TRUE(ApproxEqual(1e12, 1e12 + 1.0));
+}
+
+TEST(TimerTest, MeasuresNonNegativeElapsed) {
+  Timer t;
+  double sink = 0.0;
+  for (int i = 0; i < 10000; ++i) sink += static_cast<double>(i);
+  EXPECT_GT(sink, 0.0);  // keep the loop observable
+  EXPECT_GE(t.ElapsedSeconds(), 0.0);
+  t.Reset();
+  EXPECT_GE(t.ElapsedMillis(), 0.0);
+}
+
+}  // namespace
+}  // namespace spot

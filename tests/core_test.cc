@@ -1,0 +1,349 @@
+// Unit tests of src/core: configuration validation, reservoir sampling,
+// Page-Hinkley drift detection, and SpotDetector behaviour.
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/detector.h"
+#include "core/drift_detector.h"
+#include "core/reservoir.h"
+#include "core/spot_config.h"
+#include "grid/decay.h"
+#include "stream/synthetic.h"
+
+namespace spot {
+namespace {
+
+// --------------------------------------------------------- SpotConfig ----
+
+TEST(SpotConfigTest, DefaultIsValid) {
+  EXPECT_EQ(SpotConfig{}.Validate(), "");
+}
+
+TEST(SpotConfigTest, RejectsBadValues) {
+  SpotConfig c;
+  c.omega = 0;
+  EXPECT_NE(c.Validate(), "");
+
+  c = SpotConfig{};
+  c.epsilon = 1.5;
+  EXPECT_NE(c.Validate(), "");
+
+  c = SpotConfig{};
+  c.epsilon = 0.0;
+  EXPECT_NE(c.Validate(), "");
+
+  c = SpotConfig{};
+  c.cells_per_dim = 1;
+  EXPECT_NE(c.Validate(), "");
+
+  c = SpotConfig{};
+  c.rd_threshold = -0.1;
+  EXPECT_NE(c.Validate(), "");
+
+  c = SpotConfig{};
+  c.unsupervised.moga.population_size = 1;
+  EXPECT_NE(c.Validate(), "");
+}
+
+// ---------------------------------------------------------- Reservoir ----
+
+TEST(ReservoirTest, FillsToCapacityThenSamples) {
+  ReservoirSample r(10, 1);
+  for (int i = 0; i < 10; ++i) r.Add({static_cast<double>(i)});
+  EXPECT_EQ(r.size(), 10u);
+  for (int i = 10; i < 1000; ++i) r.Add({static_cast<double>(i)});
+  EXPECT_EQ(r.size(), 10u);
+  EXPECT_EQ(r.seen(), 1000u);
+}
+
+TEST(ReservoirTest, SampleIsRoughlyUniform) {
+  // Feed 0..9999; the mean of a uniform sample should be near 5000.
+  ReservoirSample r(200, 7);
+  for (int i = 0; i < 10000; ++i) r.Add({static_cast<double>(i)});
+  double sum = 0.0;
+  for (const auto& item : r.Items()) sum += item[0];
+  const double mean = sum / static_cast<double>(r.size());
+  EXPECT_NEAR(mean, 5000.0, 700.0);
+}
+
+TEST(ReservoirTest, ClearResets) {
+  ReservoirSample r(5, 3);
+  for (int i = 0; i < 20; ++i) r.Add({1.0});
+  r.Clear();
+  EXPECT_EQ(r.size(), 0u);
+  EXPECT_EQ(r.seen(), 0u);
+}
+
+// --------------------------------------------------------- PageHinkley ----
+
+TEST(PageHinkleyTest, NoDriftOnStationarySignal) {
+  PageHinkley ph(0.01, 8.0);
+  Rng rng(5);
+  bool drift = false;
+  for (int i = 0; i < 20000; ++i) {
+    drift = ph.Add(rng.NextBernoulli(0.02) ? 1.0 : 0.0) || drift;
+  }
+  EXPECT_FALSE(drift);
+}
+
+TEST(PageHinkleyTest, DetectsRateJump) {
+  PageHinkley ph(0.01, 8.0);
+  Rng rng(7);
+  for (int i = 0; i < 5000; ++i) ph.Add(rng.NextBernoulli(0.01) ? 1.0 : 0.0);
+  std::uint64_t first_alarm = 0;
+  for (std::uint64_t i = 0; i < 5000 && first_alarm == 0; ++i) {
+    if (ph.Add(rng.NextBernoulli(0.3) ? 1.0 : 0.0)) first_alarm = i + 1;
+  }
+  EXPECT_GT(first_alarm, 0u);
+  EXPECT_LT(first_alarm, 500u);  // alarms promptly after the jump
+  EXPECT_GE(ph.drifts(), 1u);
+}
+
+TEST(PageHinkleyTest, ResetsAfterDrift) {
+  PageHinkley ph(0.0, 0.5);
+  // Deterministic ramp guarantees an alarm.
+  bool drift = false;
+  for (int i = 0; i < 100 && !drift; ++i) {
+    drift = ph.Add(i < 10 ? 0.0 : 1.0);
+  }
+  ASSERT_TRUE(drift);
+  EXPECT_EQ(ph.count(), 0u);  // state cleared
+  EXPECT_DOUBLE_EQ(ph.statistic(), 0.0);
+}
+
+TEST(PageHinkleyTest, MeanTracksSignal) {
+  PageHinkley ph(0.005, 100.0);
+  for (int i = 0; i < 100; ++i) ph.Add(0.5);
+  EXPECT_NEAR(ph.mean(), 0.5, 1e-9);
+}
+
+// -------------------------------------------------------- SpotDetector ----
+
+SpotConfig SmallConfig() {
+  SpotConfig cfg;
+  cfg.omega = 2000;
+  cfg.epsilon = 0.01;
+  cfg.cells_per_dim = 5;
+  cfg.fs_max_dimension = 1;
+  cfg.cs_capacity = 8;
+  cfg.os_capacity = 8;
+  cfg.unsupervised.moga.population_size = 12;
+  cfg.unsupervised.moga.generations = 5;
+  cfg.unsupervised.top_outlying_points = 4;
+  cfg.unsupervised.top_subspaces_per_run = 4;
+  cfg.supervised.moga.population_size = 12;
+  cfg.supervised.moga.generations = 5;
+  cfg.evolution_period = 0;     // keep unit tests deterministic and fast
+  cfg.os_update_every = 0;      // disabled unless a test enables it
+  cfg.domain_lo = 0.0;
+  cfg.domain_hi = 1.0;  // generators emit unit-cube data
+  cfg.drift_detection = false;
+  cfg.seed = 101;
+  return cfg;
+}
+
+std::vector<std::vector<double>> TrainingBatch(int n, int dims,
+                                               std::uint64_t seed) {
+  stream::SyntheticConfig scfg;
+  scfg.dimension = dims;
+  scfg.outlier_probability = 0.0;
+  scfg.seed = seed;
+  stream::GaussianStream gen(scfg);
+  return ValuesOf(Take(gen, static_cast<std::size_t>(n)));
+}
+
+// Two tight blobs (centers 0.3 and 0.45, sigma 0.02) over the explicit
+// [0, 1] domain: training mass stays within cells 1-2 of the default
+// 5-cell partition, so a value near 0.95 (cell 4) is at least two cells
+// from all mass — outlying and beyond fringe suppression's reach.
+std::vector<std::vector<double>> TwoClusterBatch(int n, int dims,
+                                                 std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<double>> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const double center = (i % 2 == 0) ? 0.3 : 0.45;
+    std::vector<double> row(static_cast<std::size_t>(dims));
+    for (double& v : row) v = center + 0.02 * rng.NextGaussian();
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+TEST(SpotDetectorTest, RequiresLearnBeforeProcess) {
+  SpotDetector det(SmallConfig());
+  EXPECT_FALSE(det.learned());
+  const SpotResult r = det.Process(std::vector<double>{0.5, 0.5, 0.5, 0.5});
+  EXPECT_FALSE(r.is_outlier);
+  EXPECT_TRUE(r.findings.empty());
+}
+
+TEST(SpotDetectorTest, LearnRejectsEmptyTraining) {
+  SpotDetector det(SmallConfig());
+  EXPECT_FALSE(det.Learn({}));
+}
+
+TEST(SpotDetectorTest, LearnRejectsInvalidConfig) {
+  SpotConfig cfg = SmallConfig();
+  cfg.omega = 0;
+  SpotDetector det(cfg);
+  EXPECT_FALSE(det.Learn(TrainingBatch(100, 4, 1)));
+}
+
+TEST(SpotDetectorTest, LearnRejectsTooManyDims) {
+  SpotDetector det(SmallConfig());
+  std::vector<std::vector<double>> wide(10, std::vector<double>(80, 0.5));
+  EXPECT_FALSE(det.Learn(wide));
+}
+
+TEST(SpotDetectorTest, LearnBuildsSstAndWarmStartsSynapses) {
+  SpotDetector det(SmallConfig());
+  ASSERT_TRUE(det.Learn(TrainingBatch(300, 6, 2)));
+  EXPECT_TRUE(det.learned());
+  // FS = 6 singletons; CS adds more.
+  EXPECT_EQ(det.sst().fixed().size(), 6u);
+  EXPECT_GE(det.TrackedSubspaces(), 6u);
+  // After 300 warm-start points the decayed total weight equals the
+  // partial geometric sum steady * (1 - alpha^300) — well below the raw
+  // count and capped by the model's steady state.
+  const DecayModel model(det.config().omega, det.config().epsilon);
+  const double steady = model.SteadyStateWeight();
+  const double expected = steady * (1.0 - model.WeightAtAge(300));
+  EXPECT_NEAR(det.synapses().TotalWeight(), expected, 1e-6 * expected);
+  EXPECT_LT(det.synapses().TotalWeight(), 300.0);
+}
+
+TEST(SpotDetectorTest, NormalPointsMostlyPassClean) {
+  SpotDetector det(SmallConfig());
+  ASSERT_TRUE(det.Learn(TrainingBatch(500, 6, 3)));
+  stream::SyntheticConfig scfg;
+  scfg.dimension = 6;
+  scfg.outlier_probability = 0.0;
+  scfg.seed = 3;  // same concept as training
+  stream::GaussianStream gen(scfg);
+  int flagged = 0;
+  const int n = 500;
+  for (int i = 0; i < n; ++i) {
+    if (det.Process(gen.Next()->point.values).is_outlier) ++flagged;
+  }
+  EXPECT_LT(static_cast<double>(flagged) / n, 0.15);
+}
+
+TEST(SpotDetectorTest, GrossProjectedOutlierIsFlaggedWithSubspace) {
+  SpotDetector det(SmallConfig());
+  const auto training = TwoClusterBatch(500, 6, 4);
+  ASSERT_TRUE(det.Learn(training));
+  // Stream more normal two-cluster data, then a point far out in
+  // attribute 2 only.
+  const auto stream_data = TwoClusterBatch(200, 6, 5);
+  for (const auto& row : stream_data) det.Process(row);
+
+  std::vector<double> outlier = training.front();
+  outlier[2] = 0.95;  // far from both blobs in attribute 2 alone
+  const SpotResult r = det.Process(outlier);
+  EXPECT_TRUE(r.is_outlier);
+  bool dim2_blamed = false;
+  for (const auto& f : r.findings) {
+    if (f.subspace.Contains(2)) dim2_blamed = true;
+    EXPECT_LE(f.pcs.rd, det.config().rd_threshold);
+    EXPECT_LE(f.pcs.irsd, det.config().irsd_threshold);
+  }
+  EXPECT_TRUE(dim2_blamed);
+  EXPECT_GT(r.score, 0.8);
+}
+
+TEST(SpotDetectorTest, StatsAccumulate) {
+  SpotDetector det(SmallConfig());
+  ASSERT_TRUE(det.Learn(TrainingBatch(200, 5, 5)));
+  stream::SyntheticConfig scfg;
+  scfg.dimension = 5;
+  scfg.seed = 5;
+  stream::GaussianStream gen(scfg);
+  for (int i = 0; i < 100; ++i) det.Process(gen.Next()->point.values);
+  EXPECT_EQ(det.stats().points_processed, 100u);
+}
+
+TEST(SpotDetectorTest, SupervisedKnowledgePopulatesOs) {
+  SpotConfig cfg = SmallConfig();
+  SpotDetector det(cfg);
+  const auto training = TrainingBatch(300, 5, 6);
+  DomainKnowledge knowledge;
+  std::vector<double> example = training.front();
+  example[3] = 0.999;
+  knowledge.outlier_examples.push_back(example);
+  ASSERT_TRUE(det.Learn(training, &knowledge));
+  EXPECT_FALSE(det.sst().outlier_driven().empty());
+}
+
+TEST(SpotDetectorTest, OsGrowsFromDetectedOutliers) {
+  SpotConfig cfg = SmallConfig();
+  cfg.os_update_every = 1;  // grow on every detection
+  SpotDetector det(cfg);
+  const auto training = TwoClusterBatch(300, 5, 7);
+  ASSERT_TRUE(det.Learn(training));
+  const std::size_t os_before = det.sst().outlier_driven().size();
+  // Hammer the detector with obvious projected outliers.
+  for (int i = 0; i < 10; ++i) {
+    std::vector<double> outlier = training.front();
+    outlier[1] = 0.95;
+    det.Process(outlier);
+  }
+  EXPECT_GT(det.stats().os_growth_runs, 0u);
+  EXPECT_GE(det.sst().outlier_driven().size(), os_before);
+}
+
+TEST(SpotDetectorTest, EvolutionRoundsRunOnSchedule) {
+  SpotConfig cfg = SmallConfig();
+  cfg.evolution_period = 100;
+  SpotDetector det(cfg);
+  ASSERT_TRUE(det.Learn(TrainingBatch(300, 5, 8)));
+  ASSERT_FALSE(det.sst().clustering().empty());
+  stream::SyntheticConfig scfg;
+  scfg.dimension = 5;
+  scfg.seed = 8;
+  stream::GaussianStream gen(scfg);
+  for (int i = 0; i < 350; ++i) det.Process(gen.Next()->point.values);
+  EXPECT_GE(det.stats().evolution_rounds, 3u);
+}
+
+TEST(SpotDetectorTest, FsCapSamplesWhenLatticeTooBig) {
+  SpotConfig cfg = SmallConfig();
+  cfg.fs_max_dimension = 3;
+  cfg.fs_cap = 50;  // C(10,1)+C(10,2)+C(10,3) = 175 > 50
+  SpotDetector det(cfg);
+  ASSERT_TRUE(det.Learn(TrainingBatch(200, 10, 9)));
+  EXPECT_EQ(det.sst().fixed().size(), 50u);
+}
+
+TEST(SpotDetectorTest, ScoreIsMonotoneWithSparsity) {
+  SpotDetector det(SmallConfig());
+  const auto training = TwoClusterBatch(500, 5, 10);
+  ASSERT_TRUE(det.Learn(training));
+  const SpotResult normal = det.Process(training.front());
+  std::vector<double> weird = training.front();
+  weird[0] = 0.02;
+  weird[4] = 0.95;
+  const SpotResult anomalous = det.Process(weird);
+  EXPECT_GE(anomalous.score, normal.score);
+}
+
+TEST(SpotStreamAdapterTest, AdaptsResults) {
+  SpotDetector det(SmallConfig());
+  const auto training = TwoClusterBatch(300, 5, 11);
+  ASSERT_TRUE(det.Learn(training));
+  SpotStreamAdapter adapter(&det);
+  EXPECT_EQ(adapter.name(), "SPOT");
+  DataPoint p;
+  p.values = training.front();
+  p.values[2] = 0.95;
+  const Detection d = adapter.Process(p);
+  EXPECT_TRUE(d.is_outlier);
+  EXPECT_FALSE(d.outlying_subspaces.empty());
+}
+
+}  // namespace
+}  // namespace spot

@@ -1,0 +1,90 @@
+// Tests of the CSV ingestion substrate (src/stream/csv.h).
+
+#include <gtest/gtest.h>
+
+#include "stream/csv.h"
+
+namespace spot {
+namespace {
+
+using stream::CsvSource;
+using stream::ParseCsvString;
+
+TEST(CsvTest, ParsesPlainNumericRows) {
+  const auto r = ParseCsvString("1,2,3\n4,5,6\n");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0], (std::vector<double>{1, 2, 3}));
+  EXPECT_EQ(r.rows[1], (std::vector<double>{4, 5, 6}));
+  EXPECT_TRUE(r.column_names.empty());
+  EXPECT_EQ(r.skipped_lines, 0u);
+}
+
+TEST(CsvTest, DetectsHeaderLine) {
+  const auto r = ParseCsvString("a,b,c\n1,2,3\n");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.column_names, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(CsvTest, SkipsRaggedAndNonNumericRows) {
+  const auto r = ParseCsvString("1,2\n3,4,5\nx,y\n6,7\n");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[1], (std::vector<double>{6, 7}));
+  EXPECT_EQ(r.skipped_lines, 2u);
+}
+
+TEST(CsvTest, SkipsBlankLinesAndTrimsWhitespace) {
+  const auto r = ParseCsvString("\n 1 , 2 \n\n3,4\n");
+  ASSERT_EQ(r.rows.size(), 2u);
+  EXPECT_EQ(r.rows[0], (std::vector<double>{1, 2}));
+  EXPECT_EQ(r.skipped_lines, 2u);
+}
+
+TEST(CsvTest, HandlesScientificNotationAndNegatives) {
+  const auto r = ParseCsvString("-1.5,2e-3,+4.25\n");
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(r.rows[0][0], -1.5);
+  EXPECT_DOUBLE_EQ(r.rows[0][1], 0.002);
+  EXPECT_DOUBLE_EQ(r.rows[0][2], 4.25);
+}
+
+TEST(CsvTest, EmptyDocument) {
+  const auto r = ParseCsvString("");
+  EXPECT_TRUE(r.rows.empty());
+  EXPECT_TRUE(r.column_names.empty());
+}
+
+TEST(CsvTest, HeaderOnlyDocument) {
+  const auto r = ParseCsvString("a,b\n");
+  EXPECT_TRUE(r.rows.empty());
+  EXPECT_EQ(r.column_names.size(), 2u);
+}
+
+TEST(CsvTest, MissingFileYieldsEmptyResult) {
+  const auto r = stream::LoadCsvFile("/nonexistent/path.csv");
+  EXPECT_TRUE(r.rows.empty());
+}
+
+TEST(CsvSourceTest, StreamsRowsWithIds) {
+  CsvSource src(ParseCsvString("h1,h2\n1,2\n3,4\n"));
+  EXPECT_EQ(src.dimension(), 2);
+  EXPECT_EQ(src.size(), 2u);
+  EXPECT_EQ(src.column_names().size(), 2u);
+  auto p = src.Next();
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->point.id, 0u);
+  EXPECT_FALSE(p->is_outlier);  // unlabeled
+  p = src.Next();
+  EXPECT_EQ(p->point.id, 1u);
+  EXPECT_FALSE(src.Next().has_value());
+  src.Reset();
+  EXPECT_TRUE(src.Next().has_value());
+}
+
+TEST(CsvSourceTest, EmptySource) {
+  CsvSource src(ParseCsvString(""));
+  EXPECT_EQ(src.dimension(), 0);
+  EXPECT_FALSE(src.Next().has_value());
+}
+
+}  // namespace
+}  // namespace spot

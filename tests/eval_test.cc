@@ -1,0 +1,244 @@
+// Unit tests of src/eval: confusion metrics, ROC/AUC, subspace recovery,
+// the table printer and the detection harness.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "eval/harness.h"
+#include "eval/metrics.h"
+#include "eval/table.h"
+#include "stream/replay.h"
+#include "stream/synthetic.h"
+
+namespace spot {
+namespace {
+
+using eval::BestSubspaceJaccard;
+using eval::Confusion;
+using eval::RocAuc;
+using eval::RocCurve;
+using eval::RunDetection;
+using eval::RunOptions;
+using eval::RunResult;
+using eval::SubspaceJaccard;
+using eval::Table;
+
+// ----------------------------------------------------------- Confusion ----
+
+TEST(ConfusionTest, CountsAllQuadrants) {
+  Confusion c;
+  c.Add(true, true);    // tp
+  c.Add(true, false);   // fp
+  c.Add(false, true);   // fn
+  c.Add(false, false);  // tn
+  EXPECT_EQ(c.tp(), 1u);
+  EXPECT_EQ(c.fp(), 1u);
+  EXPECT_EQ(c.fn(), 1u);
+  EXPECT_EQ(c.tn(), 1u);
+  EXPECT_EQ(c.total(), 4u);
+  EXPECT_DOUBLE_EQ(c.Precision(), 0.5);
+  EXPECT_DOUBLE_EQ(c.Recall(), 0.5);
+  EXPECT_DOUBLE_EQ(c.F1(), 0.5);
+  EXPECT_DOUBLE_EQ(c.FalsePositiveRate(), 0.5);
+}
+
+TEST(ConfusionTest, DegenerateCasesAreZeroNotNan) {
+  Confusion c;
+  EXPECT_DOUBLE_EQ(c.Precision(), 0.0);
+  EXPECT_DOUBLE_EQ(c.Recall(), 0.0);
+  EXPECT_DOUBLE_EQ(c.F1(), 0.0);
+  EXPECT_DOUBLE_EQ(c.FalsePositiveRate(), 0.0);
+}
+
+TEST(ConfusionTest, PerfectDetector) {
+  Confusion c;
+  for (int i = 0; i < 10; ++i) c.Add(true, true);
+  for (int i = 0; i < 90; ++i) c.Add(false, false);
+  EXPECT_DOUBLE_EQ(c.Precision(), 1.0);
+  EXPECT_DOUBLE_EQ(c.Recall(), 1.0);
+  EXPECT_DOUBLE_EQ(c.F1(), 1.0);
+  EXPECT_DOUBLE_EQ(c.FalsePositiveRate(), 0.0);
+}
+
+// ----------------------------------------------------------------- ROC ----
+
+TEST(RocTest, PerfectSeparationGivesAucOne) {
+  const std::vector<double> scores = {0.9, 0.8, 0.2, 0.1};
+  const std::vector<bool> labels = {true, true, false, false};
+  EXPECT_DOUBLE_EQ(RocAuc(scores, labels), 1.0);
+}
+
+TEST(RocTest, ReversedScoresGiveAucZero) {
+  const std::vector<double> scores = {0.1, 0.2, 0.8, 0.9};
+  const std::vector<bool> labels = {true, true, false, false};
+  EXPECT_DOUBLE_EQ(RocAuc(scores, labels), 0.0);
+}
+
+TEST(RocTest, RandomScoresGiveAucNearHalf) {
+  // Scores independent of labels: AUC must hover around chance.
+  Rng rng(33);
+  std::vector<double> scores;
+  std::vector<bool> labels;
+  for (int i = 0; i < 4000; ++i) {
+    scores.push_back(rng.NextDouble());
+    labels.push_back(rng.NextBernoulli(0.3));
+  }
+  EXPECT_NEAR(RocAuc(scores, labels), 0.5, 0.05);
+}
+
+TEST(RocTest, SingleClassFallsBackToHalf) {
+  EXPECT_DOUBLE_EQ(RocAuc({0.5, 0.7}, {true, true}), 0.5);
+  EXPECT_DOUBLE_EQ(RocAuc({0.5, 0.7}, {false, false}), 0.5);
+  EXPECT_DOUBLE_EQ(RocAuc({}, {}), 0.5);
+}
+
+TEST(RocTest, CurveIsMonotone) {
+  std::vector<double> scores;
+  std::vector<bool> labels;
+  Rng rng;
+  for (int i = 0; i < 200; ++i) {
+    const bool positive = i % 4 == 0;
+    scores.push_back(positive ? 0.5 + 0.5 * (i % 7) / 7.0
+                              : 0.5 * (i % 11) / 11.0);
+    labels.push_back(positive);
+  }
+  const auto curve = RocCurve(scores, labels);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].fpr, curve[i - 1].fpr);
+    EXPECT_GE(curve[i].tpr, curve[i - 1].tpr);
+  }
+  EXPECT_DOUBLE_EQ(curve.front().fpr, 0.0);
+  EXPECT_DOUBLE_EQ(curve.back().tpr, 1.0);
+}
+
+// ------------------------------------------------------ Subspace match ----
+
+TEST(SubspaceJaccardTest, IdentityAndDisjoint) {
+  const Subspace a = Subspace::FromIndices({1, 2, 3});
+  EXPECT_DOUBLE_EQ(SubspaceJaccard(a, a), 1.0);
+  EXPECT_DOUBLE_EQ(
+      SubspaceJaccard(a, Subspace::FromIndices({4, 5})), 0.0);
+  EXPECT_DOUBLE_EQ(SubspaceJaccard(Subspace(), Subspace()), 1.0);
+}
+
+TEST(SubspaceJaccardTest, PartialOverlap) {
+  const Subspace a = Subspace::FromIndices({1, 2});
+  const Subspace b = Subspace::FromIndices({2, 3});
+  EXPECT_DOUBLE_EQ(SubspaceJaccard(a, b), 1.0 / 3.0);
+}
+
+TEST(SubspaceJaccardTest, BestOverReported) {
+  const Subspace truth = Subspace::FromIndices({1, 2});
+  const std::vector<Subspace> reported = {
+      Subspace::FromIndices({5}), Subspace::FromIndices({1, 2, 3}),
+      Subspace::FromIndices({1, 2})};
+  EXPECT_DOUBLE_EQ(BestSubspaceJaccard(truth, reported), 1.0);
+  EXPECT_DOUBLE_EQ(BestSubspaceJaccard(truth, {}), 0.0);
+}
+
+// --------------------------------------------------------------- Table ----
+
+TEST(TableTest, FormatsAlignedColumns) {
+  Table t({"name", "value"});
+  t.AddRow({"x", "1"});
+  t.AddRow({"longer-name", "2.5"});
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("| name        | value |"), std::string::npos);
+  EXPECT_NE(s.find("| longer-name | 2.5   |"), std::string::npos);
+}
+
+TEST(TableTest, MissingCellsPadded) {
+  Table t({"a", "b", "c"});
+  t.AddRow({"1"});
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("| 1 |"), std::string::npos);
+}
+
+TEST(TableTest, NumberFormatting) {
+  EXPECT_EQ(Table::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::Num(2.0, 0), "2");
+  EXPECT_EQ(Table::Int(42), "42");
+}
+
+// ------------------------------------------------------------- Harness ----
+
+/// Toy detector: flags any point whose first attribute exceeds a cutoff.
+class CutoffDetector : public StreamDetector {
+ public:
+  explicit CutoffDetector(double cutoff) : cutoff_(cutoff) {}
+  Detection Process(const DataPoint& point) override {
+    Detection d;
+    d.score = point.values[0];
+    d.is_outlier = point.values[0] > cutoff_;
+    return d;
+  }
+  std::string name() const override { return "cutoff"; }
+
+ private:
+  double cutoff_;
+};
+
+std::vector<LabeledPoint> CutoffStream(int n) {
+  // First attribute is the outlier indicator by construction.
+  std::vector<LabeledPoint> points;
+  Rng rng(25);
+  for (int i = 0; i < n; ++i) {
+    LabeledPoint lp;
+    lp.is_outlier = rng.NextBernoulli(0.1);
+    lp.point.id = static_cast<std::uint64_t>(i);
+    lp.point.values = {lp.is_outlier ? rng.NextDouble(0.8, 1.0)
+                                     : rng.NextDouble(0.0, 0.5),
+                       rng.NextDouble()};
+    if (lp.is_outlier) lp.outlying_subspace = Subspace::Singleton(0);
+    points.push_back(std::move(lp));
+  }
+  return points;
+}
+
+TEST(HarnessTest, PerfectDetectorScoresPerfectly) {
+  CutoffDetector det(0.7);
+  stream::ReplaySource replay(CutoffStream(500));
+  RunOptions opts;
+  opts.collect_scores = true;
+  const RunResult r = RunDetection(det, replay, 500, opts);
+  EXPECT_EQ(r.detector_name, "cutoff");
+  EXPECT_DOUBLE_EQ(r.confusion.Precision(), 1.0);
+  EXPECT_DOUBLE_EQ(r.confusion.Recall(), 1.0);
+  EXPECT_DOUBLE_EQ(r.auc, 1.0);
+  EXPECT_GT(r.throughput, 0.0);
+  EXPECT_EQ(r.scores.size(), 500u);
+}
+
+TEST(HarnessTest, WarmupExcludedFromMetrics) {
+  CutoffDetector det(0.7);
+  stream::ReplaySource replay(CutoffStream(200));
+  RunOptions opts;
+  opts.warmup = 150;
+  const RunResult r = RunDetection(det, replay, 1000, opts);
+  EXPECT_EQ(r.confusion.total(), 50u);  // only post-warmup points scored
+}
+
+TEST(HarnessTest, ExhaustedSourceStopsEarly) {
+  CutoffDetector det(0.7);
+  stream::ReplaySource replay(CutoffStream(30));
+  const RunResult r = RunDetection(det, replay, 1000);
+  EXPECT_EQ(r.confusion.total(), 30u);
+}
+
+TEST(HarnessTest, CompareDetectorsFeedsIdenticalData) {
+  CutoffDetector strict(0.9);
+  CutoffDetector loose(0.1);
+  const auto points = CutoffStream(300);
+  const auto results = eval::CompareDetectors({&strict, &loose}, points);
+  ASSERT_EQ(results.size(), 2u);
+  // The loose detector flags everything the strict one flags, plus more.
+  EXPECT_GE(results[1].confusion.tp() + results[1].confusion.fp(),
+            results[0].confusion.tp() + results[0].confusion.fp());
+  EXPECT_EQ(results[0].confusion.total(), results[1].confusion.total());
+}
+
+}  // namespace
+}  // namespace spot

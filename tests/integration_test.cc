@@ -1,0 +1,232 @@
+// End-to-end integration tests: the full SPOT pipeline (learning stage →
+// detection stage) against the synthetic streams, the comparative harness,
+// and the drift / self-evolution machinery working together.
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baselines/storm.h"
+#include "core/detector.h"
+#include "eval/harness.h"
+#include "stream/drift.h"
+#include "stream/kdd_sim.h"
+#include "stream/replay.h"
+#include "stream/synthetic.h"
+
+namespace spot {
+namespace {
+
+SpotConfig FastConfig(int fs_max_dim = 2) {
+  SpotConfig cfg;
+  cfg.omega = 2000;
+  cfg.epsilon = 0.01;
+  cfg.cells_per_dim = 5;
+  cfg.fs_max_dimension = fs_max_dim;
+  cfg.cs_capacity = 12;
+  cfg.os_capacity = 16;
+  cfg.unsupervised.moga.population_size = 16;
+  cfg.unsupervised.moga.generations = 8;
+  cfg.unsupervised.top_outlying_points = 6;
+  cfg.unsupervised.top_subspaces_per_run = 6;
+  cfg.supervised.moga.population_size = 16;
+  cfg.supervised.moga.generations = 6;
+  cfg.evolution_period = 0;
+  cfg.os_update_every = 16;
+  cfg.domain_lo = 0.0;
+  cfg.domain_hi = 1.0;  // generators emit unit-cube data
+  cfg.drift_detection = false;
+  cfg.seed = 2024;
+  return cfg;
+}
+
+TEST(IntegrationTest, SpotDetectsPlantedProjectedOutliers) {
+  stream::SyntheticConfig scfg;
+  scfg.dimension = 10;
+  scfg.outlier_probability = 0.0;
+  scfg.concept_seed = 500;  // shared concept across training + detection
+  scfg.seed = 50;
+  stream::GaussianStream train_gen(scfg);
+  SpotDetector det(FastConfig());
+  ASSERT_TRUE(det.Learn(ValuesOf(Take(train_gen, 800))));
+
+  // Detection stream from the same concept, with planted outliers.
+  scfg.outlier_probability = 0.02;
+  scfg.seed = 51;
+  stream::GaussianStream stream(scfg);
+  SpotStreamAdapter adapter(&det);
+  const eval::RunResult r = eval::RunDetection(adapter, stream, 3000);
+
+  // The planted outliers are gross (8 sigma): SPOT must catch most of them
+  // without drowning in false alarms.
+  EXPECT_GT(r.confusion.Recall(), 0.7)
+      << "tp=" << r.confusion.tp() << " fn=" << r.confusion.fn();
+  EXPECT_LT(r.confusion.FalsePositiveRate(), 0.2);
+  EXPECT_GT(r.confusion.F1(), 0.3);
+}
+
+TEST(IntegrationTest, SpotReportsMeaningfulOutlyingSubspaces) {
+  stream::SyntheticConfig scfg;
+  scfg.dimension = 10;
+  scfg.outlier_probability = 0.0;
+  scfg.concept_seed = 520;
+  scfg.seed = 52;
+  stream::GaussianStream train_gen(scfg);
+  SpotDetector det(FastConfig());
+  ASSERT_TRUE(det.Learn(ValuesOf(Take(train_gen, 800))));
+
+  scfg.outlier_probability = 0.02;
+  scfg.min_outlier_subspace_dim = 1;
+  scfg.max_outlier_subspace_dim = 2;
+  scfg.seed = 53;
+  stream::GaussianStream stream(scfg);
+  SpotStreamAdapter adapter(&det);
+  const eval::RunResult r = eval::RunDetection(adapter, stream, 3000);
+  // Reported outlying subspaces overlap the planted ones (Jaccard over
+  // detected true positives).
+  EXPECT_GT(r.mean_subspace_jaccard, 0.3);
+}
+
+TEST(IntegrationTest, SpotBeatsStormOnProjectedOutliersInHighDim) {
+  // The headline comparison (E3/E4 in miniature): φ=20, planted projected
+  // outliers, SPOT vs a full-space distance detector on identical data.
+  stream::SyntheticConfig scfg;
+  scfg.dimension = 20;
+  scfg.outlier_probability = 0.0;
+  scfg.concept_seed = 540;
+  scfg.seed = 54;
+  stream::GaussianStream train_gen(scfg);
+  const auto training = ValuesOf(Take(train_gen, 800));
+
+  SpotDetector det(FastConfig());
+  ASSERT_TRUE(det.Learn(training));
+  SpotStreamAdapter spot_adapter(&det);
+
+  baselines::StormConfig storm_cfg;
+  storm_cfg.window = 1000;
+  storm_cfg.radius = 0.7;  // generous full-space neighborhood
+  storm_cfg.min_neighbors = 5;
+  baselines::StormDetector storm(storm_cfg);
+
+  scfg.outlier_probability = 0.02;
+  scfg.max_outlier_subspace_dim = 2;
+  scfg.seed = 55;
+  stream::GaussianStream gen(scfg);
+  const auto points = Take(gen, 3000);
+
+  const auto results =
+      eval::CompareDetectors({&spot_adapter, &storm}, points);
+  const double spot_f1 = results[0].confusion.F1();
+  const double storm_f1 = results[1].confusion.F1();
+  EXPECT_GT(spot_f1, storm_f1)
+      << "SPOT F1=" << spot_f1 << " STORM F1=" << storm_f1;
+  EXPECT_GT(spot_f1, 0.3);
+}
+
+TEST(IntegrationTest, KddSimulatorAttacksAreDetected) {
+  stream::KddConfig kcfg;
+  kcfg.attack_fraction = 0.0;
+  kcfg.seed = 60;
+  stream::KddSimulator train_sim(kcfg);
+  SpotConfig cfg = FastConfig(/*fs_max_dim=*/1);
+  cfg.fs_cap = 256;
+  SpotDetector det(cfg);
+  ASSERT_TRUE(det.Learn(ValuesOf(Take(train_sim, 1000))));
+
+  // Attacks are kept rare (1%): recurring identical attacks accumulate
+  // decayed mass in their own cells and self-mask, which is intrinsic to
+  // density-based stream detection (see EXPERIMENTS.md, E9 discussion).
+  kcfg.attack_fraction = 0.01;
+  kcfg.seed = 61;
+  stream::KddSimulator sim(kcfg);
+  SpotStreamAdapter adapter(&det);
+  const eval::RunResult r = eval::RunDetection(adapter, sim, 6000);
+  EXPECT_GT(r.confusion.Recall(), 0.5);
+  EXPECT_LT(r.confusion.FalsePositiveRate(), 0.25);
+}
+
+TEST(IntegrationTest, DriftDetectionFiresOnAbruptConceptChange) {
+  stream::DriftConfig dcfg;
+  dcfg.base.dimension = 8;
+  dcfg.base.outlier_probability = 0.005;
+  dcfg.base.seed = 70;
+  dcfg.kind = stream::DriftKind::kAbrupt;
+  dcfg.period = 3000;
+  stream::DriftingStream stream(dcfg);
+
+  SpotConfig cfg = FastConfig();
+  cfg.drift_detection = true;
+  cfg.relearn_on_drift = true;
+  cfg.drift_lambda = 8.0;
+  SpotDetector det(cfg);
+  ASSERT_TRUE(det.Learn(ValuesOf(Take(stream, 1000))));
+
+  for (int i = 0; i < 8000; ++i) {
+    det.Process(stream.Next()->point.values);
+  }
+  // After the concept replacement the old clusters empty out and every new
+  // point looks sparse — the outlier-rate jump must trip Page-Hinkley.
+  EXPECT_GE(det.stats().drifts_detected, 1u);
+}
+
+TEST(IntegrationTest, SelfEvolutionKeepsCsPopulated) {
+  stream::SyntheticConfig scfg;
+  scfg.dimension = 10;
+  scfg.seed = 80;
+  stream::GaussianStream gen(scfg);
+  SpotConfig cfg = FastConfig();
+  cfg.evolution_period = 500;
+  SpotDetector det(cfg);
+  ASSERT_TRUE(det.Learn(ValuesOf(Take(gen, 600))));
+  const std::size_t cs_before = det.sst().clustering().size();
+  ASSERT_GT(cs_before, 0u);
+  for (int i = 0; i < 2500; ++i) det.Process(gen.Next()->point.values);
+  EXPECT_GE(det.stats().evolution_rounds, 4u);
+  EXPECT_GT(det.sst().clustering().size(), 0u);
+  // Tracked synapses stay in sync with the SST after evolution churn.
+  EXPECT_EQ(det.TrackedSubspaces(), det.sst().TotalSize());
+}
+
+TEST(IntegrationTest, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    stream::SyntheticConfig scfg;
+    scfg.dimension = 8;
+    scfg.outlier_probability = 0.02;
+    scfg.seed = 90;
+    stream::GaussianStream gen(scfg);
+    SpotDetector det(FastConfig());
+    det.Learn(ValuesOf(Take(gen, 500)));
+    std::uint64_t flagged = 0;
+    for (int i = 0; i < 1000; ++i) {
+      if (det.Process(gen.Next()->point.values).is_outlier) ++flagged;
+    }
+    return flagged;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(IntegrationTest, LongRunMemoryStaysBounded) {
+  stream::SyntheticConfig scfg;
+  scfg.dimension = 8;
+  scfg.outlier_probability = 0.01;
+  scfg.seed = 95;
+  stream::GaussianStream gen(scfg);
+  SpotConfig cfg = FastConfig();
+  cfg.omega = 500;
+  cfg.compaction_period = 512;
+  SpotDetector det(cfg);
+  ASSERT_TRUE(det.Learn(ValuesOf(Take(gen, 500))));
+
+  std::size_t cells_mid = 0;
+  for (int i = 0; i < 6000; ++i) {
+    det.Process(gen.Next()->point.values);
+    if (i == 3000) cells_mid = det.synapses().TotalPopulatedCells();
+  }
+  const std::size_t cells_end = det.synapses().TotalPopulatedCells();
+  // Populated cells plateau (within 3x) instead of growing with the stream.
+  EXPECT_LT(cells_end, cells_mid * 3 + 100);
+}
+
+}  // namespace
+}  // namespace spot

@@ -1,0 +1,153 @@
+// Tests of the SST / config text snapshot (src/core/snapshot.h).
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/snapshot.h"
+#include "subspace/lattice.h"
+
+namespace spot {
+namespace {
+
+Sst MakeSst() {
+  Sst sst(8, 8);
+  sst.SetFixed(EnumerateLattice(4, 1));
+  sst.AddClustering(Subspace::FromIndices({0, 2}), 0.125);
+  sst.AddClustering(Subspace::FromIndices({1, 3}), 0.5);
+  sst.AddOutlierDriven(Subspace::FromIndices({2, 3}), 0.001);
+  return sst;
+}
+
+TEST(SstSnapshotTest, RoundTripPreservesEverything) {
+  const Sst original = MakeSst();
+  const std::string text = ExportSst(original);
+
+  Sst restored(8, 8);
+  ASSERT_TRUE(ImportSst(text, &restored));
+  EXPECT_EQ(restored.fixed().size(), original.fixed().size());
+  EXPECT_EQ(restored.clustering().size(), original.clustering().size());
+  EXPECT_EQ(restored.outlier_driven().size(),
+            original.outlier_driven().size());
+  EXPECT_TRUE(restored.Contains(Subspace::FromIndices({0, 2})));
+  EXPECT_DOUBLE_EQ(
+      restored.clustering().ScoreOf(Subspace::FromIndices({0, 2})), 0.125);
+  EXPECT_DOUBLE_EQ(
+      restored.outlier_driven().ScoreOf(Subspace::FromIndices({2, 3})),
+      0.001);
+  // Byte-identical re-export.
+  EXPECT_EQ(ExportSst(restored), text);
+}
+
+TEST(SstSnapshotTest, EmptySstRoundTrips) {
+  Sst empty(4, 4);
+  Sst restored(4, 4);
+  ASSERT_TRUE(ImportSst(ExportSst(empty), &restored));
+  EXPECT_EQ(restored.TotalSize(), 0u);
+}
+
+TEST(SstSnapshotTest, RejectsMalformedDocuments) {
+  Sst sst(4, 4);
+  EXPECT_FALSE(ImportSst("", &sst));
+  EXPECT_FALSE(ImportSst("wrong-header\n", &sst));
+  EXPECT_FALSE(ImportSst("spot-sst v1\nfs 0,1\n", &sst));      // no braces
+  EXPECT_FALSE(ImportSst("spot-sst v1\nfs {0,x}\n", &sst));    // bad index
+  EXPECT_FALSE(ImportSst("spot-sst v1\nfs {99}\n", &sst));     // out of range
+  EXPECT_FALSE(ImportSst("spot-sst v1\ncs {0}\n", &sst));      // missing score
+  EXPECT_FALSE(ImportSst("spot-sst v1\ncs {0} abc\n", &sst));  // bad score
+  EXPECT_FALSE(ImportSst("spot-sst v1\nzz {0} 1.0\n", &sst));  // bad kind
+  EXPECT_FALSE(ImportSst("spot-sst v1\nfs {0} extra\n", &sst));
+  EXPECT_FALSE(ImportSst("spot-sst v1\nfs {}\n", &sst));       // empty subspace
+}
+
+TEST(SstSnapshotTest, FailedImportLeavesTargetUntouched) {
+  Sst sst = MakeSst();
+  const std::size_t before = sst.TotalSize();
+  EXPECT_FALSE(ImportSst("garbage", &sst));
+  EXPECT_EQ(sst.TotalSize(), before);
+}
+
+TEST(ConfigSnapshotTest, RoundTripPreservesAllFields) {
+  SpotConfig c;
+  c.omega = 12345;
+  c.epsilon = 0.002;
+  c.cells_per_dim = 7;
+  c.partition_margin = 0.1;
+  c.domain_lo = -2.5;
+  c.domain_hi = 4.5;
+  c.fs_max_dimension = 3;
+  c.fs_cap = 99;
+  c.cs_capacity = 11;
+  c.os_capacity = 13;
+  c.rd_threshold = 0.21;
+  c.irsd_threshold = 0.77;
+  c.fringe_factor = 3.5;
+  c.evolution_period = 777;
+  c.reservoir_capacity = 256;
+  c.os_update_every = 4;
+  c.drift_detection = false;
+  c.drift_delta = 0.02;
+  c.drift_lambda = 9.0;
+  c.relearn_on_drift = false;
+  c.prune_threshold = 1e-5;
+  c.compaction_period = 1000;
+  c.seed = 42424242;
+
+  SpotConfig restored;
+  ASSERT_TRUE(ImportConfig(ExportConfig(c), &restored));
+  EXPECT_EQ(restored.omega, c.omega);
+  EXPECT_DOUBLE_EQ(restored.epsilon, c.epsilon);
+  EXPECT_EQ(restored.cells_per_dim, c.cells_per_dim);
+  EXPECT_DOUBLE_EQ(restored.partition_margin, c.partition_margin);
+  EXPECT_DOUBLE_EQ(restored.domain_lo, c.domain_lo);
+  EXPECT_DOUBLE_EQ(restored.domain_hi, c.domain_hi);
+  EXPECT_EQ(restored.fs_max_dimension, c.fs_max_dimension);
+  EXPECT_EQ(restored.fs_cap, c.fs_cap);
+  EXPECT_EQ(restored.cs_capacity, c.cs_capacity);
+  EXPECT_EQ(restored.os_capacity, c.os_capacity);
+  EXPECT_DOUBLE_EQ(restored.rd_threshold, c.rd_threshold);
+  EXPECT_DOUBLE_EQ(restored.irsd_threshold, c.irsd_threshold);
+  EXPECT_DOUBLE_EQ(restored.fringe_factor, c.fringe_factor);
+  EXPECT_EQ(restored.evolution_period, c.evolution_period);
+  EXPECT_EQ(restored.reservoir_capacity, c.reservoir_capacity);
+  EXPECT_EQ(restored.os_update_every, c.os_update_every);
+  EXPECT_EQ(restored.drift_detection, c.drift_detection);
+  EXPECT_DOUBLE_EQ(restored.drift_delta, c.drift_delta);
+  EXPECT_DOUBLE_EQ(restored.drift_lambda, c.drift_lambda);
+  EXPECT_EQ(restored.relearn_on_drift, c.relearn_on_drift);
+  EXPECT_DOUBLE_EQ(restored.prune_threshold, c.prune_threshold);
+  EXPECT_EQ(restored.compaction_period, c.compaction_period);
+  EXPECT_EQ(restored.seed, c.seed);
+}
+
+TEST(ConfigSnapshotTest, DefaultsRoundTripAndValidate) {
+  SpotConfig restored;
+  ASSERT_TRUE(ImportConfig(ExportConfig(SpotConfig{}), &restored));
+  EXPECT_EQ(restored.Validate(), "");
+}
+
+TEST(ConfigSnapshotTest, MissingKeysKeepDefaults) {
+  SpotConfig restored;
+  ASSERT_TRUE(ImportConfig("spot-config v1\nomega 555\n", &restored));
+  EXPECT_EQ(restored.omega, 555u);
+  EXPECT_DOUBLE_EQ(restored.epsilon, SpotConfig{}.epsilon);
+}
+
+TEST(ConfigSnapshotTest, RejectsBadInput) {
+  SpotConfig c;
+  EXPECT_FALSE(ImportConfig("", &c));
+  EXPECT_FALSE(ImportConfig("spot-config v2\n", &c));
+  EXPECT_FALSE(ImportConfig("spot-config v1\nunknown_key 5\n", &c));
+  EXPECT_FALSE(ImportConfig("spot-config v1\nomega abc\n", &c));
+  EXPECT_FALSE(ImportConfig("spot-config v1\nomega 5 extra\n", &c));
+}
+
+TEST(ConfigSnapshotTest, FailedImportLeavesTargetUntouched) {
+  SpotConfig c;
+  c.omega = 999;
+  EXPECT_FALSE(ImportConfig("spot-config v1\nomega 5\nbadkey 1\n", &c));
+  EXPECT_EQ(c.omega, 999u);
+}
+
+}  // namespace
+}  // namespace spot

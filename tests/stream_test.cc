@@ -1,0 +1,322 @@
+// Unit tests of src/stream: generators, drift, the KDD-style simulator and
+// the replay source.
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/math_util.h"
+#include "stream/data_point.h"
+#include "stream/drift.h"
+#include "stream/kdd_sim.h"
+#include "stream/replay.h"
+#include "stream/synthetic.h"
+
+namespace spot {
+namespace {
+
+using stream::AttackCategory;
+using stream::DriftConfig;
+using stream::DriftKind;
+using stream::DriftingStream;
+using stream::GaussianStream;
+using stream::KddConfig;
+using stream::KddSimulator;
+using stream::ReplaySource;
+using stream::SyntheticConfig;
+
+// ------------------------------------------------------ GaussianStream ----
+
+TEST(GaussianStreamTest, EmitsCorrectDimensionAndIds) {
+  SyntheticConfig cfg;
+  cfg.dimension = 12;
+  GaussianStream s(cfg);
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    const auto p = s.Next();
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(p->point.dimension(), 12);
+    EXPECT_EQ(p->point.id, i);
+  }
+}
+
+TEST(GaussianStreamTest, ValuesInUnitCube) {
+  SyntheticConfig cfg;
+  GaussianStream s(cfg);
+  for (int i = 0; i < 500; ++i) {
+    const auto p = s.Next();
+    for (double v : p->point.values) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0);
+    }
+  }
+}
+
+TEST(GaussianStreamTest, OutlierRateApproximatesConfig) {
+  SyntheticConfig cfg;
+  cfg.outlier_probability = 0.05;
+  cfg.seed = 9;
+  GaussianStream s(cfg);
+  int outliers = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    if (s.Next()->is_outlier) ++outliers;
+  }
+  EXPECT_NEAR(static_cast<double>(outliers) / n, 0.05, 0.01);
+}
+
+TEST(GaussianStreamTest, OutliersCarrySubspaceWithinConfiguredDims) {
+  SyntheticConfig cfg;
+  cfg.outlier_probability = 0.2;
+  cfg.min_outlier_subspace_dim = 2;
+  cfg.max_outlier_subspace_dim = 3;
+  GaussianStream s(cfg);
+  int seen = 0;
+  for (int i = 0; i < 2000 && seen < 50; ++i) {
+    const auto p = s.Next();
+    if (!p->is_outlier) continue;
+    ++seen;
+    const int d = p->outlying_subspace.Dimension();
+    EXPECT_GE(d, 2);
+    EXPECT_LE(d, 3);
+  }
+  EXPECT_GE(seen, 50);
+}
+
+TEST(GaussianStreamTest, RegularPointsHaveNoSubspace) {
+  SyntheticConfig cfg;
+  cfg.outlier_probability = 0.0;
+  GaussianStream s(cfg);
+  for (int i = 0; i < 200; ++i) {
+    const auto p = s.Next();
+    EXPECT_FALSE(p->is_outlier);
+    EXPECT_TRUE(p->outlying_subspace.IsEmpty());
+  }
+}
+
+TEST(GaussianStreamTest, OutlierIsDisplacedInPlantedDims) {
+  SyntheticConfig cfg;
+  cfg.outlier_probability = 0.5;
+  cfg.seed = 21;
+  GaussianStream s(cfg);
+  int checked = 0;
+  for (int i = 0; i < 500 && checked < 20; ++i) {
+    const auto p = s.Next();
+    if (!p->is_outlier) continue;
+    ++checked;
+    for (int d : p->outlying_subspace.Indices()) {
+      // The planted value is far from every cluster center in d — the
+      // generator is best-effort when the domain is crowded, so assert at
+      // least 3 cluster standard deviations (the full displacement target
+      // is 8).
+      double min_gap = 1.0;
+      for (const auto& center : s.centers()) {
+        min_gap = std::min(
+            min_gap,
+            std::fabs(p->point.values[static_cast<std::size_t>(d)] -
+                      center[static_cast<std::size_t>(d)]));
+      }
+      EXPECT_GE(min_gap, 3.0 * cfg.cluster_stddev);
+    }
+  }
+  EXPECT_EQ(checked, 20);
+}
+
+TEST(GaussianStreamTest, DeterministicForSeed) {
+  SyntheticConfig cfg;
+  cfg.seed = 77;
+  GaussianStream a(cfg);
+  GaussianStream b(cfg);
+  for (int i = 0; i < 100; ++i) {
+    const auto pa = a.Next();
+    const auto pb = b.Next();
+    EXPECT_EQ(pa->point.values, pb->point.values);
+    EXPECT_EQ(pa->is_outlier, pb->is_outlier);
+  }
+}
+
+TEST(GaussianStreamTest, TakeHelperCollects) {
+  SyntheticConfig cfg;
+  GaussianStream s(cfg);
+  const auto batch = Take(s, 123);
+  EXPECT_EQ(batch.size(), 123u);
+  const auto values = ValuesOf(batch);
+  EXPECT_EQ(values.size(), 123u);
+  EXPECT_EQ(values.front().size(), static_cast<std::size_t>(cfg.dimension));
+}
+
+// ------------------------------------------------------ DriftingStream ----
+
+TEST(DriftingStreamTest, GradualDriftMovesCenters) {
+  DriftConfig cfg;
+  cfg.kind = DriftKind::kGradual;
+  cfg.drift_rate = 1e-3;
+  DriftingStream s(cfg);
+  const auto before = s.centers();
+  for (int i = 0; i < 5000; ++i) s.Next();
+  const auto after = s.centers();
+  double moved = 0.0;
+  for (std::size_t c = 0; c < before.size(); ++c) {
+    moved += EuclideanDistance(before[c], after[c]);
+  }
+  EXPECT_GT(moved, 0.01);
+}
+
+TEST(DriftingStreamTest, AbruptDriftSwitchesConcepts) {
+  DriftConfig cfg;
+  cfg.kind = DriftKind::kAbrupt;
+  cfg.period = 1000;
+  DriftingStream s(cfg);
+  for (int i = 0; i < 3500; ++i) s.Next();
+  EXPECT_EQ(s.concept_switches(), 3u);
+}
+
+TEST(DriftingStreamTest, NoSwitchBeforePeriod) {
+  DriftConfig cfg;
+  cfg.kind = DriftKind::kAbrupt;
+  cfg.period = 100000;
+  DriftingStream s(cfg);
+  for (int i = 0; i < 500; ++i) s.Next();
+  EXPECT_EQ(s.concept_switches(), 0u);
+}
+
+TEST(DriftingStreamTest, OutliersStillPlanted) {
+  DriftConfig cfg;
+  cfg.base.outlier_probability = 0.1;
+  DriftingStream s(cfg);
+  int outliers = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const auto p = s.Next();
+    if (p->is_outlier) {
+      ++outliers;
+      EXPECT_FALSE(p->outlying_subspace.IsEmpty());
+    }
+  }
+  EXPECT_GT(outliers, 100);
+}
+
+// -------------------------------------------------------- KddSimulator ----
+
+TEST(KddSimulatorTest, DimensionAndRanges) {
+  KddSimulator sim(KddConfig{});
+  EXPECT_EQ(sim.dimension(), KddSimulator::kNumFeatures);
+  for (int i = 0; i < 500; ++i) {
+    const auto p = sim.Next();
+    ASSERT_EQ(p->point.dimension(), KddSimulator::kNumFeatures);
+    for (double v : p->point.values) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0);
+    }
+  }
+}
+
+TEST(KddSimulatorTest, AttackFractionRespected) {
+  KddConfig cfg;
+  cfg.attack_fraction = 0.1;
+  cfg.seed = 13;
+  KddSimulator sim(cfg);
+  int attacks = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (sim.Next()->is_outlier) ++attacks;
+  }
+  EXPECT_NEAR(static_cast<double>(attacks) / n, 0.1, 0.01);
+}
+
+TEST(KddSimulatorTest, AllCategoriesAppearWithDosDominant) {
+  KddConfig cfg;
+  cfg.attack_fraction = 0.3;
+  KddSimulator sim(cfg);
+  std::vector<int> by_category(5, 0);
+  for (int i = 0; i < 20000; ++i) {
+    const auto p = sim.Next();
+    ASSERT_GE(p->category, 0);
+    ASSERT_LE(p->category, 4);
+    ++by_category[static_cast<std::size_t>(p->category)];
+  }
+  EXPECT_GT(by_category[1], 0);  // dos
+  EXPECT_GT(by_category[2], 0);  // probe
+  EXPECT_GT(by_category[3], 0);  // r2l
+  EXPECT_GT(by_category[4], 0);  // u2r
+  EXPECT_GT(by_category[1], by_category[2]);
+  EXPECT_GT(by_category[2], by_category[3]);
+  EXPECT_GT(by_category[3], by_category[4]);
+}
+
+TEST(KddSimulatorTest, AttacksCarryCategorySubspace) {
+  KddConfig cfg;
+  cfg.attack_fraction = 0.5;
+  KddSimulator sim(cfg);
+  for (int i = 0; i < 1000; ++i) {
+    const auto p = sim.Next();
+    if (!p->is_outlier) continue;
+    const auto expected = KddSimulator::CategorySubspace(
+        static_cast<AttackCategory>(p->category));
+    EXPECT_EQ(p->outlying_subspace, expected);
+    EXPECT_GE(expected.Dimension(), 2);
+    EXPECT_LE(expected.Dimension(), 4);
+  }
+}
+
+TEST(KddSimulatorTest, DosAttackSaturatesItsSubspace) {
+  KddConfig cfg;
+  cfg.attack_fraction = 0.5;
+  cfg.seed = 3;
+  KddSimulator sim(cfg);
+  int seen = 0;
+  for (int i = 0; i < 5000 && seen < 20; ++i) {
+    const auto p = sim.Next();
+    if (p->category != static_cast<int>(AttackCategory::kDos)) continue;
+    ++seen;
+    // conn_count (18) and srv_count (19) near saturation.
+    EXPECT_GT(p->point.values[18], 0.8);
+    EXPECT_GT(p->point.values[19], 0.8);
+  }
+  EXPECT_EQ(seen, 20);
+}
+
+TEST(KddSimulatorTest, CategoryNamesAndFeatureNames) {
+  EXPECT_EQ(AttackCategoryName(AttackCategory::kNormal), "normal");
+  EXPECT_EQ(AttackCategoryName(AttackCategory::kDos), "dos");
+  EXPECT_EQ(AttackCategoryName(AttackCategory::kU2r), "u2r");
+  EXPECT_EQ(KddSimulator::FeatureName(0), "duration");
+  EXPECT_EQ(KddSimulator::FeatureName(18), "conn_count");
+  EXPECT_EQ(KddSimulator::FeatureName(-1), "?");
+  EXPECT_EQ(KddSimulator::FeatureName(99), "?");
+}
+
+// -------------------------------------------------------- ReplaySource ----
+
+TEST(ReplaySourceTest, ReplaysExactlyAndEnds) {
+  SyntheticConfig cfg;
+  GaussianStream gen(cfg);
+  const auto batch = Take(gen, 30);
+  ReplaySource replay(batch);
+  EXPECT_EQ(replay.size(), 30u);
+  for (std::size_t i = 0; i < 30; ++i) {
+    const auto p = replay.Next();
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(p->point.values, batch[i].point.values);
+  }
+  EXPECT_FALSE(replay.Next().has_value());
+}
+
+TEST(ReplaySourceTest, ResetRewinds) {
+  SyntheticConfig cfg;
+  GaussianStream gen(cfg);
+  ReplaySource replay(Take(gen, 5));
+  while (replay.Next().has_value()) {
+  }
+  replay.Reset();
+  EXPECT_TRUE(replay.Next().has_value());
+}
+
+TEST(ReplaySourceTest, EmptyReplay) {
+  ReplaySource replay({});
+  EXPECT_EQ(replay.dimension(), 0);
+  EXPECT_FALSE(replay.Next().has_value());
+}
+
+}  // namespace
+}  // namespace spot

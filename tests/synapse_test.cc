@@ -1,0 +1,258 @@
+// Unit tests of the PCS machinery: ProjectedGrid RD/IRSD semantics and the
+// SynapseManager that unifies BCS + PCS maintenance.
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "grid/pcs.h"
+#include "grid/projected_grid.h"
+#include "grid/synapse_manager.h"
+
+namespace spot {
+namespace {
+
+Partition UnitPartition(int dims, int cells = 10) {
+  return Partition(dims, cells, 0.0, 1.0);
+}
+
+// -------------------------------------------------------------- Pcs -------
+
+TEST(PcsTest, SparseCheckRequiresBothThresholds) {
+  Pcs pcs;
+  pcs.rd = 0.05;
+  pcs.irsd = 0.2;
+  EXPECT_TRUE(pcs.IsSparse(0.1, 0.5));
+  EXPECT_FALSE(pcs.IsSparse(0.01, 0.5));  // rd too high for threshold
+  EXPECT_FALSE(pcs.IsSparse(0.1, 0.1));   // irsd too high for threshold
+}
+
+// ----------------------------------------------------- ProjectedGrid ------
+
+TEST(ProjectedGridTest, UnpopulatedCellIsMaximallySparse) {
+  const Partition part = UnitPartition(3);
+  ProjectedGrid grid(Subspace::FromIndices({0, 1}), &part,
+                     DecayModel::None());
+  const Pcs pcs = grid.Query({0.5, 0.5, 0.5}, 100.0);
+  EXPECT_DOUBLE_EQ(pcs.rd, 0.0);
+  EXPECT_DOUBLE_EQ(pcs.irsd, 0.0);
+  EXPECT_DOUBLE_EQ(pcs.count, 0.0);
+}
+
+TEST(ProjectedGridTest, RdIsRelativeToWeightedAverageCellMass) {
+  const Partition part = UnitPartition(2);
+  ProjectedGrid grid(Subspace::FromIndices({0}), &part, DecayModel::None());
+  // Two populated cells: 9 points in cell A, 1 point in cell B.
+  std::uint64_t t = 0;
+  for (int i = 0; i < 9; ++i) grid.Add({0.05, 0.5}, t++);
+  grid.Add({0.95, 0.5}, t++);
+  const double total = 10.0;
+  const Pcs dense = grid.Query({0.05, 0.0}, total);
+  const Pcs sparse = grid.Query({0.95, 0.0}, total);
+  // RD = count * W / sum(count^2); sum = 81 + 1 = 82.
+  EXPECT_NEAR(dense.rd, 9.0 * 10.0 / 82.0, 1e-9);
+  EXPECT_NEAR(sparse.rd, 1.0 * 10.0 / 82.0, 1e-9);
+  EXPECT_GT(dense.rd, 1.0);
+  EXPECT_LT(sparse.rd, 0.2);
+}
+
+TEST(ProjectedGridTest, SumSqDecaysTwiceAsFastAsCounts) {
+  const Partition part = UnitPartition(1);
+  const DecayModel model(50, 0.01);
+  ProjectedGrid grid(Subspace::FromIndices({0}), &part, model);
+  grid.Add({0.5}, 0);
+  grid.Add({0.5}, 0);  // count 2 at tick 0: sumsq = 4
+  EXPECT_NEAR(grid.SumSqAt(0), 4.0, 1e-12);
+  const double a10 = model.WeightAtAge(10);
+  EXPECT_NEAR(grid.SumSqAt(10), 4.0 * a10 * a10, 1e-9);
+}
+
+TEST(ProjectedGridTest, SinglePointCellHasZeroIrsd) {
+  const Partition part = UnitPartition(2);
+  ProjectedGrid grid(Subspace::FromIndices({0}), &part, DecayModel::None());
+  grid.Add({0.95, 0.5}, 0);
+  const Pcs pcs = grid.Query({0.95, 0.5}, 1.0);
+  EXPECT_DOUBLE_EQ(pcs.irsd, 0.0);
+  EXPECT_NEAR(pcs.count, 1.0, 1e-12);
+}
+
+TEST(ProjectedGridTest, TightClusterHasHighIrsd) {
+  const Partition part = UnitPartition(2);
+  ProjectedGrid grid(Subspace::FromIndices({0}), &part, DecayModel::None());
+  // All points at nearly the same value inside one cell: tiny sigma.
+  std::uint64_t t = 0;
+  for (int i = 0; i < 20; ++i) {
+    grid.Add({0.5501 + 1e-5 * i, 0.5}, t++);
+  }
+  const Pcs pcs = grid.Query({0.55, 0.5}, 20.0);
+  EXPECT_GT(pcs.irsd, 10.0);
+}
+
+TEST(ProjectedGridTest, UniformSpreadHasIrsdNearOne) {
+  const Partition part = UnitPartition(1, 1);  // single cell over [0,1]
+  ProjectedGrid grid(Subspace::FromIndices({0}), &part, DecayModel::None());
+  Rng rng(3);
+  std::uint64_t t = 0;
+  for (int i = 0; i < 5000; ++i) grid.Add({rng.NextDouble()}, t++);
+  const Pcs pcs = grid.Query({0.5}, 5000.0);
+  // sigma_uniform / sigma_actual ~ 1 for uniform content (the 0.01*su offset
+  // in the denominator biases slightly below 1).
+  EXPECT_NEAR(pcs.irsd, 1.0, 0.05);
+}
+
+TEST(ProjectedGridTest, IrsdIsCapped) {
+  const Partition part = UnitPartition(1);
+  ProjectedGrid grid(Subspace::FromIndices({0}), &part, DecayModel::None());
+  // Identical points: sigma == 0, ratio would be 100 (1/0.01 == cap).
+  for (std::uint64_t t = 0; t < 10; ++t) grid.Add({0.55}, t);
+  const Pcs pcs = grid.Query({0.55}, 10.0);
+  EXPECT_LE(pcs.irsd, Pcs::kIrsdCap);
+  // Floating-point noise keeps sigma marginally above zero, so the value
+  // sits just below the cap.
+  EXPECT_NEAR(pcs.irsd, Pcs::kIrsdCap, 0.1);
+}
+
+TEST(ProjectedGridTest, DecayShrinksOldCells) {
+  const Partition part = UnitPartition(1);
+  ProjectedGrid grid(Subspace::FromIndices({0}), &part, DecayModel(20, 0.01));
+  for (std::uint64_t t = 0; t < 5; ++t) grid.Add({0.05}, t);
+  // Advance time with arrivals elsewhere.
+  for (std::uint64_t t = 5; t < 100; ++t) grid.Add({0.95}, t);
+  const Pcs old_cell = grid.QueryCoords({0}, 50.0);
+  EXPECT_LT(old_cell.count, 0.1);  // decayed to near nothing
+}
+
+TEST(ProjectedGridTest, CompactDropsDecayedCells) {
+  const Partition part = UnitPartition(1);
+  ProjectedGrid grid(Subspace::FromIndices({0}), &part, DecayModel(10, 0.001),
+                     1e-3, 0);
+  grid.Add({0.05}, 0);
+  for (std::uint64_t t = 1; t < 300; ++t) grid.Add({0.95}, t);
+  EXPECT_EQ(grid.PopulatedCells(), 2u);
+  grid.Compact(299);
+  EXPECT_EQ(grid.PopulatedCells(), 1u);
+}
+
+TEST(ProjectedGridTest, MultiDimSubspaceCoordinates) {
+  const Partition part = UnitPartition(4);
+  ProjectedGrid grid(Subspace::FromIndices({1, 3}), &part,
+                     DecayModel::None());
+  grid.Add({0.0, 0.15, 0.0, 0.85}, 0);
+  // Same projection in dims {1,3}, wildly different elsewhere: same cell.
+  grid.Add({0.9, 0.18, 0.4, 0.88}, 1);
+  EXPECT_EQ(grid.PopulatedCells(), 1u);
+  const Pcs pcs = grid.Query({0.5, 0.11, 0.99, 0.81}, 2.0);
+  EXPECT_NEAR(pcs.count, 2.0, 1e-12);
+}
+
+// ---------------------------------------------------- SynapseManager ------
+
+TEST(SynapseManagerTest, TrackUntrackLifecycle) {
+  SynapseManager mgr(UnitPartition(3), DecayModel::None());
+  const Subspace s = Subspace::FromIndices({0, 2});
+  EXPECT_FALSE(mgr.IsTracked(s));
+  mgr.Track(s);
+  EXPECT_TRUE(mgr.IsTracked(s));
+  EXPECT_EQ(mgr.NumTracked(), 1u);
+  mgr.Track(s);  // idempotent
+  EXPECT_EQ(mgr.NumTracked(), 1u);
+  mgr.Untrack(s);
+  EXPECT_FALSE(mgr.IsTracked(s));
+}
+
+TEST(SynapseManagerTest, EmptySubspaceNotTrackable) {
+  SynapseManager mgr(UnitPartition(3), DecayModel::None());
+  mgr.Track(Subspace());
+  EXPECT_EQ(mgr.NumTracked(), 0u);
+}
+
+TEST(SynapseManagerTest, AddUpdatesAllGrids) {
+  SynapseManager mgr(UnitPartition(3), DecayModel::None());
+  mgr.Track(Subspace::FromIndices({0}));
+  mgr.Track(Subspace::FromIndices({1, 2}));
+  for (std::uint64_t t = 0; t < 10; ++t) mgr.Add({0.5, 0.5, 0.5}, t);
+  EXPECT_NEAR(mgr.TotalWeight(), 10.0, 1e-9);
+  const Pcs a = mgr.Query({0.5, 0.5, 0.5}, Subspace::FromIndices({0}));
+  const Pcs b = mgr.Query({0.5, 0.5, 0.5}, Subspace::FromIndices({1, 2}));
+  EXPECT_NEAR(a.count, 10.0, 1e-9);
+  EXPECT_NEAR(b.count, 10.0, 1e-9);
+}
+
+TEST(SynapseManagerTest, QueryUntrackedReturnsEmptyPcs) {
+  SynapseManager mgr(UnitPartition(3), DecayModel::None());
+  mgr.Add({0.5, 0.5, 0.5}, 0);
+  const Pcs pcs = mgr.Query({0.5, 0.5, 0.5}, Subspace::FromIndices({0}));
+  EXPECT_DOUBLE_EQ(pcs.count, 0.0);
+}
+
+TEST(SynapseManagerTest, LateTrackedGridStartsEmpty) {
+  SynapseManager mgr(UnitPartition(2), DecayModel::None());
+  for (std::uint64_t t = 0; t < 5; ++t) mgr.Add({0.5, 0.5}, t);
+  mgr.Track(Subspace::FromIndices({0}));
+  const Pcs before = mgr.Query({0.5, 0.5}, Subspace::FromIndices({0}));
+  EXPECT_DOUBLE_EQ(before.count, 0.0);
+  mgr.Add({0.5, 0.5}, 5);
+  const Pcs after = mgr.Query({0.5, 0.5}, Subspace::FromIndices({0}));
+  EXPECT_NEAR(after.count, 1.0, 1e-12);
+}
+
+TEST(SynapseManagerTest, TotalPopulatedCellsAggregates) {
+  SynapseManager mgr(UnitPartition(2), DecayModel::None());
+  mgr.Track(Subspace::FromIndices({0}));
+  mgr.Add({0.05, 0.05}, 0);
+  mgr.Add({0.95, 0.95}, 1);
+  // Base grid: 2 cells; projected {0}: 2 cells.
+  EXPECT_EQ(mgr.TotalPopulatedCells(), 4u);
+}
+
+TEST(SynapseManagerTest, CompactAllSweepsEveryGrid) {
+  SynapseManager mgr(UnitPartition(1), DecayModel(10, 0.001), 1e-3, 0);
+  mgr.Track(Subspace::FromIndices({0}));
+  mgr.Add({0.05}, 0);
+  for (std::uint64_t t = 1; t < 300; ++t) mgr.Add({0.95}, t);
+  const std::size_t removed = mgr.CompactAll(299);
+  EXPECT_GE(removed, 2u);  // stale cell gone from base + projected grid
+}
+
+TEST(SynapseManagerTest, TrackedSubspacesRoundTrip) {
+  SynapseManager mgr(UnitPartition(4), DecayModel::None());
+  mgr.Track(Subspace::FromIndices({0}));
+  mgr.Track(Subspace::FromIndices({1, 2}));
+  const auto tracked = mgr.TrackedSubspaces();
+  EXPECT_EQ(tracked.size(), 2u);
+}
+
+// PCS consistency: the online ProjectedGrid (no decay) must agree with the
+// batch evaluation used by MOGA objectives. Guards against the two code
+// paths drifting apart.
+TEST(SynapseManagerTest, OnlinePcsMatchesBatchForStaticData) {
+  const Partition part = UnitPartition(2);
+  SynapseManager mgr(part, DecayModel::None());
+  const Subspace s = Subspace::FromIndices({0});
+  mgr.Track(s);
+  Rng rng(11);
+  std::vector<std::vector<double>> data;
+  std::uint64_t t = 0;
+  for (int i = 0; i < 200; ++i) {
+    data.push_back({rng.NextDouble(), rng.NextDouble()});
+    mgr.Add(data.back(), t++);
+  }
+  // Batch recomputation of RD for a probe point.
+  const std::vector<double> probe = data.front();
+  const Pcs online = mgr.Query(probe, s);
+  // Histogram the cell occupancy by hand.
+  std::vector<double> counts(10, 0.0);
+  for (const auto& row : data) {
+    counts[part.IntervalIndex(0, row[0])] += 1.0;
+  }
+  double sumsq = 0.0;
+  for (double c : counts) sumsq += c * c;
+  const double expected_rd =
+      counts[part.IntervalIndex(0, probe[0])] * 200.0 / sumsq;
+  EXPECT_NEAR(online.rd, expected_rd, 1e-9);
+}
+
+}  // namespace
+}  // namespace spot
