@@ -71,8 +71,104 @@ void BM_ProjectedGridAddAndQuery(benchmark::State& state) {
     ++tick;
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["probes/pt"] =
+      static_cast<double>(grid.hash_probes()) /
+      static_cast<double>(state.iterations());
 }
 BENCHMARK(BM_ProjectedGridAddAndQuery)->Arg(1)->Arg(2)->Arg(3)->Arg(4);
+
+// The fused single-probe variant of the same workload: update and PCS
+// retrieval served from one slot lookup (compare probes/pt and time/op with
+// BM_ProjectedGridAddAndQuery above).
+void BM_ProjectedGridFusedAddQuery(benchmark::State& state) {
+  const int subspace_dim = static_cast<int>(state.range(0));
+  const int dims = 20;
+  const Partition part(dims, 5, 0.0, 1.0);
+  std::vector<int> idx;
+  for (int i = 0; i < subspace_dim; ++i) idx.push_back(i * 2);
+  ProjectedGrid grid(Subspace::FromIndices(idx), &part,
+                     DecayModel(2000, 0.01));
+  Rng rng(3);
+  std::vector<std::vector<double>> points;
+  for (int i = 0; i < 512; ++i) points.push_back(RandomPoint(rng, dims));
+  std::uint64_t tick = 0;
+  for (auto _ : state) {
+    const auto& p = points[tick % points.size()];
+    benchmark::DoNotOptimize(grid.AddAndQuery(p, tick, 100.0));
+    ++tick;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["probes/pt"] =
+      static_cast<double>(grid.hash_probes()) /
+      static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_ProjectedGridFusedAddQuery)->Arg(1)->Arg(2)->Arg(3)->Arg(4);
+
+// Whole-synapse update + per-subspace query, the un-fused way the detector
+// used to drive it: Add() into every grid, then Query() per subspace — two
+// cell probes per subspace plus a grid-table probe.
+void BM_SynapseUnfusedAddThenQuery(benchmark::State& state) {
+  const int dims = 20;
+  const int tracked = static_cast<int>(state.range(0));
+  SynapseManager mgr(Partition(dims, 5, 0.0, 1.0), DecayModel(2000, 0.01));
+  int added = 0;
+  for (int a = 0; a < dims && added < tracked; ++a) {
+    for (int b = a + 1; b < dims && added < tracked; ++b) {
+      mgr.Track(Subspace::FromIndices({a, b}));
+      ++added;
+    }
+  }
+  const std::vector<Subspace> subspaces = mgr.TrackedSubspaces();
+  Rng rng(5);
+  std::vector<std::vector<double>> points;
+  for (int i = 0; i < 512; ++i) points.push_back(RandomPoint(rng, dims));
+  std::uint64_t tick = 0;
+  for (auto _ : state) {
+    const auto& p = points[tick % points.size()];
+    mgr.Add(p, tick);
+    for (const Subspace& s : subspaces) {
+      benchmark::DoNotOptimize(mgr.Query(p, s));
+    }
+    ++tick;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["probes/pt"] =
+      static_cast<double>(mgr.hash_probes()) /
+      static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_SynapseUnfusedAddThenQuery)->Arg(8)->Arg(32)->Arg(128);
+
+// The fused detection hot path: one AddAndQuery call bins the point once,
+// projects per subspace by index selection, and serves update + PCS from a
+// single probe per subspace.
+void BM_SynapseFusedAddAndQuery(benchmark::State& state) {
+  const int dims = 20;
+  const int tracked = static_cast<int>(state.range(0));
+  SynapseManager mgr(Partition(dims, 5, 0.0, 1.0), DecayModel(2000, 0.01));
+  int added = 0;
+  for (int a = 0; a < dims && added < tracked; ++a) {
+    for (int b = a + 1; b < dims && added < tracked; ++b) {
+      mgr.Track(Subspace::FromIndices({a, b}));
+      ++added;
+    }
+  }
+  Rng rng(5);
+  std::vector<std::vector<double>> points;
+  for (int i = 0; i < 512; ++i) points.push_back(RandomPoint(rng, dims));
+  std::vector<Pcs> out;
+  std::uint64_t tick = 0;
+  for (auto _ : state) {
+    const auto& p = points[tick % points.size()];
+    mgr.AddAndQuery(p, tick, &out);
+    benchmark::DoNotOptimize(out.data());
+    ++tick;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["probes/pt"] =
+      static_cast<double>(mgr.hash_probes()) /
+      static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_SynapseFusedAddAndQuery)->Arg(8)->Arg(32)->Arg(128);
 
 void BM_DecayModelSolve(benchmark::State& state) {
   std::uint64_t omega = 100;
@@ -101,6 +197,42 @@ void BM_SpotProcess(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_SpotProcess)->Arg(32)->Arg(128)->Arg(512);
+
+// The full per-point detection step through the batch API (chunks of
+// state.range(1) points, SST frozen at state.range(0) subspaces). Compare
+// items/s with BM_SpotProcess at the same SST size.
+void BM_SpotProcessBatch(benchmark::State& state) {
+  const int dims = 20;
+  SpotConfig cfg = bench::ExperimentConfig(43);
+  cfg.fs_cap = static_cast<std::size_t>(state.range(0));
+  cfg.os_update_every = 0;
+  SpotDetector det(cfg);
+  det.Learn(bench::MakeTraining(dims, 500, /*concept=*/1100));
+  const std::size_t batch = static_cast<std::size_t>(state.range(1));
+  // Pre-built chunks: the benchmark measures detection, not batch assembly.
+  Rng rng(4);
+  std::vector<std::vector<DataPoint>> chunks(8);
+  std::uint64_t id = 0;
+  for (auto& chunk : chunks) {
+    chunk.resize(batch);
+    for (auto& p : chunk) {
+      p.id = id++;
+      p.values = RandomPoint(rng, dims);
+    }
+  }
+  std::size_t pos = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(det.ProcessBatch(chunks[pos % chunks.size()]));
+    ++pos;
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * batch));
+}
+BENCHMARK(BM_SpotProcessBatch)
+    ->Args({128, 64})
+    ->Args({128, 256})
+    ->Args({512, 64})
+    ->Args({512, 256});
 
 }  // namespace
 }  // namespace spot

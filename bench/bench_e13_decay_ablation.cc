@@ -8,6 +8,8 @@
 // widening gap as stale concept mass pins the landmark variant's summaries;
 // memory (populated cells) also grows without decay.
 
+#include <algorithm>
+
 #include "bench/bench_util.h"
 #include "eval/metrics.h"
 #include "eval/table.h"
@@ -34,13 +36,18 @@ SegmentRow RunVariant(bool decay, const std::vector<LabeledPoint>& pts,
   SegmentRow row;
   const std::size_t segment = 3000;
   eval::Confusion conf;
-  for (std::size_t i = 0; i < pts.size(); ++i) {
-    const SpotResult r = det.Process(pts[i].point.values);
-    conf.Add(r.is_outlier, pts[i].is_outlier);
-    if ((i + 1) % segment == 0) {
-      row.f1.push_back(conf.F1());
-      conf = eval::Confusion();
+  std::vector<DataPoint> chunk;
+  chunk.reserve(segment);
+  for (std::size_t start = 0; start < pts.size(); start += segment) {
+    const std::size_t end = std::min(start + segment, pts.size());
+    chunk.clear();
+    for (std::size_t i = start; i < end; ++i) chunk.push_back(pts[i].point);
+    const std::vector<SpotResult> verdicts = det.ProcessBatch(chunk);
+    for (std::size_t i = 0; i < verdicts.size(); ++i) {
+      conf.Add(verdicts[i].is_outlier, pts[start + i].is_outlier);
     }
+    row.f1.push_back(conf.F1());
+    conf = eval::Confusion();
   }
   row.cells_end = det.synapses().TotalPopulatedCells();
   return row;

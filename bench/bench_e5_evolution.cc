@@ -6,6 +6,8 @@
 // and report F1 per stream segment. Expected shape: both start similar; the
 // adaptive run recovers after each switch, the frozen run degrades.
 
+#include <algorithm>
+
 #include "bench/bench_util.h"
 #include "eval/metrics.h"
 #include "eval/table.h"
@@ -32,13 +34,18 @@ SegmentScores RunVariant(bool adaptive, const std::vector<LabeledPoint>& pts,
   SegmentScores out;
   const std::size_t segment = 2500;
   eval::Confusion conf;
-  for (std::size_t i = 0; i < pts.size(); ++i) {
-    const SpotResult r = det.Process(pts[i].point.values);
-    conf.Add(r.is_outlier, pts[i].is_outlier);
-    if ((i + 1) % segment == 0) {
-      out.f1.push_back(conf.F1());
-      conf = eval::Confusion();
+  std::vector<DataPoint> chunk;
+  chunk.reserve(segment);
+  for (std::size_t start = 0; start < pts.size(); start += segment) {
+    const std::size_t end = std::min(start + segment, pts.size());
+    chunk.clear();
+    for (std::size_t i = start; i < end; ++i) chunk.push_back(pts[i].point);
+    const std::vector<SpotResult> verdicts = det.ProcessBatch(chunk);
+    for (std::size_t i = 0; i < verdicts.size(); ++i) {
+      conf.Add(verdicts[i].is_outlier, pts[start + i].is_outlier);
     }
+    out.f1.push_back(conf.F1());
+    conf = eval::Confusion();
   }
   return out;
 }

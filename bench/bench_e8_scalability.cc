@@ -28,16 +28,22 @@ void Run() {
 
   eval::Table table({"points", "pts/s (segment)", "populated cells",
                      "outliers flagged"});
+  const std::size_t kBatch = 1000;  // ProcessBatch chunk (the batch path)
   const std::size_t kCheckpoint = 25000;
   const std::size_t kTotal = 200000;
+  std::vector<DataPoint> chunk;
+  chunk.reserve(kBatch);
   Timer timer;
-  for (std::size_t i = 1; i <= kTotal; ++i) {
-    det.Process(gen.Next()->point.values);
-    if (i % kCheckpoint == 0) {
+  for (std::size_t fed = 0; fed < kTotal;) {
+    chunk.clear();
+    while (chunk.size() < kBatch) chunk.push_back(gen.Next()->point);
+    det.ProcessBatch(chunk);
+    fed += chunk.size();
+    if (fed % kCheckpoint == 0) {
       const double seg_rate =
           static_cast<double>(kCheckpoint) / timer.ElapsedSeconds();
       timer.Reset();
-      table.AddRow({eval::Table::Int(i), eval::Table::Num(seg_rate, 0),
+      table.AddRow({eval::Table::Int(fed), eval::Table::Num(seg_rate, 0),
                     eval::Table::Int(det.synapses().TotalPopulatedCells()),
                     eval::Table::Int(det.stats().outliers_detected)});
     }

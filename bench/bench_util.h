@@ -10,37 +10,16 @@
 
 #include "core/detector.h"
 #include "core/spot_config.h"
+#include "eval/presets.h"
 #include "stream/data_point.h"
 #include "stream/synthetic.h"
 
 namespace spot {
 namespace bench {
 
-/// A SPOT configuration sized for experiment runs: moderate MOGA budget,
-/// FS depth 2, self-evolution off unless the experiment studies it.
-inline SpotConfig ExperimentConfig(std::uint64_t seed = 7) {
-  SpotConfig cfg;
-  cfg.omega = 2000;
-  cfg.epsilon = 0.01;
-  cfg.cells_per_dim = 5;
-  cfg.fs_max_dimension = 2;
-  cfg.fs_cap = 512;
-  cfg.cs_capacity = 16;
-  cfg.os_capacity = 24;
-  cfg.unsupervised.moga.population_size = 24;
-  cfg.unsupervised.moga.generations = 10;
-  cfg.unsupervised.top_outlying_points = 8;
-  cfg.unsupervised.top_subspaces_per_run = 8;
-  cfg.supervised.moga.population_size = 24;
-  cfg.supervised.moga.generations = 8;
-  cfg.evolution_period = 0;
-  cfg.os_update_every = 32;
-  cfg.domain_lo = 0.0;
-  cfg.domain_hi = 1.0;  // all experiment streams emit unit-cube data
-  cfg.drift_detection = false;
-  cfg.seed = seed;
-  return cfg;
-}
+/// The shared experiment configuration (see src/eval/presets.h — one
+/// definition serves benches and tests so the setups cannot drift apart).
+using eval::ExperimentConfig;
 
 /// Training batch of `n` normal points from a `dims`-dimensional Gaussian
 /// stream. `concept_seed` fixes the cluster layout so the evaluation stream can

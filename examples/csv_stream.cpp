@@ -8,10 +8,12 @@
 // present). Without arguments a small demo CSV is generated in /tmp so the
 // binary is runnable out of the box.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <string>
+#include <vector>
 
 #include "common/rng.h"
 #include "core/detector.h"
@@ -89,23 +91,35 @@ int main(int argc, char** argv) {
   std::printf("learned SST with %zu subspaces from %zu training rows\n\n",
               detector.sst().TotalSize(), training.size());
 
+  // Stream the remaining rows through the batch API: rows are already
+  // materialized, so feed them in chunks and read one verdict per row.
   std::size_t alarms = 0;
-  for (std::size_t i = training.size(); i < parsed.rows.size(); ++i) {
-    const spot::SpotResult r = detector.Process(parsed.rows[i]);
-    if (!r.is_outlier) continue;
-    ++alarms;
-    if (alarms <= 20) {
-      std::printf("row %6zu outlier (score %.2f):", i, r.score);
-      for (const auto& f : r.findings) {
-        std::printf(" {");
-        bool first = true;
-        for (int d : f.subspace.Indices()) {
-          std::printf("%s%s", first ? "" : ",", column_name(d).c_str());
-          first = false;
+  const std::size_t kBatch = 1024;
+  for (std::size_t start = training.size(); start < parsed.rows.size();
+       start += kBatch) {
+    const std::size_t end = std::min(start + kBatch, parsed.rows.size());
+    const std::vector<std::vector<double>> chunk(
+        parsed.rows.begin() + static_cast<long>(start),
+        parsed.rows.begin() + static_cast<long>(end));
+    const std::vector<spot::SpotResult> verdicts =
+        detector.ProcessBatch(chunk);
+    for (std::size_t j = 0; j < verdicts.size(); ++j) {
+      const spot::SpotResult& r = verdicts[j];
+      if (!r.is_outlier) continue;
+      ++alarms;
+      if (alarms <= 20) {
+        std::printf("row %6zu outlier (score %.2f):", start + j, r.score);
+        for (const auto& f : r.findings) {
+          std::printf(" {");
+          bool first = true;
+          for (int d : f.subspace.Indices()) {
+            std::printf("%s%s", first ? "" : ",", column_name(d).c_str());
+            first = false;
+          }
+          std::printf("}");
         }
-        std::printf("}");
+        std::printf("\n");
       }
-      std::printf("\n");
     }
   }
   std::printf("\n%zu alarms over %zu streamed rows\n", alarms,

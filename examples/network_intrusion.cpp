@@ -7,6 +7,7 @@
 //
 // Build & run:  ./build/examples/network_intrusion
 
+#include <algorithm>
 #include <array>
 #include <cstdio>
 
@@ -49,32 +50,46 @@ int main() {
   int normal_total = 0;
   int alarms_shown = 0;
 
-  for (int i = 0; i < 20000; ++i) {
-    const auto conn = live_stream.Next();
-    const spot::SpotResult verdict = detector.Process(conn->point.values);
-    const auto category = static_cast<std::size_t>(conn->category);
-    if (conn->is_outlier) {
-      ++attacks_total[category];
-      if (verdict.is_outlier) ++attacks_caught[category];
-    } else {
-      ++normal_total;
-      if (verdict.is_outlier) ++false_alarms;
-    }
+  // Connections arrive in blocks (e.g. flushed from a capture buffer);
+  // each block goes through one ProcessBatch call.
+  const std::size_t kBlock = 512;
+  const std::size_t kTotal = 20000;
+  for (std::size_t fed = 0; fed < kTotal; fed += kBlock) {
+    const auto block =
+        spot::Take(live_stream, std::min(kBlock, kTotal - fed));
+    std::vector<spot::DataPoint> points;
+    points.reserve(block.size());
+    for (const auto& conn : block) points.push_back(conn.point);
+    const std::vector<spot::SpotResult> verdicts =
+        detector.ProcessBatch(points);
 
-    if (verdict.is_outlier && conn->is_outlier && alarms_shown < 8) {
-      ++alarms_shown;
-      std::printf("ALERT conn %-6llu  category=%-5s  features:",
-                  static_cast<unsigned long long>(conn->point.id),
-                  spot::stream::AttackCategoryName(
-                      static_cast<AttackCategory>(conn->category))
-                      .c_str());
-      // Name the attributes of the first reported outlying subspace.
-      if (!verdict.findings.empty()) {
-        for (int d : verdict.findings.front().subspace.Indices()) {
-          std::printf(" %s", KddSimulator::FeatureName(d).c_str());
-        }
+    for (std::size_t i = 0; i < verdicts.size(); ++i) {
+      const spot::SpotResult& verdict = verdicts[i];
+      const auto& conn = block[i];
+      const auto category = static_cast<std::size_t>(conn.category);
+      if (conn.is_outlier) {
+        ++attacks_total[category];
+        if (verdict.is_outlier) ++attacks_caught[category];
+      } else {
+        ++normal_total;
+        if (verdict.is_outlier) ++false_alarms;
       }
-      std::printf("\n");
+
+      if (verdict.is_outlier && conn.is_outlier && alarms_shown < 8) {
+        ++alarms_shown;
+        std::printf("ALERT conn %-6llu  category=%-5s  features:",
+                    static_cast<unsigned long long>(conn.point.id),
+                    spot::stream::AttackCategoryName(
+                        static_cast<AttackCategory>(conn.category))
+                        .c_str());
+        // Name the attributes of the first reported outlying subspace.
+        if (!verdict.findings.empty()) {
+          for (int d : verdict.findings.front().subspace.Indices()) {
+            std::printf(" %s", KddSimulator::FeatureName(d).c_str());
+          }
+        }
+        std::printf("\n");
+      }
     }
   }
 

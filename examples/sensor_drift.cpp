@@ -47,11 +47,17 @@ int main() {
   std::uint64_t evolutions_before = 0;
   for (int seg = 1; seg <= kSegments; ++seg) {
     spot::eval::Confusion confusion;
-    for (int i = 0; i < kSegment; ++i) {
-      const auto reading = sensors.Next();
-      const spot::SpotResult verdict =
-          detector.Process(reading->point.values);
-      confusion.Add(verdict.is_outlier, reading->is_outlier);
+    // One ProcessBatch call per segment: readings arrive as a block and the
+    // batch path bins each one once for all tracked subspaces.
+    const auto readings =
+        spot::Take(sensors, static_cast<std::size_t>(kSegment));
+    std::vector<spot::DataPoint> points;
+    points.reserve(readings.size());
+    for (const auto& reading : readings) points.push_back(reading.point);
+    const std::vector<spot::SpotResult> verdicts =
+        detector.ProcessBatch(points);
+    for (std::size_t i = 0; i < verdicts.size(); ++i) {
+      confusion.Add(verdicts[i].is_outlier, readings[i].is_outlier);
     }
     const spot::SpotStats& stats = detector.stats();
     std::printf("   %2d   | %.3f  | %12llu | %16llu\n", seg, confusion.F1(),

@@ -1,0 +1,41 @@
+#ifndef SPOT_COMMON_BITS_H_
+#define SPOT_COMMON_BITS_H_
+
+// C++17-portable bit operations (std::popcount / std::countr_zero are
+// C++20). GCC and Clang lower the builtins to single instructions; the
+// fallbacks keep other toolchains working.
+
+#include <cstdint>
+
+namespace spot {
+
+inline int PopCount64(std::uint64_t v) {
+#if defined(__GNUC__) || defined(__clang__)
+  return __builtin_popcountll(v);
+#else
+  int n = 0;
+  while (v != 0) {
+    v &= v - 1;
+    ++n;
+  }
+  return n;
+#endif
+}
+
+/// Index of the lowest set bit; undefined for v == 0 (callers must check).
+inline int CountTrailingZeros64(std::uint64_t v) {
+#if defined(__GNUC__) || defined(__clang__)
+  return __builtin_ctzll(v);
+#else
+  int n = 0;
+  while ((v & 1ULL) == 0ULL) {
+    v >>= 1;
+    ++n;
+  }
+  return n;
+#endif
+}
+
+}  // namespace spot
+
+#endif  // SPOT_COMMON_BITS_H_

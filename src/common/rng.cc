@@ -1,11 +1,12 @@
 #include "common/rng.h"
 
 #include <cmath>
-#include <numbers>
 
 namespace spot {
 
 namespace {
+
+constexpr double kPi = 3.14159265358979323846;
 
 std::uint64_t SplitMix64(std::uint64_t& x) {
   x += 0x9E3779B97F4A7C15ULL;
@@ -74,7 +75,7 @@ double Rng::NextGaussian() {
   } while (u1 <= 1e-300);
   const double u2 = NextDouble();
   const double r = std::sqrt(-2.0 * std::log(u1));
-  const double theta = 2.0 * std::numbers::pi * u2;
+  const double theta = 2.0 * kPi * u2;
   spare_gaussian_ = r * std::sin(theta);
   has_spare_gaussian_ = true;
   return r * std::cos(theta);

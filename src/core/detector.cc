@@ -120,20 +120,60 @@ void SpotDetector::SyncTrackedSubspaces() {
 }
 
 SpotResult SpotDetector::Process(const DataPoint& point) {
-  SpotResult result;
   if (!learned()) {
     SPOT_LOG(Error) << "Process() called before a successful Learn()";
-    return result;
+    return SpotResult{};
   }
+  return ProcessOne(point);
+}
 
-  // 1. Update data synapses (BCS + every tracked PCS grid).
-  synapses_->Add(point.values, tick_++);
+std::vector<SpotResult> SpotDetector::ProcessBatch(
+    const std::vector<DataPoint>& points) {
+  std::vector<SpotResult> results;
+  if (!learned()) {
+    SPOT_LOG(Error) << "ProcessBatch() called before a successful Learn()";
+    results.resize(points.size());
+    return results;
+  }
+  results.reserve(points.size());
+  for (const DataPoint& p : points) results.push_back(ProcessOne(p));
+  return results;
+}
+
+std::vector<SpotResult> SpotDetector::ProcessBatch(
+    const std::vector<std::vector<double>>& batch) {
+  std::vector<SpotResult> results;
+  if (!learned()) {
+    SPOT_LOG(Error) << "ProcessBatch() called before a successful Learn()";
+    results.resize(batch.size());
+    return results;
+  }
+  results.reserve(batch.size());
+  DataPoint p;
+  for (const auto& values : batch) {
+    p.id = tick_;
+    p.values = values;
+    results.push_back(ProcessOne(p));
+  }
+  return results;
+}
+
+SpotResult SpotDetector::ProcessOne(const DataPoint& point) {
+  SpotResult result;
+
+  // 1+2 fused. Update data synapses (BCS + every tracked PCS grid) and
+  // retrieve the PCS of the point's cell in every SST subspace from the
+  // same slot lookups: one hash probe per tracked subspace. The point's
+  // base-cell coordinates are computed once and projected per subspace by
+  // index selection.
+  synapses_->AddAndQuery(point.values, tick_++, &pcs_cache_);
   reservoir_.Add(point.values);
 
-  // 2. Outlier-ness check: PCS of the point's cell in every SST subspace.
+  // Outlier-ness check over the retrieved PCSs.
   double min_rd = 1.0;
-  for (const auto& s : tracked_cache_) {
-    const Pcs pcs = synapses_->Query(point.values, s);
+  for (std::size_t i = 0; i < tracked_cache_.size(); ++i) {
+    const Subspace& s = tracked_cache_[i];
+    const Pcs& pcs = pcs_cache_[i];
     min_rd = std::min(min_rd, pcs.rd);
     if (pcs.IsSparse(config_.rd_threshold, config_.irsd_threshold)) {
       // Veto sparse cells that are merely the fringe of an adjacent dense
@@ -239,14 +279,26 @@ std::size_t SpotDetector::TrackedSubspaces() const {
   return learned() ? synapses_->NumTracked() : 0;
 }
 
-Detection SpotStreamAdapter::Process(const DataPoint& point) {
-  const SpotResult r = detector_->Process(point);
+Detection SpotStreamAdapter::ToDetection(const SpotResult& r) {
   Detection d;
   d.is_outlier = r.is_outlier;
   d.score = r.score;
   d.outlying_subspaces.reserve(r.findings.size());
   for (const auto& f : r.findings) d.outlying_subspaces.push_back(f.subspace);
   return d;
+}
+
+Detection SpotStreamAdapter::Process(const DataPoint& point) {
+  return ToDetection(detector_->Process(point));
+}
+
+std::vector<Detection> SpotStreamAdapter::ProcessBatch(
+    const std::vector<DataPoint>& points) {
+  const std::vector<SpotResult> results = detector_->ProcessBatch(points);
+  std::vector<Detection> verdicts;
+  verdicts.reserve(results.size());
+  for (const SpotResult& r : results) verdicts.push_back(ToDetection(r));
+  return verdicts;
 }
 
 }  // namespace spot

@@ -76,6 +76,17 @@ class SpotDetector {
   /// Convenience overload for raw value vectors (ids auto-assigned).
   SpotResult Process(const std::vector<double>& values);
 
+  /// Batch detection: processes `points` in arrival order and returns one
+  /// verdict per point. Produces results identical to calling Process() on
+  /// each point in sequence (same synapse updates, OS growth, evolution and
+  /// drift side effects at the same ticks) — batching amortizes per-point
+  /// overhead and is the seam for future sharding, not a semantic change.
+  std::vector<SpotResult> ProcessBatch(const std::vector<DataPoint>& points);
+
+  /// Convenience overload for raw value vectors (ids auto-assigned).
+  std::vector<SpotResult> ProcessBatch(
+      const std::vector<std::vector<double>>& batch);
+
   bool learned() const { return synapses_ != nullptr; }
   const Sst& sst() const { return sst_; }
   const SynapseManager& synapses() const { return *synapses_; }
@@ -88,6 +99,9 @@ class SpotDetector {
 
  private:
   void SyncTrackedSubspaces();
+  /// Shared per-point detection step (Process and ProcessBatch both land
+  /// here, which is what keeps them bit-identical).
+  SpotResult ProcessOne(const DataPoint& point);
   void GrowOutlierDriven(const std::vector<double>& values);
   void RunSelfEvolution();
   void RelearnAfterDrift();
@@ -96,8 +110,12 @@ class SpotDetector {
   Rng rng_;
   Sst sst_;
   /// Tracked-subspace list cached across Process() calls (refreshed by
-  /// SyncTrackedSubspaces) so the hot path does not allocate.
+  /// SyncTrackedSubspaces, aligned with SynapseManager's dense grid order)
+  /// so the hot path does not allocate.
   std::vector<Subspace> tracked_cache_;
+  /// Per-subspace PCS scratch filled by SynapseManager::AddAndQuery;
+  /// pcs_cache_[i] belongs to tracked_cache_[i].
+  std::vector<Pcs> pcs_cache_;
   std::optional<Partition> partition_;
   std::unique_ptr<SynapseManager> synapses_;
   ReservoirSample reservoir_;
@@ -115,9 +133,13 @@ class SpotStreamAdapter : public StreamDetector {
   explicit SpotStreamAdapter(SpotDetector* detector) : detector_(detector) {}
 
   Detection Process(const DataPoint& point) override;
+  std::vector<Detection> ProcessBatch(
+      const std::vector<DataPoint>& points) override;
   std::string name() const override { return "SPOT"; }
 
  private:
+  static Detection ToDetection(const SpotResult& r);
+
   SpotDetector* detector_;
 };
 

@@ -20,6 +20,11 @@ struct RunOptions {
 
   /// Collect per-point scores/labels for ROC analysis (costs memory).
   bool collect_scores = false;
+
+  /// Points per StreamDetector::ProcessBatch call. Verdicts are identical
+  /// for every batch size (batching amortizes overhead, it does not change
+  /// semantics); 0 or 1 drives the per-point Process path.
+  std::size_t batch_size = 64;
 };
 
 /// Outcome of driving one detector over one labeled stream.

@@ -1,7 +1,7 @@
 #include "eval/metrics.h"
 
 #include <algorithm>
-#include <bit>
+#include "common/bits.h"
 #include <numeric>
 
 namespace spot {
@@ -98,8 +98,8 @@ double SubspaceJaccard(const Subspace& a, const Subspace& b) {
   const std::uint64_t uni = a.bits() | b.bits();
   if (uni == 0) return 1.0;
   const std::uint64_t inter = a.bits() & b.bits();
-  return static_cast<double>(std::popcount(inter)) /
-         static_cast<double>(std::popcount(uni));
+  return static_cast<double>(PopCount64(inter)) /
+         static_cast<double>(PopCount64(uni));
 }
 
 double BestSubspaceJaccard(const Subspace& truth,

@@ -1,0 +1,74 @@
+#ifndef SPOT_EVAL_PRESETS_H_
+#define SPOT_EVAL_PRESETS_H_
+
+// Shared SpotConfig presets used by both the experiment binaries
+// (bench/bench_e*.cc) and the integration tests. The two call sites used to
+// carry near-identical hand-rolled configs; keeping the common skeleton here
+// means a change to the reference setup cannot silently diverge tests from
+// benches (they differ only in the explicit deltas below).
+
+#include <cstdint>
+
+#include "core/spot_config.h"
+
+namespace spot {
+namespace eval {
+
+/// Common skeleton of every small-stream run: unit-cube domain, the paper's
+/// default (omega, epsilon) window, a coarse 5-cell grid, and all background
+/// dynamics (self-evolution, drift handling) off so individual experiments
+/// opt in explicitly.
+inline SpotConfig StreamConfigSkeleton() {
+  SpotConfig cfg;
+  cfg.omega = 2000;
+  cfg.epsilon = 0.01;
+  cfg.cells_per_dim = 5;
+  cfg.domain_lo = 0.0;
+  cfg.domain_hi = 1.0;  // experiment streams emit unit-cube data
+  cfg.evolution_period = 0;
+  cfg.drift_detection = false;
+  return cfg;
+}
+
+/// A SPOT configuration sized for experiment runs: moderate MOGA budget,
+/// FS depth 2, self-evolution off unless the experiment studies it.
+inline SpotConfig ExperimentConfig(std::uint64_t seed = 7) {
+  SpotConfig cfg = StreamConfigSkeleton();
+  cfg.fs_max_dimension = 2;
+  cfg.fs_cap = 512;
+  cfg.cs_capacity = 16;
+  cfg.os_capacity = 24;
+  cfg.unsupervised.moga.population_size = 24;
+  cfg.unsupervised.moga.generations = 10;
+  cfg.unsupervised.top_outlying_points = 8;
+  cfg.unsupervised.top_subspaces_per_run = 8;
+  cfg.supervised.moga.population_size = 24;
+  cfg.supervised.moga.generations = 8;
+  cfg.os_update_every = 32;
+  cfg.seed = seed;
+  return cfg;
+}
+
+/// The cheaper variant the integration tests run on: smaller MOGA budget and
+/// SST capacities, faster OS growth cadence.
+inline SpotConfig FastTestConfig(int fs_max_dim = 2,
+                                 std::uint64_t seed = 2024) {
+  SpotConfig cfg = StreamConfigSkeleton();
+  cfg.fs_max_dimension = fs_max_dim;
+  cfg.cs_capacity = 12;
+  cfg.os_capacity = 16;
+  cfg.unsupervised.moga.population_size = 16;
+  cfg.unsupervised.moga.generations = 8;
+  cfg.unsupervised.top_outlying_points = 6;
+  cfg.unsupervised.top_subspaces_per_run = 6;
+  cfg.supervised.moga.population_size = 16;
+  cfg.supervised.moga.generations = 6;
+  cfg.os_update_every = 16;
+  cfg.seed = seed;
+  return cfg;
+}
+
+}  // namespace eval
+}  // namespace spot
+
+#endif  // SPOT_EVAL_PRESETS_H_

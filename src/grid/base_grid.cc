@@ -11,11 +11,14 @@ BaseGrid::BaseGrid(Partition partition, DecayModel model,
       total_(model_) {}
 
 void BaseGrid::Add(const std::vector<double>& point, std::uint64_t tick) {
+  AddAt(partition_.BaseCell(point), point, tick);
+}
+
+void BaseGrid::AddAt(const CellCoords& coords,
+                     const std::vector<double>& point, std::uint64_t tick) {
   last_tick_ = tick;
   total_.Observe(tick);
-  CellCoords coords = partition_.BaseCell(point);
-  auto [it, inserted] = cells_.try_emplace(std::move(coords),
-                                           partition_.num_dims());
+  auto [it, inserted] = cells_.try_emplace(coords, partition_.num_dims());
   it->second.Add(point, tick, model_);
   if (compaction_period_ != 0 &&
       ++arrivals_since_compaction_ >= compaction_period_) {

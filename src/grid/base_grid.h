@@ -30,6 +30,11 @@ class BaseGrid {
   /// cell's BCS, the decayed total weight, and (periodically) compacting.
   void Add(const std::vector<double>& point, std::uint64_t tick);
 
+  /// Add() with precomputed base-cell coordinates (the batch path bins each
+  /// point once and shares the coordinates across all grids).
+  void AddAt(const CellCoords& coords, const std::vector<double>& point,
+             std::uint64_t tick);
+
   /// BCS of the base cell containing `point`, or nullptr if unpopulated.
   const Bcs* Find(const std::vector<double>& point) const;
 

@@ -61,11 +61,17 @@ std::uint32_t Partition::IntervalIndex(int dim, double value) const {
 }
 
 CellCoords Partition::BaseCell(const std::vector<double>& point) const {
-  CellCoords coords(lo_.size());
-  for (std::size_t d = 0; d < lo_.size(); ++d) {
-    coords[d] = IntervalIndex(static_cast<int>(d), point[d]);
-  }
+  CellCoords coords;
+  BaseCellInto(point, &coords);
   return coords;
+}
+
+void Partition::BaseCellInto(const std::vector<double>& point,
+                             CellCoords* out) const {
+  out->resize(lo_.size());
+  for (std::size_t d = 0; d < lo_.size(); ++d) {
+    (*out)[d] = IntervalIndex(static_cast<int>(d), point[d]);
+  }
 }
 
 CellCoords Partition::ProjectedCell(const std::vector<double>& point,

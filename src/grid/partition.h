@@ -61,6 +61,11 @@ class Partition {
   /// is a cell in hypercube with the finest granularity").
   CellCoords BaseCell(const std::vector<double>& point) const;
 
+  /// Allocation-free BaseCell: writes into `out` (resized as needed). The
+  /// batch detection path bins each point exactly once through this and
+  /// projects per subspace by index selection.
+  void BaseCellInto(const std::vector<double>& point, CellCoords* out) const;
+
   /// Projected-cell coordinates of `point` in subspace `s`: interval indices
   /// of the retained attributes only, ascending attribute order.
   CellCoords ProjectedCell(const std::vector<double>& point,

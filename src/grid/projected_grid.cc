@@ -5,17 +5,6 @@
 
 namespace spot {
 
-void ProjectedCellStats::DecayTo(std::uint64_t tick, const DecayModel& model) {
-  if (tick <= last_tick) return;
-  const double factor = model.WeightAtAge(tick - last_tick);
-  if (factor != 1.0) {
-    count *= factor;
-    for (double& v : ls) v *= factor;
-    for (double& v : ss) v *= factor;
-  }
-  last_tick = tick;
-}
-
 ProjectedGrid::ProjectedGrid(Subspace subspace, const Partition* partition,
                              DecayModel model, double prune_threshold,
                              std::uint64_t compaction_period)
@@ -24,11 +13,13 @@ ProjectedGrid::ProjectedGrid(Subspace subspace, const Partition* partition,
       partition_(partition),
       model_(model),
       prune_threshold_(prune_threshold),
-      compaction_period_(compaction_period) {
+      compaction_period_(compaction_period),
+      stride_(2 * subspace.Indices().size() + 2) {
   sigma_uniform_.reserve(dims_.size());
   for (int d : dims_) {
     sigma_uniform_.push_back(partition_->CellWidth(d) / std::sqrt(12.0));
   }
+  coords_scratch_.resize(dims_.size());
 }
 
 double ProjectedGrid::SumSqAt(std::uint64_t tick) const {
@@ -37,33 +28,71 @@ double ProjectedGrid::SumSqAt(std::uint64_t tick) const {
   return sumsq_ * model_.WeightAtAge(2 * (tick - sumsq_tick_));
 }
 
-void ProjectedGrid::Add(const std::vector<double>& point, std::uint64_t tick) {
+void ProjectedGrid::BinPoint(const std::vector<double>& point) {
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    coords_scratch_[i] = partition_->IntervalIndex(
+        dims_[i], point[static_cast<std::size_t>(dims_[i])]);
+  }
+}
+
+void ProjectedGrid::ProjectBase(const CellCoords& base) {
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    coords_scratch_[i] = base[static_cast<std::size_t>(dims_[i])];
+  }
+}
+
+void ProjectedGrid::DecayRecord(double* rec, std::uint64_t tick) const {
+  const std::uint64_t rec_tick = static_cast<std::uint64_t>(rec[TickOff()]);
+  if (tick <= rec_tick) return;
+  const double factor = model_.WeightAtAge(tick - rec_tick);
+  if (factor != 1.0) {
+    // count + ls + ss occupy the first 2k+1 doubles of the record.
+    for (std::size_t i = 0; i < TickOff(); ++i) rec[i] *= factor;
+  }
+  rec[TickOff()] = static_cast<double>(tick);
+}
+
+std::uint32_t ProjectedGrid::UpsertSlot(std::uint64_t tick) {
+  ++hash_probes_;
+  auto [it, inserted] = index_.try_emplace(coords_scratch_, 0);
+  if (!inserted) return it->second;
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slab_.size() / stride_);
+    slab_.resize(slab_.size() + stride_);
+  }
+  it->second = slot;
+  double* rec = Record(slot);
+  for (std::size_t i = 0; i < TickOff(); ++i) rec[i] = 0.0;
+  rec[TickOff()] = static_cast<double>(tick);
+  return slot;
+}
+
+double* ProjectedGrid::FoldPoint(const std::vector<double>& point,
+                                 std::uint64_t tick) {
   last_tick_ = tick;
   sumsq_ = SumSqAt(tick);
   sumsq_tick_ = tick;
 
-  CellCoords coords;
-  coords.reserve(dims_.size());
-  for (int d : dims_) {
-    coords.push_back(
-        partition_->IntervalIndex(d, point[static_cast<std::size_t>(d)]));
-  }
-  auto [it, inserted] = cells_.try_emplace(std::move(coords));
-  ProjectedCellStats& cell = it->second;
-  if (inserted) {
-    cell.ls.assign(dims_.size(), 0.0);
-    cell.ss.assign(dims_.size(), 0.0);
-    cell.last_tick = tick;
-  }
-  cell.DecayTo(tick, model_);
-  const double old_count = cell.count;
-  cell.count += 1.0;
-  sumsq_ += cell.count * cell.count - old_count * old_count;
+  double* rec = Record(UpsertSlot(tick));
+  DecayRecord(rec, tick);
+  const double old_count = rec[kCount];
+  rec[kCount] += 1.0;
+  sumsq_ += rec[kCount] * rec[kCount] - old_count * old_count;
+  double* ls = rec + LsOff();
+  double* ss = rec + SsOff();
   for (std::size_t i = 0; i < dims_.size(); ++i) {
     const double v = point[static_cast<std::size_t>(dims_[i])];
-    cell.ls[i] += v;
-    cell.ss[i] += v * v;
+    ls[i] += v;
+    ss[i] += v * v;
   }
+  return rec;
+}
+
+void ProjectedGrid::MaybeCompact(std::uint64_t tick) {
   if (compaction_period_ != 0 &&
       ++arrivals_since_compaction_ >= compaction_period_) {
     Compact(tick);
@@ -71,45 +100,87 @@ void ProjectedGrid::Add(const std::vector<double>& point, std::uint64_t tick) {
   }
 }
 
+void ProjectedGrid::Add(const std::vector<double>& point,
+                        std::uint64_t tick) {
+  BinPoint(point);
+  FoldPoint(point, tick);
+  MaybeCompact(tick);
+}
+
+void ProjectedGrid::AddAt(const CellCoords& base,
+                          const std::vector<double>& point,
+                          std::uint64_t tick) {
+  ProjectBase(base);
+  FoldPoint(point, tick);
+  MaybeCompact(tick);
+}
+
+Pcs ProjectedGrid::AddAndQuery(const std::vector<double>& point,
+                               std::uint64_t tick, double total_weight) {
+  BinPoint(point);
+  const Pcs pcs = PcsFromRecord(FoldPoint(point, tick), 1.0, total_weight);
+  MaybeCompact(tick);
+  return pcs;
+}
+
+Pcs ProjectedGrid::AddAndQueryAt(const CellCoords& base,
+                                 const std::vector<double>& point,
+                                 std::uint64_t tick, double total_weight) {
+  ProjectBase(base);
+  const Pcs pcs = PcsFromRecord(FoldPoint(point, tick), 1.0, total_weight);
+  MaybeCompact(tick);
+  return pcs;
+}
+
 Pcs ProjectedGrid::Query(const std::vector<double>& point,
                          double total_weight) const {
-  CellCoords coords;
-  coords.reserve(dims_.size());
-  for (int d : dims_) {
-    coords.push_back(
-        partition_->IntervalIndex(d, point[static_cast<std::size_t>(d)]));
+  // Stack-local coordinates: the const query path must not touch the
+  // update scratch (see the threading note in the class comment).
+  CellCoords coords(dims_.size());
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    coords[i] = partition_->IntervalIndex(
+        dims_[i], point[static_cast<std::size_t>(dims_[i])]);
   }
   return QueryCoords(coords, total_weight);
 }
 
 Pcs ProjectedGrid::QueryCoords(const CellCoords& coords,
                                double total_weight) const {
-  auto it = cells_.find(coords);
-  if (it == cells_.end()) return Pcs{};
-  ProjectedCellStats cell = it->second;  // copy: decay without mutating
-  cell.DecayTo(last_tick_, model_);
-  return ComputePcs(cell, total_weight);
+  ++hash_probes_;
+  auto it = index_.find(coords);
+  if (it == index_.end()) return Pcs{};
+  const double* rec = Record(it->second);
+  const std::uint64_t rec_tick = static_cast<std::uint64_t>(rec[TickOff()]);
+  const double factor =
+      rec_tick < last_tick_ ? model_.WeightAtAge(last_tick_ - rec_tick) : 1.0;
+  return PcsFromRecord(rec, factor, total_weight);
 }
 
-Pcs ProjectedGrid::ComputePcs(const ProjectedCellStats& cell,
-                              double total_weight) const {
+Pcs ProjectedGrid::PcsFromRecord(const double* rec, double factor,
+                                 double total_weight) const {
   Pcs pcs;
-  pcs.count = cell.count;
-  if (cell.count <= 0.0 || total_weight <= 0.0) return pcs;
+  pcs.count = rec[kCount] * factor;
+  if (pcs.count <= 0.0 || total_weight <= 0.0) return pcs;
 
   // RD: density relative to the count-weighted average cell mass.
   const double sumsq = SumSqAt(last_tick_);
-  pcs.rd = sumsq > 0.0 ? cell.count * total_weight / sumsq : 0.0;
+  pcs.rd = sumsq > 0.0 ? pcs.count * total_weight / sumsq : 0.0;
 
-  // IRSD: 0 when fewer than 2 decayed points (no spread evidence).
-  if (cell.count < 2.0) {
+  // IRSD: 0 when fewer than 2 decayed points (no spread evidence). The
+  // per-dimension mean and variance are ratios of same-age aggregates, so
+  // the decay factor cancels and the stored (stale) values can be used
+  // directly.
+  if (pcs.count < 2.0) {
     pcs.irsd = 0.0;
     return pcs;
   }
+  const double count = rec[kCount];
+  const double* ls = rec + LsOff();
+  const double* ss = rec + SsOff();
   double irsd_sum = 0.0;
   for (std::size_t i = 0; i < dims_.size(); ++i) {
-    const double mean = cell.ls[i] / cell.count;
-    const double var = cell.ss[i] / cell.count - mean * mean;
+    const double mean = ls[i] / count;
+    const double var = ss[i] / count - mean * mean;
     const double sigma = var > 0.0 ? std::sqrt(var) : 0.0;
     const double su = sigma_uniform_[i];
     const double ratio = su / (sigma + 0.01 * su);
@@ -125,11 +196,15 @@ bool ProjectedGrid::IsClusterFringe(const CellCoords& coords,
   const std::uint32_t max_coord =
       static_cast<std::uint32_t>(partition_->cells_per_dim() - 1);
   auto neighbor_is_heavy = [&](const CellCoords& c) {
-    auto it = cells_.find(c);
-    if (it == cells_.end()) return false;
-    ProjectedCellStats cell = it->second;
-    cell.DecayTo(last_tick_, model_);
-    return cell.count >= heavy;
+    ++hash_probes_;
+    auto it = index_.find(c);
+    if (it == index_.end()) return false;
+    const double* rec = Record(it->second);
+    const std::uint64_t rec_tick = static_cast<std::uint64_t>(rec[TickOff()]);
+    const double decay =
+        rec_tick < last_tick_ ? model_.WeightAtAge(last_tick_ - rec_tick)
+                              : 1.0;
+    return rec[kCount] * decay >= heavy;
   };
 
   const std::size_t n = coords.size();
@@ -179,14 +254,15 @@ bool ProjectedGrid::IsClusterFringe(const CellCoords& coords,
 std::size_t ProjectedGrid::Compact(std::uint64_t tick) {
   std::size_t removed = 0;
   double sumsq = 0.0;
-  for (auto it = cells_.begin(); it != cells_.end();) {
-    ProjectedCellStats& cell = it->second;
-    cell.DecayTo(tick, model_);
-    if (cell.count < prune_threshold_) {
-      it = cells_.erase(it);
+  for (auto it = index_.begin(); it != index_.end();) {
+    double* rec = Record(it->second);
+    DecayRecord(rec, tick);
+    if (rec[kCount] < prune_threshold_) {
+      free_slots_.push_back(it->second);
+      it = index_.erase(it);
       ++removed;
     } else {
-      sumsq += cell.count * cell.count;
+      sumsq += rec[kCount] * rec[kCount];
       ++it;
     }
   }

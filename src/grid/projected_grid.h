@@ -12,24 +12,27 @@
 
 namespace spot {
 
-/// Decayed aggregates of one projected cell: count plus linear/squared sums
-/// of the retained dimensions only (the minimum needed to derive a PCS).
-struct ProjectedCellStats {
-  double count = 0.0;
-  std::vector<double> ls;  // per retained dimension, subspace index order
-  std::vector<double> ss;
-  std::uint64_t last_tick = 0;
-
-  /// Decays the aggregates in place to `tick`.
-  void DecayTo(std::uint64_t tick, const DecayModel& model);
-};
-
 /// Sparse grid of decayed cell aggregates for a single subspace of the SST.
 ///
 /// Mirrors BaseGrid but keyed by projected-cell coordinates, and able to
 /// answer PCS queries. One ProjectedGrid exists per SST subspace; the
 /// per-arrival update cost is O(|s|) plus one hash probe, which is what lets
 /// SPOT keep up with fast streams.
+///
+/// Storage is a slab: one contiguous arena of fixed-stride records
+///
+///     [count, ls[0..k), ss[0..k), last_tick]     (stride = 2k + 2)
+///
+/// indexed by a CellCoords -> slot hash map, with a free list recycling the
+/// slots of pruned cells. Cell updates and queries therefore touch one
+/// contiguous record and never allocate per cell (DESIGN.md Section 3.5).
+/// Ticks are stored as doubles, exact for streams shorter than 2^53 points.
+///
+/// Threading: a grid instance is single-threaded. Update paths reuse a
+/// coordinate scratch buffer, and every probe (including const queries)
+/// bumps the hash_probes() counter, so concurrent access — even concurrent
+/// const queries — is a data race. Shard whole grids across threads via the
+/// batch layer instead (DESIGN.md Section 3.6).
 class ProjectedGrid {
  public:
   ProjectedGrid(Subspace subspace, const Partition* partition,
@@ -38,6 +41,25 @@ class ProjectedGrid {
 
   /// Folds a full-dimensional point in at tick `tick` (non-decreasing).
   void Add(const std::vector<double>& point, std::uint64_t tick);
+
+  /// Fused update + query: folds `point` in at `tick` and returns the PCS of
+  /// its (just-updated) cell against `total_weight`, from the same slot
+  /// lookup — one hash probe where Add() followed by Query() costs two.
+  Pcs AddAndQuery(const std::vector<double>& point, std::uint64_t tick,
+                  double total_weight);
+
+  /// Fused update + query from precomputed *base-cell* coordinates: the
+  /// projected coordinates are selected from `base` by dimension index
+  /// instead of re-binning the raw values. `point` still supplies the raw
+  /// values folded into the linear/squared sums. This is the batch hot path:
+  /// the caller bins the full-dimensional point once and every subspace grid
+  /// reuses it.
+  Pcs AddAndQueryAt(const CellCoords& base, const std::vector<double>& point,
+                    std::uint64_t tick, double total_weight);
+
+  /// Update-only variant of AddAndQueryAt.
+  void AddAt(const CellCoords& base, const std::vector<double>& point,
+             std::uint64_t tick);
 
   /// PCS of the cell containing `point`, computed against the decayed total
   /// weight `total_weight` of the stream (supplied by the caller so every
@@ -55,11 +77,12 @@ class ProjectedGrid {
   Pcs QueryCoords(const CellCoords& coords, double total_weight) const;
 
   /// Removes cells whose decayed count at `tick` is below the prune
-  /// threshold; returns the number removed.
+  /// threshold; returns the number removed. Freed slots go on the free list
+  /// and are recycled by later inserts — the slab itself never shrinks.
   std::size_t Compact(std::uint64_t tick);
 
   const Subspace& subspace() const { return subspace_; }
-  std::size_t PopulatedCells() const { return cells_.size(); }
+  std::size_t PopulatedCells() const { return index_.size(); }
   std::uint64_t last_tick() const { return last_tick_; }
 
   /// Decayed sum of squared cell counts (see Query): the basis of the
@@ -71,7 +94,7 @@ class ProjectedGrid {
   /// at least `factor * max(1, cell_count)` — i.e. the cell is the *fringe*
   /// of a dense cluster rather than a genuinely isolated region. The
   /// detection stage uses this to veto sparse-cell findings that are merely
-  /// cluster tails (DESIGN.md Section 3.3, fringe suppression).
+  /// cluster tails (DESIGN.md Section 3.4, fringe suppression).
   ///
   /// The full Moore neighborhood (3^|s|-1 probes) is scanned for subspaces
   /// of dimension <= 3; beyond that only axis-aligned neighbors (2|s|) are
@@ -79,8 +102,55 @@ class ProjectedGrid {
   bool IsClusterFringe(const CellCoords& coords, double cell_count,
                        double factor) const;
 
+  // --- Slab introspection (tests, capacity planning) ---------------------
+
+  /// Total record slots ever allocated in the slab (live + free).
+  std::size_t SlabSlots() const { return slab_.size() / stride_; }
+
+  /// Slots currently on the free list, awaiting recycling.
+  std::size_t FreeSlots() const { return free_slots_.size(); }
+
+  /// Cell-index hash probes performed so far (Add / Query / fused / fringe).
+  /// The fused path costs one probe per point where Add+Query costs two.
+  std::uint64_t hash_probes() const { return hash_probes_; }
+
  private:
-  Pcs ComputePcs(const ProjectedCellStats& cell, double total_weight) const;
+  // Record field offsets within a slot: [kCount | ls x k | ss x k | tick].
+  static constexpr std::size_t kCount = 0;
+  std::size_t LsOff() const { return 1; }
+  std::size_t SsOff() const { return 1 + dims_.size(); }
+  std::size_t TickOff() const { return 1 + 2 * dims_.size(); }
+
+  double* Record(std::uint32_t slot) {
+    return slab_.data() + static_cast<std::size_t>(slot) * stride_;
+  }
+  const double* Record(std::uint32_t slot) const {
+    return slab_.data() + static_cast<std::size_t>(slot) * stride_;
+  }
+
+  /// Decays every aggregate of `rec` in place to `tick`.
+  void DecayRecord(double* rec, std::uint64_t tick) const;
+
+  /// Slot of the cell at `coords_scratch_`, allocating (from the free list,
+  /// else by growing the slab) when absent. One hash probe.
+  std::uint32_t UpsertSlot(std::uint64_t tick);
+
+  /// Fused core shared by every update entry point: upserts the cell of
+  /// `coords_scratch_`, decays it, folds `point` in, and returns its record.
+  double* FoldPoint(const std::vector<double>& point, std::uint64_t tick);
+
+  /// PCS of a record whose stored aggregates are `factor` away from being
+  /// current (factor = alpha^(last_tick_ - record tick); 1 when fresh).
+  Pcs PcsFromRecord(const double* rec, double factor,
+                    double total_weight) const;
+
+  /// Fills coords_scratch_ by re-binning `point`.
+  void BinPoint(const std::vector<double>& point);
+
+  /// Fills coords_scratch_ by index-selecting from base-cell coords.
+  void ProjectBase(const CellCoords& base);
+
+  void MaybeCompact(std::uint64_t tick);
 
   Subspace subspace_;
   std::vector<int> dims_;          // cached subspace.Indices()
@@ -95,7 +165,13 @@ class ProjectedGrid {
   // decays by the same alpha^delta, so the sum decays by alpha^(2*delta).
   double sumsq_ = 0.0;
   std::uint64_t sumsq_tick_ = 0;
-  std::unordered_map<CellCoords, ProjectedCellStats, CellCoordsHash> cells_;
+
+  std::size_t stride_;                   // doubles per record: 2|s| + 2
+  std::vector<double> slab_;             // record arena
+  std::vector<std::uint32_t> free_slots_;
+  std::unordered_map<CellCoords, std::uint32_t, CellCoordsHash> index_;
+  CellCoords coords_scratch_;            // reused across update calls
+  mutable std::uint64_t hash_probes_ = 0;
 };
 
 }  // namespace spot

@@ -13,35 +13,60 @@ SynapseManager::SynapseManager(Partition partition, DecayModel model,
 
 void SynapseManager::Track(const Subspace& s) {
   if (s.IsEmpty() || IsTracked(s)) return;
-  grids_.emplace(s, std::make_unique<ProjectedGrid>(
-                        s, &partition_, model_, prune_threshold_,
-                        compaction_period_));
+  by_subspace_.emplace(s, grids_.size());
+  grids_.push_back(
+      {s, std::make_unique<ProjectedGrid>(s, &partition_, model_,
+                                          prune_threshold_,
+                                          compaction_period_)});
 }
 
-void SynapseManager::Untrack(const Subspace& s) { grids_.erase(s); }
+void SynapseManager::Untrack(const Subspace& s) {
+  auto it = by_subspace_.find(s);
+  if (it == by_subspace_.end()) return;
+  const std::size_t idx = it->second;
+  by_subspace_.erase(it);
+  if (idx != grids_.size() - 1) {
+    grids_[idx] = std::move(grids_.back());
+    by_subspace_[grids_[idx].subspace] = idx;
+  }
+  grids_.pop_back();
+}
 
 bool SynapseManager::IsTracked(const Subspace& s) const {
-  return grids_.find(s) != grids_.end();
+  return by_subspace_.find(s) != by_subspace_.end();
 }
 
 void SynapseManager::Add(const std::vector<double>& point,
                          std::uint64_t tick) {
-  base_.Add(point, tick);
-  for (auto& [subspace, grid] : grids_) grid->Add(point, tick);
+  partition_.BaseCellInto(point, &base_scratch_);
+  base_.AddAt(base_scratch_, point, tick);
+  for (auto& entry : grids_) entry.grid->AddAt(base_scratch_, point, tick);
+}
+
+void SynapseManager::AddAndQuery(const std::vector<double>& point,
+                                 std::uint64_t tick, std::vector<Pcs>* out) {
+  partition_.BaseCellInto(point, &base_scratch_);
+  base_.AddAt(base_scratch_, point, tick);
+  const double total_weight = base_.TotalWeight();
+  out->resize(grids_.size());
+  for (std::size_t i = 0; i < grids_.size(); ++i) {
+    (*out)[i] = grids_[i].grid->AddAndQueryAt(base_scratch_, point, tick,
+                                              total_weight);
+  }
 }
 
 Pcs SynapseManager::Query(const std::vector<double>& point,
                           const Subspace& s) const {
-  auto it = grids_.find(s);
-  if (it == grids_.end()) return Pcs{};
-  return it->second->Query(point, base_.TotalWeight());
+  auto it = by_subspace_.find(s);
+  if (it == by_subspace_.end()) return Pcs{};
+  return grids_[it->second].grid->Query(point, base_.TotalWeight());
 }
 
 bool SynapseManager::IsClusterFringe(const std::vector<double>& point,
                                      const Subspace& s, double cell_count,
                                      double factor) const {
-  auto it = grids_.find(s);
-  if (it == grids_.end()) return false;
+  auto it = by_subspace_.find(s);
+  if (it == by_subspace_.end()) return false;
   CellCoords coords;
   const std::vector<int> dims = s.Indices();
   coords.reserve(dims.size());
@@ -49,26 +74,32 @@ bool SynapseManager::IsClusterFringe(const std::vector<double>& point,
     coords.push_back(
         partition_.IntervalIndex(d, point[static_cast<std::size_t>(d)]));
   }
-  return it->second->IsClusterFringe(coords, cell_count, factor);
+  return grids_[it->second].grid->IsClusterFringe(coords, cell_count, factor);
 }
 
 std::vector<Subspace> SynapseManager::TrackedSubspaces() const {
   std::vector<Subspace> out;
   out.reserve(grids_.size());
-  for (const auto& [subspace, grid] : grids_) out.push_back(subspace);
+  for (const auto& entry : grids_) out.push_back(entry.subspace);
   return out;
 }
 
 std::size_t SynapseManager::TotalPopulatedCells() const {
   std::size_t total = base_.PopulatedCells();
-  for (const auto& [subspace, grid] : grids_) total += grid->PopulatedCells();
+  for (const auto& entry : grids_) total += entry.grid->PopulatedCells();
   return total;
 }
 
 std::size_t SynapseManager::CompactAll(std::uint64_t tick) {
   std::size_t removed = base_.Compact(tick);
-  for (auto& [subspace, grid] : grids_) removed += grid->Compact(tick);
+  for (auto& entry : grids_) removed += entry.grid->Compact(tick);
   return removed;
+}
+
+std::uint64_t SynapseManager::hash_probes() const {
+  std::uint64_t total = 0;
+  for (const auto& entry : grids_) total += entry.grid->hash_probes();
+  return total;
 }
 
 }  // namespace spot

@@ -23,6 +23,11 @@ namespace spot {
 /// ("data synapses (BCS and PCS) are first updated dynamically") and then
 /// queries ("retrieve PCS of the projected cell to which each data belongs
 /// in subspace of SST").
+///
+/// Tracked grids live in a dense vector with a stable, deterministic order
+/// (insertion order, perturbed only by Untrack's swap-remove); TrackedSubspaces()
+/// reports that order and AddAndQuery() fills its output in it, so callers
+/// can iterate the grids without any per-subspace hash lookup.
 class SynapseManager {
  public:
   SynapseManager(Partition partition, DecayModel model,
@@ -50,6 +55,18 @@ class SynapseManager {
   /// advancing the clock to `tick` (non-decreasing).
   void Add(const std::vector<double>& point, std::uint64_t tick);
 
+  /// Fused update + query, the detection hot path: folds `point` into the
+  /// base grid and every tracked grid, and fills `out` with the PCS of the
+  /// point's cell in each tracked subspace — out[i] corresponds to
+  /// TrackedSubspaces()[i]. The point is binned into base-cell coordinates
+  /// exactly once; each grid projects those coordinates by index selection
+  /// and serves update + query from a single slot lookup, so the whole call
+  /// performs exactly one cell-index hash probe per tracked subspace where
+  /// Add() followed by per-subspace Query() performs two (plus a grid-table
+  /// probe).
+  void AddAndQuery(const std::vector<double>& point, std::uint64_t tick,
+                   std::vector<Pcs>* out);
+
   /// PCS of `point`'s cell in tracked subspace `s` (PCS{} if untracked).
   Pcs Query(const std::vector<double>& point, const Subspace& s) const;
 
@@ -66,7 +83,8 @@ class SynapseManager {
   const DecayModel& decay_model() const { return model_; }
   const BaseGrid& base_grid() const { return base_; }
 
-  /// Tracked subspaces, in unspecified order.
+  /// Tracked subspaces in dense (iteration) order — the order AddAndQuery
+  /// fills its output in.
   std::vector<Subspace> TrackedSubspaces() const;
 
   std::size_t NumTracked() const { return grids_.size(); }
@@ -78,14 +96,25 @@ class SynapseManager {
   /// Compacts the base grid and every projected grid at `tick`.
   std::size_t CompactAll(std::uint64_t tick);
 
+  /// Cell-index hash probes performed by the tracked grids so far (see
+  /// ProjectedGrid::hash_probes); the fused-vs-unfused micro-bench reads
+  /// this to demonstrate the halved probe count.
+  std::uint64_t hash_probes() const;
+
  private:
+  struct TrackedGrid {
+    Subspace subspace;
+    std::unique_ptr<ProjectedGrid> grid;
+  };
+
   Partition partition_;
   DecayModel model_;
   double prune_threshold_;
   std::uint64_t compaction_period_;
   BaseGrid base_;
-  std::unordered_map<Subspace, std::unique_ptr<ProjectedGrid>, SubspaceHash>
-      grids_;
+  std::vector<TrackedGrid> grids_;  // dense, iterated on the hot path
+  std::unordered_map<Subspace, std::size_t, SubspaceHash> by_subspace_;
+  CellCoords base_scratch_;  // base-cell coords, binned once per point
 };
 
 }  // namespace spot

@@ -32,6 +32,20 @@ class StreamDetector {
   /// Ingests one point and returns the verdict for it.
   virtual Detection Process(const DataPoint& point) = 0;
 
+  /// Ingests a batch of points and returns one verdict per point, in order.
+  /// Semantically identical to calling Process() point by point — batching
+  /// exists so detectors can amortize per-point overheads (SPOT bins each
+  /// point's cell coordinates once for all subspaces) and as the seam for
+  /// future sharding. The default simply loops Process(), so every detector
+  /// is batch-drivable.
+  virtual std::vector<Detection> ProcessBatch(
+      const std::vector<DataPoint>& points) {
+    std::vector<Detection> verdicts;
+    verdicts.reserve(points.size());
+    for (const DataPoint& p : points) verdicts.push_back(Process(p));
+    return verdicts;
+  }
+
   virtual std::string name() const = 0;
 };
 

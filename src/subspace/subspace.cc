@@ -1,6 +1,6 @@
 #include "subspace/subspace.h"
 
-#include <bit>
+#include "common/bits.h"
 
 namespace spot {
 
@@ -23,7 +23,7 @@ Subspace Subspace::Singleton(int dim) {
   return Subspace(1ULL << static_cast<unsigned>(dim));
 }
 
-int Subspace::Dimension() const { return std::popcount(bits_); }
+int Subspace::Dimension() const { return PopCount64(bits_); }
 
 Subspace& Subspace::Add(int dim) {
   if (dim >= 0 && dim < kMaxDimensions) {
@@ -44,7 +44,7 @@ std::vector<int> Subspace::Indices() const {
   out.reserve(static_cast<std::size_t>(Dimension()));
   std::uint64_t b = bits_;
   while (b != 0) {
-    const int i = std::countr_zero(b);
+    const int i = CountTrailingZeros64(b);
     out.push_back(i);
     b &= b - 1;
   }
@@ -53,7 +53,7 @@ std::vector<int> Subspace::Indices() const {
 
 int Subspace::FirstIndex() const {
   if (bits_ == 0) return -1;
-  return std::countr_zero(bits_);
+  return CountTrailingZeros64(bits_);
 }
 
 std::string Subspace::ToString() const {

@@ -10,6 +10,7 @@
 #include "baselines/storm.h"
 #include "core/detector.h"
 #include "eval/harness.h"
+#include "eval/presets.h"
 #include "stream/drift.h"
 #include "stream/kdd_sim.h"
 #include "stream/replay.h"
@@ -18,27 +19,10 @@
 namespace spot {
 namespace {
 
+// The shared fast preset (src/eval/presets.h) keeps this setup in lockstep
+// with the bench binaries' ExperimentConfig.
 SpotConfig FastConfig(int fs_max_dim = 2) {
-  SpotConfig cfg;
-  cfg.omega = 2000;
-  cfg.epsilon = 0.01;
-  cfg.cells_per_dim = 5;
-  cfg.fs_max_dimension = fs_max_dim;
-  cfg.cs_capacity = 12;
-  cfg.os_capacity = 16;
-  cfg.unsupervised.moga.population_size = 16;
-  cfg.unsupervised.moga.generations = 8;
-  cfg.unsupervised.top_outlying_points = 6;
-  cfg.unsupervised.top_subspaces_per_run = 6;
-  cfg.supervised.moga.population_size = 16;
-  cfg.supervised.moga.generations = 6;
-  cfg.evolution_period = 0;
-  cfg.os_update_every = 16;
-  cfg.domain_lo = 0.0;
-  cfg.domain_hi = 1.0;  // generators emit unit-cube data
-  cfg.drift_detection = false;
-  cfg.seed = 2024;
-  return cfg;
+  return eval::FastTestConfig(fs_max_dim);
 }
 
 TEST(IntegrationTest, SpotDetectsPlantedProjectedOutliers) {

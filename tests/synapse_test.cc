@@ -224,6 +224,152 @@ TEST(SynapseManagerTest, TrackedSubspacesRoundTrip) {
   EXPECT_EQ(tracked.size(), 2u);
 }
 
+// ------------------------------------------------- Slab store mechanics ---
+
+TEST(SlabStoreTest, FreeListRecyclesPrunedSlots) {
+  const Partition part = UnitPartition(1);
+  // Strong decay, manual compaction only.
+  ProjectedGrid grid(Subspace::FromIndices({0}), &part, DecayModel(10, 0.001),
+                     1e-3, 0);
+  grid.Add({0.05}, 0);
+  for (std::uint64_t t = 1; t < 300; ++t) grid.Add({0.95}, t);
+  ASSERT_EQ(grid.PopulatedCells(), 2u);
+  ASSERT_EQ(grid.SlabSlots(), 2u);
+  ASSERT_EQ(grid.FreeSlots(), 0u);
+
+  // The stale cell is pruned: its slot moves to the free list, the slab
+  // itself does not shrink.
+  ASSERT_EQ(grid.Compact(299), 1u);
+  EXPECT_EQ(grid.PopulatedCells(), 1u);
+  EXPECT_EQ(grid.SlabSlots(), 2u);
+  EXPECT_EQ(grid.FreeSlots(), 1u);
+
+  // A brand-new cell reuses the freed slot instead of growing the slab.
+  grid.Add({0.55}, 300);
+  EXPECT_EQ(grid.PopulatedCells(), 2u);
+  EXPECT_EQ(grid.SlabSlots(), 2u);
+  EXPECT_EQ(grid.FreeSlots(), 0u);
+
+  // The recycled slot starts from a clean record.
+  const Pcs fresh = grid.QueryCoords({5}, 1.0);
+  EXPECT_NEAR(fresh.count, 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(fresh.irsd, 0.0);
+}
+
+TEST(SlabStoreTest, SumSqMatchesSurvivingCellsAfterCompaction) {
+  const Partition part = UnitPartition(1);
+  const DecayModel model(50, 0.01);
+  ProjectedGrid grid(Subspace::FromIndices({0}), &part, model, 1e-3, 0);
+  std::uint64_t t = 0;
+  for (int i = 0; i < 30; ++i) grid.Add({0.05}, t++);
+  for (int i = 0; i < 10; ++i) grid.Add({0.55}, t++);
+  grid.Add({0.95}, t++);
+  // Age everything, then compact: SumSqAt must equal the exact sum of the
+  // surviving cells' squared decayed counts (the sweep cancels all drift).
+  const std::uint64_t sweep_tick = t + 200;
+  grid.Compact(sweep_tick);
+  double expected = 0.0;
+  for (std::uint32_t c : {0u, 5u, 9u}) {
+    const Pcs pcs = grid.QueryCoords({c}, 1.0);
+    expected += pcs.count * pcs.count;
+  }
+  EXPECT_NEAR(grid.SumSqAt(sweep_tick), expected, 1e-12);
+  // And it keeps decaying at twice the count rate from there.
+  const double a10 = model.WeightAtAge(10);
+  EXPECT_NEAR(grid.SumSqAt(sweep_tick + 10), expected * a10 * a10, 1e-12);
+}
+
+TEST(SlabStoreTest, FusedAddAndQueryMatchesAddThenQuery) {
+  const Partition part = UnitPartition(2);
+  const DecayModel model(100, 0.01);
+  ProjectedGrid unfused(Subspace::FromIndices({0, 1}), &part, model);
+  ProjectedGrid fused(Subspace::FromIndices({0, 1}), &part, model);
+  Rng rng(17);
+  for (std::uint64_t t = 0; t < 500; ++t) {
+    const std::vector<double> p = {rng.NextDouble(), rng.NextDouble()};
+    const double w = static_cast<double>(t + 1);
+    unfused.Add(p, t);
+    const Pcs a = unfused.Query(p, w);
+    const Pcs b = fused.AddAndQuery(p, t, w);
+    ASSERT_EQ(a.count, b.count) << "tick " << t;
+    ASSERT_EQ(a.rd, b.rd) << "tick " << t;
+    ASSERT_EQ(a.irsd, b.irsd) << "tick " << t;
+  }
+  // The fused path pays one index probe per point; Add+Query pays two.
+  EXPECT_EQ(fused.hash_probes(), 500u);
+  EXPECT_EQ(unfused.hash_probes(), 1000u);
+}
+
+TEST(SlabStoreTest, BaseCoordProjectionMatchesRebinning) {
+  const Partition part = UnitPartition(4);
+  const DecayModel model = DecayModel::None();
+  ProjectedGrid rebin(Subspace::FromIndices({1, 3}), &part, model);
+  ProjectedGrid projected(Subspace::FromIndices({1, 3}), &part, model);
+  Rng rng(23);
+  for (std::uint64_t t = 0; t < 200; ++t) {
+    std::vector<double> p(4);
+    for (double& v : p) v = rng.NextDouble();
+    const double w = static_cast<double>(t + 1);
+    const Pcs a = rebin.AddAndQuery(p, t, w);
+    const Pcs b = projected.AddAndQueryAt(part.BaseCell(p), p, t, w);
+    ASSERT_EQ(a.count, b.count) << "tick " << t;
+    ASSERT_EQ(a.rd, b.rd) << "tick " << t;
+    ASSERT_EQ(a.irsd, b.irsd) << "tick " << t;
+  }
+  EXPECT_EQ(rebin.PopulatedCells(), projected.PopulatedCells());
+}
+
+TEST(SynapseManagerTest, AddAndQueryAlignsWithTrackedOrder) {
+  SynapseManager fused(UnitPartition(3), DecayModel(100, 0.01));
+  SynapseManager unfused(UnitPartition(3), DecayModel(100, 0.01));
+  for (auto* mgr : {&fused, &unfused}) {
+    mgr->Track(Subspace::FromIndices({0}));
+    mgr->Track(Subspace::FromIndices({1, 2}));
+    mgr->Track(Subspace::FromIndices({0, 2}));
+  }
+  const auto tracked = fused.TrackedSubspaces();
+  Rng rng(29);
+  std::vector<Pcs> out;
+  for (std::uint64_t t = 0; t < 300; ++t) {
+    const std::vector<double> p = {rng.NextDouble(), rng.NextDouble(),
+                                   rng.NextDouble()};
+    fused.AddAndQuery(p, t, &out);
+    unfused.Add(p, t);
+    ASSERT_EQ(out.size(), tracked.size());
+    for (std::size_t i = 0; i < tracked.size(); ++i) {
+      const Pcs q = unfused.Query(p, tracked[i]);
+      ASSERT_EQ(out[i].count, q.count) << "tick " << t << " grid " << i;
+      ASSERT_EQ(out[i].rd, q.rd) << "tick " << t << " grid " << i;
+      ASSERT_EQ(out[i].irsd, q.irsd) << "tick " << t << " grid " << i;
+    }
+  }
+}
+
+TEST(SynapseManagerTest, UntrackKeepsDenseOrderConsistent) {
+  SynapseManager mgr(UnitPartition(4), DecayModel::None());
+  const Subspace a = Subspace::FromIndices({0});
+  const Subspace b = Subspace::FromIndices({1});
+  const Subspace c = Subspace::FromIndices({2});
+  mgr.Track(a);
+  mgr.Track(b);
+  mgr.Track(c);
+  mgr.Untrack(b);  // swap-remove: c takes b's dense slot
+  EXPECT_FALSE(mgr.IsTracked(b));
+  EXPECT_TRUE(mgr.IsTracked(a));
+  EXPECT_TRUE(mgr.IsTracked(c));
+
+  std::vector<Pcs> out;
+  mgr.AddAndQuery({0.5, 0.5, 0.5, 0.5}, 0, &out);
+  const auto tracked = mgr.TrackedSubspaces();
+  ASSERT_EQ(tracked.size(), 2u);
+  ASSERT_EQ(out.size(), 2u);
+  // Each output slot matches a direct query of the same-index subspace.
+  for (std::size_t i = 0; i < tracked.size(); ++i) {
+    const Pcs q = mgr.Query({0.5, 0.5, 0.5, 0.5}, tracked[i]);
+    EXPECT_EQ(out[i].count, q.count);
+  }
+}
+
 // PCS consistency: the online ProjectedGrid (no decay) must agree with the
 // batch evaluation used by MOGA objectives. Guards against the two code
 // paths drifting apart.
