@@ -1,0 +1,77 @@
+// E14 — Shard scaling (figure).
+//
+// The sharded engine's claim: batch size and shard count are the two
+// first-class scaling knobs, and verdicts are bit-identical at every shard
+// count, so throughput is free to scale with cores. We hold phi = 20, pin
+// the SST at two sizes (the per-arrival cost is one PCS update + check per
+// tracked subspace), and sweep the shard count. Speedup columns are
+// relative to the 1-shard run of the same SST size.
+//
+// Throughput is read from SpotStats::PointsPerSecond() — the counters the
+// detection entry points maintain — so this experiment reports from the
+// same source as every other consumer instead of re-deriving rates.
+//
+// Note: shard speedup requires physical cores; on a single-core host the
+// sweep degenerates to measuring the engine's coordination overhead.
+
+#include <cstddef>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "eval/table.h"
+
+namespace spot {
+namespace {
+
+void Run() {
+  eval::Table table({"SST size", "shards", "pts/s", "us/pt", "speedup"});
+  const int kDims = 20;
+  const int kStreamLen = 12000;
+  const std::size_t kBatch = 256;
+  const auto points = bench::MakeEvalStream(kDims, kStreamLen, 0.01,
+                                            /*concept=*/41);
+  const auto training = bench::MakeTraining(kDims, 600, /*concept=*/41);
+
+  for (const std::size_t cap : {std::size_t{32}, std::size_t{128}}) {
+    double base_pps = 0.0;
+    for (const std::size_t shards :
+         {std::size_t{1}, std::size_t{2}, std::size_t{4}, std::size_t{8}}) {
+      SpotConfig cfg = bench::ExperimentConfig(14);
+      cfg.fs_max_dimension = 3;
+      cfg.fs_cap = cap;
+      cfg.unsupervised.top_subspaces_per_run = 0;  // CS off: pin the SST
+      cfg.os_update_every = 0;                     // OS growth off
+      cfg.num_shards = shards;
+      SpotDetector det(cfg);
+      det.Learn(training);
+
+      std::vector<DataPoint> chunk;
+      chunk.reserve(kBatch);
+      for (std::size_t start = 0; start < points.size(); start += kBatch) {
+        chunk.clear();
+        for (std::size_t i = start;
+             i < std::min(start + kBatch, points.size()); ++i) {
+          chunk.push_back(points[i].point);
+        }
+        det.ProcessBatch(chunk);
+      }
+
+      const double pps = det.stats().PointsPerSecond();
+      if (shards == 1) base_pps = pps;
+      table.AddRow({eval::Table::Int(det.TrackedSubspaces()),
+                    eval::Table::Int(shards), eval::Table::Num(pps, 0),
+                    eval::Table::Num(1e6 / pps, 1),
+                    eval::Table::Num(base_pps > 0.0 ? pps / base_pps : 0.0,
+                                     2)});
+    }
+  }
+  table.Print("E14: throughput vs shard count (phi=20, batch=256)");
+}
+
+}  // namespace
+}  // namespace spot
+
+int main() {
+  spot::Run();
+  return 0;
+}

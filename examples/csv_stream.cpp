@@ -1,6 +1,6 @@
 // CSV workflow: run SPOT over any numeric CSV export.
 //
-//   ./build/examples/csv_stream [file.csv [training_rows]]
+//   ./build/examples/csv_stream [file.csv [training_rows]] [--threads N]
 //
 // The first `training_rows` rows (default: first quarter) form the learning
 // batch; the remainder is streamed through the detector and alarms are
@@ -17,6 +17,7 @@
 
 #include "common/rng.h"
 #include "core/detector.h"
+#include "examples/example_flags.h"
 #include "stream/csv.h"
 
 namespace {
@@ -44,7 +45,13 @@ std::string WriteDemoCsv() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string path = argc > 1 ? argv[1] : WriteDemoCsv();
+  // Positional arguments are [file.csv [training_rows]].
+  std::vector<std::string> positional;
+  const std::size_t num_threads =
+      spot::examples::ThreadsFlag(argc, argv, &positional);
+
+  const std::string path = !positional.empty() ? positional[0]
+                                               : WriteDemoCsv();
   spot::stream::CsvParseResult parsed = spot::stream::LoadCsvFile(path);
   if (parsed.rows.empty()) {
     std::fprintf(stderr, "no numeric rows in %s\n", path.c_str());
@@ -55,8 +62,10 @@ int main(int argc, char** argv) {
               parsed.skipped_lines);
 
   const std::size_t training_rows =
-      argc > 2 ? static_cast<std::size_t>(std::strtoull(argv[2], nullptr, 10))
-               : parsed.rows.size() / 4;
+      positional.size() > 1
+          ? static_cast<std::size_t>(
+                std::strtoull(positional[1].c_str(), nullptr, 10))
+          : parsed.rows.size() / 4;
   const std::vector<std::string> columns = parsed.column_names;
   auto column_name = [&](int index) {
     return index < static_cast<int>(columns.size())
@@ -82,6 +91,7 @@ int main(int argc, char** argv) {
   config.unsupervised.moga.max_dimension = 2;
   config.supervised.moga.max_dimension = 2;
   config.evolution.max_dimension = 2;
+  config.num_shards = num_threads;
   config.seed = 1;
   spot::SpotDetector detector(config);
   if (!detector.Learn(training)) {

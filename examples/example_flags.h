@@ -1,0 +1,45 @@
+#ifndef SPOT_EXAMPLES_EXAMPLE_FLAGS_H_
+#define SPOT_EXAMPLES_EXAMPLE_FLAGS_H_
+
+// Shared command-line handling for the example programs (mirrors
+// bench/bench_util.h: one definition so the examples cannot drift apart).
+
+#include <cstddef>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace spot {
+namespace examples {
+
+/// Parses the `--threads N` flag every example accepts: N shard workers
+/// per ProcessBatch (SpotConfig::num_shards). Verdicts are bit-identical
+/// at every thread count — it is purely a throughput knob. Returns 1 when
+/// the flag is absent or malformed. When `positional` is non-null it
+/// receives the remaining (non-flag) arguments in order.
+inline std::size_t ThreadsFlag(int argc, char** argv,
+                               std::vector<std::string>* positional =
+                                   nullptr) {
+  std::size_t num_threads = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string value;
+    if (arg == "--threads" && i + 1 < argc) {
+      value = argv[++i];
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      value = arg.substr(sizeof("--threads=") - 1);
+    } else {
+      if (positional != nullptr) positional->push_back(arg);
+      continue;
+    }
+    const std::size_t parsed = static_cast<std::size_t>(
+        std::strtoull(value.c_str(), nullptr, 10));
+    if (parsed > 0) num_threads = parsed;
+  }
+  return num_threads;
+}
+
+}  // namespace examples
+}  // namespace spot
+
+#endif  // SPOT_EXAMPLES_EXAMPLE_FLAGS_H_

@@ -5,16 +5,17 @@
 // and the feature subspace that triggered it, which is what an analyst
 // needs for triage.
 //
-// Build & run:  ./build/examples/network_intrusion
+// Build & run:  ./build/examples/network_intrusion [--threads N]
 
 #include <algorithm>
 #include <array>
 #include <cstdio>
 
 #include "core/detector.h"
+#include "examples/example_flags.h"
 #include "stream/kdd_sim.h"
 
-int main() {
+int main(int argc, char** argv) {
   using spot::stream::AttackCategory;
   using spot::stream::KddSimulator;
 
@@ -30,6 +31,7 @@ int main() {
   config.domain_lo = 0.0;
   config.domain_hi = 1.0;
   config.os_update_every = 8;  // let OS grow from detected attacks
+  config.num_shards = spot::examples::ThreadsFlag(argc, argv);
   config.seed = 12;
 
   spot::SpotDetector detector(config);

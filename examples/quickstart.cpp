@@ -6,14 +6,15 @@
 //      overhead; verdicts are identical to one-at-a-time Process calls),
 //   4. read each verdict's outlying subspaces.
 //
-// Build & run:  ./build/examples/quickstart
+// Build & run:  ./build/examples/quickstart [--threads N]
 
 #include <cstdio>
 
 #include "core/detector.h"
+#include "examples/example_flags.h"
 #include "stream/synthetic.h"
 
-int main() {
+int main(int argc, char** argv) {
   // --- 1. Configure ------------------------------------------------------
   spot::SpotConfig config;
   config.omega = 2000;        // sliding-window size (points)
@@ -21,6 +22,7 @@ int main() {
   config.fs_max_dimension = 2;  // FS: all 1-d and 2-d subspaces
   config.domain_lo = 0.0;     // our data lives in the unit hypercube
   config.domain_hi = 1.0;
+  config.num_shards = spot::examples::ThreadsFlag(argc, argv);
   config.seed = 7;
 
   // --- 2. Learn from a training batch ------------------------------------

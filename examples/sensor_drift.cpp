@@ -4,15 +4,16 @@
 // Page-Hinkley drift detection with CS relearning, and periodic CS
 // self-evolution — keeping the detector useful after each regime change.
 //
-// Build & run:  ./build/examples/sensor_drift
+// Build & run:  ./build/examples/sensor_drift [--threads N]
 
 #include <cstdio>
 
 #include "core/detector.h"
 #include "eval/metrics.h"
+#include "examples/example_flags.h"
 #include "stream/drift.h"
 
-int main() {
+int main(int argc, char** argv) {
   // A 14-attribute sensor stream whose concept is replaced every 6000
   // readings; 1.5% of readings are faulty sensors (projected outliers).
   spot::stream::DriftConfig stream_config;
@@ -30,6 +31,7 @@ int main() {
   config.drift_detection = true;   // Page-Hinkley on the outlier rate
   config.relearn_on_drift = true;  // rebuild CS from the reservoir
   config.drift_lambda = 8.0;
+  config.num_shards = spot::examples::ThreadsFlag(argc, argv);
   config.seed = 22;
 
   spot::SpotDetector detector(config);

@@ -7,16 +7,17 @@
 // attributes — then example-based detection catches new fraud that is
 // "similar to these outlier examples" (paper, Section II-C1).
 //
-// Build & run:  ./build/examples/supervised_outliers
+// Build & run:  ./build/examples/supervised_outliers [--threads N]
 
 #include <cstdio>
 #include <utility>
 #include <vector>
 
 #include "core/detector.h"
+#include "examples/example_flags.h"
 #include "stream/synthetic.h"
 
-int main() {
+int main(int argc, char** argv) {
   const int kDims = 16;
 
   // Normal transaction traffic.
@@ -45,6 +46,7 @@ int main() {
   config.domain_lo = 0.0;
   config.domain_hi = 1.0;
   config.fs_max_dimension = 1;  // lean FS: OS carries the expert signal
+  config.num_shards = spot::examples::ThreadsFlag(argc, argv);
   config.seed = 33;
 
   spot::SpotDetector detector(config);

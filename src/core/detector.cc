@@ -4,6 +4,8 @@
 
 #include "common/log.h"
 #include "common/math_util.h"
+#include "common/timer.h"
+#include "engine/sharded_engine.h"
 #include "learning/self_evolution.h"
 #include "moga/moga_search.h"
 #include "moga/objectives.h"
@@ -99,6 +101,12 @@ bool SpotDetector::Learn(const std::vector<std::vector<double>>& training_data,
       config_.use_decay ? DecayModel(config_.omega, config_.epsilon)
                         : DecayModel::None(),
       config_.prune_threshold, config_.compaction_period);
+  engine_.reset();  // shard views must not outlive the old synapses
+  // Fresh detection state: a re-Learn starts the stream over, so no stats,
+  // OS-growth cadence or accumulated drift signal may carry across.
+  stats_ = SpotStats{};
+  outliers_since_os_update_ = 0;
+  drift_ = PageHinkley(config_.drift_delta, config_.drift_lambda);
   SyncTrackedSubspaces();
   tick_ = 0;
   for (const auto& row : training_data) {
@@ -124,7 +132,19 @@ SpotResult SpotDetector::Process(const DataPoint& point) {
     SPOT_LOG(Error) << "Process() called before a successful Learn()";
     return SpotResult{};
   }
-  return ProcessOne(point);
+  Timer timer;
+  SpotResult result = ProcessOne(point);
+  stats_.detection_seconds += timer.ElapsedSeconds();
+  return result;
+}
+
+void SpotDetector::set_num_shards(std::size_t num_shards) {
+  config_.num_shards = num_shards == 0 ? 1 : num_shards;
+  if (engine_ != nullptr && engine_->num_shards() != config_.num_shards) {
+    // Free the old worker pool now (dropping to 1 shard would otherwise
+    // strand it); the next ProcessBatch rebuilds the engine lazily.
+    engine_.reset();
+  }
 }
 
 std::vector<SpotResult> SpotDetector::ProcessBatch(
@@ -135,8 +155,18 @@ std::vector<SpotResult> SpotDetector::ProcessBatch(
     results.resize(points.size());
     return results;
   }
-  results.reserve(points.size());
-  for (const DataPoint& p : points) results.push_back(ProcessOne(p));
+  Timer timer;
+  if (config_.num_shards > 1) {
+    if (engine_ == nullptr || engine_->num_shards() != config_.num_shards) {
+      engine_ = std::make_unique<ShardedSpotEngine>(this, config_.num_shards);
+    }
+    results = engine_->ProcessBatch(points);
+  } else {
+    results.reserve(points.size());
+    for (const DataPoint& p : points) results.push_back(ProcessOne(p));
+  }
+  stats_.detection_seconds += timer.ElapsedSeconds();
+  ++stats_.batches_processed;
   return results;
 }
 
@@ -148,6 +178,15 @@ std::vector<SpotResult> SpotDetector::ProcessBatch(
     results.resize(batch.size());
     return results;
   }
+  if (config_.num_shards > 1) {
+    std::vector<DataPoint> points(batch.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      points[i].id = tick_ + i;
+      points[i].values = batch[i];
+    }
+    return ProcessBatch(points);
+  }
+  Timer timer;
   results.reserve(batch.size());
   DataPoint p;
   for (const auto& values : batch) {
@@ -155,6 +194,8 @@ std::vector<SpotResult> SpotDetector::ProcessBatch(
     p.values = values;
     results.push_back(ProcessOne(p));
   }
+  stats_.detection_seconds += timer.ElapsedSeconds();
+  ++stats_.batches_processed;
   return results;
 }
 
@@ -190,6 +231,12 @@ SpotResult SpotDetector::ProcessOne(const DataPoint& point) {
   result.is_outlier = !result.findings.empty();
   result.score = Clamp(1.0 - min_rd, 0.0, 1.0);
 
+  ApplyPointSideEffects(point.values, result);
+  return result;
+}
+
+void SpotDetector::ApplyPointSideEffects(const std::vector<double>& values,
+                                         const SpotResult& result) {
   ++stats_.points_processed;
   if (result.is_outlier) {
     ++stats_.outliers_detected;
@@ -197,7 +244,7 @@ SpotResult SpotDetector::ProcessOne(const DataPoint& point) {
     if (config_.os_update_every != 0 &&
         ++outliers_since_os_update_ >= config_.os_update_every) {
       outliers_since_os_update_ = 0;
-      GrowOutlierDriven(point.values);
+      GrowOutlierDriven(values);
     }
   }
 
@@ -213,8 +260,6 @@ SpotResult SpotDetector::ProcessOne(const DataPoint& point) {
     ++stats_.drifts_detected;
     if (config_.relearn_on_drift) RelearnAfterDrift();
   }
-
-  return result;
 }
 
 SpotResult SpotDetector::Process(const std::vector<double>& values) {

@@ -19,6 +19,8 @@
 
 namespace spot {
 
+class ShardedSpotEngine;
+
 /// One subspace in which a point was found outlying, with the PCS evidence.
 struct SubspaceFinding {
   Subspace subspace;
@@ -44,6 +46,21 @@ struct SpotStats {
   std::uint64_t evolution_rounds = 0;
   std::uint64_t os_growth_runs = 0;
   std::uint64_t drifts_detected = 0;
+
+  /// Wall-clock seconds spent inside Process()/ProcessBatch() since
+  /// Learn(), and the number of ProcessBatch() calls completed. These are
+  /// the one source benches and the sharded engine report throughput from
+  /// (instead of each re-deriving rates around the call sites).
+  double detection_seconds = 0.0;
+  std::uint64_t batches_processed = 0;
+
+  /// Mean detection throughput since Learn(): points per wall-clock second
+  /// spent in the detection entry points (0 before any point is timed).
+  double PointsPerSecond() const {
+    return detection_seconds > 0.0
+               ? static_cast<double>(points_processed) / detection_seconds
+               : 0.0;
+  }
 };
 
 /// The Stream Projected Outlier deTector.
@@ -80,7 +97,10 @@ class SpotDetector {
   /// verdict per point. Produces results identical to calling Process() on
   /// each point in sequence (same synapse updates, OS growth, evolution and
   /// drift side effects at the same ticks) — batching amortizes per-point
-  /// overhead and is the seam for future sharding, not a semantic change.
+  /// overhead, it is not a semantic change. With config.num_shards > 1 the
+  /// batch is delegated to a ShardedSpotEngine that fans the per-subspace
+  /// synapse work out across worker threads; verdicts stay bit-identical at
+  /// every shard count.
   std::vector<SpotResult> ProcessBatch(const std::vector<DataPoint>& points);
 
   /// Convenience overload for raw value vectors (ids auto-assigned).
@@ -97,11 +117,27 @@ class SpotDetector {
   /// Number of SST subspaces currently tracked by the synapses.
   std::size_t TrackedSubspaces() const;
 
+  /// Reconfigures the shard count used by ProcessBatch (see
+  /// SpotConfig::num_shards). Takes effect from the next batch; verdicts do
+  /// not depend on the setting.
+  void set_num_shards(std::size_t num_shards);
+  std::size_t num_shards() const { return config_.num_shards; }
+
  private:
+  // The sharded engine drives the same per-point pipeline from its batch
+  // join (reservoir, verdict assembly, ApplyPointSideEffects) and borrows
+  // the synapses for its shard views.
+  friend class ShardedSpotEngine;
+
   void SyncTrackedSubspaces();
-  /// Shared per-point detection step (Process and ProcessBatch both land
-  /// here, which is what keeps them bit-identical).
+  /// Shared per-point detection step (Process and sequential ProcessBatch
+  /// both land here, which is what keeps them bit-identical).
   SpotResult ProcessOne(const DataPoint& point);
+  /// Post-verdict machinery of one point: stats, OS growth cadence, CS
+  /// self-evolution, drift watch. Shared verbatim by ProcessOne and the
+  /// sharded engine's serial join so the two paths cannot drift apart.
+  void ApplyPointSideEffects(const std::vector<double>& values,
+                             const SpotResult& result);
   void GrowOutlierDriven(const std::vector<double>& values);
   void RunSelfEvolution();
   void RelearnAfterDrift();
@@ -118,6 +154,9 @@ class SpotDetector {
   std::vector<Pcs> pcs_cache_;
   std::optional<Partition> partition_;
   std::unique_ptr<SynapseManager> synapses_;
+  /// Lazily built when config_.num_shards > 1; reset by Learn() and by
+  /// set_num_shards() so it always matches the live synapses and count.
+  std::unique_ptr<ShardedSpotEngine> engine_;
   ReservoirSample reservoir_;
   PageHinkley drift_;
   SpotStats stats_;
@@ -135,6 +174,9 @@ class SpotStreamAdapter : public StreamDetector {
   Detection Process(const DataPoint& point) override;
   std::vector<Detection> ProcessBatch(
       const std::vector<DataPoint>& points) override;
+  void set_num_shards(std::size_t num_shards) override {
+    detector_->set_num_shards(num_shards);
+  }
   std::string name() const override { return "SPOT"; }
 
  private:

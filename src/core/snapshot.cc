@@ -128,6 +128,7 @@ std::string ExportConfig(const SpotConfig& c) {
   out << "relearn_on_drift " << (c.relearn_on_drift ? 1 : 0) << "\n";
   out << "prune_threshold " << c.prune_threshold << "\n";
   out << "compaction_period " << c.compaction_period << "\n";
+  out << "num_shards " << c.num_shards << "\n";
   out << "seed " << c.seed << "\n";
   return out.str();
 }
@@ -195,6 +196,8 @@ bool ImportConfig(const std::string& text, SpotConfig* config) {
       c.prune_threshold = d;
     } else if (key == "compaction_period" && ParseUint(value, &u)) {
       c.compaction_period = u;
+    } else if (key == "num_shards" && ParseUint(value, &u)) {
+      c.num_shards = u == 0 ? 1 : u;
     } else if (key == "seed" && ParseUint(value, &u)) {
       c.seed = u;
     } else {

@@ -113,6 +113,14 @@ struct SpotConfig {
   /// Arrivals between compaction sweeps (0 disables).
   std::uint64_t compaction_period = 4096;
 
+  // --- Batch sharding ----------------------------------------------------
+  /// Shards the tracked SST subspaces across this many worker threads
+  /// during ProcessBatch (1 = sequential in-place processing, the default).
+  /// Verdicts are bit-identical at every shard count — sharding is a
+  /// throughput knob, not a semantic one. Single-point Process() always
+  /// runs in place regardless.
+  std::size_t num_shards = 1;
+
   // --- Reproducibility ---------------------------------------------------
   std::uint64_t seed = 1234;
 

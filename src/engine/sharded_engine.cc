@@ -1,0 +1,155 @@
+#include "engine/sharded_engine.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+#include "common/math_util.h"
+#include "grid/synapse_manager.h"
+
+namespace spot {
+
+ShardedSpotEngine::ShardedSpotEngine(SpotDetector* detector,
+                                     std::size_t num_shards)
+    : detector_(detector),
+      num_shards_(num_shards == 0 ? 1 : num_shards),
+      pool_(num_shards_ > 1 ? std::make_unique<ThreadPool>(num_shards_ - 1)
+                            : nullptr) {
+  shards_.resize(num_shards_);
+}
+
+ShardedSpotEngine::~ShardedSpotEngine() = default;
+
+void ShardedSpotEngine::Resync(std::size_t n, bool reset_all,
+                               std::vector<ShardColumn*>* fresh) {
+  SynapseManager& synapses = *detector_->synapses_;
+  ++resync_stamp_;
+  dense_columns_.clear();
+  const std::size_t tracked = synapses.NumTracked();
+  dense_columns_.reserve(tracked);
+  for (std::size_t i = 0; i < tracked; ++i) {
+    auto [it, inserted] = columns_.try_emplace(synapses.SubspaceAt(i));
+    ShardColumn& column = it->second;
+    // A serial mismatch means the subspace was untracked and re-tracked
+    // since this column last saw it: the grid is fresh and empty, so the
+    // column restarts (and replays the batch tail) exactly as a new one.
+    if (inserted || reset_all || column.serial != synapses.SerialAt(i)) {
+      column.subspace = synapses.SubspaceAt(i);
+      column.grid = synapses.GridAt(i);
+      column.serial = synapses.SerialAt(i);
+      column.pcs.assign(n, Pcs{});
+      column.vetoed.assign(n, 0);
+      if (fresh != nullptr) fresh->push_back(&column);
+    }
+    column.stamp = resync_stamp_;
+    dense_columns_.push_back(&column);
+  }
+  // Sweep columns of untracked subspaces — their grids no longer exist.
+  if (columns_.size() != dense_columns_.size()) {
+    for (auto it = columns_.begin(); it != columns_.end();) {
+      it = it->second.stamp == resync_stamp_ ? std::next(it)
+                                             : columns_.erase(it);
+    }
+  }
+}
+
+void ShardedSpotEngine::SliceShards() {
+  for (SynapseShard& shard : shards_) shard.Clear();
+  for (std::size_t i = 0; i < dense_columns_.size(); ++i) {
+    shards_[i % num_shards_].Adopt(dense_columns_[i]);
+  }
+}
+
+std::vector<SpotResult> ShardedSpotEngine::ProcessBatch(
+    const std::vector<DataPoint>& points) {
+  SpotDetector& detector = *detector_;
+  std::vector<SpotResult> results;
+  if (!detector.learned()) {
+    SPOT_LOG(Error) << "ProcessBatch() called before a successful Learn()";
+    results.resize(points.size());
+    return results;
+  }
+  const std::size_t n = points.size();
+  if (n == 0) return results;
+  results.reserve(n);
+
+  SynapseManager& synapses = *detector.synapses_;
+  const SpotConfig& config = detector.config_;
+  const ShardRunParams params{config.rd_threshold, config.irsd_threshold,
+                              config.fringe_factor};
+
+  // Phase 0 — coordinator: bin each point once, fold it into the
+  // single-owner base grid, and snapshot the per-point total weight. The
+  // base grid never depends on the tracked set, so it can run ahead of the
+  // join; every weight is exactly the W the sequential path would read.
+  frame_.points = &points;
+  frame_.base_coords.resize(n);
+  frame_.ticks.resize(n);
+  frame_.total_weights.resize(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    frame_.ticks[j] = detector.tick_++;
+    synapses.BinBase(points[j].values, &frame_.base_coords[j]);
+    frame_.total_weights[j] =
+        synapses.AddBase(frame_.base_coords[j], points[j].values,
+                         frame_.ticks[j]);
+  }
+
+  // Phase 1 — fan the per-subspace work out to the shards.
+  Resync(n, /*reset_all=*/true, nullptr);
+  SliceShards();
+  if (pool_ != nullptr) {
+    pool_->Dispatch(shards_.size(), [&](std::size_t k) {
+      shards_[k].ProcessRun(frame_, 0, n, params);
+    });
+  } else {
+    shards_[0].ProcessRun(frame_, 0, n, params);
+  }
+
+  // Phase 2 — serial join in arrival order, with the side-effect machinery
+  // (reservoir, OS growth, self-evolution, drift) running at the same ticks
+  // as sequential processing.
+  std::uint64_t revision = synapses.revision();
+  std::vector<ShardColumn*> fresh;
+  for (std::size_t j = 0; j < n; ++j) {
+    detector.reservoir_.Add(points[j].values);
+    SpotResult result;
+    double min_rd = 1.0;
+    for (ShardColumn* column : dense_columns_) {
+      const Pcs& pcs = column->pcs[j];
+      min_rd = std::min(min_rd, pcs.rd);
+      if (pcs.IsSparse(config.rd_threshold, config.irsd_threshold) &&
+          column->vetoed[j] == 0) {
+        result.findings.push_back({column->subspace, pcs});
+      }
+    }
+    result.is_outlier = !result.findings.empty();
+    result.score = Clamp(1.0 - min_rd, 0.0, 1.0);
+
+    detector.ApplyPointSideEffects(points[j].values, result);
+
+    if (synapses.revision() != revision) {
+      // The tracked set changed (OS growth, self-evolution or drift
+      // relearning): resync the shard views and replay the batch tail into
+      // the newly tracked grids — they start empty at this event point,
+      // exactly as sequential processing would leave them.
+      revision = synapses.revision();
+      fresh.clear();
+      Resync(n, /*reset_all=*/false, &fresh);
+      const std::size_t begin = j + 1;
+      if (begin < n && !fresh.empty()) {
+        if (pool_ != nullptr) {
+          pool_->Dispatch(fresh.size(), [&](std::size_t f) {
+            SynapseShard::ProcessColumn(fresh[f], frame_, begin, n, params);
+          });
+        } else {
+          for (ShardColumn* column : fresh) {
+            SynapseShard::ProcessColumn(column, frame_, begin, n, params);
+          }
+        }
+      }
+    }
+    results.push_back(std::move(result));
+  }
+  return results;
+}
+
+}  // namespace spot

@@ -1,0 +1,86 @@
+#ifndef SPOT_ENGINE_SHARDED_ENGINE_H_
+#define SPOT_ENGINE_SHARDED_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/detector.h"
+#include "engine/thread_pool.h"
+#include "grid/synapse_shard.h"
+#include "subspace/subspace.h"
+
+namespace spot {
+
+/// Shard-parallel batch detection over a SpotDetector's synapses.
+///
+/// The engine partitions the tracked SST subspaces into `num_shards`
+/// disjoint SynapseShard views, each owned by one worker of a reusable
+/// fork-join pool, and processes a batch in three phases:
+///
+///   0. Coordinator: bin every point's base-cell coordinates once, fold it
+///      into the (single-owner) base grid, and snapshot the decayed total
+///      weight after each fold — the authoritative per-point W.
+///   1. Fan-out: every shard folds the whole batch into its own grids in
+///      arrival order, recording per-(subspace, point) PCS and fringe
+///      verdicts. A grid's state depends only on its own input sequence, so
+///      this is bit-identical to interleaved sequential updates.
+///   2. Serial join, in arrival order: assemble each point's verdict from
+///      the recorded columns in the manager's dense tracked order, then run
+///      the sequential side-effect machinery (reservoir, OS growth, CS
+///      self-evolution, drift detection) at exactly the same ticks as
+///      SpotDetector::Process would. When a side effect changes the tracked
+///      set mid-batch, the shard views resync and the newly tracked grids
+///      replay the remaining batch tail (they start empty at the event
+///      point, exactly like sequential processing); verdicts past the event
+///      are assembled from the new tracked order.
+///
+/// Verdicts (labels, findings, scores) and side-effect counters are
+/// bit-identical to sequential SpotDetector::ProcessBatch at every shard
+/// count; K=1 degenerates to today's path run inline without threads.
+class ShardedSpotEngine {
+ public:
+  /// Borrows `detector`, which must outlive the engine. `num_shards` >= 1;
+  /// K shards use K-1 pool workers plus the calling thread.
+  ShardedSpotEngine(SpotDetector* detector, std::size_t num_shards);
+  ~ShardedSpotEngine();
+
+  ShardedSpotEngine(const ShardedSpotEngine&) = delete;
+  ShardedSpotEngine& operator=(const ShardedSpotEngine&) = delete;
+
+  std::size_t num_shards() const { return num_shards_; }
+
+  /// Processes `points` in arrival order; one verdict per point,
+  /// bit-identical to sequential SpotDetector::ProcessBatch. (Raw value
+  /// vectors go through SpotDetector::ProcessBatch, which also maintains
+  /// the timing stats.)
+  std::vector<SpotResult> ProcessBatch(const std::vector<DataPoint>& points);
+
+ private:
+  /// Rebuilds the dense column view (and the subspace -> column store)
+  /// against the manager's current tracked set. Columns for untracked
+  /// subspaces are dropped (their grids are gone); columns for newly
+  /// tracked subspaces are created with `n`-point lanes and appended to
+  /// `fresh` when given. With `reset_all`, every column's lanes are cleared
+  /// for a new batch.
+  void Resync(std::size_t n, bool reset_all,
+              std::vector<ShardColumn*>* fresh);
+
+  /// Deterministically slices the dense columns round-robin across shards.
+  void SliceShards();
+
+  SpotDetector* detector_;
+  std::size_t num_shards_;
+  std::unique_ptr<ThreadPool> pool_;  // null when num_shards_ == 1
+
+  BatchFrame frame_;
+  std::unordered_map<Subspace, ShardColumn, SubspaceHash> columns_;
+  std::vector<ShardColumn*> dense_columns_;  // manager dense order
+  std::vector<SynapseShard> shards_;
+  std::uint64_t resync_stamp_ = 0;
+};
+
+}  // namespace spot
+
+#endif  // SPOT_ENGINE_SHARDED_ENGINE_H_

@@ -1,0 +1,140 @@
+#ifndef SPOT_ENGINE_THREAD_POOL_H_
+#define SPOT_ENGINE_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace spot {
+
+/// Reusable fork-join pool for the sharded engine.
+///
+/// Dispatch(num_jobs, job) runs job(0..num_jobs) across the pool's worker
+/// threads plus the calling thread, blocking until every job has finished.
+/// Jobs are pulled from a shared atomic counter, so which thread runs a
+/// given job is not deterministic — callers must hand out jobs whose results
+/// do not depend on their executor (the engine's jobs are whole shards /
+/// whole grids, each internally sequential and touching disjoint state).
+///
+/// The mutex handshake around each dispatch establishes happens-before in
+/// both directions: workers see all coordinator writes preceding Dispatch(),
+/// and the coordinator sees all worker writes once Dispatch() returns.
+/// Dispatch() does not return while any worker is still inside the job loop
+/// (participants are counted), so a dispatch's state can never be read by a
+/// straggler after the call completed; workers that wake up late find a null
+/// job and go straight back to sleep.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` persistent workers (0 = run everything inline on
+  /// the dispatching thread).
+  explicit ThreadPool(std::size_t num_threads) {
+    workers_.reserve(num_threads);
+    for (std::size_t i = 0; i < num_threads; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    work_ready_.notify_all();
+    for (std::thread& worker : workers_) worker.join();
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t num_threads() const { return workers_.size(); }
+
+  /// Runs job(i) for every i in [0, num_jobs) and returns once all have
+  /// completed. The calling thread participates.
+  void Dispatch(std::size_t num_jobs,
+                const std::function<void(std::size_t)>& job) {
+    if (num_jobs == 0) return;
+    if (workers_.empty() || num_jobs == 1) {
+      for (std::size_t i = 0; i < num_jobs; ++i) job(i);
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      job_ = &job;
+      num_jobs_ = num_jobs;
+      next_job_.store(0, std::memory_order_relaxed);
+      completed_ = 0;
+      ++generation_;
+    }
+    work_ready_.notify_all();
+    const std::size_t ran = RunJobs();
+    std::unique_lock<std::mutex> lock(mutex_);
+    completed_ += ran;
+    all_done_.wait(lock, [this] {
+      return completed_ == num_jobs_ && active_workers_ == 0;
+    });
+    job_ = nullptr;
+  }
+
+ private:
+  /// Pulls and runs jobs until none remain. Returns the number executed by
+  /// this thread. Only called between the generation handshake (workers) or
+  /// the dispatch setup (coordinator) and the matching completion bookkeeping,
+  /// so the unlocked reads of job_/num_jobs_ cannot race a later dispatch.
+  std::size_t RunJobs() {
+    std::size_t ran = 0;
+    for (;;) {
+      const std::size_t i = next_job_.fetch_add(1, std::memory_order_relaxed);
+      if (i >= num_jobs_) break;
+      (*job_)(i);
+      ++ran;
+    }
+    return ran;
+  }
+
+  void WorkerLoop() {
+    std::uint64_t seen_generation = 0;
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        work_ready_.wait(lock, [&] {
+          return stop_ || generation_ != seen_generation;
+        });
+        if (stop_) return;
+        seen_generation = generation_;
+        // A straggler can observe the generation bump after the dispatch
+        // already completed; the job is null by then — nothing to join.
+        if (job_ == nullptr) continue;
+        ++active_workers_;
+      }
+      const std::size_t ran = RunJobs();
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        completed_ += ran;
+        --active_workers_;
+        if (active_workers_ == 0 && completed_ == num_jobs_) {
+          all_done_.notify_all();
+        }
+      }
+    }
+  }
+
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable all_done_;
+  std::vector<std::thread> workers_;
+  const std::function<void(std::size_t)>* job_ = nullptr;
+  std::size_t num_jobs_ = 0;
+  std::atomic<std::size_t> next_job_{0};
+  std::size_t completed_ = 0;        // guarded by mutex_
+  std::size_t active_workers_ = 0;   // guarded by mutex_
+  std::uint64_t generation_ = 0;     // guarded by mutex_
+  bool stop_ = false;                // guarded by mutex_
+};
+
+}  // namespace spot
+
+#endif  // SPOT_ENGINE_THREAD_POOL_H_

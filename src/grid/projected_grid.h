@@ -32,7 +32,8 @@ namespace spot {
 /// coordinate scratch buffer, and every probe (including const queries)
 /// bumps the hash_probes() counter, so concurrent access — even concurrent
 /// const queries — is a data race. Shard whole grids across threads via the
-/// batch layer instead (DESIGN.md Section 3.6).
+/// sharded engine instead, which gives each grid exactly one owning worker
+/// (DESIGN.md Section 3.8).
 class ProjectedGrid {
  public:
   ProjectedGrid(Subspace subspace, const Partition* partition,

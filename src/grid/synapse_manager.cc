@@ -13,16 +13,19 @@ SynapseManager::SynapseManager(Partition partition, DecayModel model,
 
 void SynapseManager::Track(const Subspace& s) {
   if (s.IsEmpty() || IsTracked(s)) return;
+  ++revision_;
   by_subspace_.emplace(s, grids_.size());
   grids_.push_back(
-      {s, std::make_unique<ProjectedGrid>(s, &partition_, model_,
-                                          prune_threshold_,
-                                          compaction_period_)});
+      {s, revision_,
+       std::make_unique<ProjectedGrid>(s, &partition_, model_,
+                                       prune_threshold_,
+                                       compaction_period_)});
 }
 
 void SynapseManager::Untrack(const Subspace& s) {
   auto it = by_subspace_.find(s);
   if (it == by_subspace_.end()) return;
+  ++revision_;
   const std::size_t idx = it->second;
   by_subspace_.erase(it);
   if (idx != grids_.size() - 1) {
@@ -53,6 +56,13 @@ void SynapseManager::AddAndQuery(const std::vector<double>& point,
     (*out)[i] = grids_[i].grid->AddAndQueryAt(base_scratch_, point, tick,
                                               total_weight);
   }
+}
+
+double SynapseManager::AddBase(const CellCoords& coords,
+                               const std::vector<double>& point,
+                               std::uint64_t tick) {
+  base_.AddAt(coords, point, tick);
+  return base_.TotalWeight();
 }
 
 Pcs SynapseManager::Query(const std::vector<double>& point,

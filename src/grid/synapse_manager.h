@@ -67,6 +67,20 @@ class SynapseManager {
   void AddAndQuery(const std::vector<double>& point, std::uint64_t tick,
                    std::vector<Pcs>* out);
 
+  /// Bins `point` into base-cell coordinates (allocation-free once `out`
+  /// has capacity). The sharded engine bins each point exactly once and
+  /// shares the coordinates across every shard's grids.
+  void BinBase(const std::vector<double>& point, CellCoords* out) const {
+    partition_.BaseCellInto(point, out);
+  }
+
+  /// Folds one point into the base grid only — the sharded engine fans the
+  /// projected-grid updates out to shard workers — and returns the decayed
+  /// total stream weight right after the fold, which is the authoritative W
+  /// that every subspace query for this point must use.
+  double AddBase(const CellCoords& coords, const std::vector<double>& point,
+                 std::uint64_t tick);
+
   /// PCS of `point`'s cell in tracked subspace `s` (PCS{} if untracked).
   Pcs Query(const std::vector<double>& point, const Subspace& s) const;
 
@@ -89,6 +103,24 @@ class SynapseManager {
 
   std::size_t NumTracked() const { return grids_.size(); }
 
+  /// Grid and subspace at dense index `i` (i < NumTracked()). The mutable
+  /// grid pointer is what SynapseShard views borrow; it is invalidated by
+  /// Untrack of that subspace (shard views resync via revision()).
+  ProjectedGrid* GridAt(std::size_t i) { return grids_[i].grid.get(); }
+  const Subspace& SubspaceAt(std::size_t i) const {
+    return grids_[i].subspace;
+  }
+
+  /// Unique, monotonically increasing id of the grid at dense index `i`,
+  /// assigned at Track time. Lets shard views tell a re-tracked (fresh,
+  /// empty) grid apart from the grid they last saw for the same subspace
+  /// even when the allocator reuses the old grid's address.
+  std::uint64_t SerialAt(std::size_t i) const { return grids_[i].serial; }
+
+  /// Bumped by every Track/Untrack that changes the tracked set. Shard
+  /// views compare revisions to decide when to resync their grid slices.
+  std::uint64_t revision() const { return revision_; }
+
   /// Total populated projected cells across all tracked grids (memory
   /// proxy reported by the scalability experiments).
   std::size_t TotalPopulatedCells() const;
@@ -104,6 +136,7 @@ class SynapseManager {
  private:
   struct TrackedGrid {
     Subspace subspace;
+    std::uint64_t serial = 0;
     std::unique_ptr<ProjectedGrid> grid;
   };
 
@@ -115,6 +148,7 @@ class SynapseManager {
   std::vector<TrackedGrid> grids_;  // dense, iterated on the hot path
   std::unordered_map<Subspace, std::size_t, SubspaceHash> by_subspace_;
   CellCoords base_scratch_;  // base-cell coords, binned once per point
+  std::uint64_t revision_ = 0;
 };
 
 }  // namespace spot

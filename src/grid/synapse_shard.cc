@@ -1,0 +1,36 @@
+#include "grid/synapse_shard.h"
+
+namespace spot {
+
+void SynapseShard::ProcessColumn(ShardColumn* column, const BatchFrame& frame,
+                                 std::size_t begin, std::size_t end,
+                                 const ShardRunParams& params) {
+  ProjectedGrid& grid = *column->grid;
+  const std::vector<DataPoint>& points = *frame.points;
+  const std::vector<int> dims = grid.subspace().Indices();
+  CellCoords projected(dims.size());
+  for (std::size_t j = begin; j < end; ++j) {
+    const std::vector<double>& values = points[j].values;
+    const Pcs pcs = grid.AddAndQueryAt(frame.base_coords[j], values,
+                                       frame.ticks[j],
+                                       frame.total_weights[j]);
+    column->pcs[j] = pcs;
+    // Mirror the sequential detection policy exactly: the fringe
+    // neighborhood is probed only for sparse cells, against the grid state
+    // with points <= j folded in (the next point is not added until this
+    // verdict is recorded).
+    bool veto = false;
+    if (params.fringe_factor > 0.0 &&
+        pcs.IsSparse(params.rd_threshold, params.irsd_threshold)) {
+      for (std::size_t k = 0; k < dims.size(); ++k) {
+        projected[k] =
+            frame.base_coords[j][static_cast<std::size_t>(dims[k])];
+      }
+      veto = grid.IsClusterFringe(projected, pcs.count,
+                                  params.fringe_factor);
+    }
+    column->vetoed[j] = veto ? 1 : 0;
+  }
+}
+
+}  // namespace spot

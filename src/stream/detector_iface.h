@@ -46,6 +46,12 @@ class StreamDetector {
     return verdicts;
   }
 
+  /// Requests that ProcessBatch spread its work over `num_shards` worker
+  /// threads, for detectors that support sharding (SPOT does). Verdicts
+  /// must not depend on the setting — it is purely a throughput knob. The
+  /// default implementation ignores the request.
+  virtual void set_num_shards(std::size_t num_shards) { (void)num_shards; }
+
   virtual std::string name() const = 0;
 };
 

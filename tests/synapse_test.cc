@@ -216,6 +216,67 @@ TEST(SynapseManagerTest, CompactAllSweepsEveryGrid) {
   EXPECT_GE(removed, 2u);  // stale cell gone from base + projected grid
 }
 
+TEST(SynapseManagerTest, CompactAllReclaimsPrunedSlotsAndPreservesPcs) {
+  // Strong decay, manual compaction only.
+  SynapseManager mgr(UnitPartition(2), DecayModel(10, 0.001), 1e-3, 0);
+  const Subspace s0 = Subspace::FromIndices({0});
+  const Subspace s01 = Subspace::FromIndices({0, 1});
+  mgr.Track(s0);
+  mgr.Track(s01);
+
+  // One cell that will decay below the prune threshold, plus two cells kept
+  // alive (interleaved, so both stay fresh) until the sweep tick.
+  std::uint64_t t = 0;
+  mgr.Add({0.05, 0.05}, t++);
+  for (int i = 0; i < 150; ++i) {
+    mgr.Add({0.55, 0.55}, t++);
+    mgr.Add({0.95, 0.95}, t++);
+  }
+  const std::uint64_t now = t - 1;
+
+  const Pcs mid_s0_before = mgr.Query({0.55, 0.55}, s0);
+  const Pcs hi_s0_before = mgr.Query({0.95, 0.95}, s0);
+  const Pcs mid_s01_before = mgr.Query({0.55, 0.55}, s01);
+  for (std::size_t g = 0; g < mgr.NumTracked(); ++g) {
+    ASSERT_EQ(mgr.GridAt(g)->PopulatedCells(), 3u);
+    ASSERT_EQ(mgr.GridAt(g)->SlabSlots(), 3u);
+    ASSERT_EQ(mgr.GridAt(g)->FreeSlots(), 0u);
+  }
+
+  // The stale cell is reclaimed from the base grid and from every projected
+  // grid; its slab slots move to the free lists (the slabs never shrink).
+  EXPECT_EQ(mgr.CompactAll(now), 3u);
+  for (std::size_t g = 0; g < mgr.NumTracked(); ++g) {
+    EXPECT_EQ(mgr.GridAt(g)->PopulatedCells(), 2u);
+    EXPECT_EQ(mgr.GridAt(g)->SlabSlots(), 3u);
+    EXPECT_EQ(mgr.GridAt(g)->FreeSlots(), 1u);
+  }
+
+  // Surviving cells answer the same PCS after the sweep (the sweep only
+  // recomputes the squared-count sum exactly, cancelling float drift, so
+  // equality is up to that correction).
+  const Pcs mid_s0_after = mgr.Query({0.55, 0.55}, s0);
+  const Pcs hi_s0_after = mgr.Query({0.95, 0.95}, s0);
+  const Pcs mid_s01_after = mgr.Query({0.55, 0.55}, s01);
+  EXPECT_NEAR(mid_s0_after.rd, mid_s0_before.rd, 1e-9);
+  EXPECT_NEAR(mid_s0_after.irsd, mid_s0_before.irsd, 1e-9);
+  EXPECT_NEAR(mid_s0_after.count, mid_s0_before.count, 1e-9);
+  EXPECT_NEAR(hi_s0_after.rd, hi_s0_before.rd, 1e-9);
+  EXPECT_NEAR(hi_s0_after.count, hi_s0_before.count, 1e-9);
+  EXPECT_NEAR(mid_s01_after.rd, mid_s01_before.rd, 1e-9);
+  EXPECT_NEAR(mid_s01_after.irsd, mid_s01_before.irsd, 1e-9);
+
+  // The pruned cell reads as unpopulated, and its freed slot is recycled by
+  // the next insert instead of growing the slab.
+  EXPECT_EQ(mgr.Query({0.05, 0.05}, s0).count, 0.0);
+  mgr.Add({0.05, 0.05}, now + 1);
+  for (std::size_t g = 0; g < mgr.NumTracked(); ++g) {
+    EXPECT_EQ(mgr.GridAt(g)->PopulatedCells(), 3u);
+    EXPECT_EQ(mgr.GridAt(g)->SlabSlots(), 3u);
+    EXPECT_EQ(mgr.GridAt(g)->FreeSlots(), 0u);
+  }
+}
+
 TEST(SynapseManagerTest, TrackedSubspacesRoundTrip) {
   SynapseManager mgr(UnitPartition(4), DecayModel::None());
   mgr.Track(Subspace::FromIndices({0}));
