@@ -18,7 +18,7 @@
 namespace spot {
 namespace {
 
-void Run() {
+void Run(bench::JsonReporter& reporter) {
   const int kDims = 20;
   const auto training = bench::MakeTraining(kDims, 1000, /*concept=*/1000);
   const auto points = bench::MakeEvalStream(kDims, 6000, 0.02,
@@ -47,7 +47,7 @@ void Run() {
   for (const auto& r : results) {
     auc_table.AddRow({r.detector_name, eval::Table::Num(r.auc)});
   }
-  auc_table.Print("E10a: ROC AUC per detector (phi=20, projected outliers)");
+  reporter.Print(auc_table, "E10a: ROC AUC per detector (phi=20, projected outliers)");
 
   // Sampled SPOT ROC operating points (the "figure" series).
   const auto curve = eval::RocCurve(results[0].scores, results[0].labels);
@@ -58,13 +58,14 @@ void Run() {
                       eval::Table::Num(curve[i].tpr),
                       eval::Table::Num(curve[i].fpr)});
   }
-  roc_table.Print("E10b: SPOT ROC curve (sampled operating points)");
+  reporter.Print(roc_table, "E10b: SPOT ROC curve (sampled operating points)");
 }
 
 }  // namespace
 }  // namespace spot
 
-int main() {
-  spot::Run();
+int main(int argc, char** argv) {
+  spot::bench::JsonReporter reporter(argc, argv, "e10");
+  spot::Run(reporter);
   return 0;
 }

@@ -237,4 +237,33 @@ BENCHMARK(BM_SpotProcessBatch)
 }  // namespace
 }  // namespace spot
 
-BENCHMARK_MAIN();
+// Same `--json out.json` contract as the plain experiment binaries
+// (bench_util.h JsonReporter), shimmed onto google-benchmark's native JSON
+// reporter: the flag is rewritten to --benchmark_out before Initialize().
+int main(int argc, char** argv) {
+  std::vector<std::string> args;
+  args.reserve(static_cast<std::size_t>(argc) + 1);
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string path;
+    if (arg == "--json" && i + 1 < argc) {
+      path = argv[++i];
+    } else if (arg.rfind("--json=", 0) == 0) {
+      path = arg.substr(sizeof("--json=") - 1);
+    } else {
+      args.push_back(arg);
+      continue;
+    }
+    args.push_back("--benchmark_out=" + path);
+    args.push_back("--benchmark_out_format=json");
+  }
+  std::vector<char*> argv2;
+  argv2.reserve(args.size());
+  for (auto& a : args) argv2.push_back(a.data());
+  int argc2 = static_cast<int>(argv2.size());
+  benchmark::Initialize(&argc2, argv2.data());
+  if (benchmark::ReportUnrecognizedArguments(argc2, argv2.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -28,7 +28,7 @@ struct Variant {
   bool fringe = true;
 };
 
-void Run() {
+void Run(bench::JsonReporter& reporter) {
   const int kDims = 16;
 
   // Training is *unlabeled stream data* and therefore contains the same 2%
@@ -94,7 +94,7 @@ void Run() {
                   eval::Table::Num(r.confusion.F1()),
                   eval::Table::Num(r.mean_subspace_jaccard)});
   }
-  table.Print(
+  reporter.Print(table, 
       "E12: SST composition + fringe-suppression ablation "
       "(phi=16, mixed-marginal 2-d outliers, FS depth 1)");
 }
@@ -102,7 +102,8 @@ void Run() {
 }  // namespace
 }  // namespace spot
 
-int main() {
-  spot::Run();
+int main(int argc, char** argv) {
+  spot::bench::JsonReporter reporter(argc, argv, "e12");
+  spot::Run(reporter);
   return 0;
 }

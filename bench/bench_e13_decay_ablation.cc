@@ -53,7 +53,7 @@ SegmentRow RunVariant(bool decay, const std::vector<LabeledPoint>& pts,
   return row;
 }
 
-void Run() {
+void Run(bench::JsonReporter& reporter) {
   stream::DriftConfig dcfg;
   dcfg.base.dimension = 12;
   dcfg.base.outlier_probability = 0.02;
@@ -75,7 +75,7 @@ void Run() {
   }
   table.AddRow({"cells at end", eval::Table::Int(decayed.cells_end),
                 eval::Table::Int(landmark.cells_end)});
-  table.Print(
+  reporter.Print(table, 
       "E13: (omega,epsilon) decay vs landmark window on an abruptly "
       "drifting stream (concept switch every 2 segments)");
 }
@@ -83,7 +83,8 @@ void Run() {
 }  // namespace
 }  // namespace spot
 
-int main() {
-  spot::Run();
+int main(int argc, char** argv) {
+  spot::bench::JsonReporter reporter(argc, argv, "e13");
+  spot::Run(reporter);
   return 0;
 }

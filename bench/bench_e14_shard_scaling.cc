@@ -23,7 +23,7 @@
 namespace spot {
 namespace {
 
-void Run() {
+void Run(bench::JsonReporter& reporter) {
   eval::Table table({"SST size", "shards", "pts/s", "us/pt", "speedup"});
   const int kDims = 20;
   const int kStreamLen = 12000;
@@ -65,13 +65,14 @@ void Run() {
                                      2)});
     }
   }
-  table.Print("E14: throughput vs shard count (phi=20, batch=256)");
+  reporter.Print(table, "E14: throughput vs shard count (phi=20, batch=256)");
 }
 
 }  // namespace
 }  // namespace spot
 
-int main() {
-  spot::Run();
+int main(int argc, char** argv) {
+  spot::bench::JsonReporter reporter(argc, argv, "e14");
+  spot::Run(reporter);
   return 0;
 }

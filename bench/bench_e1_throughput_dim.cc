@@ -18,7 +18,7 @@
 namespace spot {
 namespace {
 
-void Run() {
+void Run(bench::JsonReporter& reporter) {
   eval::Table table({"phi", "SST size", "SPOT pts/s", "STORM pts/s"});
   const int kStreamLen = 6000;
 
@@ -46,13 +46,14 @@ void Run() {
                   eval::Table::Num(results[0].throughput, 0),
                   eval::Table::Num(results[1].throughput, 0)});
   }
-  table.Print("E1: throughput vs dimensionality (fixed SST)");
+  reporter.Print(table, "E1: throughput vs dimensionality (fixed SST)");
 }
 
 }  // namespace
 }  // namespace spot
 
-int main() {
-  spot::Run();
+int main(int argc, char** argv) {
+  spot::bench::JsonReporter reporter(argc, argv, "e1");
+  spot::Run(reporter);
   return 0;
 }

@@ -12,7 +12,7 @@
 namespace spot {
 namespace {
 
-void Run() {
+void Run(bench::JsonReporter& reporter) {
   eval::Table table({"SST size", "pts/s", "us/pt"});
   const int kDims = 20;
   const int kStreamLen = 6000;
@@ -36,13 +36,14 @@ void Run() {
                   eval::Table::Num(r.throughput, 0),
                   eval::Table::Num(1e6 / r.throughput, 1)});
   }
-  table.Print("E2: throughput vs SST size (phi=20)");
+  reporter.Print(table, "E2: throughput vs SST size (phi=20)");
 }
 
 }  // namespace
 }  // namespace spot
 
-int main() {
-  spot::Run();
+int main(int argc, char** argv) {
+  spot::bench::JsonReporter reporter(argc, argv, "e2");
+  spot::Run(reporter);
   return 0;
 }

@@ -16,7 +16,7 @@
 namespace spot {
 namespace {
 
-void Run() {
+void Run(bench::JsonReporter& reporter) {
   const int kDims = 20;
   const auto training = bench::MakeTraining(kDims, 800, /*concept=*/300);
   const auto points = bench::MakeEvalStream(kDims, 6000, 0.02, /*concept=*/300);
@@ -55,13 +55,14 @@ void Run() {
                   eval::Table::Num(r.mean_subspace_jaccard),
                   eval::Table::Num(r.throughput, 0)});
   }
-  table.Print("E3: effectiveness on planted projected outliers (phi=20)");
+  reporter.Print(table, "E3: effectiveness on planted projected outliers (phi=20)");
 }
 
 }  // namespace
 }  // namespace spot
 
-int main() {
-  spot::Run();
+int main(int argc, char** argv) {
+  spot::bench::JsonReporter reporter(argc, argv, "e3");
+  spot::Run(reporter);
   return 0;
 }

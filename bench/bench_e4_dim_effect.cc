@@ -17,7 +17,7 @@
 namespace spot {
 namespace {
 
-void Run() {
+void Run(bench::JsonReporter& reporter) {
   eval::Table table({"phi", "SPOT F1", "STORM F1", "iLOF F1"});
   for (int dims : {5, 10, 20, 30, 40, 50}) {
     const auto training = bench::MakeTraining(dims, 800, /*concept=*/400 + dims);
@@ -49,13 +49,14 @@ void Run() {
                   eval::Table::Num(results[1].confusion.F1()),
                   eval::Table::Num(results[2].confusion.F1())});
   }
-  table.Print("E4: F1 vs dimensionality (projected outliers)");
+  reporter.Print(table, "E4: F1 vs dimensionality (projected outliers)");
 }
 
 }  // namespace
 }  // namespace spot
 
-int main() {
-  spot::Run();
+int main(int argc, char** argv) {
+  spot::bench::JsonReporter reporter(argc, argv, "e4");
+  spot::Run(reporter);
   return 0;
 }

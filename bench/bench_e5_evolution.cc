@@ -50,7 +50,7 @@ SegmentScores RunVariant(bool adaptive, const std::vector<LabeledPoint>& pts,
   return out;
 }
 
-void Run() {
+void Run(bench::JsonReporter& reporter) {
   stream::DriftConfig dcfg;
   dcfg.base.dimension = 12;
   dcfg.base.outlier_probability = 0.02;
@@ -71,7 +71,7 @@ void Run() {
                   eval::Table::Num(adaptive.f1[i]),
                   eval::Table::Num(frozen.f1[i])});
   }
-  table.Print(
+  reporter.Print(table, 
       "E5: self-evolution + drift relearning on an abruptly drifting stream "
       "(concept switch every 2 segments)");
 }
@@ -79,7 +79,8 @@ void Run() {
 }  // namespace
 }  // namespace spot
 
-int main() {
-  spot::Run();
+int main(int argc, char** argv) {
+  spot::bench::JsonReporter reporter(argc, argv, "e5");
+  spot::Run(reporter);
   return 0;
 }

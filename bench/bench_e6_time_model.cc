@@ -16,6 +16,7 @@
 #include <deque>
 
 #include "common/rng.h"
+#include "bench/bench_util.h"
 #include "eval/table.h"
 #include "grid/base_grid.h"
 #include "eval/metrics.h"
@@ -23,7 +24,7 @@
 namespace spot {
 namespace {
 
-void Run() {
+void Run(bench::JsonReporter& reporter) {
   const std::uint64_t kOmega = 1000;
   const int kCells = 10;
   const std::size_t kStream = 20000;
@@ -91,13 +92,14 @@ void Run() {
                   eval::Table::Int(decayed_values),
                   eval::Table::Int(kOmega)});
   }
-  table.Print("E6: (omega,epsilon)-model vs exact sliding window (omega=1000)");
+  reporter.Print(table, "E6: (omega,epsilon)-model vs exact sliding window (omega=1000)");
 }
 
 }  // namespace
 }  // namespace spot
 
-int main() {
-  spot::Run();
+int main(int argc, char** argv) {
+  spot::bench::JsonReporter reporter(argc, argv, "e6");
+  spot::Run(reporter);
   return 0;
 }

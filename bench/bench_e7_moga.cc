@@ -21,7 +21,7 @@
 namespace spot {
 namespace {
 
-void Run() {
+void Run(bench::JsonReporter& reporter) {
   eval::Table table({"phi", "lattice size", "exhaustive evals", "MOGA evals",
                      "best-8 mean (exact)", "best-8 mean (MOGA)",
                      "top-1 hit"});
@@ -74,13 +74,14 @@ void Run() {
          eval::Table::Num(mean_score(found), 4),
          top1 ? "yes" : "no"});
   }
-  table.Print("E7: MOGA vs exhaustive lattice search (max dim 3)");
+  reporter.Print(table, "E7: MOGA vs exhaustive lattice search (max dim 3)");
 }
 
 }  // namespace
 }  // namespace spot
 
-int main() {
-  spot::Run();
+int main(int argc, char** argv) {
+  spot::bench::JsonReporter reporter(argc, argv, "e7");
+  spot::Run(reporter);
   return 0;
 }

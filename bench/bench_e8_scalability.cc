@@ -13,7 +13,7 @@
 namespace spot {
 namespace {
 
-void Run() {
+void Run(bench::JsonReporter& reporter) {
   SpotConfig cfg = bench::ExperimentConfig(31);
   cfg.compaction_period = 2048;
   SpotDetector det(cfg);
@@ -48,13 +48,14 @@ void Run() {
                     eval::Table::Int(det.stats().outliers_detected)});
     }
   }
-  table.Print("E8: long-stream scalability (phi=16, one pass)");
+  reporter.Print(table, "E8: long-stream scalability (phi=16, one pass)");
 }
 
 }  // namespace
 }  // namespace spot
 
-int main() {
-  spot::Run();
+int main(int argc, char** argv) {
+  spot::bench::JsonReporter reporter(argc, argv, "e8");
+  spot::Run(reporter);
   return 0;
 }

@@ -34,7 +34,7 @@ std::string Rate(const CategoryScore& s, stream::AttackCategory c) {
       static_cast<double>(s.detected[i]) / static_cast<double>(s.total[i]), 2);
 }
 
-void Run() {
+void Run(bench::JsonReporter& reporter) {
   stream::KddConfig train_cfg;
   train_cfg.attack_fraction = 0.0;
   train_cfg.seed = 900;
@@ -85,7 +85,7 @@ void Run() {
                   eval::Table::Num(s.confusion.FalsePositiveRate()),
                   eval::Table::Num(s.confusion.F1())});
   }
-  table.Print(
+  reporter.Print(table, 
       "E9: intrusion-detection case study (detection rate per category, "
       "1% attacks)");
 }
@@ -93,7 +93,8 @@ void Run() {
 }  // namespace
 }  // namespace spot
 
-int main() {
-  spot::Run();
+int main(int argc, char** argv) {
+  spot::bench::JsonReporter reporter(argc, argv, "e9");
+  spot::Run(reporter);
   return 0;
 }

@@ -1,12 +1,19 @@
 // CSV workflow: run SPOT over any numeric CSV export.
 //
 //   ./build/examples/csv_stream [file.csv [training_rows]] [--threads N]
+//                               [--checkpoint-dir DIR]
 //
 // The first `training_rows` rows (default: first quarter) form the learning
 // batch; the remainder is streamed through the detector and alarms are
 // printed with their outlying attribute names (from the CSV header when
 // present). Without arguments a small demo CSV is generated in /tmp so the
 // binary is runnable out of the box.
+//
+// With --checkpoint-dir the detector's full state is saved to
+// DIR/csv_stream.ckpt after the run, and a subsequent invocation restores
+// it and continues where the previous one stopped (skipping the rows it
+// already processed) — verdicts are bit-identical to one uninterrupted
+// run, and re-learning is skipped entirely.
 
 #include <algorithm>
 #include <cstdio>
@@ -16,6 +23,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "core/checkpoint.h"
 #include "core/detector.h"
 #include "examples/example_flags.h"
 #include "stream/csv.h"
@@ -49,9 +57,24 @@ int main(int argc, char** argv) {
   std::vector<std::string> positional;
   const std::size_t num_threads =
       spot::examples::ThreadsFlag(argc, argv, &positional);
+  const std::string checkpoint_dir =
+      spot::examples::TakeStringFlag(&positional, "checkpoint-dir");
 
   const std::string path = !positional.empty() ? positional[0]
                                                : WriteDemoCsv();
+  // Checkpoints are keyed on the CSV's basename so runs over different
+  // files in the same directory never restore each other's state.
+  std::string checkpoint_path;
+  if (!checkpoint_dir.empty()) {
+    std::string stem = path.substr(path.find_last_of('/') + 1);
+    for (char& c : stem) {
+      const bool safe = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '.' || c == '-' ||
+                        c == '_';
+      if (!safe) c = '_';
+    }
+    checkpoint_path = checkpoint_dir + "/csv_stream-" + stem + ".ckpt";
+  }
   spot::stream::CsvParseResult parsed = spot::stream::LoadCsvFile(path);
   if (parsed.rows.empty()) {
     std::fprintf(stderr, "no numeric rows in %s\n", path.c_str());
@@ -94,18 +117,47 @@ int main(int argc, char** argv) {
   config.num_shards = num_threads;
   config.seed = 1;
   spot::SpotDetector detector(config);
-  if (!detector.Learn(training)) {
-    std::fprintf(stderr, "learning failed\n");
-    return 1;
+  std::size_t resume_at = training.size();
+  if (!checkpoint_path.empty() &&
+      spot::LoadCheckpointFile(&detector, checkpoint_path)) {
+    // Restored mid-stream: skip the rows the previous run already
+    // consumed. The reservoir's seen-counter is that number exactly —
+    // every training row and every processed point passed through it — so
+    // the resume point does not depend on this invocation's training
+    // split (the CSV may have grown, or training_rows may differ). The
+    // restored run's verdicts are bit-identical to an uninterrupted one,
+    // and the expensive learning stage is skipped.
+    detector.set_num_shards(num_threads);
+    resume_at = static_cast<std::size_t>(detector.reservoir().seen());
+    if (resume_at > parsed.rows.size()) {
+      std::fprintf(stderr,
+                   "checkpoint %s has consumed %zu rows but %s only has "
+                   "%zu — stale or mismatched checkpoint; delete it to "
+                   "start over\n",
+                   checkpoint_path.c_str(), resume_at, path.c_str(),
+                   parsed.rows.size());
+      return 1;
+    }
+    std::printf("restored checkpoint %s: %llu rows already processed, "
+                "SST has %zu subspaces\n\n",
+                checkpoint_path.c_str(),
+                static_cast<unsigned long long>(
+                    detector.stats().points_processed),
+                detector.sst().TotalSize());
+  } else {
+    if (!detector.Learn(training)) {
+      std::fprintf(stderr, "learning failed\n");
+      return 1;
+    }
+    std::printf("learned SST with %zu subspaces from %zu training rows\n\n",
+                detector.sst().TotalSize(), training.size());
   }
-  std::printf("learned SST with %zu subspaces from %zu training rows\n\n",
-              detector.sst().TotalSize(), training.size());
 
   // Stream the remaining rows through the batch API: rows are already
   // materialized, so feed them in chunks and read one verdict per row.
   std::size_t alarms = 0;
   const std::size_t kBatch = 1024;
-  for (std::size_t start = training.size(); start < parsed.rows.size();
+  for (std::size_t start = resume_at; start < parsed.rows.size();
        start += kBatch) {
     const std::size_t end = std::min(start + kBatch, parsed.rows.size());
     const std::vector<std::vector<double>> chunk(
@@ -133,6 +185,15 @@ int main(int argc, char** argv) {
     }
   }
   std::printf("\n%zu alarms over %zu streamed rows\n", alarms,
-              parsed.rows.size() - training.size());
+              parsed.rows.size() - resume_at);
+  if (!checkpoint_path.empty()) {
+    if (spot::SaveCheckpointFile(detector, checkpoint_path)) {
+      std::printf("checkpoint saved to %s\n", checkpoint_path.c_str());
+    } else {
+      std::fprintf(stderr, "checkpoint save to %s failed\n",
+                   checkpoint_path.c_str());
+      return 1;
+    }
+  }
   return 0;
 }

@@ -39,6 +39,45 @@ inline std::size_t ThreadsFlag(int argc, char** argv,
   return num_threads;
 }
 
+/// Extracts a `--<name> V` / `--<name>=V` string flag from `args` (the
+/// positional list ThreadsFlag collected), removing every occurrence and
+/// returning the last value, or `fallback` when absent. Lets examples
+/// layer flags without re-scanning argv: ThreadsFlag first, then Take*Flag
+/// on the remainder.
+inline std::string TakeStringFlag(std::vector<std::string>* args,
+                                  const std::string& name,
+                                  std::string fallback = "") {
+  const std::string prefix = "--" + name + "=";
+  std::string value = std::move(fallback);
+  for (std::size_t i = 0; i < args->size();) {
+    const std::string& arg = (*args)[i];
+    if (arg == "--" + name && i + 1 < args->size()) {
+      value = (*args)[i + 1];
+      args->erase(args->begin() + static_cast<long>(i),
+                  args->begin() + static_cast<long>(i) + 2);
+    } else if (arg.rfind(prefix, 0) == 0) {
+      value = arg.substr(prefix.size());
+      args->erase(args->begin() + static_cast<long>(i));
+    } else {
+      ++i;
+    }
+  }
+  return value;
+}
+
+/// TakeStringFlag for non-negative integer flags; malformed or absent
+/// values yield `fallback`.
+inline std::size_t TakeSizeFlag(std::vector<std::string>* args,
+                                const std::string& name,
+                                std::size_t fallback) {
+  const std::string text = TakeStringFlag(args, name);
+  if (text.empty()) return fallback;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0') return fallback;
+  return static_cast<std::size_t>(parsed);
+}
+
 }  // namespace examples
 }  // namespace spot
 

@@ -1,0 +1,235 @@
+// Multi-tenant service workflow: three concurrent CSV sensor streams
+// multiplexed through ONE SpotService, with LRU eviction to disk and a
+// kill/restore demonstration.
+//
+//   ./build/examples/multi_tenant [--checkpoint-dir DIR] [--max-resident N]
+//                                 [--threads N]
+//
+// Three tenants ("plant-a", "plant-b", "plant-c") each produce a CSV with
+// their own sensor concept and their own planted projected outliers. The
+// service holds at most --max-resident (default 2) detector sessions in
+// memory, so round-robin ingest keeps evicting the least-recently-used
+// session to a full-state checkpoint and transparently reloading it.
+// Halfway through, the service is destroyed outright (the "kill"), a new
+// one is constructed over the same checkpoint directory, the sessions are
+// reopened with OpenSession, and the streams continue.
+//
+// Throughout, every verdict is compared against a dedicated standalone
+// detector per tenant that is never evicted, killed or restored: the final
+// line "BIT-IDENTICAL RESUME: OK" asserts that eviction, reload, kill and
+// restore changed nothing at all. The CI smoke job greps for it.
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <sys/stat.h>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/detector.h"
+#include "examples/example_flags.h"
+#include "service/spot_service.h"
+#include "stream/csv.h"
+
+namespace {
+
+constexpr int kTenants = 3;
+constexpr std::size_t kRows = 2400;
+constexpr std::size_t kTraining = 600;
+constexpr std::size_t kBatch = 200;
+
+const char* TenantName(int t) {
+  static const char* kNames[kTenants] = {"plant-a", "plant-b", "plant-c"};
+  return kNames[t];
+}
+
+// Each tenant's CSV: four correlated sensor channels around tenant-specific
+// operating points, with a tenant-specific channel that occasionally sticks
+// (a projected outlier: nominal in every other attribute).
+std::string WriteTenantCsv(int t) {
+  const std::string path =
+      "/tmp/spot_multi_tenant_" + std::string(TenantName(t)) + ".csv";
+  std::ofstream out(path);
+  out << "temperature,pressure,vibration,flow\n";
+  spot::Rng rng(4000 + static_cast<std::uint64_t>(t));
+  const double temp0 = 55.0 + 10.0 * t;
+  const double pressure0 = 3.0 + 0.8 * t;
+  for (std::size_t i = 0; i < kRows; ++i) {
+    double temp = temp0 + 2.0 * rng.NextGaussian();
+    double pressure = pressure0 + 0.2 * rng.NextGaussian();
+    double vibration = 0.3 + 0.05 * rng.NextGaussian();
+    double flow = 12.0 + 0.5 * rng.NextGaussian();
+    if (i > kTraining && i % (89 + 7 * t) == 0) {
+      // The stuck channel differs per tenant.
+      if (t == 0) pressure = pressure0 + 3.0;
+      if (t == 1) vibration = 1.4;
+      if (t == 2) flow = 4.0;
+    }
+    out << temp << "," << pressure << "," << vibration << "," << flow
+        << "\n";
+  }
+  return path;
+}
+
+spot::SpotConfig TenantConfig() {
+  spot::SpotConfig config;
+  config.partition_margin = 1.0;
+  config.fs_max_dimension = 2;
+  config.unsupervised.moga.max_dimension = 2;
+  config.supervised.moga.max_dimension = 2;
+  config.evolution.max_dimension = 2;
+  config.seed = 1;
+  return config;
+}
+
+std::vector<spot::DataPoint> Chunk(
+    const std::vector<std::vector<double>>& rows, std::size_t begin,
+    std::size_t end) {
+  std::vector<spot::DataPoint> out;
+  for (std::size_t i = begin; i < end && i < rows.size(); ++i) {
+    spot::DataPoint p;
+    p.id = i;
+    p.values = rows[i];
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+bool SameVerdicts(const std::vector<spot::SpotResult>& a,
+                  const std::vector<spot::SpotResult>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].is_outlier != b[i].is_outlier || a[i].score != b[i].score ||
+        a[i].findings.size() != b[i].findings.size()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> positional;
+  const std::size_t num_threads =
+      spot::examples::ThreadsFlag(argc, argv, &positional);
+  std::string dir = spot::examples::TakeStringFlag(
+      &positional, "checkpoint-dir", "/tmp/spot_multi_tenant_ckpt");
+  const std::size_t max_resident =
+      spot::examples::TakeSizeFlag(&positional, "max-resident", 2);
+  ::mkdir(dir.c_str(), 0755);
+
+  spot::SpotServiceConfig scfg;
+  scfg.max_resident = max_resident;
+  scfg.num_shards = num_threads;
+  scfg.checkpoint_dir = dir;
+
+  // Load the three tenant streams.
+  std::vector<std::vector<std::vector<double>>> rows(kTenants);
+  for (int t = 0; t < kTenants; ++t) {
+    const std::string path = WriteTenantCsv(t);
+    spot::stream::CsvParseResult parsed = spot::stream::LoadCsvFile(path);
+    rows[static_cast<std::size_t>(t)] = std::move(parsed.rows);
+    std::printf("%s: %s (%zu rows)\n", TenantName(t), path.c_str(),
+                rows[static_cast<std::size_t>(t)].size());
+  }
+
+  // Reference detectors: one per tenant, never evicted or restored.
+  std::vector<std::unique_ptr<spot::SpotDetector>> reference;
+  for (int t = 0; t < kTenants; ++t) {
+    reference.push_back(
+        std::make_unique<spot::SpotDetector>(TenantConfig()));
+    const auto& r = rows[static_cast<std::size_t>(t)];
+    const std::vector<std::vector<double>> training(
+        r.begin(), r.begin() + kTraining);
+    if (!reference.back()->Learn(training)) {
+      std::fprintf(stderr, "reference learning failed for %s\n",
+                   TenantName(t));
+      return 1;
+    }
+  }
+
+  std::printf("\nservice: max_resident=%zu shards=%zu checkpoints in %s\n",
+              max_resident, num_threads, dir.c_str());
+  bool all_identical = true;
+  std::vector<std::size_t> alarms(kTenants, 0);
+  const std::size_t kKillAt = (kRows - kTraining) / kBatch / 2;
+
+  auto service = std::make_unique<spot::SpotService>(scfg);
+  for (int t = 0; t < kTenants; ++t) {
+    const auto& r = rows[static_cast<std::size_t>(t)];
+    const std::vector<std::vector<double>> training(
+        r.begin(), r.begin() + kTraining);
+    if (!service->CreateSession(TenantName(t), TenantConfig(), training)) {
+      std::fprintf(stderr, "CreateSession(%s) failed\n", TenantName(t));
+      return 1;
+    }
+  }
+
+  // Round-robin ingest across the tenants; with max_resident < 3 every
+  // round forces LRU eviction + transparent reload.
+  for (std::size_t b = 0; b * kBatch + kTraining < kRows; ++b) {
+    if (b == kKillAt) {
+      // ---- The kill: checkpoint everything, destroy the service. ----
+      if (!service->CheckpointAll()) {
+        std::fprintf(stderr, "CheckpointAll failed\n");
+        return 1;
+      }
+      service.reset();
+      std::printf("\n-- service killed after %zu batches/tenant; "
+                  "restoring from %s --\n\n",
+                  b, dir.c_str());
+      service = std::make_unique<spot::SpotService>(scfg);
+      for (int t = 0; t < kTenants; ++t) {
+        if (!service->OpenSession(TenantName(t))) {
+          std::fprintf(stderr, "OpenSession(%s) failed\n", TenantName(t));
+          return 1;
+        }
+      }
+    }
+    const std::size_t begin = kTraining + b * kBatch;
+    const std::size_t end = begin + kBatch;
+    for (int t = 0; t < kTenants; ++t) {
+      const auto batch =
+          Chunk(rows[static_cast<std::size_t>(t)], begin, end);
+      if (batch.empty()) continue;
+      const spot::IngestResult got = service->Ingest(TenantName(t), batch);
+      if (!got.ok) {
+        std::fprintf(stderr, "Ingest(%s) failed\n", TenantName(t));
+        return 1;
+      }
+      const auto expected =
+          reference[static_cast<std::size_t>(t)]->ProcessBatch(batch);
+      if (!SameVerdicts(expected, got.verdicts)) all_identical = false;
+      for (const auto& v : got.verdicts) {
+        if (v.is_outlier) ++alarms[static_cast<std::size_t>(t)];
+      }
+    }
+  }
+
+  std::printf("session       resident  points    alarms  evicted reloaded\n");
+  for (int t = 0; t < kTenants; ++t) {
+    spot::SessionMetrics m;
+    if (!service->GetMetrics(TenantName(t), &m)) continue;
+    std::printf("%-13s %-9s %-9llu %-7zu %-7llu %llu\n", TenantName(t),
+                m.resident ? "yes" : "no",
+                static_cast<unsigned long long>(m.stats.points_processed),
+                alarms[static_cast<std::size_t>(t)],
+                static_cast<unsigned long long>(m.evictions),
+                static_cast<unsigned long long>(m.reloads));
+  }
+  const spot::ServiceMetrics total = service->TotalMetrics();
+  std::printf("\nglobal: %zu sessions (%zu resident), %llu points, "
+              "%llu outliers, %llu evictions, %llu reloads, %llu "
+              "checkpoints\n",
+              total.sessions, total.resident_sessions,
+              static_cast<unsigned long long>(total.points_processed),
+              static_cast<unsigned long long>(total.outliers_detected),
+              static_cast<unsigned long long>(total.evictions),
+              static_cast<unsigned long long>(total.reloads),
+              static_cast<unsigned long long>(total.checkpoints_written));
+
+  std::printf("\nBIT-IDENTICAL RESUME: %s\n", all_identical ? "OK" : "FAIL");
+  return all_identical ? 0 : 1;
+}

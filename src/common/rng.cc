@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "core/checkpoint.h"
+
 namespace spot {
 
 namespace {
@@ -92,6 +94,20 @@ bool Rng::NextBernoulli(double p) {
 }
 
 Rng Rng::Fork() { return Rng(NextUint64()); }
+
+void Rng::SaveState(CheckpointWriter& w) const {
+  for (std::uint64_t s : s_) w.U64(s);
+  w.Bool(has_spare_gaussian_);
+  w.F64(spare_gaussian_);
+}
+
+bool Rng::LoadState(CheckpointReader& r) {
+  for (auto& s : s_) s = r.U64();
+  has_spare_gaussian_ = r.Bool();
+  spare_gaussian_ = r.F64();
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) return r.Fail();
+  return r.ok();
+}
 
 std::vector<std::size_t> Rng::SampleIndices(std::size_t n, std::size_t k) {
   if (k > n) k = n;

@@ -6,6 +6,9 @@
 
 namespace spot {
 
+class CheckpointReader;
+class CheckpointWriter;
+
 /// Deterministic, seedable pseudo-random number generator (xoshiro256++).
 ///
 /// All stochastic components of the library (stream generators, MOGA,
@@ -58,6 +61,12 @@ class Rng {
 
   /// Samples `k` distinct indices from [0, n) in uniformly random order.
   std::vector<std::size_t> SampleIndices(std::size_t n, std::size_t k);
+
+  /// Checkpointing: the full generator state (xoshiro words + the cached
+  /// Box-Muller spare) round-trips, so a restored stream continues with
+  /// exactly the draws the uninterrupted one would have made.
+  void SaveState(CheckpointWriter& w) const;
+  bool LoadState(CheckpointReader& r);
 
  private:
   std::uint64_t s_[4];

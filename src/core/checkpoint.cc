@@ -1,0 +1,432 @@
+#include "core/checkpoint.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "common/log.h"
+#include "core/detector.h"
+#include "engine/sharded_engine.h"  // LoadState resets the (complete) engine
+
+namespace spot {
+
+namespace {
+
+// "SPOTCKP1" / "SPOTEND1" as little-endian u64s.
+constexpr std::uint64_t kHeaderMagic = 0x31504B43544F5053ULL;
+constexpr std::uint64_t kTrailerMagic = 0x31444E45544F5053ULL;
+constexpr std::uint8_t kFormatVersion = 1;
+
+}  // namespace
+
+// ---------------------------------------------------------------- writer --
+
+void CheckpointWriter::U8(std::uint8_t v) {
+  out_->put(static_cast<char>(v));
+}
+
+void CheckpointWriter::U32(std::uint32_t v) {
+  unsigned char buf[4];
+  for (int i = 0; i < 4; ++i) buf[i] = (v >> (8 * i)) & 0xFF;
+  out_->write(reinterpret_cast<const char*>(buf), 4);
+}
+
+void CheckpointWriter::U64(std::uint64_t v) {
+  unsigned char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = (v >> (8 * i)) & 0xFF;
+  out_->write(reinterpret_cast<const char*>(buf), 8);
+}
+
+void CheckpointWriter::F64(double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v), "IEEE-754 double expected");
+  std::memcpy(&bits, &v, sizeof(bits));
+  U64(bits);
+}
+
+void CheckpointWriter::Str(const std::string& s) {
+  U64(s.size());
+  out_->write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+void CheckpointWriter::Coords(const std::vector<std::uint32_t>& c) {
+  U32(static_cast<std::uint32_t>(c.size()));
+  for (std::uint32_t v : c) U32(v);
+}
+
+bool CheckpointWriter::ok() const { return out_->good(); }
+
+// ---------------------------------------------------------------- reader --
+
+std::uint8_t CheckpointReader::U8() {
+  if (failed_) return 0;
+  const int c = in_->get();
+  if (c == std::char_traits<char>::eof()) {
+    failed_ = true;
+    return 0;
+  }
+  return static_cast<std::uint8_t>(c);
+}
+
+std::uint32_t CheckpointReader::U32() {
+  if (failed_) return 0;
+  unsigned char buf[4];
+  in_->read(reinterpret_cast<char*>(buf), 4);
+  if (in_->gcount() != 4) {
+    failed_ = true;
+    return 0;
+  }
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(buf[i]) << (8 * i);
+  return v;
+}
+
+std::uint64_t CheckpointReader::U64() {
+  if (failed_) return 0;
+  unsigned char buf[8];
+  in_->read(reinterpret_cast<char*>(buf), 8);
+  if (in_->gcount() != 8) {
+    failed_ = true;
+    return 0;
+  }
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(buf[i]) << (8 * i);
+  return v;
+}
+
+double CheckpointReader::F64() {
+  const std::uint64_t bits = U64();
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::string CheckpointReader::Str() {
+  const std::uint64_t size = U64();
+  if (failed_ || size > (1u << 30)) {
+    failed_ = true;
+    return std::string();
+  }
+  std::string s(static_cast<std::size_t>(size), '\0');
+  in_->read(s.data(), static_cast<std::streamsize>(size));
+  if (in_->gcount() != static_cast<std::streamsize>(size)) {
+    failed_ = true;
+    return std::string();
+  }
+  return s;
+}
+
+std::vector<std::uint32_t> CheckpointReader::Coords() {
+  const std::uint32_t size = U32();
+  if (failed_ || size > (1u << 20)) {
+    failed_ = true;
+    return {};
+  }
+  std::vector<std::uint32_t> c(size);
+  for (std::uint32_t& v : c) v = U32();
+  if (failed_) c.clear();
+  return c;
+}
+
+bool CheckpointReader::Fail() {
+  failed_ = true;
+  return false;
+}
+
+bool CheckpointReader::ok() const { return !failed_ && in_->good(); }
+
+// ---------------------------------------------------------------- config --
+
+namespace {
+
+void WriteNsga2(CheckpointWriter& w, const Nsga2Config& c) {
+  w.U32(static_cast<std::uint32_t>(c.num_dims));
+  w.U32(static_cast<std::uint32_t>(c.max_dimension));
+  w.U32(static_cast<std::uint32_t>(c.population_size));
+  w.U32(static_cast<std::uint32_t>(c.generations));
+  w.F64(c.crossover_prob);
+  w.F64(c.mutation_prob);
+  w.U64(c.seed);
+}
+
+void ReadNsga2(CheckpointReader& r, Nsga2Config* c) {
+  c->num_dims = static_cast<int>(r.U32());
+  c->max_dimension = static_cast<int>(r.U32());
+  c->population_size = static_cast<int>(r.U32());
+  c->generations = static_cast<int>(r.U32());
+  c->crossover_prob = r.F64();
+  c->mutation_prob = r.F64();
+  c->seed = r.U64();
+}
+
+}  // namespace
+
+void WriteConfigBinary(CheckpointWriter& w, const SpotConfig& c) {
+  w.U64(c.omega);
+  w.F64(c.epsilon);
+  w.Bool(c.use_decay);
+  w.U32(static_cast<std::uint32_t>(c.cells_per_dim));
+  w.F64(c.partition_margin);
+  w.F64(c.domain_lo);
+  w.F64(c.domain_hi);
+  w.U32(static_cast<std::uint32_t>(c.fs_max_dimension));
+  w.U64(c.fs_cap);
+  w.U64(c.cs_capacity);
+  w.U64(c.os_capacity);
+  w.F64(c.rd_threshold);
+  w.F64(c.irsd_threshold);
+  w.F64(c.fringe_factor);
+  WriteNsga2(w, c.unsupervised.moga);
+  w.U32(static_cast<std::uint32_t>(c.unsupervised.outlying_degree.num_runs));
+  w.F64(c.unsupervised.outlying_degree.threshold);
+  w.F64(c.unsupervised.outlying_degree.threshold_scale);
+  w.U64(c.unsupervised.top_outlying_points);
+  w.U64(c.unsupervised.top_subspaces_per_run);
+  WriteNsga2(w, c.supervised.moga);
+  w.U64(c.supervised.top_subspaces_per_example);
+  w.U64(c.evolution_period);
+  w.U64(c.evolution.offspring);
+  w.U64(c.evolution.parent_pool);
+  w.F64(c.evolution.mutation_prob);
+  w.U32(static_cast<std::uint32_t>(c.evolution.max_dimension));
+  w.U64(c.reservoir_capacity);
+  w.U64(c.os_update_every);
+  w.Bool(c.drift_detection);
+  w.F64(c.drift_delta);
+  w.F64(c.drift_lambda);
+  w.Bool(c.relearn_on_drift);
+  w.F64(c.prune_threshold);
+  w.U64(c.compaction_period);
+  w.U64(c.num_shards);
+  w.U64(c.seed);
+}
+
+bool ReadConfigBinary(CheckpointReader& r, SpotConfig* config) {
+  SpotConfig c;
+  c.omega = r.U64();
+  c.epsilon = r.F64();
+  c.use_decay = r.Bool();
+  c.cells_per_dim = static_cast<int>(r.U32());
+  c.partition_margin = r.F64();
+  c.domain_lo = r.F64();
+  c.domain_hi = r.F64();
+  c.fs_max_dimension = static_cast<int>(r.U32());
+  c.fs_cap = r.U64();
+  c.cs_capacity = r.U64();
+  c.os_capacity = r.U64();
+  c.rd_threshold = r.F64();
+  c.irsd_threshold = r.F64();
+  c.fringe_factor = r.F64();
+  ReadNsga2(r, &c.unsupervised.moga);
+  c.unsupervised.outlying_degree.num_runs = static_cast<int>(r.U32());
+  c.unsupervised.outlying_degree.threshold = r.F64();
+  c.unsupervised.outlying_degree.threshold_scale = r.F64();
+  c.unsupervised.top_outlying_points = r.U64();
+  c.unsupervised.top_subspaces_per_run = r.U64();
+  ReadNsga2(r, &c.supervised.moga);
+  c.supervised.top_subspaces_per_example = r.U64();
+  c.evolution_period = r.U64();
+  c.evolution.offspring = r.U64();
+  c.evolution.parent_pool = r.U64();
+  c.evolution.mutation_prob = r.F64();
+  c.evolution.max_dimension = static_cast<int>(r.U32());
+  c.reservoir_capacity = r.U64();
+  c.os_update_every = r.U64();
+  c.drift_detection = r.Bool();
+  c.drift_delta = r.F64();
+  c.drift_lambda = r.F64();
+  c.relearn_on_drift = r.Bool();
+  c.prune_threshold = r.F64();
+  c.compaction_period = r.U64();
+  c.num_shards = r.U64();
+  c.seed = r.U64();
+  if (!r.ok()) return false;
+  *config = c;
+  return true;
+}
+
+// -------------------------------------------------------------- detector --
+
+bool SpotDetector::SaveState(std::ostream& out) const {
+  CheckpointWriter w(&out);
+  w.U64(kHeaderMagic);
+  w.U8(kFormatVersion);
+  WriteConfigBinary(w, config_);
+  w.Bool(learned());
+  if (learned()) {
+    // Partition (lo/hi as raw bit patterns: reconstruction is exact even
+    // for a FitToData partition).
+    const Partition& p = *partition_;
+    w.U32(static_cast<std::uint32_t>(p.num_dims()));
+    w.U32(static_cast<std::uint32_t>(p.cells_per_dim()));
+    for (int d = 0; d < p.num_dims(); ++d) w.F64(p.lo(d));
+    for (int d = 0; d < p.num_dims(); ++d) w.F64(p.hi(d));
+
+    w.U64(tick_);
+    w.U64(outliers_since_os_update_);
+
+    // All deterministic SpotStats counters. detection_seconds is
+    // deliberately NOT part of the image: it is a wall-clock measurement
+    // of the saving process, not detector state — two detectors in
+    // bit-identical states would serialize differently through it, and a
+    // restored process should measure its own timing from zero.
+    w.U64(stats_.points_processed);
+    w.U64(stats_.outliers_detected);
+    w.U64(stats_.evolution_rounds);
+    w.U64(stats_.os_growth_runs);
+    w.U64(stats_.drifts_detected);
+    w.U64(stats_.batches_processed);
+
+    rng_.SaveState(w);
+    reservoir_.SaveState(w);
+    drift_.SaveState(w);
+    sst_.SaveState(w);
+    synapses_->SaveState(w);
+  }
+  w.U64(kTrailerMagic);
+  out.flush();
+  return w.ok();
+}
+
+bool SpotDetector::LoadState(std::istream& in) {
+  CheckpointReader r(&in);
+
+  // Tear the current state down first: a failed load must leave the
+  // detector unlearned, never half-restored.
+  engine_.reset();
+  synapses_.reset();
+  partition_.reset();
+  tracked_cache_.clear();
+  pcs_cache_.clear();
+  stats_ = SpotStats{};
+  tick_ = 0;
+  outliers_since_os_update_ = 0;
+
+  if (r.U64() != kHeaderMagic) return r.Fail();
+  if (r.U8() != kFormatVersion) return r.Fail();
+
+  SpotConfig config;
+  if (!ReadConfigBinary(r, &config)) return false;
+  if (!config.Validate().empty()) return r.Fail();
+  config_ = config;
+  config_.num_shards = config_.num_shards == 0 ? 1 : config_.num_shards;
+
+  // Re-seat the config-derived members exactly as the constructor would;
+  // their checkpointed state (when learned) overwrites this below.
+  rng_ = Rng(config_.seed);
+  sst_ = Sst(config_.cs_capacity, config_.os_capacity);
+  reservoir_ = ReservoirSample(config_.reservoir_capacity,
+                               config_.seed ^ 0xABCDEF);
+  drift_ = PageHinkley(config_.drift_delta, config_.drift_lambda);
+
+  const bool was_learned = r.Bool();
+  if (was_learned) {
+    const std::uint32_t num_dims = r.U32();
+    const std::uint32_t cells_per_dim = r.U32();
+    if (!r.ok() || num_dims == 0 ||
+        num_dims > static_cast<std::uint32_t>(Subspace::kMaxDimensions) ||
+        cells_per_dim != static_cast<std::uint32_t>(config_.cells_per_dim)) {
+      return r.Fail();
+    }
+    std::vector<double> lo(num_dims);
+    std::vector<double> hi(num_dims);
+    for (double& v : lo) v = r.F64();
+    for (double& v : hi) v = r.F64();
+    if (!r.ok()) return false;
+    partition_ = Partition(std::move(lo), std::move(hi),
+                           static_cast<int>(cells_per_dim));
+
+    tick_ = r.U64();
+    outliers_since_os_update_ = r.U64();
+
+    stats_.points_processed = r.U64();
+    stats_.outliers_detected = r.U64();
+    stats_.evolution_rounds = r.U64();
+    stats_.os_growth_runs = r.U64();
+    stats_.drifts_detected = r.U64();
+    stats_.batches_processed = r.U64();
+
+    if (!rng_.LoadState(r) ||
+        !reservoir_.LoadState(r, static_cast<std::size_t>(num_dims)) ||
+        !drift_.LoadState(r) || !sst_.LoadState(r)) {
+      partition_.reset();
+      return false;
+    }
+    // Every SST subspace must retain only attributes the partition has:
+    // SyncTrackedSubspaces hands these to ProjectedGrid constructors,
+    // which index partition bounds by retained dimension.
+    const std::uint64_t valid_mask =
+        num_dims >= 64 ? ~0ULL : ((1ULL << num_dims) - 1);
+    for (const Subspace& s : sst_.AllSubspaces()) {
+      if ((s.bits() & ~valid_mask) != 0) {
+        partition_.reset();
+        return r.Fail();
+      }
+    }
+
+    synapses_ = std::make_unique<SynapseManager>(
+        *partition_,
+        config_.use_decay ? DecayModel(config_.omega, config_.epsilon)
+                          : DecayModel::None(),
+        config_.prune_threshold, config_.compaction_period);
+    if (!synapses_->LoadState(r)) {
+      synapses_.reset();
+      partition_.reset();
+      return false;
+    }
+  }
+
+  if (r.U64() != kTrailerMagic || !r.ok()) {
+    synapses_.reset();
+    partition_.reset();
+    return r.Fail();
+  }
+
+  if (was_learned) {
+    tracked_cache_ = synapses_->TrackedSubspaces();
+    pcs_cache_.resize(tracked_cache_.size());
+  }
+  return true;
+}
+
+bool SaveCheckpoint(const SpotDetector& detector, std::ostream& out) {
+  return detector.SaveState(out);
+}
+
+bool LoadCheckpoint(SpotDetector* detector, std::istream& in) {
+  return detector->LoadState(in);
+}
+
+bool SaveCheckpointFile(const SpotDetector& detector,
+                        const std::string& path) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out.is_open()) {
+      SPOT_LOG(Error) << "cannot open checkpoint file " << tmp;
+      return false;
+    }
+    if (!detector.SaveState(out)) {
+      SPOT_LOG(Error) << "checkpoint write to " << tmp << " failed";
+      out.close();
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    SPOT_LOG(Error) << "cannot rename " << tmp << " to " << path;
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool LoadCheckpointFile(SpotDetector* detector, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return false;
+  return detector->LoadState(in);
+}
+
+}  // namespace spot

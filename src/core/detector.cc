@@ -141,10 +141,31 @@ SpotResult SpotDetector::Process(const DataPoint& point) {
 void SpotDetector::set_num_shards(std::size_t num_shards) {
   config_.num_shards = num_shards == 0 ? 1 : num_shards;
   if (engine_ != nullptr && engine_->num_shards() != config_.num_shards) {
-    // Free the old worker pool now (dropping to 1 shard would otherwise
-    // strand it); the next ProcessBatch rebuilds the engine lazily.
+    // The next ProcessBatch rebuilds the engine lazily against the pool
+    // EnsurePool() hands out for the new count.
     engine_.reset();
   }
+  if (config_.num_shards == 1) {
+    // Dropping to sequential would otherwise strand the owned workers.
+    engine_.reset();
+    owned_pool_.reset();
+  }
+}
+
+void SpotDetector::set_thread_pool(ThreadPool* pool) {
+  if (external_pool_ == pool) return;
+  external_pool_ = pool;
+  engine_.reset();      // must not keep dispatching onto the old pool
+  owned_pool_.reset();  // an external pool replaces the owned workers
+}
+
+ThreadPool* SpotDetector::EnsurePool() {
+  if (external_pool_ != nullptr) return external_pool_;
+  const std::size_t workers = config_.num_shards - 1;
+  if (owned_pool_ == nullptr || owned_pool_->num_threads() != workers) {
+    owned_pool_ = std::make_unique<ThreadPool>(workers);
+  }
+  return owned_pool_.get();
 }
 
 std::vector<SpotResult> SpotDetector::ProcessBatch(
@@ -158,7 +179,8 @@ std::vector<SpotResult> SpotDetector::ProcessBatch(
   Timer timer;
   if (config_.num_shards > 1) {
     if (engine_ == nullptr || engine_->num_shards() != config_.num_shards) {
-      engine_ = std::make_unique<ShardedSpotEngine>(this, config_.num_shards);
+      engine_ = std::make_unique<ShardedSpotEngine>(this, config_.num_shards,
+                                                    EnsurePool());
     }
     results = engine_->ProcessBatch(points);
   } else {

@@ -2,6 +2,7 @@
 #define SPOT_CORE_DETECTOR_H_
 
 #include <cstdint>
+#include <iosfwd>
 #include <memory>
 #include <optional>
 #include <string>
@@ -19,7 +20,10 @@
 
 namespace spot {
 
+class CheckpointReader;
+class CheckpointWriter;
 class ShardedSpotEngine;
+class ThreadPool;
 
 /// One subspace in which a point was found outlying, with the PCS evidence.
 struct SubspaceFinding {
@@ -123,11 +127,36 @@ class SpotDetector {
   void set_num_shards(std::size_t num_shards);
   std::size_t num_shards() const { return config_.num_shards; }
 
+  /// Makes sharded batches run on `pool` (borrowed; must outlive this
+  /// detector or be cleared with nullptr first) instead of a privately
+  /// owned worker pool. This is how the SpotService multiplexes many
+  /// detector sessions onto one shared pool: the fork-join engine only
+  /// ever *borrows* a pool, and the detector owns one lazily when no
+  /// external pool is supplied. Passing nullptr reverts to the owned pool.
+  /// Verdicts never depend on which pool executes the work.
+  void set_thread_pool(ThreadPool* pool);
+
+  /// Full-state binary checkpointing (see src/core/checkpoint.h): writes /
+  /// restores config, partition, SST, synapses, reservoir, drift state,
+  /// RNG and all deterministic counters, such that save → load → Process is
+  /// bit-identical to an uninterrupted run. (SpotStats::detection_seconds
+  /// is wall-clock measurement, not detector state; it restarts at zero on
+  /// restore.) SaveState returns false on stream errors;
+  /// LoadState returns false on malformed or incompatible input and leaves
+  /// the detector unlearned (never half-restored). Prefer the
+  /// SaveCheckpointFile/LoadCheckpointFile wrappers for files.
+  bool SaveState(std::ostream& out) const;
+  bool LoadState(std::istream& in);
+
  private:
   // The sharded engine drives the same per-point pipeline from its batch
   // join (reservoir, verdict assembly, ApplyPointSideEffects) and borrows
   // the synapses for its shard views.
   friend class ShardedSpotEngine;
+
+  /// The pool sharded batches will run on: the external pool when set,
+  /// otherwise a lazily (re)built owned pool sized num_shards - 1.
+  ThreadPool* EnsurePool();
 
   void SyncTrackedSubspaces();
   /// Shared per-point detection step (Process and sequential ProcessBatch
@@ -154,9 +183,13 @@ class SpotDetector {
   std::vector<Pcs> pcs_cache_;
   std::optional<Partition> partition_;
   std::unique_ptr<SynapseManager> synapses_;
-  /// Lazily built when config_.num_shards > 1; reset by Learn() and by
-  /// set_num_shards() so it always matches the live synapses and count.
+  /// Lazily built when config_.num_shards > 1; reset by Learn(), by
+  /// set_num_shards() and by set_thread_pool() so it always matches the
+  /// live synapses, count and pool. The engine borrows its pool: either
+  /// external_pool_ (service-shared) or the lazily owned owned_pool_.
   std::unique_ptr<ShardedSpotEngine> engine_;
+  ThreadPool* external_pool_ = nullptr;
+  std::unique_ptr<ThreadPool> owned_pool_;
   ReservoirSample reservoir_;
   PageHinkley drift_;
   SpotStats stats_;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/checkpoint.h"
+
 namespace spot {
 
 PageHinkley::PageHinkley(double delta, double lambda)
@@ -27,6 +29,27 @@ void PageHinkley::Reset() {
   m_ = 0.0;
   m_min_ = 0.0;
   count_ = 0;
+}
+
+void PageHinkley::SaveState(CheckpointWriter& w) const {
+  w.F64(delta_);
+  w.F64(lambda_);
+  w.F64(mean_);
+  w.F64(m_);
+  w.F64(m_min_);
+  w.U64(count_);
+  w.U64(drifts_);
+}
+
+bool PageHinkley::LoadState(CheckpointReader& r) {
+  delta_ = r.F64();
+  lambda_ = r.F64();
+  mean_ = r.F64();
+  m_ = r.F64();
+  m_min_ = r.F64();
+  count_ = r.U64();
+  drifts_ = r.U64();
+  return r.ok();
 }
 
 }  // namespace spot

@@ -5,6 +5,9 @@
 
 namespace spot {
 
+class CheckpointReader;
+class CheckpointWriter;
+
 /// Page-Hinkley change detector over a real-valued signal.
 ///
 /// SPOT feeds it the per-point outlier indicator (0/1): a sustained rise of
@@ -31,6 +34,11 @@ class PageHinkley {
 
   /// Forgets all state (fresh concept).
   void Reset();
+
+  /// Checkpointing: parameters and the accumulated PH statistic both
+  /// round-trip, so a restored detector alarms at exactly the same tick.
+  void SaveState(CheckpointWriter& w) const;
+  bool LoadState(CheckpointReader& r);
 
  private:
   double delta_;

@@ -1,5 +1,7 @@
 #include "core/reservoir.h"
 
+#include "core/checkpoint.h"
+
 namespace spot {
 
 ReservoirSample::ReservoirSample(std::size_t capacity, std::uint64_t seed)
@@ -22,6 +24,37 @@ void ReservoirSample::Add(const std::vector<double>& values) {
 void ReservoirSample::Clear() {
   items_.clear();
   seen_ = 0;
+}
+
+void ReservoirSample::SaveState(CheckpointWriter& w) const {
+  w.U64(capacity_);
+  rng_.SaveState(w);
+  w.U64(seen_);
+  w.U64(items_.size());
+  for (const auto& item : items_) {
+    w.U64(item.size());
+    for (double v : item) w.F64(v);
+  }
+}
+
+bool ReservoirSample::LoadState(CheckpointReader& r,
+                                std::size_t expected_dim) {
+  if (r.U64() != capacity_) return r.Fail();
+  if (!rng_.LoadState(r)) return false;
+  seen_ = r.U64();
+  const std::uint64_t count = r.U64();
+  if (count > capacity_ || count > seen_) return r.Fail();
+  items_.clear();
+  items_.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count && r.ok(); ++i) {
+    const std::uint64_t dim = r.U64();
+    if (dim > (1u << 20)) return r.Fail();  // corrupt length prefix
+    if (expected_dim != 0 && dim != expected_dim) return r.Fail();
+    std::vector<double> item(static_cast<std::size_t>(dim));
+    for (double& v : item) v = r.F64();
+    items_.push_back(std::move(item));
+  }
+  return r.ok();
 }
 
 }  // namespace spot

@@ -8,6 +8,9 @@
 
 namespace spot {
 
+class CheckpointReader;
+class CheckpointWriter;
+
 /// Uniform reservoir sample (Vitter's algorithm R) of the stream seen so
 /// far. The detection stage keeps one as its stand-in for "recent data":
 /// self-evolution scoring, OS growth and drift relearning all evaluate
@@ -27,6 +30,16 @@ class ReservoirSample {
   std::uint64_t seen() const { return seen_; }
 
   void Clear();
+
+  /// Checkpointing: items, the seen-counter and the sampler's RNG all
+  /// round-trip, so the restored reservoir accepts/evicts exactly as the
+  /// uninterrupted one would. The stored capacity must match this
+  /// instance's (it comes from the same config the caller restored), and
+  /// with `expected_dim` != 0 every restored item must have exactly that
+  /// many attributes (the consumers — evolution, OS growth, relearning —
+  /// index items by the stream's dimensionality).
+  void SaveState(CheckpointWriter& w) const;
+  bool LoadState(CheckpointReader& r, std::size_t expected_dim = 0);
 
  private:
   std::size_t capacity_;

@@ -11,7 +11,7 @@
 namespace spot {
 
 /// Complete configuration of a SpotDetector. Defaults follow DESIGN.md
-/// Section 4 and are sensible for unit-hypercube data with a few dozen
+/// Section 5 and are sensible for unit-hypercube data with a few dozen
 /// attributes.
 struct SpotConfig {
   // --- (omega, epsilon) time model -----------------------------------

@@ -9,11 +9,10 @@
 namespace spot {
 
 ShardedSpotEngine::ShardedSpotEngine(SpotDetector* detector,
-                                     std::size_t num_shards)
+                                     std::size_t num_shards, ThreadPool* pool)
     : detector_(detector),
       num_shards_(num_shards == 0 ? 1 : num_shards),
-      pool_(num_shards_ > 1 ? std::make_unique<ThreadPool>(num_shards_ - 1)
-                            : nullptr) {
+      pool_(num_shards_ > 1 ? pool : nullptr) {
   shards_.resize(num_shards_);
 }
 

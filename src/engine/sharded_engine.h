@@ -41,15 +41,22 @@ namespace spot {
 /// count; K=1 degenerates to today's path run inline without threads.
 class ShardedSpotEngine {
  public:
-  /// Borrows `detector`, which must outlive the engine. `num_shards` >= 1;
-  /// K shards use K-1 pool workers plus the calling thread.
-  ShardedSpotEngine(SpotDetector* detector, std::size_t num_shards);
+  /// Borrows `detector` and `pool`, both of which must outlive the engine.
+  /// `num_shards` >= 1. The engine never owns its pool: the detector owns
+  /// one lazily for standalone use, and the SpotService shares one pool
+  /// across every session's engine (the pool's worker count is independent
+  /// of K — Dispatch hands shard jobs to whoever is free, the calling
+  /// thread included). `pool` may be null when num_shards == 1, where the
+  /// engine degenerates to inline processing.
+  ShardedSpotEngine(SpotDetector* detector, std::size_t num_shards,
+                    ThreadPool* pool);
   ~ShardedSpotEngine();
 
   ShardedSpotEngine(const ShardedSpotEngine&) = delete;
   ShardedSpotEngine& operator=(const ShardedSpotEngine&) = delete;
 
   std::size_t num_shards() const { return num_shards_; }
+  ThreadPool* pool() const { return pool_; }
 
   /// Processes `points` in arrival order; one verdict per point,
   /// bit-identical to sequential SpotDetector::ProcessBatch. (Raw value
@@ -72,7 +79,7 @@ class ShardedSpotEngine {
 
   SpotDetector* detector_;
   std::size_t num_shards_;
-  std::unique_ptr<ThreadPool> pool_;  // null when num_shards_ == 1
+  ThreadPool* pool_;  // borrowed; unused (may be null) when num_shards_ == 1
 
   BatchFrame frame_;
   std::unordered_map<Subspace, ShardColumn, SubspaceHash> columns_;

@@ -28,6 +28,10 @@ class Table {
   /// Renders with a title line on top and prints to stdout.
   void Print(const std::string& title) const;
 
+  /// Raw cell access (the bench JSON reporter serializes tables from it).
+  const std::vector<std::string>& headers() const { return headers_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
  private:
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;

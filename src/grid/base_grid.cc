@@ -1,5 +1,9 @@
 #include "grid/base_grid.h"
 
+#include <algorithm>
+
+#include "core/checkpoint.h"
+
 namespace spot {
 
 BaseGrid::BaseGrid(Partition partition, DecayModel model,
@@ -37,6 +41,50 @@ const Bcs* BaseGrid::FindByCoords(const CellCoords& coords) const {
 }
 
 double BaseGrid::TotalWeight() const { return total_.WeightAt(last_tick_); }
+
+void BaseGrid::SaveState(CheckpointWriter& w) const {
+  w.U64(last_tick_);
+  w.U64(arrivals_since_compaction_);
+  total_.SaveState(w);
+  std::vector<const CellCoords*> order;
+  order.reserve(cells_.size());
+  for (const auto& [coords, bcs] : cells_) order.push_back(&coords);
+  std::sort(order.begin(), order.end(),
+            [](const CellCoords* a, const CellCoords* b) { return *a < *b; });
+  w.U64(order.size());
+  for (const CellCoords* coords : order) {
+    w.Coords(*coords);
+    cells_.at(*coords).SaveState(w);
+  }
+}
+
+bool BaseGrid::LoadState(CheckpointReader& r) {
+  last_tick_ = r.U64();
+  arrivals_since_compaction_ = r.U64();
+  if (!total_.LoadState(r)) return false;
+  const std::uint64_t count = r.U64();
+  if (count > (1u << 24)) return r.Fail();  // corrupt count prefix
+  cells_.clear();
+  // Reserve conservatively: a corrupt-but-in-cap count must fail on the
+  // per-cell reads below, not abort inside an oversized allocation.
+  cells_.reserve(
+      static_cast<std::size_t>(count < (1u << 20) ? count : (1u << 20)));
+  for (std::uint64_t i = 0; i < count && r.ok(); ++i) {
+    CellCoords coords = r.Coords();
+    if (coords.size() != static_cast<std::size_t>(partition_.num_dims())) {
+      return r.Fail();
+    }
+    Bcs bcs;
+    if (!bcs.LoadState(r)) return false;
+    // The payload must describe a cell of this grid's dimensionality, or
+    // later Add/MeanOf calls would index past the summary's vectors.
+    if (bcs.num_dims() != partition_.num_dims()) return r.Fail();
+    if (!cells_.emplace(std::move(coords), std::move(bcs)).second) {
+      return r.Fail();  // duplicate cell: corrupt checkpoint
+    }
+  }
+  return r.ok();
+}
 
 std::size_t BaseGrid::Compact(std::uint64_t tick) {
   std::size_t removed = 0;

@@ -11,6 +11,9 @@
 
 namespace spot {
 
+class CheckpointReader;
+class CheckpointWriter;
+
 /// Sparse hypercube of Base Cell Summaries at the finest granularity.
 ///
 /// Only populated cells are materialized (hash map keyed by base-cell
@@ -59,6 +62,13 @@ class BaseGrid {
   const std::unordered_map<CellCoords, Bcs, CellCoordsHash>& cells() const {
     return cells_;
   }
+
+  /// Checkpointing: the populated cells (serialized in sorted coordinate
+  /// order so equal grids produce byte-identical sections), the decayed
+  /// total-weight counter, the clock and the compaction cadence all
+  /// round-trip. Partition and decay model come from the constructor.
+  void SaveState(CheckpointWriter& w) const;
+  bool LoadState(CheckpointReader& r);
 
  private:
   Partition partition_;

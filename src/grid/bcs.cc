@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "core/checkpoint.h"
+
 namespace spot {
 
 Bcs::Bcs(int num_dims)
@@ -54,6 +56,26 @@ void Bcs::Merge(const Bcs& other, std::uint64_t tick, const DecayModel& model) {
 double Bcs::CountAt(std::uint64_t tick, const DecayModel& model) const {
   if (tick <= last_tick_) return count_;
   return count_ * model.WeightAtAge(tick - last_tick_);
+}
+
+void Bcs::SaveState(CheckpointWriter& w) const {
+  w.F64(count_);
+  w.U64(last_tick_);
+  w.U64(ls_.size());
+  for (double v : ls_) w.F64(v);
+  for (double v : ss_) w.F64(v);
+}
+
+bool Bcs::LoadState(CheckpointReader& r) {
+  count_ = r.F64();
+  last_tick_ = r.U64();
+  const std::uint64_t dims = r.U64();
+  if (dims > (1u << 20)) return r.Fail();
+  ls_.resize(static_cast<std::size_t>(dims));
+  ss_.resize(static_cast<std::size_t>(dims));
+  for (double& v : ls_) v = r.F64();
+  for (double& v : ss_) v = r.F64();
+  return r.ok();
 }
 
 double Bcs::MeanOf(int dim) const {

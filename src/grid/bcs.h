@@ -8,6 +8,9 @@
 
 namespace spot {
 
+class CheckpointReader;
+class CheckpointWriter;
+
 /// Base Cell Summary (paper, Definition 1).
 ///
 /// For a base cell c, BCS(c) = (D_c, LS_c, SS_c): the decayed point count,
@@ -56,6 +59,11 @@ class Bcs {
   /// Population standard deviation of dimension `dim` over the cell content;
   /// 0 when the decayed count is below 2 (no spread evidence).
   double StdDevOf(int dim) const;
+
+  /// Checkpointing: all aggregates plus the tick stamp round-trip exactly
+  /// (doubles are stored as raw bit patterns).
+  void SaveState(CheckpointWriter& w) const;
+  bool LoadState(CheckpointReader& r);
 
  private:
   double count_ = 0.0;

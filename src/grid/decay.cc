@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "core/checkpoint.h"
+
 namespace spot {
 
 DecayModel::DecayModel(std::uint64_t omega, double epsilon) {
@@ -70,6 +72,19 @@ double DecayedCounter::WeightAt(std::uint64_t tick) const {
   if (!seen_any_) return 0.0;
   const std::uint64_t delta = tick >= last_tick_ ? tick - last_tick_ : 0;
   return weight_ * model_->WeightAtAge(delta);
+}
+
+void DecayedCounter::SaveState(CheckpointWriter& w) const {
+  w.F64(weight_);
+  w.U64(last_tick_);
+  w.Bool(seen_any_);
+}
+
+bool DecayedCounter::LoadState(CheckpointReader& r) {
+  weight_ = r.F64();
+  last_tick_ = r.U64();
+  seen_any_ = r.Bool();
+  return r.ok();
 }
 
 }  // namespace spot

@@ -5,6 +5,9 @@
 
 namespace spot {
 
+class CheckpointReader;
+class CheckpointWriter;
+
 /// The paper's (omega, epsilon) window-based time model.
 ///
 /// Each arriving point defines one tick. A point of age `a` ticks carries
@@ -64,6 +67,11 @@ class DecayedCounter {
   double WeightAt(std::uint64_t tick) const;
 
   std::uint64_t last_tick() const { return last_tick_; }
+
+  /// Checkpointing of the running weight (the model reference is supplied
+  /// by the owner at construction and is not serialized).
+  void SaveState(CheckpointWriter& w) const;
+  bool LoadState(CheckpointReader& r);
 
  private:
   const DecayModel* model_;

@@ -1,7 +1,11 @@
 #include "grid/projected_grid.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <utility>
+
+#include "core/checkpoint.h"
 
 namespace spot {
 
@@ -253,7 +257,8 @@ bool ProjectedGrid::IsClusterFringe(const CellCoords& coords,
 
 std::size_t ProjectedGrid::Compact(std::uint64_t tick) {
   std::size_t removed = 0;
-  double sumsq = 0.0;
+  std::vector<std::pair<const CellCoords*, double>> survivors;
+  survivors.reserve(index_.size());
   for (auto it = index_.begin(); it != index_.end();) {
     double* rec = Record(it->second);
     DecayRecord(rec, tick);
@@ -262,16 +267,76 @@ std::size_t ProjectedGrid::Compact(std::uint64_t tick) {
       it = index_.erase(it);
       ++removed;
     } else {
-      sumsq += rec[kCount] * rec[kCount];
+      survivors.emplace_back(&it->first, rec[kCount]);
       ++it;
     }
   }
   // Sweeping visits every cell anyway: recompute the squared-count sum
-  // exactly, cancelling any accumulated floating-point drift.
+  // exactly, cancelling any accumulated floating-point drift. The sum runs
+  // in sorted-coordinate order, NOT hash-map iteration order: map order
+  // depends on insertion/erase history, which a checkpoint restore cannot
+  // reproduce, and a different FP summation order would break the
+  // bit-identical-resume guarantee (DESIGN.md Section 4.3).
+  std::sort(survivors.begin(), survivors.end(),
+            [](const auto& a, const auto& b) { return *a.first < *b.first; });
+  double sumsq = 0.0;
+  for (const auto& [coords, count] : survivors) sumsq += count * count;
   sumsq_ = sumsq;
   sumsq_tick_ = tick;
   if (tick > last_tick_) last_tick_ = tick;
   return removed;
+}
+
+void ProjectedGrid::SaveState(CheckpointWriter& w) const {
+  w.U64(subspace_.bits());
+  w.U64(last_tick_);
+  w.U64(arrivals_since_compaction_);
+  w.F64(sumsq_);
+  w.U64(sumsq_tick_);
+  w.U64(hash_probes_);
+  std::vector<std::pair<const CellCoords*, std::uint32_t>> order;
+  order.reserve(index_.size());
+  for (const auto& [coords, slot] : index_) order.emplace_back(&coords, slot);
+  std::sort(order.begin(), order.end(),
+            [](const auto& a, const auto& b) { return *a.first < *b.first; });
+  w.U64(order.size());
+  for (const auto& [coords, slot] : order) {
+    w.Coords(*coords);
+    const double* rec = Record(slot);
+    for (std::size_t i = 0; i < stride_; ++i) w.F64(rec[i]);
+  }
+}
+
+bool ProjectedGrid::LoadState(CheckpointReader& r) {
+  if (r.U64() != subspace_.bits()) return r.Fail();
+  last_tick_ = r.U64();
+  arrivals_since_compaction_ = r.U64();
+  sumsq_ = r.F64();
+  sumsq_tick_ = r.U64();
+  hash_probes_ = r.U64();
+  const std::uint64_t count = r.U64();
+  if (count > (1u << 24)) return r.Fail();  // corrupt count prefix
+  index_.clear();
+  slab_.clear();
+  free_slots_.clear();
+  // Reserve conservatively: a corrupt-but-in-cap count must fail on the
+  // per-cell reads below, not abort inside an oversized allocation.
+  const std::size_t reserve =
+      static_cast<std::size_t>(count < (1u << 20) ? count : (1u << 20));
+  index_.reserve(reserve);
+  slab_.reserve(reserve * stride_);
+  for (std::uint64_t i = 0; i < count && r.ok(); ++i) {
+    CellCoords coords = r.Coords();
+    if (coords.size() != dims_.size()) return r.Fail();
+    const std::uint32_t slot = static_cast<std::uint32_t>(i);
+    slab_.resize(slab_.size() + stride_);
+    double* rec = Record(slot);
+    for (std::size_t k = 0; k < stride_; ++k) rec[k] = r.F64();
+    if (!index_.emplace(std::move(coords), slot).second) {
+      return r.Fail();  // duplicate cell: corrupt checkpoint
+    }
+  }
+  return r.ok();
 }
 
 }  // namespace spot

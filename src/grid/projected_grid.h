@@ -12,6 +12,9 @@
 
 namespace spot {
 
+class CheckpointReader;
+class CheckpointWriter;
+
 /// Sparse grid of decayed cell aggregates for a single subspace of the SST.
 ///
 /// Mirrors BaseGrid but keyed by projected-cell coordinates, and able to
@@ -114,6 +117,16 @@ class ProjectedGrid {
   /// Cell-index hash probes performed so far (Add / Query / fused / fringe).
   /// The fused path costs one probe per point where Add+Query costs two.
   std::uint64_t hash_probes() const { return hash_probes_; }
+
+  /// Checkpointing: live cell records (in sorted coordinate order, so equal
+  /// grids serialize byte-identically), the clock, the incremental
+  /// squared-count sum and the compaction cadence all round-trip exactly.
+  /// Slot numbering and the free list are *not* preserved — they are
+  /// storage bookkeeping with no observable effect (LoadState rebuilds a
+  /// dense slab; every verdict-relevant computation is keyed by cell
+  /// coordinates or iterated in a coordinate-canonical order).
+  void SaveState(CheckpointWriter& w) const;
+  bool LoadState(CheckpointReader& r);
 
  private:
   // Record field offsets within a slot: [kCount | ls x k | ss x k | tick].

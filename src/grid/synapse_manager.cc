@@ -1,5 +1,7 @@
 #include "grid/synapse_manager.h"
 
+#include "core/checkpoint.h"
+
 namespace spot {
 
 SynapseManager::SynapseManager(Partition partition, DecayModel model,
@@ -110,6 +112,59 @@ std::uint64_t SynapseManager::hash_probes() const {
   std::uint64_t total = 0;
   for (const auto& entry : grids_) total += entry.grid->hash_probes();
   return total;
+}
+
+void SynapseManager::SaveState(CheckpointWriter& w) const {
+  // Decay parameters, for cross-validation at load time: a checkpoint can
+  // only be restored into a manager built for the same time model.
+  w.U64(model_.omega());
+  w.F64(model_.epsilon());
+  w.F64(model_.alpha());
+  w.U64(revision_);
+  base_.SaveState(w);
+  w.U64(grids_.size());
+  for (const auto& entry : grids_) {
+    w.U64(entry.subspace.bits());
+    w.U64(entry.serial);
+    entry.grid->SaveState(w);
+  }
+}
+
+bool SynapseManager::LoadState(CheckpointReader& r) {
+  if (r.U64() != model_.omega()) return r.Fail();
+  if (r.F64() != model_.epsilon()) return r.Fail();
+  if (r.F64() != model_.alpha()) return r.Fail();
+  revision_ = r.U64();
+  if (!base_.LoadState(r)) return false;
+  const std::uint64_t count = r.U64();
+  if (count > (1u << 24)) return r.Fail();
+  grids_.clear();
+  by_subspace_.clear();
+  // Reserve conservatively: a corrupt-but-in-cap count must fail on the
+  // per-grid reads below, not abort inside an oversized allocation.
+  grids_.reserve(
+      static_cast<std::size_t>(count < (1u << 16) ? count : (1u << 16)));
+  // Subspaces must only retain attributes the partition actually has —
+  // the ProjectedGrid constructor indexes partition bounds by retained
+  // dimension, so an out-of-range bit would read past them.
+  const int num_dims = partition_.num_dims();
+  const std::uint64_t valid_mask =
+      num_dims >= 64 ? ~0ULL : ((1ULL << num_dims) - 1);
+  for (std::uint64_t i = 0; i < count && r.ok(); ++i) {
+    const Subspace s(r.U64());
+    const std::uint64_t serial = r.U64();
+    if (s.IsEmpty() || (s.bits() & ~valid_mask) != 0) return r.Fail();
+    if (!by_subspace_.emplace(s, grids_.size()).second) {
+      return r.Fail();  // duplicate tracked subspace
+    }
+    grids_.push_back(
+        {s, serial,
+         std::make_unique<ProjectedGrid>(s, &partition_, model_,
+                                         prune_threshold_,
+                                         compaction_period_)});
+    if (!grids_.back().grid->LoadState(r)) return false;
+  }
+  return r.ok();
 }
 
 }  // namespace spot

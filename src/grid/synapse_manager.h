@@ -15,6 +15,9 @@
 
 namespace spot {
 
+class CheckpointReader;
+class CheckpointWriter;
+
 /// Owns the complete set of data synapses: the BaseGrid (BCS hypercube) plus
 /// one ProjectedGrid per tracked SST subspace, all sharing one partition and
 /// one (omega, epsilon) decay model.
@@ -132,6 +135,16 @@ class SynapseManager {
   /// ProjectedGrid::hash_probes); the fused-vs-unfused micro-bench reads
   /// this to demonstrate the halved probe count.
   std::uint64_t hash_probes() const;
+
+  /// Checkpointing: the base grid, every tracked projected grid — in dense
+  /// order, with per-grid serials — and the revision counter round-trip,
+  /// so the restored manager reports the same tracked order (verdict
+  /// `findings` are assembled in it) and shard views resync identically.
+  /// Partition, decay model and maintenance knobs come from the
+  /// constructor; LoadState validates the stored decay parameters against
+  /// them and fails on mismatch.
+  void SaveState(CheckpointWriter& w) const;
+  bool LoadState(CheckpointReader& r);
 
  private:
   struct TrackedGrid {

@@ -3,6 +3,8 @@
 #include <sstream>
 #include <unordered_set>
 
+#include "core/checkpoint.h"
+
 namespace spot {
 
 Sst::Sst(std::size_t cs_capacity, std::size_t os_capacity)
@@ -30,17 +32,22 @@ void Sst::AddOutlierDriven(const Subspace& s, double score) {
 void Sst::ClearClustering() { cs_.Clear(); }
 
 std::vector<Subspace> Sst::AllSubspaces() const {
+  // CS and OS are enumerated via Ranked() — sorted by (score, subspace) —
+  // not Members(), whose hash-map order depends on insertion/eviction
+  // history. The detector tracks new grids in this order, so it must be a
+  // function of SST *content* alone for a checkpoint-restored detector to
+  // stay bit-identical with an uninterrupted one (see header comment).
   std::unordered_set<Subspace, SubspaceHash> seen;
   std::vector<Subspace> out;
   out.reserve(fs_.size() + cs_.size() + os_.size());
   for (const auto& s : fs_) {
     if (seen.insert(s).second) out.push_back(s);
   }
-  for (const auto& s : cs_.Members()) {
-    if (seen.insert(s).second) out.push_back(s);
+  for (const auto& ss : cs_.Ranked()) {
+    if (seen.insert(ss.subspace).second) out.push_back(ss.subspace);
   }
-  for (const auto& s : os_.Members()) {
-    if (seen.insert(s).second) out.push_back(s);
+  for (const auto& ss : os_.Ranked()) {
+    if (seen.insert(ss.subspace).second) out.push_back(ss.subspace);
   }
   return out;
 }
@@ -50,6 +57,47 @@ bool Sst::Contains(const Subspace& s) const {
 }
 
 std::size_t Sst::TotalSize() const { return AllSubspaces().size(); }
+
+void Sst::SaveState(CheckpointWriter& w) const {
+  w.U64(fs_.size());
+  for (const auto& s : fs_) w.U64(s.bits());
+  const auto save_ranked = [&w](const RankedSubspaceSet& set) {
+    const std::vector<ScoredSubspace> ranked = set.Ranked();
+    w.U64(ranked.size());
+    for (const auto& ss : ranked) {
+      w.U64(ss.subspace.bits());
+      w.F64(ss.score);
+    }
+  };
+  save_ranked(cs_);
+  save_ranked(os_);
+}
+
+bool Sst::LoadState(CheckpointReader& r) {
+  const std::uint64_t nfs = r.U64();
+  if (nfs > (1u << 24)) return r.Fail();
+  std::vector<Subspace> fs;
+  fs.reserve(static_cast<std::size_t>(nfs < (1u << 20) ? nfs : (1u << 20)));
+  for (std::uint64_t i = 0; i < nfs && r.ok(); ++i) {
+    fs.emplace_back(r.U64());
+    if (fs.back().IsEmpty()) return r.Fail();
+  }
+  const auto load_ranked = [&r](RankedSubspaceSet* set) {
+    const std::uint64_t n = r.U64();
+    if (set->capacity() != 0 && n > set->capacity()) return r.Fail();
+    set->Clear();
+    for (std::uint64_t i = 0; i < n && r.ok(); ++i) {
+      const Subspace s(r.U64());
+      const double score = r.F64();
+      if (s.IsEmpty() || !set->Insert(s, score)) return r.Fail();
+    }
+    return r.ok();
+  };
+  if (!r.ok()) return false;
+  fs_ = std::move(fs);
+  if (!load_ranked(&cs_)) return false;
+  return load_ranked(&os_);
+}
 
 std::string Sst::Summary() const {
   std::ostringstream os;

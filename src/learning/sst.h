@@ -10,6 +10,9 @@
 
 namespace spot {
 
+class CheckpointReader;
+class CheckpointWriter;
+
 /// Which SST subset a subspace belongs to.
 enum class SstSubset { kFixed, kClustering, kOutlierDriven };
 
@@ -43,7 +46,13 @@ class Sst {
   /// Clears CS (used when drift forces relearning).
   void ClearClustering();
 
-  /// Every distinct subspace of FS ∪ CS ∪ OS.
+  /// Every distinct subspace of FS ∪ CS ∪ OS, in a *content-deterministic*
+  /// order (FS in insertion order, then CS and OS by rank): two SSTs with
+  /// equal contents enumerate identically regardless of the insertion /
+  /// eviction history of their hash sets. The detector's subspace-tracking
+  /// sync consumes this order, so it is what keeps a checkpoint-restored
+  /// run tracking new grids in exactly the sequence an uninterrupted run
+  /// would (DESIGN.md Section 4.3).
   std::vector<Subspace> AllSubspaces() const;
 
   /// True when `s` is in any subset.
@@ -60,6 +69,12 @@ class Sst {
 
   /// Multi-line human-readable summary.
   std::string Summary() const;
+
+  /// Checkpointing: FS membership plus the scored CS/OS members (in rank
+  /// order) round-trip. Capacities come from the constructor; LoadState
+  /// validates the stored member counts against them.
+  void SaveState(CheckpointWriter& w) const;
+  bool LoadState(CheckpointReader& r);
 
  private:
   bool InFixed(const Subspace& s) const;

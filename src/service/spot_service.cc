@@ -1,0 +1,310 @@
+#include "service/spot_service.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/log.h"
+#include "core/checkpoint.h"
+
+namespace spot {
+
+SpotService::SpotService(SpotServiceConfig config)
+    : config_(std::move(config)) {
+  if (config_.max_resident == 0) config_.max_resident = 1;
+  if (config_.num_shards == 0) config_.num_shards = 1;
+  if (config_.num_shards > 1) {
+    pool_ = std::make_unique<ThreadPool>(config_.num_shards - 1);
+  }
+}
+
+SpotService::~SpotService() {
+  // Detectors borrow pool_; destroy them first so no engine can outlive
+  // the pool it dispatches onto.
+  std::lock_guard<std::mutex> lock(mu_);
+  sessions_.clear();
+}
+
+bool SpotService::ValidSessionId(const std::string& id) {
+  if (id.empty() || id.size() > 128 || id.front() == '.') return false;
+  for (char c : id) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' ||
+                    c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+std::string SpotService::CheckpointPath(const std::string& id) const {
+  return config_.checkpoint_dir + "/" + id + ".ckpt";
+}
+
+std::size_t SpotService::ResidentCountLocked() const {
+  std::size_t n = 0;
+  for (const auto& [id, session] : sessions_) {
+    if (session.detector != nullptr) ++n;
+  }
+  return n;
+}
+
+void SpotService::ApplyPoolLocked(SpotDetector* detector) {
+  detector->set_thread_pool(pool_.get());
+  detector->set_num_shards(config_.num_shards);
+}
+
+bool SpotService::EvictLocked(const std::string& id, Session& session) {
+  if (session.detector == nullptr) return true;
+  if (config_.checkpoint_dir.empty()) return false;
+  session.last_stats = session.detector->stats();
+  if (!SaveCheckpointFile(*session.detector, CheckpointPath(id))) {
+    SPOT_LOG(Error) << "eviction checkpoint for session '" << id
+                    << "' failed; keeping it resident";
+    return false;
+  }
+  ++checkpoints_written_;
+  session.detector.reset();
+  session.on_disk = true;
+  ++session.evictions;
+  ++evictions_;
+  return true;
+}
+
+bool SpotService::MakeRoomLocked(const Session* spare) {
+  while (ResidentCountLocked() >= config_.max_resident) {
+    // LRU scan over resident sessions; the ordered map makes ties (which
+    // cannot happen — the use clock is strictly increasing) and iteration
+    // deterministic anyway.
+    std::string victim_id;
+    Session* victim = nullptr;
+    for (auto& [id, session] : sessions_) {
+      if (session.detector == nullptr || &session == spare) continue;
+      if (victim == nullptr || session.last_used < victim->last_used) {
+        victim = &session;
+        victim_id = id;
+      }
+    }
+    if (victim == nullptr || !EvictLocked(victim_id, *victim)) return false;
+  }
+  return true;
+}
+
+SpotService::Session* SpotService::ResidentLocked(const std::string& id) {
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) return nullptr;
+  Session& session = it->second;
+  if (session.detector == nullptr) {
+    if (!session.on_disk) return nullptr;
+    // Load before evicting anyone (see OpenSession): a corrupt checkpoint
+    // must not cost a resident session its slot.
+    auto detector = std::make_unique<SpotDetector>(SpotConfig{});
+    if (!LoadCheckpointFile(detector.get(), CheckpointPath(id))) {
+      SPOT_LOG(Error) << "reload of session '" << id << "' from "
+                      << CheckpointPath(id) << " failed";
+      return nullptr;
+    }
+    if (!MakeRoomLocked(&session)) return nullptr;
+    session.detector = std::move(detector);
+    ApplyPoolLocked(session.detector.get());
+    ++session.reloads;
+    ++reloads_;
+  }
+  session.last_used = ++use_clock_;
+  return &session;
+}
+
+bool SpotService::CreateSession(
+    const std::string& id, const SpotConfig& config,
+    const std::vector<std::vector<double>>& training,
+    const DomainKnowledge* knowledge) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!ValidSessionId(id)) {
+    SPOT_LOG(Error) << "invalid session id '" << id << "'";
+    return false;
+  }
+  if (sessions_.find(id) != sessions_.end()) {
+    SPOT_LOG(Error) << "session '" << id << "' already exists";
+    return false;
+  }
+  // Learn BEFORE evicting anyone: a failed admission must not knock a hot
+  // session out of memory. (Residency transiently exceeds max_resident by
+  // the one detector being built, which is the admission itself.)
+  auto detector = std::make_unique<SpotDetector>(config);
+  if (!detector->Learn(training, knowledge)) return false;
+  if (!MakeRoomLocked(nullptr)) {
+    SPOT_LOG(Error) << "no residency slot for new session '" << id
+                    << "' (max_resident=" << config_.max_resident
+                    << ", eviction "
+                    << (config_.checkpoint_dir.empty() ? "disabled"
+                                                       : "failed")
+                    << ")";
+    return false;
+  }
+  ApplyPoolLocked(detector.get());
+  Session session;
+  session.detector = std::move(detector);
+  session.last_used = ++use_clock_;
+  sessions_.emplace(id, std::move(session));
+  return true;
+}
+
+bool SpotService::OpenSession(const std::string& id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!ValidSessionId(id) || config_.checkpoint_dir.empty()) return false;
+  if (sessions_.find(id) != sessions_.end()) return false;
+  // Load before evicting anyone: a missing/corrupt checkpoint must not
+  // cost a resident session its slot.
+  auto detector = std::make_unique<SpotDetector>(SpotConfig{});
+  if (!LoadCheckpointFile(detector.get(), CheckpointPath(id))) {
+    SPOT_LOG(Error) << "cannot open session '" << id << "' from "
+                    << CheckpointPath(id);
+    return false;
+  }
+  if (!MakeRoomLocked(nullptr)) return false;
+  ApplyPoolLocked(detector.get());
+  Session session;
+  session.detector = std::move(detector);
+  session.on_disk = true;
+  session.last_used = ++use_clock_;
+  sessions_.emplace(id, std::move(session));
+  return true;
+}
+
+bool SpotService::HasSession(const std::string& id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sessions_.find(id) != sessions_.end();
+}
+
+bool SpotService::IsResident(const std::string& id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(id);
+  return it != sessions_.end() && it->second.detector != nullptr;
+}
+
+std::vector<std::string> SpotService::SessionIds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> ids;
+  ids.reserve(sessions_.size());
+  for (const auto& [id, session] : sessions_) ids.push_back(id);
+  return ids;
+}
+
+template <typename Batch>
+IngestResult SpotService::IngestImpl(const std::string& id,
+                                     const Batch& batch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  IngestResult result;
+  Session* session = ResidentLocked(id);
+  if (session == nullptr) return result;
+  result.verdicts = session->detector->ProcessBatch(batch);
+  result.ok = true;
+  ++session->batches_ingested;
+  session->last_stats = session->detector->stats();
+  return result;
+}
+
+IngestResult SpotService::Ingest(const std::string& id,
+                                 const std::vector<DataPoint>& batch) {
+  return IngestImpl(id, batch);
+}
+
+IngestResult SpotService::Ingest(
+    const std::string& id, const std::vector<std::vector<double>>& batch) {
+  return IngestImpl(id, batch);
+}
+
+bool SpotService::Checkpoint(const std::string& id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) return false;
+  Session& session = it->second;
+  if (session.detector == nullptr) return session.on_disk;
+  if (config_.checkpoint_dir.empty()) return false;
+  session.last_stats = session.detector->stats();
+  if (!SaveCheckpointFile(*session.detector, CheckpointPath(id))) {
+    return false;
+  }
+  ++checkpoints_written_;
+  session.on_disk = true;
+  return true;
+}
+
+bool SpotService::CheckpointAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  bool all_ok = true;
+  for (auto& [id, session] : sessions_) {
+    if (session.detector == nullptr) continue;
+    if (config_.checkpoint_dir.empty()) return false;
+    session.last_stats = session.detector->stats();
+    if (SaveCheckpointFile(*session.detector, CheckpointPath(id))) {
+      ++checkpoints_written_;
+      session.on_disk = true;
+    } else {
+      all_ok = false;
+    }
+  }
+  return all_ok;
+}
+
+bool SpotService::Evict(const std::string& id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) return false;
+  return EvictLocked(id, it->second);
+}
+
+bool SpotService::CloseSession(const std::string& id, bool persist) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) return false;
+  Session& session = it->second;
+  if (persist && session.detector != nullptr &&
+      !config_.checkpoint_dir.empty()) {
+    session.last_stats = session.detector->stats();
+    if (!SaveCheckpointFile(*session.detector, CheckpointPath(id))) {
+      return false;
+    }
+    ++checkpoints_written_;
+  }
+  sessions_.erase(it);
+  return true;
+}
+
+bool SpotService::GetMetrics(const std::string& id,
+                             SessionMetrics* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) return false;
+  const Session& session = it->second;
+  out->id = id;
+  out->resident = session.detector != nullptr;
+  out->on_disk = session.on_disk;
+  out->stats = session.detector != nullptr ? session.detector->stats()
+                                           : session.last_stats;
+  out->batches_ingested = session.batches_ingested;
+  out->evictions = session.evictions;
+  out->reloads = session.reloads;
+  return true;
+}
+
+ServiceMetrics SpotService::TotalMetrics() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ServiceMetrics total;
+  total.sessions = sessions_.size();
+  total.evictions = evictions_;
+  total.reloads = reloads_;
+  total.checkpoints_written = checkpoints_written_;
+  for (const auto& [id, session] : sessions_) {
+    const SpotStats& stats = session.detector != nullptr
+                                 ? session.detector->stats()
+                                 : session.last_stats;
+    if (session.detector != nullptr) ++total.resident_sessions;
+    total.points_processed += stats.points_processed;
+    total.outliers_detected += stats.outliers_detected;
+    total.drifts_detected += stats.drifts_detected;
+    total.batches_ingested += session.batches_ingested;
+    total.detection_seconds += stats.detection_seconds;
+  }
+  return total;
+}
+
+}  // namespace spot

@@ -1,0 +1,204 @@
+#ifndef SPOT_SERVICE_SPOT_SERVICE_H_
+#define SPOT_SERVICE_SPOT_SERVICE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/detector.h"
+#include "core/spot_config.h"
+#include "engine/thread_pool.h"
+#include "learning/supervised.h"
+#include "stream/data_point.h"
+
+namespace spot {
+
+/// Configuration of a SpotService instance.
+struct SpotServiceConfig {
+  /// Maximum number of detector sessions resident in memory at once. When
+  /// admitting one more would exceed this, the least-recently-used
+  /// resident session is checkpointed to `checkpoint_dir` and dropped;
+  /// the next Ingest for it transparently reloads it.
+  std::size_t max_resident = 8;
+
+  /// Shard count applied to every session's ProcessBatch. All sessions
+  /// share ONE fork-join pool owned by the service (`num_shards - 1`
+  /// workers); verdicts never depend on this — it is purely a throughput
+  /// knob, exactly as for a standalone detector.
+  std::size_t num_shards = 1;
+
+  /// Directory for session checkpoints (`<dir>/<id>.ckpt`, written via the
+  /// binary full-state format of src/core/checkpoint.h). Must already
+  /// exist. When empty, eviction and persistence are disabled: sessions
+  /// beyond max_resident are refused instead of evicted.
+  std::string checkpoint_dir;
+};
+
+/// Point-in-time view of one session (the per-session half of the metrics
+/// registry). `stats` is the session detector's SpotStats — live when the
+/// session is resident, the values captured at eviction otherwise, so the
+/// registry stays meaningful for evicted sessions too.
+struct SessionMetrics {
+  std::string id;
+  bool resident = false;
+  bool on_disk = false;
+  SpotStats stats;
+  std::uint64_t batches_ingested = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t reloads = 0;
+};
+
+/// Aggregate view over every known session plus service-level counters
+/// (the global half of the metrics registry).
+struct ServiceMetrics {
+  std::size_t sessions = 0;
+  std::size_t resident_sessions = 0;
+  std::uint64_t points_processed = 0;
+  std::uint64_t outliers_detected = 0;
+  std::uint64_t drifts_detected = 0;
+  std::uint64_t batches_ingested = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t reloads = 0;
+  std::uint64_t checkpoints_written = 0;
+  double detection_seconds = 0.0;
+};
+
+/// Result of one Ingest call. `ok` is false when the session is unknown,
+/// its reload from disk failed, or the service could not admit it.
+struct IngestResult {
+  bool ok = false;
+  std::vector<SpotResult> verdicts;
+};
+
+/// Long-lived detection service multiplexing many independent SPOT
+/// sessions onto one shared worker pool (DESIGN.md Section 4).
+///
+/// Each *session* is a named, fully independent detector: its own config,
+/// partition, SST and synapses. The service routes interleaved
+/// `Ingest(session_id, batch)` calls to the right session, keeps at most
+/// `max_resident` of them in memory (LRU-evicting the rest to binary
+/// checkpoints and reloading them transparently on their next batch), and
+/// maintains a per-session + global metrics registry built on SpotStats.
+///
+/// Because eviction uses the full-state checkpoint format, an evicted
+/// session resumes *bit-identically*: the verdict sequence of a session is
+/// independent of how often it was evicted, reloaded, or interleaved with
+/// other sessions (tests/service_test.cc proves this).
+///
+/// Thread-safety: all public methods are safe to call from multiple
+/// threads; calls are serialized by an internal mutex. Parallelism comes
+/// from the shard pool *inside* a batch, not from concurrent batches —
+/// a session's stream is inherently ordered anyway.
+class SpotService {
+ public:
+  explicit SpotService(SpotServiceConfig config);
+  ~SpotService();
+
+  SpotService(const SpotService&) = delete;
+  SpotService& operator=(const SpotService&) = delete;
+
+  /// True when `id` is usable as a session name (and hence a checkpoint
+  /// file stem): non-empty, at most 128 chars, `[A-Za-z0-9._-]` only, and
+  /// not starting with a dot.
+  static bool ValidSessionId(const std::string& id);
+
+  /// Creates and learns a new session. Fails (false) on an invalid or
+  /// duplicate id, a failed Learn(), or when no residency slot can be
+  /// freed. The training batch is the session's offline learning stage.
+  bool CreateSession(const std::string& id, const SpotConfig& config,
+                     const std::vector<std::vector<double>>& training,
+                     const DomainKnowledge* knowledge = nullptr);
+
+  /// Registers a session persisted by an earlier service instance (e.g.
+  /// after a process restart) from `checkpoint_dir/<id>.ckpt`. The
+  /// checkpoint embeds the full config, so nothing else is needed. The
+  /// session is admitted resident immediately.
+  bool OpenSession(const std::string& id);
+
+  bool HasSession(const std::string& id) const;
+  bool IsResident(const std::string& id) const;
+
+  /// All known session ids, sorted.
+  std::vector<std::string> SessionIds() const;
+
+  /// Routes one batch to `id`'s detector, transparently reloading it from
+  /// disk (and LRU-evicting another session) when it is not resident.
+  IngestResult Ingest(const std::string& id,
+                      const std::vector<DataPoint>& batch);
+
+  /// Convenience overload for raw value vectors.
+  IngestResult Ingest(const std::string& id,
+                      const std::vector<std::vector<double>>& batch);
+
+  /// Writes `id`'s checkpoint without evicting it. True for a session that
+  /// is already (only) on disk.
+  bool Checkpoint(const std::string& id);
+
+  /// Checkpoints every resident session (e.g. before shutdown). True only
+  /// when all writes succeeded.
+  bool CheckpointAll();
+
+  /// Checkpoints `id` and drops its detector from memory.
+  bool Evict(const std::string& id);
+
+  /// Forgets the session. With `persist` (and a checkpoint_dir) its final
+  /// state is written first; otherwise any previous checkpoint file is
+  /// left as-is and the in-memory state is discarded.
+  bool CloseSession(const std::string& id, bool persist = true);
+
+  /// Per-session metrics; false when `id` is unknown.
+  bool GetMetrics(const std::string& id, SessionMetrics* out) const;
+
+  /// Global metrics over all known sessions.
+  ServiceMetrics TotalMetrics() const;
+
+  const SpotServiceConfig& config() const { return config_; }
+
+ private:
+  struct Session {
+    std::unique_ptr<SpotDetector> detector;  // null while evicted
+    SpotStats last_stats;  // captured at eviction / refreshed per batch
+    bool on_disk = false;
+    std::uint64_t last_used = 0;
+    std::uint64_t batches_ingested = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t reloads = 0;
+  };
+
+  /// Shared body of both Ingest overloads (they differ only in the batch
+  /// type SpotDetector::ProcessBatch accepts).
+  template <typename Batch>
+  IngestResult IngestImpl(const std::string& id, const Batch& batch);
+
+  std::string CheckpointPath(const std::string& id) const;
+  std::size_t ResidentCountLocked() const;
+  /// Evicts LRU resident sessions (sparing `spare`) until one more can be
+  /// admitted; false when that is impossible (no checkpoint_dir or a
+  /// checkpoint write failed).
+  bool MakeRoomLocked(const Session* spare);
+  bool EvictLocked(const std::string& id, Session& session);
+  /// Returns `id`'s session resident (reloading if needed), else nullptr.
+  Session* ResidentLocked(const std::string& id);
+  void ApplyPoolLocked(SpotDetector* detector);
+
+  SpotServiceConfig config_;
+  /// The one pool every session's sharded engine borrows (null when
+  /// num_shards <= 1). Owning it here — instead of one pool per detector —
+  /// is what lets N sessions share a fixed worker budget.
+  std::unique_ptr<ThreadPool> pool_;
+
+  mutable std::mutex mu_;
+  /// Ordered map: SessionIds() and LRU scans are deterministic.
+  std::map<std::string, Session> sessions_;
+  std::uint64_t use_clock_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::uint64_t reloads_ = 0;
+  std::uint64_t checkpoints_written_ = 0;
+};
+
+}  // namespace spot
+
+#endif  // SPOT_SERVICE_SPOT_SERVICE_H_

@@ -47,9 +47,12 @@ class StreamDetector {
   }
 
   /// Requests that ProcessBatch spread its work over `num_shards` worker
-  /// threads, for detectors that support sharding (SPOT does). Verdicts
-  /// must not depend on the setting — it is purely a throughput knob. The
-  /// default implementation ignores the request.
+  /// threads, for detectors that support sharding (SPOT does). CONTRACT:
+  /// verdicts must not depend on the setting — it is purely a throughput
+  /// knob, and a detector without a parallel path must treat the call as a
+  /// no-op rather than approximating one (the single-threaded baselines
+  /// override this with documented no-ops, pinned by tests). The default
+  /// implementation ignores the request.
   virtual void set_num_shards(std::size_t num_shards) { (void)num_shards; }
 
   virtual std::string name() const = 0;

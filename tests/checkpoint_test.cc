@@ -1,0 +1,361 @@
+// Tests of the binary full-state checkpoint (src/core/checkpoint.h): a
+// save → load → Process run must be bit-identical to an uninterrupted one —
+// same verdict labels, findings, scores (exact double equality) and same
+// SpotStats counters — including checkpoints taken right before runs that
+// cross CS self-evolution, OS growth, drift-relearn and compaction
+// boundaries, and regardless of the shard count on either side of the
+// save/load. The ASan/UBSan CI job runs this binary.
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/checkpoint.h"
+#include "core/detector.h"
+#include "core/drift_detector.h"
+#include "core/reservoir.h"
+#include "eval/presets.h"
+#include "stream/drift.h"
+#include "stream/synthetic.h"
+
+namespace spot {
+namespace {
+
+std::vector<LabeledPoint> DriftingEvalStream(int dims, int n,
+                                             std::uint64_t seed) {
+  stream::DriftConfig dcfg;
+  dcfg.base.dimension = dims;
+  dcfg.base.outlier_probability = 0.02;
+  dcfg.base.concept_seed = 900;
+  dcfg.base.seed = seed;
+  dcfg.kind = stream::DriftKind::kAbrupt;
+  dcfg.period = n / 3;
+  stream::DriftingStream gen(dcfg);
+  return Take(gen, static_cast<std::size_t>(n));
+}
+
+std::vector<std::vector<double>> TrainingBatch(int dims, int n) {
+  stream::SyntheticConfig scfg;
+  scfg.dimension = dims;
+  scfg.outlier_probability = 0.0;
+  scfg.concept_seed = 900;
+  scfg.seed = 901;
+  stream::GaussianStream gen(scfg);
+  return ValuesOf(Take(gen, static_cast<std::size_t>(n)));
+}
+
+/// Config exercising every online state mutator the checkpoint must
+/// capture: OS growth, periodic CS self-evolution, drift relearning, and a
+/// compaction cadence short enough that the post-restore run crosses
+/// several Compact() sweeps (whose FP summation order must not depend on
+/// hash-map history — the checkpoint cannot reproduce that history).
+SpotConfig EventfulConfig() {
+  SpotConfig cfg = eval::FastTestConfig();
+  cfg.os_update_every = 8;
+  cfg.evolution_period = 400;
+  cfg.drift_detection = true;
+  cfg.relearn_on_drift = true;
+  cfg.drift_lambda = 8.0;
+  cfg.compaction_period = 512;
+  return cfg;
+}
+
+std::unique_ptr<SpotDetector> LearnedDetector(
+    const SpotConfig& cfg,
+    const std::vector<std::vector<double>>& training) {
+  auto det = std::make_unique<SpotDetector>(cfg);
+  EXPECT_TRUE(det->Learn(training));
+  return det;
+}
+
+void ExpectIdentical(const SpotResult& a, const SpotResult& b,
+                     std::size_t point_idx, const char* label) {
+  EXPECT_EQ(a.is_outlier, b.is_outlier) << label << " point " << point_idx;
+  EXPECT_EQ(a.score, b.score) << label << " point " << point_idx;
+  ASSERT_EQ(a.findings.size(), b.findings.size())
+      << label << " point " << point_idx;
+  for (std::size_t f = 0; f < a.findings.size(); ++f) {
+    EXPECT_EQ(a.findings[f].subspace.bits(), b.findings[f].subspace.bits())
+        << label << " point " << point_idx << " finding " << f;
+    EXPECT_EQ(a.findings[f].pcs.rd, b.findings[f].pcs.rd);
+    EXPECT_EQ(a.findings[f].pcs.irsd, b.findings[f].pcs.irsd);
+    EXPECT_EQ(a.findings[f].pcs.count, b.findings[f].pcs.count);
+  }
+}
+
+/// All deterministic SpotStats fields (detection_seconds is wall-clock and
+/// batches_processed depends on the caller's batching, not the stream).
+void ExpectSameStats(const SpotStats& a, const SpotStats& b,
+                     const char* label) {
+  EXPECT_EQ(a.points_processed, b.points_processed) << label;
+  EXPECT_EQ(a.outliers_detected, b.outliers_detected) << label;
+  EXPECT_EQ(a.evolution_rounds, b.evolution_rounds) << label;
+  EXPECT_EQ(a.os_growth_runs, b.os_growth_runs) << label;
+  EXPECT_EQ(a.drifts_detected, b.drifts_detected) << label;
+}
+
+std::string SaveToString(const SpotDetector& det) {
+  std::ostringstream out;
+  EXPECT_TRUE(SaveCheckpoint(det, out));
+  return out.str();
+}
+
+bool LoadFromString(SpotDetector* det, const std::string& bytes) {
+  std::istringstream in(bytes);
+  return LoadCheckpoint(det, in);
+}
+
+/// Feeds `stream[begin, end)` in batches of `batch` and returns the
+/// verdicts.
+std::vector<SpotResult> Drive(SpotDetector* det,
+                              const std::vector<LabeledPoint>& stream,
+                              std::size_t begin, std::size_t end,
+                              std::size_t batch) {
+  std::vector<SpotResult> results;
+  results.reserve(end - begin);
+  std::vector<DataPoint> chunk;
+  for (std::size_t start = begin; start < end; start += batch) {
+    chunk.clear();
+    for (std::size_t i = start; i < std::min(start + batch, end); ++i) {
+      chunk.push_back(stream[i].point);
+    }
+    for (auto& r : det->ProcessBatch(chunk)) results.push_back(std::move(r));
+  }
+  return results;
+}
+
+// The headline acceptance test: checkpoint mid-stream, keep the original
+// running, restore into a fresh detector, and compare the next 5000
+// verdicts point by point — at shard counts {1, 4} on the restored side,
+// over a stream that crosses evolution, OS-growth, drift and compaction
+// boundaries both before and after the checkpoint.
+TEST(CheckpointTest, ResumeIsBitIdenticalAcrossEventBoundaries) {
+  const int kDims = 8;
+  const std::size_t kWarmup = 1500;  // crosses evolution + OS growth
+  const std::size_t kTail = 5000;    // crosses drift + more evolutions
+  const auto training = TrainingBatch(kDims, 400);
+  const auto stream =
+      DriftingEvalStream(kDims, static_cast<int>(kWarmup + kTail), 1);
+
+  auto original = LearnedDetector(EventfulConfig(), training);
+  Drive(original.get(), stream, 0, kWarmup, 64);
+  const std::string bytes = SaveToString(*original);
+  const auto expected = Drive(original.get(), stream, kWarmup,
+                              kWarmup + kTail, 64);
+  // The warm-up provably crossed state-mutating events (else this test
+  // would not cover them).
+  EXPECT_GT(original->stats().evolution_rounds, 0u);
+  EXPECT_GT(original->stats().os_growth_runs, 0u);
+
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{4}}) {
+    SpotDetector restored{SpotConfig{}};
+    ASSERT_TRUE(LoadFromString(&restored, bytes));
+    ASSERT_TRUE(restored.learned());
+    restored.set_num_shards(shards);
+    const auto got =
+        Drive(&restored, stream, kWarmup, kWarmup + kTail, 64);
+    ASSERT_EQ(got.size(), expected.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      ExpectIdentical(expected[i], got[i], i, "restored");
+    }
+    ExpectSameStats(original->stats(), restored.stats(), "restored");
+  }
+}
+
+// Saving from a sharded detector and restoring must behave exactly like
+// saving from a sequential one: the checkpoint is shard-agnostic.
+TEST(CheckpointTest, SaveUnderShardedEngineEqualsSequentialSave) {
+  const int kDims = 8;
+  const auto training = TrainingBatch(kDims, 400);
+  const auto stream = DriftingEvalStream(kDims, 3000, 2);
+
+  auto sequential = LearnedDetector(EventfulConfig(), training);
+  auto sharded = LearnedDetector(EventfulConfig(), training);
+  sharded->set_num_shards(4);
+  Drive(sequential.get(), stream, 0, 1000, 64);
+  Drive(sharded.get(), stream, 0, 1000, 64);
+
+  // Align the one config field that legitimately differs (the throughput
+  // knob itself); every byte of actual detector state must then match.
+  sharded->set_num_shards(1);
+  EXPECT_EQ(SaveToString(*sequential), SaveToString(*sharded));
+}
+
+TEST(CheckpointTest, RepeatedSaveLoadSaveIsByteStable) {
+  const auto training = TrainingBatch(6, 300);
+  const auto stream = DriftingEvalStream(6, 1200, 3);
+  auto det = LearnedDetector(EventfulConfig(), training);
+  Drive(det.get(), stream, 0, 1200, 32);
+
+  const std::string first = SaveToString(*det);
+  SpotDetector restored{SpotConfig{}};
+  ASSERT_TRUE(LoadFromString(&restored, first));
+  EXPECT_EQ(SaveToString(restored), first);
+}
+
+TEST(CheckpointTest, RoundTripsFullConfigIncludingNestedLearningKnobs) {
+  SpotConfig cfg = EventfulConfig();
+  cfg.unsupervised.moga.generations = 123;
+  cfg.unsupervised.outlying_degree.threshold_scale = 2.25;
+  cfg.supervised.top_subspaces_per_example = 7;
+  cfg.evolution.offspring = 21;
+  cfg.evolution.mutation_prob = 0.125;
+  cfg.num_shards = 3;
+  auto det = LearnedDetector(cfg, TrainingBatch(5, 200));
+  const std::string bytes = SaveToString(*det);
+
+  SpotDetector restored{SpotConfig{}};
+  ASSERT_TRUE(LoadFromString(&restored, bytes));
+  const SpotConfig& rc = restored.config();
+  EXPECT_EQ(rc.unsupervised.moga.generations, 123);
+  EXPECT_DOUBLE_EQ(rc.unsupervised.outlying_degree.threshold_scale, 2.25);
+  EXPECT_EQ(rc.supervised.top_subspaces_per_example, 7u);
+  EXPECT_EQ(rc.evolution.offspring, 21u);
+  EXPECT_DOUBLE_EQ(rc.evolution.mutation_prob, 0.125);
+  EXPECT_EQ(rc.num_shards, 3u);
+  EXPECT_EQ(restored.sst().TotalSize(), det->sst().TotalSize());
+  EXPECT_EQ(restored.TrackedSubspaces(), det->TrackedSubspaces());
+}
+
+TEST(CheckpointTest, UnlearnedDetectorRoundTrips) {
+  SpotConfig cfg;
+  cfg.omega = 777;
+  SpotDetector det(cfg);
+  const std::string bytes = SaveToString(det);
+
+  SpotDetector restored{SpotConfig{}};
+  ASSERT_TRUE(LoadFromString(&restored, bytes));
+  EXPECT_FALSE(restored.learned());
+  EXPECT_EQ(restored.config().omega, 777u);
+}
+
+TEST(CheckpointTest, RejectsGarbageAndTruncation) {
+  const auto training = TrainingBatch(5, 200);
+  auto det = LearnedDetector(EventfulConfig(), training);
+  const std::string bytes = SaveToString(*det);
+
+  SpotDetector victim{SpotConfig{}};
+  EXPECT_FALSE(LoadFromString(&victim, ""));
+  EXPECT_FALSE(victim.learned());
+  EXPECT_FALSE(LoadFromString(&victim, "this is not a checkpoint at all"));
+  EXPECT_FALSE(victim.learned());
+  // Truncations at several depths: header, config, mid-state, trailer.
+  for (const std::size_t keep :
+       {std::size_t{4}, std::size_t{40}, bytes.size() / 2,
+        bytes.size() - 1}) {
+    EXPECT_FALSE(LoadFromString(&victim, bytes.substr(0, keep)))
+        << "kept " << keep << " of " << bytes.size();
+    EXPECT_FALSE(victim.learned());
+  }
+  // A valid image still loads after all those failures.
+  EXPECT_TRUE(LoadFromString(&victim, bytes));
+  EXPECT_TRUE(victim.learned());
+}
+
+TEST(CheckpointTest, FileRoundTripViaAtomicRename) {
+  const std::string path =
+      testing::TempDir() + "spot_checkpoint_test.ckpt";
+  const auto training = TrainingBatch(5, 200);
+  const auto stream = DriftingEvalStream(5, 800, 4);
+  auto det = LearnedDetector(EventfulConfig(), training);
+  Drive(det.get(), stream, 0, 500, 32);
+  ASSERT_TRUE(SaveCheckpointFile(*det, path));
+
+  const auto expected = Drive(det.get(), stream, 500, 800, 32);
+  SpotDetector restored{SpotConfig{}};
+  ASSERT_TRUE(LoadCheckpointFile(&restored, path));
+  const auto got = Drive(&restored, stream, 500, 800, 32);
+  ASSERT_EQ(got.size(), expected.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    ExpectIdentical(expected[i], got[i], i, "file");
+  }
+  std::remove(path.c_str());
+  EXPECT_FALSE(LoadCheckpointFile(&restored, path + ".does-not-exist"));
+}
+
+// ------------------------------------------------- per-layer round trips --
+
+TEST(CheckpointLayerTest, RngResumesItsExactStream) {
+  Rng a(42);
+  for (int i = 0; i < 100; ++i) a.NextGaussian();  // park a spare gaussian
+
+  std::ostringstream out;
+  CheckpointWriter w(&out);
+  a.SaveState(w);
+  ASSERT_TRUE(w.ok());
+
+  Rng b(7);  // different seed: state must come from the checkpoint alone
+  std::istringstream in(out.str());
+  CheckpointReader r(&in);
+  ASSERT_TRUE(b.LoadState(r));
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+    EXPECT_EQ(a.NextGaussian(), b.NextGaussian());
+  }
+}
+
+TEST(CheckpointLayerTest, ReservoirResumesExactAcceptanceSequence) {
+  ReservoirSample a(16, 5);
+  Rng data(9);
+  std::vector<double> row(3);
+  for (int i = 0; i < 200; ++i) {
+    for (double& v : row) v = data.NextDouble();
+    a.Add(row);
+  }
+
+  std::ostringstream out;
+  CheckpointWriter w(&out);
+  a.SaveState(w);
+  ReservoirSample b(16, 999);
+  std::istringstream in(out.str());
+  CheckpointReader r(&in);
+  ASSERT_TRUE(b.LoadState(r));
+  EXPECT_EQ(a.Items(), b.Items());
+  EXPECT_EQ(a.seen(), b.seen());
+  for (int i = 0; i < 200; ++i) {
+    for (double& v : row) v = data.NextDouble();
+    a.Add(row);
+    b.Add(row);
+  }
+  EXPECT_EQ(a.Items(), b.Items());
+}
+
+TEST(CheckpointLayerTest, ReservoirRejectsCapacityMismatch) {
+  ReservoirSample a(16, 5);
+  std::ostringstream out;
+  CheckpointWriter w(&out);
+  a.SaveState(w);
+  ReservoirSample b(8, 5);
+  std::istringstream in(out.str());
+  CheckpointReader r(&in);
+  EXPECT_FALSE(b.LoadState(r));
+}
+
+TEST(CheckpointLayerTest, PageHinkleyResumesAccumulatedStatistic) {
+  PageHinkley a(0.01, 4.0);
+  Rng noise(3);
+  for (int i = 0; i < 500; ++i) a.Add(noise.NextBernoulli(0.05) ? 1.0 : 0.0);
+
+  std::ostringstream out;
+  CheckpointWriter w(&out);
+  a.SaveState(w);
+  PageHinkley b(9.9, 9.9);  // parameters come from the checkpoint
+  std::istringstream in(out.str());
+  CheckpointReader r(&in);
+  ASSERT_TRUE(b.LoadState(r));
+  EXPECT_EQ(a.statistic(), b.statistic());
+  EXPECT_EQ(a.mean(), b.mean());
+  for (int i = 0; i < 300; ++i) {
+    const double x = noise.NextBernoulli(0.4) ? 1.0 : 0.0;
+    EXPECT_EQ(a.Add(x), b.Add(x)) << "step " << i;
+  }
+  EXPECT_EQ(a.drifts(), b.drifts());
+}
+
+}  // namespace
+}  // namespace spot

@@ -103,7 +103,10 @@ void ExpectSameSideEffects(const SpotDetector& a, const SpotDetector& b,
 std::vector<SpotResult> RunEngine(SpotDetector* det, std::size_t num_shards,
                                   const std::vector<LabeledPoint>& stream,
                                   std::size_t batch_size) {
-  ShardedSpotEngine engine(det, num_shards);
+  // The engine borrows its pool (the detector / service owns it in
+  // production); here the test owns one of the standalone K-1 size.
+  ThreadPool pool(num_shards > 1 ? num_shards - 1 : 0);
+  ShardedSpotEngine engine(det, num_shards, &pool);
   std::vector<SpotResult> results;
   results.reserve(stream.size());
   std::vector<DataPoint> chunk;

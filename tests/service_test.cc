@@ -1,0 +1,290 @@
+// Tests of the SpotService session manager (src/service/spot_service.h):
+// interleaved multi-session routing, LRU eviction to disk with transparent
+// reload (a session's verdict sequence must be independent of how often it
+// was evicted), kill/restore via OpenSession, and the metrics registry.
+// The ASan/UBSan CI job runs this binary.
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <sys/stat.h>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/detector.h"
+#include "eval/presets.h"
+#include "service/spot_service.h"
+#include "stream/synthetic.h"
+
+namespace spot {
+namespace {
+
+/// Fresh per-test checkpoint directory under the gtest temp root.
+std::string MakeCheckpointDir(const char* tag) {
+  const std::string dir = testing::TempDir() + "spot_service_" + tag;
+  ::mkdir(dir.c_str(), 0755);
+  return dir;
+}
+
+SpotConfig SessionConfig() {
+  SpotConfig cfg = eval::FastTestConfig();
+  cfg.os_update_every = 8;
+  cfg.evolution_period = 300;
+  return cfg;
+}
+
+/// Tenant `t`'s private stream: a distinct cluster concept per tenant, so
+/// cross-session state leakage would change verdicts.
+std::vector<LabeledPoint> TenantStream(int t, int n, std::uint64_t salt) {
+  stream::SyntheticConfig scfg;
+  scfg.dimension = 6;
+  scfg.outlier_probability = 0.02;
+  scfg.concept_seed = 100 + static_cast<std::uint64_t>(t);
+  scfg.seed = 7000 + salt;
+  stream::GaussianStream gen(scfg);
+  return Take(gen, static_cast<std::size_t>(n));
+}
+
+std::vector<std::vector<double>> TenantTraining(int t) {
+  stream::SyntheticConfig scfg;
+  scfg.dimension = 6;
+  scfg.outlier_probability = 0.0;
+  scfg.concept_seed = 100 + static_cast<std::uint64_t>(t);
+  scfg.seed = 8000 + static_cast<std::uint64_t>(t);
+  stream::GaussianStream gen(scfg);
+  return ValuesOf(Take(gen, 300));
+}
+
+std::vector<DataPoint> Chunk(const std::vector<LabeledPoint>& stream,
+                             std::size_t begin, std::size_t end) {
+  std::vector<DataPoint> out;
+  out.reserve(end - begin);
+  for (std::size_t i = begin; i < end && i < stream.size(); ++i) {
+    out.push_back(stream[i].point);
+  }
+  return out;
+}
+
+void ExpectSameVerdicts(const std::vector<SpotResult>& a,
+                        const std::vector<SpotResult>& b,
+                        const std::string& label) {
+  ASSERT_EQ(a.size(), b.size()) << label;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].is_outlier, b[i].is_outlier) << label << " point " << i;
+    EXPECT_EQ(a[i].score, b[i].score) << label << " point " << i;
+    ASSERT_EQ(a[i].findings.size(), b[i].findings.size())
+        << label << " point " << i;
+    for (std::size_t f = 0; f < a[i].findings.size(); ++f) {
+      EXPECT_EQ(a[i].findings[f].subspace.bits(),
+                b[i].findings[f].subspace.bits())
+          << label << " point " << i;
+    }
+  }
+}
+
+TEST(SessionIdTest, ValidatesFilenameSafety) {
+  EXPECT_TRUE(SpotService::ValidSessionId("tenant-a"));
+  EXPECT_TRUE(SpotService::ValidSessionId("Sensor_12.north"));
+  EXPECT_FALSE(SpotService::ValidSessionId(""));
+  EXPECT_FALSE(SpotService::ValidSessionId(".hidden"));
+  EXPECT_FALSE(SpotService::ValidSessionId("../escape"));
+  EXPECT_FALSE(SpotService::ValidSessionId("a/b"));
+  EXPECT_FALSE(SpotService::ValidSessionId("white space"));
+  EXPECT_FALSE(SpotService::ValidSessionId(std::string(200, 'x')));
+}
+
+// The headline acceptance test: three interleaved sessions on a service
+// that can hold only two resident, so every round trips LRU eviction +
+// transparent reload — and each session's verdicts must equal a dedicated
+// standalone detector fed the same stream uninterrupted.
+TEST(SpotServiceTest, InterleavedSessionsSurviveLruEvictionBitIdentically) {
+  const std::string dir = MakeCheckpointDir("lru");
+  const int kTenants = 3;
+  const std::size_t kBatch = 64;
+  const std::size_t kBatches = 8;
+
+  SpotServiceConfig scfg;
+  scfg.max_resident = 2;  // < kTenants: forces continuous eviction traffic
+  scfg.checkpoint_dir = dir;
+  SpotService service(scfg);
+
+  // Reference: one standalone detector per tenant, never evicted.
+  std::vector<std::unique_ptr<SpotDetector>> reference;
+  std::vector<std::vector<LabeledPoint>> streams;
+  for (int t = 0; t < kTenants; ++t) {
+    streams.push_back(TenantStream(t, static_cast<int>(kBatch * kBatches), 1));
+    reference.push_back(std::make_unique<SpotDetector>(SessionConfig()));
+    ASSERT_TRUE(reference.back()->Learn(TenantTraining(t)));
+    const std::string id = "tenant-" + std::to_string(t);
+    ASSERT_TRUE(service.CreateSession(id, SessionConfig(), TenantTraining(t)));
+  }
+
+  for (std::size_t b = 0; b < kBatches; ++b) {
+    for (int t = 0; t < kTenants; ++t) {
+      const std::string id = "tenant-" + std::to_string(t);
+      const auto batch = Chunk(streams[t], b * kBatch, (b + 1) * kBatch);
+      const auto expected = reference[t]->ProcessBatch(batch);
+      const IngestResult got = service.Ingest(id, batch);
+      ASSERT_TRUE(got.ok) << id << " batch " << b;
+      ExpectSameVerdicts(expected, got.verdicts,
+                         id + " batch " + std::to_string(b));
+    }
+  }
+
+  const ServiceMetrics total = service.TotalMetrics();
+  EXPECT_EQ(total.sessions, static_cast<std::size_t>(kTenants));
+  EXPECT_LE(total.resident_sessions, 2u);
+  EXPECT_GT(total.evictions, 0u) << "LRU eviction never triggered";
+  EXPECT_GT(total.reloads, 0u) << "transparent reload never triggered";
+  EXPECT_EQ(total.points_processed,
+            static_cast<std::uint64_t>(kTenants) * kBatch * kBatches);
+
+  for (int t = 0; t < kTenants; ++t) {
+    SessionMetrics m;
+    ASSERT_TRUE(service.GetMetrics("tenant-" + std::to_string(t), &m));
+    EXPECT_EQ(m.stats.points_processed, kBatch * kBatches);
+    EXPECT_EQ(m.stats.outliers_detected,
+              reference[t]->stats().outliers_detected);
+    EXPECT_EQ(m.batches_ingested, kBatches);
+  }
+}
+
+// Kill/restore: a second service instance on the same checkpoint dir picks
+// the sessions up via OpenSession and continues them bit-identically.
+TEST(SpotServiceTest, KillAndRestoreContinuesBitIdentically) {
+  const std::string dir = MakeCheckpointDir("restore");
+  const auto stream = TenantStream(0, 1200, 2);
+  const auto training = TenantTraining(0);
+
+  SpotDetector reference(SessionConfig());
+  ASSERT_TRUE(reference.Learn(training));
+  reference.ProcessBatch(Chunk(stream, 0, 600));
+
+  std::vector<SpotResult> continued;
+  {
+    SpotServiceConfig scfg;
+    scfg.checkpoint_dir = dir;
+    SpotService service(scfg);
+    ASSERT_TRUE(service.CreateSession("victim", SessionConfig(), training));
+    ASSERT_TRUE(service.Ingest("victim", Chunk(stream, 0, 600)).ok);
+    ASSERT_TRUE(service.CheckpointAll());
+    // Service destroyed here: the "kill".
+  }
+  {
+    SpotServiceConfig scfg;
+    scfg.checkpoint_dir = dir;
+    SpotService service(scfg);
+    EXPECT_FALSE(service.HasSession("victim"));
+    ASSERT_TRUE(service.OpenSession("victim"));
+    EXPECT_FALSE(service.OpenSession("victim"));  // duplicate
+    const IngestResult got = service.Ingest("victim", Chunk(stream, 600, 1200));
+    ASSERT_TRUE(got.ok);
+    continued = got.verdicts;
+
+    SessionMetrics m;
+    ASSERT_TRUE(service.GetMetrics("victim", &m));
+    EXPECT_EQ(m.stats.points_processed, 1200u);  // counters survived the kill
+  }
+  const auto expected = reference.ProcessBatch(Chunk(stream, 600, 1200));
+  ExpectSameVerdicts(expected, continued, "restored service");
+}
+
+// The shared pool: many sessions, one service-owned worker pool, sharded
+// batches — verdicts still equal the sequential standalone reference.
+TEST(SpotServiceTest, SharedPoolShardsBatchesWithoutChangingVerdicts) {
+  const std::string dir = MakeCheckpointDir("pool");
+  SpotServiceConfig scfg;
+  scfg.max_resident = 2;
+  scfg.num_shards = 4;
+  scfg.checkpoint_dir = dir;
+  SpotService service(scfg);
+
+  for (int t = 0; t < 3; ++t) {
+    const std::string id = "shard-tenant-" + std::to_string(t);
+    ASSERT_TRUE(service.CreateSession(id, SessionConfig(), TenantTraining(t)));
+  }
+  for (int t = 0; t < 3; ++t) {
+    const std::string id = "shard-tenant-" + std::to_string(t);
+    const auto stream = TenantStream(t, 512, 3);
+    SpotDetector reference(SessionConfig());
+    ASSERT_TRUE(reference.Learn(TenantTraining(t)));
+    for (std::size_t b = 0; b < 4; ++b) {
+      const auto batch = Chunk(stream, b * 128, (b + 1) * 128);
+      const auto expected = reference.ProcessBatch(batch);
+      const IngestResult got = service.Ingest(id, batch);
+      ASSERT_TRUE(got.ok);
+      ExpectSameVerdicts(expected, got.verdicts, id);
+    }
+  }
+}
+
+TEST(SpotServiceTest, RefusesOverCapacityWithoutCheckpointDir) {
+  SpotServiceConfig scfg;
+  scfg.max_resident = 1;  // and no checkpoint_dir: eviction impossible
+  SpotService service(scfg);
+  ASSERT_TRUE(service.CreateSession("only", SessionConfig(),
+                                    TenantTraining(0)));
+  EXPECT_FALSE(service.CreateSession("too-many", SessionConfig(),
+                                     TenantTraining(1)));
+  EXPECT_TRUE(service.HasSession("only"));
+  EXPECT_FALSE(service.HasSession("too-many"));
+  EXPECT_FALSE(service.Evict("only"));  // nowhere to evict to
+  EXPECT_TRUE(service.IsResident("only"));
+}
+
+// A failed admission (failed Learn, missing checkpoint file) must not cost
+// a resident session its slot: the fallible step runs BEFORE any eviction.
+TEST(SpotServiceTest, FailedAdmissionEvictsNobody) {
+  const std::string dir = MakeCheckpointDir("failed_admission");
+  SpotServiceConfig scfg;
+  scfg.max_resident = 1;
+  scfg.checkpoint_dir = dir;
+  SpotService service(scfg);
+  ASSERT_TRUE(service.CreateSession("hot", SessionConfig(),
+                                    TenantTraining(0)));
+  ASSERT_TRUE(service.IsResident("hot"));
+
+  // Learn() fails on an empty training batch.
+  EXPECT_FALSE(service.CreateSession("bad-training", SessionConfig(), {}));
+  EXPECT_TRUE(service.IsResident("hot"));
+
+  // No checkpoint file exists for this id.
+  EXPECT_FALSE(service.OpenSession("no-such-checkpoint"));
+  EXPECT_TRUE(service.IsResident("hot"));
+}
+
+TEST(SpotServiceTest, RejectsUnknownAndInvalidSessions) {
+  SpotService service(SpotServiceConfig{});
+  EXPECT_FALSE(service.Ingest("ghost", std::vector<DataPoint>{}).ok);
+  EXPECT_FALSE(service.CreateSession("bad/id", SessionConfig(),
+                                     TenantTraining(0)));
+  EXPECT_FALSE(service.OpenSession("ghost"));
+  EXPECT_FALSE(service.Checkpoint("ghost"));
+  EXPECT_FALSE(service.CloseSession("ghost"));
+  SessionMetrics m;
+  EXPECT_FALSE(service.GetMetrics("ghost", &m));
+  EXPECT_FALSE(service.CreateSession("dup", SessionConfig(),
+                                     TenantTraining(0)) &&
+               service.CreateSession("dup", SessionConfig(),
+                                     TenantTraining(0)));
+}
+
+TEST(SpotServiceTest, CloseWithoutPersistDiscardsAndWithPersistKeeps) {
+  const std::string dir = MakeCheckpointDir("close");
+  SpotServiceConfig scfg;
+  scfg.checkpoint_dir = dir;
+  SpotService service(scfg);
+  ASSERT_TRUE(service.CreateSession("a", SessionConfig(), TenantTraining(0)));
+  ASSERT_TRUE(service.CreateSession("b", SessionConfig(), TenantTraining(1)));
+  ASSERT_TRUE(service.CloseSession("a", /*persist=*/true));
+  ASSERT_TRUE(service.CloseSession("b", /*persist=*/false));
+  EXPECT_FALSE(service.HasSession("a"));
+  // "a" was persisted: a new service can reopen it. "b" was not.
+  EXPECT_TRUE(service.OpenSession("a"));
+  EXPECT_FALSE(service.OpenSession("b"));
+}
+
+}  // namespace
+}  // namespace spot
