@@ -80,6 +80,8 @@ std::vector<SpotResult> ShardedSpotEngine::ProcessBatch(
   // single-owner base grid, and snapshot the per-point total weight. The
   // base grid never depends on the tracked set, so it can run ahead of the
   // join; every weight is exactly the W the sequential path would read.
+  // Binning the whole batch first lets the fold loop prefetch point j+1's
+  // base-cell bucket while folding point j (DESIGN.md Section 3.9).
   frame_.points = &points;
   frame_.base_coords.resize(n);
   frame_.ticks.resize(n);
@@ -87,9 +89,16 @@ std::vector<SpotResult> ShardedSpotEngine::ProcessBatch(
   for (std::size_t j = 0; j < n; ++j) {
     frame_.ticks[j] = detector.tick_++;
     synapses.BinBase(points[j].values, &frame_.base_coords[j]);
+  }
+  const BaseGrid& base = synapses.base_grid();
+  std::uint64_t hash = base.PrefetchCoords(frame_.base_coords[0]);
+  for (std::size_t j = 0; j < n; ++j) {
+    const std::uint64_t next_hash =
+        j + 1 < n ? base.PrefetchCoords(frame_.base_coords[j + 1]) : 0;
     frame_.total_weights[j] =
-        synapses.AddBase(frame_.base_coords[j], points[j].values,
+        synapses.AddBase(frame_.base_coords[j], hash, points[j].values,
                          frame_.ticks[j]);
+    hash = next_hash;
   }
 
   // Phase 1 — fan the per-subspace work out to the shards.

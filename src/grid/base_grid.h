@@ -2,11 +2,12 @@
 #define SPOT_GRID_BASE_GRID_H_
 
 #include <cstdint>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "grid/bcs.h"
 #include "grid/decay.h"
+#include "grid/flat_index.h"
 #include "grid/partition.h"
 
 namespace spot {
@@ -16,10 +17,12 @@ class CheckpointWriter;
 
 /// Sparse hypercube of Base Cell Summaries at the finest granularity.
 ///
-/// Only populated cells are materialized (hash map keyed by base-cell
-/// coordinates); with decay, cells whose weight falls below
-/// `prune_threshold` are reclaimed during periodic compaction, which bounds
-/// memory by the effective window content rather than the stream length.
+/// Only populated cells are materialized: summaries live densely in a
+/// recycled-slot vector, located through a flat open-addressing coordinate
+/// index (FlatIndex — one contiguous probe per lookup, DESIGN.md Section
+/// 3.9). With decay, cells whose weight falls below `prune_threshold` are
+/// reclaimed during periodic compaction, which bounds memory by the
+/// effective window content rather than the stream length.
 class BaseGrid {
  public:
   /// `prune_threshold`: decayed count below which a cell is dropped during
@@ -36,7 +39,23 @@ class BaseGrid {
   /// Add() with precomputed base-cell coordinates (the batch path bins each
   /// point once and shares the coordinates across all grids).
   void AddAt(const CellCoords& coords, const std::vector<double>& point,
-             std::uint64_t tick);
+             std::uint64_t tick) {
+    AddAt(coords, index_.Hash(coords), point, tick);
+  }
+
+  /// AddAt() with the coordinate hash staged by PrefetchCoords — the batch
+  /// pipeline hashes each base cell exactly once.
+  void AddAt(const CellCoords& coords, std::uint64_t hash,
+             const std::vector<double>& point, std::uint64_t tick);
+
+  /// Prefetches the index bucket of `coords` and returns its hash for the
+  /// matching AddAt — the batch path hints the next point's base cell while
+  /// folding the current one, so consecutive AddAt misses overlap.
+  std::uint64_t PrefetchCoords(const CellCoords& coords) const {
+    const std::uint64_t hash = index_.Hash(coords);
+    index_.Prefetch(hash);
+    return hash;
+  }
 
   /// BCS of the base cell containing `point`, or nullptr if unpopulated.
   const Bcs* Find(const std::vector<double>& point) const;
@@ -48,7 +67,7 @@ class BaseGrid {
   double TotalWeight() const;
 
   /// Number of materialized cells (after lazy pruning at compaction time).
-  std::size_t PopulatedCells() const { return cells_.size(); }
+  std::size_t PopulatedCells() const { return index_.size(); }
 
   /// Removes every cell whose decayed count (as of `tick`) is below the
   /// prune threshold. Returns the number of removed cells.
@@ -58,12 +77,15 @@ class BaseGrid {
   const Partition& partition() const { return partition_; }
   const DecayModel& decay_model() const { return model_; }
 
-  /// Read-only access to every populated cell (coordinates + summary).
-  const std::unordered_map<CellCoords, Bcs, CellCoordsHash>& cells() const {
-    return cells_;
-  }
+  /// Every populated cell (coordinates + summary) in ascending coordinate
+  /// order. This is the ONLY iteration surface the grid exposes: callers
+  /// (checkpointing, tests, diagnostics) cannot observe — and so cannot
+  /// come to depend on — the index's internal hash order, which varies
+  /// with insertion/erase history and is never reproduced by a restore.
+  /// Pointers are valid until the next mutating call.
+  std::vector<std::pair<const CellCoords*, const Bcs*>> OrderedCells() const;
 
-  /// Checkpointing: the populated cells (serialized in sorted coordinate
+  /// Checkpointing: the populated cells (serialized in ascending coordinate
   /// order so equal grids produce byte-identical sections), the decayed
   /// total-weight counter, the clock and the compaction cadence all
   /// round-trip. Partition and decay model come from the constructor.
@@ -78,7 +100,12 @@ class BaseGrid {
   std::uint64_t arrivals_since_compaction_ = 0;
   std::uint64_t last_tick_ = 0;
   DecayedCounter total_;
-  std::unordered_map<CellCoords, Bcs, CellCoordsHash> cells_;
+  // Dense recycled-slot cell store: coordinates and summaries parallel by
+  // slot, located via the flat coordinate index; freed slots are reused.
+  FlatIndex index_;
+  std::vector<CellCoords> cell_coords_;
+  std::vector<Bcs> cell_bcs_;
+  std::vector<std::uint32_t> free_cells_;
 };
 
 }  // namespace spot

@@ -1,0 +1,272 @@
+#ifndef SPOT_GRID_FLAT_INDEX_H_
+#define SPOT_GRID_FLAT_INDEX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace spot {
+
+/// Open-addressing flat hash index from fixed-width `std::uint32_t` keys to
+/// `std::uint32_t` values, purpose-built for the synapse hot path
+/// (DESIGN.md Section 3.9).
+///
+/// The three cell/subspace indices SPOT probes once per tracked subspace per
+/// arrival used to be `std::unordered_map`, whose per-node allocations and
+/// pointer-chasing defeat the contiguous slab the cell records already live
+/// in. This index stores keys and values inline in ONE contiguous bucket
+/// array:
+///
+///     bucket b = [ key[0..width) | value ]      (stride = width + 1 u32s)
+///
+/// so a probe touches exactly one cache line for the common key widths
+/// (width <= 14 fits a 64-byte line), with:
+///
+///  - linear probing over a power-of-two capacity (mask, no modulo);
+///  - a strong 64-bit mixer (murmur3-style avalanche per word) computed
+///    ONCE per logical operation and reusable across Prefetch/Find/Upsert,
+///    which is what lets callers issue `Prefetch(hash)` for a whole batch of
+///    probes before executing any of them;
+///  - tombstone-free BACKWARD-SHIFT deletion: erasing moves displaced
+///    successors back toward their home buckets, so probe chains never
+///    accumulate dead entries and lookup cost stays bounded by the load
+///    factor alone (capacity doubles before an insert crosses 3/4 load).
+///
+/// Keys are opaque u32 runs: cell coordinates use their interval indices
+/// verbatim; `Subspace` keys split the 64-bit attribute mask into two words.
+/// Values are caller-defined (slab slot, dense array index); the all-ones
+/// value `kNoValue` is reserved as the empty-bucket marker, which costs
+/// nothing because every caller indexes arrays far smaller than 2^32 - 1.
+///
+/// Iteration order is bucket order, i.e. HASH order: callers that fold
+/// floating-point values or serialize state must sort by key first, exactly
+/// as they had to with `unordered_map` (see ProjectedGrid::Compact and the
+/// checkpoint writers). ForEach visits a stable snapshot only as long as no
+/// mutation happens during the walk; erase during iteration is not
+/// supported — collect doomed keys, then erase.
+class FlatIndex {
+ public:
+  /// Reserved value marking an empty bucket; never store it.
+  static constexpr std::uint32_t kNoValue = 0xFFFFFFFFu;
+
+  /// `key_width`: number of u32 words per key (> 0, fixed for the lifetime).
+  explicit FlatIndex(std::size_t key_width, std::size_t min_capacity = 8)
+      : width_(key_width), stride_(key_width + 1) {
+    Rehash(BucketCountFor(min_capacity));
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  std::size_t key_width() const { return width_; }
+
+  /// Bucket count (power of two); exposed for load-factor tests.
+  std::size_t bucket_count() const { return mask_ + 1; }
+
+  /// Strong 64-bit hash of a `width`-word key: every word is folded through
+  /// a murmur3-style avalanche so single-coordinate deltas (the common case
+  /// for neighboring grid cells) diffuse across the whole word before the
+  /// power-of-two mask truncates it. This replaces the plain FNV-1a the
+  /// `unordered_map` era used, whose low-bit clustering linear probing —
+  /// unlike chaining — cannot tolerate.
+  static std::uint64_t Hash(const std::uint32_t* key, std::size_t width) {
+    std::uint64_t h = 0x9E3779B97F4A7C15ULL ^ (width * 0xFF51AFD7ED558CCDULL);
+    for (std::size_t i = 0; i < width; ++i) {
+      h ^= key[i];
+      h *= 0xFF51AFD7ED558CCDULL;
+      h ^= h >> 33;
+    }
+    h *= 0xC4CEB9FE1A85EC53ULL;
+    h ^= h >> 33;
+    return h;
+  }
+
+  std::uint64_t Hash(const std::vector<std::uint32_t>& key) const {
+    return Hash(key.data(), width_);
+  }
+
+  /// Issues a prefetch for the home bucket of `hash`. Pass 1 of the batch
+  /// probe pipeline calls this for every tracked subspace before pass 2
+  /// executes any Find/Upsert, so the (almost certain) cache misses of K
+  /// independent probes overlap instead of serializing.
+  void Prefetch(std::uint64_t hash) const {
+#if defined(__GNUC__) || defined(__clang__)
+    __builtin_prefetch(buckets_.data() + (hash & mask_) * stride_, 1, 3);
+#else
+    (void)hash;
+#endif
+  }
+
+  /// Value stored under `key`, or kNoValue. `hash` must be Hash(key, width).
+  std::uint32_t Find(const std::uint32_t* key, std::uint64_t hash) const {
+    std::size_t b = hash & mask_;
+    for (;;) {
+      const std::uint32_t* bucket = BucketAt(b);
+      if (bucket[width_] == kNoValue) return kNoValue;
+      if (KeyEquals(bucket, key)) return bucket[width_];
+      b = (b + 1) & mask_;
+    }
+  }
+
+  std::uint32_t Find(const std::vector<std::uint32_t>& key) const {
+    return Find(key.data(), Hash(key.data(), width_));
+  }
+
+  /// Inserts `key` with `value` unless present; returns {current value,
+  /// inserted}. `hash` must be Hash(key, width). The table only grows when
+  /// a genuinely new key would cross the 3/4 load boundary — an upsert of
+  /// an existing key (the common hot-path case) never rehashes.
+  std::pair<std::uint32_t, bool> Insert(const std::uint32_t* key,
+                                        std::uint64_t hash,
+                                        std::uint32_t value) {
+    for (;;) {
+      std::size_t b = hash & mask_;
+      for (;;) {
+        std::uint32_t* bucket = BucketAt(b);
+        if (bucket[width_] == kNoValue) {
+          if ((size_ + 1) * 4 > bucket_count() * 3) {
+            Rehash(bucket_count() * 2);
+            break;  // re-probe against the grown table
+          }
+          for (std::size_t i = 0; i < width_; ++i) bucket[i] = key[i];
+          bucket[width_] = value;
+          ++size_;
+          return {value, true};
+        }
+        if (KeyEquals(bucket, key)) return {bucket[width_], false};
+        b = (b + 1) & mask_;
+      }
+    }
+  }
+
+  std::pair<std::uint32_t, bool> Insert(const std::vector<std::uint32_t>& key,
+                                        std::uint32_t value) {
+    return Insert(key.data(), Hash(key.data(), width_), value);
+  }
+
+  /// Overwrites the value of an existing key (no-op when absent); returns
+  /// whether the key was found.
+  bool Assign(const std::uint32_t* key, std::uint64_t hash,
+              std::uint32_t value) {
+    std::size_t b = hash & mask_;
+    for (;;) {
+      std::uint32_t* bucket = BucketAt(b);
+      if (bucket[width_] == kNoValue) return false;
+      if (KeyEquals(bucket, key)) {
+        bucket[width_] = value;
+        return true;
+      }
+      b = (b + 1) & mask_;
+    }
+  }
+
+  /// Removes `key` via backward-shift: every displaced successor of the
+  /// vacated bucket is moved back toward its home bucket, so no tombstone is
+  /// left and unrelated probe chains crossing the gap stay intact. Returns
+  /// whether the key was present.
+  bool Erase(const std::uint32_t* key, std::uint64_t hash) {
+    std::size_t b = hash & mask_;
+    for (;;) {
+      std::uint32_t* bucket = BucketAt(b);
+      if (bucket[width_] == kNoValue) return false;
+      if (KeyEquals(bucket, key)) break;
+      b = (b + 1) & mask_;
+    }
+    // b holds the doomed entry: shift successors back until a bucket that is
+    // empty or already home closes the chain.
+    std::size_t gap = b;
+    std::size_t j = b;
+    for (;;) {
+      j = (j + 1) & mask_;
+      std::uint32_t* bucket = BucketAt(j);
+      if (bucket[width_] == kNoValue) break;
+      const std::size_t home = Hash(bucket, width_) & mask_;
+      // Move j into the gap iff its home bucket lies cyclically at or before
+      // the gap (i.e. the gap sits inside j's probe chain).
+      if (((j - home) & mask_) >= ((j - gap) & mask_)) {
+        std::uint32_t* g = BucketAt(gap);
+        for (std::size_t i = 0; i < stride_; ++i) g[i] = bucket[i];
+        gap = j;
+      }
+    }
+    BucketAt(gap)[width_] = kNoValue;
+    --size_;
+    return true;
+  }
+
+  bool Erase(const std::vector<std::uint32_t>& key) {
+    return Erase(key.data(), Hash(key.data(), width_));
+  }
+
+  /// Drops every entry, keeping the current bucket array.
+  void Clear() {
+    for (std::size_t b = 0; b <= mask_; ++b) BucketAt(b)[width_] = kNoValue;
+    size_ = 0;
+  }
+
+  /// Grows the bucket array (if needed) to hold `n` entries without
+  /// rehashing mid-insertion — checkpoint loads size this up front.
+  void Reserve(std::size_t n) {
+    const std::size_t want = BucketCountFor(n);
+    if (want > bucket_count()) Rehash(want);
+  }
+
+  /// Visits every occupied bucket as fn(key pointer, value), in bucket
+  /// (hash) order — sort by key before any order-sensitive fold.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (std::size_t b = 0; b <= mask_; ++b) {
+      const std::uint32_t* bucket = BucketAt(b);
+      if (bucket[width_] != kNoValue) fn(bucket, bucket[width_]);
+    }
+  }
+
+ private:
+  std::uint32_t* BucketAt(std::size_t b) { return buckets_.data() + b * stride_; }
+  const std::uint32_t* BucketAt(std::size_t b) const {
+    return buckets_.data() + b * stride_;
+  }
+
+  bool KeyEquals(const std::uint32_t* bucket, const std::uint32_t* key) const {
+    for (std::size_t i = 0; i < width_; ++i) {
+      if (bucket[i] != key[i]) return false;
+    }
+    return true;
+  }
+
+  /// Smallest power-of-two bucket count holding `n` entries under max load
+  /// 3/4 (and never below 8).
+  static std::size_t BucketCountFor(std::size_t n) {
+    std::size_t cap = 8;
+    while (n * 4 > cap * 3) cap <<= 1;
+    return cap;
+  }
+
+  void Rehash(std::size_t new_buckets) {
+    std::vector<std::uint32_t> old = std::move(buckets_);
+    const std::size_t old_buckets = old.empty() ? 0 : (mask_ + 1);
+    buckets_.assign(new_buckets * stride_, 0);
+    mask_ = new_buckets - 1;
+    for (std::size_t b = 0; b < new_buckets; ++b) {
+      BucketAt(b)[width_] = kNoValue;
+    }
+    for (std::size_t b = 0; b < old_buckets; ++b) {
+      const std::uint32_t* bucket = old.data() + b * stride_;
+      if (bucket[width_] == kNoValue) continue;
+      std::size_t dst = Hash(bucket, width_) & mask_;
+      while (BucketAt(dst)[width_] != kNoValue) dst = (dst + 1) & mask_;
+      std::uint32_t* d = BucketAt(dst);
+      for (std::size_t i = 0; i < stride_; ++i) d[i] = bucket[i];
+    }
+  }
+
+  std::size_t width_;
+  std::size_t stride_;               // u32 words per bucket: width_ + 1
+  std::size_t mask_ = 0;             // bucket_count - 1 (power of two)
+  std::size_t size_ = 0;
+  std::vector<std::uint32_t> buckets_;  // inline [key | value] records
+};
+
+}  // namespace spot
+
+#endif  // SPOT_GRID_FLAT_INDEX_H_

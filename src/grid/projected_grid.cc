@@ -18,7 +18,8 @@ ProjectedGrid::ProjectedGrid(Subspace subspace, const Partition* partition,
       model_(model),
       prune_threshold_(prune_threshold),
       compaction_period_(compaction_period),
-      stride_(2 * subspace.Indices().size() + 2) {
+      stride_(2 * subspace.Indices().size() + 2),
+      index_(subspace.Indices().size()) {
   sigma_uniform_.reserve(dims_.size());
   for (int d : dims_) {
     sigma_uniform_.push_back(partition_->CellWidth(d) / std::sqrt(12.0));
@@ -56,32 +57,36 @@ void ProjectedGrid::DecayRecord(double* rec, std::uint64_t tick) const {
   rec[TickOff()] = static_cast<double>(tick);
 }
 
-std::uint32_t ProjectedGrid::UpsertSlot(std::uint64_t tick) {
+std::uint32_t ProjectedGrid::UpsertSlot(const CellCoords& coords,
+                                        std::uint64_t hash,
+                                        std::uint64_t tick) {
   ++hash_probes_;
-  auto [it, inserted] = index_.try_emplace(coords_scratch_, 0);
-  if (!inserted) return it->second;
-  std::uint32_t slot;
+  // Candidate slot chosen before the insert so the index stores the final
+  // value in one pass; it is only consumed when the key is new.
+  const std::uint32_t candidate =
+      free_slots_.empty() ? static_cast<std::uint32_t>(slab_.size() / stride_)
+                          : free_slots_.back();
+  const auto [slot, inserted] = index_.Insert(coords.data(), hash, candidate);
+  if (!inserted) return slot;
   if (!free_slots_.empty()) {
-    slot = free_slots_.back();
     free_slots_.pop_back();
   } else {
-    slot = static_cast<std::uint32_t>(slab_.size() / stride_);
     slab_.resize(slab_.size() + stride_);
   }
-  it->second = slot;
   double* rec = Record(slot);
   for (std::size_t i = 0; i < TickOff(); ++i) rec[i] = 0.0;
   rec[TickOff()] = static_cast<double>(tick);
   return slot;
 }
 
-double* ProjectedGrid::FoldPoint(const std::vector<double>& point,
+double* ProjectedGrid::FoldPoint(const CellCoords& coords, std::uint64_t hash,
+                                 const std::vector<double>& point,
                                  std::uint64_t tick) {
   last_tick_ = tick;
   sumsq_ = SumSqAt(tick);
   sumsq_tick_ = tick;
 
-  double* rec = Record(UpsertSlot(tick));
+  double* rec = Record(UpsertSlot(coords, hash, tick));
   DecayRecord(rec, tick);
   const double old_count = rec[kCount];
   rec[kCount] += 1.0;
@@ -107,7 +112,7 @@ void ProjectedGrid::MaybeCompact(std::uint64_t tick) {
 void ProjectedGrid::Add(const std::vector<double>& point,
                         std::uint64_t tick) {
   BinPoint(point);
-  FoldPoint(point, tick);
+  FoldPoint(coords_scratch_, index_.Hash(coords_scratch_), point, tick);
   MaybeCompact(tick);
 }
 
@@ -115,23 +120,31 @@ void ProjectedGrid::AddAt(const CellCoords& base,
                           const std::vector<double>& point,
                           std::uint64_t tick) {
   ProjectBase(base);
-  FoldPoint(point, tick);
+  FoldPoint(coords_scratch_, index_.Hash(coords_scratch_), point, tick);
   MaybeCompact(tick);
 }
 
 Pcs ProjectedGrid::AddAndQuery(const std::vector<double>& point,
                                std::uint64_t tick, double total_weight) {
   BinPoint(point);
-  const Pcs pcs = PcsFromRecord(FoldPoint(point, tick), 1.0, total_weight);
-  MaybeCompact(tick);
-  return pcs;
+  return AddAndQueryCoords(coords_scratch_, index_.Hash(coords_scratch_),
+                           point, tick, total_weight);
 }
 
 Pcs ProjectedGrid::AddAndQueryAt(const CellCoords& base,
                                  const std::vector<double>& point,
                                  std::uint64_t tick, double total_weight) {
   ProjectBase(base);
-  const Pcs pcs = PcsFromRecord(FoldPoint(point, tick), 1.0, total_weight);
+  return AddAndQueryCoords(coords_scratch_, index_.Hash(coords_scratch_),
+                           point, tick, total_weight);
+}
+
+Pcs ProjectedGrid::AddAndQueryCoords(const CellCoords& coords,
+                                     std::uint64_t hash,
+                                     const std::vector<double>& point,
+                                     std::uint64_t tick, double total_weight) {
+  const Pcs pcs =
+      PcsFromRecord(FoldPoint(coords, hash, point, tick), 1.0, total_weight);
   MaybeCompact(tick);
   return pcs;
 }
@@ -151,9 +164,9 @@ Pcs ProjectedGrid::Query(const std::vector<double>& point,
 Pcs ProjectedGrid::QueryCoords(const CellCoords& coords,
                                double total_weight) const {
   ++hash_probes_;
-  auto it = index_.find(coords);
-  if (it == index_.end()) return Pcs{};
-  const double* rec = Record(it->second);
+  const std::uint32_t slot = index_.Find(coords.data(), index_.Hash(coords));
+  if (slot == FlatIndex::kNoValue) return Pcs{};
+  const double* rec = Record(slot);
   const std::uint64_t rec_tick = static_cast<std::uint64_t>(rec[TickOff()]);
   const double factor =
       rec_tick < last_tick_ ? model_.WeightAtAge(last_tick_ - rec_tick) : 1.0;
@@ -201,9 +214,9 @@ bool ProjectedGrid::IsClusterFringe(const CellCoords& coords,
       static_cast<std::uint32_t>(partition_->cells_per_dim() - 1);
   auto neighbor_is_heavy = [&](const CellCoords& c) {
     ++hash_probes_;
-    auto it = index_.find(c);
-    if (it == index_.end()) return false;
-    const double* rec = Record(it->second);
+    const std::uint32_t slot = index_.Find(c.data(), index_.Hash(c));
+    if (slot == FlatIndex::kNoValue) return false;
+    const double* rec = Record(slot);
     const std::uint64_t rec_tick = static_cast<std::uint64_t>(rec[TickOff()]);
     const double decay =
         rec_tick < last_tick_ ? model_.WeightAtAge(last_tick_ - rec_tick)
@@ -256,35 +269,42 @@ bool ProjectedGrid::IsClusterFringe(const CellCoords& coords,
 }
 
 std::size_t ProjectedGrid::Compact(std::uint64_t tick) {
-  std::size_t removed = 0;
-  std::vector<std::pair<const CellCoords*, double>> survivors;
+  // Backward-shift erasure relocates inline keys, so the sweep is two-pass:
+  // decay every record, sum the survivors through their (still stable) key
+  // pointers, and only then erase the doomed cells — whose coordinates are
+  // the one thing that must be copied out.
+  std::vector<CellCoords> doomed;
+  std::vector<std::pair<const std::uint32_t*, double>> survivors;
   survivors.reserve(index_.size());
-  for (auto it = index_.begin(); it != index_.end();) {
-    double* rec = Record(it->second);
+  index_.ForEach([&](const std::uint32_t* key, std::uint32_t slot) {
+    double* rec = Record(slot);
     DecayRecord(rec, tick);
     if (rec[kCount] < prune_threshold_) {
-      free_slots_.push_back(it->second);
-      it = index_.erase(it);
-      ++removed;
+      free_slots_.push_back(slot);
+      doomed.emplace_back(key, key + index_.key_width());
     } else {
-      survivors.emplace_back(&it->first, rec[kCount]);
-      ++it;
+      survivors.emplace_back(key, rec[kCount]);
     }
-  }
+  });
   // Sweeping visits every cell anyway: recompute the squared-count sum
   // exactly, cancelling any accumulated floating-point drift. The sum runs
-  // in sorted-coordinate order, NOT hash-map iteration order: map order
+  // in sorted-coordinate order, NOT index iteration order: bucket order
   // depends on insertion/erase history, which a checkpoint restore cannot
   // reproduce, and a different FP summation order would break the
   // bit-identical-resume guarantee (DESIGN.md Section 4.3).
+  const std::size_t width = index_.key_width();
   std::sort(survivors.begin(), survivors.end(),
-            [](const auto& a, const auto& b) { return *a.first < *b.first; });
+            [width](const auto& a, const auto& b) {
+              return std::lexicographical_compare(
+                  a.first, a.first + width, b.first, b.first + width);
+            });
   double sumsq = 0.0;
-  for (const auto& [coords, count] : survivors) sumsq += count * count;
+  for (const auto& [key, count] : survivors) sumsq += count * count;
   sumsq_ = sumsq;
   sumsq_tick_ = tick;
   if (tick > last_tick_) last_tick_ = tick;
-  return removed;
+  for (const CellCoords& coords : doomed) index_.Erase(coords);
+  return doomed.size();
 }
 
 void ProjectedGrid::SaveState(CheckpointWriter& w) const {
@@ -294,14 +314,16 @@ void ProjectedGrid::SaveState(CheckpointWriter& w) const {
   w.F64(sumsq_);
   w.U64(sumsq_tick_);
   w.U64(hash_probes_);
-  std::vector<std::pair<const CellCoords*, std::uint32_t>> order;
+  std::vector<std::pair<CellCoords, std::uint32_t>> order;
   order.reserve(index_.size());
-  for (const auto& [coords, slot] : index_) order.emplace_back(&coords, slot);
+  index_.ForEach([&](const std::uint32_t* key, std::uint32_t slot) {
+    order.emplace_back(CellCoords(key, key + index_.key_width()), slot);
+  });
   std::sort(order.begin(), order.end(),
-            [](const auto& a, const auto& b) { return *a.first < *b.first; });
+            [](const auto& a, const auto& b) { return a.first < b.first; });
   w.U64(order.size());
   for (const auto& [coords, slot] : order) {
-    w.Coords(*coords);
+    w.Coords(coords);
     const double* rec = Record(slot);
     for (std::size_t i = 0; i < stride_; ++i) w.F64(rec[i]);
   }
@@ -316,15 +338,18 @@ bool ProjectedGrid::LoadState(CheckpointReader& r) {
   hash_probes_ = r.U64();
   const std::uint64_t count = r.U64();
   if (count > (1u << 24)) return r.Fail();  // corrupt count prefix
-  index_.clear();
+  index_.Clear();
   slab_.clear();
   free_slots_.clear();
   // Reserve conservatively: a corrupt-but-in-cap count must fail on the
   // per-cell reads below, not abort inside an oversized allocation.
   const std::size_t reserve =
       static_cast<std::size_t>(count < (1u << 20) ? count : (1u << 20));
-  index_.reserve(reserve);
+  index_.Reserve(reserve);
   slab_.reserve(reserve * stride_);
+  // The stream is sorted by coordinates (SaveState's canonical order), and
+  // slots are assigned densely in that order: restored slab layout — and
+  // therefore every later sorted-order fold — is deterministic.
   for (std::uint64_t i = 0; i < count && r.ok(); ++i) {
     CellCoords coords = r.Coords();
     if (coords.size() != dims_.size()) return r.Fail();
@@ -332,7 +357,7 @@ bool ProjectedGrid::LoadState(CheckpointReader& r) {
     slab_.resize(slab_.size() + stride_);
     double* rec = Record(slot);
     for (std::size_t k = 0; k < stride_; ++k) rec[k] = r.F64();
-    if (!index_.emplace(std::move(coords), slot).second) {
+    if (!index_.Insert(coords.data(), index_.Hash(coords), slot).second) {
       return r.Fail();  // duplicate cell: corrupt checkpoint
     }
   }

@@ -2,10 +2,10 @@
 #define SPOT_GRID_PROJECTED_GRID_H_
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "grid/decay.h"
+#include "grid/flat_index.h"
 #include "grid/partition.h"
 #include "grid/pcs.h"
 #include "subspace/subspace.h"
@@ -26,10 +26,18 @@ class CheckpointWriter;
 ///
 ///     [count, ls[0..k), ss[0..k), last_tick]     (stride = 2k + 2)
 ///
-/// indexed by a CellCoords -> slot hash map, with a free list recycling the
+/// indexed by a FlatIndex (open-addressing CellCoords -> slot table with
+/// inline keys, DESIGN.md Section 3.9), with a free list recycling the
 /// slots of pruned cells. Cell updates and queries therefore touch one
 /// contiguous record and never allocate per cell (DESIGN.md Section 3.5).
 /// Ticks are stored as doubles, exact for streams shorter than 2^53 points.
+///
+/// The batch probe pipeline: callers that update many grids per point (the
+/// SynapseManager hot path) or many points per grid (the shard fold) split
+/// each probe into PrefetchCoords — hash once, prefetch the home bucket —
+/// and AddAndQueryCoords — execute the fused update+query with the staged
+/// hash — so independent probes overlap their cache misses instead of
+/// serializing them.
 ///
 /// Threading: a grid instance is single-threaded. Update paths reuse a
 /// coordinate scratch buffer, and every probe (including const queries)
@@ -64,6 +72,34 @@ class ProjectedGrid {
   /// Update-only variant of AddAndQueryAt.
   void AddAt(const CellCoords& base, const std::vector<double>& point,
              std::uint64_t tick);
+
+  // --- Batch probe pipeline (pass 1 / pass 2) ----------------------------
+
+  /// Projects base-cell coordinates onto this grid's subspace into `out`
+  /// (resized as needed) — the caller-owned staging buffer of the probe
+  /// pipeline.
+  void ProjectBaseInto(const CellCoords& base, CellCoords* out) const {
+    out->resize(dims_.size());
+    for (std::size_t i = 0; i < dims_.size(); ++i) {
+      (*out)[i] = base[static_cast<std::size_t>(dims_[i])];
+    }
+  }
+
+  /// Pass 1: hashes caller-projected coordinates once and prefetches their
+  /// home bucket. Returns the hash for the matching AddAndQueryCoords call.
+  /// Purely a cache hint — performs no probe and bumps no counter.
+  std::uint64_t PrefetchCoords(const CellCoords& coords) const {
+    const std::uint64_t hash = index_.Hash(coords);
+    index_.Prefetch(hash);
+    return hash;
+  }
+
+  /// Pass 2: fused update + query from caller-projected coordinates and
+  /// their PrefetchCoords hash — the hash is computed exactly once per
+  /// probe across the whole pipeline.
+  Pcs AddAndQueryCoords(const CellCoords& coords, std::uint64_t hash,
+                        const std::vector<double>& point, std::uint64_t tick,
+                        double total_weight);
 
   /// PCS of the cell containing `point`, computed against the decayed total
   /// weight `total_weight` of the stream (supplied by the caller so every
@@ -116,15 +152,18 @@ class ProjectedGrid {
 
   /// Cell-index hash probes performed so far (Add / Query / fused / fringe).
   /// The fused path costs one probe per point where Add+Query costs two.
+  /// Prefetches are hints, not probes, and are not counted — the pipeline
+  /// leaves this trajectory identical to the unpipelined path.
   std::uint64_t hash_probes() const { return hash_probes_; }
 
   /// Checkpointing: live cell records (in sorted coordinate order, so equal
   /// grids serialize byte-identically), the clock, the incremental
   /// squared-count sum and the compaction cadence all round-trip exactly.
-  /// Slot numbering and the free list are *not* preserved — they are
-  /// storage bookkeeping with no observable effect (LoadState rebuilds a
-  /// dense slab; every verdict-relevant computation is keyed by cell
-  /// coordinates or iterated in a coordinate-canonical order).
+  /// Slot numbering, the free list and the flat index's bucket layout are
+  /// *not* preserved — they are storage bookkeeping with no observable
+  /// effect (LoadState rebuilds a dense slab from the sorted stream; every
+  /// verdict-relevant computation is keyed by cell coordinates or iterated
+  /// in a coordinate-canonical order).
   void SaveState(CheckpointWriter& w) const;
   bool LoadState(CheckpointReader& r);
 
@@ -145,13 +184,15 @@ class ProjectedGrid {
   /// Decays every aggregate of `rec` in place to `tick`.
   void DecayRecord(double* rec, std::uint64_t tick) const;
 
-  /// Slot of the cell at `coords_scratch_`, allocating (from the free list,
-  /// else by growing the slab) when absent. One hash probe.
-  std::uint32_t UpsertSlot(std::uint64_t tick);
+  /// Slot of the cell at `coords` (whose hash is `hash`), allocating (from
+  /// the free list, else by growing the slab) when absent. One hash probe.
+  std::uint32_t UpsertSlot(const CellCoords& coords, std::uint64_t hash,
+                           std::uint64_t tick);
 
   /// Fused core shared by every update entry point: upserts the cell of
-  /// `coords_scratch_`, decays it, folds `point` in, and returns its record.
-  double* FoldPoint(const std::vector<double>& point, std::uint64_t tick);
+  /// `coords`, decays it, folds `point` in, and returns its record.
+  double* FoldPoint(const CellCoords& coords, std::uint64_t hash,
+                    const std::vector<double>& point, std::uint64_t tick);
 
   /// PCS of a record whose stored aggregates are `factor` away from being
   /// current (factor = alpha^(last_tick_ - record tick); 1 when fresh).
@@ -183,7 +224,7 @@ class ProjectedGrid {
   std::size_t stride_;                   // doubles per record: 2|s| + 2
   std::vector<double> slab_;             // record arena
   std::vector<std::uint32_t> free_slots_;
-  std::unordered_map<CellCoords, std::uint32_t, CellCoordsHash> index_;
+  FlatIndex index_;                      // coords -> slot, keys inline
   CellCoords coords_scratch_;            // reused across update calls
   mutable std::uint64_t hash_probes_ = 0;
 };

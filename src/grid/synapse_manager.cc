@@ -4,6 +4,17 @@
 
 namespace spot {
 
+namespace {
+
+/// FlatIndex key of a subspace: the 64-bit attribute mask split into two
+/// 32-bit words (low word first).
+inline void SubspaceKey(const Subspace& s, std::uint32_t out[2]) {
+  out[0] = static_cast<std::uint32_t>(s.bits() & 0xFFFFFFFFULL);
+  out[1] = static_cast<std::uint32_t>(s.bits() >> 32);
+}
+
+}  // namespace
+
 SynapseManager::SynapseManager(Partition partition, DecayModel model,
                                double prune_threshold,
                                std::uint64_t compaction_period)
@@ -11,12 +22,22 @@ SynapseManager::SynapseManager(Partition partition, DecayModel model,
       model_(model),
       prune_threshold_(prune_threshold),
       compaction_period_(compaction_period),
-      base_(partition_, model_, prune_threshold_, compaction_period_) {}
+      base_(partition_, model_, prune_threshold_, compaction_period_),
+      by_subspace_(2) {}
+
+std::uint32_t SynapseManager::IndexOf(const Subspace& s) const {
+  std::uint32_t key[2];
+  SubspaceKey(s, key);
+  return by_subspace_.Find(key, FlatIndex::Hash(key, 2));
+}
 
 void SynapseManager::Track(const Subspace& s) {
   if (s.IsEmpty() || IsTracked(s)) return;
   ++revision_;
-  by_subspace_.emplace(s, grids_.size());
+  std::uint32_t key[2];
+  SubspaceKey(s, key);
+  by_subspace_.Insert(key, FlatIndex::Hash(key, 2),
+                      static_cast<std::uint32_t>(grids_.size()));
   grids_.push_back(
       {s, revision_,
        std::make_unique<ProjectedGrid>(s, &partition_, model_,
@@ -25,20 +46,22 @@ void SynapseManager::Track(const Subspace& s) {
 }
 
 void SynapseManager::Untrack(const Subspace& s) {
-  auto it = by_subspace_.find(s);
-  if (it == by_subspace_.end()) return;
+  std::uint32_t key[2];
+  SubspaceKey(s, key);
+  const std::uint32_t idx = by_subspace_.Find(key, FlatIndex::Hash(key, 2));
+  if (idx == FlatIndex::kNoValue) return;
   ++revision_;
-  const std::size_t idx = it->second;
-  by_subspace_.erase(it);
+  by_subspace_.Erase(key, FlatIndex::Hash(key, 2));
   if (idx != grids_.size() - 1) {
     grids_[idx] = std::move(grids_.back());
-    by_subspace_[grids_[idx].subspace] = idx;
+    SubspaceKey(grids_[idx].subspace, key);
+    by_subspace_.Assign(key, FlatIndex::Hash(key, 2), idx);
   }
   grids_.pop_back();
 }
 
 bool SynapseManager::IsTracked(const Subspace& s) const {
-  return by_subspace_.find(s) != by_subspace_.end();
+  return IndexOf(s) != FlatIndex::kNoValue;
 }
 
 void SynapseManager::Add(const std::vector<double>& point,
@@ -53,32 +76,44 @@ void SynapseManager::AddAndQuery(const std::vector<double>& point,
   partition_.BaseCellInto(point, &base_scratch_);
   base_.AddAt(base_scratch_, point, tick);
   const double total_weight = base_.TotalWeight();
-  out->resize(grids_.size());
-  for (std::size_t i = 0; i < grids_.size(); ++i) {
-    (*out)[i] = grids_[i].grid->AddAndQueryAt(base_scratch_, point, tick,
-                                              total_weight);
+  const std::size_t k = grids_.size();
+  out->resize(k);
+  if (probe_coords_.size() < k) probe_coords_.resize(k);
+  probe_hashes_.resize(k);
+  // Pass 1 — project + hash each tracked subspace's coordinates once and
+  // prefetch their home buckets: K independent cache misses start flowing
+  // before any probe executes.
+  for (std::size_t i = 0; i < k; ++i) {
+    const ProjectedGrid& grid = *grids_[i].grid;
+    grid.ProjectBaseInto(base_scratch_, &probe_coords_[i]);
+    probe_hashes_[i] = grid.PrefetchCoords(probe_coords_[i]);
+  }
+  // Pass 2 — execute the fused update+queries with the staged coords+hash.
+  for (std::size_t i = 0; i < k; ++i) {
+    (*out)[i] = grids_[i].grid->AddAndQueryCoords(
+        probe_coords_[i], probe_hashes_[i], point, tick, total_weight);
   }
 }
 
-double SynapseManager::AddBase(const CellCoords& coords,
+double SynapseManager::AddBase(const CellCoords& coords, std::uint64_t hash,
                                const std::vector<double>& point,
                                std::uint64_t tick) {
-  base_.AddAt(coords, point, tick);
+  base_.AddAt(coords, hash, point, tick);
   return base_.TotalWeight();
 }
 
 Pcs SynapseManager::Query(const std::vector<double>& point,
                           const Subspace& s) const {
-  auto it = by_subspace_.find(s);
-  if (it == by_subspace_.end()) return Pcs{};
-  return grids_[it->second].grid->Query(point, base_.TotalWeight());
+  const std::uint32_t idx = IndexOf(s);
+  if (idx == FlatIndex::kNoValue) return Pcs{};
+  return grids_[idx].grid->Query(point, base_.TotalWeight());
 }
 
 bool SynapseManager::IsClusterFringe(const std::vector<double>& point,
                                      const Subspace& s, double cell_count,
                                      double factor) const {
-  auto it = by_subspace_.find(s);
-  if (it == by_subspace_.end()) return false;
+  const std::uint32_t idx = IndexOf(s);
+  if (idx == FlatIndex::kNoValue) return false;
   CellCoords coords;
   const std::vector<int> dims = s.Indices();
   coords.reserve(dims.size());
@@ -86,7 +121,7 @@ bool SynapseManager::IsClusterFringe(const std::vector<double>& point,
     coords.push_back(
         partition_.IntervalIndex(d, point[static_cast<std::size_t>(d)]));
   }
-  return grids_[it->second].grid->IsClusterFringe(coords, cell_count, factor);
+  return grids_[idx].grid->IsClusterFringe(coords, cell_count, factor);
 }
 
 std::vector<Subspace> SynapseManager::TrackedSubspaces() const {
@@ -139,7 +174,7 @@ bool SynapseManager::LoadState(CheckpointReader& r) {
   const std::uint64_t count = r.U64();
   if (count > (1u << 24)) return r.Fail();
   grids_.clear();
-  by_subspace_.clear();
+  by_subspace_.Clear();
   // Reserve conservatively: a corrupt-but-in-cap count must fail on the
   // per-grid reads below, not abort inside an oversized allocation.
   grids_.reserve(
@@ -154,7 +189,12 @@ bool SynapseManager::LoadState(CheckpointReader& r) {
     const Subspace s(r.U64());
     const std::uint64_t serial = r.U64();
     if (s.IsEmpty() || (s.bits() & ~valid_mask) != 0) return r.Fail();
-    if (!by_subspace_.emplace(s, grids_.size()).second) {
+    std::uint32_t key[2];
+    SubspaceKey(s, key);
+    if (!by_subspace_
+             .Insert(key, FlatIndex::Hash(key, 2),
+                     static_cast<std::uint32_t>(grids_.size()))
+             .second) {
       return r.Fail();  // duplicate tracked subspace
     }
     grids_.push_back(

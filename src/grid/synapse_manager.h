@@ -3,11 +3,11 @@
 
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "grid/base_grid.h"
 #include "grid/decay.h"
+#include "grid/flat_index.h"
 #include "grid/partition.h"
 #include "grid/pcs.h"
 #include "grid/projected_grid.h"
@@ -67,6 +67,12 @@ class SynapseManager {
   /// performs exactly one cell-index hash probe per tracked subspace where
   /// Add() followed by per-subspace Query() performs two (plus a grid-table
   /// probe).
+  ///
+  /// The probe loop runs as a two-pass pipeline: pass 1 projects and hashes
+  /// every tracked subspace's coordinates and prefetches their index
+  /// buckets; pass 2 executes the fused update+queries against
+  /// already-inbound cache lines — the K independent probe misses overlap
+  /// instead of serializing (DESIGN.md Section 3.9).
   void AddAndQuery(const std::vector<double>& point, std::uint64_t tick,
                    std::vector<Pcs>* out);
 
@@ -80,9 +86,11 @@ class SynapseManager {
   /// Folds one point into the base grid only — the sharded engine fans the
   /// projected-grid updates out to shard workers — and returns the decayed
   /// total stream weight right after the fold, which is the authoritative W
-  /// that every subspace query for this point must use.
-  double AddBase(const CellCoords& coords, const std::vector<double>& point,
-                 std::uint64_t tick);
+  /// that every subspace query for this point must use. `hash` is the value
+  /// BaseGrid::PrefetchCoords staged one point ahead, so the batch path
+  /// hashes each base cell exactly once.
+  double AddBase(const CellCoords& coords, std::uint64_t hash,
+                 const std::vector<double>& point, std::uint64_t tick);
 
   /// PCS of `point`'s cell in tracked subspace `s` (PCS{} if untracked).
   Pcs Query(const std::vector<double>& point, const Subspace& s) const;
@@ -153,14 +161,21 @@ class SynapseManager {
     std::unique_ptr<ProjectedGrid> grid;
   };
 
+  /// Dense index of `s` in grids_, or FlatIndex::kNoValue when untracked.
+  std::uint32_t IndexOf(const Subspace& s) const;
+
   Partition partition_;
   DecayModel model_;
   double prune_threshold_;
   std::uint64_t compaction_period_;
   BaseGrid base_;
   std::vector<TrackedGrid> grids_;  // dense, iterated on the hot path
-  std::unordered_map<Subspace, std::size_t, SubspaceHash> by_subspace_;
+  FlatIndex by_subspace_;    // subspace mask (2 words) -> dense grid index
   CellCoords base_scratch_;  // base-cell coords, binned once per point
+  // Staging buffers of the two-pass probe pipeline: per tracked grid, the
+  // projected coordinates and their hash from pass 1, consumed by pass 2.
+  std::vector<CellCoords> probe_coords_;
+  std::vector<std::uint64_t> probe_hashes_;
   std::uint64_t revision_ = 0;
 };
 

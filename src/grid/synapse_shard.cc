@@ -1,5 +1,7 @@
 #include "grid/synapse_shard.h"
 
+#include <utility>
+
 namespace spot {
 
 void SynapseShard::ProcessColumn(ShardColumn* column, const BatchFrame& frame,
@@ -7,13 +9,28 @@ void SynapseShard::ProcessColumn(ShardColumn* column, const BatchFrame& frame,
                                  const ShardRunParams& params) {
   ProjectedGrid& grid = *column->grid;
   const std::vector<DataPoint>& points = *frame.points;
-  const std::vector<int> dims = grid.subspace().Indices();
-  CellCoords projected(dims.size());
+
+  // Software-pipelined batch probe: while point j's fused update+query
+  // executes, point j+1's projected coordinates are already hashed and its
+  // index bucket prefetched — consecutive probes against the same grid
+  // overlap their cache misses instead of serializing (the prefetched
+  // address can go stale across a rehash; that only costs the hint).
+  const std::size_t width = grid.subspace().Indices().size();
+  CellCoords cur(width);
+  CellCoords next(width);
+  if (begin >= end) return;
+  grid.ProjectBaseInto(frame.base_coords[begin], &cur);
+  std::uint64_t cur_hash = grid.PrefetchCoords(cur);
   for (std::size_t j = begin; j < end; ++j) {
+    std::uint64_t next_hash = 0;
+    if (j + 1 < end) {
+      grid.ProjectBaseInto(frame.base_coords[j + 1], &next);
+      next_hash = grid.PrefetchCoords(next);
+    }
     const std::vector<double>& values = points[j].values;
-    const Pcs pcs = grid.AddAndQueryAt(frame.base_coords[j], values,
-                                       frame.ticks[j],
-                                       frame.total_weights[j]);
+    const Pcs pcs = grid.AddAndQueryCoords(cur, cur_hash, values,
+                                           frame.ticks[j],
+                                           frame.total_weights[j]);
     column->pcs[j] = pcs;
     // Mirror the sequential detection policy exactly: the fringe
     // neighborhood is probed only for sparse cells, against the grid state
@@ -22,14 +39,11 @@ void SynapseShard::ProcessColumn(ShardColumn* column, const BatchFrame& frame,
     bool veto = false;
     if (params.fringe_factor > 0.0 &&
         pcs.IsSparse(params.rd_threshold, params.irsd_threshold)) {
-      for (std::size_t k = 0; k < dims.size(); ++k) {
-        projected[k] =
-            frame.base_coords[j][static_cast<std::size_t>(dims[k])];
-      }
-      veto = grid.IsClusterFringe(projected, pcs.count,
-                                  params.fringe_factor);
+      veto = grid.IsClusterFringe(cur, pcs.count, params.fringe_factor);
     }
     column->vetoed[j] = veto ? 1 : 0;
+    std::swap(cur, next);
+    cur_hash = next_hash;
   }
 }
 
