@@ -65,6 +65,23 @@ inline std::string TakeStringFlag(std::vector<std::string>* args,
   return value;
 }
 
+/// Presence flag: removes every bare `--<name>` from `args`, returning
+/// true when at least one occurrence was found.
+inline bool TakeBoolFlag(std::vector<std::string>* args,
+                         const std::string& name) {
+  const std::string flag = "--" + name;
+  bool found = false;
+  for (std::size_t i = 0; i < args->size();) {
+    if ((*args)[i] == flag) {
+      found = true;
+      args->erase(args->begin() + static_cast<long>(i));
+    } else {
+      ++i;
+    }
+  }
+  return found;
+}
+
 /// TakeStringFlag for non-negative integer flags; malformed or absent
 /// values yield `fallback`.
 inline std::size_t TakeSizeFlag(std::vector<std::string>* args,

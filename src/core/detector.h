@@ -65,6 +65,22 @@ struct SpotStats {
                ? static_cast<double>(points_processed) / detection_seconds
                : 0.0;
   }
+
+  /// Network-ingest transport counters, maintained by the serving layer
+  /// (src/net/spot_server.cc via SpotService::RecordNetwork) when the
+  /// detector backs a wire session; a standalone detector leaves them
+  /// zero. Like detection_seconds these are transport measurement, not
+  /// detector state: they are excluded from checkpoints and survive
+  /// session eviction at the service layer.
+  std::uint64_t frames_received = 0;
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+  /// Times the server paused reading the session's connection because its
+  /// outbound verdict queue hit the backpressure cap.
+  std::uint64_t backpressure_stalls = 0;
+  /// Peak number of coalesced points pending for the session before a
+  /// batch was cut (the server-side queue-depth high-water mark).
+  std::uint64_t net_queue_peak = 0;
 };
 
 /// The Stream Projected Outlier deTector.
@@ -112,6 +128,12 @@ class SpotDetector {
       const std::vector<std::vector<double>>& batch);
 
   bool learned() const { return synapses_ != nullptr; }
+  /// Attribute count the detector was trained on (0 before Learn()).
+  /// Callers feeding externally sourced points (e.g. the network ingest
+  /// layer) validate widths against this before Process/ProcessBatch.
+  int dimension() const {
+    return partition_.has_value() ? partition_->num_dims() : 0;
+  }
   const Sst& sst() const { return sst_; }
   const SynapseManager& synapses() const { return *synapses_; }
   const SpotStats& stats() const { return stats_; }

@@ -1,0 +1,457 @@
+#include "net/protocol.h"
+
+#include <cstring>
+#include <sstream>
+
+#include "core/checkpoint.h"
+
+namespace spot {
+namespace net {
+
+namespace {
+
+/// The config section of a kCreateSession payload is the checkpoint
+/// format's own config encoding (WriteConfigBinary / ReadConfigBinary), so
+/// the wire carries every nested learning knob and the two serializers
+/// cannot drift apart.
+std::string ConfigBlob(const SpotConfig& config) {
+  std::ostringstream out;
+  CheckpointWriter w(&out);
+  WriteConfigBinary(w, config);
+  return out.str();
+}
+
+bool ParseConfigBlob(const std::string& blob, SpotConfig* out) {
+  std::istringstream in(blob);
+  CheckpointReader r(&in);
+  return ReadConfigBinary(r, out) && r.ok();
+}
+
+}  // namespace
+
+bool IsRequestType(std::uint8_t type) {
+  return type >= static_cast<std::uint8_t>(MsgType::kCreateSession) &&
+         type <= static_cast<std::uint8_t>(MsgType::kCloseSession);
+}
+
+std::uint32_t Crc32(const void* data, std::size_t len) {
+  // Table-driven IEEE CRC-32 (reflected polynomial 0xEDB88320), the same
+  // checksum zlib and PNG use; the table is built once on first use.
+  static const std::uint32_t* kTable = [] {
+    static std::uint32_t table[256];
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      table[i] = c;
+    }
+    return table;
+  }();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    crc = kTable[(crc ^ p[i]) & 0xFF] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+// ---------------------------------------------------------------- writer --
+
+void WireWriter::U16(std::uint16_t v) {
+  buf_.push_back(static_cast<char>(v & 0xFF));
+  buf_.push_back(static_cast<char>((v >> 8) & 0xFF));
+}
+
+void WireWriter::U32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void WireWriter::U64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void WireWriter::F64(double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v), "IEEE-754 double expected");
+  std::memcpy(&bits, &v, sizeof(bits));
+  U64(bits);
+}
+
+void WireWriter::Str(const std::string& s) {
+  U32(static_cast<std::uint32_t>(s.size()));
+  buf_.append(s);
+}
+
+// ---------------------------------------------------------------- reader --
+
+std::uint8_t WireReader::U8() {
+  if (failed_ || pos_ + 1 > len_) {
+    failed_ = true;
+    return 0;
+  }
+  return static_cast<std::uint8_t>(data_[pos_++]);
+}
+
+std::uint16_t WireReader::U16() {
+  if (failed_ || pos_ + 2 > len_) {
+    failed_ = true;
+    return 0;
+  }
+  std::uint16_t v = 0;
+  for (int i = 0; i < 2; ++i) {
+    v = static_cast<std::uint16_t>(
+        v | static_cast<std::uint16_t>(
+                static_cast<unsigned char>(data_[pos_ + i]))
+                << (8 * i));
+  }
+  pos_ += 2;
+  return v;
+}
+
+std::uint32_t WireReader::U32() {
+  if (failed_ || pos_ + 4 > len_) {
+    failed_ = true;
+    return 0;
+  }
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(
+             static_cast<unsigned char>(data_[pos_ + i]))
+         << (8 * i);
+  }
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t WireReader::U64() {
+  if (failed_ || pos_ + 8 > len_) {
+    failed_ = true;
+    return 0;
+  }
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(
+             static_cast<unsigned char>(data_[pos_ + i]))
+         << (8 * i);
+  }
+  pos_ += 8;
+  return v;
+}
+
+double WireReader::F64() {
+  const std::uint64_t bits = U64();
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::string WireReader::Str() {
+  const std::uint32_t n = U32();
+  if (failed_ || pos_ + n > len_) {
+    failed_ = true;
+    return std::string();
+  }
+  std::string s(data_ + pos_, n);
+  pos_ += n;
+  return s;
+}
+
+bool WireReader::Fail() {
+  failed_ = true;
+  return false;
+}
+
+// ---------------------------------------------------------------- frames --
+
+std::string EncodeFrame(MsgType type, const std::string& payload) {
+  WireWriter w;
+  w.U32(kFrameMagic);
+  w.U8(kWireVersion);
+  w.U8(static_cast<std::uint8_t>(type));
+  w.U16(0);  // flags
+  w.U32(static_cast<std::uint32_t>(payload.size()));
+  w.U32(Crc32(payload.data(), payload.size()));
+  std::string out = w.Take();
+  out.append(payload);
+  return out;
+}
+
+void FrameDecoder::Append(const char* data, std::size_t len) {
+  if (corrupt_) return;
+  buf_.append(data, len);
+}
+
+FrameDecoder::Status FrameDecoder::Corrupt(const std::string& reason) {
+  corrupt_ = true;
+  error_ = reason;
+  return Status::kCorrupt;
+}
+
+FrameDecoder::Status FrameDecoder::Next(Frame* out) {
+  if (corrupt_) return Status::kCorrupt;
+  if (buf_.size() - off_ < kFrameHeaderBytes) {
+    // Reclaim consumed prefix while idle so a long-lived connection does
+    // not grow the buffer without bound.
+    if (off_ > 0) {
+      buf_.erase(0, off_);
+      off_ = 0;
+    }
+    return Status::kNeedMore;
+  }
+  WireReader header(buf_.data() + off_, kFrameHeaderBytes);
+  const std::uint32_t magic = header.U32();
+  const std::uint8_t version = header.U8();
+  const std::uint8_t type = header.U8();
+  const std::uint16_t flags = header.U16();
+  const std::uint32_t payload_len = header.U32();
+  const std::uint32_t payload_crc = header.U32();
+  if (magic != kFrameMagic) return Corrupt("bad frame magic");
+  if (version != kWireVersion) return Corrupt("unknown protocol version");
+  if (flags != 0) return Corrupt("non-zero reserved flags");
+  if (payload_len > max_payload_) return Corrupt("oversized frame payload");
+  if (buf_.size() - off_ < kFrameHeaderBytes + payload_len) {
+    return Status::kNeedMore;
+  }
+  const char* payload = buf_.data() + off_ + kFrameHeaderBytes;
+  if (Crc32(payload, payload_len) != payload_crc) {
+    return Corrupt("payload CRC mismatch");
+  }
+  out->type = static_cast<MsgType>(type);
+  out->payload.assign(payload, payload_len);
+  off_ += kFrameHeaderBytes + payload_len;
+  if (off_ == buf_.size()) {
+    buf_.clear();
+    off_ = 0;
+  }
+  return Status::kFrame;
+}
+
+// -------------------------------------------------------- request codecs --
+
+std::string EncodeCreateSession(const CreateSessionReq& req) {
+  WireWriter w;
+  w.Str(req.session_id);
+  w.Str(ConfigBlob(req.config));
+  const std::uint32_t rows = static_cast<std::uint32_t>(req.training.size());
+  const std::uint32_t dims =
+      rows > 0 ? static_cast<std::uint32_t>(req.training.front().size()) : 0;
+  w.U32(rows);
+  w.U32(dims);
+  for (const auto& row : req.training) {
+    for (double v : row) w.F64(v);
+  }
+  return w.Take();
+}
+
+bool DecodeCreateSession(const std::string& payload, CreateSessionReq* out) {
+  WireReader r(payload);
+  out->session_id = r.Str();
+  const std::string blob = r.Str();
+  if (!r.ok() || !ParseConfigBlob(blob, &out->config)) return r.Fail();
+  const std::uint32_t rows = r.U32();
+  const std::uint32_t dims = r.U32();
+  if (!r.ok()) return false;
+  // A training matrix that claims more cells than the payload holds would
+  // be a corrupt (or hostile) length field; bound before allocating.
+  // Divide instead of multiplying so a crafted rows*dims cannot wrap
+  // mod 2^64 past the check, and reject zero-width rows outright (rows of
+  // no attributes cost allocation but can never be valid training).
+  if (rows > 0 && (dims == 0 || rows > payload.size() / (8ull * dims))) {
+    return r.Fail();
+  }
+  out->training.assign(rows, std::vector<double>(dims));
+  for (auto& row : out->training) {
+    for (auto& v : row) v = r.F64();
+  }
+  return r.AtEnd();
+}
+
+std::string EncodeResumeSession(const ResumeSessionReq& req) {
+  WireWriter w;
+  w.Str(req.session_id);
+  return w.Take();
+}
+
+bool DecodeResumeSession(const std::string& payload, ResumeSessionReq* out) {
+  WireReader r(payload);
+  out->session_id = r.Str();
+  return r.AtEnd();
+}
+
+std::string EncodeIngest(const IngestReq& req) {
+  WireWriter w;
+  w.Str(req.session_id);
+  const std::uint32_t count = static_cast<std::uint32_t>(req.points.size());
+  const std::uint32_t dims =
+      count > 0
+          ? static_cast<std::uint32_t>(req.points.front().values.size())
+          : 0;
+  w.U32(count);
+  w.U32(dims);
+  for (const auto& p : req.points) {
+    w.U64(p.id);
+    for (double v : p.values) w.F64(v);
+  }
+  return w.Take();
+}
+
+bool DecodeIngest(const std::string& payload, IngestReq* out) {
+  WireReader r(payload);
+  out->session_id = r.Str();
+  const std::uint32_t count = r.U32();
+  const std::uint32_t dims = r.U32();
+  if (!r.ok()) return false;
+  // Each point occupies 8 + 8*dims bytes; divide (never multiply by the
+  // untrusted count) so a crafted count*dims cannot wrap mod 2^64 past
+  // this bound and force a huge allocation.
+  if (count > payload.size() / (8ull + 8ull * dims)) {
+    return r.Fail();
+  }
+  out->points.assign(count, DataPoint{});
+  for (auto& p : out->points) {
+    p.id = r.U64();
+    p.values.resize(dims);
+    for (auto& v : p.values) v = r.F64();
+  }
+  return r.AtEnd();
+}
+
+std::string EncodeFlush(const FlushReq& req) {
+  WireWriter w;
+  w.Str(req.session_id);
+  return w.Take();
+}
+
+bool DecodeFlush(const std::string& payload, FlushReq* out) {
+  WireReader r(payload);
+  out->session_id = r.Str();
+  return r.AtEnd();
+}
+
+std::string EncodeCheckpoint(const CheckpointReq& req) {
+  WireWriter w;
+  w.Str(req.session_id);
+  return w.Take();
+}
+
+bool DecodeCheckpoint(const std::string& payload, CheckpointReq* out) {
+  WireReader r(payload);
+  out->session_id = r.Str();
+  return r.AtEnd();
+}
+
+std::string EncodeCloseSession(const CloseSessionReq& req) {
+  WireWriter w;
+  w.Str(req.session_id);
+  w.Bool(req.persist);
+  return w.Take();
+}
+
+bool DecodeCloseSession(const std::string& payload, CloseSessionReq* out) {
+  WireReader r(payload);
+  out->session_id = r.Str();
+  out->persist = r.Bool();
+  return r.AtEnd();
+}
+
+// ------------------------------------------------------- response codecs --
+
+std::string EncodeOk(const OkResp& resp) {
+  WireWriter w;
+  w.U8(resp.request_type);
+  return w.Take();
+}
+
+bool DecodeOk(const std::string& payload, OkResp* out) {
+  WireReader r(payload);
+  out->request_type = r.U8();
+  return r.AtEnd();
+}
+
+std::string EncodeError(const ErrorResp& resp) {
+  WireWriter w;
+  w.U8(resp.request_type);
+  w.Str(resp.message);
+  return w.Take();
+}
+
+bool DecodeError(const std::string& payload, ErrorResp* out) {
+  WireReader r(payload);
+  out->request_type = r.U8();
+  out->message = r.Str();
+  return r.AtEnd();
+}
+
+void EncodeVerdictList(const std::vector<SpotResult>& verdicts,
+                       WireWriter* w) {
+  w->U32(static_cast<std::uint32_t>(verdicts.size()));
+  for (const SpotResult& v : verdicts) {
+    w->Bool(v.is_outlier);
+    w->F64(v.score);
+    w->U32(static_cast<std::uint32_t>(v.findings.size()));
+    for (const SubspaceFinding& f : v.findings) {
+      w->U64(f.subspace.bits());
+      w->F64(f.pcs.rd);
+      w->F64(f.pcs.irsd);
+      w->F64(f.pcs.count);
+    }
+  }
+}
+
+bool DecodeVerdictList(WireReader* r, std::vector<SpotResult>* out) {
+  const std::uint32_t count = r->U32();
+  if (!r->ok()) return false;
+  // Each verdict occupies at least 13 bytes (flag + score + finding count).
+  if (static_cast<std::uint64_t>(count) * 13 > r->remaining()) {
+    return r->Fail();
+  }
+  out->assign(count, SpotResult{});
+  for (SpotResult& v : *out) {
+    v.is_outlier = r->Bool();
+    v.score = r->F64();
+    const std::uint32_t nfindings = r->U32();
+    if (!r->ok()) return false;
+    // A finding is 32 bytes (subspace mask + three PCS doubles).
+    if (static_cast<std::uint64_t>(nfindings) * 32 > r->remaining()) {
+      return r->Fail();
+    }
+    v.findings.assign(nfindings, SubspaceFinding{});
+    for (SubspaceFinding& f : v.findings) {
+      f.subspace = Subspace(r->U64());
+      f.pcs.rd = r->F64();
+      f.pcs.irsd = r->F64();
+      f.pcs.count = r->F64();
+    }
+  }
+  return r->ok();
+}
+
+std::string VerdictBytes(const std::vector<SpotResult>& verdicts) {
+  WireWriter w;
+  EncodeVerdictList(verdicts, &w);
+  return w.Take();
+}
+
+std::string EncodeVerdicts(const VerdictsResp& resp) {
+  WireWriter w;
+  w.Str(resp.session_id);
+  w.U64(resp.first_point_id);
+  EncodeVerdictList(resp.verdicts, &w);
+  return w.Take();
+}
+
+bool DecodeVerdicts(const std::string& payload, VerdictsResp* out) {
+  WireReader r(payload);
+  out->session_id = r.Str();
+  out->first_point_id = r.U64();
+  if (!DecodeVerdictList(&r, &out->verdicts)) return false;
+  return r.AtEnd();
+}
+
+}  // namespace net
+}  // namespace spot

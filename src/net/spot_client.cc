@@ -1,0 +1,315 @@
+#include "net/spot_client.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <utility>
+
+#include "common/log.h"
+
+namespace spot {
+namespace net {
+
+SpotClient::~SpotClient() { Disconnect(); }
+
+bool SpotClient::Connect(const std::string& host, std::uint16_t port) {
+  Disconnect();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    last_error_ = std::string("socket(): ") + std::strerror(errno);
+    return false;
+  }
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  const std::string resolved = host == "localhost" ? "127.0.0.1" : host;
+  if (::inet_pton(AF_INET, resolved.c_str(), &addr.sin_addr) != 1) {
+    last_error_ = "bad host '" + host + "' (IPv4 dotted quad expected)";
+    Disconnect();
+    return false;
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    last_error_ = std::string("connect(): ") + std::strerror(errno);
+    Disconnect();
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  decoder_ = FrameDecoder();
+  stash_.clear();
+  outstanding_.clear();
+  last_error_.clear();
+  return true;
+}
+
+void SpotClient::Disconnect() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void SpotClient::FailTransport(const std::string& what) {
+  last_error_ = what;
+  Disconnect();
+}
+
+bool SpotClient::SendFrame(MsgType type, const std::string& payload) {
+  if (fd_ < 0) {
+    last_error_ = "not connected";
+    return false;
+  }
+  const std::string wire = EncodeFrame(type, payload);
+  std::size_t off = 0;
+  while (off < wire.size()) {
+    // Non-blocking sends, draining inbound verdicts whenever the socket
+    // is write-full: the server's backpressure stops reading us once its
+    // outbound queue fills, so a client wedged inside a blocking send —
+    // never consuming the verdicts that would unwedge the server — would
+    // deadlock both sides. Interleaving the drain here makes even a
+    // single frame larger than every buffer involved make progress.
+    const ssize_t n = ::send(fd_, wire.data() + off, wire.size() - off,
+                             MSG_NOSIGNAL | MSG_DONTWAIT);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        if (!DrainPending()) return false;  // also detects peer close
+        pollfd p{fd_, POLLIN | POLLOUT, 0};
+        ::poll(&p, 1, 100);
+        continue;
+      }
+      FailTransport(std::string("send(): ") + std::strerror(errno));
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  bytes_sent_ += wire.size();
+  return true;
+}
+
+bool SpotClient::StashVerdicts(const Frame& frame) {
+  VerdictsResp resp;
+  if (!DecodeVerdicts(frame.payload, &resp)) {
+    FailTransport("malformed verdicts frame from server");
+    return false;
+  }
+  // Ordering sanity check against the ids we ingested (see outstanding_).
+  std::deque<std::uint64_t>& pending = outstanding_[resp.session_id];
+  if (!resp.verdicts.empty()) {
+    if (resp.verdicts.size() > pending.size() ||
+        pending.front() != resp.first_point_id) {
+      FailTransport("verdict run out of order for session '" +
+                    resp.session_id + "'");
+      return false;
+    }
+    pending.erase(pending.begin(),
+                  pending.begin() + static_cast<long>(resp.verdicts.size()));
+  }
+  std::vector<SpotResult>& bucket = stash_[resp.session_id];
+  bucket.insert(bucket.end(),
+                std::make_move_iterator(resp.verdicts.begin()),
+                std::make_move_iterator(resp.verdicts.end()));
+  return true;
+}
+
+bool SpotClient::ConsumeFrames(MsgType request, bool* done, bool* ok) {
+  Frame frame;
+  while (true) {
+    const FrameDecoder::Status status = decoder_.Next(&frame);
+    if (status == FrameDecoder::Status::kNeedMore) return true;
+    if (status == FrameDecoder::Status::kCorrupt) {
+      FailTransport("corrupt frame from server: " + decoder_.error());
+      return false;
+    }
+    switch (frame.type) {
+      case MsgType::kVerdicts:
+        if (!StashVerdicts(frame)) return false;
+        break;
+      case MsgType::kOk: {
+        OkResp resp;
+        if (!DecodeOk(frame.payload, &resp) ||
+            resp.request_type != static_cast<std::uint8_t>(request)) {
+          FailTransport("out-of-order Ok from server");
+          return false;
+        }
+        *done = true;
+        *ok = true;
+        return true;
+      }
+      case MsgType::kError: {
+        ErrorResp resp;
+        if (!DecodeError(frame.payload, &resp)) {
+          FailTransport("malformed error frame from server");
+          return false;
+        }
+        // Report the server's message whichever request it blames (an
+        // ingest error surfaces at the next barrier).
+        last_error_ = resp.message;
+        *done = true;
+        *ok = false;
+        return true;
+      }
+      default:
+        FailTransport("unexpected frame type from server");
+        return false;
+    }
+  }
+}
+
+bool SpotClient::DrainPending() {
+  if (fd_ < 0) return false;
+  char buf[65536];
+  while (true) {
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), MSG_DONTWAIT);
+    if (n == 0) {
+      FailTransport("server closed the connection");
+      return false;
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      FailTransport(std::string("recv(): ") + std::strerror(errno));
+      return false;
+    }
+    bytes_received_ += static_cast<std::uint64_t>(n);
+    decoder_.Append(buf, static_cast<std::size_t>(n));
+  }
+  // Only verdict frames can legitimately be in flight outside a barrier;
+  // an Ok/Error here would be out of order and fails the transport.
+  Frame frame;
+  while (true) {
+    const FrameDecoder::Status status = decoder_.Next(&frame);
+    if (status == FrameDecoder::Status::kNeedMore) return true;
+    if (status == FrameDecoder::Status::kCorrupt) {
+      FailTransport("corrupt frame from server: " + decoder_.error());
+      return false;
+    }
+    if (frame.type == MsgType::kVerdicts) {
+      if (!StashVerdicts(frame)) return false;
+      continue;
+    }
+    if (frame.type == MsgType::kError) {
+      ErrorResp resp;
+      last_error_ = DecodeError(frame.payload, &resp)
+                        ? resp.message
+                        : "malformed error frame from server";
+      Disconnect();
+      return false;
+    }
+    FailTransport("unexpected frame type outside a barrier");
+    return false;
+  }
+}
+
+bool SpotClient::AwaitResponse(MsgType request) {
+  if (fd_ < 0) {
+    if (last_error_.empty()) last_error_ = "not connected";
+    return false;
+  }
+  bool done = false;
+  bool ok = false;
+  if (!ConsumeFrames(request, &done, &ok)) return false;
+  char buf[65536];
+  while (!done) {
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n == 0) {
+      FailTransport("server closed the connection");
+      return false;
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      FailTransport(std::string("recv(): ") + std::strerror(errno));
+      return false;
+    }
+    bytes_received_ += static_cast<std::uint64_t>(n);
+    decoder_.Append(buf, static_cast<std::size_t>(n));
+    if (!ConsumeFrames(request, &done, &ok)) return false;
+  }
+  return ok;
+}
+
+bool SpotClient::CreateSession(
+    const std::string& id, const SpotConfig& config,
+    const std::vector<std::vector<double>>& training) {
+  CreateSessionReq req;
+  req.session_id = id;
+  req.config = config;
+  req.training = training;
+  return SendFrame(MsgType::kCreateSession, EncodeCreateSession(req)) &&
+         AwaitResponse(MsgType::kCreateSession);
+}
+
+bool SpotClient::ResumeSession(const std::string& id) {
+  ResumeSessionReq req{id};
+  return SendFrame(MsgType::kResumeSession, EncodeResumeSession(req)) &&
+         AwaitResponse(MsgType::kResumeSession);
+}
+
+bool SpotClient::Ingest(const std::string& id,
+                        const std::vector<DataPoint>& points) {
+  IngestReq req;
+  req.session_id = id;
+  req.points = points;
+  if (!SendFrame(MsgType::kIngest, EncodeIngest(req))) return false;
+  std::deque<std::uint64_t>& pending = outstanding_[id];
+  for (const DataPoint& p : points) pending.push_back(p.id);
+  // Opportunistic drain keeps the pipeline deadlock-free (see class doc).
+  return DrainPending();
+}
+
+bool SpotClient::Flush(const std::string& id,
+                       std::vector<SpotResult>* verdicts) {
+  FlushReq req{id};
+  if (!SendFrame(MsgType::kFlush, EncodeFlush(req)) ||
+      !AwaitResponse(MsgType::kFlush)) {
+    return false;
+  }
+  auto it = stash_.find(id);
+  if (it != stash_.end()) {
+    if (verdicts != nullptr) {
+      verdicts->insert(verdicts->end(),
+                       std::make_move_iterator(it->second.begin()),
+                       std::make_move_iterator(it->second.end()));
+    }
+    stash_.erase(it);
+  }
+  return true;
+}
+
+bool SpotClient::Checkpoint(const std::string& id) {
+  CheckpointReq req{id};
+  return SendFrame(MsgType::kCheckpoint, EncodeCheckpoint(req)) &&
+         AwaitResponse(MsgType::kCheckpoint);
+}
+
+bool SpotClient::CloseSession(const std::string& id, bool persist,
+                              std::vector<SpotResult>* verdicts) {
+  CloseSessionReq req{id, persist};
+  if (!SendFrame(MsgType::kCloseSession, EncodeCloseSession(req)) ||
+      !AwaitResponse(MsgType::kCloseSession)) {
+    return false;
+  }
+  auto it = stash_.find(id);
+  if (it != stash_.end()) {
+    if (verdicts != nullptr) {
+      verdicts->insert(verdicts->end(),
+                       std::make_move_iterator(it->second.begin()),
+                       std::make_move_iterator(it->second.end()));
+    }
+    stash_.erase(it);
+  }
+  outstanding_.erase(id);  // the session is gone; drop its id queue
+  return true;
+}
+
+}  // namespace net
+}  // namespace spot

@@ -1,0 +1,111 @@
+#ifndef SPOT_NET_SPOT_CLIENT_H_
+#define SPOT_NET_SPOT_CLIENT_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/detector.h"
+#include "core/spot_config.h"
+#include "net/protocol.h"
+#include "stream/data_point.h"
+
+namespace spot {
+namespace net {
+
+/// Small blocking client for the SPOT wire protocol (DESIGN.md Section 7).
+///
+/// Ingest is *pipelined*: it writes the frame and returns without waiting,
+/// so a caller can stream many batches back-to-back and let the server
+/// coalesce them. Verdicts arriving meanwhile are drained opportunistically
+/// (non-blocking) after every send — which is what keeps a deep pipeline
+/// deadlock-free: the server's write-side backpressure stops reading when
+/// its outbound queue fills, and a client that only wrote without ever
+/// reading would wedge both sides. Flush() is the barrier: it blocks until
+/// the server confirms every pending point of the session was processed,
+/// and returns the session's verdicts accumulated since the last barrier,
+/// one per ingested point in point order.
+///
+/// The client is single-threaded and not thread-safe; use one client per
+/// connection (the load generator runs one per worker thread).
+class SpotClient {
+ public:
+  SpotClient() = default;
+  ~SpotClient();
+
+  SpotClient(const SpotClient&) = delete;
+  SpotClient& operator=(const SpotClient&) = delete;
+
+  /// Connects to `host:port` (IPv4 dotted quad or "localhost").
+  bool Connect(const std::string& host, std::uint16_t port);
+  void Disconnect();
+  bool connected() const { return fd_ >= 0; }
+
+  /// Creates and learns a session on the server (blocks for the Ok).
+  bool CreateSession(const std::string& id, const SpotConfig& config,
+                     const std::vector<std::vector<double>>& training);
+
+  /// Re-attaches a session that is live on the server or resumable from
+  /// its checkpoint directory (blocks for the Ok).
+  bool ResumeSession(const std::string& id);
+
+  /// Pipelined ingest: sends the batch and returns. Verdicts are
+  /// collected per session and handed out by the next Flush().
+  bool Ingest(const std::string& id, const std::vector<DataPoint>& points);
+
+  /// Barrier: forces the server to process everything pending for `id`
+  /// and appends all of the session's verdicts received since the last
+  /// Flush() to `verdicts` (nullptr discards them). Blocks for the Ok.
+  bool Flush(const std::string& id, std::vector<SpotResult>* verdicts);
+
+  /// Server-side checkpoint of `id`, or of every session when `id` is
+  /// empty (blocks for the Ok).
+  bool Checkpoint(const std::string& id = "");
+
+  /// Closes the session on the server. Implies a flush of its pending
+  /// points; trailing verdicts are appended to `verdicts` when non-null.
+  bool CloseSession(const std::string& id, bool persist = true,
+                    std::vector<SpotResult>* verdicts = nullptr);
+
+  /// Last transport or server-reported error (empty when none).
+  const std::string& last_error() const { return last_error_; }
+
+  std::uint64_t bytes_sent() const { return bytes_sent_; }
+  std::uint64_t bytes_received() const { return bytes_received_; }
+
+ private:
+  /// Writes one frame fully (blocking). False on a transport error.
+  bool SendFrame(MsgType type, const std::string& payload);
+  /// Blocks until a kOk/kError for `request` arrives, stashing kVerdicts
+  /// frames seen on the way. False on kError (message in last_error_) or
+  /// a transport error.
+  bool AwaitResponse(MsgType request);
+  /// Non-blocking read: stashes any already-arrived frames.
+  bool DrainPending();
+  /// Parses every complete frame currently buffered. `done` is set when a
+  /// kOk/kError for `request` was consumed (pass kOk in `request_seen`).
+  bool ConsumeFrames(MsgType request, bool* done, bool* ok);
+  bool StashVerdicts(const Frame& frame);
+  void FailTransport(const std::string& what);
+
+  int fd_ = -1;
+  FrameDecoder decoder_;
+  std::string last_error_;
+  std::map<std::string, std::vector<SpotResult>> stash_;
+  /// Ids of ingested points awaiting verdicts, per session. Each arriving
+  /// verdict run is checked against this queue: its first_point_id must
+  /// match the oldest outstanding point and it must not cover more points
+  /// than are outstanding — a server delivering runs out of order or for
+  /// the wrong offset fails the transport instead of silently
+  /// mis-attributing verdicts.
+  std::map<std::string, std::deque<std::uint64_t>> outstanding_;
+  std::uint64_t bytes_sent_ = 0;
+  std::uint64_t bytes_received_ = 0;
+};
+
+}  // namespace net
+}  // namespace spot
+
+#endif  // SPOT_NET_SPOT_CLIENT_H_

@@ -188,6 +188,13 @@ std::vector<std::string> SpotService::SessionIds() const {
   return ids;
 }
 
+namespace {
+
+std::size_t PointWidth(const DataPoint& p) { return p.values.size(); }
+std::size_t PointWidth(const std::vector<double>& v) { return v.size(); }
+
+}  // namespace
+
 template <typename Batch>
 IngestResult SpotService::IngestImpl(const std::string& id,
                                      const Batch& batch) {
@@ -195,6 +202,20 @@ IngestResult SpotService::IngestImpl(const std::string& id,
   IngestResult result;
   Session* session = ResidentLocked(id);
   if (session == nullptr) return result;
+  // Width guard: points of the wrong dimensionality (possible when the
+  // batch crossed a process boundary, e.g. the network ingest layer)
+  // would index out of the session's partition — refuse the batch whole
+  // instead of feeding the detector undefined behavior.
+  const std::size_t dims =
+      static_cast<std::size_t>(session->detector->dimension());
+  for (const auto& point : batch) {
+    if (PointWidth(point) != dims) {
+      SPOT_LOG(Error) << "Ingest('" << id << "'): point width "
+                      << PointWidth(point) << " != session dimensionality "
+                      << dims;
+      return result;
+    }
+  }
   result.verdicts = session->detector->ProcessBatch(batch);
   result.ok = true;
   ++session->batches_ingested;
@@ -269,6 +290,28 @@ bool SpotService::CloseSession(const std::string& id, bool persist) {
   return true;
 }
 
+void SpotService::FillNetStats(const Session& session, SpotStats* stats) {
+  stats->frames_received = session.net.frames_received;
+  stats->bytes_in = session.net.bytes_in;
+  stats->bytes_out = session.net.bytes_out;
+  stats->backpressure_stalls = session.net.backpressure_stalls;
+  stats->net_queue_peak = session.net.queue_depth;
+}
+
+bool SpotService::RecordNetwork(const std::string& id,
+                                const SessionNetActivity& delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) return false;
+  SessionNetActivity& net = it->second.net;
+  net.frames_received += delta.frames_received;
+  net.bytes_in += delta.bytes_in;
+  net.bytes_out += delta.bytes_out;
+  net.backpressure_stalls += delta.backpressure_stalls;
+  net.queue_depth = std::max(net.queue_depth, delta.queue_depth);
+  return true;
+}
+
 bool SpotService::GetMetrics(const std::string& id,
                              SessionMetrics* out) const {
   std::lock_guard<std::mutex> lock(mu_);
@@ -280,6 +323,7 @@ bool SpotService::GetMetrics(const std::string& id,
   out->on_disk = session.on_disk;
   out->stats = session.detector != nullptr ? session.detector->stats()
                                            : session.last_stats;
+  FillNetStats(session, &out->stats);
   out->batches_ingested = session.batches_ingested;
   out->evictions = session.evictions;
   out->reloads = session.reloads;
@@ -303,6 +347,12 @@ ServiceMetrics SpotService::TotalMetrics() const {
     total.drifts_detected += stats.drifts_detected;
     total.batches_ingested += session.batches_ingested;
     total.detection_seconds += stats.detection_seconds;
+    total.frames_received += session.net.frames_received;
+    total.bytes_in += session.net.bytes_in;
+    total.bytes_out += session.net.bytes_out;
+    total.backpressure_stalls += session.net.backpressure_stalls;
+    total.net_queue_peak =
+        std::max(total.net_queue_peak, session.net.queue_depth);
   }
   return total;
 }

@@ -1,0 +1,365 @@
+// Tests of the SPOT wire protocol (src/net/protocol.h): little-endian
+// scalar round-trips (including exact double bit patterns), the CRC-32
+// reference vector, frame encode/decode under byte-at-a-time delivery,
+// every payload codec, and rejection of truncated / corrupt / oversized
+// frames without a crash.
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "net/protocol.h"
+
+namespace spot {
+namespace net {
+namespace {
+
+TEST(WireBufferTest, ScalarRoundTrip) {
+  WireWriter w;
+  w.U8(0xAB);
+  w.U16(0xBEEF);
+  w.U32(0xDEADBEEFu);
+  w.U64(0x0123456789ABCDEFULL);
+  w.F64(-1234.5678);
+  w.Bool(true);
+  w.Str("hello\0world");  // literal truncates at NUL — also covers short str
+  WireReader r(w.bytes());
+  EXPECT_EQ(r.U8(), 0xAB);
+  EXPECT_EQ(r.U16(), 0xBEEF);
+  EXPECT_EQ(r.U32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.U64(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(r.F64(), -1234.5678);
+  EXPECT_TRUE(r.Bool());
+  EXPECT_EQ(r.Str(), "hello");
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(WireBufferTest, DoubleBitPatternsSurviveExactly) {
+  const double values[] = {0.0,
+                           -0.0,
+                           std::numeric_limits<double>::infinity(),
+                           -std::numeric_limits<double>::infinity(),
+                           std::numeric_limits<double>::quiet_NaN(),
+                           std::numeric_limits<double>::denorm_min(),
+                           std::numeric_limits<double>::max(),
+                           1.0 / 3.0};
+  WireWriter w;
+  for (double v : values) w.F64(v);
+  WireReader r(w.bytes());
+  for (double v : values) {
+    const double got = r.F64();
+    std::uint64_t want_bits = 0, got_bits = 0;
+    std::memcpy(&want_bits, &v, 8);
+    std::memcpy(&got_bits, &got, 8);
+    EXPECT_EQ(want_bits, got_bits);
+  }
+}
+
+TEST(WireBufferTest, ReaderOverrunIsStickyAndNeutral) {
+  WireWriter w;
+  w.U32(7);
+  WireReader r(w.bytes());
+  EXPECT_EQ(r.U32(), 7u);
+  EXPECT_EQ(r.U64(), 0u);  // overruns: neutral value
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.Str(), "");  // stays failed
+  EXPECT_FALSE(r.AtEnd());
+}
+
+TEST(Crc32Test, ReferenceVector) {
+  // The canonical CRC-32 check value.
+  const std::string data = "123456789";
+  EXPECT_EQ(Crc32(data.data(), data.size()), 0xCBF43926u);
+  EXPECT_EQ(Crc32(nullptr, 0), 0u);
+}
+
+TEST(FrameTest, RoundTripAndByteAtATimeDelivery) {
+  const std::string payload = "some payload bytes";
+  const std::string wire = EncodeFrame(MsgType::kFlush, payload);
+  ASSERT_EQ(wire.size(), kFrameHeaderBytes + payload.size());
+
+  FrameDecoder decoder;
+  Frame frame;
+  // Feed a single byte at a time: every prefix must report kNeedMore.
+  for (std::size_t i = 0; i + 1 < wire.size(); ++i) {
+    decoder.Append(wire.data() + i, 1);
+    EXPECT_EQ(decoder.Next(&frame), FrameDecoder::Status::kNeedMore);
+  }
+  decoder.Append(wire.data() + wire.size() - 1, 1);
+  ASSERT_EQ(decoder.Next(&frame), FrameDecoder::Status::kFrame);
+  EXPECT_EQ(frame.type, MsgType::kFlush);
+  EXPECT_EQ(frame.payload, payload);
+  EXPECT_EQ(decoder.Next(&frame), FrameDecoder::Status::kNeedMore);
+  EXPECT_EQ(decoder.buffered(), 0u);
+}
+
+TEST(FrameTest, BackToBackFramesInOneAppend) {
+  const std::string wire =
+      EncodeFrame(MsgType::kFlush, EncodeFlush({"a"})) +
+      EncodeFrame(MsgType::kCheckpoint, EncodeCheckpoint({"b"}));
+  FrameDecoder decoder;
+  decoder.Append(wire.data(), wire.size());
+  Frame frame;
+  ASSERT_EQ(decoder.Next(&frame), FrameDecoder::Status::kFrame);
+  EXPECT_EQ(frame.type, MsgType::kFlush);
+  ASSERT_EQ(decoder.Next(&frame), FrameDecoder::Status::kFrame);
+  EXPECT_EQ(frame.type, MsgType::kCheckpoint);
+  EXPECT_EQ(decoder.Next(&frame), FrameDecoder::Status::kNeedMore);
+}
+
+TEST(FrameTest, CorruptMagicIsTerminal) {
+  std::string wire = EncodeFrame(MsgType::kFlush, "x");
+  wire[0] = 'Z';
+  FrameDecoder decoder;
+  decoder.Append(wire.data(), wire.size());
+  Frame frame;
+  EXPECT_EQ(decoder.Next(&frame), FrameDecoder::Status::kCorrupt);
+  // Latched: further appends / polls stay corrupt.
+  decoder.Append(wire.data(), wire.size());
+  EXPECT_EQ(decoder.Next(&frame), FrameDecoder::Status::kCorrupt);
+  EXPECT_FALSE(decoder.error().empty());
+}
+
+TEST(FrameTest, UnknownVersionRejected) {
+  std::string wire = EncodeFrame(MsgType::kFlush, "x");
+  wire[4] = 99;  // version byte
+  FrameDecoder decoder;
+  decoder.Append(wire.data(), wire.size());
+  Frame frame;
+  EXPECT_EQ(decoder.Next(&frame), FrameDecoder::Status::kCorrupt);
+}
+
+TEST(FrameTest, NonZeroFlagsRejected) {
+  std::string wire = EncodeFrame(MsgType::kFlush, "x");
+  wire[6] = 1;  // flags low byte
+  FrameDecoder decoder;
+  decoder.Append(wire.data(), wire.size());
+  Frame frame;
+  EXPECT_EQ(decoder.Next(&frame), FrameDecoder::Status::kCorrupt);
+}
+
+TEST(FrameTest, PayloadCorruptionFailsCrc) {
+  std::string wire = EncodeFrame(MsgType::kIngest, "sensitive payload");
+  wire[kFrameHeaderBytes + 3] ^= 0x40;
+  FrameDecoder decoder;
+  decoder.Append(wire.data(), wire.size());
+  Frame frame;
+  EXPECT_EQ(decoder.Next(&frame), FrameDecoder::Status::kCorrupt);
+}
+
+TEST(FrameTest, OversizedFrameRejectedBeforeBuffering) {
+  // A header announcing a payload beyond the decoder's cap must be
+  // rejected from the header alone (no attempt to buffer the payload).
+  WireWriter w;
+  w.U32(kFrameMagic);
+  w.U8(kWireVersion);
+  w.U8(static_cast<std::uint8_t>(MsgType::kIngest));
+  w.U16(0);
+  w.U32(1u << 20);  // 1 MiB payload announced...
+  w.U32(0);
+  FrameDecoder decoder(/*max_payload=*/1024);  // ...but the cap is 1 KiB
+  const std::string& header = w.bytes();
+  decoder.Append(header.data(), header.size());
+  Frame frame;
+  EXPECT_EQ(decoder.Next(&frame), FrameDecoder::Status::kCorrupt);
+}
+
+TEST(FrameTest, TruncatedFrameIsJustNeedMore) {
+  const std::string wire = EncodeFrame(MsgType::kIngest, "partial");
+  FrameDecoder decoder;
+  decoder.Append(wire.data(), wire.size() - 3);
+  Frame frame;
+  EXPECT_EQ(decoder.Next(&frame), FrameDecoder::Status::kNeedMore);
+}
+
+TEST(CodecTest, CreateSessionRoundTrip) {
+  CreateSessionReq req;
+  req.session_id = "tenant-42";
+  req.config.seed = 77;
+  req.config.fs_max_dimension = 3;
+  req.config.omega = 1234;
+  req.training = {{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  const std::string payload = EncodeCreateSession(req);
+  CreateSessionReq got;
+  ASSERT_TRUE(DecodeCreateSession(payload, &got));
+  EXPECT_EQ(got.session_id, "tenant-42");
+  EXPECT_EQ(got.config.seed, 77u);
+  EXPECT_EQ(got.config.fs_max_dimension, 3);
+  EXPECT_EQ(got.config.omega, req.config.omega);
+  EXPECT_EQ(got.training, req.training);
+
+  // The config section reuses the checkpoint encoding: re-encoding the
+  // decoded request must reproduce the payload byte-for-byte.
+  EXPECT_EQ(EncodeCreateSession(got), payload);
+}
+
+TEST(CodecTest, IngestRoundTrip) {
+  IngestReq req;
+  req.session_id = "s";
+  for (int i = 0; i < 5; ++i) {
+    DataPoint p;
+    p.id = 100 + static_cast<std::uint64_t>(i);
+    p.values = {0.1 * i, -0.2 * i, 3.0};
+    req.points.push_back(p);
+  }
+  IngestReq got;
+  ASSERT_TRUE(DecodeIngest(EncodeIngest(req), &got));
+  ASSERT_EQ(got.points.size(), 5u);
+  EXPECT_EQ(got.session_id, "s");
+  for (std::size_t i = 0; i < got.points.size(); ++i) {
+    EXPECT_EQ(got.points[i].id, req.points[i].id);
+    EXPECT_EQ(got.points[i].values, req.points[i].values);
+  }
+}
+
+TEST(CodecTest, EmptyIngestAndTrailingJunkRejected) {
+  IngestReq req;
+  req.session_id = "s";
+  IngestReq got;
+  ASSERT_TRUE(DecodeIngest(EncodeIngest(req), &got));
+  EXPECT_TRUE(got.points.empty());
+
+  std::string payload = EncodeIngest(req);
+  payload.push_back('\0');
+  EXPECT_FALSE(DecodeIngest(payload, &got));
+}
+
+TEST(CodecTest, HostileCountsDoNotAllocate) {
+  // An ingest payload claiming 2^31 points in 16 bytes must fail cleanly.
+  WireWriter w;
+  w.Str("s");
+  w.U32(0x80000000u);  // count
+  w.U32(64);           // dims
+  IngestReq got;
+  EXPECT_FALSE(DecodeIngest(w.bytes(), &got));
+
+  // count * (8 + 8*dims) chosen to wrap to 0 mod 2^64: the size bound
+  // must be computed by division, never by multiplying untrusted counts.
+  WireWriter o;
+  o.Str("s");
+  o.U32(0x40000000u);  // count = 2^30
+  o.U32(0x7FFFFFFFu);  // dims: 8 + 8*dims = 2^34 -> product wraps to 0
+  EXPECT_FALSE(DecodeIngest(o.bytes(), &got));
+
+  WireWriter v;
+  v.Str("s");
+  v.U64(0);
+  v.U32(0x7FFFFFFFu);  // verdict count
+  VerdictsResp verdicts;
+  EXPECT_FALSE(DecodeVerdicts(v.bytes(), &verdicts));
+}
+
+TEST(CodecTest, HostileTrainingMatrixDoesNotAllocate) {
+  CreateSessionReq req;
+  req.session_id = "s";
+  std::string base = EncodeCreateSession(req);  // rows=0, dims=0 tail
+  // Rewrite the trailing rows/dims words with values whose product wraps
+  // mod 2^64 (2^31 * 2^31 * 8 = 2^65 = 0): must be rejected, not
+  // allocated.
+  WireWriter tail;
+  tail.U32(0x80000000u);  // rows
+  tail.U32(0x80000000u);  // dims
+  base.replace(base.size() - 8, 8, tail.bytes());
+  CreateSessionReq got;
+  EXPECT_FALSE(DecodeCreateSession(base, &got));
+
+  // Zero-width rows are also hostile: they cost one vector allocation
+  // each while claiming zero payload bytes.
+  WireWriter zero;
+  zero.U32(0xFFFFFFFFu);  // rows
+  zero.U32(0);            // dims
+  base.replace(base.size() - 8, 8, zero.bytes());
+  EXPECT_FALSE(DecodeCreateSession(base, &got));
+}
+
+TEST(CodecTest, SimpleRequestRoundTrips) {
+  ResumeSessionReq resume{"r-1"};
+  ResumeSessionReq resume2;
+  ASSERT_TRUE(DecodeResumeSession(EncodeResumeSession(resume), &resume2));
+  EXPECT_EQ(resume2.session_id, "r-1");
+
+  FlushReq flush{""};
+  FlushReq flush2{"nonempty"};
+  ASSERT_TRUE(DecodeFlush(EncodeFlush(flush), &flush2));
+  EXPECT_EQ(flush2.session_id, "");
+
+  CheckpointReq ckpt{"all-of-them"};
+  CheckpointReq ckpt2;
+  ASSERT_TRUE(DecodeCheckpoint(EncodeCheckpoint(ckpt), &ckpt2));
+  EXPECT_EQ(ckpt2.session_id, "all-of-them");
+
+  CloseSessionReq close{"c", false};
+  CloseSessionReq close2;
+  ASSERT_TRUE(DecodeCloseSession(EncodeCloseSession(close), &close2));
+  EXPECT_EQ(close2.session_id, "c");
+  EXPECT_FALSE(close2.persist);
+
+  OkResp ok{static_cast<std::uint8_t>(MsgType::kFlush)};
+  OkResp ok2;
+  ASSERT_TRUE(DecodeOk(EncodeOk(ok), &ok2));
+  EXPECT_EQ(ok2.request_type, static_cast<std::uint8_t>(MsgType::kFlush));
+
+  ErrorResp err{static_cast<std::uint8_t>(MsgType::kIngest), "no session"};
+  ErrorResp err2;
+  ASSERT_TRUE(DecodeError(EncodeError(err), &err2));
+  EXPECT_EQ(err2.message, "no session");
+}
+
+std::vector<SpotResult> SampleVerdicts() {
+  std::vector<SpotResult> verdicts(3);
+  verdicts[0].is_outlier = true;
+  verdicts[0].score = 0.987654321;
+  SubspaceFinding f;
+  f.subspace = Subspace(0b1011);
+  f.pcs.rd = 0.125;
+  f.pcs.irsd = 0.5;
+  f.pcs.count = 17.25;
+  verdicts[0].findings.push_back(f);
+  f.subspace = Subspace(0b100000);
+  verdicts[0].findings.push_back(f);
+  verdicts[2].score = 1.0 / 3.0;
+  return verdicts;
+}
+
+TEST(CodecTest, VerdictsRoundTripBitExactly) {
+  VerdictsResp resp;
+  resp.session_id = "v";
+  resp.first_point_id = 424242;
+  resp.verdicts = SampleVerdicts();
+  VerdictsResp got;
+  ASSERT_TRUE(DecodeVerdicts(EncodeVerdicts(resp), &got));
+  EXPECT_EQ(got.session_id, "v");
+  EXPECT_EQ(got.first_point_id, 424242u);
+  // Bit-exact round trip == identical canonical verdict bytes.
+  EXPECT_EQ(VerdictBytes(got.verdicts), VerdictBytes(resp.verdicts));
+  ASSERT_EQ(got.verdicts.size(), 3u);
+  EXPECT_TRUE(got.verdicts[0].is_outlier);
+  ASSERT_EQ(got.verdicts[0].findings.size(), 2u);
+  EXPECT_EQ(got.verdicts[0].findings[1].subspace.bits(), 0b100000u);
+}
+
+TEST(CodecTest, VerdictBytesDistinguishesVerdicts) {
+  std::vector<SpotResult> a = SampleVerdicts();
+  std::vector<SpotResult> b = SampleVerdicts();
+  EXPECT_EQ(VerdictBytes(a), VerdictBytes(b));
+  b[2].score = std::nextafter(b[2].score, 1.0);
+  EXPECT_NE(VerdictBytes(a), VerdictBytes(b));
+}
+
+TEST(CodecTest, RequestTypePredicate) {
+  EXPECT_TRUE(IsRequestType(static_cast<std::uint8_t>(MsgType::kIngest)));
+  EXPECT_TRUE(
+      IsRequestType(static_cast<std::uint8_t>(MsgType::kCreateSession)));
+  EXPECT_FALSE(IsRequestType(static_cast<std::uint8_t>(MsgType::kOk)));
+  EXPECT_FALSE(IsRequestType(0));
+  EXPECT_FALSE(IsRequestType(255));
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace spot

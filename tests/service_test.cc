@@ -286,5 +286,80 @@ TEST(SpotServiceTest, CloseWithoutPersistDiscardsAndWithPersistKeeps) {
   EXPECT_FALSE(service.OpenSession("b"));
 }
 
+// Points whose width disagrees with the session's trained dimensionality
+// must be refused whole (never partially processed): they would index out
+// of the partition. This is the service-level guard the network ingest
+// layer relies on for wire batches.
+TEST(SpotServiceTest, RejectsWrongWidthPoints) {
+  SpotServiceConfig scfg;
+  SpotService service(scfg);
+  ASSERT_TRUE(service.CreateSession("a", SessionConfig(),
+                                    TenantTraining(0)));  // 6-dim
+  EXPECT_FALSE(service.Ingest("a", {{1.0, 2.0}}).ok);
+  EXPECT_FALSE(
+      service.Ingest("a", std::vector<std::vector<double>>{{}}).ok);
+  std::vector<DataPoint> mixed = Chunk(TenantStream(0, 4, 9), 0, 4);
+  mixed.back().values.push_back(0.5);  // one ragged point poisons the batch
+  EXPECT_FALSE(service.Ingest("a", mixed).ok);
+  SessionMetrics m;
+  ASSERT_TRUE(service.GetMetrics("a", &m));
+  EXPECT_EQ(m.stats.points_processed, 0u);  // nothing leaked through
+  EXPECT_TRUE(service.Ingest("a", Chunk(TenantStream(0, 4, 9), 0, 4)).ok);
+}
+
+// The network transport counters live in the session registry — not the
+// detector — so they must accumulate across RecordNetwork calls, fold
+// queue depth as a peak, survive eviction + reload, and aggregate into
+// TotalMetrics without ever entering a checkpoint.
+TEST(SpotServiceTest, NetworkCountersSurfaceAndSurviveEviction) {
+  const std::string dir = MakeCheckpointDir("net");
+  SpotServiceConfig scfg;
+  scfg.checkpoint_dir = dir;
+  SpotService service(scfg);
+  ASSERT_TRUE(service.CreateSession("a", SessionConfig(), TenantTraining(0)));
+  ASSERT_TRUE(service.CreateSession("b", SessionConfig(), TenantTraining(1)));
+
+  SessionNetActivity delta;
+  delta.frames_received = 3;
+  delta.bytes_in = 1000;
+  delta.bytes_out = 500;
+  delta.queue_depth = 128;
+  ASSERT_TRUE(service.RecordNetwork("a", delta));
+  delta.queue_depth = 64;  // lower observation must not shrink the peak
+  delta.backpressure_stalls = 1;
+  ASSERT_TRUE(service.RecordNetwork("a", delta));
+  delta = SessionNetActivity{};
+  delta.frames_received = 1;
+  delta.bytes_in = 10;
+  ASSERT_TRUE(service.RecordNetwork("b", delta));
+  EXPECT_FALSE(service.RecordNetwork("ghost", delta));
+
+  SessionMetrics m;
+  ASSERT_TRUE(service.GetMetrics("a", &m));
+  EXPECT_EQ(m.stats.frames_received, 6u);
+  EXPECT_EQ(m.stats.bytes_in, 2000u);
+  EXPECT_EQ(m.stats.bytes_out, 1000u);
+  EXPECT_EQ(m.stats.backpressure_stalls, 1u);
+  EXPECT_EQ(m.stats.net_queue_peak, 128u);
+
+  // Evict + transparently reload: counters are registry state, not
+  // detector state, so they must be unchanged.
+  ASSERT_TRUE(service.Evict("a"));
+  ASSERT_TRUE(service.GetMetrics("a", &m));
+  EXPECT_EQ(m.stats.frames_received, 6u);
+  EXPECT_EQ(m.stats.net_queue_peak, 128u);
+  ASSERT_TRUE(service.Ingest("a", Chunk(TenantStream(0, 8, 2), 0, 8)).ok);
+  ASSERT_TRUE(service.GetMetrics("a", &m));
+  EXPECT_EQ(m.stats.frames_received, 6u);
+  EXPECT_EQ(m.stats.bytes_in, 2000u);
+
+  const ServiceMetrics total = service.TotalMetrics();
+  EXPECT_EQ(total.frames_received, 7u);
+  EXPECT_EQ(total.bytes_in, 2010u);
+  EXPECT_EQ(total.bytes_out, 1000u);
+  EXPECT_EQ(total.backpressure_stalls, 1u);
+  EXPECT_EQ(total.net_queue_peak, 128u);
+}
+
 }  // namespace
 }  // namespace spot

@@ -2,15 +2,17 @@
 """Perf-regression gate: run the hot-path benches, record the trajectory.
 
 Runs ``bench_e11_micro`` (fused/unfused synapse probe micro-bench,
-google-benchmark) and ``bench_e2_throughput_sst`` (whole-detector throughput
-vs SST size) with ``--json``, normalizes both into one spot-bench-v1
-document, and compares the fused-probe pts/s counters against the latest
-checked-in ``BENCH_*.json``: a drop of more than ``--threshold`` (default
-15%) on any fused-probe row fails the run.
+google-benchmark), ``bench_e2_throughput_sst`` (whole-detector throughput
+vs SST size) and ``spot_loadgen --spawn-server`` (end-to-end pts/s +
+latency through the network ingest layer, real loopback sockets) with
+``--json``, normalizes everything into one spot-bench-v1 document, and
+compares the fused-probe pts/s counters against the latest checked-in
+``BENCH_*.json``: a drop of more than ``--threshold`` (default 15%) on any
+fused-probe row fails the run.
 
 Only the fused-probe table gates — it is the purpose-built hot-path counter
-with the least noise. The E2 whole-detector table rides along in the
-document for trend reading but never fails the job.
+with the least noise. The E2 whole-detector and loadgen end-to-end tables
+ride along in the document for trend reading but never fail the job.
 
 Usage:
     tools/bench_regression.py --build-dir build --out BENCH_pr5.json
@@ -90,6 +92,35 @@ def run_e2(build_dir: str) -> list:
     try:
         subprocess.run([binary, f"--json={raw_path}"], check=True,
                        stdout=subprocess.DEVNULL)
+        with open(raw_path) as f:
+            raw = json.load(f)
+    finally:
+        os.unlink(raw_path)
+    if raw.get("schema") != SCHEMA:
+        fail(f"{binary} emitted schema {raw.get('schema')!r}, "
+             f"expected {SCHEMA!r}")
+    return raw["tables"]
+
+
+def run_loadgen(build_dir: str) -> list:
+    """Runs the network loadgen against an in-process server it spawns.
+
+    The end-to-end serving-boundary metric: pts/s and flush round-trip
+    latency percentiles through real loopback sockets, with --verify
+    asserting the wire verdicts are byte-identical to an in-process
+    reference. Context only — it never gates.
+    """
+    binary = os.path.join(build_dir, "tools", "spot_loadgen")
+    if not os.path.exists(binary):
+        fail(f"{binary} not found (build with SPOT_BUILD_TOOLS=ON)")
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+        raw_path = tmp.name
+    try:
+        subprocess.run(
+            [binary, "--spawn-server", "--connections", "2",
+             "--points", "6000", "--batch", "200", "--dims", "8",
+             "--verify", f"--json={raw_path}"],
+            check=True, stdout=subprocess.DEVNULL)
         with open(raw_path) as f:
             raw = json.load(f)
     finally:
@@ -194,7 +225,8 @@ def main() -> int:
     current = {
         "schema": SCHEMA,
         "bench": "bench_regression",
-        "tables": run_e11(args.build_dir) + run_e2(args.build_dir),
+        "tables": run_e11(args.build_dir) + run_e2(args.build_dir) +
+                  run_loadgen(args.build_dir),
     }
 
     if args.out:

@@ -1,0 +1,404 @@
+// Multi-connection load generator for the SPOT network ingest layer
+// (DESIGN.md Section 7). Replays synthetic or CSV streams over the wire
+// protocol at a target rate and reports end-to-end points/sec plus flush
+// round-trip latency percentiles — the serving-boundary counterpart of
+// the in-process experiment binaries, emitting the same spot-bench-v1
+// JSON (`--json out.json`) so tools/bench_regression.py can track an
+// end-to-end trajectory across PRs.
+//
+//   spot_loadgen --port 7077 [--host H] [--connections C] [--points N]
+//                [--batch B] [--flush-every F] [--rate R] [--dims D]
+//                [--training T] [--shards S] [--session-prefix lg]
+//                [--csv FILE] [--skip K] [--resume] [--keep-open]
+//                [--verify] [--spawn-server] [--checkpoint-dir DIR]
+//                [--json OUT]
+//
+// Each of the C connections owns one session ("<prefix>-<c>") and streams
+// N points in ingest batches of B, flushing every F batches (the flush is
+// the latency probe: one round trip covering F*B points). --rate R caps
+// each connection at R points/sec (0 = as fast as possible).
+//
+// --verify runs an in-process reference detector per session on the same
+// stream and requires the canonical verdict encodings to match byte for
+// byte ("BIT-IDENTICAL VERDICTS: OK", exit 0). With --skip K the stream's
+// first K points are assumed already served in an earlier run (the
+// SIGTERM kill/restart flow): the wire sends points [K, K+N) against a
+// session resumed with --resume, while the reference replays [0, K) to
+// warm up and then compares [K, K+N). Flags defining the stream and the
+// config (--dims, --training, --shards, --csv) must match the earlier run.
+//
+// --spawn-server hosts service + server in-process on an ephemeral
+// loopback port (real sockets, zero orchestration) — how the bench
+// regression job measures end-to-end throughput.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <sys/stat.h>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/stats.h"
+#include "common/timer.h"
+#include "core/detector.h"
+#include "eval/presets.h"
+#include "examples/example_flags.h"
+#include "net/protocol.h"
+#include "net/spot_client.h"
+#include "net/spot_server.h"
+#include "service/spot_service.h"
+#include "stream/csv.h"
+#include "stream/synthetic.h"
+
+namespace {
+
+struct Flags {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 7077;
+  std::size_t connections = 2;
+  std::size_t points = 2000;
+  std::size_t batch = 100;
+  std::size_t flush_every = 1;
+  std::size_t rate = 0;  // points/sec per connection; 0 = unthrottled
+  int dims = 8;
+  std::size_t training = 400;
+  std::size_t shards = 1;
+  std::string session_prefix = "lg";
+  std::string csv;
+  std::size_t skip = 0;
+  bool resume = false;
+  bool keep_open = false;
+  bool verify = false;
+  bool spawn_server = false;
+  std::string checkpoint_dir;
+};
+
+/// The session config: derived only from the flags, so a --resume run
+/// reconstructs the identical reference the original run used.
+spot::SpotConfig SessionConfig(const Flags& flags) {
+  spot::SpotConfig cfg = spot::eval::FastTestConfig();
+  cfg.os_update_every = 8;
+  cfg.evolution_period = 300;
+  cfg.num_shards = flags.shards;
+  return cfg;
+}
+
+/// Connection c's training batch (deterministic per connection).
+std::vector<std::vector<double>> Training(const Flags& flags, std::size_t c,
+                                          const spot::stream::CsvParseResult*
+                                              csv) {
+  if (csv != nullptr) {
+    const std::size_t n = std::min(flags.training, csv->rows.size());
+    return std::vector<std::vector<double>>(csv->rows.begin(),
+                                            csv->rows.begin() +
+                                                static_cast<long>(n));
+  }
+  return spot::bench::MakeTraining(flags.dims,
+                                   static_cast<int>(flags.training),
+                                   /*concept_seed=*/500 + c,
+                                   /*seed=*/9100 + c);
+}
+
+/// Connection c's full evaluation stream: `skip + points` points with
+/// stable ids, so a resumed run regenerates exactly the tail it needs.
+std::vector<spot::DataPoint> Stream(const Flags& flags, std::size_t c,
+                                    const spot::stream::CsvParseResult* csv) {
+  std::vector<spot::DataPoint> out;
+  const std::size_t need = flags.skip + flags.points;
+  if (csv != nullptr) {
+    for (std::size_t i = 0; i < need; ++i) {
+      // Replay CSV rows after the training prefix, wrapping around so any
+      // --points works with any file size.
+      const std::size_t base = flags.training;
+      const std::size_t span =
+          csv->rows.size() > base ? csv->rows.size() - base : 1;
+      spot::DataPoint p;
+      p.id = i;
+      p.values = csv->rows[base + (i % span)];
+      out.push_back(std::move(p));
+    }
+    return out;
+  }
+  const std::vector<spot::LabeledPoint> labeled = spot::bench::MakeEvalStream(
+      flags.dims, static_cast<int>(need), /*outlier_prob=*/0.02,
+      /*concept_seed=*/500 + c, /*seed=*/9200 + c);
+  out.reserve(labeled.size());
+  for (const spot::LabeledPoint& p : labeled) out.push_back(p.point);
+  return out;
+}
+
+struct WorkerResult {
+  bool ok = false;
+  bool verified = true;
+  std::string error;
+  double span_seconds = 0.0;  // detection span: first ingest -> last flush
+  std::size_t points_sent = 0;
+  std::vector<double> latencies_ms;
+};
+
+void RunWorker(const Flags& flags, std::size_t c, std::uint16_t port,
+               const spot::stream::CsvParseResult* csv,
+               WorkerResult* result) {
+  const std::string id =
+      flags.session_prefix + "-" + std::to_string(c);
+  spot::net::SpotClient client;
+  bool connected = false;
+  for (int attempt = 0; attempt < 50 && !connected; ++attempt) {
+    connected = client.Connect(flags.host, port);
+    if (!connected) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+  }
+  if (!connected) {
+    result->error = "cannot connect: " + client.last_error();
+    return;
+  }
+
+  const std::vector<std::vector<double>> training = Training(flags, c, csv);
+  const std::vector<spot::DataPoint> stream = Stream(flags, c, csv);
+
+  if (flags.resume ? !client.ResumeSession(id)
+                   : !client.CreateSession(id, SessionConfig(flags),
+                                           training)) {
+    result->error = (flags.resume ? "resume: " : "create: ") +
+                    client.last_error();
+    return;
+  }
+
+  // In-process reference: same config, same training, same stream —
+  // including a silent replay of the [0, skip) prefix an earlier run
+  // already served, so the comparison picks up exactly where it left off.
+  std::unique_ptr<spot::SpotDetector> reference;
+  std::vector<spot::SpotResult> expected;
+  if (flags.verify) {
+    reference =
+        std::make_unique<spot::SpotDetector>(SessionConfig(flags));
+    if (!reference->Learn(training)) {
+      result->error = "reference learning failed";
+      return;
+    }
+    for (std::size_t i = 0; i < flags.skip; i += flags.batch) {
+      const std::size_t n = std::min(flags.batch, flags.skip - i);
+      reference->ProcessBatch(std::vector<spot::DataPoint>(
+          stream.begin() + static_cast<long>(i),
+          stream.begin() + static_cast<long>(i + n)));
+    }
+  }
+
+  std::vector<spot::SpotResult> verdicts;
+  verdicts.reserve(flags.points);
+  const double batch_interval =
+      flags.rate > 0 ? static_cast<double>(flags.batch) /
+                           static_cast<double>(flags.rate)
+                     : 0.0;
+  spot::Timer span;
+  spot::Timer group;  // covers the batches since the last flush
+  double next_send = 0.0;
+  std::size_t batches_since_flush = 0;
+  for (std::size_t i = flags.skip; i < stream.size(); i += flags.batch) {
+    if (batch_interval > 0.0) {
+      while (span.ElapsedSeconds() < next_send) {
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      }
+      next_send += batch_interval;
+    }
+    const std::size_t n = std::min(flags.batch, stream.size() - i);
+    const std::vector<spot::DataPoint> batch(
+        stream.begin() + static_cast<long>(i),
+        stream.begin() + static_cast<long>(i + n));
+    if (batches_since_flush == 0) group.Reset();
+    if (!client.Ingest(id, batch)) {
+      result->error = "ingest: " + client.last_error();
+      return;
+    }
+    if (flags.verify) {
+      const std::vector<spot::SpotResult> ref =
+          reference->ProcessBatch(batch);
+      expected.insert(expected.end(), ref.begin(), ref.end());
+    }
+    result->points_sent += n;
+    if (++batches_since_flush >= flags.flush_every) {
+      if (!client.Flush(id, &verdicts)) {
+        result->error = "flush: " + client.last_error();
+        return;
+      }
+      result->latencies_ms.push_back(group.ElapsedMillis());
+      batches_since_flush = 0;
+    }
+  }
+  if (batches_since_flush > 0) {
+    if (!client.Flush(id, &verdicts)) {
+      result->error = "flush: " + client.last_error();
+      return;
+    }
+    result->latencies_ms.push_back(group.ElapsedMillis());
+  }
+  result->span_seconds = span.ElapsedSeconds();
+
+  if (!flags.keep_open &&
+      !client.CloseSession(id, /*persist=*/true, &verdicts)) {
+    // Persisting needs a server-side checkpoint dir; fall back without.
+    if (!client.connected() ||
+        !client.CloseSession(id, /*persist=*/false, &verdicts)) {
+      result->error = "close: " + client.last_error();
+      return;
+    }
+  }
+
+  if (flags.verify) {
+    if (verdicts.size() != flags.points) {
+      result->error = "verdict count mismatch: got " +
+                      std::to_string(verdicts.size()) + ", want " +
+                      std::to_string(flags.points);
+      result->verified = false;
+      return;
+    }
+    result->verified = spot::net::VerdictBytes(verdicts) ==
+                       spot::net::VerdictBytes(expected);
+    if (!result->verified) {
+      result->error = "verdict bytes diverge from in-process reference";
+      return;
+    }
+  }
+  result->ok = true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  spot::bench::JsonReporter json(argc, argv, "spot_loadgen");
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) args.push_back(argv[i]);
+  namespace ex = spot::examples;
+  Flags flags;
+  flags.host = ex::TakeStringFlag(&args, "host", flags.host);
+  flags.port = static_cast<std::uint16_t>(
+      ex::TakeSizeFlag(&args, "port", flags.port));
+  flags.connections =
+      std::max<std::size_t>(1, ex::TakeSizeFlag(&args, "connections", 2));
+  flags.points = ex::TakeSizeFlag(&args, "points", 2000);
+  flags.batch =
+      std::max<std::size_t>(1, ex::TakeSizeFlag(&args, "batch", 100));
+  flags.flush_every =
+      std::max<std::size_t>(1, ex::TakeSizeFlag(&args, "flush-every", 1));
+  flags.rate = ex::TakeSizeFlag(&args, "rate", 0);
+  flags.dims = static_cast<int>(ex::TakeSizeFlag(&args, "dims", 8));
+  flags.training = ex::TakeSizeFlag(&args, "training", 400);
+  flags.shards = std::max<std::size_t>(1, ex::TakeSizeFlag(&args, "shards", 1));
+  flags.session_prefix =
+      ex::TakeStringFlag(&args, "session-prefix", flags.session_prefix);
+  flags.csv = ex::TakeStringFlag(&args, "csv", "");
+  flags.skip = ex::TakeSizeFlag(&args, "skip", 0);
+  flags.resume = ex::TakeBoolFlag(&args, "resume");
+  flags.keep_open = ex::TakeBoolFlag(&args, "keep-open");
+  flags.verify = ex::TakeBoolFlag(&args, "verify");
+  flags.spawn_server = ex::TakeBoolFlag(&args, "spawn-server");
+  flags.checkpoint_dir = ex::TakeStringFlag(&args, "checkpoint-dir", "");
+  // Swallow the reporter's flag, already parsed from argv.
+  ex::TakeStringFlag(&args, "json", "");
+  if (!args.empty()) {
+    std::fprintf(stderr, "unknown argument '%s'\n", args.front().c_str());
+    return 2;
+  }
+
+  spot::stream::CsvParseResult csv;
+  const bool use_csv = !flags.csv.empty();
+  if (use_csv) {
+    csv = spot::stream::LoadCsvFile(flags.csv);
+    if (csv.rows.size() <= flags.training) {
+      std::fprintf(stderr, "%s: need more than %zu rows\n",
+                   flags.csv.c_str(), flags.training);
+      return 2;
+    }
+  }
+
+  // Optional in-process server: real sockets on an ephemeral port.
+  std::unique_ptr<spot::SpotService> service;
+  std::unique_ptr<spot::net::SpotServer> server;
+  std::thread server_thread;
+  std::uint16_t port = flags.port;
+  if (flags.spawn_server) {
+    spot::SpotServiceConfig scfg;
+    scfg.num_shards = flags.shards;
+    scfg.max_resident = std::max<std::size_t>(8, flags.connections);
+    scfg.checkpoint_dir = flags.checkpoint_dir;
+    if (!scfg.checkpoint_dir.empty()) {
+      ::mkdir(scfg.checkpoint_dir.c_str(), 0755);
+    }
+    service = std::make_unique<spot::SpotService>(scfg);
+    spot::net::SpotServerConfig ncfg;
+    ncfg.port = 0;
+    server = std::make_unique<spot::net::SpotServer>(service.get(), ncfg);
+    if (!server->Start()) {
+      std::fprintf(stderr, "cannot start in-process server\n");
+      return 1;
+    }
+    port = server->port();
+    server_thread = std::thread([&server] { server->Run(); });
+    std::printf("spawned in-process server on 127.0.0.1:%u\n", port);
+  }
+
+  std::printf("loadgen: %zu connection(s) x %zu points (batch %zu, flush "
+              "every %zu, rate %zu pts/s/conn, skip %zu)%s\n",
+              flags.connections, flags.points, flags.batch,
+              flags.flush_every, flags.rate, flags.skip,
+              flags.verify ? " with --verify" : "");
+
+  std::vector<WorkerResult> results(flags.connections);
+  {
+    std::vector<std::thread> workers;
+    for (std::size_t c = 0; c < flags.connections; ++c) {
+      workers.emplace_back(RunWorker, std::cref(flags), c, port,
+                           use_csv ? &csv : nullptr, &results[c]);
+    }
+    for (std::thread& t : workers) t.join();
+  }
+  if (server != nullptr) {
+    server->Stop();
+    server_thread.join();
+  }
+
+  bool all_ok = true;
+  bool all_verified = true;
+  double max_span = 0.0;
+  std::size_t total_points = 0;
+  std::vector<double> latencies;
+  for (std::size_t c = 0; c < results.size(); ++c) {
+    const WorkerResult& r = results[c];
+    if (!r.ok) {
+      std::fprintf(stderr, "connection %zu failed: %s\n", c,
+                   r.error.c_str());
+      all_ok = false;
+    }
+    all_verified &= r.verified;
+    max_span = std::max(max_span, r.span_seconds);
+    total_points += r.points_sent;
+    latencies.insert(latencies.end(), r.latencies_ms.begin(),
+                     r.latencies_ms.end());
+  }
+
+  const double pts_per_sec =
+      max_span > 0.0 ? static_cast<double>(total_points) / max_span : 0.0;
+  spot::eval::Table table({"connections", "points", "batch", "shards",
+                           "pts/s", "p50 ms", "p95 ms", "p99 ms"});
+  table.AddRow({spot::eval::Table::Int(flags.connections),
+                spot::eval::Table::Int(total_points),
+                spot::eval::Table::Int(flags.batch),
+                spot::eval::Table::Int(flags.shards),
+                spot::eval::Table::Int(
+                    static_cast<std::uint64_t>(pts_per_sec)),
+                spot::eval::Table::Num(spot::Quantile(latencies, 0.50), 2),
+                spot::eval::Table::Num(spot::Quantile(latencies, 0.95), 2),
+                spot::eval::Table::Num(spot::Quantile(latencies, 0.99), 2)});
+  json.Print(table, "LOADGEN: end-to-end server throughput");
+
+  if (flags.verify) {
+    std::printf("\nBIT-IDENTICAL VERDICTS: %s\n",
+                all_ok && all_verified ? "OK" : "FAIL");
+  }
+  return all_ok && all_verified ? 0 : 1;
+}
