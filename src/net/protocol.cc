@@ -192,15 +192,16 @@ FrameDecoder::Status FrameDecoder::Corrupt(const std::string& reason) {
   return Status::kCorrupt;
 }
 
+void FrameDecoder::Reclaim() {
+  if (off_ == 0) return;
+  buf_.erase(0, off_);
+  off_ = 0;
+}
+
 FrameDecoder::Status FrameDecoder::Next(Frame* out) {
   if (corrupt_) return Status::kCorrupt;
   if (buf_.size() - off_ < kFrameHeaderBytes) {
-    // Reclaim consumed prefix while idle so a long-lived connection does
-    // not grow the buffer without bound.
-    if (off_ > 0) {
-      buf_.erase(0, off_);
-      off_ = 0;
-    }
+    Reclaim();
     return Status::kNeedMore;
   }
   WireReader header(buf_.data() + off_, kFrameHeaderBytes);
@@ -215,6 +216,12 @@ FrameDecoder::Status FrameDecoder::Next(Frame* out) {
   if (flags != 0) return Corrupt("non-zero reserved flags");
   if (payload_len > max_payload_) return Corrupt("oversized frame payload");
   if (buf_.size() - off_ < kFrameHeaderBytes + payload_len) {
+    // Reclaim here too: a frame straddling the reader's recv chunks with
+    // off_ > 0 would otherwise retain every byte this connection ever
+    // sent (callers drain Next() to kNeedMore after each Append, so this
+    // runs once per read batch and the buffer stays bounded by one
+    // in-flight frame plus one read).
+    Reclaim();
     return Status::kNeedMore;
   }
   const char* payload = buf_.data() + off_ + kFrameHeaderBytes;

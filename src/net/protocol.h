@@ -150,6 +150,12 @@ std::string EncodeFrame(MsgType type, const std::string& payload);
 /// Corruption (bad magic, unknown version, non-zero flags, CRC mismatch,
 /// payload over `max_payload`) is terminal: the decoder latches kCorrupt
 /// and the connection must be closed. Truncation is simply kNeedMore.
+///
+/// Memory bound: every kNeedMore return reclaims the prefix consumed by
+/// already-delivered frames, so the internal buffer never holds more than
+/// one in-flight frame (<= 16 + max_payload bytes) plus whatever the last
+/// Append delivered — a connection cannot grow it without bound by pacing
+/// frames across reads.
 class FrameDecoder {
  public:
   enum class Status { kFrame, kNeedMore, kCorrupt };
@@ -167,8 +173,15 @@ class FrameDecoder {
   /// Bytes buffered but not yet consumed by complete frames.
   std::size_t buffered() const { return buf_.size() - off_; }
 
+  /// Total bytes held internally, including any consumed-but-unreclaimed
+  /// prefix (observability for the memory-bound regression test).
+  std::size_t buffer_bytes() const { return buf_.size(); }
+
  private:
   Status Corrupt(const std::string& reason);
+  /// Erases the consumed prefix so drained Next() loops leave at most one
+  /// partial frame buffered (see the class-level memory bound).
+  void Reclaim();
 
   std::size_t max_payload_;
   std::string buf_;

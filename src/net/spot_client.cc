@@ -44,7 +44,7 @@ bool SpotClient::Connect(const std::string& host, std::uint16_t port) {
   }
   const int one = 1;
   ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-  decoder_ = FrameDecoder();
+  decoder_ = FrameDecoder(max_payload_);
   stash_.clear();
   outstanding_.clear();
   last_error_.clear();
@@ -66,6 +66,16 @@ void SpotClient::FailTransport(const std::string& what) {
 bool SpotClient::SendFrame(MsgType type, const std::string& payload) {
   if (fd_ < 0) {
     last_error_ = "not connected";
+    return false;
+  }
+  // A payload over the wire cap is connection-fatal server-side (the
+  // frame decoder latches corrupt and closes); refuse to send it and
+  // name the real cause instead, leaving the connection untouched.
+  if (payload.size() > max_payload_) {
+    last_error_ = "frame payload of " + std::to_string(payload.size()) +
+                  " bytes exceeds the " + std::to_string(max_payload_) +
+                  "-byte wire cap; split the batch (or set_max_payload to "
+                  "match a server with a raised cap)";
     return false;
   }
   const std::string wire = EncodeFrame(type, payload);
@@ -240,6 +250,19 @@ bool SpotClient::AwaitResponse(MsgType request) {
 bool SpotClient::CreateSession(
     const std::string& id, const SpotConfig& config,
     const std::vector<std::vector<double>>& training) {
+  // The wire encodes the training matrix as rows * dims cells, so a
+  // ragged matrix would produce a payload the server can only reject as
+  // generically malformed (closing the connection). Fail fast here with
+  // an error that names the offending row instead.
+  for (std::size_t i = 0; i < training.size(); ++i) {
+    if (training[i].size() != training.front().size()) {
+      last_error_ = "ragged training matrix: row " + std::to_string(i) +
+                    " has " + std::to_string(training[i].size()) +
+                    " attributes, row 0 has " +
+                    std::to_string(training.front().size());
+      return false;
+    }
+  }
   CreateSessionReq req;
   req.session_id = id;
   req.config = config;
@@ -256,6 +279,19 @@ bool SpotClient::ResumeSession(const std::string& id) {
 
 bool SpotClient::Ingest(const std::string& id,
                         const std::vector<DataPoint>& points) {
+  // Same wire constraint as the training matrix: a batch mixing point
+  // dimensions cannot be encoded; name the offender instead of letting
+  // the server drop the connection on a malformed payload.
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (points[i].values.size() != points.front().values.size()) {
+      last_error_ = "mixed-dimension ingest batch: point " +
+                    std::to_string(i) + " has " +
+                    std::to_string(points[i].values.size()) +
+                    " attributes, point 0 has " +
+                    std::to_string(points.front().values.size());
+      return false;
+    }
+  }
   IngestReq req;
   req.session_id = id;
   req.points = points;

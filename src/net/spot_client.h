@@ -44,6 +44,9 @@ class SpotClient {
   bool connected() const { return fd_ >= 0; }
 
   /// Creates and learns a session on the server (blocks for the Ok).
+  /// `training` must be rectangular — the wire carries one rows*dims
+  /// matrix — so a ragged input fails fast here (row named in
+  /// last_error()) without touching the connection.
   bool CreateSession(const std::string& id, const SpotConfig& config,
                      const std::vector<std::vector<double>>& training);
 
@@ -52,7 +55,9 @@ class SpotClient {
   bool ResumeSession(const std::string& id);
 
   /// Pipelined ingest: sends the batch and returns. Verdicts are
-  /// collected per session and handed out by the next Flush().
+  /// collected per session and handed out by the next Flush(). Every
+  /// point in the batch must have the same dimension (fails fast
+  /// client-side otherwise, like CreateSession's training matrix).
   bool Ingest(const std::string& id, const std::vector<DataPoint>& points);
 
   /// Barrier: forces the server to process everything pending for `id`
@@ -68,6 +73,14 @@ class SpotClient {
   /// points; trailing verdicts are appended to `verdicts` when non-null.
   bool CloseSession(const std::string& id, bool persist = true,
                     std::vector<SpotResult>* verdicts = nullptr);
+
+  /// Wire payload cap in both directions: requests over it are refused
+  /// fail-fast (an over-cap frame is connection-fatal server-side), and
+  /// Connect() sizes the receive decoder with it. Defaults to the
+  /// protocol's kDefaultMaxPayloadBytes; set it BEFORE Connect() to
+  /// match a server with a non-default SpotServerConfig::max_payload_bytes.
+  void set_max_payload(std::size_t bytes) { max_payload_ = bytes; }
+  std::size_t max_payload() const { return max_payload_; }
 
   /// Last transport or server-reported error (empty when none).
   const std::string& last_error() const { return last_error_; }
@@ -91,6 +104,7 @@ class SpotClient {
   void FailTransport(const std::string& what);
 
   int fd_ = -1;
+  std::size_t max_payload_ = kDefaultMaxPayloadBytes;
   FrameDecoder decoder_;
   std::string last_error_;
   std::map<std::string, std::vector<SpotResult>> stash_;

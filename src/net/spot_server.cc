@@ -241,16 +241,21 @@ void SpotServer::Run() {
 
 bool SpotServer::RunOnce(int timeout_ms) {
   if (stopping() || poller_ == nullptr) return false;
-  if (listener_paused_) {
-    // Re-arm the listener paused by an fd-exhausted accept last turn.
-    poller_->Add(listen_fd_, /*read=*/true, /*write=*/false);
-    listener_paused_ = false;
-  }
   std::vector<Poller::Event> events;
   if (poller_->Wait(timeout_ms, &events) < 0) {
     SPOT_LOG(Error) << "event wait failed: " << std::strerror(errno);
     Stop();
     return false;
+  }
+  if (listener_paused_) {
+    // Re-arm the listener paused by an fd-exhausted accept. This must
+    // happen AFTER a Wait, not before it: re-arming first would put the
+    // still-unaccepted connection right back into the wait set, making
+    // it return immediately and turning the "pause" into a hot
+    // accept/EMFILE spin. Waiting once without the listener restores
+    // the idle cadence the pause exists to protect.
+    poller_->Add(listen_fd_, /*read=*/true, /*write=*/false);
+    listener_paused_ = false;
   }
   for (const Poller::Event& ev : events) {
     if (ev.fd == listen_fd_) {
@@ -622,15 +627,41 @@ bool SpotServer::ProcessPending(Conn& conn, const std::string& id,
     }
     ++stats_.batches_run;
     stats_.points_ingested += n;
-    VerdictsResp resp;
-    resp.session_id = id;
-    resp.first_point_id = chunk.front().id;
-    resp.verdicts = std::move(result.verdicts);
-    const std::string payload = EncodeVerdicts(resp);
-    Enqueue(conn, MsgType::kVerdicts, payload);
-    SessionNetActivity activity;
-    activity.bytes_out = kFrameHeaderBytes + payload.size();
-    service_->RecordNetwork(id, activity);
+    // A large coalesced run's verdicts can encode past the wire payload
+    // cap (13 bytes per verdict + 32 per finding), which the client's
+    // decoder would latch as corrupt. Split the run into as many
+    // kVerdicts frames as the cap requires — protocol-legal (verdicts
+    // arrive "batched however the server coalesced them") with
+    // first_point_id kept accurate per frame.
+    const std::size_t header_bytes = 4 + id.size() + 8 + 4;
+    std::size_t begin = 0;
+    while (begin < result.verdicts.size()) {
+      std::size_t bytes = header_bytes;
+      std::size_t end = begin;
+      while (end < result.verdicts.size()) {
+        const std::size_t vbytes =
+            13 + 32 * result.verdicts[end].findings.size();
+        if (end > begin && bytes + vbytes > config_.max_payload_bytes) {
+          break;
+        }
+        bytes += vbytes;
+        ++end;
+      }
+      VerdictsResp resp;
+      resp.session_id = id;
+      resp.first_point_id = chunk[begin].id;
+      resp.verdicts.assign(
+          std::make_move_iterator(result.verdicts.begin() +
+                                  static_cast<std::ptrdiff_t>(begin)),
+          std::make_move_iterator(result.verdicts.begin() +
+                                  static_cast<std::ptrdiff_t>(end)));
+      const std::string payload = EncodeVerdicts(resp);
+      Enqueue(conn, MsgType::kVerdicts, payload);
+      SessionNetActivity activity;
+      activity.bytes_out = kFrameHeaderBytes + payload.size();
+      service_->RecordNetwork(id, activity);
+      begin = end;
+    }
   }
   pending.erase(pending.begin(), pending.begin() + static_cast<long>(pos));
   return ok;
@@ -678,7 +709,23 @@ void SpotServer::TryFlush(Conn& conn) {
                conn.outbuf.size() - conn.out_off, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
-      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // Reclaim the sent prefix (mirroring FrameDecoder's read-side
+        // bound): a connection whose queue never fully drains — e.g. a
+        // consumer pacing itself around the backpressure threshold —
+        // must not retain every verdict byte ever sent to it. Only past
+        // a threshold, though: level-triggered epoll wakes us on every
+        // sndbuf vacancy, and an unconditional erase would let a
+        // byte-at-a-time consumer force an O(queued) memmove per byte
+        // of progress. The memory bound holds amortized: outbuf never
+        // exceeds the unsent bytes plus this threshold.
+        constexpr std::size_t kOutbufReclaimBytes = 64 * 1024;
+        if (conn.out_off >= kOutbufReclaimBytes) {
+          conn.outbuf.erase(0, conn.out_off);
+          conn.out_off = 0;
+        }
+        return;
+      }
       // Peer is gone; drop the queue and let the deferred sweep close us.
       conn.outbuf.clear();
       conn.out_off = 0;

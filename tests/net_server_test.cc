@@ -295,6 +295,54 @@ TEST(NetRobustnessTest, IngestToUnknownSessionReportsErrorAndCloses) {
       << client.last_error();
 }
 
+TEST(NetRobustnessTest, InvalidClientInputFailsFastWithoutTouchingWire) {
+  TestServer server(SpotServiceConfig{}, SpotServerConfig{});
+  SpotClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()));
+
+  // A ragged training matrix cannot be encoded as the wire's rows*dims
+  // block; the client must reject it naming the offending row, before
+  // any bytes hit the socket (the server could only close the connection
+  // on a generically malformed payload).
+  std::vector<std::vector<double>> ragged = TenantTraining(0);
+  ragged[3].pop_back();
+  EXPECT_FALSE(client.CreateSession("rag", SessionConfig(), ragged));
+  EXPECT_NE(client.last_error().find("ragged"), std::string::npos)
+      << client.last_error();
+  EXPECT_NE(client.last_error().find("row 3"), std::string::npos)
+      << client.last_error();
+  EXPECT_EQ(client.bytes_sent(), 0u);
+
+  // Same for an ingest batch mixing point dimensions.
+  std::vector<DataPoint> mixed = TenantPoints(0, 4);
+  mixed[2].values.push_back(1.0);
+  EXPECT_FALSE(client.Ingest("rag", mixed));
+  EXPECT_NE(client.last_error().find("point 2"), std::string::npos)
+      << client.last_error();
+  EXPECT_EQ(client.bytes_sent(), 0u);
+
+  // A batch whose payload would exceed the 16 MiB wire cap is equally
+  // connection-fatal server-side (the decoder latches corrupt); the
+  // client refuses to send it and names the cause.
+  std::vector<DataPoint> huge(260000);
+  for (std::size_t i = 0; i < huge.size(); ++i) {
+    huge[i].id = i;
+    huge[i].values.assign(8, 0.5);  // 260k * 72 B ~ 18 MB > 16 MiB cap
+  }
+  EXPECT_FALSE(client.Ingest("rag", huge));
+  EXPECT_NE(client.last_error().find("wire cap"), std::string::npos)
+      << client.last_error();
+  EXPECT_EQ(client.bytes_sent(), 0u);
+
+  // The connection was never touched: the same client still works.
+  ASSERT_TRUE(
+      client.CreateSession("rag", SessionConfig(), TenantTraining(0)));
+  std::vector<SpotResult> verdicts;
+  ASSERT_TRUE(client.Ingest("rag", TenantPoints(0, 4)));
+  EXPECT_TRUE(client.Flush("rag", &verdicts));
+  EXPECT_EQ(verdicts.size(), 4u);
+}
+
 TEST(NetRobustnessTest, SessionExclusiveToOneConnection) {
   const std::string dir = MakeCheckpointDir("excl");
   SpotServiceConfig scfg;
@@ -324,6 +372,49 @@ TEST(NetRobustnessTest, SessionExclusiveToOneConnection) {
   ASSERT_TRUE(third.Ingest("solo", TenantPoints(0, 8)));
   EXPECT_TRUE(third.Flush("solo", &verdicts));
   EXPECT_EQ(verdicts.size(), 8u);
+}
+
+// A coalesced run whose verdicts would encode past the wire payload cap
+// must be split across multiple kVerdicts frames: the client sizes its
+// receive decoder to the agreed cap, so an unsplit over-cap frame is
+// latched as corrupt and fails the Flush. Cap and batch_points are chosen
+// so every full coalesced run (96 verdicts >= 1265 encoded bytes) exceeds
+// the 1200-byte cap, and the split stream must still be byte-identical to
+// the in-process reference.
+TEST(NetRobustnessTest, VerdictRunsSplitUnderSmallPayloadCap) {
+  const SpotConfig cfg = SessionConfig();
+  const auto training = TenantTraining(0);
+  const std::vector<DataPoint> points = TenantPoints(0, 1500);
+
+  SpotService reference{SpotServiceConfig{}};
+  ASSERT_TRUE(reference.CreateSession("v", cfg, training));
+  const IngestResult ref = reference.Ingest("v", points);
+  ASSERT_TRUE(ref.ok);
+
+  SpotServerConfig ncfg;
+  ncfg.max_payload_bytes = 1200;
+  ncfg.batch_points = 96;
+  TestServer server(SpotServiceConfig{}, ncfg);
+  // The CreateSession payload (config + training) cannot fit the tiny
+  // cap; create the session directly in the service and attach to it.
+  ASSERT_TRUE(server.service().CreateSession("v", cfg, training));
+
+  SpotClient client;
+  client.set_max_payload(1200);
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()));
+  ASSERT_TRUE(client.ResumeSession("v")) << client.last_error();
+  std::vector<SpotResult> verdicts;
+  for (std::size_t i = 0; i < points.size(); i += 21) {
+    const std::size_t n = std::min<std::size_t>(21, points.size() - i);
+    ASSERT_TRUE(client.Ingest(
+        "v", std::vector<DataPoint>(points.begin() + static_cast<long>(i),
+                                    points.begin() +
+                                        static_cast<long>(i + n))))
+        << client.last_error();
+  }
+  ASSERT_TRUE(client.Flush("v", &verdicts)) << client.last_error();
+  ASSERT_EQ(verdicts.size(), points.size());
+  EXPECT_EQ(VerdictBytes(verdicts), VerdictBytes(ref.verdicts));
 }
 
 // A slow consumer must stall only itself: with a tiny outbound cap the

@@ -4,6 +4,7 @@
 // every payload codec, and rejection of truncated / corrupt / oversized
 // frames without a crash.
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <cstring>
@@ -167,6 +168,40 @@ TEST(FrameTest, OversizedFrameRejectedBeforeBuffering) {
   decoder.Append(header.data(), header.size());
   Frame frame;
   EXPECT_EQ(decoder.Next(&frame), FrameDecoder::Status::kCorrupt);
+}
+
+TEST(FrameTest, ConsumedPrefixReclaimedWhenFramesStraddleReads) {
+  // Regression: the mid-frame kNeedMore path used to skip reclaiming the
+  // consumed prefix, so frames straddling recv-sized appends (with a
+  // >= 16-byte remainder after each drained frame) retained every byte a
+  // connection ever sent — linear RSS growth despite the payload cap.
+  // Stream frames sized one byte past the append chunk so every append
+  // ends mid-frame with a consumed prefix, and assert the decoder's
+  // internal buffer stays bounded by one in-flight frame + one append.
+  const std::size_t kChunk = 64 * 1024;
+  const std::string payload(kChunk - kFrameHeaderBytes + 1, 'p');
+  const std::string wire = EncodeFrame(MsgType::kIngest, payload);
+  ASSERT_EQ(wire.size(), kChunk + 1);
+
+  const int kFrames = 64;
+  std::string stream;
+  stream.reserve(wire.size() * kFrames);
+  for (int i = 0; i < kFrames; ++i) stream += wire;
+
+  FrameDecoder decoder;
+  Frame frame;
+  int got = 0;
+  for (std::size_t off = 0; off < stream.size(); off += kChunk) {
+    const std::size_t n = std::min(kChunk, stream.size() - off);
+    decoder.Append(stream.data() + off, n);
+    while (decoder.Next(&frame) == FrameDecoder::Status::kFrame) {
+      EXPECT_EQ(frame.payload.size(), payload.size());
+      ++got;
+    }
+    EXPECT_LE(decoder.buffer_bytes(), wire.size() + kChunk);
+  }
+  EXPECT_EQ(got, kFrames);
+  EXPECT_EQ(decoder.buffered(), 0u);
 }
 
 TEST(FrameTest, TruncatedFrameIsJustNeedMore) {

@@ -239,14 +239,14 @@ void RunWorker(const Flags& flags, std::size_t c, std::uint16_t port,
   }
   result->span_seconds = span.ElapsedSeconds();
 
+  // persist=true is a no-op on a server without a checkpoint dir, so a
+  // failure here is a real checkpoint error — surface it rather than
+  // retrying with persist=false, which would silently discard the
+  // session state and report a green run.
   if (!flags.keep_open &&
       !client.CloseSession(id, /*persist=*/true, &verdicts)) {
-    // Persisting needs a server-side checkpoint dir; fall back without.
-    if (!client.connected() ||
-        !client.CloseSession(id, /*persist=*/false, &verdicts)) {
-      result->error = "close: " + client.last_error();
-      return;
-    }
+    result->error = "close: " + client.last_error();
+    return;
   }
 
   if (flags.verify) {
