@@ -74,13 +74,12 @@ int main(int argc, char** argv) {
   const std::size_t batch =
       spot::examples::TakeSizeFlag(&positional, "batch", 64);
 
-  // The serving side: one service (shared shard pool) + one event loop.
+  // The serving side: a single-reactor server owning its service shard.
   spot::SpotServiceConfig scfg;
   scfg.num_shards = num_threads;
-  spot::SpotService service(scfg);
   spot::net::SpotServerConfig ncfg;
   ncfg.port = 0;  // ephemeral
-  spot::net::SpotServer server(&service, ncfg);
+  spot::net::SpotServer server(scfg, ncfg);
   if (!server.Start()) {
     std::fprintf(stderr, "cannot start server\n");
     return 1;
@@ -144,7 +143,7 @@ int main(int argc, char** argv) {
 
   // Transport counters from the service's metrics registry.
   spot::SessionMetrics metrics;
-  if (service.GetMetrics("sensors", &metrics)) {
+  if (server.service().GetMetrics("sensors", &metrics)) {
     std::printf("session 'sensors': %llu points, %zu alarms | %llu frames, "
                 "%llu/%llu bytes in/out, queue peak %llu, %llu stalls\n",
                 static_cast<unsigned long long>(

@@ -1,0 +1,40 @@
+#ifndef SPOT_NET_POLLER_H_
+#define SPOT_NET_POLLER_H_
+
+#include <memory>
+#include <vector>
+
+namespace spot {
+namespace net {
+
+/// Readiness-notification interface: epoll(7) on Linux, poll(2) elsewhere
+/// (or when SpotServerConfig::use_epoll is off). Level-triggered in both
+/// implementations, so a partially drained buffer simply re-reports. Each
+/// reactor owns one Poller; instances are not thread-safe and must only
+/// be touched from their reactor's loop thread.
+class Poller {
+ public:
+  struct Event {
+    int fd = -1;
+    bool readable = false;
+    bool writable = false;
+    bool error = false;
+  };
+
+  virtual ~Poller() = default;
+  virtual bool Add(int fd, bool read, bool write) = 0;
+  virtual void Update(int fd, bool read, bool write) = 0;
+  virtual void Remove(int fd) = 0;
+  /// Waits up to `timeout_ms`; fills `out`. Returns the event count, 0 on
+  /// timeout, -1 on a wait error other than EINTR.
+  virtual int Wait(int timeout_ms, std::vector<Event>* out) = 0;
+
+  /// Builds the best available implementation: epoll when `use_epoll` and
+  /// the platform supports it, the portable poll(2) loop otherwise.
+  static std::unique_ptr<Poller> Create(bool use_epoll);
+};
+
+}  // namespace net
+}  // namespace spot
+
+#endif  // SPOT_NET_POLLER_H_

@@ -1,0 +1,670 @@
+#include "net/reactor.h"
+
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <iterator>
+#include <utility>
+
+#include "common/log.h"
+#include "net/session_registry.h"
+#include "service/spot_service.h"
+
+namespace spot {
+namespace net {
+
+namespace {
+
+bool SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+}  // namespace
+
+Reactor::Reactor(int index, const SpotServerConfig& config,
+                 SpotService* service, SessionRegistry* registry,
+                 const std::atomic<bool>* stop)
+    : index_(index),
+      config_(config),
+      service_(service),
+      registry_(registry),
+      stop_(stop) {}
+
+Reactor::~Reactor() { Shutdown(); }
+
+bool Reactor::Init() {
+  poller_ = Poller::Create(config_.use_epoll);
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0) {
+    SPOT_LOG(Error) << "reactor " << index_
+                    << ": pipe(): " << std::strerror(errno);
+    return false;
+  }
+  wake_rd_ = pipe_fds[0];
+  wake_wr_ = pipe_fds[1];
+  if (!SetNonBlocking(wake_rd_) || !SetNonBlocking(wake_wr_)) {
+    return false;
+  }
+  poller_->Add(wake_rd_, /*read=*/true, /*write=*/false);
+  return true;
+}
+
+void Reactor::AdoptListener(int fd, bool acceptor,
+                            std::vector<Reactor*> handoff_targets) {
+  listen_fd_ = fd;
+  acceptor_ = acceptor;
+  handoff_targets_ = std::move(handoff_targets);
+  poller_->Add(listen_fd_, /*read=*/true, /*write=*/false);
+}
+
+void Reactor::Run() {
+  while (RunOnce(config_.poll_interval_ms)) {
+  }
+  Shutdown();
+}
+
+bool Reactor::RunOnce(int timeout_ms) {
+  if (stopping() || poller_ == nullptr || shutdown_done_) return false;
+  std::vector<Poller::Event> events;
+  if (poller_->Wait(timeout_ms, &events) < 0) {
+    SPOT_LOG(Error) << "reactor " << index_
+                    << ": event wait failed: " << std::strerror(errno);
+    return false;
+  }
+  if (listener_paused_) {
+    // Re-arm the listener paused by an fd-exhausted accept. This must
+    // happen AFTER a Wait, not before it: re-arming first would put the
+    // still-unaccepted connection right back into the wait set, making
+    // it return immediately and turning the "pause" into a hot
+    // accept/EMFILE spin. Waiting once without the listener restores
+    // the idle cadence the pause exists to protect — and since the flag
+    // and the listener are this reactor's own, a paused shard never
+    // touches (or stalls) any other reactor's accepts.
+    poller_->Add(listen_fd_, /*read=*/true, /*write=*/false);
+    listener_paused_ = false;
+  }
+  for (const Poller::Event& ev : events) {
+    if (ev.fd == wake_rd_) {
+      DrainIntake();
+      continue;
+    }
+    if (ev.fd == listen_fd_) {
+      AcceptReady();
+      continue;
+    }
+    if (ev.error && conns_.count(ev.fd) > 0) {
+      CloseConn(ev.fd);
+      continue;
+    }
+    if (ev.readable) ReadReady(ev.fd);
+    if (ev.writable) WriteReady(ev.fd);  // re-checks liveness itself
+  }
+  // End-of-turn batch cut: whatever points arrived together in this turn
+  // are processed together (the coalescing the protocol is built around).
+  FlushAllPending();
+  // Deferred closes: connections marked want_close go once their output
+  // drained (or their socket broke).
+  std::vector<int> doomed;
+  for (const auto& [fd, conn] : conns_) {
+    if (conn->want_close && conn->out_off >= conn->outbuf.size()) {
+      doomed.push_back(fd);
+    }
+  }
+  for (int fd : doomed) CloseConn(fd);
+  return !stopping();
+}
+
+void Reactor::Shutdown() {
+  if (shutdown_done_) return;
+  shutdown_done_ = true;
+  // Process every connection's pending points (they arrived; the engine
+  // state must reflect them before the checkpoint), push what we can of
+  // the outbound queues without blocking, and close.
+  std::vector<int> fds;
+  fds.reserve(conns_.size());
+  for (const auto& [fd, conn] : conns_) fds.push_back(fd);
+  for (int fd : fds) {
+    auto it = conns_.find(fd);
+    if (it == conns_.end()) continue;
+    Conn& conn = *it->second;
+    for (auto& [id, pending] : conn.pending) {
+      if (!pending.empty()) ProcessPending(conn, id, /*all=*/true);
+    }
+    TryFlush(conn);
+    CloseConn(fd);
+  }
+  if (listen_fd_ >= 0) {
+    if (poller_ != nullptr) poller_->Remove(listen_fd_);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  {
+    // Accepted but never adopted connections just close.
+    std::lock_guard<std::mutex> lock(intake_mu_);
+    for (int fd : intake_) ::close(fd);
+    intake_.clear();
+  }
+  if (wake_rd_ >= 0) {
+    if (poller_ != nullptr) poller_->Remove(wake_rd_);
+    ::close(wake_rd_);
+    ::close(wake_wr_);
+    wake_rd_ = wake_wr_ = -1;
+  }
+  poller_.reset();
+  if (service_ != nullptr && !service_->config().checkpoint_dir.empty()) {
+    if (service_->CheckpointAll()) {
+      SPOT_LOG(Info) << "reactor " << index_
+                     << " shutdown checkpoint: all sessions saved";
+    } else {
+      SPOT_LOG(Error) << "reactor " << index_
+                      << " shutdown checkpoint failed for some sessions";
+    }
+  }
+}
+
+// ----------------------------------------------------------- connections --
+
+void Reactor::EnqueueConn(int fd) {
+  {
+    std::lock_guard<std::mutex> lock(intake_mu_);
+    intake_.push_back(fd);
+  }
+  // Wake the loop; a full pipe is fine — the byte already in it wakes us.
+  const char byte = 1;
+  (void)!::write(wake_wr_, &byte, 1);
+}
+
+void Reactor::DrainIntake() {
+  char buf[64];
+  while (::read(wake_rd_, buf, sizeof(buf)) > 0) {
+  }
+  std::vector<int> fds;
+  {
+    std::lock_guard<std::mutex> lock(intake_mu_);
+    fds.swap(intake_);
+  }
+  for (int fd : fds) AdoptConn(fd);
+}
+
+void Reactor::AdoptConn(int fd) {
+  auto conn = std::make_unique<Conn>();
+  conn->fd = fd;
+  conn->decoder = FrameDecoder(config_.max_payload_bytes);
+  poller_->Add(fd, /*read=*/true, /*write=*/false);
+  conns_.emplace(fd, std::move(conn));
+  ++stats_.connections_accepted;
+}
+
+void Reactor::AcceptReady() {
+  while (true) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EMFILE || errno == ENFILE) {
+        // Out of descriptors with a connection still queued: the
+        // level-triggered listen fd would re-fire every Wait and spin
+        // this loop hot. Deregister it for one turn (RunOnce re-arms it)
+        // so the degraded reactor keeps its idle cadence. Only THIS
+        // reactor's listener pauses: other reactors own their own
+        // listeners (SO_REUSEPORT mode) and keep accepting.
+        SPOT_LOG(Error) << "reactor " << index_
+                        << ": accept(): " << std::strerror(errno)
+                        << "; pausing this reactor's listener for one turn";
+        poller_->Remove(listen_fd_);
+        listener_paused_ = true;
+        ++stats_.listener_pauses;
+      }
+      return;  // EAGAIN or transient accept failure: try next turn
+    }
+    if (!SetNonBlocking(fd)) {
+      ::close(fd);
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    if (config_.sndbuf_bytes > 0) {
+      ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &config_.sndbuf_bytes,
+                   sizeof(config_.sndbuf_bytes));
+    }
+    if (acceptor_ && !handoff_targets_.empty()) {
+      // Hand-off mode: deal connections round-robin across all reactors
+      // (deterministic placement — connection k lands on reactor k % N).
+      Reactor* target =
+          handoff_targets_[next_target_ % handoff_targets_.size()];
+      ++next_target_;
+      if (target != this) {
+        target->EnqueueConn(fd);
+        continue;
+      }
+    }
+    AdoptConn(fd);
+  }
+}
+
+void Reactor::CloseConn(int fd) {
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  Conn& conn = *it->second;
+  // Points the client successfully delivered are part of the stream even
+  // if it vanished before reading the verdicts: process them so the
+  // session's engine state stays deterministic (the verdicts go nowhere).
+  for (auto& [id, pending] : conn.pending) {
+    if (!pending.empty()) ProcessPending(conn, id, /*all=*/true);
+  }
+  DetachSessions(conn);
+  if (poller_ != nullptr) poller_->Remove(fd);
+  ::close(fd);
+  conns_.erase(it);
+  ++stats_.connections_closed;
+}
+
+void Reactor::AttachLocal(Conn& conn, const std::string& id) {
+  session_owner_[id] = conn.fd;
+  conn.sessions.push_back(id);
+}
+
+void Reactor::DetachSessions(Conn& conn) {
+  for (const std::string& id : conn.sessions) {
+    session_owner_.erase(id);
+    // The session stays home on this reactor's shard, unattached; a
+    // later resume from any reactor re-attaches (or hands it off).
+    registry_->Detach(id, index_, conn.fd);
+  }
+  conn.sessions.clear();
+  conn.pending.clear();
+}
+
+// ----------------------------------------------------------------- reads --
+
+void Reactor::ReadReady(int fd) {
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  Conn& conn = *it->second;
+  char buf[65536];
+  while (!conn.paused && !conn.want_close) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n == 0) {
+      CloseConn(fd);
+      return;
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      CloseConn(fd);
+      return;
+    }
+    stats_.bytes_in += static_cast<std::uint64_t>(n);
+    conn.decoder.Append(buf, static_cast<std::size_t>(n));
+    Frame frame;
+    while (!conn.want_close) {
+      const FrameDecoder::Status status = conn.decoder.Next(&frame);
+      if (status == FrameDecoder::Status::kNeedMore) break;
+      if (status == FrameDecoder::Status::kCorrupt) {
+        // The byte stream cannot be resynchronized mid-frame: drop the
+        // connection. (Sessions stay intact; the client can reconnect.)
+        ++stats_.corrupt_frames;
+        SPOT_LOG(Error) << "closing connection " << fd << ": "
+                        << conn.decoder.error();
+        CloseConn(fd);
+        return;
+      }
+      ++stats_.frames_received;
+      if (!HandleFrame(conn, frame)) {
+        // Response (if any) is queued; close once it drains.
+        conn.want_close = true;
+      }
+    }
+  }
+  SyncPollerInterest(conn);
+}
+
+bool Reactor::HandleFrame(Conn& conn, const Frame& frame) {
+  const std::uint8_t type = static_cast<std::uint8_t>(frame.type);
+  if (!IsRequestType(type)) {
+    ++stats_.protocol_errors;
+    SendError(conn, frame.type, "unexpected non-request frame");
+    return false;
+  }
+  switch (frame.type) {
+    case MsgType::kCreateSession: {
+      CreateSessionReq req;
+      if (!DecodeCreateSession(frame.payload, &req)) break;
+      std::string error;
+      if (!registry_->BeginCreate(req.session_id, index_, conn.fd,
+                                  &error)) {
+        SendError(conn, frame.type, error);
+        return true;
+      }
+      // Learn() runs outside the registry lock — only this id is
+      // reserved meanwhile, other reactors' lifecycles proceed.
+      if (!service_->CreateSession(req.session_id, req.config,
+                                   req.training)) {
+        registry_->Forget(req.session_id);
+        SendError(conn, frame.type,
+                  "CreateSession('" + req.session_id +
+                      "') failed (invalid id, config or training)");
+        return true;
+      }
+      AttachLocal(conn, req.session_id);
+      SendOk(conn, frame.type);
+      return true;
+    }
+    case MsgType::kResumeSession: {
+      ResumeSessionReq req;
+      if (!DecodeResumeSession(frame.payload, &req)) break;
+      std::string error;
+      if (!registry_->Attach(req.session_id, index_, conn.fd, &error)) {
+        SendError(conn, frame.type, error);
+        return true;
+      }
+      if (std::find(conn.sessions.begin(), conn.sessions.end(),
+                    req.session_id) == conn.sessions.end()) {
+        AttachLocal(conn, req.session_id);
+      }
+      SendOk(conn, frame.type);
+      return true;
+    }
+    case MsgType::kIngest:
+      if (HandleIngest(conn, frame.payload)) return true;
+      return !conn.want_close;  // ingest errors close (stream ordering)
+    case MsgType::kFlush: {
+      FlushReq req;
+      if (!DecodeFlush(frame.payload, &req)) break;
+      if (!req.session_id.empty()) {
+        auto owner = session_owner_.find(req.session_id);
+        if (owner == session_owner_.end() || owner->second != conn.fd) {
+          SendError(conn, frame.type,
+                    "session '" + req.session_id +
+                        "' is not attached to this connection");
+          return true;
+        }
+      }
+      bool ok = true;
+      for (auto& [id, pending] : conn.pending) {
+        if (!req.session_id.empty() && id != req.session_id) continue;
+        if (!pending.empty()) ok &= ProcessPending(conn, id, /*all=*/true);
+      }
+      if (!ok) return false;  // ProcessPending queued the error
+      SendOk(conn, frame.type);
+      return true;
+    }
+    case MsgType::kCheckpoint: {
+      CheckpointReq req;
+      if (!DecodeCheckpoint(frame.payload, &req)) break;
+      // A checkpoint must cover every point this connection delivered.
+      for (auto& [id, pending] : conn.pending) {
+        if (!pending.empty() && !ProcessPending(conn, id, /*all=*/true)) {
+          return false;
+        }
+      }
+      // An empty id checkpoints this reactor's shard — which covers
+      // every session this connection can reach (sessions are pinned to
+      // their connection's reactor).
+      const bool ok = req.session_id.empty()
+                          ? service_->CheckpointAll()
+                          : service_->Checkpoint(req.session_id);
+      if (ok) {
+        SendOk(conn, frame.type);
+      } else {
+        SendError(conn, frame.type, "checkpoint failed");
+      }
+      return true;
+    }
+    case MsgType::kCloseSession: {
+      CloseSessionReq req;
+      if (!DecodeCloseSession(frame.payload, &req)) break;
+      auto owner = session_owner_.find(req.session_id);
+      if (owner == session_owner_.end() || owner->second != conn.fd) {
+        SendError(conn, frame.type,
+                  "session '" + req.session_id +
+                      "' is not attached to this connection");
+        return true;
+      }
+      auto pending = conn.pending.find(req.session_id);
+      if (pending != conn.pending.end() && !pending->second.empty() &&
+          !ProcessPending(conn, req.session_id, /*all=*/true)) {
+        return false;
+      }
+      if (!service_->CloseSession(req.session_id, req.persist)) {
+        SendError(conn, frame.type,
+                  "CloseSession('" + req.session_id + "') failed");
+        return true;
+      }
+      registry_->Forget(req.session_id);
+      session_owner_.erase(req.session_id);
+      conn.sessions.erase(std::find(conn.sessions.begin(),
+                                    conn.sessions.end(), req.session_id));
+      conn.pending.erase(req.session_id);
+      SendOk(conn, frame.type);
+      return true;
+    }
+    default:
+      break;
+  }
+  ++stats_.protocol_errors;
+  SendError(conn, frame.type, "malformed request payload");
+  return false;
+}
+
+bool Reactor::HandleIngest(Conn& conn, const std::string& payload) {
+  IngestReq req;
+  if (!DecodeIngest(payload, &req)) {
+    ++stats_.protocol_errors;
+    SendError(conn, MsgType::kIngest, "malformed ingest payload");
+    conn.want_close = true;
+    return false;
+  }
+  auto owner = session_owner_.find(req.session_id);
+  if (owner == session_owner_.end() || owner->second != conn.fd) {
+    SendError(conn, MsgType::kIngest,
+              "session '" + req.session_id +
+                  "' is not attached to this connection");
+    conn.want_close = true;
+    return false;
+  }
+  std::vector<DataPoint>& pending = conn.pending[req.session_id];
+  pending.insert(pending.end(),
+                 std::make_move_iterator(req.points.begin()),
+                 std::make_move_iterator(req.points.end()));
+  SessionNetActivity activity;
+  activity.frames_received = 1;
+  activity.bytes_in = kFrameHeaderBytes + payload.size();
+  activity.queue_depth = pending.size();
+  service_->RecordNetwork(req.session_id, activity);
+  // Early batch cut: keep memory bounded when a client pipelines far
+  // ahead; the remainder rides the end-of-turn flush.
+  if (pending.size() >= config_.batch_points) {
+    return ProcessPending(conn, req.session_id, /*all=*/false);
+  }
+  return true;
+}
+
+// --------------------------------------------------------------- batches --
+
+bool Reactor::ProcessPending(Conn& conn, const std::string& id, bool all) {
+  std::vector<DataPoint>& pending = conn.pending[id];
+  // Consume by index and erase the prefix once at the end: erasing per
+  // chunk would shift the whole remainder every iteration, turning one
+  // large coalesced backlog into quadratic work inside the event loop.
+  std::size_t pos = 0;
+  bool ok = true;
+  const std::size_t batch_points =
+      config_.batch_points == 0 ? 1 : config_.batch_points;
+  while (pending.size() - pos >= (all ? 1 : batch_points)) {
+    const std::size_t n = std::min(pending.size() - pos, batch_points);
+    std::vector<DataPoint> chunk;
+    chunk.reserve(n);
+    std::move(pending.begin() + static_cast<long>(pos),
+              pending.begin() + static_cast<long>(pos + n),
+              std::back_inserter(chunk));
+    pos += n;
+    IngestResult result = service_->Ingest(id, chunk);
+    if (!result.ok) {
+      SendError(conn, MsgType::kIngest,
+                "Ingest('" + id + "') failed at the service");
+      conn.want_close = true;
+      ok = false;
+      break;
+    }
+    ++stats_.batches_run;
+    stats_.points_ingested += n;
+    // A large coalesced run's verdicts can encode past the wire payload
+    // cap (13 bytes per verdict + 32 per finding), which the client's
+    // decoder would latch as corrupt. Split the run into as many
+    // kVerdicts frames as the cap requires — protocol-legal (verdicts
+    // arrive "batched however the server coalesced them") with
+    // first_point_id kept accurate per frame.
+    const std::size_t header_bytes = 4 + id.size() + 8 + 4;
+    std::size_t begin = 0;
+    while (begin < result.verdicts.size()) {
+      std::size_t bytes = header_bytes;
+      std::size_t end = begin;
+      while (end < result.verdicts.size()) {
+        const std::size_t vbytes =
+            13 + 32 * result.verdicts[end].findings.size();
+        if (end > begin && bytes + vbytes > config_.max_payload_bytes) {
+          break;
+        }
+        bytes += vbytes;
+        ++end;
+      }
+      VerdictsResp resp;
+      resp.session_id = id;
+      resp.first_point_id = chunk[begin].id;
+      resp.verdicts.assign(
+          std::make_move_iterator(result.verdicts.begin() +
+                                  static_cast<std::ptrdiff_t>(begin)),
+          std::make_move_iterator(result.verdicts.begin() +
+                                  static_cast<std::ptrdiff_t>(end)));
+      const std::string payload = EncodeVerdicts(resp);
+      Enqueue(conn, MsgType::kVerdicts, payload);
+      SessionNetActivity activity;
+      activity.bytes_out = kFrameHeaderBytes + payload.size();
+      service_->RecordNetwork(id, activity);
+      begin = end;
+    }
+  }
+  pending.erase(pending.begin(), pending.begin() + static_cast<long>(pos));
+  return ok;
+}
+
+void Reactor::FlushAllPending() {
+  for (auto& [fd, conn] : conns_) {
+    if (conn->want_close) continue;
+    for (auto& [id, pending] : conn->pending) {
+      if (pending.empty()) continue;
+      if (!ProcessPending(*conn, id, /*all=*/true)) break;
+    }
+    SyncPollerInterest(*conn);
+  }
+}
+
+// ---------------------------------------------------------------- writes --
+
+void Reactor::Enqueue(Conn& conn, MsgType type, const std::string& payload) {
+  conn.outbuf.append(EncodeFrame(type, payload));
+  ++stats_.frames_sent;
+  TryFlush(conn);
+  UpdateBackpressure(conn);
+  SyncPollerInterest(conn);
+}
+
+void Reactor::SendOk(Conn& conn, MsgType request) {
+  OkResp resp{static_cast<std::uint8_t>(request)};
+  Enqueue(conn, MsgType::kOk, EncodeOk(resp));
+}
+
+void Reactor::SendError(Conn& conn, MsgType request,
+                        const std::string& message) {
+  ErrorResp resp;
+  resp.request_type = static_cast<std::uint8_t>(request);
+  resp.message = message;
+  Enqueue(conn, MsgType::kError, EncodeError(resp));
+}
+
+void Reactor::TryFlush(Conn& conn) {
+  while (conn.out_off < conn.outbuf.size()) {
+    const ssize_t n =
+        ::send(conn.fd, conn.outbuf.data() + conn.out_off,
+               conn.outbuf.size() - conn.out_off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // Reclaim the sent prefix (mirroring FrameDecoder's read-side
+        // bound): a connection whose queue never fully drains — e.g. a
+        // consumer pacing itself around the backpressure threshold —
+        // must not retain every verdict byte ever sent to it. Only past
+        // a threshold, though: level-triggered epoll wakes us on every
+        // sndbuf vacancy, and an unconditional erase would let a
+        // byte-at-a-time consumer force an O(queued) memmove per byte
+        // of progress. The memory bound holds amortized: outbuf never
+        // exceeds the unsent bytes plus this threshold.
+        constexpr std::size_t kOutbufReclaimBytes = 64 * 1024;
+        if (conn.out_off >= kOutbufReclaimBytes) {
+          conn.outbuf.erase(0, conn.out_off);
+          conn.out_off = 0;
+        }
+        return;
+      }
+      // Peer is gone; drop the queue and let the deferred sweep close us.
+      conn.outbuf.clear();
+      conn.out_off = 0;
+      conn.want_close = true;
+      return;
+    }
+    conn.out_off += static_cast<std::size_t>(n);
+    stats_.bytes_out += static_cast<std::uint64_t>(n);
+  }
+  conn.outbuf.clear();
+  conn.out_off = 0;
+}
+
+void Reactor::UpdateBackpressure(Conn& conn) {
+  const std::size_t queued = conn.outbuf.size() - conn.out_off;
+  if (!conn.paused && queued > config_.max_output_bytes) {
+    conn.paused = true;
+    ++stats_.backpressure_stalls;
+    SessionNetActivity activity;
+    activity.backpressure_stalls = 1;
+    for (const std::string& id : conn.sessions) {
+      service_->RecordNetwork(id, activity);
+    }
+  } else if (conn.paused && queued < config_.max_output_bytes / 2) {
+    conn.paused = false;
+  }
+}
+
+void Reactor::SyncPollerInterest(Conn& conn) {
+  if (poller_ == nullptr || conns_.count(conn.fd) == 0) return;
+  const bool want_read = !conn.paused && !conn.want_close;
+  const bool want_write = conn.out_off < conn.outbuf.size();
+  if (want_read != conn.poll_read || want_write != conn.poll_write) {
+    conn.poll_read = want_read;
+    conn.poll_write = want_write;
+    poller_->Update(conn.fd, want_read, want_write);
+  }
+}
+
+void Reactor::WriteReady(int fd) {
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  Conn& conn = *it->second;
+  TryFlush(conn);
+  UpdateBackpressure(conn);
+  if (conn.want_close && conn.out_off >= conn.outbuf.size()) {
+    CloseConn(fd);
+    return;
+  }
+  SyncPollerInterest(conn);
+}
+
+}  // namespace net
+}  // namespace spot

@@ -1,0 +1,171 @@
+#ifndef SPOT_NET_REACTOR_H_
+#define SPOT_NET_REACTOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/poller.h"
+#include "net/protocol.h"
+#include "net/server_config.h"
+#include "stream/data_point.h"
+
+namespace spot {
+
+class SpotService;
+
+namespace net {
+
+class SessionRegistry;
+
+/// One event-loop shard of the multi-reactor server (DESIGN.md Section
+/// 8). A reactor owns a Poller, a set of connections, an optional
+/// listener (its own SO_REUSEPORT listener, the sole listener in
+/// single-reactor or hand-off mode, or none at all when another reactor
+/// accepts for it), and a borrowed SpotService shard holding exactly the
+/// sessions attached to its connections. Everything it touches —
+/// connections, coalescing buffers, its stats — is loop-thread-local;
+/// the only shared state is the session registry (lifecycle events
+/// only), the service shards (internally locked, and disjoint between
+/// reactors by the registry's ownership invariant), and the server-wide
+/// stop flag.
+///
+/// Per-session processing order — and therefore verdict bit-identity —
+/// is exactly the single-threaded server's: a session is exclusively
+/// attached to one connection, which lives on one reactor, whose loop
+/// processes the session's points in arrival order.
+class Reactor {
+ public:
+  /// Borrows everything; all pointees must outlive the reactor.
+  Reactor(int index, const SpotServerConfig& config, SpotService* service,
+          SessionRegistry* registry, const std::atomic<bool>* stop);
+  ~Reactor();
+
+  Reactor(const Reactor&) = delete;
+  Reactor& operator=(const Reactor&) = delete;
+
+  /// Creates the poller and the cross-thread wakeup pipe. False on
+  /// resource exhaustion.
+  bool Init();
+
+  /// Takes ownership of a bound, listening, non-blocking socket. At most
+  /// one per reactor; pass `acceptor=true` when this reactor accepts on
+  /// behalf of all reactors (hand-off mode) rather than only for itself.
+  void AdoptListener(int fd, bool acceptor,
+                     std::vector<Reactor*> handoff_targets);
+
+  /// Runs the loop until the shared stop flag is set, then drains,
+  /// closes and checkpoints (Shutdown). Call from exactly one thread.
+  void Run();
+
+  /// One event-loop turn; returns false once stopped. Run() is
+  /// `while (RunOnce(...)) {}` plus Shutdown().
+  bool RunOnce(int timeout_ms);
+
+  /// Drains pending batches, flushes and closes every connection, closes
+  /// the listener and wakeup pipe, and checkpoints this shard's sessions.
+  /// Idempotent; Run() calls it on exit, the server calls it for
+  /// reactors whose loop never ran.
+  void Shutdown();
+
+  /// Hands a freshly accepted connection to this reactor from another
+  /// thread (the acceptor's). The fd is adopted on the next loop turn;
+  /// the wakeup pipe makes that turn start immediately.
+  void EnqueueConn(int fd);
+
+  int index() const { return index_; }
+  SpotService* service() const { return service_; }
+  /// Loop-thread state: read only after the loop thread is joined (or
+  /// between RunOnce calls when driving turns manually).
+  const SpotServerStats& stats() const { return stats_; }
+  std::size_t connections() const { return conns_.size(); }
+
+ private:
+  struct Conn {
+    int fd = -1;
+    FrameDecoder decoder{kDefaultMaxPayloadBytes};
+    std::string outbuf;
+    std::size_t out_off = 0;
+    bool paused = false;      // reading suspended by backpressure
+    bool want_close = false;  // close once outbuf drains
+    bool poll_read = true;    // interest currently registered
+    bool poll_write = false;
+    /// Sessions attached to (and exclusively owned by) this connection.
+    std::vector<std::string> sessions;
+    /// Per-session coalescing buffers, ordered for deterministic
+    /// end-of-turn flushing.
+    std::map<std::string, std::vector<DataPoint>> pending;
+  };
+
+  void AttachLocal(Conn& conn, const std::string& id);
+  void DetachSessions(Conn& conn);
+
+  void AcceptReady();
+  void AdoptConn(int fd);
+  void DrainIntake();
+
+  void ReadReady(int fd);
+  void WriteReady(int fd);
+  /// Handles one complete frame; false closes the connection.
+  bool HandleFrame(Conn& conn, const Frame& frame);
+  bool HandleIngest(Conn& conn, const std::string& payload);
+  /// Runs `conn`'s pending points for `id` through the service in
+  /// batch_points chunks; `all` also processes the sub-batch remainder.
+  bool ProcessPending(Conn& conn, const std::string& id, bool all);
+  /// End-of-turn flush: processes every connection's remaining pending
+  /// points (whatever arrived together in this turn is the batch).
+  void FlushAllPending();
+
+  void Enqueue(Conn& conn, MsgType type, const std::string& payload);
+  void SendOk(Conn& conn, MsgType request);
+  void SendError(Conn& conn, MsgType request, const std::string& message);
+  /// Non-blocking write of the connection's output queue.
+  void TryFlush(Conn& conn);
+  void UpdateBackpressure(Conn& conn);
+  void SyncPollerInterest(Conn& conn);
+  void CloseConn(int fd);
+
+  bool stopping() const { return stop_->load(std::memory_order_relaxed); }
+
+  const int index_;
+  const SpotServerConfig& config_;
+  SpotService* service_;
+  SessionRegistry* registry_;
+  const std::atomic<bool>* stop_;
+
+  std::unique_ptr<Poller> poller_;
+  int listen_fd_ = -1;
+  /// Listener deregistered for one turn after an fd-exhausted accept;
+  /// strictly per-reactor so one exhausted shard never stalls another.
+  bool listener_paused_ = false;
+  /// Hand-off mode: this reactor accepts and deals connections
+  /// round-robin across `handoff_targets_` (itself included).
+  bool acceptor_ = false;
+  std::vector<Reactor*> handoff_targets_;
+  std::size_t next_target_ = 0;
+
+  /// Cross-thread intake of accepted fds (hand-off mode): guarded by
+  /// `intake_mu_`, signalled through the wakeup pipe.
+  std::mutex intake_mu_;
+  std::vector<int> intake_;
+  int wake_rd_ = -1;
+  int wake_wr_ = -1;
+
+  bool shutdown_done_ = false;
+  std::unordered_map<int, std::unique_ptr<Conn>> conns_;
+  /// Reactor-local session -> owning connection fd. A subset view of the
+  /// registry, safe to consult lock-free on the hot ingest path because
+  /// attachment on this reactor implies global exclusivity.
+  std::map<std::string, int> session_owner_;
+  SpotServerStats stats_;
+};
+
+}  // namespace net
+}  // namespace spot
+
+#endif  // SPOT_NET_REACTOR_H_

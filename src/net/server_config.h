@@ -1,0 +1,110 @@
+#ifndef SPOT_NET_SERVER_CONFIG_H_
+#define SPOT_NET_SERVER_CONFIG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "net/protocol.h"
+
+namespace spot {
+namespace net {
+
+/// Configuration of the network ingest server. One instance is shared by
+/// every reactor (read-only after Start()).
+struct SpotServerConfig {
+  /// Listen address (loopback by default; expose deliberately).
+  std::string bind_address = "127.0.0.1";
+
+  /// TCP port; 0 picks an ephemeral port (read it back via port() after
+  /// Start() — the tests and the in-process loadgen mode rely on this).
+  std::uint16_t port = 0;
+
+  int backlog = 64;
+
+  /// Event-loop shards (DESIGN.md Section 8): each reactor runs its own
+  /// epoll/poll loop on its own thread over its own connections, with its
+  /// own SpotService shard. Verdicts never depend on the setting — a
+  /// session is pinned to the reactor of the connection that opened it
+  /// and processed in arrival order there.
+  std::size_t num_reactors = 1;
+
+  /// Accept strategy for num_reactors > 1: with SO_REUSEPORT (default)
+  /// every reactor owns its own listener on the shared port and the
+  /// kernel spreads connections; when unavailable — or disabled here —
+  /// reactor 0 owns the sole listener and deals accepted connections
+  /// round-robin across reactors (deterministic placement; the
+  /// cross-reactor tests rely on it).
+  bool use_reuseport = true;
+
+  /// Per-session coalescing target: pending ingested points are run
+  /// through the service in ProcessBatch chunks of this size. Larger
+  /// batches amortize the engine's fork-join and probe-pipeline setup;
+  /// verdicts never depend on the setting (the batch engine is
+  /// bit-identical at every batch size).
+  std::size_t batch_points = 256;
+
+  /// Frame payload cap; a header announcing more is treated as corrupt.
+  std::size_t max_payload_bytes = kDefaultMaxPayloadBytes;
+
+  /// Write-side backpressure: when a connection's outbound queue exceeds
+  /// this many bytes the server stops reading from that connection until
+  /// the queue drains below half — a slow consumer stalls itself, never
+  /// its event loop or other connections.
+  std::size_t max_output_bytes = 4u << 20;
+
+  /// Upper bound on one epoll/poll wait, which is also the cadence at
+  /// which Stop()/SIGTERM is noticed when the server is idle.
+  int poll_interval_ms = 50;
+
+  /// When positive, sets SO_SNDBUF on accepted connections. The
+  /// backpressure tests shrink it so the userspace output queue (and not
+  /// the kernel's multi-megabyte loopback buffering) is what fills first;
+  /// 0 keeps the OS default.
+  int sndbuf_bytes = 0;
+
+  /// Use epoll(7) when available; false forces the portable poll(2) loop
+  /// (the fallback used automatically on non-Linux builds).
+  bool use_epoll = true;
+};
+
+/// Event-loop counters. Each reactor owns one instance, written only by
+/// its loop thread; read a reactor's stats after its loop exited (or
+/// between manually driven turns), and totals via SpotServer::stats().
+struct SpotServerStats {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t connections_closed = 0;
+  std::uint64_t frames_received = 0;
+  std::uint64_t frames_sent = 0;
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+  std::uint64_t corrupt_frames = 0;
+  std::uint64_t protocol_errors = 0;
+  std::uint64_t backpressure_stalls = 0;
+  std::uint64_t batches_run = 0;
+  std::uint64_t points_ingested = 0;
+  /// Times this reactor's listener was paused by an fd-exhausted accept
+  /// (EMFILE/ENFILE) — strictly per-reactor, see Reactor::AcceptReady.
+  std::uint64_t listener_pauses = 0;
+
+  /// Counter-wise sum (for aggregating per-reactor stats into a total).
+  void Add(const SpotServerStats& other) {
+    connections_accepted += other.connections_accepted;
+    connections_closed += other.connections_closed;
+    frames_received += other.frames_received;
+    frames_sent += other.frames_sent;
+    bytes_in += other.bytes_in;
+    bytes_out += other.bytes_out;
+    corrupt_frames += other.corrupt_frames;
+    protocol_errors += other.protocol_errors;
+    backpressure_stalls += other.backpressure_stalls;
+    batches_run += other.batches_run;
+    points_ingested += other.points_ingested;
+    listener_pauses += other.listener_pauses;
+  }
+};
+
+}  // namespace net
+}  // namespace spot
+
+#endif  // SPOT_NET_SERVER_CONFIG_H_

@@ -1,0 +1,138 @@
+#include "net/session_registry.h"
+
+#include <utility>
+
+#include "common/log.h"
+#include "service/spot_service.h"
+
+namespace spot {
+namespace net {
+
+SessionRegistry::SessionRegistry(std::vector<SpotService*> services,
+                                 bool allow_handoff)
+    : services_(std::move(services)), allow_handoff_(allow_handoff) {}
+
+bool SessionRegistry::BeginCreate(const std::string& id, int reactor,
+                                  int conn_fd, std::string* error) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (owners_.find(id) != owners_.end()) {
+    *error = "session '" + id + "' already exists";
+    return false;
+  }
+  // A session created directly in a service (embedders, tests) has no
+  // registry entry yet; it still blocks the id.
+  for (const SpotService* service : services_) {
+    if (service->HasSession(id)) {
+      *error = "session '" + id + "' already exists";
+      return false;
+    }
+  }
+  owners_[id] = Owner{reactor, reactor, conn_fd};
+  return true;
+}
+
+bool SessionRegistry::Attach(const std::string& id, int reactor,
+                             int conn_fd, std::string* error) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = owners_.find(id);
+  if (it != owners_.end()) {
+    Owner& owner = it->second;
+    if (owner.attached()) {
+      if (owner.conn_reactor == reactor && owner.conn_fd == conn_fd) {
+        return true;  // idempotent re-resume on the owning connection
+      }
+      *error = "session '" + id +
+               "' is attached to another connection (on reactor " +
+               std::to_string(owner.conn_reactor) + ")";
+      return false;
+    }
+    if (owner.home == reactor) {
+      owner.conn_reactor = reactor;
+      owner.conn_fd = conn_fd;
+      return true;
+    }
+    // Unattached on another reactor: hand the state off through the
+    // shared checkpoint directory. Bit-identical by the checkpoint
+    // round-trip guarantee; the registry lock serializes competing
+    // resumes so the close/open pair is atomic against them.
+    if (!allow_handoff_) {
+      *error = "session '" + id + "' lives on reactor " +
+               std::to_string(owner.home) +
+               " and no checkpoint directory is configured for hand-off";
+      return false;
+    }
+    if (!services_[static_cast<std::size_t>(owner.home)]->CloseSession(
+            id, /*persist=*/true)) {
+      *error = "hand-off checkpoint of session '" + id + "' from reactor " +
+               std::to_string(owner.home) + " failed";
+      return false;
+    }
+    if (!services_[static_cast<std::size_t>(reactor)]->OpenSession(id)) {
+      // The state is on disk but this shard cannot load it; the entry is
+      // stale either way.
+      owners_.erase(it);
+      *error = "hand-off reopen of session '" + id + "' on reactor " +
+               std::to_string(reactor) + " failed";
+      return false;
+    }
+    SPOT_LOG(Info) << "session '" << id << "' handed off: reactor "
+                   << owner.home << " -> " << reactor;
+    owner.home = reactor;
+    owner.conn_reactor = reactor;
+    owner.conn_fd = conn_fd;
+    return true;
+  }
+
+  // No registry entry: the session may be resident in this reactor's
+  // service already (created directly by an embedder), resumable from its
+  // checkpoint, or resident in another reactor's service (hand off).
+  SpotService* own = services_[static_cast<std::size_t>(reactor)];
+  if (own->HasSession(id) || own->OpenSession(id)) {
+    owners_[id] = Owner{reactor, reactor, conn_fd};
+    return true;
+  }
+  for (std::size_t q = 0; q < services_.size(); ++q) {
+    if (static_cast<int>(q) == reactor || !services_[q]->HasSession(id)) {
+      continue;
+    }
+    if (!allow_handoff_) {
+      *error = "session '" + id + "' lives on reactor " + std::to_string(q) +
+               " and no checkpoint directory is configured for hand-off";
+      return false;
+    }
+    if (!services_[q]->CloseSession(id, /*persist=*/true) ||
+        !own->OpenSession(id)) {
+      *error = "hand-off of session '" + id + "' from reactor " +
+               std::to_string(q) + " failed";
+      return false;
+    }
+    owners_[id] = Owner{reactor, reactor, conn_fd};
+    return true;
+  }
+  *error = "no session or checkpoint for '" + id + "'";
+  return false;
+}
+
+void SessionRegistry::Detach(const std::string& id, int reactor,
+                             int conn_fd) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = owners_.find(id);
+  if (it == owners_.end()) return;
+  Owner& owner = it->second;
+  if (owner.conn_reactor != reactor || owner.conn_fd != conn_fd) return;
+  owner.conn_reactor = -1;
+  owner.conn_fd = -1;
+}
+
+void SessionRegistry::Forget(const std::string& id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  owners_.erase(id);
+}
+
+std::size_t SessionRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return owners_.size();
+}
+
+}  // namespace net
+}  // namespace spot

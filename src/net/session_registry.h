@@ -1,0 +1,95 @@
+#ifndef SPOT_NET_SESSION_REGISTRY_H_
+#define SPOT_NET_SESSION_REGISTRY_H_
+
+#include <cstddef>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace spot {
+
+class SpotService;
+
+namespace net {
+
+/// Cross-reactor session-ownership registry (DESIGN.md Section 8.2).
+///
+/// The multi-reactor server gives every reactor its own SpotService shard;
+/// a session's detector state lives in exactly one shard — its *home* —
+/// and is exclusively attached to at most one connection, which by
+/// construction lives on the home reactor. The registry is the one piece
+/// of shared session state: a map `id -> {home reactor, attached
+/// connection}` behind a single mutex that is touched only at lifecycle
+/// events (create / resume / close / connection teardown). The per-point
+/// ingest path never takes it — each reactor checks attachment against
+/// its own connection-local owner map, which is sound because the
+/// registry guarantees a session attached on one reactor is attached
+/// nowhere else.
+///
+/// A resume that lands on a non-home reactor is *handed off* when a
+/// checkpoint directory is configured: the old home checkpoints and
+/// forgets the session, the new home reopens it from the shared
+/// directory. The full-state checkpoint round-trips bit-identically
+/// (DESIGN.md Section 4.3), so the verdict stream is unaffected by where
+/// a session lands after a reconnect. Without a checkpoint directory the
+/// resume is cleanly refused with an error naming the owning reactor.
+class SessionRegistry {
+ public:
+  /// Borrows the per-reactor services (index == reactor index), which
+  /// must outlive the registry. `allow_handoff` reflects whether the
+  /// services share a checkpoint directory.
+  SessionRegistry(std::vector<SpotService*> services, bool allow_handoff);
+
+  SessionRegistry(const SessionRegistry&) = delete;
+  SessionRegistry& operator=(const SessionRegistry&) = delete;
+
+  /// Reserves `id` for a CreateSession on `reactor`, attached to
+  /// `conn_fd`. False (with `*error` set) when any reactor already knows
+  /// the id — registered here or resident in some service. On success the
+  /// caller runs CreateSession on its own service outside the registry
+  /// lock and must call Forget(id) if that fails.
+  bool BeginCreate(const std::string& id, int reactor, int conn_fd,
+                   std::string* error);
+
+  /// Attaches `id` to `conn_fd` on `reactor` for a ResumeSession, making
+  /// that reactor's service the session's home. Semantics:
+  ///  - attached to another connection (any reactor): refused;
+  ///  - already attached to this very connection: idempotent success;
+  ///  - unattached, home == reactor: plain attach;
+  ///  - unattached, home != reactor (or resident in another service
+  ///    without a registry entry): hand-off via the shared checkpoint
+  ///    directory, refused when there is none;
+  ///  - unknown everywhere: reopened from the checkpoint directory.
+  bool Attach(const std::string& id, int reactor, int conn_fd,
+              std::string* error);
+
+  /// The owning connection went away. The session stays in its home
+  /// reactor's service, unattached, ready for a later Attach from any
+  /// reactor. Ignored unless `reactor`/`conn_fd` is the recorded owner.
+  void Detach(const std::string& id, int reactor, int conn_fd);
+
+  /// The session was closed (or its create failed): drop the entry.
+  void Forget(const std::string& id);
+
+  /// Registered session count (tests).
+  std::size_t size() const;
+
+ private:
+  struct Owner {
+    int home = 0;           // reactor whose service holds the state
+    int conn_reactor = -1;  // attached connection, (-1, -1) = unattached
+    int conn_fd = -1;
+    bool attached() const { return conn_fd >= 0; }
+  };
+
+  std::vector<SpotService*> services_;
+  const bool allow_handoff_;
+  mutable std::mutex mu_;
+  std::map<std::string, Owner> owners_;
+};
+
+}  // namespace net
+}  // namespace spot
+
+#endif  // SPOT_NET_SESSION_REGISTRY_H_

@@ -4,24 +4,15 @@
 #include <cerrno>
 #include <csignal>
 #include <cstring>
-#include <fcntl.h>
 #include <netinet/in.h>
-#include <netinet/tcp.h>
-#include <poll.h>
 #include <sys/socket.h>
-#include <sys/types.h>
 #include <unistd.h>
 
-#ifdef __linux__
-#include <sys/epoll.h>
-#endif
+#include <fcntl.h>
 
-#include <algorithm>
-#include <iterator>
 #include <utility>
 
 #include "common/log.h"
-#include "service/spot_service.h"
 
 namespace spot {
 namespace net {
@@ -42,126 +33,27 @@ void StopOnSignal(int /*signo*/) {
 
 }  // namespace
 
-// ---------------------------------------------------------------- poller --
-
-/// Readiness-notification interface: epoll on Linux, poll(2) elsewhere
-/// (or when SpotServerConfig::use_epoll is off). Level-triggered in both
-/// implementations, so a partially drained buffer simply re-reports.
-class SpotServer::Poller {
- public:
-  struct Event {
-    int fd = -1;
-    bool readable = false;
-    bool writable = false;
-    bool error = false;
-  };
-
-  virtual ~Poller() = default;
-  virtual bool Add(int fd, bool read, bool write) = 0;
-  virtual void Update(int fd, bool read, bool write) = 0;
-  virtual void Remove(int fd) = 0;
-  /// Waits up to `timeout_ms`; fills `out`. Returns the event count, 0 on
-  /// timeout, -1 on a wait error other than EINTR.
-  virtual int Wait(int timeout_ms, std::vector<Event>* out) = 0;
-};
-
-class SpotServer::PollPoller : public SpotServer::Poller {
- public:
-  bool Add(int fd, bool read, bool write) override {
-    interest_[fd] = {read, write};
-    return true;
-  }
-  void Update(int fd, bool read, bool write) override {
-    auto it = interest_.find(fd);
-    if (it != interest_.end()) it->second = {read, write};
-  }
-  void Remove(int fd) override { interest_.erase(fd); }
-
-  int Wait(int timeout_ms, std::vector<Event>* out) override {
-    fds_.clear();
-    for (const auto& [fd, want] : interest_) {
-      short events = 0;
-      if (want.first) events |= POLLIN;
-      if (want.second) events |= POLLOUT;
-      fds_.push_back(pollfd{fd, events, 0});
-    }
-    const int n = ::poll(fds_.data(), fds_.size(), timeout_ms);
-    if (n < 0) return errno == EINTR ? 0 : -1;
-    out->clear();
-    for (const pollfd& p : fds_) {
-      if (p.revents == 0) continue;
-      Event e;
-      e.fd = p.fd;
-      e.readable = (p.revents & POLLIN) != 0;
-      e.writable = (p.revents & POLLOUT) != 0;
-      e.error = (p.revents & (POLLERR | POLLHUP | POLLNVAL)) != 0;
-      out->push_back(e);
-    }
-    return static_cast<int>(out->size());
-  }
-
- private:
-  std::map<int, std::pair<bool, bool>> interest_;
-  std::vector<pollfd> fds_;
-};
-
-#ifdef __linux__
-class SpotServer::EpollPoller : public SpotServer::Poller {
- public:
-  EpollPoller() : epfd_(::epoll_create1(0)) {}
-  ~EpollPoller() override {
-    if (epfd_ >= 0) ::close(epfd_);
-  }
-
-  bool valid() const { return epfd_ >= 0; }
-
-  bool Add(int fd, bool read, bool write) override {
-    epoll_event ev = MakeEvent(fd, read, write);
-    return ::epoll_ctl(epfd_, EPOLL_CTL_ADD, fd, &ev) == 0;
-  }
-  void Update(int fd, bool read, bool write) override {
-    epoll_event ev = MakeEvent(fd, read, write);
-    ::epoll_ctl(epfd_, EPOLL_CTL_MOD, fd, &ev);
-  }
-  void Remove(int fd) override {
-    ::epoll_ctl(epfd_, EPOLL_CTL_DEL, fd, nullptr);
-  }
-
-  int Wait(int timeout_ms, std::vector<Event>* out) override {
-    epoll_event events[64];
-    const int n = ::epoll_wait(epfd_, events, 64, timeout_ms);
-    if (n < 0) return errno == EINTR ? 0 : -1;
-    out->clear();
-    for (int i = 0; i < n; ++i) {
-      Event e;
-      e.fd = events[i].data.fd;
-      e.readable = (events[i].events & EPOLLIN) != 0;
-      e.writable = (events[i].events & EPOLLOUT) != 0;
-      e.error = (events[i].events & (EPOLLERR | EPOLLHUP)) != 0;
-      out->push_back(e);
-    }
-    return n;
-  }
-
- private:
-  static epoll_event MakeEvent(int fd, bool read, bool write) {
-    epoll_event ev;
-    std::memset(&ev, 0, sizeof(ev));
-    if (read) ev.events |= EPOLLIN;
-    if (write) ev.events |= EPOLLOUT;
-    ev.data.fd = fd;
-    return ev;
-  }
-
-  int epfd_;
-};
-#endif  // __linux__
-
-// ---------------------------------------------------------------- server --
-
-SpotServer::SpotServer(SpotService* service, SpotServerConfig config)
-    : service_(service), config_(std::move(config)) {
+SpotServer::SpotServer(SpotServiceConfig service_config,
+                       SpotServerConfig config)
+    : config_(std::move(config)) {
   if (config_.batch_points == 0) config_.batch_points = 1;
+  if (config_.num_reactors == 0) config_.num_reactors = 1;
+  services_.reserve(config_.num_reactors);
+  std::vector<SpotService*> raw;
+  for (std::size_t i = 0; i < config_.num_reactors; ++i) {
+    services_.push_back(std::make_unique<SpotService>(service_config));
+    raw.push_back(services_.back().get());
+  }
+  // Hand-off between shards rides the shared checkpoint directory;
+  // without one, a cross-reactor resume is refused instead.
+  registry_ = std::make_unique<SessionRegistry>(
+      std::move(raw), /*allow_handoff=*/!service_config.checkpoint_dir.empty());
+  reactors_.reserve(config_.num_reactors);
+  for (std::size_t i = 0; i < config_.num_reactors; ++i) {
+    reactors_.push_back(std::make_unique<Reactor>(
+        static_cast<int>(i), config_, services_[i].get(), registry_.get(),
+        &stop_));
+  }
 }
 
 SpotServer::~SpotServer() {
@@ -184,598 +76,137 @@ void SpotServer::InstallSignalHandlers(SpotServer* server) {
   ::signal(SIGPIPE, SIG_IGN);
 }
 
-bool SpotServer::Start() {
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) {
+int SpotServer::MakeListener(bool reuseport, std::uint16_t* port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
     SPOT_LOG(Error) << "socket(): " << std::strerror(errno);
-    return false;
+    return -1;
   }
   const int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (reuseport) {
+#ifdef SO_REUSEPORT
+    if (::setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one)) != 0) {
+      ::close(fd);
+      return -1;
+    }
+#else
+    ::close(fd);
+    return -1;
+#endif
+  }
   sockaddr_in addr;
   std::memset(&addr, 0, sizeof(addr));
   addr.sin_family = AF_INET;
-  addr.sin_port = htons(config_.port);
+  addr.sin_port = htons(*port);
   if (::inet_pton(AF_INET, config_.bind_address.c_str(), &addr.sin_addr) !=
       1) {
     SPOT_LOG(Error) << "bad bind address '" << config_.bind_address << "'";
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return false;
+    ::close(fd);
+    return -1;
   }
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
-          0 ||
-      ::listen(listen_fd_, config_.backlog) != 0 ||
-      !SetNonBlocking(listen_fd_)) {
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, config_.backlog) != 0 || !SetNonBlocking(fd)) {
     SPOT_LOG(Error) << "bind/listen on " << config_.bind_address << ":"
-                    << config_.port << ": " << std::strerror(errno);
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return false;
+                    << *port << ": " << std::strerror(errno);
+    ::close(fd);
+    return -1;
   }
   sockaddr_in bound;
   socklen_t len = sizeof(bound);
-  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) ==
-      0) {
-    port_ = ntohs(bound.sin_port);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+    *port = ntohs(bound.sin_port);
+  }
+  return fd;
+}
+
+bool SpotServer::Start() {
+  for (auto& reactor : reactors_) {
+    if (!reactor->Init()) return false;
   }
 
-#ifdef __linux__
-  if (config_.use_epoll) {
-    auto epoll = std::make_unique<EpollPoller>();
-    if (epoll->valid()) poller_ = std::move(epoll);
+  const std::size_t n = reactors_.size();
+  if (n > 1 && config_.use_reuseport) {
+    // One SO_REUSEPORT listener per reactor on the shared port. The flag
+    // must be set before bind, so an ephemeral-port request is resolved
+    // by the first listener and the rest bind the resolved port.
+    std::vector<int> fds;
+    std::uint16_t port = config_.port;
+    for (std::size_t i = 0; i < n; ++i) {
+      const int fd = MakeListener(/*reuseport=*/true, &port);
+      if (fd < 0) break;
+      fds.push_back(fd);
+    }
+    if (fds.size() == n) {
+      for (std::size_t i = 0; i < n; ++i) {
+        reactors_[i]->AdoptListener(fds[i], /*acceptor=*/false, {});
+      }
+      port_ = port;
+      reuseport_active_ = true;
+    } else {
+      for (int fd : fds) ::close(fd);
+      SPOT_LOG(Info) << "SO_REUSEPORT unavailable; falling back to "
+                        "accept-and-hand-off on reactor 0";
+    }
   }
-#endif
-  if (poller_ == nullptr) poller_ = std::make_unique<PollPoller>();
-  poller_->Add(listen_fd_, /*read=*/true, /*write=*/false);
+
+  if (!reuseport_active_) {
+    // Single listener on reactor 0. With more reactors it accepts on
+    // behalf of all of them and deals connections round-robin.
+    std::uint16_t port = config_.port;
+    const int fd = MakeListener(/*reuseport=*/false, &port);
+    if (fd < 0) return false;
+    std::vector<Reactor*> targets;
+    if (n > 1) {
+      targets.reserve(n);
+      for (auto& reactor : reactors_) targets.push_back(reactor.get());
+    }
+    reactors_[0]->AdoptListener(fd, /*acceptor=*/n > 1, std::move(targets));
+    port_ = port;
+  }
+
   SPOT_LOG(Info) << "spot server listening on " << config_.bind_address
-                 << ":" << port_;
+                 << ":" << port_ << " (" << n << " reactor"
+                 << (n == 1 ? "" : "s") << ", "
+                 << (reuseport_active_ ? "SO_REUSEPORT" : "single listener")
+                 << ")";
   return true;
 }
 
 void SpotServer::Run() {
-  while (RunOnce(config_.poll_interval_ms)) {
+  threads_.reserve(reactors_.size());
+  for (std::size_t i = 1; i < reactors_.size(); ++i) {
+    threads_.emplace_back([reactor = reactors_[i].get()] { reactor->Run(); });
   }
+  reactors_[0]->Run();
   Shutdown();
 }
 
-bool SpotServer::RunOnce(int timeout_ms) {
-  if (stopping() || poller_ == nullptr) return false;
-  std::vector<Poller::Event> events;
-  if (poller_->Wait(timeout_ms, &events) < 0) {
-    SPOT_LOG(Error) << "event wait failed: " << std::strerror(errno);
-    Stop();
-    return false;
-  }
-  if (listener_paused_) {
-    // Re-arm the listener paused by an fd-exhausted accept. This must
-    // happen AFTER a Wait, not before it: re-arming first would put the
-    // still-unaccepted connection right back into the wait set, making
-    // it return immediately and turning the "pause" into a hot
-    // accept/EMFILE spin. Waiting once without the listener restores
-    // the idle cadence the pause exists to protect.
-    poller_->Add(listen_fd_, /*read=*/true, /*write=*/false);
-    listener_paused_ = false;
-  }
-  for (const Poller::Event& ev : events) {
-    if (ev.fd == listen_fd_) {
-      AcceptReady();
-      continue;
-    }
-    if (ev.error && conns_.count(ev.fd) > 0) {
-      CloseConn(ev.fd);
-      continue;
-    }
-    if (ev.readable) ReadReady(ev.fd);
-    if (ev.writable) WriteReady(ev.fd);  // re-checks liveness itself
-  }
-  // End-of-turn batch cut: whatever points arrived together in this turn
-  // are processed together (the coalescing the protocol is built around).
-  FlushAllPending();
-  // Deferred closes: connections marked want_close go once their output
-  // drained (or their socket broke).
-  std::vector<int> doomed;
-  for (const auto& [fd, conn] : conns_) {
-    if (conn->want_close && conn->out_off >= conn->outbuf.size()) {
-      doomed.push_back(fd);
-    }
-  }
-  for (int fd : doomed) CloseConn(fd);
-  return !stopping();
-}
-
 void SpotServer::Shutdown() {
+  Stop();
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+  threads_.clear();
   if (shutdown_done_) return;
   shutdown_done_ = true;
-  // Process every connection's pending points (they arrived; the engine
-  // state must reflect them before the checkpoint), push what we can of
-  // the outbound queues without blocking, and close.
-  std::vector<int> fds;
-  fds.reserve(conns_.size());
-  for (const auto& [fd, conn] : conns_) fds.push_back(fd);
-  for (int fd : fds) {
-    auto it = conns_.find(fd);
-    if (it == conns_.end()) continue;
-    Conn& conn = *it->second;
-    for (auto& [id, pending] : conn.pending) {
-      if (!pending.empty()) ProcessPending(conn, id, /*all=*/true);
-    }
-    TryFlush(conn);
-    CloseConn(fd);
-  }
-  if (listen_fd_ >= 0) {
-    if (poller_ != nullptr) poller_->Remove(listen_fd_);
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-  }
-  poller_.reset();
-  if (service_ != nullptr && !service_->config().checkpoint_dir.empty()) {
-    if (service_->CheckpointAll()) {
-      SPOT_LOG(Info) << "shutdown checkpoint: all sessions saved";
-    } else {
-      SPOT_LOG(Error) << "shutdown checkpoint failed for some sessions";
-    }
-  }
+  // Each reactor's Run() already shut it down; this covers reactors
+  // whose loop never ran (Shutdown is idempotent per reactor).
+  for (auto& reactor : reactors_) reactor->Shutdown();
 }
 
-// ----------------------------------------------------------- connections --
-
-void SpotServer::AcceptReady() {
-  while (true) {
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) {
-      if (errno == EINTR) continue;
-      if (errno == EMFILE || errno == ENFILE) {
-        // Out of descriptors with a connection still queued: the
-        // level-triggered listen fd would re-fire every Wait and spin the
-        // loop hot. Deregister it for one turn (RunOnce re-arms it) so
-        // the degraded server keeps its idle cadence.
-        SPOT_LOG(Error) << "accept(): " << std::strerror(errno)
-                        << "; pausing the listener for one turn";
-        poller_->Remove(listen_fd_);
-        listener_paused_ = true;
-      }
-      return;  // EAGAIN or transient accept failure: try next turn
-    }
-    if (!SetNonBlocking(fd)) {
-      ::close(fd);
-      continue;
-    }
-    const int one = 1;
-    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    if (config_.sndbuf_bytes > 0) {
-      ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &config_.sndbuf_bytes,
-                   sizeof(config_.sndbuf_bytes));
-    }
-    auto conn = std::make_unique<Conn>();
-    conn->fd = fd;
-    conn->decoder = FrameDecoder(config_.max_payload_bytes);
-    poller_->Add(fd, /*read=*/true, /*write=*/false);
-    conns_.emplace(fd, std::move(conn));
-    ++stats_.connections_accepted;
-  }
+SpotServerStats SpotServer::stats() const {
+  SpotServerStats total;
+  for (const auto& reactor : reactors_) total.Add(reactor->stats());
+  return total;
 }
 
-void SpotServer::CloseConn(int fd) {
-  auto it = conns_.find(fd);
-  if (it == conns_.end()) return;
-  Conn& conn = *it->second;
-  // Points the client successfully delivered are part of the stream even
-  // if it vanished before reading the verdicts: process them so the
-  // session's engine state stays deterministic (the verdicts go nowhere).
-  for (auto& [id, pending] : conn.pending) {
-    if (!pending.empty()) ProcessPending(conn, id, /*all=*/true);
+ServiceMetrics SpotServer::TotalServiceMetrics() const {
+  ServiceMetrics total;
+  for (const auto& service : services_) {
+    MergeServiceMetrics(&total, service->TotalMetrics());
   }
-  DetachSessions(conn);
-  if (poller_ != nullptr) poller_->Remove(fd);
-  ::close(fd);
-  conns_.erase(it);
-  ++stats_.connections_closed;
-}
-
-bool SpotServer::AttachSession(Conn& conn, const std::string& id,
-                               std::string* error) {
-  auto it = session_owner_.find(id);
-  if (it != session_owner_.end()) {
-    if (it->second == conn.fd) return true;
-    *error = "session '" + id + "' is attached to another connection";
-    return false;
-  }
-  session_owner_[id] = conn.fd;
-  conn.sessions.push_back(id);
-  return true;
-}
-
-void SpotServer::DetachSessions(Conn& conn) {
-  for (const std::string& id : conn.sessions) session_owner_.erase(id);
-  conn.sessions.clear();
-  conn.pending.clear();
-}
-
-// ----------------------------------------------------------------- reads --
-
-void SpotServer::ReadReady(int fd) {
-  auto it = conns_.find(fd);
-  if (it == conns_.end()) return;
-  Conn& conn = *it->second;
-  char buf[65536];
-  while (!conn.paused && !conn.want_close) {
-    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
-    if (n == 0) {
-      CloseConn(fd);
-      return;
-    }
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
-      CloseConn(fd);
-      return;
-    }
-    stats_.bytes_in += static_cast<std::uint64_t>(n);
-    conn.decoder.Append(buf, static_cast<std::size_t>(n));
-    Frame frame;
-    while (!conn.want_close) {
-      const FrameDecoder::Status status = conn.decoder.Next(&frame);
-      if (status == FrameDecoder::Status::kNeedMore) break;
-      if (status == FrameDecoder::Status::kCorrupt) {
-        // The byte stream cannot be resynchronized mid-frame: drop the
-        // connection. (Sessions stay intact; the client can reconnect.)
-        ++stats_.corrupt_frames;
-        SPOT_LOG(Error) << "closing connection " << fd << ": "
-                        << conn.decoder.error();
-        CloseConn(fd);
-        return;
-      }
-      ++stats_.frames_received;
-      if (!HandleFrame(conn, frame)) {
-        // Response (if any) is queued; close once it drains.
-        conn.want_close = true;
-      }
-    }
-  }
-  SyncPollerInterest(conn);
-}
-
-bool SpotServer::HandleFrame(Conn& conn, const Frame& frame) {
-  const std::uint8_t type = static_cast<std::uint8_t>(frame.type);
-  if (!IsRequestType(type)) {
-    ++stats_.protocol_errors;
-    SendError(conn, frame.type, "unexpected non-request frame");
-    return false;
-  }
-  switch (frame.type) {
-    case MsgType::kCreateSession: {
-      CreateSessionReq req;
-      if (!DecodeCreateSession(frame.payload, &req)) break;
-      std::string error;
-      if (service_->HasSession(req.session_id)) {
-        SendError(conn, frame.type,
-                  "session '" + req.session_id + "' already exists");
-        return true;
-      }
-      if (!AttachSession(conn, req.session_id, &error)) {
-        SendError(conn, frame.type, error);
-        return true;
-      }
-      if (!service_->CreateSession(req.session_id, req.config,
-                                   req.training)) {
-        // Roll the attachment back; the id was never registered.
-        session_owner_.erase(req.session_id);
-        conn.sessions.pop_back();
-        SendError(conn, frame.type,
-                  "CreateSession('" + req.session_id +
-                      "') failed (invalid id, config or training)");
-        return true;
-      }
-      SendOk(conn, frame.type);
-      return true;
-    }
-    case MsgType::kResumeSession: {
-      ResumeSessionReq req;
-      if (!DecodeResumeSession(frame.payload, &req)) break;
-      std::string error;
-      if (!service_->HasSession(req.session_id) &&
-          !service_->OpenSession(req.session_id)) {
-        SendError(conn, frame.type,
-                  "no session or checkpoint for '" + req.session_id + "'");
-        return true;
-      }
-      if (!AttachSession(conn, req.session_id, &error)) {
-        SendError(conn, frame.type, error);
-        return true;
-      }
-      SendOk(conn, frame.type);
-      return true;
-    }
-    case MsgType::kIngest:
-      if (HandleIngest(conn, frame.payload)) return true;
-      return !conn.want_close;  // ingest errors close (stream ordering)
-    case MsgType::kFlush: {
-      FlushReq req;
-      if (!DecodeFlush(frame.payload, &req)) break;
-      if (!req.session_id.empty()) {
-        auto owner = session_owner_.find(req.session_id);
-        if (owner == session_owner_.end() || owner->second != conn.fd) {
-          SendError(conn, frame.type,
-                    "session '" + req.session_id +
-                        "' is not attached to this connection");
-          return true;
-        }
-      }
-      bool ok = true;
-      for (auto& [id, pending] : conn.pending) {
-        if (!req.session_id.empty() && id != req.session_id) continue;
-        if (!pending.empty()) ok &= ProcessPending(conn, id, /*all=*/true);
-      }
-      if (!ok) return false;  // ProcessPending queued the error
-      SendOk(conn, frame.type);
-      return true;
-    }
-    case MsgType::kCheckpoint: {
-      CheckpointReq req;
-      if (!DecodeCheckpoint(frame.payload, &req)) break;
-      // A checkpoint must cover every point this connection delivered.
-      for (auto& [id, pending] : conn.pending) {
-        if (!pending.empty() && !ProcessPending(conn, id, /*all=*/true)) {
-          return false;
-        }
-      }
-      const bool ok = req.session_id.empty()
-                          ? service_->CheckpointAll()
-                          : service_->Checkpoint(req.session_id);
-      if (ok) {
-        SendOk(conn, frame.type);
-      } else {
-        SendError(conn, frame.type, "checkpoint failed");
-      }
-      return true;
-    }
-    case MsgType::kCloseSession: {
-      CloseSessionReq req;
-      if (!DecodeCloseSession(frame.payload, &req)) break;
-      auto owner = session_owner_.find(req.session_id);
-      if (owner == session_owner_.end() || owner->second != conn.fd) {
-        SendError(conn, frame.type,
-                  "session '" + req.session_id +
-                      "' is not attached to this connection");
-        return true;
-      }
-      auto pending = conn.pending.find(req.session_id);
-      if (pending != conn.pending.end() && !pending->second.empty() &&
-          !ProcessPending(conn, req.session_id, /*all=*/true)) {
-        return false;
-      }
-      if (!service_->CloseSession(req.session_id, req.persist)) {
-        SendError(conn, frame.type,
-                  "CloseSession('" + req.session_id + "') failed");
-        return true;
-      }
-      session_owner_.erase(req.session_id);
-      conn.sessions.erase(std::find(conn.sessions.begin(),
-                                    conn.sessions.end(), req.session_id));
-      conn.pending.erase(req.session_id);
-      SendOk(conn, frame.type);
-      return true;
-    }
-    default:
-      break;
-  }
-  ++stats_.protocol_errors;
-  SendError(conn, frame.type, "malformed request payload");
-  return false;
-}
-
-bool SpotServer::HandleIngest(Conn& conn, const std::string& payload) {
-  IngestReq req;
-  if (!DecodeIngest(payload, &req)) {
-    ++stats_.protocol_errors;
-    SendError(conn, MsgType::kIngest, "malformed ingest payload");
-    conn.want_close = true;
-    return false;
-  }
-  auto owner = session_owner_.find(req.session_id);
-  if (owner == session_owner_.end() || owner->second != conn.fd) {
-    SendError(conn, MsgType::kIngest,
-              "session '" + req.session_id +
-                  "' is not attached to this connection");
-    conn.want_close = true;
-    return false;
-  }
-  std::vector<DataPoint>& pending = conn.pending[req.session_id];
-  pending.insert(pending.end(),
-                 std::make_move_iterator(req.points.begin()),
-                 std::make_move_iterator(req.points.end()));
-  SessionNetActivity activity;
-  activity.frames_received = 1;
-  activity.bytes_in = kFrameHeaderBytes + payload.size();
-  activity.queue_depth = pending.size();
-  service_->RecordNetwork(req.session_id, activity);
-  // Early batch cut: keep memory bounded when a client pipelines far
-  // ahead; the remainder rides the end-of-turn flush.
-  if (pending.size() >= config_.batch_points) {
-    return ProcessPending(conn, req.session_id, /*all=*/false);
-  }
-  return true;
-}
-
-// --------------------------------------------------------------- batches --
-
-bool SpotServer::ProcessPending(Conn& conn, const std::string& id,
-                                bool all) {
-  std::vector<DataPoint>& pending = conn.pending[id];
-  // Consume by index and erase the prefix once at the end: erasing per
-  // chunk would shift the whole remainder every iteration, turning one
-  // large coalesced backlog into quadratic work inside the event loop.
-  std::size_t pos = 0;
-  bool ok = true;
-  while (pending.size() - pos >= (all ? 1 : config_.batch_points)) {
-    const std::size_t n =
-        std::min(pending.size() - pos, config_.batch_points);
-    std::vector<DataPoint> chunk;
-    chunk.reserve(n);
-    std::move(pending.begin() + static_cast<long>(pos),
-              pending.begin() + static_cast<long>(pos + n),
-              std::back_inserter(chunk));
-    pos += n;
-    IngestResult result = service_->Ingest(id, chunk);
-    if (!result.ok) {
-      SendError(conn, MsgType::kIngest,
-                "Ingest('" + id + "') failed at the service");
-      conn.want_close = true;
-      ok = false;
-      break;
-    }
-    ++stats_.batches_run;
-    stats_.points_ingested += n;
-    // A large coalesced run's verdicts can encode past the wire payload
-    // cap (13 bytes per verdict + 32 per finding), which the client's
-    // decoder would latch as corrupt. Split the run into as many
-    // kVerdicts frames as the cap requires — protocol-legal (verdicts
-    // arrive "batched however the server coalesced them") with
-    // first_point_id kept accurate per frame.
-    const std::size_t header_bytes = 4 + id.size() + 8 + 4;
-    std::size_t begin = 0;
-    while (begin < result.verdicts.size()) {
-      std::size_t bytes = header_bytes;
-      std::size_t end = begin;
-      while (end < result.verdicts.size()) {
-        const std::size_t vbytes =
-            13 + 32 * result.verdicts[end].findings.size();
-        if (end > begin && bytes + vbytes > config_.max_payload_bytes) {
-          break;
-        }
-        bytes += vbytes;
-        ++end;
-      }
-      VerdictsResp resp;
-      resp.session_id = id;
-      resp.first_point_id = chunk[begin].id;
-      resp.verdicts.assign(
-          std::make_move_iterator(result.verdicts.begin() +
-                                  static_cast<std::ptrdiff_t>(begin)),
-          std::make_move_iterator(result.verdicts.begin() +
-                                  static_cast<std::ptrdiff_t>(end)));
-      const std::string payload = EncodeVerdicts(resp);
-      Enqueue(conn, MsgType::kVerdicts, payload);
-      SessionNetActivity activity;
-      activity.bytes_out = kFrameHeaderBytes + payload.size();
-      service_->RecordNetwork(id, activity);
-      begin = end;
-    }
-  }
-  pending.erase(pending.begin(), pending.begin() + static_cast<long>(pos));
-  return ok;
-}
-
-void SpotServer::FlushAllPending() {
-  for (auto& [fd, conn] : conns_) {
-    if (conn->want_close) continue;
-    for (auto& [id, pending] : conn->pending) {
-      if (pending.empty()) continue;
-      if (!ProcessPending(*conn, id, /*all=*/true)) break;
-    }
-    SyncPollerInterest(*conn);
-  }
-}
-
-// ---------------------------------------------------------------- writes --
-
-void SpotServer::Enqueue(Conn& conn, MsgType type,
-                         const std::string& payload) {
-  conn.outbuf.append(EncodeFrame(type, payload));
-  ++stats_.frames_sent;
-  TryFlush(conn);
-  UpdateBackpressure(conn);
-  SyncPollerInterest(conn);
-}
-
-void SpotServer::SendOk(Conn& conn, MsgType request) {
-  OkResp resp{static_cast<std::uint8_t>(request)};
-  Enqueue(conn, MsgType::kOk, EncodeOk(resp));
-}
-
-void SpotServer::SendError(Conn& conn, MsgType request,
-                           const std::string& message) {
-  ErrorResp resp;
-  resp.request_type = static_cast<std::uint8_t>(request);
-  resp.message = message;
-  Enqueue(conn, MsgType::kError, EncodeError(resp));
-}
-
-void SpotServer::TryFlush(Conn& conn) {
-  while (conn.out_off < conn.outbuf.size()) {
-    const ssize_t n =
-        ::send(conn.fd, conn.outbuf.data() + conn.out_off,
-               conn.outbuf.size() - conn.out_off, MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      if (errno == EAGAIN || errno == EWOULDBLOCK) {
-        // Reclaim the sent prefix (mirroring FrameDecoder's read-side
-        // bound): a connection whose queue never fully drains — e.g. a
-        // consumer pacing itself around the backpressure threshold —
-        // must not retain every verdict byte ever sent to it. Only past
-        // a threshold, though: level-triggered epoll wakes us on every
-        // sndbuf vacancy, and an unconditional erase would let a
-        // byte-at-a-time consumer force an O(queued) memmove per byte
-        // of progress. The memory bound holds amortized: outbuf never
-        // exceeds the unsent bytes plus this threshold.
-        constexpr std::size_t kOutbufReclaimBytes = 64 * 1024;
-        if (conn.out_off >= kOutbufReclaimBytes) {
-          conn.outbuf.erase(0, conn.out_off);
-          conn.out_off = 0;
-        }
-        return;
-      }
-      // Peer is gone; drop the queue and let the deferred sweep close us.
-      conn.outbuf.clear();
-      conn.out_off = 0;
-      conn.want_close = true;
-      return;
-    }
-    conn.out_off += static_cast<std::size_t>(n);
-    stats_.bytes_out += static_cast<std::uint64_t>(n);
-  }
-  conn.outbuf.clear();
-  conn.out_off = 0;
-}
-
-void SpotServer::UpdateBackpressure(Conn& conn) {
-  const std::size_t queued = conn.outbuf.size() - conn.out_off;
-  if (!conn.paused && queued > config_.max_output_bytes) {
-    conn.paused = true;
-    ++stats_.backpressure_stalls;
-    SessionNetActivity activity;
-    activity.backpressure_stalls = 1;
-    for (const std::string& id : conn.sessions) {
-      service_->RecordNetwork(id, activity);
-    }
-  } else if (conn.paused && queued < config_.max_output_bytes / 2) {
-    conn.paused = false;
-  }
-}
-
-void SpotServer::SyncPollerInterest(Conn& conn) {
-  if (poller_ == nullptr || conns_.count(conn.fd) == 0) return;
-  const bool want_read = !conn.paused && !conn.want_close;
-  const bool want_write = conn.out_off < conn.outbuf.size();
-  if (want_read != conn.poll_read || want_write != conn.poll_write) {
-    conn.poll_read = want_read;
-    conn.poll_write = want_write;
-    poller_->Update(conn.fd, want_read, want_write);
-  }
-}
-
-void SpotServer::WriteReady(int fd) {
-  auto it = conns_.find(fd);
-  if (it == conns_.end()) return;
-  Conn& conn = *it->second;
-  TryFlush(conn);
-  UpdateBackpressure(conn);
-  if (conn.want_close && conn.out_off >= conn.outbuf.size()) {
-    CloseConn(fd);
-    return;
-  }
-  SyncPollerInterest(conn);
+  return total;
 }
 
 }  // namespace net

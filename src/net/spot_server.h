@@ -3,202 +3,124 @@
 
 #include <atomic>
 #include <cstdint>
-#include <map>
 #include <memory>
-#include <string>
-#include <unordered_map>
+#include <thread>
 #include <vector>
 
-#include "net/protocol.h"
-#include "stream/data_point.h"
+#include "net/reactor.h"
+#include "net/server_config.h"
+#include "net/session_registry.h"
+#include "service/spot_service.h"
 
 namespace spot {
-
-class SpotService;
-
 namespace net {
 
-/// Configuration of the network ingest server.
-struct SpotServerConfig {
-  /// Listen address (loopback by default; expose deliberately).
-  std::string bind_address = "127.0.0.1";
-
-  /// TCP port; 0 picks an ephemeral port (read it back via port() after
-  /// Start() — the tests and the in-process loadgen mode rely on this).
-  std::uint16_t port = 0;
-
-  int backlog = 64;
-
-  /// Per-session coalescing target: pending ingested points are run
-  /// through the service in ProcessBatch chunks of this size. Larger
-  /// batches amortize the engine's fork-join and probe-pipeline setup;
-  /// verdicts never depend on the setting (the batch engine is
-  /// bit-identical at every batch size).
-  std::size_t batch_points = 256;
-
-  /// Frame payload cap; a header announcing more is treated as corrupt.
-  std::size_t max_payload_bytes = kDefaultMaxPayloadBytes;
-
-  /// Write-side backpressure: when a connection's outbound queue exceeds
-  /// this many bytes the server stops reading from that connection until
-  /// the queue drains below half — a slow consumer stalls itself, never
-  /// the event loop or other connections.
-  std::size_t max_output_bytes = 4u << 20;
-
-  /// Upper bound on one epoll/poll wait, which is also the cadence at
-  /// which Stop()/SIGTERM is noticed when the server is idle.
-  int poll_interval_ms = 50;
-
-  /// When positive, sets SO_SNDBUF on accepted connections. The
-  /// backpressure tests shrink it so the userspace output queue (and not
-  /// the kernel's multi-megabyte loopback buffering) is what fills first;
-  /// 0 keeps the OS default.
-  int sndbuf_bytes = 0;
-
-  /// Use epoll(7) when available; false forces the portable poll(2) loop
-  /// (the fallback used automatically on non-Linux builds).
-  bool use_epoll = true;
-};
-
-/// Event-loop counters (single-threaded: written only by the loop thread;
-/// read them after Run() returns or from RunOnce()-driven tests).
-struct SpotServerStats {
-  std::uint64_t connections_accepted = 0;
-  std::uint64_t connections_closed = 0;
-  std::uint64_t frames_received = 0;
-  std::uint64_t frames_sent = 0;
-  std::uint64_t bytes_in = 0;
-  std::uint64_t bytes_out = 0;
-  std::uint64_t corrupt_frames = 0;
-  std::uint64_t protocol_errors = 0;
-  std::uint64_t backpressure_stalls = 0;
-  std::uint64_t batches_run = 0;
-  std::uint64_t points_ingested = 0;
-};
-
-/// Single-threaded epoll (poll-fallback) ingest server over a shared
-/// SpotService (DESIGN.md Section 7).
+/// Multi-reactor epoll (poll-fallback) ingest server (DESIGN.md
+/// Section 8).
 ///
-/// The loop accumulates frames per connection, coalesces pending points
-/// per session into engine-sized batches, runs them through the service
-/// (which owns the fork-join shard pool), and streams kVerdicts frames
-/// back with write-side backpressure. Determinism: each session is owned
-/// by exactly one connection, its points are processed strictly in
-/// arrival order, and batch boundaries cannot change verdicts — so the
-/// verdict stream is byte-identical to feeding the same points to
-/// SpotService::Ingest in-process, regardless of how the client chunked
-/// its frames, how the loop coalesced them, or the shard count.
+/// The server owns `num_reactors` event-loop shards. Each reactor runs on
+/// its own thread with its own Poller, its own connections, and its own
+/// SpotService shard; the shards share one checkpoint directory (files
+/// are per-session, so they never collide). Connections are spread either
+/// by per-reactor SO_REUSEPORT listeners on the shared port (the kernel
+/// picks by 4-tuple hash) or — when SO_REUSEPORT is unavailable or
+/// disabled — by reactor 0 accepting and dealing fds round-robin.
 ///
-/// Shutdown: Stop() (thread- and signal-safe) makes Run() exit its loop,
-/// process every connection's pending points, flush what it can, and
-/// checkpoint all sessions via SpotService::CheckpointAll — so a SIGTERM'd
-/// server restarts bit-identically (InstallSignalHandlers wires this).
+/// Determinism is unchanged from the single-threaded server: a session is
+/// exclusively attached to one connection, that connection lives on one
+/// reactor, and that reactor processes the session's points strictly in
+/// arrival order — so the verdict stream is byte-identical to feeding the
+/// same points to SpotService::Ingest in-process, regardless of reactor
+/// count, shard count, framing, or coalescing. The cross-reactor
+/// SessionRegistry enforces the exclusivity and hands sessions off
+/// between shards through the checkpoint directory on resume.
+///
+/// Shutdown: Stop() (thread- and signal-safe, a single atomic store on a
+/// flag every reactor polls) makes every loop exit, drain its pending
+/// batches, flush what it can, and checkpoint its shard — so a SIGTERM'd
+/// server restarts bit-identically, even at a different reactor count
+/// (InstallSignalHandlers wires this).
 class SpotServer {
  public:
-  /// Borrows `service`, which must outlive the server.
-  SpotServer(SpotService* service, SpotServerConfig config);
+  /// The server owns its service shards: one SpotService per reactor,
+  /// each built from `service_config` (shared checkpoint_dir, per-shard
+  /// fork-join pools).
+  SpotServer(SpotServiceConfig service_config, SpotServerConfig config);
   ~SpotServer();
 
   SpotServer(const SpotServer&) = delete;
   SpotServer& operator=(const SpotServer&) = delete;
 
-  /// Binds and listens. False on socket/bind/listen failure.
+  /// Binds the listener(s) and initializes every reactor. False on
+  /// socket/bind/listen or resource failure.
   bool Start();
 
   /// The bound port (valid after Start(); resolves port 0 requests).
   std::uint16_t port() const { return port_; }
 
-  /// Runs the event loop until Stop(), then drains and checkpoints.
+  /// Runs reactors 1..N-1 on their own threads and reactor 0 on the
+  /// calling thread, until Stop(); then joins and shuts everything down.
   void Run();
 
-  /// One event-loop turn (wait up to `timeout_ms`, handle events, flush
-  /// coalesced batches). Returns false once stopped. Run() is
-  /// `while (RunOnce(...)) {}` plus Shutdown(); tests can drive turns
-  /// manually.
-  bool RunOnce(int timeout_ms);
-
-  /// Requests loop exit. Async-signal-safe (a single atomic store).
+  /// Requests exit of every reactor loop. Async-signal-safe (a single
+  /// atomic store); noticed within poll_interval_ms even when idle.
   void Stop() { stop_.store(true, std::memory_order_relaxed); }
 
   bool stopping() const { return stop_.load(std::memory_order_relaxed); }
 
-  /// Drains pending batches, flushes and closes every connection, closes
-  /// the listener, and checkpoints all sessions. Idempotent; Run() calls
-  /// it on exit.
+  /// Stops, joins any loop threads, and runs every reactor's drain +
+  /// checkpoint shutdown. Idempotent; Run() performs it on exit. Only
+  /// call from outside Run() after Run() returned.
   void Shutdown();
 
   /// Routes SIGTERM/SIGINT to `server->Stop()` (pass nullptr to detach)
   /// and ignores SIGPIPE. One server per process can be wired at a time.
   static void InstallSignalHandlers(SpotServer* server);
 
-  const SpotServerStats& stats() const { return stats_; }
   const SpotServerConfig& config() const { return config_; }
+  std::size_t num_reactors() const { return reactors_.size(); }
 
-  /// Live connection count (tests).
-  std::size_t connections() const { return conns_.size(); }
+  /// True when every reactor accepts on its own SO_REUSEPORT listener;
+  /// false in single-reactor or round-robin hand-off mode.
+  bool reuseport_active() const { return reuseport_active_; }
+
+  /// Reactor `i`'s service shard (0 ≤ i < num_reactors()).
+  SpotService& service(std::size_t i = 0) { return *services_[i]; }
+  const SpotService& service(std::size_t i = 0) const {
+    return *services_[i];
+  }
+
+  /// Reactor `i`'s event-loop counters. Loop-thread state: read after
+  /// Run()/Shutdown() returned (or between manually driven turns).
+  const SpotServerStats& reactor_stats(std::size_t i) const {
+    return reactors_[i]->stats();
+  }
+
+  /// Counter totals across all reactors (same read-after-join caveat).
+  SpotServerStats stats() const;
+
+  /// Service metrics aggregated across all shards (sums; queue peak is
+  /// the max). Safe to call any time — services lock internally.
+  ServiceMetrics TotalServiceMetrics() const;
+
+  /// Reactor handle for tests that drive turns manually.
+  Reactor& reactor(std::size_t i = 0) { return *reactors_[i]; }
 
  private:
-  class Poller;       // event-notification interface
-  class PollPoller;   // portable poll(2) implementation
-#ifdef __linux__
-  class EpollPoller;  // epoll(7) implementation
-#endif
+  /// Creates one bound, listening, non-blocking socket on
+  /// `config_.bind_address:*port` (0 = ephemeral; resolved value written
+  /// back). Returns -1 on failure.
+  int MakeListener(bool reuseport, std::uint16_t* port);
 
-  struct Conn {
-    int fd = -1;
-    FrameDecoder decoder{kDefaultMaxPayloadBytes};
-    std::string outbuf;
-    std::size_t out_off = 0;
-    bool paused = false;      // reading suspended by backpressure
-    bool want_close = false;  // close once outbuf drains
-    bool poll_read = true;    // interest currently registered
-    bool poll_write = false;
-    /// Sessions attached to (and exclusively owned by) this connection.
-    std::vector<std::string> sessions;
-    /// Per-session coalescing buffers, ordered for deterministic
-    /// end-of-turn flushing.
-    std::map<std::string, std::vector<DataPoint>> pending;
-  };
-
-  bool AttachSession(Conn& conn, const std::string& id, std::string* error);
-  void DetachSessions(Conn& conn);
-
-  void AcceptReady();
-  void ReadReady(int fd);
-  void WriteReady(int fd);
-  /// Handles one complete frame; false closes the connection.
-  bool HandleFrame(Conn& conn, const Frame& frame);
-  bool HandleIngest(Conn& conn, const std::string& payload);
-  /// Runs `conn`'s pending points for `id` through the service in
-  /// batch_points chunks; `all` also processes the sub-batch remainder.
-  bool ProcessPending(Conn& conn, const std::string& id, bool all);
-  /// End-of-turn flush: processes every connection's remaining pending
-  /// points (whatever arrived together in this turn is the batch).
-  void FlushAllPending();
-
-  void Enqueue(Conn& conn, MsgType type, const std::string& payload);
-  void SendOk(Conn& conn, MsgType request);
-  void SendError(Conn& conn, MsgType request, const std::string& message);
-  /// Non-blocking write of the connection's output queue.
-  void TryFlush(Conn& conn);
-  void UpdateBackpressure(Conn& conn);
-  void SyncPollerInterest(Conn& conn);
-  void CloseConn(int fd);
-
-  SpotService* service_;
   SpotServerConfig config_;
-  std::unique_ptr<Poller> poller_;
-  int listen_fd_ = -1;
+  std::vector<std::unique_ptr<SpotService>> services_;
+  std::unique_ptr<SessionRegistry> registry_;
+  std::vector<std::unique_ptr<Reactor>> reactors_;
+  std::vector<std::thread> threads_;
   std::uint16_t port_ = 0;
+  bool reuseport_active_ = false;
   std::atomic<bool> stop_{false};
   bool shutdown_done_ = false;
-  /// Listener deregistered for one turn after an fd-exhausted accept.
-  bool listener_paused_ = false;
-
-  std::unordered_map<int, std::unique_ptr<Conn>> conns_;
-  /// session id -> owning connection fd (exclusive attachment).
-  std::map<std::string, int> session_owner_;
-  SpotServerStats stats_;
 };
 
 }  // namespace net

@@ -357,4 +357,22 @@ ServiceMetrics SpotService::TotalMetrics() const {
   return total;
 }
 
+void MergeServiceMetrics(ServiceMetrics* into, const ServiceMetrics& from) {
+  into->sessions += from.sessions;
+  into->resident_sessions += from.resident_sessions;
+  into->points_processed += from.points_processed;
+  into->outliers_detected += from.outliers_detected;
+  into->drifts_detected += from.drifts_detected;
+  into->batches_ingested += from.batches_ingested;
+  into->evictions += from.evictions;
+  into->reloads += from.reloads;
+  into->checkpoints_written += from.checkpoints_written;
+  into->detection_seconds += from.detection_seconds;
+  into->frames_received += from.frames_received;
+  into->bytes_in += from.bytes_in;
+  into->bytes_out += from.bytes_out;
+  into->backpressure_stalls += from.backpressure_stalls;
+  into->net_queue_peak = std::max(into->net_queue_peak, from.net_queue_peak);
+}
+
 }  // namespace spot

@@ -74,6 +74,11 @@ struct ServiceMetrics {
   std::uint64_t net_queue_peak = 0;
 };
 
+/// Folds `from` into `into`, field by field: sums everywhere except
+/// net_queue_peak, which keeps the max (it is itself a peak). Used by the
+/// multi-reactor server to aggregate its per-reactor service shards.
+void MergeServiceMetrics(ServiceMetrics* into, const ServiceMetrics& from);
+
 /// One observation of a session's network activity, reported by the
 /// serving layer (src/net/spot_server.cc) after it handles traffic for the
 /// session. Counter fields are *deltas* accumulated into the session's

@@ -1,17 +1,24 @@
 // End-to-end tests of the network ingest layer (src/net/): a real
-// SpotServer event loop on a loopback socket, driven by SpotClient and by
-// raw sockets. Proves the acceptance criterion of DESIGN.md Section 7:
+// SpotServer on a loopback socket, driven by SpotClient and by raw
+// sockets. Proves the acceptance criteria of DESIGN.md Sections 7-8:
 // server round-trip verdicts (including outlying-subspace findings) are
 // byte-identical to in-process SpotService::Ingest on the same stream at
-// shards {1, 4} — under randomized client-side chunking and mid-stream
-// flush barriers — and that malformed traffic closes the offending
-// connection without crashing the server or disturbing other connections.
+// shards {1, 4} x reactors {1, 2, 4} — under randomized client-side
+// chunking and mid-stream flush barriers, in both SO_REUSEPORT and
+// accept-and-hand-off modes — and that malformed traffic, cross-reactor
+// session claims, and fd exhaustion on one reactor never crash the server
+// or disturb other connections.
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdint>
+#include <cstdlib>
 #include <cstring>
+#include <dirent.h>
+#include <fcntl.h>
 #include <memory>
 #include <string>
+#include <sys/resource.h>
 #include <sys/socket.h>
 #include <sys/stat.h>
 #include <thread>
@@ -73,20 +80,22 @@ std::vector<std::vector<double>> TenantTraining(int t) {
   return ValuesOf(Take(gen, 300));
 }
 
-/// A SpotService + SpotServer pair running its event loop on a thread.
+/// A SpotServer (owning its per-reactor service shards) running Run() on
+/// a thread — reactor 0's loop lives there, further reactors spawn their
+/// own threads inside Run().
 class TestServer {
  public:
-  TestServer(SpotServiceConfig scfg, SpotServerConfig ncfg)
-      : service_(std::make_unique<SpotService>(scfg)) {
-    server_ = std::make_unique<SpotServer>(service_.get(), ncfg);
+  TestServer(SpotServiceConfig scfg, SpotServerConfig ncfg) {
+    server_ = std::make_unique<SpotServer>(scfg, ncfg);
     EXPECT_TRUE(server_->Start());
     thread_ = std::thread([this] { server_->Run(); });
   }
 
   ~TestServer() { StopAndJoin(); }
 
-  /// Stops the loop and joins; Run() performs the graceful Shutdown()
-  /// (drain + CheckpointAll) on its way out. Safe to call twice.
+  /// Stops every loop and joins; Run() performs the graceful Shutdown()
+  /// (drain + per-reactor CheckpointAll) on its way out. Safe to call
+  /// twice.
   void StopAndJoin() {
     if (thread_.joinable()) {
       server_->Stop();
@@ -95,12 +104,13 @@ class TestServer {
   }
 
   std::uint16_t port() const { return server_->port(); }
-  SpotService& service() { return *service_; }
-  /// Only valid after StopAndJoin() (stats are loop-thread state).
-  const SpotServerStats& stats() const { return server_->stats(); }
+  SpotService& service(std::size_t i = 0) { return server_->service(i); }
+  SpotServer& server() { return *server_; }
+  /// Aggregated across reactors; only valid after StopAndJoin() (the
+  /// counters are loop-thread state).
+  SpotServerStats stats() const { return server_->stats(); }
 
  private:
-  std::unique_ptr<SpotService> service_;
   std::unique_ptr<SpotServer> server_;
   std::thread thread_;
 };
@@ -130,26 +140,32 @@ std::vector<SpotResult> StreamOverWire(SpotClient& client,
   return verdicts;
 }
 
-// The headline differential: two sessions streamed over the wire through
-// a server whose service runs at `shards`, against two in-process
-// reference services at shard count 1 — randomized framing, randomized
-// barriers. VerdictBytes (raw IEEE-754 bit patterns of scores and PCS
-// evidence, subspace masks, flags) must match exactly.
-void RunDifferential(std::size_t shards, bool use_epoll) {
+// The headline differential: two sessions streamed over the wire — each
+// on its own connection, so a multi-reactor server spreads them across
+// loops — through a server running at `shards` x `reactors`, against two
+// in-process reference services at shard count 1 — randomized framing,
+// randomized barriers. VerdictBytes (raw IEEE-754 bit patterns of scores
+// and PCS evidence, subspace masks, flags) must match exactly.
+void RunDifferential(std::size_t shards, std::size_t reactors,
+                     bool use_reuseport, bool use_epoll) {
   SpotServiceConfig scfg;
   scfg.num_shards = shards;
   SpotServerConfig ncfg;
   ncfg.batch_points = 48;  // force multi-chunk coalescing paths
+  ncfg.num_reactors = reactors;
+  ncfg.use_reuseport = use_reuseport;
   ncfg.use_epoll = use_epoll;
   TestServer server(scfg, ncfg);
 
   SpotServiceConfig ref_cfg;  // shards=1: also proves shard invariance
   SpotService reference(ref_cfg);
 
-  SpotClient client;
-  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()));
+  std::vector<std::unique_ptr<SpotClient>> clients;
   for (int t = 0; t < 2; ++t) {
     const std::string id = "tenant-" + std::to_string(t);
+    clients.push_back(std::make_unique<SpotClient>());
+    SpotClient& client = *clients.back();
+    ASSERT_TRUE(client.Connect("127.0.0.1", server.port()));
     ASSERT_TRUE(client.CreateSession(id, SessionConfig(), TenantTraining(t)))
         << client.last_error();
     ASSERT_TRUE(
@@ -159,30 +175,57 @@ void RunDifferential(std::size_t shards, bool use_epoll) {
   for (int t = 0; t < 2; ++t) {
     const std::string id = "tenant-" + std::to_string(t);
     const std::vector<DataPoint> points = TenantPoints(t, 700);
-    const std::vector<SpotResult> wire_verdicts =
-        StreamOverWire(client, id, points, 42 + static_cast<std::uint64_t>(t));
+    const std::vector<SpotResult> wire_verdicts = StreamOverWire(
+        *clients[static_cast<std::size_t>(t)], id, points,
+        42 + static_cast<std::uint64_t>(t));
     const IngestResult ref = reference.Ingest(id, points);
     ASSERT_TRUE(ref.ok);
     ASSERT_EQ(wire_verdicts.size(), points.size());
     EXPECT_EQ(VerdictBytes(wire_verdicts), VerdictBytes(ref.verdicts))
-        << "shards=" << shards << " session=" << id;
+        << "shards=" << shards << " reactors=" << reactors
+        << " session=" << id;
   }
-  client.Disconnect();
+  for (auto& client : clients) client->Disconnect();
   server.StopAndJoin();
   EXPECT_GT(server.stats().batches_run, 0u);
   EXPECT_EQ(server.stats().points_ingested, 1400u);
 }
 
 TEST(NetDifferentialTest, WireVerdictsByteIdenticalAtOneShard) {
-  RunDifferential(/*shards=*/1, /*use_epoll=*/true);
+  RunDifferential(/*shards=*/1, /*reactors=*/1, /*use_reuseport=*/true,
+                  /*use_epoll=*/true);
 }
 
 TEST(NetDifferentialTest, WireVerdictsByteIdenticalAtFourShards) {
-  RunDifferential(/*shards=*/4, /*use_epoll=*/true);
+  RunDifferential(/*shards=*/4, /*reactors=*/1, /*use_reuseport=*/true,
+                  /*use_epoll=*/true);
 }
 
 TEST(NetDifferentialTest, PollFallbackMatchesEpoll) {
-  RunDifferential(/*shards=*/2, /*use_epoll=*/false);
+  RunDifferential(/*shards=*/2, /*reactors=*/1, /*use_reuseport=*/true,
+                  /*use_epoll=*/false);
+}
+
+TEST(NetDifferentialTest, TwoReactorsByteIdentical) {
+  RunDifferential(/*shards=*/1, /*reactors=*/2, /*use_reuseport=*/true,
+                  /*use_epoll=*/true);
+}
+
+TEST(NetDifferentialTest, FourReactorsFourShardsByteIdentical) {
+  RunDifferential(/*shards=*/4, /*reactors=*/4, /*use_reuseport=*/true,
+                  /*use_epoll=*/true);
+}
+
+TEST(NetDifferentialTest, HandOffAcceptModeByteIdentical) {
+  // Single listener on reactor 0 dealing connections round-robin — the
+  // fallback when SO_REUSEPORT is unavailable.
+  RunDifferential(/*shards=*/1, /*reactors=*/2, /*use_reuseport=*/false,
+                  /*use_epoll=*/true);
+}
+
+TEST(NetDifferentialTest, MultiReactorPollFallbackByteIdentical) {
+  RunDifferential(/*shards=*/2, /*reactors=*/2, /*use_reuseport=*/true,
+                  /*use_epoll=*/false);
 }
 
 // ------------------------------------------------------------ robustness --
@@ -372,6 +415,241 @@ TEST(NetRobustnessTest, SessionExclusiveToOneConnection) {
   ASSERT_TRUE(third.Ingest("solo", TenantPoints(0, 8)));
   EXPECT_TRUE(third.Flush("solo", &verdicts));
   EXPECT_EQ(verdicts.size(), 8u);
+}
+
+// ---------------------------------------------------------- multi-reactor --
+
+// Hand-off accept mode places connections deterministically: reactor 0
+// accepts and deals round-robin, so the k-th connection lands on reactor
+// k % num_reactors. The cross-reactor tests rely on this.
+
+// A second connection — on a different reactor — claiming a session that
+// is live on the first gets a protocol kError naming the cause, and the
+// first connection's stream is unaffected.
+TEST(NetMultiReactorTest, CrossReactorClaimRefusedNamesOwner) {
+  const std::string dir = MakeCheckpointDir("xclaim");
+  SpotServiceConfig scfg;
+  scfg.checkpoint_dir = dir;
+  SpotServerConfig ncfg;
+  ncfg.num_reactors = 2;
+  ncfg.use_reuseport = false;
+  TestServer server(scfg, ncfg);
+
+  SpotClient first;  // -> reactor 0
+  ASSERT_TRUE(first.Connect("127.0.0.1", server.port()));
+  ASSERT_TRUE(first.CreateSession("pin", SessionConfig(), TenantTraining(0)))
+      << first.last_error();
+  std::vector<SpotResult> verdicts;
+  ASSERT_TRUE(first.Ingest("pin", TenantPoints(0, 16)));
+  ASSERT_TRUE(first.Flush("pin", &verdicts));
+  ASSERT_EQ(verdicts.size(), 16u);
+
+  SpotClient second;  // -> reactor 1
+  ASSERT_TRUE(second.Connect("127.0.0.1", server.port()));
+  EXPECT_FALSE(second.ResumeSession("pin"));
+  EXPECT_NE(second.last_error().find("another connection"),
+            std::string::npos)
+      << second.last_error();
+  EXPECT_NE(second.last_error().find("reactor 0"), std::string::npos)
+      << second.last_error();
+  // A create under the same id is refused too.
+  EXPECT_FALSE(
+      second.CreateSession("pin", SessionConfig(), TenantTraining(0)));
+  EXPECT_NE(second.last_error().find("already exists"), std::string::npos)
+      << second.last_error();
+
+  // The first connection's stream is untouched by the refused claims.
+  ASSERT_TRUE(first.Ingest("pin", TenantPoints(0, 16)));
+  EXPECT_TRUE(first.Flush("pin", &verdicts));
+  EXPECT_EQ(verdicts.size(), 32u);
+}
+
+// After the owning connection goes away, a resume landing on a different
+// reactor hands the session off through the shared checkpoint directory —
+// and the spliced verdict stream is byte-identical to an uninterrupted
+// in-process run.
+TEST(NetMultiReactorTest, CrossReactorHandOffBitIdentical) {
+  const std::string dir = MakeCheckpointDir("xhand");
+  const std::vector<DataPoint> points = TenantPoints(0, 600);
+  const std::size_t kCut = 300;
+
+  SpotService reference{SpotServiceConfig{}};
+  ASSERT_TRUE(
+      reference.CreateSession("s", SessionConfig(), TenantTraining(0)));
+  const IngestResult ref = reference.Ingest("s", points);
+  ASSERT_TRUE(ref.ok);
+
+  SpotServiceConfig scfg;
+  scfg.checkpoint_dir = dir;
+  SpotServerConfig ncfg;
+  ncfg.num_reactors = 2;
+  ncfg.use_reuseport = false;
+  TestServer server(scfg, ncfg);
+
+  std::vector<SpotResult> wire_verdicts;
+  {
+    SpotClient client;  // -> reactor 0
+    ASSERT_TRUE(client.Connect("127.0.0.1", server.port()));
+    ASSERT_TRUE(
+        client.CreateSession("s", SessionConfig(), TenantTraining(0)));
+    ASSERT_TRUE(client.Ingest(
+        "s", std::vector<DataPoint>(points.begin(),
+                                    points.begin() + kCut)));
+    ASSERT_TRUE(client.Flush("s", &wire_verdicts));
+    client.Disconnect();
+  }
+  {
+    SpotClient client;  // -> reactor 1
+    ASSERT_TRUE(client.Connect("127.0.0.1", server.port()));
+    bool resumed = false;
+    for (int attempt = 0; attempt < 100 && !resumed; ++attempt) {
+      resumed = client.ResumeSession("s");
+      if (!resumed) {
+        // Reactor 0 may not have reaped the first connection yet.
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+    }
+    ASSERT_TRUE(resumed) << client.last_error();
+    // The hand-off moved the state into reactor 1's shard.
+    EXPECT_TRUE(server.service(1).HasSession("s"));
+    EXPECT_FALSE(server.service(0).HasSession("s"));
+    ASSERT_TRUE(client.Ingest(
+        "s", std::vector<DataPoint>(points.begin() + kCut, points.end())));
+    ASSERT_TRUE(client.Flush("s", &wire_verdicts));
+  }
+  ASSERT_EQ(wire_verdicts.size(), points.size());
+  EXPECT_EQ(VerdictBytes(wire_verdicts), VerdictBytes(ref.verdicts));
+}
+
+// Without a checkpoint directory there is no hand-off channel: a resume
+// from another reactor is cleanly refused, naming the owning reactor, and
+// the session keeps working where it lives.
+TEST(NetMultiReactorTest, CrossReactorResumeRefusedWithoutCheckpointDir) {
+  SpotServerConfig ncfg;
+  ncfg.num_reactors = 2;
+  ncfg.use_reuseport = false;
+  TestServer server(SpotServiceConfig{}, ncfg);
+
+  SpotClient first;  // -> reactor 0
+  ASSERT_TRUE(first.Connect("127.0.0.1", server.port()));
+  ASSERT_TRUE(first.CreateSession("pin", SessionConfig(), TenantTraining(0)));
+  first.Disconnect();
+
+  SpotClient second;  // -> reactor 1
+  ASSERT_TRUE(second.Connect("127.0.0.1", server.port()));
+  std::string error;
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    ASSERT_FALSE(second.ResumeSession("pin"));
+    error = second.last_error();
+    // Until reactor 0 reaps the first connection the refusal blames the
+    // attachment; once reaped it must name the home reactor.
+    if (error.find("no checkpoint directory") != std::string::npos) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_NE(error.find("no checkpoint directory"), std::string::npos)
+      << error;
+  EXPECT_NE(error.find("reactor 0"), std::string::npos) << error;
+
+  // A resume landing back on the home reactor still works.
+  SpotClient third;  // -> reactor 0
+  ASSERT_TRUE(third.Connect("127.0.0.1", server.port()));
+  ASSERT_TRUE(third.ResumeSession("pin")) << third.last_error();
+  std::vector<SpotResult> verdicts;
+  ASSERT_TRUE(third.Ingest("pin", TenantPoints(0, 8)));
+  EXPECT_TRUE(third.Flush("pin", &verdicts));
+  EXPECT_EQ(verdicts.size(), 8u);
+}
+
+// fd exhaustion pauses only the affected reactor's listener: established
+// traffic on every reactor keeps flowing, the pause is accounted to that
+// reactor alone, and accepts recover once descriptors free up.
+TEST(NetMultiReactorTest, FdExhaustionOnOneReactorDoesNotStallOthers) {
+  SpotServerConfig ncfg;
+  ncfg.num_reactors = 2;
+  ncfg.use_reuseport = false;  // deterministic: only reactor 0 accepts
+  TestServer server(SpotServiceConfig{}, ncfg);
+
+  SpotClient c0;  // -> reactor 0
+  ASSERT_TRUE(c0.Connect("127.0.0.1", server.port()));
+  ASSERT_TRUE(c0.CreateSession("fd-0", SessionConfig(), TenantTraining(0)));
+  SpotClient c1;  // -> reactor 1
+  ASSERT_TRUE(c1.Connect("127.0.0.1", server.port()));
+  ASSERT_TRUE(c1.CreateSession("fd-1", SessionConfig(), TenantTraining(1)));
+
+  // The late client's socket exists before exhaustion (this process hosts
+  // both sides); its connect() lands in the accept queue while the server
+  // cannot accept.
+  const int late = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(late, 0);
+
+  // Exhaust: clamp RLIMIT_NOFILE to the current ceiling and fill every
+  // free slot below it, so the next allocation — the server's accept —
+  // fails with EMFILE.
+  rlimit saved;
+  ASSERT_EQ(::getrlimit(RLIMIT_NOFILE, &saved), 0);
+  long max_fd = 0;
+  {
+    DIR* dir = ::opendir("/proc/self/fd");
+    ASSERT_NE(dir, nullptr);
+    while (dirent* entry = ::readdir(dir)) {
+      max_fd = std::max(max_fd, ::atol(entry->d_name));
+    }
+    ::closedir(dir);
+  }
+  rlimit tight = saved;
+  tight.rlim_cur = static_cast<rlim_t>(max_fd + 1);
+  ASSERT_EQ(::setrlimit(RLIMIT_NOFILE, &tight), 0);
+  std::vector<int> fillers;
+  for (int fd = ::open("/dev/null", O_RDONLY); fd >= 0;
+       fd = ::open("/dev/null", O_RDONLY)) {
+    fillers.push_back(fd);
+  }
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server.port());
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ASSERT_EQ(
+      ::connect(late, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+
+  // Give reactor 0 a few turns to hit EMFILE and pause its listener.
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+
+  // Established traffic is unaffected on both reactors — including the
+  // one whose listener is paused.
+  std::vector<SpotResult> verdicts;
+  ASSERT_TRUE(c0.Ingest("fd-0", TenantPoints(0, 32)));
+  ASSERT_TRUE(c0.Flush("fd-0", &verdicts)) << c0.last_error();
+  ASSERT_TRUE(c1.Ingest("fd-1", TenantPoints(1, 32)));
+  ASSERT_TRUE(c1.Flush("fd-1", &verdicts)) << c1.last_error();
+  EXPECT_EQ(verdicts.size(), 64u);
+
+  // Recover: free the descriptors; the re-armed (level-triggered)
+  // listener picks the queued connection up and it gets full service.
+  for (int fd : fillers) ::close(fd);
+  ASSERT_EQ(::setrlimit(RLIMIT_NOFILE, &saved), 0);
+  SendAll(late, EncodeFrame(MsgType::kFlush, EncodeFlush({""})));
+  {
+    FrameDecoder decoder;
+    Frame frame;
+    bool got_ok = false;
+    char buf[4096];
+    while (!got_ok) {
+      const ssize_t n = ::recv(late, buf, sizeof(buf), 0);
+      ASSERT_GT(n, 0) << "late connection was never served";
+      decoder.Append(buf, static_cast<std::size_t>(n));
+      while (decoder.Next(&frame) == FrameDecoder::Status::kFrame) {
+        ASSERT_EQ(frame.type, MsgType::kOk);
+        got_ok = true;
+      }
+    }
+  }
+  ::close(late);
+
+  server.StopAndJoin();
+  EXPECT_GE(server.server().reactor_stats(0).listener_pauses, 1u);
+  EXPECT_EQ(server.server().reactor_stats(1).listener_pauses, 0u);
 }
 
 // A coalesced run whose verdicts would encode past the wire payload cap

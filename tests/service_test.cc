@@ -361,5 +361,48 @@ TEST(SpotServiceTest, NetworkCountersSurfaceAndSurviveEviction) {
   EXPECT_EQ(total.net_queue_peak, 128u);
 }
 
+TEST(SpotServiceTest, MergeServiceMetricsSumsAndKeepsPeakMax) {
+  ServiceMetrics a;
+  a.sessions = 2;
+  a.resident_sessions = 1;
+  a.points_processed = 100;
+  a.outliers_detected = 3;
+  a.drifts_detected = 1;
+  a.batches_ingested = 10;
+  a.evictions = 2;
+  a.reloads = 1;
+  a.checkpoints_written = 4;
+  a.detection_seconds = 0.5;
+  a.frames_received = 7;
+  a.bytes_in = 2010;
+  a.bytes_out = 1000;
+  a.backpressure_stalls = 1;
+  a.net_queue_peak = 128;
+
+  ServiceMetrics b;
+  b.sessions = 1;
+  b.points_processed = 50;
+  b.detection_seconds = 0.25;
+  b.net_queue_peak = 64;  // smaller peak must not win
+
+  MergeServiceMetrics(&a, b);
+  EXPECT_EQ(a.sessions, 3u);
+  EXPECT_EQ(a.resident_sessions, 1u);
+  EXPECT_EQ(a.points_processed, 150u);
+  EXPECT_EQ(a.outliers_detected, 3u);
+  EXPECT_EQ(a.batches_ingested, 10u);
+  EXPECT_EQ(a.evictions, 2u);
+  EXPECT_EQ(a.checkpoints_written, 4u);
+  EXPECT_DOUBLE_EQ(a.detection_seconds, 0.75);
+  EXPECT_EQ(a.frames_received, 7u);
+  EXPECT_EQ(a.net_queue_peak, 128u);
+
+  ServiceMetrics c;
+  c.net_queue_peak = 512;  // larger peak replaces
+  MergeServiceMetrics(&a, c);
+  EXPECT_EQ(a.net_queue_peak, 512u);
+  EXPECT_EQ(a.points_processed, 150u);
+}
+
 }  // namespace
 }  // namespace spot

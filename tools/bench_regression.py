@@ -103,32 +103,42 @@ def run_e2(build_dir: str) -> list:
 
 
 def run_loadgen(build_dir: str) -> list:
-    """Runs the network loadgen against an in-process server it spawns.
+    """Runs the network loadgen against in-process servers it spawns.
 
     The end-to-end serving-boundary metric: pts/s and flush round-trip
     latency percentiles through real loopback sockets, with --verify
     asserting the wire verdicts are byte-identical to an in-process
-    reference. Context only — it never gates.
+    reference. Two passes — a single reactor and a two-reactor server —
+    merged into one table (the "reactors" column tells them apart), so
+    the trajectory records the serving tier at both scales. Context only
+    — it never gates.
     """
     binary = os.path.join(build_dir, "tools", "spot_loadgen")
     if not os.path.exists(binary):
         fail(f"{binary} not found (build with SPOT_BUILD_TOOLS=ON)")
-    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
-        raw_path = tmp.name
-    try:
-        subprocess.run(
-            [binary, "--spawn-server", "--connections", "2",
-             "--points", "6000", "--batch", "200", "--dims", "8",
-             "--verify", f"--json={raw_path}"],
-            check=True, stdout=subprocess.DEVNULL)
-        with open(raw_path) as f:
-            raw = json.load(f)
-    finally:
-        os.unlink(raw_path)
-    if raw.get("schema") != SCHEMA:
-        fail(f"{binary} emitted schema {raw.get('schema')!r}, "
-             f"expected {SCHEMA!r}")
-    return raw["tables"]
+    merged = None
+    for reactors in ("1", "2"):
+        with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+            raw_path = tmp.name
+        try:
+            subprocess.run(
+                [binary, "--spawn-server", "--connections", "2",
+                 "--points", "6000", "--batch", "200", "--dims", "8",
+                 "--reactors", reactors, "--verify", f"--json={raw_path}"],
+                check=True, stdout=subprocess.DEVNULL)
+            with open(raw_path) as f:
+                raw = json.load(f)
+        finally:
+            os.unlink(raw_path)
+        if raw.get("schema") != SCHEMA:
+            fail(f"{binary} emitted schema {raw.get('schema')!r}, "
+                 f"expected {SCHEMA!r}")
+        if merged is None:
+            merged = raw["tables"]
+        else:
+            for into, more in zip(merged, raw["tables"]):
+                into["rows"].extend(more["rows"])
+    return merged
 
 
 def validate(path: str) -> dict:

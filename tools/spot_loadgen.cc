@@ -8,10 +8,10 @@
 //
 //   spot_loadgen --port 7077 [--host H] [--connections C] [--points N]
 //                [--batch B] [--flush-every F] [--rate R] [--dims D]
-//                [--training T] [--shards S] [--session-prefix lg]
-//                [--csv FILE] [--skip K] [--resume] [--keep-open]
-//                [--verify] [--spawn-server] [--checkpoint-dir DIR]
-//                [--json OUT]
+//                [--training T] [--shards S] [--reactors R]
+//                [--session-prefix lg] [--csv FILE] [--skip K] [--resume]
+//                [--keep-open] [--verify] [--spawn-server]
+//                [--checkpoint-dir DIR] [--json OUT]
 //
 // Each of the C connections owns one session ("<prefix>-<c>") and streams
 // N points in ingest batches of B, flushing every F batches (the flush is
@@ -27,9 +27,11 @@
 // warm up and then compares [K, K+N). Flags defining the stream and the
 // config (--dims, --training, --shards, --csv) must match the earlier run.
 //
-// --spawn-server hosts service + server in-process on an ephemeral
-// loopback port (real sockets, zero orchestration) — how the bench
-// regression job measures end-to-end throughput.
+// --spawn-server hosts the multi-reactor server in-process on an
+// ephemeral loopback port (real sockets, zero orchestration) with
+// --reactors event-loop shards — how the bench regression job measures
+// end-to-end throughput. Against an external server, pass the server's
+// --reactors value so the report records it.
 
 #include <algorithm>
 #include <chrono>
@@ -67,6 +69,7 @@ struct Flags {
   int dims = 8;
   std::size_t training = 400;
   std::size_t shards = 1;
+  std::size_t reactors = 1;
   std::string session_prefix = "lg";
   std::string csv;
   std::size_t skip = 0;
@@ -289,6 +292,8 @@ int main(int argc, char** argv) {
   flags.dims = static_cast<int>(ex::TakeSizeFlag(&args, "dims", 8));
   flags.training = ex::TakeSizeFlag(&args, "training", 400);
   flags.shards = std::max<std::size_t>(1, ex::TakeSizeFlag(&args, "shards", 1));
+  flags.reactors =
+      std::max<std::size_t>(1, ex::TakeSizeFlag(&args, "reactors", 1));
   flags.session_prefix =
       ex::TakeStringFlag(&args, "session-prefix", flags.session_prefix);
   flags.csv = ex::TakeStringFlag(&args, "csv", "");
@@ -317,7 +322,6 @@ int main(int argc, char** argv) {
   }
 
   // Optional in-process server: real sockets on an ephemeral port.
-  std::unique_ptr<spot::SpotService> service;
   std::unique_ptr<spot::net::SpotServer> server;
   std::thread server_thread;
   std::uint16_t port = flags.port;
@@ -329,17 +333,18 @@ int main(int argc, char** argv) {
     if (!scfg.checkpoint_dir.empty()) {
       ::mkdir(scfg.checkpoint_dir.c_str(), 0755);
     }
-    service = std::make_unique<spot::SpotService>(scfg);
     spot::net::SpotServerConfig ncfg;
     ncfg.port = 0;
-    server = std::make_unique<spot::net::SpotServer>(service.get(), ncfg);
+    ncfg.num_reactors = flags.reactors;
+    server = std::make_unique<spot::net::SpotServer>(scfg, ncfg);
     if (!server->Start()) {
       std::fprintf(stderr, "cannot start in-process server\n");
       return 1;
     }
     port = server->port();
     server_thread = std::thread([&server] { server->Run(); });
-    std::printf("spawned in-process server on 127.0.0.1:%u\n", port);
+    std::printf("spawned in-process server on 127.0.0.1:%u (%zu reactors)\n",
+                port, server->num_reactors());
   }
 
   std::printf("loadgen: %zu connection(s) x %zu points (batch %zu, flush "
@@ -366,6 +371,11 @@ int main(int argc, char** argv) {
   bool all_verified = true;
   double max_span = 0.0;
   std::size_t total_points = 0;
+  // Per-connection throughput spread: with multiple reactors, skew
+  // between the fastest and slowest connection is the first sign of an
+  // unbalanced accept spread or a stalled reactor.
+  double conn_min = 0.0;
+  double conn_max = 0.0;
   std::vector<double> latencies;
   for (std::size_t c = 0; c < results.size(); ++c) {
     const WorkerResult& r = results[c];
@@ -377,6 +387,12 @@ int main(int argc, char** argv) {
     all_verified &= r.verified;
     max_span = std::max(max_span, r.span_seconds);
     total_points += r.points_sent;
+    const double conn_rate =
+        r.span_seconds > 0.0
+            ? static_cast<double>(r.points_sent) / r.span_seconds
+            : 0.0;
+    conn_min = c == 0 ? conn_rate : std::min(conn_min, conn_rate);
+    conn_max = std::max(conn_max, conn_rate);
     latencies.insert(latencies.end(), r.latencies_ms.begin(),
                      r.latencies_ms.end());
   }
@@ -384,13 +400,19 @@ int main(int argc, char** argv) {
   const double pts_per_sec =
       max_span > 0.0 ? static_cast<double>(total_points) / max_span : 0.0;
   spot::eval::Table table({"connections", "points", "batch", "shards",
-                           "pts/s", "p50 ms", "p95 ms", "p99 ms"});
+                           "reactors", "pts/s", "conn min", "conn max",
+                           "p50 ms", "p95 ms", "p99 ms"});
   table.AddRow({spot::eval::Table::Int(flags.connections),
                 spot::eval::Table::Int(total_points),
                 spot::eval::Table::Int(flags.batch),
                 spot::eval::Table::Int(flags.shards),
+                spot::eval::Table::Int(server != nullptr
+                                           ? server->num_reactors()
+                                           : flags.reactors),
                 spot::eval::Table::Int(
                     static_cast<std::uint64_t>(pts_per_sec)),
+                spot::eval::Table::Int(static_cast<std::uint64_t>(conn_min)),
+                spot::eval::Table::Int(static_cast<std::uint64_t>(conn_max)),
                 spot::eval::Table::Num(spot::Quantile(latencies, 0.50), 2),
                 spot::eval::Table::Num(spot::Quantile(latencies, 0.95), 2),
                 spot::eval::Table::Num(spot::Quantile(latencies, 0.99), 2)});

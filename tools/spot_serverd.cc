@@ -1,26 +1,56 @@
-// Standalone SPOT network ingest server (DESIGN.md Section 7).
+// Standalone SPOT network ingest server (DESIGN.md Sections 7-8).
 //
 //   spot_serverd [--port P] [--bind ADDR] [--checkpoint-dir DIR]
-//                [--shards N] [--max-resident N] [--batch N] [--no-epoll]
+//                [--reactors N] [--shards N] [--max-resident N]
+//                [--batch N] [--no-reuseport] [--no-epoll]
 //
-// Hosts one SpotService (N-shard fork-join pool shared by every session)
+// Hosts --reactors event-loop shards (default: min(hardware cores, 8)),
+// each with its own SpotService (N-shard fork-join pool per service)
 // behind the binary wire protocol. Clients create or resume sessions by
 // name; with --checkpoint-dir, SIGTERM/SIGINT shuts down gracefully —
-// pending coalesced batches are processed and every session is saved via
-// CheckpointAll — so `kill -TERM` followed by a restart over the same
-// directory resumes every stream bit-identically (the CI server-smoke job
-// proves it with spot_loadgen --verify).
+// every reactor processes its pending coalesced batches and saves its
+// sessions via CheckpointAll — so `kill -TERM` followed by a restart over
+// the same directory resumes every stream bit-identically, even at a
+// different reactor count (the CI server-smoke job proves it with
+// spot_loadgen --verify).
 //
 // Prints "listening on <addr>:<port>" once ready (scripts wait for it).
 
 #include <cstdio>
 #include <string>
 #include <sys/stat.h>
+#include <thread>
 #include <vector>
 
 #include "examples/example_flags.h"
 #include "net/spot_server.h"
 #include "service/spot_service.h"
+
+namespace {
+
+std::size_t DefaultReactors() {
+  // hardware_concurrency() may legitimately report 0 (unknown).
+  const unsigned cores = std::thread::hardware_concurrency();
+  const std::size_t capped = cores == 0 ? 1 : static_cast<std::size_t>(cores);
+  return capped < 8 ? capped : 8;
+}
+
+void PrintStatsLine(const char* label, const spot::net::SpotServerStats& s) {
+  std::printf(
+      "%s: %llu points in %llu batches over %llu connections "
+      "(%llu frames in, %llu/%llu bytes in/out, %llu stalls, "
+      "%llu listener pauses)\n",
+      label, static_cast<unsigned long long>(s.points_ingested),
+      static_cast<unsigned long long>(s.batches_run),
+      static_cast<unsigned long long>(s.connections_accepted),
+      static_cast<unsigned long long>(s.frames_received),
+      static_cast<unsigned long long>(s.bytes_in),
+      static_cast<unsigned long long>(s.bytes_out),
+      static_cast<unsigned long long>(s.backpressure_stalls),
+      static_cast<unsigned long long>(s.listener_pauses));
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   std::vector<std::string> args;
@@ -37,6 +67,10 @@ int main(int argc, char** argv) {
       spot::examples::TakeStringFlag(&args, "bind", "127.0.0.1");
   ncfg.port = static_cast<std::uint16_t>(
       spot::examples::TakeSizeFlag(&args, "port", 7077));
+  ncfg.num_reactors =
+      spot::examples::TakeSizeFlag(&args, "reactors", DefaultReactors());
+  if (ncfg.num_reactors == 0) ncfg.num_reactors = 1;
+  ncfg.use_reuseport = !spot::examples::TakeBoolFlag(&args, "no-reuseport");
   ncfg.batch_points = spot::examples::TakeSizeFlag(&args, "batch", 256);
   ncfg.use_epoll = !spot::examples::TakeBoolFlag(&args, "no-epoll");
 
@@ -48,33 +82,40 @@ int main(int argc, char** argv) {
     ::mkdir(scfg.checkpoint_dir.c_str(), 0755);
   }
 
-  spot::SpotService service(scfg);
-  spot::net::SpotServer server(&service, ncfg);
+  spot::net::SpotServer server(scfg, ncfg);
   if (!server.Start()) {
     std::fprintf(stderr, "cannot listen on %s:%u\n",
                  ncfg.bind_address.c_str(), ncfg.port);
     return 1;
   }
   spot::net::SpotServer::InstallSignalHandlers(&server);
-  std::printf("listening on %s:%u (shards=%zu, batch=%zu%s%s)\n",
-              ncfg.bind_address.c_str(), server.port(), scfg.num_shards,
-              ncfg.batch_points,
+  std::printf("listening on %s:%u (reactors=%zu%s, shards=%zu, batch=%zu%s%s)\n",
+              ncfg.bind_address.c_str(), server.port(), server.num_reactors(),
+              server.reuseport_active() ? " via SO_REUSEPORT" : "",
+              scfg.num_shards, ncfg.batch_points,
               scfg.checkpoint_dir.empty() ? "" : ", checkpoints in ",
               scfg.checkpoint_dir.c_str());
   std::fflush(stdout);
 
   server.Run();  // until SIGTERM/SIGINT; drains + checkpoints on the way out
 
-  const spot::net::SpotServerStats& stats = server.stats();
-  std::printf("served %llu points in %llu batches over %llu connections "
-              "(%llu frames in, %llu/%llu bytes in/out, %llu stalls)\n",
-              static_cast<unsigned long long>(stats.points_ingested),
-              static_cast<unsigned long long>(stats.batches_run),
-              static_cast<unsigned long long>(stats.connections_accepted),
-              static_cast<unsigned long long>(stats.frames_received),
-              static_cast<unsigned long long>(stats.bytes_in),
-              static_cast<unsigned long long>(stats.bytes_out),
-              static_cast<unsigned long long>(stats.backpressure_stalls));
+  // Shutdown summary: one line per reactor, then the total, then the
+  // service-side aggregates across all shards.
+  char label[32];
+  for (std::size_t i = 0; i < server.num_reactors(); ++i) {
+    std::snprintf(label, sizeof(label), "reactor %zu", i);
+    PrintStatsLine(label, server.reactor_stats(i));
+  }
+  PrintStatsLine("total", server.stats());
+  const spot::ServiceMetrics metrics = server.TotalServiceMetrics();
+  std::printf(
+      "service totals: %zu sessions, %llu points processed, "
+      "%llu outliers, %llu drifts, %llu checkpoints written\n",
+      metrics.sessions,
+      static_cast<unsigned long long>(metrics.points_processed),
+      static_cast<unsigned long long>(metrics.outliers_detected),
+      static_cast<unsigned long long>(metrics.drifts_detected),
+      static_cast<unsigned long long>(metrics.checkpoints_written));
   spot::net::SpotServer::InstallSignalHandlers(nullptr);
   return 0;
 }
