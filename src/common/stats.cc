@@ -61,15 +61,35 @@ double StdDev(const std::vector<double>& v) {
   return rs.stddev();
 }
 
-double Quantile(std::vector<double> v, double q) {
-  if (v.empty()) return 0.0;
+namespace {
+
+/// Interpolated quantile of an already-sorted non-empty vector.
+double SortedQuantile(const std::vector<double>& v, double q) {
   q = std::clamp(q, 0.0, 1.0);
-  std::sort(v.begin(), v.end());
   const double pos = q * static_cast<double>(v.size() - 1);
   const std::size_t lo = static_cast<std::size_t>(pos);
   const std::size_t hi = std::min(lo + 1, v.size() - 1);
   const double frac = pos - static_cast<double>(lo);
   return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+}  // namespace
+
+double Quantile(std::vector<double> v, double q) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  return SortedQuantile(v, q);
+}
+
+std::vector<double> Quantiles(std::vector<double> v,
+                              const std::vector<double>& qs) {
+  std::vector<double> out(qs.size(), 0.0);
+  if (v.empty()) return out;
+  std::sort(v.begin(), v.end());
+  for (std::size_t i = 0; i < qs.size(); ++i) {
+    out[i] = SortedQuantile(v, qs[i]);
+  }
+  return out;
 }
 
 double Median(std::vector<double> v) { return Quantile(std::move(v), 0.5); }

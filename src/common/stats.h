@@ -46,6 +46,12 @@ double StdDev(const std::vector<double>& v);
 /// Returns 0 for an empty vector.
 double Quantile(std::vector<double> v, double q);
 
+/// Several quantiles from one sorting pass — answers element-for-element
+/// what Quantile(v, qs[i]) would, without re-copying and re-sorting the
+/// sample set per q. Returns all zeros for an empty vector.
+std::vector<double> Quantiles(std::vector<double> v,
+                              const std::vector<double>& qs);
+
 /// Median convenience wrapper over Quantile(v, 0.5).
 double Median(std::vector<double> v);
 

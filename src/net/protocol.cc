@@ -31,7 +31,7 @@ bool ParseConfigBlob(const std::string& blob, SpotConfig* out) {
 
 bool IsRequestType(std::uint8_t type) {
   return type >= static_cast<std::uint8_t>(MsgType::kCreateSession) &&
-         type <= static_cast<std::uint8_t>(MsgType::kCloseSession);
+         type <= static_cast<std::uint8_t>(MsgType::kStats);
 }
 
 std::uint32_t Crc32(const void* data, std::size_t len) {
@@ -457,6 +457,132 @@ bool DecodeVerdicts(const std::string& payload, VerdictsResp* out) {
   out->session_id = r.Str();
   out->first_point_id = r.U64();
   if (!DecodeVerdictList(&r, &out->verdicts)) return false;
+  return r.AtEnd();
+}
+
+// ---------------------------------------------------------- stats codec --
+
+namespace {
+
+void EncodeSnapshot(const obs::MetricsSnapshot& snap, WireWriter* w) {
+  w->U32(static_cast<std::uint32_t>(snap.counters.size()));
+  for (const auto& [name, value] : snap.counters) {
+    w->Str(name);
+    w->U64(value);
+  }
+  w->U32(static_cast<std::uint32_t>(snap.gauges.size()));
+  for (const auto& [name, value] : snap.gauges) {
+    w->Str(name);
+    w->F64(value);
+  }
+  w->U32(static_cast<std::uint32_t>(snap.histograms.size()));
+  for (const auto& [name, hist] : snap.histograms) {
+    w->Str(name);
+    w->F64(hist.sum());
+    w->F64(hist.min());
+    w->F64(hist.max());
+    // Sparse bucket list: (index, count) pairs for populated buckets.
+    std::uint32_t nonzero = 0;
+    for (int i = 0; i < obs::Histogram::kNumBuckets; ++i) {
+      if (hist.bucket(i) != 0) ++nonzero;
+    }
+    w->U32(nonzero);
+    for (int i = 0; i < obs::Histogram::kNumBuckets; ++i) {
+      if (hist.bucket(i) == 0) continue;
+      w->U8(static_cast<std::uint8_t>(i));
+      w->U64(hist.bucket(i));
+    }
+  }
+}
+
+bool DecodeSnapshot(WireReader* r, obs::MetricsSnapshot* out) {
+  out->counters.clear();
+  out->gauges.clear();
+  out->histograms.clear();
+  const std::uint32_t ncounters = r->U32();
+  if (!r->ok()) return false;
+  // A counter is >= 12 bytes (length-prefixed name + u64); bounding the
+  // untrusted counts against the remaining bytes keeps a crafted count
+  // from driving huge allocations (same discipline as DecodeIngest).
+  if (ncounters > r->remaining() / 12) return r->Fail();
+  for (std::uint32_t i = 0; i < ncounters; ++i) {
+    const std::string name = r->Str();
+    out->counters[name] = r->U64();
+  }
+  const std::uint32_t ngauges = r->U32();
+  if (!r->ok()) return false;
+  if (ngauges > r->remaining() / 12) return r->Fail();
+  for (std::uint32_t i = 0; i < ngauges; ++i) {
+    const std::string name = r->Str();
+    out->gauges[name] = r->F64();
+  }
+  const std::uint32_t nhists = r->U32();
+  if (!r->ok()) return false;
+  // A histogram is >= 32 bytes (name + three doubles + bucket count).
+  if (nhists > r->remaining() / 32) return r->Fail();
+  for (std::uint32_t i = 0; i < nhists; ++i) {
+    const std::string name = r->Str();
+    const double sum = r->F64();
+    const double min = r->F64();
+    const double max = r->F64();
+    const std::uint32_t nonzero = r->U32();
+    if (!r->ok()) return false;
+    if (nonzero > obs::Histogram::kNumBuckets) return r->Fail();
+    std::uint64_t counts[obs::Histogram::kNumBuckets] = {};
+    for (std::uint32_t b = 0; b < nonzero; ++b) {
+      const std::uint8_t idx = r->U8();
+      const std::uint64_t count = r->U64();
+      if (!r->ok()) return false;
+      if (idx >= obs::Histogram::kNumBuckets) return r->Fail();
+      counts[idx] = count;
+    }
+    out->histograms[name] = obs::Histogram::Restore(counts, sum, min, max);
+  }
+  return r->ok();
+}
+
+}  // namespace
+
+obs::MetricsSnapshot StatsResp::Merged() const {
+  obs::MetricsSnapshot merged;
+  for (const obs::MetricsSnapshot& snap : reactors) merged.Merge(snap);
+  for (const obs::MetricsSnapshot& snap : services) merged.Merge(snap);
+  merged.counters["sessions_handed_off"] += sessions_handed_off;
+  return merged;
+}
+
+std::string EncodeStats(const StatsResp& resp) {
+  WireWriter w;
+  w.U64(resp.sessions_handed_off);
+  w.U32(static_cast<std::uint32_t>(resp.reactors.size()));
+  for (const obs::MetricsSnapshot& snap : resp.reactors) {
+    EncodeSnapshot(snap, &w);
+  }
+  w.U32(static_cast<std::uint32_t>(resp.services.size()));
+  for (const obs::MetricsSnapshot& snap : resp.services) {
+    EncodeSnapshot(snap, &w);
+  }
+  return w.Take();
+}
+
+bool DecodeStats(const std::string& payload, StatsResp* out) {
+  WireReader r(payload);
+  out->sessions_handed_off = r.U64();
+  const std::uint32_t nreactors = r.U32();
+  if (!r.ok()) return false;
+  // An empty snapshot is 12 bytes (three zero counts).
+  if (nreactors > payload.size() / 12) return r.Fail();
+  out->reactors.assign(nreactors, obs::MetricsSnapshot());
+  for (obs::MetricsSnapshot& snap : out->reactors) {
+    if (!DecodeSnapshot(&r, &snap)) return false;
+  }
+  const std::uint32_t nservices = r.U32();
+  if (!r.ok()) return false;
+  if (nservices > payload.size() / 12) return r.Fail();
+  out->services.assign(nservices, obs::MetricsSnapshot());
+  for (obs::MetricsSnapshot& snap : out->services) {
+    if (!DecodeSnapshot(&r, &snap)) return false;
+  }
   return r.AtEnd();
 }
 

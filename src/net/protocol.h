@@ -8,6 +8,7 @@
 
 #include "core/detector.h"
 #include "core/spot_config.h"
+#include "obs/metrics.h"
 #include "stream/data_point.h"
 
 namespace spot {
@@ -62,11 +63,13 @@ enum class MsgType : std::uint8_t {
   kFlush = 4,          // id ("" = all sessions of this connection)
   kCheckpoint = 5,     // id ("" = CheckpointAll)
   kCloseSession = 6,   // id + persist flag
+  kStats = 7,          // empty payload; scrape the server's metrics
 
   // Responses (server -> client).
-  kOk = 16,        // echoes the request type it answers
-  kError = 17,     // echoes the request type + human-readable message
-  kVerdicts = 18,  // id + verdicts for a coalesced run of ingested points
+  kOk = 16,         // echoes the request type it answers
+  kError = 17,      // echoes the request type + human-readable message
+  kVerdicts = 18,   // id + verdicts for a coalesced run of ingested points
+  kStatsResp = 19,  // whole-server metrics snapshot (answers kStats)
 };
 
 /// True for the request-role message types a server accepts.
@@ -267,6 +270,27 @@ bool DecodeError(const std::string& payload, ErrorResp* out);
 
 std::string EncodeVerdicts(const VerdictsResp& resp);
 bool DecodeVerdicts(const std::string& payload, VerdictsResp* out);
+
+/// Whole-server metrics snapshot (answers kStats; DESIGN.md Section 9).
+/// One section per reactor (pipeline-stage histograms + transport
+/// counters + connection gauges) and one per service shard (checkpoint
+/// durations, eviction/reload counters, resident-session gauges), plus
+/// the cross-reactor hand-off counter from the session registry. A
+/// kStats *request* carries an empty payload; anything else is malformed
+/// and closes the connection like any other bad request payload.
+struct StatsResp {
+  std::vector<obs::MetricsSnapshot> reactors;  // index == reactor index
+  std::vector<obs::MetricsSnapshot> services;  // index == shard index
+  std::uint64_t sessions_handed_off = 0;
+
+  /// Everything folded into one snapshot (counters/gauges sum,
+  /// histograms merge; the hand-off counter appears as
+  /// "sessions_handed_off").
+  obs::MetricsSnapshot Merged() const;
+};
+
+std::string EncodeStats(const StatsResp& resp);
+bool DecodeStats(const std::string& payload, StatsResp* out);
 
 /// Canonical byte encoding of a verdict list (the kVerdicts payload body,
 /// doubles as raw bit patterns). Two verdict sequences are equal *as

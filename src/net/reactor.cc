@@ -10,6 +10,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <chrono>
 #include <iterator>
 #include <utility>
 
@@ -25,6 +26,13 @@ namespace {
 bool SetNonBlocking(int fd) {
   const int flags = ::fcntl(fd, F_GETFL, 0);
   return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+using MonoClock = std::chrono::steady_clock;
+
+double MicrosSince(MonoClock::time_point t0) {
+  return std::chrono::duration<double, std::micro>(MonoClock::now() - t0)
+      .count();
 }
 
 }  // namespace
@@ -63,6 +71,12 @@ void Reactor::AdoptListener(int fd, bool acceptor,
   acceptor_ = acceptor;
   handoff_targets_ = std::move(handoff_targets);
   poller_->Add(listen_fd_, /*read=*/true, /*write=*/false);
+}
+
+void Reactor::SetObservability(obs::MetricsHub* hub,
+                               std::function<StatsResp()> stats_source) {
+  hub_ = hub;
+  stats_source_ = std::move(stats_source);
 }
 
 void Reactor::Run() {
@@ -119,7 +133,40 @@ bool Reactor::RunOnce(int timeout_ms) {
     }
   }
   for (int fd : doomed) CloseConn(fd);
+  PublishMetrics();
   return !stopping();
+}
+
+void Reactor::PublishMetrics() {
+  if (hub_ == nullptr) return;
+  // Fold the plain loop counters into the registry so one snapshot
+  // carries the whole reactor; Set (not Inc) because stats_ is itself
+  // monotonic and already holds the running totals.
+  obs_.GetCounter("connections_accepted")->Set(stats_.connections_accepted);
+  obs_.GetCounter("connections_closed")->Set(stats_.connections_closed);
+  obs_.GetCounter("frames_received")->Set(stats_.frames_received);
+  obs_.GetCounter("frames_sent")->Set(stats_.frames_sent);
+  obs_.GetCounter("bytes_in")->Set(stats_.bytes_in);
+  obs_.GetCounter("bytes_out")->Set(stats_.bytes_out);
+  obs_.GetCounter("corrupt_frames")->Set(stats_.corrupt_frames);
+  obs_.GetCounter("protocol_errors")->Set(stats_.protocol_errors);
+  obs_.GetCounter("backpressure_stalls")->Set(stats_.backpressure_stalls);
+  obs_.GetCounter("batches_run")->Set(stats_.batches_run);
+  obs_.GetCounter("points_ingested")->Set(stats_.points_ingested);
+  obs_.GetCounter("listener_pauses")->Set(stats_.listener_pauses);
+  std::size_t pending_points = 0;
+  std::size_t queued_bytes = 0;
+  for (const auto& [fd, conn] : conns_) {
+    for (const auto& [id, pending] : conn->pending) {
+      pending_points += pending.size();
+    }
+    queued_bytes += conn->outbuf.size() - conn->out_off;
+  }
+  obs_.GetGauge("connections")->Set(static_cast<double>(conns_.size()));
+  obs_.GetGauge("pending_points")->Set(static_cast<double>(pending_points));
+  obs_.GetGauge("outbound_queued_bytes")
+      ->Set(static_cast<double>(queued_bytes));
+  hub_->Publish(static_cast<std::size_t>(index_), obs_.Snapshot());
 }
 
 void Reactor::Shutdown() {
@@ -159,6 +206,7 @@ void Reactor::Shutdown() {
     wake_rd_ = wake_wr_ = -1;
   }
   poller_.reset();
+  PublishMetrics();  // final snapshot covers the shutdown drain
   if (service_ != nullptr && !service_->config().checkpoint_dir.empty()) {
     if (service_->CheckpointAll()) {
       SPOT_LOG(Info) << "reactor " << index_
@@ -305,7 +353,11 @@ void Reactor::ReadReady(int fd) {
     conn.decoder.Append(buf, static_cast<std::size_t>(n));
     Frame frame;
     while (!conn.want_close) {
+      const MonoClock::time_point decode_start = MonoClock::now();
       const FrameDecoder::Status status = conn.decoder.Next(&frame);
+      if (status == FrameDecoder::Status::kFrame) {
+        h_decode_us_->Record(MicrosSince(decode_start));
+      }
       if (status == FrameDecoder::Status::kNeedMore) break;
       if (status == FrameDecoder::Status::kCorrupt) {
         // The byte stream cannot be resynchronized mid-frame: drop the
@@ -418,6 +470,25 @@ bool Reactor::HandleFrame(Conn& conn, const Frame& frame) {
       }
       return true;
     }
+    case MsgType::kStats: {
+      // A metrics scrape: answerable on any connection, session or not,
+      // and deliberately side-effect-free on the ingest pipeline — it
+      // does not cut batches, touch coalescing buffers or the service,
+      // so verdicts are bit-identical with and without scrapes. The
+      // request carries no payload; anything else is malformed and
+      // falls through to the close-the-connection path below.
+      if (!frame.payload.empty()) break;
+      if (!stats_source_) {
+        SendError(conn, frame.type, "stats not available on this server");
+        return true;
+      }
+      // Publish our own registry first so the snapshot reflects this
+      // very turn; other reactors are at most one loop turn stale.
+      c_stats_scrapes_->Inc();
+      PublishMetrics();
+      Enqueue(conn, MsgType::kStatsResp, EncodeStats(stats_source_()));
+      return true;
+    }
     case MsgType::kCloseSession: {
       CloseSessionReq req;
       if (!DecodeCloseSession(frame.payload, &req)) break;
@@ -455,6 +526,7 @@ bool Reactor::HandleFrame(Conn& conn, const Frame& frame) {
 }
 
 bool Reactor::HandleIngest(Conn& conn, const std::string& payload) {
+  const MonoClock::time_point coalesce_start = MonoClock::now();
   IngestReq req;
   if (!DecodeIngest(payload, &req)) {
     ++stats_.protocol_errors;
@@ -479,6 +551,9 @@ bool Reactor::HandleIngest(Conn& conn, const std::string& payload) {
   activity.bytes_in = kFrameHeaderBytes + payload.size();
   activity.queue_depth = pending.size();
   service_->RecordNetwork(req.session_id, activity);
+  // Coalesce stage ends here; the early batch cut below is accounted to
+  // the process stage by ProcessPending itself.
+  h_coalesce_us_->Record(MicrosSince(coalesce_start));
   // Early batch cut: keep memory bounded when a client pipelines far
   // ahead; the remainder rides the end-of-turn flush.
   if (pending.size() >= config_.batch_points) {
@@ -506,7 +581,19 @@ bool Reactor::ProcessPending(Conn& conn, const std::string& id, bool all) {
               pending.begin() + static_cast<long>(pos + n),
               std::back_inserter(chunk));
     pos += n;
+    const MonoClock::time_point process_start = MonoClock::now();
     IngestResult result = service_->Ingest(id, chunk);
+    const double process_us = MicrosSince(process_start);
+    h_process_us_->Record(process_us);
+    h_batch_points_->Record(static_cast<double>(n));
+    if (config_.slow_batch_warn_ms > 0.0 &&
+        process_us > config_.slow_batch_warn_ms * 1e3) {
+      c_slow_batches_->Inc();
+      SPOT_LOG(Warning) << "reactor " << index_ << ": slow batch: session '"
+                        << id << "', " << n << " points took "
+                        << process_us / 1e3 << " ms (threshold "
+                        << config_.slow_batch_warn_ms << " ms)";
+    }
     if (!result.ok) {
       SendError(conn, MsgType::kIngest,
                 "Ingest('" + id + "') failed at the service");
@@ -544,7 +631,9 @@ bool Reactor::ProcessPending(Conn& conn, const std::string& id, bool all) {
                                   static_cast<std::ptrdiff_t>(begin)),
           std::make_move_iterator(result.verdicts.begin() +
                                   static_cast<std::ptrdiff_t>(end)));
+      const MonoClock::time_point encode_start = MonoClock::now();
       const std::string payload = EncodeVerdicts(resp);
+      h_encode_us_->Record(MicrosSince(encode_start));
       Enqueue(conn, MsgType::kVerdicts, payload);
       SessionNetActivity activity;
       activity.bytes_out = kFrameHeaderBytes + payload.size();
@@ -591,6 +680,12 @@ void Reactor::SendError(Conn& conn, MsgType request,
 }
 
 void Reactor::TryFlush(Conn& conn) {
+  if (conn.out_off >= conn.outbuf.size()) {
+    conn.outbuf.clear();
+    conn.out_off = 0;
+    return;
+  }
+  obs::ScopedLatency write_timer(h_write_us_);
   while (conn.out_off < conn.outbuf.size()) {
     const ssize_t n =
         ::send(conn.fd, conn.outbuf.data() + conn.out_off,

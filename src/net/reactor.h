@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -13,6 +14,7 @@
 #include "net/poller.h"
 #include "net/protocol.h"
 #include "net/server_config.h"
+#include "obs/metrics.h"
 #include "stream/data_point.h"
 
 namespace spot {
@@ -78,6 +80,15 @@ class Reactor {
   /// the wakeup pipe makes that turn start immediately.
   void EnqueueConn(int fd);
 
+  /// Wires the reactor into the server's observability plane
+  /// (DESIGN.md Section 9). `hub` receives this reactor's metrics
+  /// snapshot at the end of every loop turn (slot == index());
+  /// `stats_source` assembles the whole-server StatsResp a kStats
+  /// request on one of this reactor's connections is answered with.
+  /// Call before the loop starts; both may be null/empty (metrics off).
+  void SetObservability(obs::MetricsHub* hub,
+                        std::function<StatsResp()> stats_source);
+
   int index() const { return index_; }
   SpotService* service() const { return service_; }
   /// Loop-thread state: read only after the loop thread is joined (or
@@ -121,6 +132,11 @@ class Reactor {
   /// points (whatever arrived together in this turn is the batch).
   void FlushAllPending();
 
+  /// Folds the loop counters and gauges into the registry and pushes a
+  /// fresh snapshot into the hub (no-op without a hub). Runs at the end
+  /// of every loop turn — a few-KB copy, far off the per-point path.
+  void PublishMetrics();
+
   void Enqueue(Conn& conn, MsgType type, const std::string& payload);
   void SendOk(Conn& conn, MsgType request);
   void SendError(Conn& conn, MsgType request, const std::string& message);
@@ -163,6 +179,23 @@ class Reactor {
   /// attachment on this reactor implies global exclusivity.
   std::map<std::string, int> session_owner_;
   SpotServerStats stats_;
+
+  /// Loop-thread-local metrics (DESIGN.md Section 9). The registry is
+  /// written only by the loop thread; the cached instrument pointers
+  /// keep the hot path at a plain increment — no atomics, no locks, no
+  /// name lookups. Cross-thread reads happen only through hub_ snapshot
+  /// copies published once per loop turn.
+  obs::Registry obs_;
+  obs::Histogram* h_decode_us_ = obs_.GetHistogram("pipeline_decode_us");
+  obs::Histogram* h_coalesce_us_ = obs_.GetHistogram("pipeline_coalesce_us");
+  obs::Histogram* h_process_us_ = obs_.GetHistogram("pipeline_process_us");
+  obs::Histogram* h_encode_us_ = obs_.GetHistogram("pipeline_encode_us");
+  obs::Histogram* h_write_us_ = obs_.GetHistogram("pipeline_write_us");
+  obs::Histogram* h_batch_points_ = obs_.GetHistogram("batch_points");
+  obs::Counter* c_slow_batches_ = obs_.GetCounter("slow_batches");
+  obs::Counter* c_stats_scrapes_ = obs_.GetCounter("stats_scrapes");
+  obs::MetricsHub* hub_ = nullptr;
+  std::function<StatsResp()> stats_source_;
 };
 
 }  // namespace net

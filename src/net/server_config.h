@@ -66,6 +66,18 @@ struct SpotServerConfig {
   /// Use epoll(7) when available; false forces the portable poll(2) loop
   /// (the fallback used automatically on non-Linux builds).
   bool use_epoll = true;
+
+  /// Prometheus-text scrape endpoint (DESIGN.md Section 9): when >= 0 the
+  /// server runs a minimal HTTP/1.0 responder on its own thread at
+  /// `bind_address:metrics_port` (0 = ephemeral; read back via
+  /// SpotServer::metrics_port()). -1 disables the endpoint. The wire
+  /// kStats scrape is always available regardless of this setting.
+  int metrics_port = -1;
+
+  /// When > 0, a ProcessBatch call slower than this many milliseconds
+  /// logs a warning (and counts in the reactor's `slow_batches` metric).
+  /// 0 disables the warning; the histogram records every batch either way.
+  double slow_batch_warn_ms = 0.0;
 };
 
 /// Event-loop counters. Each reactor owns one instance, written only by

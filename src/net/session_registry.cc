@@ -77,6 +77,7 @@ bool SessionRegistry::Attach(const std::string& id, int reactor,
     }
     SPOT_LOG(Info) << "session '" << id << "' handed off: reactor "
                    << owner.home << " -> " << reactor;
+    ++handoffs_;
     owner.home = reactor;
     owner.conn_reactor = reactor;
     owner.conn_fd = conn_fd;
@@ -106,6 +107,7 @@ bool SessionRegistry::Attach(const std::string& id, int reactor,
                std::to_string(q) + " failed";
       return false;
     }
+    ++handoffs_;
     owners_[id] = Owner{reactor, reactor, conn_fd};
     return true;
   }
@@ -132,6 +134,11 @@ void SessionRegistry::Forget(const std::string& id) {
 std::size_t SessionRegistry::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return owners_.size();
+}
+
+std::uint64_t SessionRegistry::handoffs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return handoffs_;
 }
 
 }  // namespace net

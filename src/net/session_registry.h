@@ -2,6 +2,7 @@
 #define SPOT_NET_SESSION_REGISTRY_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <map>
 #include <mutex>
 #include <string>
@@ -75,6 +76,10 @@ class SessionRegistry {
   /// Registered session count (tests).
   std::size_t size() const;
 
+  /// Completed cross-reactor hand-offs since construction (a lifecycle
+  /// counter surfaced by the observability layer).
+  std::uint64_t handoffs() const;
+
  private:
   struct Owner {
     int home = 0;           // reactor whose service holds the state
@@ -87,6 +92,7 @@ class SessionRegistry {
   const bool allow_handoff_;
   mutable std::mutex mu_;
   std::map<std::string, Owner> owners_;
+  std::uint64_t handoffs_ = 0;
 };
 
 }  // namespace net

@@ -69,6 +69,14 @@ class SpotClient {
   /// empty (blocks for the Ok).
   bool Checkpoint(const std::string& id = "");
 
+  /// Scrapes the server's observability snapshot (blocks for the
+  /// kStatsResp; interleaved verdicts are stashed as usual). Returns
+  /// false when the server answers with an error or predates the kStats
+  /// request — servers older than the stats protocol treat the unknown
+  /// type as malformed and close the connection, so callers wanting a
+  /// graceful "unsupported" probe should scrape on a dedicated client.
+  bool Stats(StatsResp* out);
+
   /// Closes the session on the server. Implies a flush of its pending
   /// points; trailing verdicts are appended to `verdicts` when non-null.
   bool CloseSession(const std::string& id, bool persist = true,
@@ -100,6 +108,9 @@ class SpotClient {
   /// Parses every complete frame currently buffered. `done` is set when a
   /// kOk/kError for `request` was consumed (pass kOk in `request_seen`).
   bool ConsumeFrames(MsgType request, bool* done, bool* ok);
+  /// ConsumeFrames variant for the stats scrape: resolves on kStatsResp
+  /// (decoded into `out`) instead of kOk.
+  bool ConsumeStatsFrames(StatsResp* out, bool* done, bool* ok);
   bool StashVerdicts(const Frame& frame);
   void FailTransport(const std::string& what);
 

@@ -13,6 +13,7 @@
 #include <utility>
 
 #include "common/log.h"
+#include "obs/exposition.h"
 
 namespace spot {
 namespace net {
@@ -48,11 +49,14 @@ SpotServer::SpotServer(SpotServiceConfig service_config,
   // without one, a cross-reactor resume is refused instead.
   registry_ = std::make_unique<SessionRegistry>(
       std::move(raw), /*allow_handoff=*/!service_config.checkpoint_dir.empty());
+  hub_ = obs::MetricsHub(config_.num_reactors);
   reactors_.reserve(config_.num_reactors);
   for (std::size_t i = 0; i < config_.num_reactors; ++i) {
     reactors_.push_back(std::make_unique<Reactor>(
         static_cast<int>(i), config_, services_[i].get(), registry_.get(),
         &stop_));
+    reactors_.back()->SetObservability(&hub_,
+                                       [this] { return StatsSnapshot(); });
   }
 }
 
@@ -165,6 +169,20 @@ bool SpotServer::Start() {
     port_ = port;
   }
 
+  if (config_.metrics_port >= 0) {
+    exporter_ = std::make_unique<obs::HttpExporter>(
+        config_.bind_address, config_.metrics_port,
+        [this] { return PrometheusText(); });
+    std::string error;
+    if (!exporter_->Start(&error)) {
+      SPOT_LOG(Error) << "metrics endpoint: " << error;
+      exporter_.reset();
+      return false;
+    }
+    SPOT_LOG(Info) << "metrics endpoint on " << config_.bind_address << ":"
+                   << exporter_->port() << "/metrics";
+  }
+
   SPOT_LOG(Info) << "spot server listening on " << config_.bind_address
                  << ":" << port_ << " (" << n << " reactor"
                  << (n == 1 ? "" : "s") << ", "
@@ -190,6 +208,9 @@ void SpotServer::Shutdown() {
   threads_.clear();
   if (shutdown_done_) return;
   shutdown_done_ = true;
+  // The exporter thread reads hub/service/registry state; stop it before
+  // the reactors publish their final snapshots and everything winds down.
+  if (exporter_ != nullptr) exporter_->Stop();
   // Each reactor's Run() already shut it down; this covers reactors
   // whose loop never ran (Shutdown is idempotent per reactor).
   for (auto& reactor : reactors_) reactor->Shutdown();
@@ -207,6 +228,39 @@ ServiceMetrics SpotServer::TotalServiceMetrics() const {
     MergeServiceMetrics(&total, service->TotalMetrics());
   }
   return total;
+}
+
+StatsResp SpotServer::StatsSnapshot() const {
+  StatsResp resp;
+  resp.reactors = hub_.All();
+  resp.services.reserve(services_.size());
+  for (const auto& service : services_) {
+    resp.services.push_back(service->ObsSnapshot());
+  }
+  resp.sessions_handed_off = registry_->handoffs();
+  return resp;
+}
+
+std::string SpotServer::PrometheusText() const {
+  const StatsResp snap = StatsSnapshot();
+  std::vector<obs::LabeledSnapshot> sections;
+  sections.reserve(snap.reactors.size() + snap.services.size() + 1);
+  for (std::size_t i = 0; i < snap.reactors.size(); ++i) {
+    sections.emplace_back("reactor=\"" + std::to_string(i) + "\"",
+                          snap.reactors[i]);
+  }
+  for (std::size_t i = 0; i < snap.services.size(); ++i) {
+    sections.emplace_back("shard=\"" + std::to_string(i) + "\"",
+                          snap.services[i]);
+  }
+  obs::MetricsSnapshot global;
+  global.counters["sessions_handed_off"] = snap.sessions_handed_off;
+  sections.emplace_back("", std::move(global));
+  return obs::RenderPrometheus(sections);
+}
+
+int SpotServer::metrics_port() const {
+  return exporter_ != nullptr ? exporter_->port() : -1;
 }
 
 }  // namespace net

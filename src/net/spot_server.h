@@ -4,12 +4,15 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "net/reactor.h"
 #include "net/server_config.h"
 #include "net/session_registry.h"
+#include "obs/http_exporter.h"
+#include "obs/metrics.h"
 #include "service/spot_service.h"
 
 namespace spot {
@@ -103,6 +106,23 @@ class SpotServer {
   /// the max). Safe to call any time — services lock internally.
   ServiceMetrics TotalServiceMetrics() const;
 
+  /// Whole-server observability snapshot (DESIGN.md Section 9): the
+  /// per-reactor registry snapshots last published to the hub, one
+  /// service-shard snapshot each, and the cross-reactor hand-off count.
+  /// Safe from any thread at any time — it reads only mutex-guarded
+  /// published copies, never a reactor's live registry. While the server
+  /// runs, each reactor's slice is at most one loop turn stale.
+  StatsResp StatsSnapshot() const;
+
+  /// StatsSnapshot() rendered as Prometheus text exposition (per-reactor
+  /// series labeled reactor="i", per-shard series labeled shard="i").
+  /// This is what the --metrics-port endpoint serves.
+  std::string PrometheusText() const;
+
+  /// The metrics HTTP port actually bound (valid after Start() when
+  /// config().metrics_port >= 0; -1 when the endpoint is disabled).
+  int metrics_port() const;
+
   /// Reactor handle for tests that drive turns manually.
   Reactor& reactor(std::size_t i = 0) { return *reactors_[i]; }
 
@@ -115,6 +135,8 @@ class SpotServer {
   SpotServerConfig config_;
   std::vector<std::unique_ptr<SpotService>> services_;
   std::unique_ptr<SessionRegistry> registry_;
+  obs::MetricsHub hub_;
+  std::unique_ptr<obs::HttpExporter> exporter_;
   std::vector<std::unique_ptr<Reactor>> reactors_;
   std::vector<std::thread> threads_;
   std::uint16_t port_ = 0;

@@ -1,0 +1,113 @@
+#include "obs/exposition.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <set>
+
+namespace spot {
+namespace obs {
+namespace {
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+void AppendSeries(const std::string& name, const std::string& labels,
+                  const std::string& value, std::string* out) {
+  out->append("spot_").append(name);
+  if (!labels.empty()) out->append("{").append(labels).append("}");
+  out->append(" ").append(value).append("\n");
+}
+
+std::string WithLe(const std::string& labels, const std::string& le) {
+  std::string merged = labels;
+  if (!merged.empty()) merged.append(",");
+  merged.append("le=\"").append(le).append("\"");
+  return merged;
+}
+
+}  // namespace
+
+std::string RenderPrometheus(const std::vector<LabeledSnapshot>& sections) {
+  std::string out;
+  std::set<std::string> counter_names, gauge_names, hist_names;
+  for (const auto& [labels, snap] : sections) {
+    (void)labels;
+    for (const auto& [name, v] : snap.counters) counter_names.insert(name);
+    for (const auto& [name, v] : snap.gauges) gauge_names.insert(name);
+    for (const auto& [name, h] : snap.histograms) hist_names.insert(name);
+  }
+
+  for (const std::string& name : counter_names) {
+    out.append("# TYPE spot_").append(name).append(" counter\n");
+    for (const auto& [labels, snap] : sections) {
+      auto it = snap.counters.find(name);
+      if (it == snap.counters.end()) continue;
+      AppendSeries(name, labels, std::to_string(it->second), &out);
+    }
+  }
+  for (const std::string& name : gauge_names) {
+    out.append("# TYPE spot_").append(name).append(" gauge\n");
+    for (const auto& [labels, snap] : sections) {
+      auto it = snap.gauges.find(name);
+      if (it == snap.gauges.end()) continue;
+      AppendSeries(name, labels, FormatDouble(it->second), &out);
+    }
+  }
+  for (const std::string& name : hist_names) {
+    out.append("# TYPE spot_").append(name).append(" histogram\n");
+    for (const auto& [labels, snap] : sections) {
+      auto it = snap.histograms.find(name);
+      if (it == snap.histograms.end()) continue;
+      const Histogram& h = it->second;
+      int top = -1;
+      for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+        if (h.bucket(i) != 0) top = i;
+      }
+      std::uint64_t cum = 0;
+      for (int i = 0; i <= top && i < Histogram::kNumBuckets - 1; ++i) {
+        cum += h.bucket(i);
+        AppendSeries(
+            name + "_bucket",
+            WithLe(labels, FormatDouble(Histogram::BucketUpperBound(i))),
+            std::to_string(cum), &out);
+      }
+      AppendSeries(name + "_bucket", WithLe(labels, "+Inf"),
+                   std::to_string(h.count()), &out);
+      AppendSeries(name + "_sum", labels, FormatDouble(h.sum()), &out);
+      AppendSeries(name + "_count", labels, std::to_string(h.count()), &out);
+    }
+  }
+  return out;
+}
+
+std::string SummaryLine(const MetricsSnapshot& snap) {
+  std::string out;
+  auto sep = [&out] {
+    if (!out.empty()) out.append(" ");
+  };
+  for (const auto& [name, v] : snap.counters) {
+    sep();
+    out.append(name).append("=").append(std::to_string(v));
+  }
+  for (const auto& [name, v] : snap.gauges) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%s=%.6g", name.c_str(), v);
+    sep();
+    out.append(buf);
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "%s=%" PRIu64 "/%.4g/%.4g/%.4g", name.c_str(), h.count(),
+                  h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99));
+    sep();
+    out.append(buf);
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace spot

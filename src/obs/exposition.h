@@ -1,0 +1,33 @@
+#ifndef SPOT_OBS_EXPOSITION_H_
+#define SPOT_OBS_EXPOSITION_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace spot {
+namespace obs {
+
+/// One labeled slice of the exposition — e.g. {"reactor=\"0\"", <snap>}
+/// or {"shard=\"1\"", <snap>}. An empty label string means a global,
+/// unlabeled series.
+using LabeledSnapshot = std::pair<std::string, MetricsSnapshot>;
+
+/// Renders Prometheus text exposition format 0.0.4. Metric families are
+/// grouped across sections so each name gets exactly one `# TYPE` line;
+/// every metric name is prefixed `spot_`. Histograms emit cumulative
+/// `_bucket{le=...}` series (only up to the highest populated bucket,
+/// then `+Inf`), plus `_sum` and `_count`.
+std::string RenderPrometheus(const std::vector<LabeledSnapshot>& sections);
+
+/// Compact single-line rendering for periodic log dumps: counters and
+/// gauges as `k=v`, histograms as `k=count/p50/p95/p99` (values in the
+/// histogram's native unit). Keys in sorted order.
+std::string SummaryLine(const MetricsSnapshot& snap);
+
+}  // namespace obs
+}  // namespace spot
+
+#endif  // SPOT_OBS_EXPOSITION_H_

@@ -1,0 +1,154 @@
+#include "obs/http_exporter.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace spot {
+namespace obs {
+namespace {
+
+constexpr std::size_t kMaxRequestBytes = 4096;
+
+bool SendAll(int fd, const char* data, std::size_t len) {
+  std::size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::send(fd, data + off, len - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+HttpExporter::HttpExporter(std::string bind_address, int port,
+                           Renderer renderer)
+    : bind_address_(std::move(bind_address)),
+      port_(port),
+      renderer_(std::move(renderer)) {}
+
+HttpExporter::~HttpExporter() { Stop(); }
+
+bool HttpExporter::Start(std::string* error) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    *error = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port_));
+  if (::inet_pton(AF_INET, bind_address_.c_str(), &addr.sin_addr) != 1) {
+    *error = "bad metrics bind address '" + bind_address_ + "'";
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 16) != 0) {
+    *error = std::string("bind/listen on metrics port ") +
+             std::to_string(port_) + ": " + std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) ==
+      0) {
+    port_ = ntohs(addr.sin_port);
+  }
+  stop_.store(false);
+  thread_ = std::thread([this] { Run(); });
+  return true;
+}
+
+void HttpExporter::Stop() {
+  stop_.store(true);
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void HttpExporter::Run() {
+  while (!stop_.load()) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (ready <= 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    timeval tv{2, 0};  // a stuck scraper cannot wedge the exporter
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+    Serve(fd);
+    ::close(fd);
+  }
+}
+
+void HttpExporter::Serve(int fd) {
+  std::string request;
+  char buf[1024];
+  while (request.size() < kMaxRequestBytes &&
+         request.find("\r\n\r\n") == std::string::npos &&
+         request.find("\n\n") == std::string::npos) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      break;
+    }
+    request.append(buf, static_cast<std::size_t>(n));
+  }
+  const std::size_t line_end = request.find('\n');
+  if (line_end == std::string::npos) return;
+  std::string line = request.substr(0, line_end);
+  // Request line: METHOD SP PATH SP VERSION.
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string::npos ? std::string::npos : line.find(' ', sp1 + 1);
+  const std::string method =
+      sp1 == std::string::npos ? "" : line.substr(0, sp1);
+  std::string path = sp2 == std::string::npos
+                         ? ""
+                         : line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::size_t query = path.find('?');
+  if (query != std::string::npos) path.resize(query);
+
+  std::string status, content_type, body;
+  if (method != "GET" && method != "HEAD") {
+    status = "405 Method Not Allowed";
+    content_type = "text/plain";
+    body = "only GET is supported\n";
+  } else if (path == "/metrics" || path == "/") {
+    status = "200 OK";
+    content_type = "text/plain; version=0.0.4; charset=utf-8";
+    body = renderer_ ? renderer_() : "";
+  } else {
+    status = "404 Not Found";
+    content_type = "text/plain";
+    body = "scrape /metrics\n";
+  }
+
+  std::string response = "HTTP/1.0 " + status +
+                         "\r\nContent-Type: " + content_type +
+                         "\r\nContent-Length: " + std::to_string(body.size()) +
+                         "\r\nConnection: close\r\n\r\n";
+  if (method != "HEAD") response += body;
+  SendAll(fd, response.data(), response.size());
+}
+
+}  // namespace obs
+}  // namespace spot

@@ -1,0 +1,57 @@
+#ifndef SPOT_OBS_HTTP_EXPORTER_H_
+#define SPOT_OBS_HTTP_EXPORTER_H_
+
+#include <atomic>
+#include <functional>
+#include <string>
+#include <thread>
+
+namespace spot {
+namespace obs {
+
+/// Minimal HTTP/1.0 scrape endpoint for Prometheus-style pulls.
+///
+/// One dedicated thread accepts connections serially, answers
+/// `GET /metrics` with whatever the renderer callback returns
+/// (text/plain; version=0.0.4) and 404s everything else. Deliberately
+/// tiny: no keep-alive, no chunking, bounded request reads with socket
+/// timeouts, one request per connection — exactly enough surface for
+/// `curl` and a scrape agent, far away from the ingest data plane.
+class HttpExporter {
+ public:
+  using Renderer = std::function<std::string()>;
+
+  /// `renderer` is invoked on the exporter thread once per scrape; it
+  /// must be safe to call concurrently with the rest of the server.
+  HttpExporter(std::string bind_address, int port, Renderer renderer);
+  ~HttpExporter();
+
+  HttpExporter(const HttpExporter&) = delete;
+  HttpExporter& operator=(const HttpExporter&) = delete;
+
+  /// Binds, listens, and spawns the serving thread. False (with *error
+  /// set) when the socket cannot be set up.
+  bool Start(std::string* error);
+
+  /// Stops the thread and closes the listener. Idempotent.
+  void Stop();
+
+  /// Actual bound port (useful when constructed with port 0).
+  int port() const { return port_; }
+
+ private:
+  void Run();
+  void Serve(int fd);
+
+  std::string bind_address_;
+  int port_;
+  Renderer renderer_;
+  int listen_fd_ = -1;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+}  // namespace obs
+}  // namespace spot
+
+#endif  // SPOT_OBS_HTTP_EXPORTER_H_

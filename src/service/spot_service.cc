@@ -47,6 +47,18 @@ std::size_t SpotService::ResidentCountLocked() const {
   return n;
 }
 
+bool SpotService::SaveTimedLocked(const SpotDetector& detector,
+                                  const std::string& path) {
+  obs::ScopedLatency timer(h_ckpt_save_us_);
+  return SaveCheckpointFile(detector, path);
+}
+
+bool SpotService::LoadTimedLocked(SpotDetector* detector,
+                                  const std::string& path) {
+  obs::ScopedLatency timer(h_ckpt_load_us_);
+  return LoadCheckpointFile(detector, path);
+}
+
 void SpotService::ApplyPoolLocked(SpotDetector* detector) {
   detector->set_thread_pool(pool_.get());
   detector->set_num_shards(config_.num_shards);
@@ -56,7 +68,7 @@ bool SpotService::EvictLocked(const std::string& id, Session& session) {
   if (session.detector == nullptr) return true;
   if (config_.checkpoint_dir.empty()) return false;
   session.last_stats = session.detector->stats();
-  if (!SaveCheckpointFile(*session.detector, CheckpointPath(id))) {
+  if (!SaveTimedLocked(*session.detector, CheckpointPath(id))) {
     SPOT_LOG(Error) << "eviction checkpoint for session '" << id
                     << "' failed; keeping it resident";
     return false;
@@ -97,7 +109,7 @@ SpotService::Session* SpotService::ResidentLocked(const std::string& id) {
     // Load before evicting anyone (see OpenSession): a corrupt checkpoint
     // must not cost a resident session its slot.
     auto detector = std::make_unique<SpotDetector>(SpotConfig{});
-    if (!LoadCheckpointFile(detector.get(), CheckpointPath(id))) {
+    if (!LoadTimedLocked(detector.get(), CheckpointPath(id))) {
       SPOT_LOG(Error) << "reload of session '" << id << "' from "
                       << CheckpointPath(id) << " failed";
       return nullptr;
@@ -154,7 +166,7 @@ bool SpotService::OpenSession(const std::string& id) {
   // Load before evicting anyone: a missing/corrupt checkpoint must not
   // cost a resident session its slot.
   auto detector = std::make_unique<SpotDetector>(SpotConfig{});
-  if (!LoadCheckpointFile(detector.get(), CheckpointPath(id))) {
+  if (!LoadTimedLocked(detector.get(), CheckpointPath(id))) {
     SPOT_LOG(Error) << "cannot open session '" << id << "' from "
                     << CheckpointPath(id);
     return false;
@@ -241,7 +253,7 @@ bool SpotService::Checkpoint(const std::string& id) {
   if (session.detector == nullptr) return session.on_disk;
   if (config_.checkpoint_dir.empty()) return false;
   session.last_stats = session.detector->stats();
-  if (!SaveCheckpointFile(*session.detector, CheckpointPath(id))) {
+  if (!SaveTimedLocked(*session.detector, CheckpointPath(id))) {
     return false;
   }
   ++checkpoints_written_;
@@ -256,7 +268,7 @@ bool SpotService::CheckpointAll() {
     if (session.detector == nullptr) continue;
     if (config_.checkpoint_dir.empty()) return false;
     session.last_stats = session.detector->stats();
-    if (SaveCheckpointFile(*session.detector, CheckpointPath(id))) {
+    if (SaveTimedLocked(*session.detector, CheckpointPath(id))) {
       ++checkpoints_written_;
       session.on_disk = true;
     } else {
@@ -281,7 +293,7 @@ bool SpotService::CloseSession(const std::string& id, bool persist) {
   if (persist && session.detector != nullptr &&
       !config_.checkpoint_dir.empty()) {
     session.last_stats = session.detector->stats();
-    if (!SaveCheckpointFile(*session.detector, CheckpointPath(id))) {
+    if (!SaveTimedLocked(*session.detector, CheckpointPath(id))) {
       return false;
     }
     ++checkpoints_written_;
@@ -355,6 +367,18 @@ ServiceMetrics SpotService::TotalMetrics() const {
         std::max(total.net_queue_peak, session.net.queue_depth);
   }
   return total;
+}
+
+obs::MetricsSnapshot SpotService::ObsSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  obs::MetricsSnapshot snap = obs_.Snapshot();
+  snap.counters["evictions"] = evictions_;
+  snap.counters["reloads"] = reloads_;
+  snap.counters["checkpoints_written"] = checkpoints_written_;
+  snap.gauges["sessions"] = static_cast<double>(sessions_.size());
+  snap.gauges["resident_sessions"] =
+      static_cast<double>(ResidentCountLocked());
+  return snap;
 }
 
 void MergeServiceMetrics(ServiceMetrics* into, const ServiceMetrics& from) {

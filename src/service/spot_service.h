@@ -12,6 +12,7 @@
 #include "core/spot_config.h"
 #include "engine/thread_pool.h"
 #include "learning/supervised.h"
+#include "obs/metrics.h"
 #include "stream/data_point.h"
 
 namespace spot {
@@ -189,6 +190,12 @@ class SpotService {
   /// Global metrics over all known sessions.
   ServiceMetrics TotalMetrics() const;
 
+  /// Observability snapshot (DESIGN.md Section 9): checkpoint save/load
+  /// duration histograms plus eviction/reload/checkpoint counters and
+  /// session-count gauges. Safe from any thread (locks internally); the
+  /// serving layer scrapes one snapshot per shard.
+  obs::MetricsSnapshot ObsSnapshot() const;
+
   const SpotServiceConfig& config() const { return config_; }
 
  private:
@@ -215,6 +222,11 @@ class SpotService {
 
   std::string CheckpointPath(const std::string& id) const;
   std::size_t ResidentCountLocked() const;
+  /// SaveCheckpointFile / LoadCheckpointFile with the duration recorded
+  /// into the checkpoint histograms (call with mu_ held, like everything
+  /// else touching obs_).
+  bool SaveTimedLocked(const SpotDetector& detector, const std::string& path);
+  bool LoadTimedLocked(SpotDetector* detector, const std::string& path);
   /// Evicts LRU resident sessions (sparing `spare`) until one more can be
   /// admitted; false when that is impossible (no checkpoint_dir or a
   /// checkpoint write failed).
@@ -237,6 +249,13 @@ class SpotService {
   std::uint64_t evictions_ = 0;
   std::uint64_t reloads_ = 0;
   std::uint64_t checkpoints_written_ = 0;
+
+  /// Service-level instruments; written only with mu_ held (the service
+  /// is mutex-serialized anyway, so this adds no locking of its own) and
+  /// exported as a copy by ObsSnapshot().
+  obs::Registry obs_;
+  obs::Histogram* h_ckpt_save_us_ = obs_.GetHistogram("checkpoint_save_us");
+  obs::Histogram* h_ckpt_load_us_ = obs_.GetHistogram("checkpoint_load_us");
 };
 
 }  // namespace spot

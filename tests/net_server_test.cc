@@ -10,7 +10,9 @@
 // or disturb other connections.
 
 #include <algorithm>
+#include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
@@ -831,6 +833,213 @@ TEST(NetShutdownTest, StopCheckpointsAndResumesBitIdentically) {
   }
   ASSERT_EQ(wire_verdicts.size(), points.size());
   EXPECT_EQ(VerdictBytes(wire_verdicts), VerdictBytes(ref.verdicts));
+}
+
+// --------------------------------------------------------- observability --
+
+/// Scrapes until the merged server-side ingest count reaches `points`
+/// (reactors publish once per loop turn, so a just-finished flush may be
+/// one turn from visibility on reactors other than the one answering).
+bool ScrapeUntilCount(SpotClient& client, std::uint64_t points,
+                      StatsResp* out) {
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    if (!client.Stats(out)) return false;
+    const obs::MetricsSnapshot merged = out->Merged();
+    const auto it = merged.counters.find("points_ingested");
+    if (it != merged.counters.end() && it->second >= points) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  return false;
+}
+
+// The observability differential: a scraper hammering kStats on its own
+// connection while two tenants stream — the verdicts must stay
+// byte-identical to the scrape-free in-process reference (metrics are
+// always on; a scrape only reads published snapshot copies), and the
+// final scraped counts must match the traffic exactly.
+TEST(NetObservabilityTest, MidStreamScrapesPerturbNoVerdicts) {
+  SpotServiceConfig scfg;
+  SpotServerConfig ncfg;
+  ncfg.batch_points = 48;
+  ncfg.num_reactors = 2;
+  TestServer server(scfg, ncfg);
+
+  SpotService reference{SpotServiceConfig{}};
+
+  std::vector<std::unique_ptr<SpotClient>> clients;
+  for (int t = 0; t < 2; ++t) {
+    const std::string id = "tenant-" + std::to_string(t);
+    clients.push_back(std::make_unique<SpotClient>());
+    ASSERT_TRUE(clients.back()->Connect("127.0.0.1", server.port()));
+    ASSERT_TRUE(clients.back()->CreateSession(id, SessionConfig(),
+                                              TenantTraining(t)))
+        << clients.back()->last_error();
+    ASSERT_TRUE(
+        reference.CreateSession(id, SessionConfig(), TenantTraining(t)));
+  }
+
+  std::atomic<bool> stop_scraper{false};
+  std::atomic<int> scrapes{0};
+  std::thread scraper([&server, &stop_scraper, &scrapes] {
+    SpotClient probe;
+    ASSERT_TRUE(probe.Connect("127.0.0.1", server.port()));
+    StatsResp resp;
+    while (!stop_scraper.load()) {
+      ASSERT_TRUE(probe.Stats(&resp)) << probe.last_error();
+      ++scrapes;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+
+  for (int t = 0; t < 2; ++t) {
+    const std::string id = "tenant-" + std::to_string(t);
+    const std::vector<DataPoint> points = TenantPoints(t, 700);
+    const std::vector<SpotResult> wire_verdicts = StreamOverWire(
+        *clients[static_cast<std::size_t>(t)], id, points,
+        1000 + static_cast<std::uint64_t>(t));
+    const IngestResult ref = reference.Ingest(id, points);
+    ASSERT_TRUE(ref.ok);
+    ASSERT_EQ(wire_verdicts.size(), points.size());
+    EXPECT_EQ(VerdictBytes(wire_verdicts), VerdictBytes(ref.verdicts))
+        << "session " << id << " diverged under concurrent scraping";
+  }
+  stop_scraper.store(true);
+  scraper.join();
+  EXPECT_GT(scrapes.load(), 0);
+
+  // Final scrape: counts must match the traffic exactly.
+  SpotClient probe;
+  ASSERT_TRUE(probe.Connect("127.0.0.1", server.port()));
+  StatsResp stats;
+  ASSERT_TRUE(ScrapeUntilCount(probe, 1400, &stats)) << probe.last_error();
+  ASSERT_EQ(stats.reactors.size(), 2u);
+  ASSERT_EQ(stats.services.size(), 2u);
+  const obs::MetricsSnapshot merged = stats.Merged();
+  EXPECT_EQ(merged.counters.at("points_ingested"), 1400u);
+  EXPECT_GT(merged.counters.at("batches_run"), 0u);
+  EXPECT_GE(merged.counters.at("stats_scrapes"),
+            static_cast<std::uint64_t>(scrapes.load()));
+  // Every pipeline stage histogram saw the traffic: one process
+  // observation per engine batch, decode observations per frame.
+  EXPECT_EQ(merged.histograms.at("pipeline_process_us").count(),
+            merged.counters.at("batches_run"));
+  EXPECT_GT(merged.histograms.at("pipeline_decode_us").count(), 0u);
+  EXPECT_GT(merged.histograms.at("pipeline_encode_us").count(), 0u);
+  EXPECT_GT(merged.histograms.at("pipeline_write_us").count(), 0u);
+  EXPECT_EQ(merged.gauges.at("sessions"), 2.0);
+
+  server.StopAndJoin();
+}
+
+TEST(NetObservabilityTest, MalformedStatsClosesOnlyThatConnection) {
+  TestServer server(SpotServiceConfig{}, SpotServerConfig{});
+
+  // A healthy session on its own connection, opened first.
+  SpotClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()));
+  ASSERT_TRUE(client.CreateSession("ok", SessionConfig(), TenantTraining(0)))
+      << client.last_error();
+
+  // kStats carries no payload by contract; a non-empty one is a protocol
+  // error and costs the offender its connection.
+  const int raw = RawConnect(server.port());
+  SendAll(raw, EncodeFrame(MsgType::kStats, "unexpected"));
+  EXPECT_TRUE(WaitForClose(raw));
+  ::close(raw);
+
+  // The well-behaved connection keeps full service.
+  std::vector<SpotResult> verdicts;
+  ASSERT_TRUE(client.Ingest("ok", TenantPoints(0, 32)));
+  ASSERT_TRUE(client.Flush("ok", &verdicts));
+  EXPECT_EQ(verdicts.size(), 32u);
+
+  server.StopAndJoin();
+  EXPECT_GE(server.stats().protocol_errors, 1u);
+}
+
+/// Sums every series of `family` (any label set) in Prometheus text.
+std::uint64_t SumSeries(const std::string& text, const std::string& family) {
+  std::uint64_t total = 0;
+  std::size_t pos = 0;
+  const std::string needle = family + "{";
+  while ((pos = text.find(needle, pos)) != std::string::npos) {
+    // Skip longer names sharing the prefix (e.g. _bucket variants) and
+    // mid-line matches.
+    if (pos != 0 && text[pos - 1] != '\n') {
+      pos += needle.size();
+      continue;
+    }
+    const std::size_t sp = text.find(' ', pos);
+    const std::size_t nl = text.find('\n', sp);
+    total += std::strtoull(text.substr(sp + 1, nl - sp - 1).c_str(),
+                           nullptr, 10);
+    pos = nl;
+  }
+  return total;
+}
+
+std::string FetchMetrics(int port) {
+  const int fd = RawConnect(static_cast<std::uint16_t>(port));
+  const std::string req = "GET /metrics HTTP/1.0\r\n\r\n";
+  SendAll(fd, req);
+  std::string response;
+  char buf[4096];
+  while (true) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+TEST(NetObservabilityTest, HttpEndpointServesLivePerReactorSeries) {
+  SpotServiceConfig scfg;
+  SpotServerConfig ncfg;
+  ncfg.num_reactors = 2;
+  ncfg.metrics_port = 0;  // ephemeral
+  TestServer server(scfg, ncfg);
+  ASSERT_GT(server.server().metrics_port(), 0);
+
+  SpotClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()));
+  ASSERT_TRUE(client.CreateSession("web", SessionConfig(),
+                                   TenantTraining(0)))
+      << client.last_error();
+  std::vector<SpotResult> verdicts;
+  ASSERT_TRUE(client.Ingest("web", TenantPoints(0, 96)));
+  ASSERT_TRUE(client.Flush("web", &verdicts));
+  ASSERT_EQ(verdicts.size(), 96u);
+
+  // The scrape runs WHILE the server serves; retry until both reactors
+  // have published (each does so once per loop turn — the idle one may
+  // not have had a turn yet on a loaded machine) and the ingest count
+  // has caught up.
+  std::string text;
+  std::uint64_t seen = 0;
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    text = FetchMetrics(server.server().metrics_port());
+    seen = SumSeries(text, "spot_points_ingested");
+    if (seen >= 96 &&
+        text.find("spot_points_ingested{reactor=\"0\"}") !=
+            std::string::npos &&
+        text.find("spot_points_ingested{reactor=\"1\"}") !=
+            std::string::npos) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_EQ(seen, 96u);
+  EXPECT_NE(text.find("HTTP/1.0 200 OK"), std::string::npos);
+  EXPECT_NE(text.find("spot_points_ingested{reactor=\"0\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("spot_points_ingested{reactor=\"1\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("spot_pipeline_process_us_count"), std::string::npos);
+  EXPECT_NE(text.find("spot_sessions{shard="), std::string::npos);
+  EXPECT_NE(text.find("spot_sessions_handed_off"), std::string::npos);
+
+  server.StopAndJoin();
 }
 
 }  // namespace

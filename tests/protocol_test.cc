@@ -390,9 +390,77 @@ TEST(CodecTest, RequestTypePredicate) {
   EXPECT_TRUE(IsRequestType(static_cast<std::uint8_t>(MsgType::kIngest)));
   EXPECT_TRUE(
       IsRequestType(static_cast<std::uint8_t>(MsgType::kCreateSession)));
+  EXPECT_TRUE(IsRequestType(static_cast<std::uint8_t>(MsgType::kStats)));
   EXPECT_FALSE(IsRequestType(static_cast<std::uint8_t>(MsgType::kOk)));
+  EXPECT_FALSE(
+      IsRequestType(static_cast<std::uint8_t>(MsgType::kStatsResp)));
   EXPECT_FALSE(IsRequestType(0));
   EXPECT_FALSE(IsRequestType(255));
+}
+
+TEST(CodecTest, StatsRoundTrip) {
+  StatsResp resp;
+  resp.sessions_handed_off = 3;
+  obs::MetricsSnapshot r0;
+  r0.counters["points_ingested"] = 1234;
+  r0.counters["batches_run"] = 17;
+  r0.gauges["connections"] = 2.0;
+  r0.gauges["pending_points"] = 48.5;
+  for (int i = 0; i < 200; ++i) {
+    r0.histograms["pipeline_process_us"].Record(i * 37.0);
+  }
+  obs::MetricsSnapshot r1;  // empty slot: a reactor that never published
+  resp.reactors = {r0, r1};
+  obs::MetricsSnapshot svc;
+  svc.counters["evictions"] = 5;
+  svc.histograms["checkpoint_save_us"].Record(900.0);
+  resp.services = {svc};
+
+  StatsResp decoded;
+  ASSERT_TRUE(DecodeStats(EncodeStats(resp), &decoded));
+  EXPECT_EQ(decoded.sessions_handed_off, 3u);
+  ASSERT_EQ(decoded.reactors.size(), 2u);
+  ASSERT_EQ(decoded.services.size(), 1u);
+  EXPECT_EQ(decoded.reactors[0].counters, r0.counters);
+  EXPECT_EQ(decoded.reactors[0].gauges, r0.gauges);
+  EXPECT_EQ(decoded.reactors[0].histograms.at("pipeline_process_us"),
+            r0.histograms.at("pipeline_process_us"));
+  EXPECT_TRUE(decoded.reactors[1].empty());
+  EXPECT_EQ(decoded.services[0].counters.at("evictions"), 5u);
+  EXPECT_EQ(decoded.services[0].histograms.at("checkpoint_save_us"),
+            svc.histograms.at("checkpoint_save_us"));
+
+  // Merged() folds every slice plus the hand-off count into one view.
+  const obs::MetricsSnapshot merged = decoded.Merged();
+  EXPECT_EQ(merged.counters.at("points_ingested"), 1234u);
+  EXPECT_EQ(merged.counters.at("evictions"), 5u);
+  EXPECT_EQ(merged.counters.at("sessions_handed_off"), 3u);
+
+  // Truncation anywhere must decode to false, never crash or over-read.
+  const std::string wire = EncodeStats(resp);
+  for (std::size_t cut = 0; cut < wire.size(); cut += 7) {
+    StatsResp scratch;
+    EXPECT_FALSE(DecodeStats(wire.substr(0, cut), &scratch)) << cut;
+  }
+  // Trailing junk is rejected too.
+  StatsResp scratch;
+  EXPECT_FALSE(DecodeStats(wire + "x", &scratch));
+}
+
+TEST(CodecTest, HostileStatsCountsDoNotAllocate) {
+  // A header announcing 2^32-ish snapshots/instruments must be rejected
+  // by the payload-size bound before any proportional allocation.
+  WireWriter w;
+  w.U64(0);            // handoffs
+  w.U32(0xFFFFFFFFu);  // "reactor count"
+  StatsResp scratch;
+  EXPECT_FALSE(DecodeStats(w.bytes(), &scratch));
+
+  WireWriter w2;
+  w2.U64(0);
+  w2.U32(1);           // one reactor snapshot...
+  w2.U32(0xFFFFFFFFu);  // ...claiming 4G counters
+  EXPECT_FALSE(DecodeStats(w2.bytes(), &scratch));
 }
 
 }  // namespace

@@ -16,7 +16,10 @@
 // Each of the C connections owns one session ("<prefix>-<c>") and streams
 // N points in ingest batches of B, flushing every F batches (the flush is
 // the latency probe: one round trip covering F*B points). --rate R caps
-// each connection at R points/sec (0 = as fast as possible).
+// each connection at R points/sec (0 = as fast as possible). After the
+// run a kStats scrape on a dedicated connection prints the server's own
+// pipeline-stage latency table (skipped gracefully against servers that
+// predate the stats protocol).
 //
 // --verify runs an in-process reference detector per session on the same
 // stream and requires the canonical verdict encodings to match byte for
@@ -44,7 +47,6 @@
 #include <vector>
 
 #include "bench/bench_util.h"
-#include "common/stats.h"
 #include "common/timer.h"
 #include "core/detector.h"
 #include "eval/presets.h"
@@ -52,6 +54,7 @@
 #include "net/protocol.h"
 #include "net/spot_client.h"
 #include "net/spot_server.h"
+#include "obs/metrics.h"
 #include "service/spot_service.h"
 #include "stream/csv.h"
 #include "stream/synthetic.h"
@@ -140,7 +143,11 @@ struct WorkerResult {
   std::string error;
   double span_seconds = 0.0;  // detection span: first ingest -> last flush
   std::size_t points_sent = 0;
-  std::vector<double> latencies_ms;
+  /// Flush round-trip latencies in microseconds. A log2 histogram instead
+  /// of a per-flush vector: O(1) memory however long the run, mergeable
+  /// across workers, and still good for the p50/p95/p99 columns (within
+  /// one power-of-two bucket of the exact order statistic).
+  spot::obs::Histogram latency_us;
 };
 
 void RunWorker(const Flags& flags, std::size_t c, std::uint16_t port,
@@ -229,7 +236,7 @@ void RunWorker(const Flags& flags, std::size_t c, std::uint16_t port,
         result->error = "flush: " + client.last_error();
         return;
       }
-      result->latencies_ms.push_back(group.ElapsedMillis());
+      result->latency_us.Record(group.ElapsedMillis() * 1000.0);
       batches_since_flush = 0;
     }
   }
@@ -238,7 +245,7 @@ void RunWorker(const Flags& flags, std::size_t c, std::uint16_t port,
       result->error = "flush: " + client.last_error();
       return;
     }
-    result->latencies_ms.push_back(group.ElapsedMillis());
+    result->latency_us.Record(group.ElapsedMillis() * 1000.0);
   }
   result->span_seconds = span.ElapsedSeconds();
 
@@ -268,6 +275,74 @@ void RunWorker(const Flags& flags, std::size_t c, std::uint16_t port,
     }
   }
   result->ok = true;
+}
+
+/// Post-run server-side observability scrape (DESIGN.md Section 9): a
+/// kStats round trip on a dedicated connection, rendered as a
+/// pipeline-stage latency table beside the client-side numbers. Reactors
+/// publish their snapshots once per loop turn, so the scrape retries
+/// briefly until the server-side ingest count has caught up with what
+/// this run sent (an external server may carry counts from earlier runs,
+/// hence >=). Pre-stats servers close the connection on the unknown
+/// request type; that skips the table gracefully without failing the run.
+void ScrapeServerStats(const Flags& flags, std::uint16_t port,
+                       std::size_t expected_points,
+                       spot::bench::JsonReporter* json) {
+  spot::net::SpotClient client;
+  if (!client.Connect(flags.host, port)) {
+    std::printf("server scrape: skipped (%s)\n", client.last_error().c_str());
+    return;
+  }
+  spot::net::StatsResp stats;
+  for (int attempt = 0; attempt < 40; ++attempt) {
+    if (!client.Stats(&stats)) {
+      std::printf("server scrape: unsupported by this server (%s)\n",
+                  client.last_error().c_str());
+      return;
+    }
+    const spot::obs::MetricsSnapshot merged = stats.Merged();
+    const auto it = merged.counters.find("points_ingested");
+    if (it != merged.counters.end() && it->second >= expected_points) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  const spot::obs::MetricsSnapshot merged = stats.Merged();
+  const auto counter = [&merged](const char* name) -> std::uint64_t {
+    const auto it = merged.counters.find(name);
+    return it == merged.counters.end() ? 0 : it->second;
+  };
+  std::printf("server scrape: %llu points in %llu batches across %zu "
+              "reactor(s), %llu checkpoints, %llu hand-offs\n",
+              static_cast<unsigned long long>(counter("points_ingested")),
+              static_cast<unsigned long long>(counter("batches_run")),
+              stats.reactors.size(),
+              static_cast<unsigned long long>(counter("checkpoints_written")),
+              static_cast<unsigned long long>(counter("sessions_handed_off")));
+
+  // Fixed stage list (absent stages show count 0) so every run emits the
+  // same table shape — bench_regression merges runs by table index.
+  const struct {
+    const char* stage;
+    const char* metric;
+  } kStages[] = {{"decode", "pipeline_decode_us"},
+                 {"coalesce", "pipeline_coalesce_us"},
+                 {"process", "pipeline_process_us"},
+                 {"encode", "pipeline_encode_us"},
+                 {"write", "pipeline_write_us"}};
+  spot::eval::Table table(
+      {"stage", "reactors", "count", "p50 us", "p95 us", "p99 us"});
+  for (const auto& s : kStages) {
+    const auto it = merged.histograms.find(s.metric);
+    const spot::obs::Histogram hist =
+        it == merged.histograms.end() ? spot::obs::Histogram() : it->second;
+    table.AddRow({s.stage,
+                  spot::eval::Table::Int(stats.reactors.size()),
+                  spot::eval::Table::Int(hist.count()),
+                  spot::eval::Table::Num(hist.Quantile(0.50), 1),
+                  spot::eval::Table::Num(hist.Quantile(0.95), 1),
+                  spot::eval::Table::Num(hist.Quantile(0.99), 1)});
+  }
+  json->Print(table, "SERVER: pipeline stage latency (scraped)");
 }
 
 }  // namespace
@@ -362,6 +437,13 @@ int main(int argc, char** argv) {
     }
     for (std::thread& t : workers) t.join();
   }
+
+  // Scrape the server's own pipeline view while it is still up (the
+  // spawned server dies with Stop() below).
+  std::size_t sent_total = 0;
+  for (const WorkerResult& r : results) sent_total += r.points_sent;
+  ScrapeServerStats(flags, port, sent_total, &json);
+
   if (server != nullptr) {
     server->Stop();
     server_thread.join();
@@ -376,7 +458,7 @@ int main(int argc, char** argv) {
   // unbalanced accept spread or a stalled reactor.
   double conn_min = 0.0;
   double conn_max = 0.0;
-  std::vector<double> latencies;
+  spot::obs::Histogram latency_us;
   for (std::size_t c = 0; c < results.size(); ++c) {
     const WorkerResult& r = results[c];
     if (!r.ok) {
@@ -393,8 +475,7 @@ int main(int argc, char** argv) {
             : 0.0;
     conn_min = c == 0 ? conn_rate : std::min(conn_min, conn_rate);
     conn_max = std::max(conn_max, conn_rate);
-    latencies.insert(latencies.end(), r.latencies_ms.begin(),
-                     r.latencies_ms.end());
+    latency_us.Merge(r.latency_us);
   }
 
   const double pts_per_sec =
@@ -413,9 +494,9 @@ int main(int argc, char** argv) {
                     static_cast<std::uint64_t>(pts_per_sec)),
                 spot::eval::Table::Int(static_cast<std::uint64_t>(conn_min)),
                 spot::eval::Table::Int(static_cast<std::uint64_t>(conn_max)),
-                spot::eval::Table::Num(spot::Quantile(latencies, 0.50), 2),
-                spot::eval::Table::Num(spot::Quantile(latencies, 0.95), 2),
-                spot::eval::Table::Num(spot::Quantile(latencies, 0.99), 2)});
+                spot::eval::Table::Num(latency_us.Quantile(0.50) / 1000.0, 2),
+                spot::eval::Table::Num(latency_us.Quantile(0.95) / 1000.0, 2),
+                spot::eval::Table::Num(latency_us.Quantile(0.99) / 1000.0, 2)});
   json.Print(table, "LOADGEN: end-to-end server throughput");
 
   if (flags.verify) {

@@ -3,6 +3,15 @@
 //   spot_serverd [--port P] [--bind ADDR] [--checkpoint-dir DIR]
 //                [--reactors N] [--shards N] [--max-resident N]
 //                [--batch N] [--no-reuseport] [--no-epoll]
+//                [--metrics-port P] [--stats-interval SECS]
+//                [--slow-batch-ms MS]
+//
+// Observability (DESIGN.md Section 9): --metrics-port serves the live
+// Prometheus text scrape on a dedicated thread (0 = ephemeral port; the
+// bound port is printed as "metrics on <addr>:<port>"); --stats-interval
+// logs a merged per-interval summary line to stdout; --slow-batch-ms
+// warns on any engine batch slower than MS milliseconds (0 disables,
+// default 250).
 //
 // Hosts --reactors event-loop shards (default: min(hardware cores, 8)),
 // each with its own SpotService (N-shard fork-join pool per service)
@@ -16,7 +25,9 @@
 //
 // Prints "listening on <addr>:<port>" once ready (scripts wait for it).
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <sys/stat.h>
 #include <thread>
@@ -24,6 +35,7 @@
 
 #include "examples/example_flags.h"
 #include "net/spot_server.h"
+#include "obs/exposition.h"
 #include "service/spot_service.h"
 
 namespace {
@@ -73,6 +85,17 @@ int main(int argc, char** argv) {
   ncfg.use_reuseport = !spot::examples::TakeBoolFlag(&args, "no-reuseport");
   ncfg.batch_points = spot::examples::TakeSizeFlag(&args, "batch", 256);
   ncfg.use_epoll = !spot::examples::TakeBoolFlag(&args, "no-epoll");
+  const std::string metrics_port_text =
+      spot::examples::TakeStringFlag(&args, "metrics-port");
+  if (!metrics_port_text.empty()) {
+    ncfg.metrics_port = std::atoi(metrics_port_text.c_str());
+  }
+  const std::string slow_ms_text =
+      spot::examples::TakeStringFlag(&args, "slow-batch-ms");
+  ncfg.slow_batch_warn_ms =
+      slow_ms_text.empty() ? 250.0 : std::atof(slow_ms_text.c_str());
+  const std::size_t stats_interval =
+      spot::examples::TakeSizeFlag(&args, "stats-interval", 0);
 
   if (!args.empty()) {
     std::fprintf(stderr, "unknown argument '%s'\n", args.front().c_str());
@@ -89,6 +112,10 @@ int main(int argc, char** argv) {
     return 1;
   }
   spot::net::SpotServer::InstallSignalHandlers(&server);
+  if (server.metrics_port() >= 0) {
+    std::printf("metrics on %s:%d/metrics\n", ncfg.bind_address.c_str(),
+                server.metrics_port());
+  }
   std::printf("listening on %s:%u (reactors=%zu%s, shards=%zu, batch=%zu%s%s)\n",
               ncfg.bind_address.c_str(), server.port(), server.num_reactors(),
               server.reuseport_active() ? " via SO_REUSEPORT" : "",
@@ -97,7 +124,28 @@ int main(int argc, char** argv) {
               scfg.checkpoint_dir.c_str());
   std::fflush(stdout);
 
+  // Periodic stats dump: one merged summary line per interval, built from
+  // the same published snapshots the scrape surfaces read — safe to run
+  // beside the reactors.
+  std::thread dumper;
+  if (stats_interval > 0) {
+    dumper = std::thread([&server, stats_interval] {
+      auto next = std::chrono::steady_clock::now() +
+                  std::chrono::seconds(stats_interval);
+      while (!server.stopping()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(200));
+        if (std::chrono::steady_clock::now() < next) continue;
+        next += std::chrono::seconds(stats_interval);
+        const spot::net::StatsResp snap = server.StatsSnapshot();
+        std::printf("stats: %s\n",
+                    spot::obs::SummaryLine(snap.Merged()).c_str());
+        std::fflush(stdout);
+      }
+    });
+  }
+
   server.Run();  // until SIGTERM/SIGINT; drains + checkpoints on the way out
+  if (dumper.joinable()) dumper.join();
 
   // Shutdown summary: one line per reactor, then the total, then the
   // service-side aggregates across all shards.
