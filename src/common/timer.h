@@ -2,8 +2,22 @@
 #define SPOT_COMMON_TIMER_H_
 
 #include <chrono>
+#include <cstdint>
 
 namespace spot {
+
+/// Microseconds on the process-wide steady clock, anchored at its first
+/// use. The shared timebase of every trace span (reactor pipeline stages,
+/// engine shard probes), so spans recorded by different threads land on
+/// one comparable axis in the flight-recorder dump.
+inline std::uint64_t SteadyMicrosSinceStart() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point anchor = Clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                            anchor)
+          .count());
+}
 
 /// Monotonic wall-clock stopwatch used by the throughput harness.
 class Timer {

@@ -388,6 +388,11 @@ bool SpotDetector::LoadState(std::istream& in) {
     tracked_cache_ = synapses_->TrackedSubspaces();
     pcs_cache_.resize(tracked_cache_.size());
   }
+  // The sink outlives restores (it belongs to the serving layer, not the
+  // checkpoint). Re-seat it on the rebuilt members; the restore itself is
+  // silent — LoadState paths bypass Track()/Add*() by construction.
+  set_event_sink(event_sink_);
+  reservoir_replacements_ = 0;
   return true;
 }
 

@@ -101,6 +101,9 @@ bool SpotDetector::Learn(const std::vector<std::vector<double>>& training_data,
       config_.use_decay ? DecayModel(config_.omega, config_.epsilon)
                         : DecayModel::None(),
       config_.prune_threshold, config_.compaction_period);
+  // The sink survives a re-Learn: re-apply it before SyncTrackedSubspaces
+  // so the initial Track() calls journal the starting SST.
+  synapses_->set_event_sink(event_sink_);
   engine_.reset();  // shard views must not outlive the old synapses
   // Fresh detection state: a re-Learn starts the stream over, so no stats,
   // OS-growth cadence or accumulated drift signal may carry across.
@@ -109,11 +112,42 @@ bool SpotDetector::Learn(const std::vector<std::vector<double>>& training_data,
   drift_ = PageHinkley(config_.drift_delta, config_.drift_lambda);
   SyncTrackedSubspaces();
   tick_ = 0;
+  reservoir_replacements_ = 0;
   for (const auto& row : training_data) {
     synapses_->Add(row, tick_++);
     reservoir_.Add(row);
   }
   return true;
+}
+
+void SpotDetector::set_event_sink(DetectorEventSink* sink) {
+  event_sink_ = sink;
+  sst_.set_event_sink(sink);
+  if (synapses_ != nullptr) synapses_->set_event_sink(sink);
+}
+
+void SpotDetector::Emit(DetectorEventKind kind, std::uint64_t a,
+                        double value) {
+  if (event_sink_ == nullptr) return;
+  DetectorEvent event;
+  event.kind = kind;
+  event.tick = tick_;
+  event.a = a;
+  event.value = value;
+  event_sink_->OnDetectorEvent(event);
+}
+
+void SpotDetector::AddToReservoir(const std::vector<double>& values) {
+  const bool warm = reservoir_.size() == reservoir_.capacity();
+  if (!reservoir_.Add(values) || !warm) return;
+  ++reservoir_replacements_;
+  if (event_sink_ != nullptr && reservoir_.capacity() != 0 &&
+      reservoir_replacements_ % reservoir_.capacity() == 0) {
+    // One full turnover: on average every slot has been replaced since the
+    // last refresh event, i.e. the drift/relearn sample has rolled over.
+    Emit(DetectorEventKind::kReservoirRefresh,
+         reservoir_replacements_ / reservoir_.capacity());
+  }
 }
 
 void SpotDetector::SyncTrackedSubspaces() {
@@ -230,7 +264,7 @@ SpotResult SpotDetector::ProcessOne(const DataPoint& point) {
   // base-cell coordinates are computed once and projected per subspace by
   // index selection.
   synapses_->AddAndQuery(point.values, tick_++, &pcs_cache_);
-  reservoir_.Add(point.values);
+  AddToReservoir(point.values);
 
   // Outlier-ness check over the retrieved PCSs.
   double min_rd = 1.0;
@@ -280,6 +314,7 @@ void SpotDetector::ApplyPointSideEffects(const std::vector<double>& values,
   if (config_.drift_detection &&
       drift_.Add(result.is_outlier ? 1.0 : 0.0)) {
     ++stats_.drifts_detected;
+    Emit(DetectorEventKind::kDriftDetected, stats_.drifts_detected);
     if (config_.relearn_on_drift) RelearnAfterDrift();
   }
 }
@@ -295,6 +330,7 @@ void SpotDetector::GrowOutlierDriven(const std::vector<double>& values) {
   const std::vector<std::vector<double>>& sample = reservoir_.Items();
   if (sample.size() < 8) return;
   ++stats_.os_growth_runs;
+  Emit(DetectorEventKind::kOsGrowthRun, stats_.os_growth_runs);
 
   // Mini-MOGA targeted at this outlier against the recent sample.
   std::vector<std::vector<double>> batch = sample;
@@ -318,6 +354,7 @@ void SpotDetector::GrowOutlierDriven(const std::vector<double>& values) {
 void SpotDetector::RunSelfEvolution() {
   if (sst_.clustering().empty() || reservoir_.size() < 8) return;
   ++stats_.evolution_rounds;
+  Emit(DetectorEventKind::kEvolutionRound, stats_.evolution_rounds);
   SelfEvolutionConfig ecfg = config_.evolution;
   ecfg.max_dimension = std::min(ecfg.max_dimension, partition_->num_dims());
   EvolveClusteringSubspaces(&sst_, *partition_, reservoir_.Items(), ecfg,
@@ -328,6 +365,7 @@ void SpotDetector::RunSelfEvolution() {
 void SpotDetector::RelearnAfterDrift() {
   if (reservoir_.size() < 32) return;
   SPOT_LOG(Info) << "concept drift at tick " << tick_ << "; relearning CS";
+  Emit(DetectorEventKind::kDriftRelearn, reservoir_.size());
   sst_.ClearClustering();
   UnsupervisedConfig ucfg = config_.unsupervised;
   ucfg.moga.num_dims = partition_->num_dims();

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "core/detector_events.h"
 #include "core/drift_detector.h"
 #include "core/reservoir.h"
 #include "core/spot_config.h"
@@ -24,6 +25,16 @@ class CheckpointReader;
 class CheckpointWriter;
 class ShardedSpotEngine;
 class ThreadPool;
+
+/// Wall-clock window one shard worker spent folding its slice of the last
+/// sharded batch: start and duration in µs on the SteadyMicrosSinceStart
+/// timebase. Collected only when shard-timing collection is enabled (the
+/// serving tier's flight recorder turns the spans into per-shard probe
+/// trace events).
+struct ShardSpan {
+  std::uint64_t start_us = 0;
+  std::uint64_t dur_us = 0;
+};
 
 /// One subspace in which a point was found outlying, with the PCS evidence.
 struct SubspaceFinding {
@@ -170,6 +181,25 @@ class SpotDetector {
   bool SaveState(std::ostream& out) const;
   bool LoadState(std::istream& in);
 
+  /// Attaches an observability sink (borrowed; must outlive the detector
+  /// or be detached with nullptr) that receives the engine's rare state
+  /// transitions — subspace churn, evolution/OS-growth rounds, drift,
+  /// reservoir turnover (DESIGN.md Section 10). Propagated into the SST
+  /// and the synapse manager, and re-applied when Learn()/LoadState()
+  /// rebuild the latter. Pure reporting: verdicts, stats and checkpoint
+  /// bytes are bit-identical with or without a sink, and the per-point
+  /// hot path pays one pointer test.
+  void set_event_sink(DetectorEventSink* sink);
+  DetectorEventSink* event_sink() const { return event_sink_; }
+
+  /// Enables per-shard timing of sharded batches: after each sharded
+  /// ProcessBatch, shard_spans() holds one wall-clock span per shard.
+  /// Off by default (the spans cost two clock reads per shard per batch);
+  /// sequential batches never produce spans.
+  void set_collect_shard_timings(bool on) { collect_shard_timings_ = on; }
+  bool collect_shard_timings() const { return collect_shard_timings_; }
+  const std::vector<ShardSpan>& shard_spans() const { return shard_spans_; }
+
  private:
   // The sharded engine drives the same per-point pipeline from its batch
   // join (reservoir, verdict assembly, ApplyPointSideEffects) and borrows
@@ -192,6 +222,12 @@ class SpotDetector {
   void GrowOutlierDriven(const std::vector<double>& values);
   void RunSelfEvolution();
   void RelearnAfterDrift();
+  /// Reservoir offer shared by ProcessOne and the sharded engine's serial
+  /// join: counts post-warm-up replacements and emits kReservoirRefresh
+  /// once per full turnover (~capacity replacements).
+  void AddToReservoir(const std::vector<double>& values);
+  /// Emits a detector-scoped event at the current tick (no-op unsinked).
+  void Emit(DetectorEventKind kind, std::uint64_t a, double value = 0.0);
 
   SpotConfig config_;
   Rng rng_;
@@ -217,6 +253,14 @@ class SpotDetector {
   SpotStats stats_;
   std::uint64_t tick_ = 0;
   std::uint64_t outliers_since_os_update_ = 0;
+  DetectorEventSink* event_sink_ = nullptr;
+  /// Post-warm-up reservoir replacements (observability cadence only —
+  /// never checkpointed, so a restored detector restarts the count).
+  std::uint64_t reservoir_replacements_ = 0;
+  bool collect_shard_timings_ = false;
+  /// Filled by the sharded engine when timing collection is on (one entry
+  /// per shard, overwritten each sharded batch).
+  std::vector<ShardSpan> shard_spans_;
 };
 
 /// Adapter exposing SpotDetector through the generic StreamDetector

@@ -9,16 +9,18 @@ ReservoirSample::ReservoirSample(std::size_t capacity, std::uint64_t seed)
   items_.reserve(capacity_);
 }
 
-void ReservoirSample::Add(const std::vector<double>& values) {
+bool ReservoirSample::Add(const std::vector<double>& values) {
   ++seen_;
   if (items_.size() < capacity_) {
     items_.push_back(values);
-    return;
+    return true;
   }
   const std::uint64_t j = rng_.NextUint64(seen_);
   if (j < capacity_) {
     items_[static_cast<std::size_t>(j)] = values;
+    return true;
   }
+  return false;
 }
 
 void ReservoirSample::Clear() {

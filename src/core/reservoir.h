@@ -19,8 +19,11 @@ class ReservoirSample {
  public:
   explicit ReservoirSample(std::size_t capacity, std::uint64_t seed = 99);
 
-  /// Offers one point to the reservoir.
-  void Add(const std::vector<double>& values);
+  /// Offers one point to the reservoir. Returns true when the point was
+  /// stored (always during warm-up, with probability capacity/seen after)
+  /// — callers observing reservoir churn branch on this instead of
+  /// re-deriving the sampler's decision.
+  bool Add(const std::vector<double>& values);
 
   /// Current sample contents (size <= capacity).
   const std::vector<std::vector<double>>& Items() const { return items_; }

@@ -4,6 +4,7 @@
 
 #include "common/log.h"
 #include "common/math_util.h"
+#include "common/timer.h"
 #include "grid/synapse_manager.h"
 
 namespace spot {
@@ -101,15 +102,29 @@ std::vector<SpotResult> ShardedSpotEngine::ProcessBatch(
     hash = next_hash;
   }
 
-  // Phase 1 — fan the per-subspace work out to the shards.
+  // Phase 1 — fan the per-subspace work out to the shards. When the flight
+  // recorder asks for shard timings, each worker clocks its own span into a
+  // distinct slot (no contention; Dispatch joins before anyone reads them).
+  // The tail replays below are deliberately untimed: they are rare
+  // correction work, not the steady-state probe cost.
   Resync(n, /*reset_all=*/true, nullptr);
   SliceShards();
+  const bool timed = detector.collect_shard_timings_;
+  if (timed) detector.shard_spans_.assign(num_shards_, ShardSpan{});
   if (pool_ != nullptr) {
     pool_->Dispatch(shards_.size(), [&](std::size_t k) {
+      const std::uint64_t t0 = timed ? SteadyMicrosSinceStart() : 0;
       shards_[k].ProcessRun(frame_, 0, n, params);
+      if (timed) {
+        detector.shard_spans_[k] = {t0, SteadyMicrosSinceStart() - t0};
+      }
     });
   } else {
+    const std::uint64_t t0 = timed ? SteadyMicrosSinceStart() : 0;
     shards_[0].ProcessRun(frame_, 0, n, params);
+    if (timed) {
+      detector.shard_spans_[0] = {t0, SteadyMicrosSinceStart() - t0};
+    }
   }
 
   // Phase 2 — serial join in arrival order, with the side-effect machinery
@@ -118,7 +133,7 @@ std::vector<SpotResult> ShardedSpotEngine::ProcessBatch(
   std::uint64_t revision = synapses.revision();
   std::vector<ShardColumn*> fresh;
   for (std::size_t j = 0; j < n; ++j) {
-    detector.reservoir_.Add(points[j].values);
+    detector.AddToReservoir(points[j].values);
     SpotResult result;
     double min_rd = 1.0;
     for (ShardColumn* column : dense_columns_) {

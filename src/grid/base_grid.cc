@@ -128,6 +128,8 @@ std::size_t BaseGrid::Compact(std::uint64_t tick) {
     }
   });
   for (const CellCoords& coords : doomed) index_.Erase(coords);
+  ++compactions_;
+  cells_reclaimed_ += doomed.size();
   return doomed.size();
 }
 

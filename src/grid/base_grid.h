@@ -73,6 +73,16 @@ class BaseGrid {
   /// prune threshold. Returns the number of removed cells.
   std::size_t Compact(std::uint64_t tick);
 
+  /// Cell-store occupancy: total summary slots ever allocated (live +
+  /// free) and the slots currently awaiting recycling.
+  std::size_t SlabSlots() const { return cell_bcs_.size(); }
+  std::size_t FreeSlots() const { return free_cells_.size(); }
+
+  /// Compaction sweeps run, and cells they reclaimed, since construction.
+  /// Observability counters only — never checkpointed.
+  std::uint64_t compactions() const { return compactions_; }
+  std::uint64_t cells_reclaimed() const { return cells_reclaimed_; }
+
   std::uint64_t last_tick() const { return last_tick_; }
   const Partition& partition() const { return partition_; }
   const DecayModel& decay_model() const { return model_; }
@@ -106,6 +116,8 @@ class BaseGrid {
   std::vector<CellCoords> cell_coords_;
   std::vector<Bcs> cell_bcs_;
   std::vector<std::uint32_t> free_cells_;
+  std::uint64_t compactions_ = 0;  // not checkpointed (see accessor)
+  std::uint64_t cells_reclaimed_ = 0;
 };
 
 }  // namespace spot

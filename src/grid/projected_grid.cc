@@ -304,6 +304,8 @@ std::size_t ProjectedGrid::Compact(std::uint64_t tick) {
   sumsq_tick_ = tick;
   if (tick > last_tick_) last_tick_ = tick;
   for (const CellCoords& coords : doomed) index_.Erase(coords);
+  ++compactions_;
+  cells_reclaimed_ += doomed.size();
   return doomed.size();
 }
 

@@ -156,6 +156,13 @@ class ProjectedGrid {
   /// leaves this trajectory identical to the unpipelined path.
   std::uint64_t hash_probes() const { return hash_probes_; }
 
+  /// Compaction sweeps run, and cells they reclaimed, since construction.
+  /// Observability counters only: unlike hash_probes they are NOT
+  /// checkpointed (the journal samples deltas; a restored grid restarts
+  /// them at zero without changing any serialized byte).
+  std::uint64_t compactions() const { return compactions_; }
+  std::uint64_t cells_reclaimed() const { return cells_reclaimed_; }
+
   /// Checkpointing: live cell records (in sorted coordinate order, so equal
   /// grids serialize byte-identically), the clock, the incremental
   /// squared-count sum and the compaction cadence all round-trip exactly.
@@ -227,6 +234,8 @@ class ProjectedGrid {
   FlatIndex index_;                      // coords -> slot, keys inline
   CellCoords coords_scratch_;            // reused across update calls
   mutable std::uint64_t hash_probes_ = 0;
+  std::uint64_t compactions_ = 0;        // not checkpointed (see accessor)
+  std::uint64_t cells_reclaimed_ = 0;
 };
 
 }  // namespace spot

@@ -1,6 +1,7 @@
 #include "grid/synapse_manager.h"
 
 #include "core/checkpoint.h"
+#include "core/detector_events.h"
 
 namespace spot {
 
@@ -43,6 +44,14 @@ void SynapseManager::Track(const Subspace& s) {
        std::make_unique<ProjectedGrid>(s, &partition_, model_,
                                        prune_threshold_,
                                        compaction_period_)});
+  if (sink_ != nullptr) {
+    DetectorEvent event;
+    event.kind = DetectorEventKind::kSubspaceTracked;
+    event.tick = revision_;  // == the new grid's serial
+    event.subspace = s;
+    event.a = grids_.size();
+    sink_->OnDetectorEvent(event);
+  }
 }
 
 void SynapseManager::Untrack(const Subspace& s) {
@@ -51,6 +60,14 @@ void SynapseManager::Untrack(const Subspace& s) {
   const std::uint32_t idx = by_subspace_.Find(key, FlatIndex::Hash(key, 2));
   if (idx == FlatIndex::kNoValue) return;
   ++revision_;
+  if (sink_ != nullptr) {
+    DetectorEvent event;
+    event.kind = DetectorEventKind::kSubspaceUntracked;
+    event.tick = revision_;
+    event.subspace = s;
+    event.a = grids_.size() - 1;
+    sink_->OnDetectorEvent(event);
+  }
   by_subspace_.Erase(key, FlatIndex::Hash(key, 2));
   if (idx != grids_.size() - 1) {
     grids_[idx] = std::move(grids_.back());
@@ -134,6 +151,30 @@ std::vector<Subspace> SynapseManager::TrackedSubspaces() const {
 std::size_t SynapseManager::TotalPopulatedCells() const {
   std::size_t total = base_.PopulatedCells();
   for (const auto& entry : grids_) total += entry.grid->PopulatedCells();
+  return total;
+}
+
+std::size_t SynapseManager::TotalSlabSlots() const {
+  std::size_t total = base_.SlabSlots();
+  for (const auto& entry : grids_) total += entry.grid->SlabSlots();
+  return total;
+}
+
+std::size_t SynapseManager::TotalFreeSlots() const {
+  std::size_t total = base_.FreeSlots();
+  for (const auto& entry : grids_) total += entry.grid->FreeSlots();
+  return total;
+}
+
+std::uint64_t SynapseManager::TotalCompactions() const {
+  std::uint64_t total = base_.compactions();
+  for (const auto& entry : grids_) total += entry.grid->compactions();
+  return total;
+}
+
+std::uint64_t SynapseManager::TotalCellsReclaimed() const {
+  std::uint64_t total = base_.cells_reclaimed();
+  for (const auto& entry : grids_) total += entry.grid->cells_reclaimed();
   return total;
 }
 

@@ -17,6 +17,7 @@ namespace spot {
 
 class CheckpointReader;
 class CheckpointWriter;
+class DetectorEventSink;
 
 /// Owns the complete set of data synapses: the BaseGrid (BCS hypercube) plus
 /// one ProjectedGrid per tracked SST subspace, all sharing one partition and
@@ -136,6 +137,25 @@ class SynapseManager {
   /// proxy reported by the scalability experiments).
   std::size_t TotalPopulatedCells() const;
 
+  /// Slab occupancy across the base grid and every tracked grid: total
+  /// allocated record slots and how many of them sit on free lists.
+  /// Scrape-time gauges (DESIGN.md Section 10) — never on the hot path.
+  std::size_t TotalSlabSlots() const;
+  std::size_t TotalFreeSlots() const;
+
+  /// Compaction sweeps run (and cells they reclaimed) across the base grid
+  /// and every tracked grid since construction. Monotone except when
+  /// Untrack frees a grid, taking its contribution with it — consumers
+  /// sampling deltas (the service's journal) clamp at zero.
+  std::uint64_t TotalCompactions() const;
+  std::uint64_t TotalCellsReclaimed() const;
+
+  /// Attaches an observability sink (borrowed; nullptr detaches):
+  /// Track/Untrack emit kSubspaceTracked/kSubspaceUntracked with the grid
+  /// serial / revision. LoadState rebuilds the tracked set without events.
+  /// Pure reporting; grid state never depends on the sink.
+  void set_event_sink(DetectorEventSink* sink) { sink_ = sink; }
+
   /// Compacts the base grid and every projected grid at `tick`.
   std::size_t CompactAll(std::uint64_t tick);
 
@@ -177,6 +197,7 @@ class SynapseManager {
   std::vector<CellCoords> probe_coords_;
   std::vector<std::uint64_t> probe_hashes_;
   std::uint64_t revision_ = 0;
+  DetectorEventSink* sink_ = nullptr;
 };
 
 }  // namespace spot

@@ -4,8 +4,24 @@
 #include <unordered_set>
 
 #include "core/checkpoint.h"
+#include "core/detector_events.h"
 
 namespace spot {
+
+namespace {
+
+void EmitInsert(DetectorEventSink* sink, const Subspace& s, SstSubset subset,
+                double score) {
+  if (sink == nullptr) return;
+  DetectorEvent event;
+  event.kind = DetectorEventKind::kSstInsert;
+  event.subspace = s;
+  event.a = static_cast<std::uint64_t>(subset);
+  event.value = score;
+  sink->OnDetectorEvent(event);
+}
+
+}  // namespace
 
 Sst::Sst(std::size_t cs_capacity, std::size_t os_capacity)
     : cs_(cs_capacity), os_(os_capacity) {}
@@ -21,15 +37,29 @@ bool Sst::InFixed(const Subspace& s) const {
 
 void Sst::AddClustering(const Subspace& s, double score) {
   if (s.IsEmpty() || InFixed(s)) return;
-  cs_.Insert(s, score);
+  const bool existed = cs_.Contains(s);
+  if (cs_.Insert(s, score) && !existed) {
+    EmitInsert(sink_, s, SstSubset::kClustering, score);
+  }
 }
 
 void Sst::AddOutlierDriven(const Subspace& s, double score) {
   if (s.IsEmpty() || InFixed(s)) return;
-  os_.Insert(s, score);
+  const bool existed = os_.Contains(s);
+  if (os_.Insert(s, score) && !existed) {
+    EmitInsert(sink_, s, SstSubset::kOutlierDriven, score);
+  }
 }
 
-void Sst::ClearClustering() { cs_.Clear(); }
+void Sst::ClearClustering() {
+  if (sink_ != nullptr && cs_.size() > 0) {
+    DetectorEvent event;
+    event.kind = DetectorEventKind::kSstClear;
+    event.a = cs_.size();
+    sink_->OnDetectorEvent(event);
+  }
+  cs_.Clear();
+}
 
 std::vector<Subspace> Sst::AllSubspaces() const {
   // CS and OS are enumerated via Ranked() — sorted by (score, subspace) —

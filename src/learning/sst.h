@@ -12,6 +12,7 @@ namespace spot {
 
 class CheckpointReader;
 class CheckpointWriter;
+class DetectorEventSink;
 
 /// Which SST subset a subspace belongs to.
 enum class SstSubset { kFixed, kClustering, kOutlierDriven };
@@ -76,12 +77,19 @@ class Sst {
   void SaveState(CheckpointWriter& w) const;
   bool LoadState(CheckpointReader& r);
 
+  /// Attaches an observability sink (borrowed; nullptr detaches): genuine
+  /// CS/OS additions emit kSstInsert, ClearClustering emits kSstClear.
+  /// LoadState restores members without events — a checkpoint restore is
+  /// not churn. Pure reporting; SST contents never depend on the sink.
+  void set_event_sink(DetectorEventSink* sink) { sink_ = sink; }
+
  private:
   bool InFixed(const Subspace& s) const;
 
   std::vector<Subspace> fs_;
   RankedSubspaceSet cs_;
   RankedSubspaceSet os_;
+  DetectorEventSink* sink_ = nullptr;
 };
 
 }  // namespace spot

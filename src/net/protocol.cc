@@ -31,7 +31,7 @@ bool ParseConfigBlob(const std::string& blob, SpotConfig* out) {
 
 bool IsRequestType(std::uint8_t type) {
   return type >= static_cast<std::uint8_t>(MsgType::kCreateSession) &&
-         type <= static_cast<std::uint8_t>(MsgType::kStats);
+         type <= static_cast<std::uint8_t>(MsgType::kTraceDump);
 }
 
 std::uint32_t Crc32(const void* data, std::size_t len) {
@@ -464,6 +464,42 @@ bool DecodeVerdicts(const std::string& payload, VerdictsResp* out) {
 
 namespace {
 
+void EncodeHistogram(const obs::Histogram& hist, WireWriter* w) {
+  w->F64(hist.sum());
+  w->F64(hist.min());
+  w->F64(hist.max());
+  // Sparse bucket list: (index, count) pairs for populated buckets.
+  std::uint32_t nonzero = 0;
+  for (int i = 0; i < obs::Histogram::kNumBuckets; ++i) {
+    if (hist.bucket(i) != 0) ++nonzero;
+  }
+  w->U32(nonzero);
+  for (int i = 0; i < obs::Histogram::kNumBuckets; ++i) {
+    if (hist.bucket(i) == 0) continue;
+    w->U8(static_cast<std::uint8_t>(i));
+    w->U64(hist.bucket(i));
+  }
+}
+
+bool DecodeHistogram(WireReader* r, obs::Histogram* out) {
+  const double sum = r->F64();
+  const double min = r->F64();
+  const double max = r->F64();
+  const std::uint32_t nonzero = r->U32();
+  if (!r->ok()) return false;
+  if (nonzero > obs::Histogram::kNumBuckets) return r->Fail();
+  std::uint64_t counts[obs::Histogram::kNumBuckets] = {};
+  for (std::uint32_t b = 0; b < nonzero; ++b) {
+    const std::uint8_t idx = r->U8();
+    const std::uint64_t count = r->U64();
+    if (!r->ok()) return false;
+    if (idx >= obs::Histogram::kNumBuckets) return r->Fail();
+    counts[idx] = count;
+  }
+  *out = obs::Histogram::Restore(counts, sum, min, max);
+  return r->ok();
+}
+
 void EncodeSnapshot(const obs::MetricsSnapshot& snap, WireWriter* w) {
   w->U32(static_cast<std::uint32_t>(snap.counters.size()));
   for (const auto& [name, value] : snap.counters) {
@@ -478,20 +514,7 @@ void EncodeSnapshot(const obs::MetricsSnapshot& snap, WireWriter* w) {
   w->U32(static_cast<std::uint32_t>(snap.histograms.size()));
   for (const auto& [name, hist] : snap.histograms) {
     w->Str(name);
-    w->F64(hist.sum());
-    w->F64(hist.min());
-    w->F64(hist.max());
-    // Sparse bucket list: (index, count) pairs for populated buckets.
-    std::uint32_t nonzero = 0;
-    for (int i = 0; i < obs::Histogram::kNumBuckets; ++i) {
-      if (hist.bucket(i) != 0) ++nonzero;
-    }
-    w->U32(nonzero);
-    for (int i = 0; i < obs::Histogram::kNumBuckets; ++i) {
-      if (hist.bucket(i) == 0) continue;
-      w->U8(static_cast<std::uint8_t>(i));
-      w->U64(hist.bucket(i));
-    }
+    EncodeHistogram(hist, w);
   }
 }
 
@@ -522,21 +545,57 @@ bool DecodeSnapshot(WireReader* r, obs::MetricsSnapshot* out) {
   if (nhists > r->remaining() / 32) return r->Fail();
   for (std::uint32_t i = 0; i < nhists; ++i) {
     const std::string name = r->Str();
-    const double sum = r->F64();
-    const double min = r->F64();
-    const double max = r->F64();
-    const std::uint32_t nonzero = r->U32();
-    if (!r->ok()) return false;
-    if (nonzero > obs::Histogram::kNumBuckets) return r->Fail();
-    std::uint64_t counts[obs::Histogram::kNumBuckets] = {};
-    for (std::uint32_t b = 0; b < nonzero; ++b) {
-      const std::uint8_t idx = r->U8();
-      const std::uint64_t count = r->U64();
-      if (!r->ok()) return false;
-      if (idx >= obs::Histogram::kNumBuckets) return r->Fail();
-      counts[idx] = count;
-    }
-    out->histograms[name] = obs::Histogram::Restore(counts, sum, min, max);
+    obs::Histogram hist;
+    if (!DecodeHistogram(r, &hist)) return false;
+    out->histograms[name] = hist;
+  }
+  return r->ok();
+}
+
+void EncodeSessionQuality(const SessionQuality& q, WireWriter* w) {
+  w->Str(q.session_id);
+  w->U64(q.points);
+  w->U64(q.alarms);
+  w->U64(q.tracked_subspaces);
+  w->U64(q.base_cells);
+  w->U64(q.slab_slots);
+  w->U64(q.free_slots);
+  w->U64(q.compactions);
+  w->U64(q.cells_reclaimed);
+  EncodeHistogram(q.rd_margin, w);
+  EncodeHistogram(q.irsd_margin, w);
+  w->U32(static_cast<std::uint32_t>(q.subspaces.size()));
+  for (const SubspaceQuality& s : q.subspaces) {
+    w->U64(s.subspace_bits);
+    w->U64(s.points);
+    w->U64(s.alarms);
+  }
+}
+
+bool DecodeSessionQuality(WireReader* r, SessionQuality* out) {
+  out->session_id = r->Str();
+  out->points = r->U64();
+  out->alarms = r->U64();
+  out->tracked_subspaces = r->U64();
+  out->base_cells = r->U64();
+  out->slab_slots = r->U64();
+  out->free_slots = r->U64();
+  out->compactions = r->U64();
+  out->cells_reclaimed = r->U64();
+  if (!DecodeHistogram(r, &out->rd_margin) ||
+      !DecodeHistogram(r, &out->irsd_margin)) {
+    return false;
+  }
+  const std::uint32_t nsub = r->U32();
+  if (!r->ok()) return false;
+  // A subspace row is 24 bytes; bound against the remaining bytes so a
+  // crafted count cannot force a huge allocation.
+  if (nsub > r->remaining() / 24) return r->Fail();
+  out->subspaces.assign(nsub, SubspaceQuality{});
+  for (SubspaceQuality& s : out->subspaces) {
+    s.subspace_bits = r->U64();
+    s.points = r->U64();
+    s.alarms = r->U64();
   }
   return r->ok();
 }
@@ -562,6 +621,10 @@ std::string EncodeStats(const StatsResp& resp) {
   for (const obs::MetricsSnapshot& snap : resp.services) {
     EncodeSnapshot(snap, &w);
   }
+  w.U32(static_cast<std::uint32_t>(resp.sessions.size()));
+  for (const SessionQuality& q : resp.sessions) {
+    EncodeSessionQuality(q, &w);
+  }
   return w.Take();
 }
 
@@ -582,6 +645,15 @@ bool DecodeStats(const std::string& payload, StatsResp* out) {
   out->services.assign(nservices, obs::MetricsSnapshot());
   for (obs::MetricsSnapshot& snap : out->services) {
     if (!DecodeSnapshot(&r, &snap)) return false;
+  }
+  const std::uint32_t nsessions = r.U32();
+  if (!r.ok()) return false;
+  // A quality section is >= 132 bytes (empty id + eight u64 tallies + two
+  // empty histograms + subspace count).
+  if (nsessions > payload.size() / 132) return r.Fail();
+  out->sessions.assign(nsessions, SessionQuality());
+  for (SessionQuality& q : out->sessions) {
+    if (!DecodeSessionQuality(&r, &q)) return false;
   }
   return r.AtEnd();
 }

@@ -9,12 +9,18 @@
 #include "core/detector.h"
 #include "core/spot_config.h"
 #include "obs/metrics.h"
+#include "obs/quality.h"
 #include "stream/data_point.h"
 
 namespace spot {
 namespace net {
 
-/// SPOT wire protocol v1 (DESIGN.md Section 7).
+/// SPOT wire protocol v2 (DESIGN.md Section 7).
+///
+/// v2 (this version) adds the kTraceDump request / kTraceResp response
+/// pair (flight-recorder dump, DESIGN.md Section 10) and extends the
+/// kStatsResp payload with per-session detection-quality sections. Both
+/// ends bumped together; a v1 peer is rejected at the frame layer.
 ///
 /// Every message is one *frame*: a fixed 16-byte header followed by a
 /// little-endian payload. The header is
@@ -47,7 +53,7 @@ namespace net {
 ///    seen every verdict for the points it sent.
 
 constexpr std::uint32_t kFrameMagic = 0x31575053;  // "SPW1" little-endian
-constexpr std::uint8_t kWireVersion = 1;
+constexpr std::uint8_t kWireVersion = 2;
 constexpr std::size_t kFrameHeaderBytes = 16;
 
 /// Default cap on a frame's payload. 16 MiB fits > 100k points of a
@@ -64,12 +70,14 @@ enum class MsgType : std::uint8_t {
   kCheckpoint = 5,     // id ("" = CheckpointAll)
   kCloseSession = 6,   // id + persist flag
   kStats = 7,          // empty payload; scrape the server's metrics
+  kTraceDump = 8,      // empty payload; dump the flight recorder
 
   // Responses (server -> client).
   kOk = 16,         // echoes the request type it answers
   kError = 17,      // echoes the request type + human-readable message
   kVerdicts = 18,   // id + verdicts for a coalesced run of ingested points
   kStatsResp = 19,  // whole-server metrics snapshot (answers kStats)
+  kTraceResp = 20,  // raw Chrome-trace JSON bytes (answers kTraceDump)
 };
 
 /// True for the request-role message types a server accepts.
@@ -278,9 +286,15 @@ bool DecodeVerdicts(const std::string& payload, VerdictsResp* out);
 /// the cross-reactor hand-off counter from the session registry. A
 /// kStats *request* carries an empty payload; anything else is malformed
 /// and closes the connection like any other bad request payload.
+/// The per-session detection-quality sections of a kStatsResp (v2) are
+/// the service layer's obs::SessionQuality snapshots, carried verbatim.
+using SubspaceQuality = obs::SubspaceQuality;
+using SessionQuality = obs::SessionQuality;
+
 struct StatsResp {
   std::vector<obs::MetricsSnapshot> reactors;  // index == reactor index
   std::vector<obs::MetricsSnapshot> services;  // index == shard index
+  std::vector<SessionQuality> sessions;        // every resident session
   std::uint64_t sessions_handed_off = 0;
 
   /// Everything folded into one snapshot (counters/gauges sum,

@@ -15,6 +15,7 @@
 #include <utility>
 
 #include "common/log.h"
+#include "common/timer.h"
 #include "net/session_registry.h"
 #include "service/spot_service.h"
 
@@ -77,6 +78,12 @@ void Reactor::SetObservability(obs::MetricsHub* hub,
                                std::function<StatsResp()> stats_source) {
   hub_ = hub;
   stats_source_ = std::move(stats_source);
+}
+
+void Reactor::SetTracing(obs::TraceRecorder* recorder,
+                         std::function<std::string()> trace_source) {
+  trace_ = recorder;
+  trace_source_ = std::move(trace_source);
 }
 
 void Reactor::Run() {
@@ -354,9 +361,19 @@ void Reactor::ReadReady(int fd) {
     Frame frame;
     while (!conn.want_close) {
       const MonoClock::time_point decode_start = MonoClock::now();
+      const std::uint64_t trace_t0 =
+          trace_ != nullptr ? SteadyMicrosSinceStart() : 0;
       const FrameDecoder::Status status = conn.decoder.Next(&frame);
       if (status == FrameDecoder::Status::kFrame) {
         h_decode_us_->Record(MicrosSince(decode_start));
+        if (trace_ != nullptr) {
+          obs::TraceEvent span;
+          span.stage = obs::TraceStage::kDecode;
+          span.ts_us = trace_t0;
+          span.dur_us = SteadyMicrosSinceStart() - trace_t0;
+          span.points = frame.payload.size();  // bytes for byte stages
+          trace_->Record(span);
+        }
       }
       if (status == FrameDecoder::Status::kNeedMore) break;
       if (status == FrameDecoder::Status::kCorrupt) {
@@ -489,6 +506,20 @@ bool Reactor::HandleFrame(Conn& conn, const Frame& frame) {
       Enqueue(conn, MsgType::kStatsResp, EncodeStats(stats_source_()));
       return true;
     }
+    case MsgType::kTraceDump: {
+      // A flight-recorder dump: like kStats, answerable on any connection
+      // and side-effect-free on the ingest pipeline (the rings are read
+      // under their own locks; nothing is cut or cleared). Empty payload
+      // required; anything else is malformed and closes the connection.
+      if (!frame.payload.empty()) break;
+      if (!trace_source_) {
+        SendError(conn, frame.type, "tracing not enabled on this server");
+        return true;
+      }
+      c_trace_dumps_->Inc();
+      Enqueue(conn, MsgType::kTraceResp, trace_source_());
+      return true;
+    }
     case MsgType::kCloseSession: {
       CloseSessionReq req;
       if (!DecodeCloseSession(frame.payload, &req)) break;
@@ -527,6 +558,8 @@ bool Reactor::HandleFrame(Conn& conn, const Frame& frame) {
 
 bool Reactor::HandleIngest(Conn& conn, const std::string& payload) {
   const MonoClock::time_point coalesce_start = MonoClock::now();
+  const std::uint64_t trace_t0 =
+      trace_ != nullptr ? SteadyMicrosSinceStart() : 0;
   IngestReq req;
   if (!DecodeIngest(payload, &req)) {
     ++stats_.protocol_errors;
@@ -543,6 +576,7 @@ bool Reactor::HandleIngest(Conn& conn, const std::string& payload) {
     return false;
   }
   std::vector<DataPoint>& pending = conn.pending[req.session_id];
+  const std::size_t frame_points = req.points.size();
   pending.insert(pending.end(),
                  std::make_move_iterator(req.points.begin()),
                  std::make_move_iterator(req.points.end()));
@@ -554,6 +588,15 @@ bool Reactor::HandleIngest(Conn& conn, const std::string& payload) {
   // Coalesce stage ends here; the early batch cut below is accounted to
   // the process stage by ProcessPending itself.
   h_coalesce_us_->Record(MicrosSince(coalesce_start));
+  if (trace_ != nullptr) {
+    obs::TraceEvent span;
+    span.stage = obs::TraceStage::kCoalesce;
+    span.ts_us = trace_t0;
+    span.dur_us = SteadyMicrosSinceStart() - trace_t0;
+    span.points = frame_points;
+    span.session = req.session_id;
+    trace_->Record(span);
+  }
   // Early batch cut: keep memory bounded when a client pipelines far
   // ahead; the remainder rides the end-of-turn flush.
   if (pending.size() >= config_.batch_points) {
@@ -581,11 +624,40 @@ bool Reactor::ProcessPending(Conn& conn, const std::string& id, bool all) {
               pending.begin() + static_cast<long>(pos + n),
               std::back_inserter(chunk));
     pos += n;
+    // Batch correlation key: reactor index in the top 16 bits, a
+    // per-reactor sequence below — globally unique, 0 never issued. The
+    // process, shard_probe and encode spans of this chunk all carry it.
+    const std::uint64_t batch_id =
+        (static_cast<std::uint64_t>(index_) << 48) | next_batch_seq_++;
     const MonoClock::time_point process_start = MonoClock::now();
+    const std::uint64_t trace_t0 =
+        trace_ != nullptr ? SteadyMicrosSinceStart() : 0;
     IngestResult result = service_->Ingest(id, chunk);
     const double process_us = MicrosSince(process_start);
     h_process_us_->Record(process_us);
     h_batch_points_->Record(static_cast<double>(n));
+    if (trace_ != nullptr) {
+      obs::TraceEvent span;
+      span.stage = obs::TraceStage::kProcess;
+      span.ts_us = trace_t0;
+      span.dur_us = SteadyMicrosSinceStart() - trace_t0;
+      span.batch_id = batch_id;
+      span.points = n;
+      span.session = id;
+      trace_->Record(span);
+      // Per-shard probe lanes (present only when the service collects
+      // shard timings): already in the shared steady-µs timebase.
+      for (std::size_t k = 0; k < result.shard_spans.size(); ++k) {
+        obs::TraceEvent shard_span;
+        shard_span.stage = obs::TraceStage::kShardProbe;
+        shard_span.ts_us = result.shard_spans[k].start_us;
+        shard_span.dur_us = result.shard_spans[k].dur_us;
+        shard_span.batch_id = batch_id;
+        shard_span.shard = static_cast<std::int32_t>(k);
+        shard_span.session = id;
+        trace_->Record(shard_span);
+      }
+    }
     if (config_.slow_batch_warn_ms > 0.0 &&
         process_us > config_.slow_batch_warn_ms * 1e3) {
       c_slow_batches_->Inc();
@@ -632,8 +704,20 @@ bool Reactor::ProcessPending(Conn& conn, const std::string& id, bool all) {
           std::make_move_iterator(result.verdicts.begin() +
                                   static_cast<std::ptrdiff_t>(end)));
       const MonoClock::time_point encode_start = MonoClock::now();
+      const std::uint64_t encode_t0 =
+          trace_ != nullptr ? SteadyMicrosSinceStart() : 0;
       const std::string payload = EncodeVerdicts(resp);
       h_encode_us_->Record(MicrosSince(encode_start));
+      if (trace_ != nullptr) {
+        obs::TraceEvent span;
+        span.stage = obs::TraceStage::kEncode;
+        span.ts_us = encode_t0;
+        span.dur_us = SteadyMicrosSinceStart() - encode_t0;
+        span.batch_id = batch_id;
+        span.points = resp.verdicts.size();
+        span.session = id;
+        trace_->Record(span);
+      }
       Enqueue(conn, MsgType::kVerdicts, payload);
       SessionNetActivity activity;
       activity.bytes_out = kFrameHeaderBytes + payload.size();
@@ -686,6 +770,24 @@ void Reactor::TryFlush(Conn& conn) {
     return;
   }
   obs::ScopedLatency write_timer(h_write_us_);
+  if (trace_ == nullptr) {
+    WriteLoop(conn);
+    return;
+  }
+  const std::uint64_t trace_t0 = SteadyMicrosSinceStart();
+  const std::size_t sent = WriteLoop(conn);
+  if (sent > 0) {
+    obs::TraceEvent span;
+    span.stage = obs::TraceStage::kWrite;
+    span.ts_us = trace_t0;
+    span.dur_us = SteadyMicrosSinceStart() - trace_t0;
+    span.points = sent;  // bytes for byte stages
+    trace_->Record(span);
+  }
+}
+
+std::size_t Reactor::WriteLoop(Conn& conn) {
+  std::size_t sent = 0;
   while (conn.out_off < conn.outbuf.size()) {
     const ssize_t n =
         ::send(conn.fd, conn.outbuf.data() + conn.out_off,
@@ -707,19 +809,21 @@ void Reactor::TryFlush(Conn& conn) {
           conn.outbuf.erase(0, conn.out_off);
           conn.out_off = 0;
         }
-        return;
+        return sent;
       }
       // Peer is gone; drop the queue and let the deferred sweep close us.
       conn.outbuf.clear();
       conn.out_off = 0;
       conn.want_close = true;
-      return;
+      return sent;
     }
     conn.out_off += static_cast<std::size_t>(n);
     stats_.bytes_out += static_cast<std::uint64_t>(n);
+    sent += static_cast<std::size_t>(n);
   }
   conn.outbuf.clear();
   conn.out_off = 0;
+  return sent;
 }
 
 void Reactor::UpdateBackpressure(Conn& conn) {

@@ -15,6 +15,7 @@
 #include "net/protocol.h"
 #include "net/server_config.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "stream/data_point.h"
 
 namespace spot {
@@ -89,6 +90,16 @@ class Reactor {
   void SetObservability(obs::MetricsHub* hub,
                         std::function<StatsResp()> stats_source);
 
+  /// Wires the reactor into the flight recorder (DESIGN.md Section 10).
+  /// `recorder` receives this reactor's pipeline spans
+  /// (decode/coalesce/process/shard_probe/encode/write); `trace_source`
+  /// renders the whole-server Chrome-trace JSON a kTraceDump request on
+  /// one of this reactor's connections is answered with. Call before the
+  /// loop starts; both may be null/empty (tracing off — each stage then
+  /// pays one null test and records nothing).
+  void SetTracing(obs::TraceRecorder* recorder,
+                  std::function<std::string()> trace_source);
+
   int index() const { return index_; }
   SpotService* service() const { return service_; }
   /// Loop-thread state: read only after the loop thread is joined (or
@@ -140,8 +151,11 @@ class Reactor {
   void Enqueue(Conn& conn, MsgType type, const std::string& payload);
   void SendOk(Conn& conn, MsgType request);
   void SendError(Conn& conn, MsgType request, const std::string& message);
-  /// Non-blocking write of the connection's output queue.
+  /// Non-blocking write of the connection's output queue (traced as a
+  /// `write` span when bytes actually move and tracing is on).
   void TryFlush(Conn& conn);
+  /// The send loop proper; returns the bytes written this call.
+  std::size_t WriteLoop(Conn& conn);
   void UpdateBackpressure(Conn& conn);
   void SyncPollerInterest(Conn& conn);
   void CloseConn(int fd);
@@ -194,8 +208,19 @@ class Reactor {
   obs::Histogram* h_batch_points_ = obs_.GetHistogram("batch_points");
   obs::Counter* c_slow_batches_ = obs_.GetCounter("slow_batches");
   obs::Counter* c_stats_scrapes_ = obs_.GetCounter("stats_scrapes");
+  obs::Counter* c_trace_dumps_ = obs_.GetCounter("trace_dumps");
   obs::MetricsHub* hub_ = nullptr;
   std::function<StatsResp()> stats_source_;
+
+  /// Flight recorder (DESIGN.md Section 10): per-batch pipeline spans,
+  /// written only by the loop thread into the server-owned per-reactor
+  /// ring. Null = tracing off (the stage hooks cost one branch each).
+  obs::TraceRecorder* trace_ = nullptr;
+  std::function<std::string()> trace_source_;
+  /// Per-reactor batch-id generator: the reactor index in the top 16
+  /// bits keeps ids globally unique, so a merged multi-reactor trace
+  /// never aliases two batches. 0 is reserved for "not batch-scoped".
+  std::uint64_t next_batch_seq_ = 1;
 };
 
 }  // namespace net

@@ -78,6 +78,14 @@ struct SpotServerConfig {
   /// logs a warning (and counts in the reactor's `slow_batches` metric).
   /// 0 disables the warning; the histogram records every batch either way.
   double slow_batch_warn_ms = 0.0;
+
+  /// Per-reactor flight-recorder capacity (DESIGN.md Section 10): each
+  /// reactor keeps the last this-many pipeline trace spans
+  /// (decode/coalesce/process/shard_probe/encode/write) in a fixed ring,
+  /// dumped on demand as Chrome-trace JSON (SIGUSR2, kTraceDump, or
+  /// GET /trace). 0 disables tracing entirely — the hot path then pays
+  /// one null-pointer test per stage and records nothing.
+  std::size_t trace_capacity = 2048;
 };
 
 /// Event-loop counters. Each reactor owns one instance, written only by

@@ -214,6 +214,73 @@ bool SpotClient::ConsumeStatsFrames(StatsResp* out, bool* done, bool* ok) {
   }
 }
 
+bool SpotClient::ConsumeTraceFrames(std::string* json, bool* done,
+                                    bool* ok) {
+  Frame frame;
+  while (true) {
+    const FrameDecoder::Status status = decoder_.Next(&frame);
+    if (status == FrameDecoder::Status::kNeedMore) return true;
+    if (status == FrameDecoder::Status::kCorrupt) {
+      FailTransport("corrupt frame from server: " + decoder_.error());
+      return false;
+    }
+    switch (frame.type) {
+      case MsgType::kVerdicts:
+        if (!StashVerdicts(frame)) return false;
+        break;
+      case MsgType::kTraceResp:
+        // The payload IS the Chrome-trace JSON document — no codec.
+        *json = std::move(frame.payload);
+        *done = true;
+        *ok = true;
+        return true;
+      case MsgType::kError: {
+        ErrorResp resp;
+        if (!DecodeError(frame.payload, &resp)) {
+          FailTransport("malformed error frame from server");
+          return false;
+        }
+        last_error_ = resp.message;
+        *done = true;
+        *ok = false;
+        return true;
+      }
+      default:
+        FailTransport("unexpected frame type from server");
+        return false;
+    }
+  }
+}
+
+bool SpotClient::TraceDump(std::string* json) {
+  json->clear();
+  if (!SendFrame(MsgType::kTraceDump, std::string())) return false;
+  if (fd_ < 0) {
+    if (last_error_.empty()) last_error_ = "not connected";
+    return false;
+  }
+  bool done = false;
+  bool ok = false;
+  if (!ConsumeTraceFrames(json, &done, &ok)) return false;
+  char buf[65536];
+  while (!done) {
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n == 0) {
+      FailTransport("server closed the connection");
+      return false;
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      FailTransport(std::string("recv(): ") + std::strerror(errno));
+      return false;
+    }
+    bytes_received_ += static_cast<std::uint64_t>(n);
+    decoder_.Append(buf, static_cast<std::size_t>(n));
+    if (!ConsumeTraceFrames(json, &done, &ok)) return false;
+  }
+  return ok;
+}
+
 bool SpotClient::Stats(StatsResp* out) {
   *out = StatsResp{};
   if (!SendFrame(MsgType::kStats, std::string())) return false;

@@ -77,6 +77,14 @@ class SpotClient {
   /// graceful "unsupported" probe should scrape on a dedicated client.
   bool Stats(StatsResp* out);
 
+  /// Dumps the server's flight recorder (blocks for the kTraceResp;
+  /// interleaved verdicts are stashed as usual). `json` receives the raw
+  /// Chrome-trace JSON bytes. False when tracing is disabled server-side
+  /// (the server answers kError) or on a transport error. Same
+  /// old-server caveat as Stats(): a pre-v2 server closes the connection
+  /// on the unknown request type.
+  bool TraceDump(std::string* json);
+
   /// Closes the session on the server. Implies a flush of its pending
   /// points; trailing verdicts are appended to `verdicts` when non-null.
   bool CloseSession(const std::string& id, bool persist = true,
@@ -111,6 +119,9 @@ class SpotClient {
   /// ConsumeFrames variant for the stats scrape: resolves on kStatsResp
   /// (decoded into `out`) instead of kOk.
   bool ConsumeStatsFrames(StatsResp* out, bool* done, bool* ok);
+  /// ConsumeFrames variant for the trace dump: resolves on kTraceResp
+  /// (raw JSON moved into `json`) instead of kOk.
+  bool ConsumeTraceFrames(std::string* json, bool* done, bool* ok);
   bool StashVerdicts(const Frame& frame);
   void FailTransport(const std::string& what);
 

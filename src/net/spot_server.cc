@@ -3,6 +3,7 @@
 #include <arpa/inet.h>
 #include <cerrno>
 #include <csignal>
+#include <cstdio>
 #include <cstring>
 #include <netinet/in.h>
 #include <sys/socket.h>
@@ -10,6 +11,7 @@
 
 #include <fcntl.h>
 
+#include <iterator>
 #include <utility>
 
 #include "common/log.h"
@@ -26,10 +28,25 @@ bool SetNonBlocking(int fd) {
 }
 
 std::atomic<SpotServer*> g_signal_server{nullptr};
+std::atomic<bool> g_trace_requested{false};
 
 void StopOnSignal(int /*signo*/) {
   SpotServer* server = g_signal_server.load(std::memory_order_relaxed);
   if (server != nullptr) server->Stop();  // a single atomic store
+}
+
+void TraceOnSignal(int /*signo*/) {
+  // Only latch a flag (async-signal-safe); the binary's watcher thread
+  // renders and writes the dump outside signal context.
+  g_trace_requested.store(true, std::memory_order_relaxed);
+}
+
+/// Subspace mask as a Prometheus label value ("0x5" = dims {0,2}).
+std::string SubspaceLabel(std::uint64_t bits) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "0x%llx",
+                static_cast<unsigned long long>(bits));
+  return buf;
 }
 
 }  // namespace
@@ -50,6 +67,13 @@ SpotServer::SpotServer(SpotServiceConfig service_config,
   registry_ = std::make_unique<SessionRegistry>(
       std::move(raw), /*allow_handoff=*/!service_config.checkpoint_dir.empty());
   hub_ = obs::MetricsHub(config_.num_reactors);
+  if (config_.trace_capacity > 0) {
+    traces_.reserve(config_.num_reactors);
+    for (std::size_t i = 0; i < config_.num_reactors; ++i) {
+      traces_.push_back(std::make_unique<obs::TraceRecorder>(
+          config_.trace_capacity, static_cast<std::uint32_t>(i)));
+    }
+  }
   reactors_.reserve(config_.num_reactors);
   for (std::size_t i = 0; i < config_.num_reactors; ++i) {
     reactors_.push_back(std::make_unique<Reactor>(
@@ -57,6 +81,10 @@ SpotServer::SpotServer(SpotServiceConfig service_config,
         &stop_));
     reactors_.back()->SetObservability(&hub_,
                                        [this] { return StatsSnapshot(); });
+    if (!traces_.empty()) {
+      reactors_.back()->SetTracing(traces_[i].get(),
+                                   [this] { return TraceJson(); });
+    }
   }
 }
 
@@ -75,9 +103,16 @@ void SpotServer::InstallSignalHandlers(SpotServer* server) {
   sa.sa_handler = StopOnSignal;
   ::sigaction(SIGTERM, &sa, nullptr);
   ::sigaction(SIGINT, &sa, nullptr);
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = TraceOnSignal;
+  ::sigaction(SIGUSR2, &sa, nullptr);
   // Writes to a peer-closed socket must surface as EPIPE, not kill the
   // process (the loop also passes MSG_NOSIGNAL, this covers stray paths).
   ::signal(SIGPIPE, SIG_IGN);
+}
+
+bool SpotServer::TraceRequested() {
+  return g_trace_requested.exchange(false, std::memory_order_relaxed);
 }
 
 int SpotServer::MakeListener(bool reuseport, std::uint16_t* port) {
@@ -173,6 +208,8 @@ bool SpotServer::Start() {
     exporter_ = std::make_unique<obs::HttpExporter>(
         config_.bind_address, config_.metrics_port,
         [this] { return PrometheusText(); });
+    exporter_->AddRoute("/trace", [this] { return TraceJson(); });
+    exporter_->AddRoute("/journal", [this] { return JournalJson(); });
     std::string error;
     if (!exporter_->Start(&error)) {
       SPOT_LOG(Error) << "metrics endpoint: " << error;
@@ -180,7 +217,7 @@ bool SpotServer::Start() {
       return false;
     }
     SPOT_LOG(Info) << "metrics endpoint on " << config_.bind_address << ":"
-                   << exporter_->port() << "/metrics";
+                   << exporter_->port() << "/metrics (/trace, /journal)";
   }
 
   SPOT_LOG(Info) << "spot server listening on " << config_.bind_address
@@ -237,6 +274,14 @@ StatsResp SpotServer::StatsSnapshot() const {
   for (const auto& service : services_) {
     resp.services.push_back(service->ObsSnapshot());
   }
+  // Shards hold disjoint session sets (registry exclusivity), so the
+  // concatenation has no duplicate ids; per-shard order is id-sorted.
+  for (const auto& service : services_) {
+    std::vector<obs::SessionQuality> quality = service->QualitySnapshot();
+    resp.sessions.insert(resp.sessions.end(),
+                         std::make_move_iterator(quality.begin()),
+                         std::make_move_iterator(quality.end()));
+  }
   resp.sessions_handed_off = registry_->handoffs();
   return resp;
 }
@@ -244,7 +289,8 @@ StatsResp SpotServer::StatsSnapshot() const {
 std::string SpotServer::PrometheusText() const {
   const StatsResp snap = StatsSnapshot();
   std::vector<obs::LabeledSnapshot> sections;
-  sections.reserve(snap.reactors.size() + snap.services.size() + 1);
+  sections.reserve(snap.reactors.size() + snap.services.size() +
+                   2 * snap.sessions.size() + 1);
   for (std::size_t i = 0; i < snap.reactors.size(); ++i) {
     sections.emplace_back("reactor=\"" + std::to_string(i) + "\"",
                           snap.reactors[i]);
@@ -253,10 +299,59 @@ std::string SpotServer::PrometheusText() const {
     sections.emplace_back("shard=\"" + std::to_string(i) + "\"",
                           snap.services[i]);
   }
+  // Detection-quality series (DESIGN.md Section 10): one session="id"
+  // section per session, plus one session+subspace section per retained
+  // alarming subspace (bounded by kQualityTopSubspaces per session).
+  for (const SessionQuality& q : snap.sessions) {
+    obs::MetricsSnapshot s;
+    s.counters["session_points"] = q.points;
+    s.counters["session_alarms"] = q.alarms;
+    s.counters["grid_compactions"] = q.compactions;
+    s.counters["grid_cells_reclaimed"] = q.cells_reclaimed;
+    s.gauges["tracked_subspaces"] = static_cast<double>(q.tracked_subspaces);
+    s.gauges["base_grid_cells"] = static_cast<double>(q.base_cells);
+    s.gauges["slab_slots"] = static_cast<double>(q.slab_slots);
+    s.gauges["slab_free_slots"] = static_cast<double>(q.free_slots);
+    s.histograms["rd_margin_x1000"] = q.rd_margin;
+    s.histograms["irsd_margin_x1000"] = q.irsd_margin;
+    const std::string session_label = "session=\"" + q.session_id + "\"";
+    sections.emplace_back(session_label, std::move(s));
+    for (const SubspaceQuality& sub : q.subspaces) {
+      obs::MetricsSnapshot ss;
+      ss.counters["subspace_points"] = sub.points;
+      ss.counters["subspace_alarms"] = sub.alarms;
+      sections.emplace_back(session_label + ",subspace=\"" +
+                                SubspaceLabel(sub.subspace_bits) + "\"",
+                            std::move(ss));
+    }
+  }
   obs::MetricsSnapshot global;
   global.counters["sessions_handed_off"] = snap.sessions_handed_off;
   sections.emplace_back("", std::move(global));
   return obs::RenderPrometheus(sections);
+}
+
+std::string SpotServer::TraceJson() const {
+  std::vector<std::vector<obs::TraceEvent>> snapshots;
+  snapshots.reserve(traces_.size());
+  for (const auto& recorder : traces_) {
+    snapshots.push_back(recorder->Snapshot());
+  }
+  return obs::RenderChromeTrace(snapshots);
+}
+
+std::string SpotServer::JournalJson() const {
+  std::string out = "{\"shards\":[";
+  bool first = true;
+  for (const auto& service : services_) {
+    obs::Journal* journal = service->journal();
+    if (journal == nullptr) continue;
+    if (!first) out += ',';
+    first = false;
+    out += journal->RenderJson();
+  }
+  out += "]}";
+  return out;
 }
 
 int SpotServer::metrics_port() const {

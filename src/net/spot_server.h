@@ -13,6 +13,7 @@
 #include "net/session_registry.h"
 #include "obs/http_exporter.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "service/spot_service.h"
 
 namespace spot {
@@ -76,9 +77,16 @@ class SpotServer {
   /// call from outside Run() after Run() returned.
   void Shutdown();
 
-  /// Routes SIGTERM/SIGINT to `server->Stop()` (pass nullptr to detach)
-  /// and ignores SIGPIPE. One server per process can be wired at a time.
+  /// Routes SIGTERM/SIGINT to `server->Stop()` (pass nullptr to detach),
+  /// ignores SIGPIPE, and latches SIGUSR2 as a trace-dump request (poll
+  /// it with TraceRequested()). One server per process can be wired at a
+  /// time.
   static void InstallSignalHandlers(SpotServer* server);
+
+  /// True once per SIGUSR2 received since the last call (the flag is
+  /// consumed). The serving binary polls this and writes TraceJson() to
+  /// its --trace-file; the server itself never touches the filesystem.
+  static bool TraceRequested();
 
   const SpotServerConfig& config() const { return config_; }
   std::size_t num_reactors() const { return reactors_.size(); }
@@ -115,9 +123,27 @@ class SpotServer {
   StatsResp StatsSnapshot() const;
 
   /// StatsSnapshot() rendered as Prometheus text exposition (per-reactor
-  /// series labeled reactor="i", per-shard series labeled shard="i").
+  /// series labeled reactor="i", per-shard series labeled shard="i",
+  /// per-session detection-quality series labeled session="id" with
+  /// per-subspace sub-series adding subspace="0x<mask>").
   /// This is what the --metrics-port endpoint serves.
   std::string PrometheusText() const;
+
+  /// The flight recorder's contents (every reactor's ring) rendered as
+  /// Chrome-trace JSON (DESIGN.md Section 10) — load it in Perfetto or
+  /// chrome://tracing. Valid-but-empty when tracing is disabled. Safe
+  /// from any thread (each ring locks internally).
+  std::string TraceJson() const;
+
+  /// Every service shard's detector event journal rendered as one JSON
+  /// object: {"shards":[<journal>, ...]}. Shards without a journal are
+  /// skipped. Safe from any thread.
+  std::string JournalJson() const;
+
+  /// Reactor `i`'s flight-recorder ring, or nullptr when tracing is off.
+  obs::TraceRecorder* trace_recorder(std::size_t i) {
+    return i < traces_.size() ? traces_[i].get() : nullptr;
+  }
 
   /// The metrics HTTP port actually bound (valid after Start() when
   /// config().metrics_port >= 0; -1 when the endpoint is disabled).
@@ -137,6 +163,10 @@ class SpotServer {
   std::unique_ptr<SessionRegistry> registry_;
   obs::MetricsHub hub_;
   std::unique_ptr<obs::HttpExporter> exporter_;
+  /// Per-reactor flight-recorder rings (empty when trace_capacity == 0).
+  /// Owned here — not by the reactors — so a dump can merge every ring
+  /// regardless of which thread asks.
+  std::vector<std::unique_ptr<obs::TraceRecorder>> traces_;
   std::vector<std::unique_ptr<Reactor>> reactors_;
   std::vector<std::thread> threads_;
   std::uint16_t port_ = 0;

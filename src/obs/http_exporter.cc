@@ -33,9 +33,17 @@ bool SendAll(int fd, const char* data, std::size_t len) {
 
 HttpExporter::HttpExporter(std::string bind_address, int port,
                            Renderer renderer)
-    : bind_address_(std::move(bind_address)),
-      port_(port),
-      renderer_(std::move(renderer)) {}
+    : bind_address_(std::move(bind_address)), port_(port) {
+  Route metrics{std::move(renderer),
+                "text/plain; version=0.0.4; charset=utf-8"};
+  routes_["/"] = metrics;
+  routes_["/metrics"] = std::move(metrics);
+}
+
+void HttpExporter::AddRoute(const std::string& path, Renderer renderer,
+                            std::string content_type) {
+  routes_[path] = Route{std::move(renderer), std::move(content_type)};
+}
 
 HttpExporter::~HttpExporter() { Stop(); }
 
@@ -128,14 +136,15 @@ void HttpExporter::Serve(int fd) {
   if (query != std::string::npos) path.resize(query);
 
   std::string status, content_type, body;
+  const auto route = routes_.find(path);
   if (method != "GET" && method != "HEAD") {
     status = "405 Method Not Allowed";
     content_type = "text/plain";
     body = "only GET is supported\n";
-  } else if (path == "/metrics" || path == "/") {
+  } else if (route != routes_.end()) {
     status = "200 OK";
-    content_type = "text/plain; version=0.0.4; charset=utf-8";
-    body = renderer_ ? renderer_() : "";
+    content_type = route->second.content_type;
+    body = route->second.renderer ? route->second.renderer() : "";
   } else {
     status = "404 Not Found";
     content_type = "text/plain";

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <functional>
+#include <map>
 #include <string>
 #include <thread>
 
@@ -13,21 +14,31 @@ namespace obs {
 ///
 /// One dedicated thread accepts connections serially, answers
 /// `GET /metrics` with whatever the renderer callback returns
-/// (text/plain; version=0.0.4) and 404s everything else. Deliberately
-/// tiny: no keep-alive, no chunking, bounded request reads with socket
-/// timeouts, one request per connection — exactly enough surface for
-/// `curl` and a scrape agent, far away from the ingest data plane.
+/// (text/plain; version=0.0.4), serves any extra routes registered with
+/// AddRoute (e.g. /trace and /journal on the spot server), and 404s
+/// everything else. Deliberately tiny: no keep-alive, no chunking,
+/// bounded request reads with socket timeouts, one request per
+/// connection — exactly enough surface for `curl` and a scrape agent,
+/// far away from the ingest data plane.
 class HttpExporter {
  public:
   using Renderer = std::function<std::string()>;
 
   /// `renderer` is invoked on the exporter thread once per scrape; it
   /// must be safe to call concurrently with the rest of the server.
+  /// It is served at both /metrics and /.
   HttpExporter(std::string bind_address, int port, Renderer renderer);
   ~HttpExporter();
 
   HttpExporter(const HttpExporter&) = delete;
   HttpExporter& operator=(const HttpExporter&) = delete;
+
+  /// Registers one more GET route (exact path match, query string
+  /// stripped). Same thread-safety contract as the main renderer. Call
+  /// before Start(); later routes with the same path replace earlier
+  /// ones.
+  void AddRoute(const std::string& path, Renderer renderer,
+                std::string content_type = "application/json");
 
   /// Binds, listens, and spawns the serving thread. False (with *error
   /// set) when the socket cannot be set up.
@@ -40,12 +51,19 @@ class HttpExporter {
   int port() const { return port_; }
 
  private:
+  struct Route {
+    Renderer renderer;
+    std::string content_type;
+  };
+
   void Run();
   void Serve(int fd);
 
   std::string bind_address_;
   int port_;
-  Renderer renderer_;
+  /// Exact-path routing table; populated with /metrics and / by the
+  /// constructor, extended by AddRoute, read-only once Start() ran.
+  std::map<std::string, Route> routes_;
   int listen_fd_ = -1;
   std::atomic<bool> stop_{false};
   std::thread thread_;

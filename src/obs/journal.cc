@@ -1,0 +1,147 @@
+#include "obs/journal.h"
+
+#include <cstdio>
+
+namespace spot::obs {
+namespace {
+
+// Minimal JSON string escaping: session names arrive from the wire, so
+// quotes, backslashes and control bytes must not break the document.
+void AppendJsonString(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendDouble(std::string* out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  *out += buf;
+}
+
+}  // namespace
+
+Journal::Journal(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.reserve(capacity_ < 4096 ? capacity_ : 4096);
+}
+
+std::uint32_t Journal::InternSession(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (std::size_t i = 0; i < sessions_.size(); ++i) {
+    if (sessions_[i] == name) return static_cast<std::uint32_t>(i);
+  }
+  sessions_.push_back(name);
+  return static_cast<std::uint32_t>(sessions_.size() - 1);
+}
+
+void Journal::Append(std::uint32_t session, const DetectorEvent& event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  JournalEntry entry;
+  entry.seq = seq_++;
+  entry.session = session;
+  entry.event = event;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(entry));
+  } else {
+    ring_[next_] = std::move(entry);
+    next_ = (next_ + 1) % capacity_;
+    ++dropped_;
+  }
+}
+
+std::vector<JournalEntry> Journal::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<JournalEntry> out;
+  out.reserve(ring_.size());
+  // next_ is the oldest slot once the ring has wrapped.
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(next_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::uint64_t Journal::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+std::uint64_t Journal::appended() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return seq_;
+}
+
+std::string Journal::SessionName(std::uint32_t index) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return index < sessions_.size() ? sessions_[index] : std::string("?");
+}
+
+std::string Journal::RenderJson() const {
+  // Copy under the lock, render outside it: ToString/formatting is the
+  // expensive part and must not hold writers up.
+  std::vector<JournalEntry> events = Snapshot();
+  std::uint64_t total;
+  std::uint64_t lost;
+  std::vector<std::string> names;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    total = seq_;
+    lost = dropped_;
+    names = sessions_;
+  }
+
+  std::string out;
+  out.reserve(64 + events.size() * 96);
+  out += "{\"capacity\":";
+  out += std::to_string(capacity_);
+  out += ",\"appended\":";
+  out += std::to_string(total);
+  out += ",\"dropped\":";
+  out += std::to_string(lost);
+  out += ",\"events\":[";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const JournalEntry& e = events[i];
+    if (i != 0) out.push_back(',');
+    out += "{\"seq\":";
+    out += std::to_string(e.seq);
+    out += ",\"session\":";
+    AppendJsonString(&out, e.session < names.size()
+                               ? names[e.session]
+                               : std::string("?"));
+    out += ",\"kind\":";
+    AppendJsonString(&out, DetectorEventKindName(e.event.kind));
+    out += ",\"tick\":";
+    out += std::to_string(e.event.tick);
+    if (e.event.subspace.bits() != 0) {
+      out += ",\"subspace\":";
+      AppendJsonString(&out, e.event.subspace.ToString());
+    }
+    out += ",\"a\":";
+    out += std::to_string(e.event.a);
+    out += ",\"value\":";
+    AppendDouble(&out, e.event.value);
+    out.push_back('}');
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace spot::obs

@@ -1,0 +1,99 @@
+#include "obs/trace.h"
+
+#include <utility>
+
+namespace spot::obs {
+namespace {
+
+void AppendJsonString(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out->push_back('\\');
+    if (static_cast<unsigned char>(c) < 0x20) {
+      out->push_back('?');  // session names are printable; don't bloat
+    } else {
+      out->push_back(c);
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+TraceRecorder::TraceRecorder(std::size_t capacity, std::uint32_t reactor)
+    : capacity_(capacity == 0 ? 1 : capacity), reactor_(reactor) {
+  ring_.reserve(capacity_ < 4096 ? capacity_ : 4096);
+}
+
+void TraceRecorder::Record(TraceEvent event) {
+  event.reactor = reactor_;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(event));
+  } else {
+    ring_[next_] = std::move(event);
+    next_ = (next_ + 1) % capacity_;
+    ++dropped_;
+  }
+}
+
+std::vector<TraceEvent> TraceRecorder::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(next_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::uint64_t TraceRecorder::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+std::string RenderChromeTrace(
+    const std::vector<std::vector<TraceEvent>>& snapshots) {
+  std::string out;
+  std::size_t total = 0;
+  for (const auto& s : snapshots) total += s.size();
+  out.reserve(64 + total * 128);
+  out += "{\"traceEvents\":[";
+  bool first = true;
+  for (const auto& snapshot : snapshots) {
+    for (const TraceEvent& e : snapshot) {
+      if (!first) out.push_back(',');
+      first = false;
+      out += "{\"name\":";
+      AppendJsonString(&out, TraceStageName(e.stage));
+      out += ",\"ph\":\"X\",\"ts\":";
+      out += std::to_string(e.ts_us);
+      out += ",\"dur\":";
+      out += std::to_string(e.dur_us);
+      out += ",\"pid\":";
+      out += std::to_string(e.reactor);
+      out += ",\"tid\":";
+      // Shard-probe spans run on pool workers: give each shard its own
+      // lane under the reactor's process so the fan-out renders stacked.
+      out += std::to_string(e.shard >= 0 ? 1000 + e.shard
+                                         : static_cast<int>(e.reactor));
+      out += ",\"args\":{\"batch\":";
+      out += std::to_string(e.batch_id);
+      out += ",\"points\":";
+      out += std::to_string(e.points);
+      if (!e.session.empty()) {
+        out += ",\"session\":";
+        AppendJsonString(&out, e.session);
+      }
+      if (e.shard >= 0) {
+        out += ",\"shard\":";
+        out += std::to_string(e.shard);
+      }
+      out += "}}";
+    }
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace spot::obs

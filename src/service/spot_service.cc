@@ -5,6 +5,7 @@
 
 #include "common/log.h"
 #include "core/checkpoint.h"
+#include "grid/synapse_manager.h"
 
 namespace spot {
 
@@ -14,6 +15,9 @@ SpotService::SpotService(SpotServiceConfig config)
   if (config_.num_shards == 0) config_.num_shards = 1;
   if (config_.num_shards > 1) {
     pool_ = std::make_unique<ThreadPool>(config_.num_shards - 1);
+  }
+  if (config_.journal_capacity > 0) {
+    journal_ = std::make_unique<obs::Journal>(config_.journal_capacity);
   }
 }
 
@@ -62,6 +66,30 @@ bool SpotService::LoadTimedLocked(SpotDetector* detector,
 void SpotService::ApplyPoolLocked(SpotDetector* detector) {
   detector->set_thread_pool(pool_.get());
   detector->set_num_shards(config_.num_shards);
+  detector->set_collect_shard_timings(config_.collect_shard_timings);
+}
+
+void SpotService::BindSinkLocked(const std::string& id, Session* session) {
+  if (journal_ == nullptr) return;
+  if (session->sink == nullptr) {
+    session->sink = std::make_unique<obs::JournalSink>(
+        journal_.get(), journal_->InternSession(id));
+  }
+  if (session->detector != nullptr) {
+    session->detector->set_event_sink(session->sink.get());
+  }
+}
+
+void SpotService::JournalLifecycleLocked(Session& session,
+                                         DetectorEventKind kind,
+                                         std::uint64_t a, double value) {
+  if (session.sink == nullptr) return;
+  DetectorEvent event;
+  event.kind = kind;
+  event.tick = session.last_stats.points_processed;
+  event.a = a;
+  event.value = value;
+  session.sink->OnDetectorEvent(event);
 }
 
 bool SpotService::EvictLocked(const std::string& id, Session& session) {
@@ -78,6 +106,9 @@ bool SpotService::EvictLocked(const std::string& id, Session& session) {
   session.on_disk = true;
   ++session.evictions;
   ++evictions_;
+  JournalLifecycleLocked(session, DetectorEventKind::kCheckpointSave, 0);
+  JournalLifecycleLocked(session, DetectorEventKind::kSessionEvict,
+                         session.evictions);
   return true;
 }
 
@@ -117,8 +148,12 @@ SpotService::Session* SpotService::ResidentLocked(const std::string& id) {
     if (!MakeRoomLocked(&session)) return nullptr;
     session.detector = std::move(detector);
     ApplyPoolLocked(session.detector.get());
+    BindSinkLocked(id, &session);
     ++session.reloads;
     ++reloads_;
+    JournalLifecycleLocked(session, DetectorEventKind::kCheckpointLoad, 0);
+    JournalLifecycleLocked(session, DetectorEventKind::kSessionReload,
+                           session.reloads);
   }
   session.last_used = ++use_clock_;
   return &session;
@@ -141,6 +176,14 @@ bool SpotService::CreateSession(
   // session out of memory. (Residency transiently exceeds max_resident by
   // the one detector being built, which is the admission itself.)
   auto detector = std::make_unique<SpotDetector>(config);
+  // Sink before Learn so the initial Track() sweep journals the session's
+  // starting SST.
+  std::unique_ptr<obs::JournalSink> sink;
+  if (journal_ != nullptr) {
+    sink = std::make_unique<obs::JournalSink>(journal_.get(),
+                                              journal_->InternSession(id));
+    detector->set_event_sink(sink.get());
+  }
   if (!detector->Learn(training, knowledge)) return false;
   if (!MakeRoomLocked(nullptr)) {
     SPOT_LOG(Error) << "no residency slot for new session '" << id
@@ -154,6 +197,7 @@ bool SpotService::CreateSession(
   ApplyPoolLocked(detector.get());
   Session session;
   session.detector = std::move(detector);
+  session.sink = std::move(sink);
   session.last_used = ++use_clock_;
   sessions_.emplace(id, std::move(session));
   return true;
@@ -177,7 +221,10 @@ bool SpotService::OpenSession(const std::string& id) {
   session.detector = std::move(detector);
   session.on_disk = true;
   session.last_used = ++use_clock_;
-  sessions_.emplace(id, std::move(session));
+  session.last_stats = session.detector->stats();
+  auto [it, inserted] = sessions_.emplace(id, std::move(session));
+  BindSinkLocked(id, &it->second);
+  JournalLifecycleLocked(it->second, DetectorEventKind::kCheckpointLoad, 0);
   return true;
 }
 
@@ -230,9 +277,59 @@ IngestResult SpotService::IngestImpl(const std::string& id,
   }
   result.verdicts = session->detector->ProcessBatch(batch);
   result.ok = true;
+  if (config_.collect_shard_timings) {
+    result.shard_spans = session->detector->shard_spans();
+  }
   ++session->batches_ingested;
   session->last_stats = session->detector->stats();
+  if (config_.collect_quality || session->sink != nullptr) {
+    AccumulateQualityLocked(session, result.verdicts);
+  }
   return result;
+}
+
+void SpotService::AccumulateQualityLocked(
+    Session* session, const std::vector<SpotResult>& verdicts) {
+  const SpotDetector& detector = *session->detector;
+  if (config_.collect_quality) {
+    const double rd_t = detector.config().rd_threshold;
+    const double irsd_t = detector.config().irsd_threshold;
+    for (const SpotResult& v : verdicts) {
+      ++session->q_points;
+      if (!v.is_outlier) continue;
+      ++session->q_alarms;
+      for (const SubspaceFinding& f : v.findings) {
+        auto [it, inserted] = session->per_subspace.try_emplace(f.subspace);
+        if (inserted) it->second.first_points = session->q_points - 1;
+        ++it->second.alarms;
+        // Ratio-to-threshold x1000 (shared ratio-metric convention): mass
+        // just under 1000 = borderline verdicts.
+        if (rd_t > 0.0) {
+          session->rd_margin.Record(f.pcs.rd / rd_t * 1000.0);
+        }
+        if (irsd_t > 0.0) {
+          session->irsd_margin.Record(f.pcs.irsd / irsd_t * 1000.0);
+        }
+      }
+    }
+  }
+  // Journal this batch's grid-compaction delta. The synapse totals can
+  // shrink when Untrack drops a grid's contribution, so only a growth is
+  // an event; either way resample so the next delta starts clean.
+  const std::uint64_t comp = detector.synapses().TotalCompactions();
+  const std::uint64_t rec = detector.synapses().TotalCellsReclaimed();
+  if (comp > session->last_compactions && session->sink != nullptr) {
+    DetectorEvent event;
+    event.kind = DetectorEventKind::kGridCompaction;
+    event.tick = detector.stats().points_processed;
+    event.a = comp - session->last_compactions;
+    event.value = rec >= session->last_reclaimed
+                      ? static_cast<double>(rec - session->last_reclaimed)
+                      : 0.0;
+    session->sink->OnDetectorEvent(event);
+  }
+  session->last_compactions = comp;
+  session->last_reclaimed = rec;
 }
 
 IngestResult SpotService::Ingest(const std::string& id,
@@ -258,6 +355,7 @@ bool SpotService::Checkpoint(const std::string& id) {
   }
   ++checkpoints_written_;
   session.on_disk = true;
+  JournalLifecycleLocked(session, DetectorEventKind::kCheckpointSave, 0);
   return true;
 }
 
@@ -271,6 +369,7 @@ bool SpotService::CheckpointAll() {
     if (SaveTimedLocked(*session.detector, CheckpointPath(id))) {
       ++checkpoints_written_;
       session.on_disk = true;
+      JournalLifecycleLocked(session, DetectorEventKind::kCheckpointSave, 0);
     } else {
       all_ok = false;
     }
@@ -297,6 +396,7 @@ bool SpotService::CloseSession(const std::string& id, bool persist) {
       return false;
     }
     ++checkpoints_written_;
+    JournalLifecycleLocked(session, DetectorEventKind::kCheckpointSave, 0);
   }
   sessions_.erase(it);
   return true;
@@ -367,6 +467,50 @@ ServiceMetrics SpotService::TotalMetrics() const {
         std::max(total.net_queue_peak, session.net.queue_depth);
   }
   return total;
+}
+
+std::vector<obs::SessionQuality> SpotService::QualitySnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<obs::SessionQuality> out;
+  if (!config_.collect_quality) return out;
+  out.reserve(sessions_.size());
+  for (const auto& [id, session] : sessions_) {
+    obs::SessionQuality q;
+    q.session_id = id;
+    q.points = session.q_points;
+    q.alarms = session.q_alarms;
+    q.rd_margin = session.rd_margin;
+    q.irsd_margin = session.irsd_margin;
+    if (session.detector != nullptr) {
+      const SynapseManager& synapses = session.detector->synapses();
+      q.tracked_subspaces = session.detector->TrackedSubspaces();
+      q.base_cells = synapses.base_grid().PopulatedCells();
+      q.slab_slots = synapses.TotalSlabSlots();
+      q.free_slots = synapses.TotalFreeSlots();
+      q.compactions = synapses.TotalCompactions();
+      q.cells_reclaimed = synapses.TotalCellsReclaimed();
+    }
+    // Top subspaces by alarms; ties break on the subspace mask so the
+    // snapshot is deterministic.
+    q.subspaces.reserve(session.per_subspace.size());
+    for (const auto& [subspace, tally] : session.per_subspace) {
+      obs::SubspaceQuality row;
+      row.subspace_bits = subspace.bits();
+      row.points = session.q_points - tally.first_points;
+      row.alarms = tally.alarms;
+      q.subspaces.push_back(row);
+    }
+    std::sort(q.subspaces.begin(), q.subspaces.end(),
+              [](const obs::SubspaceQuality& a, const obs::SubspaceQuality& b) {
+                if (a.alarms != b.alarms) return a.alarms > b.alarms;
+                return a.subspace_bits < b.subspace_bits;
+              });
+    if (q.subspaces.size() > kQualityTopSubspaces) {
+      q.subspaces.resize(kQualityTopSubspaces);
+    }
+    out.push_back(std::move(q));
+  }
+  return out;
 }
 
 obs::MetricsSnapshot SpotService::ObsSnapshot() const {

@@ -12,7 +12,9 @@
 #include "core/spot_config.h"
 #include "engine/thread_pool.h"
 #include "learning/supervised.h"
+#include "obs/journal.h"
 #include "obs/metrics.h"
+#include "obs/quality.h"
 #include "stream/data_point.h"
 
 namespace spot {
@@ -36,6 +38,25 @@ struct SpotServiceConfig {
   /// exist. When empty, eviction and persistence are disabled: sessions
   /// beyond max_resident are refused instead of evicted.
   std::string checkpoint_dir;
+
+  /// Capacity of the service's detector event journal (DESIGN.md Section
+  /// 10): the bounded ring of engine state transitions (SST churn, drift,
+  /// evolution, compactions, checkpoint lifecycle) across all sessions.
+  /// 0 disables journaling entirely — detectors run unsinked and pay
+  /// nothing.
+  std::size_t journal_capacity = 8192;
+
+  /// Accumulate per-session detection-quality metrics (per-subspace alarm
+  /// tallies + verdict-margin histograms) from every ingest. On by
+  /// default: the cost is one map update per *finding* (findings are rare)
+  /// plus two histogram records per finding — never per clean point.
+  bool collect_quality = true;
+
+  /// Collect per-shard wall-clock spans for each ProcessBatch (two
+  /// SteadyMicrosSinceStart() reads per shard per batch) and surface them
+  /// in IngestResult::shard_spans. The serving layer turns these into
+  /// `shard_probe` flight-recorder lanes; off by default for embedded use.
+  bool collect_shard_timings = false;
 };
 
 /// Point-in-time view of one session (the per-session half of the metrics
@@ -99,6 +120,9 @@ struct SessionNetActivity {
 struct IngestResult {
   bool ok = false;
   std::vector<SpotResult> verdicts;
+  /// Per-shard wall-clock spans of the batch's probe phase, indexed by
+  /// shard. Empty unless SpotServiceConfig::collect_shard_timings is set.
+  std::vector<ShardSpan> shard_spans;
 };
 
 /// Long-lived detection service multiplexing many independent SPOT
@@ -196,9 +220,32 @@ class SpotService {
   /// serving layer scrapes one snapshot per shard.
   obs::MetricsSnapshot ObsSnapshot() const;
 
+  /// Per-session detection-quality snapshots (DESIGN.md Section 10), one
+  /// per known session in id order: alarm tallies per subspace (top
+  /// `kQualityTopSubspaces` by alarms), verdict-margin histograms, and —
+  /// for resident sessions — live grid occupancy gauges. Empty when
+  /// collect_quality is off. Safe from any thread.
+  std::vector<obs::SessionQuality> QualitySnapshot() const;
+
+  /// The detector event journal shared by every session of this service,
+  /// or nullptr when journal_capacity == 0.
+  obs::Journal* journal() const { return journal_.get(); }
+
+  /// Per-subspace rows retained in a QualitySnapshot entry (the map keeps
+  /// every alarming subspace; only the snapshot is capped).
+  static constexpr std::size_t kQualityTopSubspaces = 64;
+
   const SpotServiceConfig& config() const { return config_; }
 
  private:
+  /// Per-subspace alarm tally (see obs::SubspaceQuality): `first_points`
+  /// is the session's q_points value when the subspace first alarmed, so
+  /// the snapshot's alarm-rate denominator is q_points - first_points.
+  struct SubspaceTally {
+    std::uint64_t first_points = 0;
+    std::uint64_t alarms = 0;
+  };
+
   struct Session {
     std::unique_ptr<SpotDetector> detector;  // null while evicted
     SpotStats last_stats;  // captured at eviction / refreshed per batch
@@ -209,6 +256,22 @@ class SpotService {
     std::uint64_t reloads = 0;
     /// Accumulated network counters (queue_depth holds the peak).
     SessionNetActivity net;
+
+    /// Journal binding (set once at create/open when the journal exists;
+    /// survives eviction so lifecycle events keep their session tag).
+    std::unique_ptr<obs::JournalSink> sink;
+
+    /// Detection-quality accumulation (survives eviction — these describe
+    /// the session's served stream, not the resident detector).
+    std::uint64_t q_points = 0;
+    std::uint64_t q_alarms = 0;
+    obs::Histogram rd_margin;
+    obs::Histogram irsd_margin;
+    std::map<Subspace, SubspaceTally> per_subspace;
+    /// Last sampled synapse compaction totals (for per-batch deltas; the
+    /// totals can shrink when Untrack removes a grid, so deltas clamp).
+    std::uint64_t last_compactions = 0;
+    std::uint64_t last_reclaimed = 0;
   };
 
   /// Copies the session's accumulated network counters into the SpotStats
@@ -235,6 +298,17 @@ class SpotService {
   /// Returns `id`'s session resident (reloading if needed), else nullptr.
   Session* ResidentLocked(const std::string& id);
   void ApplyPoolLocked(SpotDetector* detector);
+  /// Creates the session's journal sink (no-op without a journal) and
+  /// attaches it to the detector.
+  void BindSinkLocked(const std::string& id, Session* session);
+  /// Emits a service-lifecycle event (checkpoint save/load, evict,
+  /// reload) into the journal under the session's tag; no-op unsinked.
+  void JournalLifecycleLocked(Session& session, DetectorEventKind kind,
+                              std::uint64_t a, double value = 0.0);
+  /// Folds one batch's verdicts into the session's quality tallies and
+  /// journals the batch's grid-compaction delta.
+  void AccumulateQualityLocked(Session* session,
+                               const std::vector<SpotResult>& verdicts);
 
   SpotServiceConfig config_;
   /// The one pool every session's sharded engine borrows (null when
@@ -256,6 +330,10 @@ class SpotService {
   obs::Registry obs_;
   obs::Histogram* h_ckpt_save_us_ = obs_.GetHistogram("checkpoint_save_us");
   obs::Histogram* h_ckpt_load_us_ = obs_.GetHistogram("checkpoint_load_us");
+
+  /// Event journal shared by every session (null when disabled). Created
+  /// once in the constructor; sinks hand out stable pointers to it.
+  std::unique_ptr<obs::Journal> journal_;
 };
 
 }  // namespace spot

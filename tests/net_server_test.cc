@@ -18,6 +18,8 @@
 #include <cstring>
 #include <dirent.h>
 #include <fcntl.h>
+#include <fstream>
+#include <iterator>
 #include <memory>
 #include <string>
 #include <sys/resource.h>
@@ -1038,6 +1040,301 @@ TEST(NetObservabilityTest, HttpEndpointServesLivePerReactorSeries) {
   EXPECT_NE(text.find("spot_pipeline_process_us_count"), std::string::npos);
   EXPECT_NE(text.find("spot_sessions{shard="), std::string::npos);
   EXPECT_NE(text.find("spot_sessions_handed_off"), std::string::npos);
+
+  server.StopAndJoin();
+}
+
+// ----------------------------------------------------- engine observability --
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+/// One wire run of `points` through a fresh server at the given scale,
+/// checkpointing at the end. Returns the verdicts; `ckpt_bytes` receives
+/// the session's checkpoint file and `stats` its final detector stats.
+std::vector<SpotResult> ObservedRun(SpotServiceConfig scfg,
+                                    SpotServerConfig ncfg, const char* tag,
+                                    const std::vector<DataPoint>& points,
+                                    std::string* ckpt_bytes,
+                                    SpotStats* stats) {
+  scfg.checkpoint_dir = MakeCheckpointDir(tag);
+  TestServer server(scfg, ncfg);
+  SpotClient client;
+  EXPECT_TRUE(client.Connect("127.0.0.1", server.port()));
+  EXPECT_TRUE(client.CreateSession("diff", SessionConfig(),
+                                   TenantTraining(0)))
+      << client.last_error();
+  const std::vector<SpotResult> verdicts =
+      StreamOverWire(client, "diff", points, /*chunk_seed=*/321);
+  EXPECT_TRUE(client.Checkpoint("diff")) << client.last_error();
+  SessionMetrics m;
+  for (std::size_t i = 0; i < server.server().num_reactors(); ++i) {
+    if (server.server().service(i).GetMetrics("diff", &m)) break;
+  }
+  *stats = m.stats;
+  *ckpt_bytes = ReadFileBytes(scfg.checkpoint_dir + "/diff.ckpt");
+  server.StopAndJoin();
+  return verdicts;
+}
+
+// The engine-observability differential (DESIGN.md Section 10): the same
+// stream through a fully instrumented server — journal on, detection
+// quality on, flight recorder + shard timings on — and through one with
+// every observability surface off. Verdict bytes, detector stats and the
+// checkpoint file must match bit for bit at reactors {1,2} x shards
+// {1,4}; only then is "events are pure reporting" actually proven at the
+// serving boundary.
+TEST(NetObservabilityTest, JournalAndTracePerturbNothing) {
+  const std::vector<DataPoint> points = TenantPoints(0, 500);
+  int combo = 0;
+  for (const std::size_t reactors : {1, 2}) {
+    for (const std::size_t shards : {1, 4}) {
+      SpotServiceConfig on_scfg;
+      on_scfg.num_shards = shards;
+      on_scfg.collect_shard_timings = true;  // journal + quality default on
+      SpotServerConfig on_ncfg;
+      on_ncfg.num_reactors = reactors;
+      on_ncfg.batch_points = 48;
+      on_ncfg.trace_capacity = 512;
+
+      SpotServiceConfig off_scfg;
+      off_scfg.num_shards = shards;
+      off_scfg.journal_capacity = 0;
+      off_scfg.collect_quality = false;
+      SpotServerConfig off_ncfg;
+      off_ncfg.num_reactors = reactors;
+      off_ncfg.batch_points = 48;
+      off_ncfg.trace_capacity = 0;
+
+      const std::string tag_on = "obs_on_" + std::to_string(combo);
+      const std::string tag_off = "obs_off_" + std::to_string(combo);
+      ++combo;
+      std::string ckpt_on, ckpt_off;
+      SpotStats stats_on, stats_off;
+      const std::vector<SpotResult> v_on =
+          ObservedRun(on_scfg, on_ncfg, tag_on.c_str(), points, &ckpt_on,
+                      &stats_on);
+      const std::vector<SpotResult> v_off =
+          ObservedRun(off_scfg, off_ncfg, tag_off.c_str(), points,
+                      &ckpt_off, &stats_off);
+
+      const std::string label = "reactors=" + std::to_string(reactors) +
+                                " shards=" + std::to_string(shards);
+      ASSERT_EQ(v_on.size(), points.size()) << label;
+      EXPECT_EQ(VerdictBytes(v_on), VerdictBytes(v_off)) << label;
+      EXPECT_FALSE(ckpt_on.empty()) << label;
+      EXPECT_EQ(ckpt_on, ckpt_off) << label << ": checkpoint bytes diverge";
+      EXPECT_EQ(stats_on.points_processed, stats_off.points_processed)
+          << label;
+      EXPECT_EQ(stats_on.outliers_detected, stats_off.outliers_detected)
+          << label;
+      EXPECT_EQ(stats_on.evolution_rounds, stats_off.evolution_rounds)
+          << label;
+      EXPECT_EQ(stats_on.os_growth_runs, stats_off.os_growth_runs) << label;
+      EXPECT_EQ(stats_on.drifts_detected, stats_off.drifts_detected)
+          << label;
+    }
+  }
+}
+
+TEST(NetObservabilityTest, TraceDumpOverTheWire) {
+  SpotServiceConfig scfg;
+  scfg.num_shards = 2;
+  scfg.collect_shard_timings = true;
+  SpotServerConfig ncfg;
+  ncfg.batch_points = 48;
+  ncfg.trace_capacity = 1024;
+  TestServer server(scfg, ncfg);
+
+  SpotClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()));
+  ASSERT_TRUE(client.CreateSession("tr", SessionConfig(), TenantTraining(0)))
+      << client.last_error();
+  std::vector<SpotResult> verdicts;
+  ASSERT_TRUE(client.Ingest("tr", TenantPoints(0, 200)));
+  ASSERT_TRUE(client.Flush("tr", &verdicts));
+  ASSERT_EQ(verdicts.size(), 200u);
+
+  std::string json;
+  ASSERT_TRUE(client.TraceDump(&json)) << client.last_error();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"decode\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"process\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"shard_probe\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"encode\""), std::string::npos);
+  EXPECT_NE(json.find("\"session\":\"tr\""), std::string::npos);
+
+  // Batch-id correlation: the process span of some chunk must share its
+  // args.batch value with at least one other stage's span (shard probes
+  // and the encode of the same chunk carry the same id).
+  const std::size_t process = json.find("\"name\":\"process\"");
+  ASSERT_NE(process, std::string::npos);
+  const std::size_t batch_key = json.find("\"batch\":", process);
+  ASSERT_NE(batch_key, std::string::npos);
+  const std::size_t batch_end = json.find_first_of(",}", batch_key);
+  const std::string batch_value =
+      json.substr(batch_key, batch_end - batch_key);
+  EXPECT_NE(batch_value, "\"batch\":0");
+  std::size_t shared = 0;
+  for (std::size_t pos = json.find(batch_value); pos != std::string::npos;
+       pos = json.find(batch_value, pos + 1)) {
+    ++shared;
+  }
+  EXPECT_GE(shared, 2u) << batch_value << " appears only once";
+  server.StopAndJoin();
+}
+
+TEST(NetObservabilityTest, TraceDumpRefusedWhenTracingOff) {
+  SpotServerConfig ncfg;
+  ncfg.trace_capacity = 0;
+  TestServer server(SpotServiceConfig{}, ncfg);
+  SpotClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()));
+  std::string json;
+  EXPECT_FALSE(client.TraceDump(&json));
+  EXPECT_NE(client.last_error().find("tracing"), std::string::npos)
+      << client.last_error();
+  // The refusal is a protocol kError, not a connection loss: the same
+  // client still gets full service.
+  ASSERT_TRUE(client.CreateSession("ok", SessionConfig(), TenantTraining(0)))
+      << client.last_error();
+  std::vector<SpotResult> verdicts;
+  ASSERT_TRUE(client.Ingest("ok", TenantPoints(0, 16)));
+  EXPECT_TRUE(client.Flush("ok", &verdicts));
+  EXPECT_EQ(verdicts.size(), 16u);
+}
+
+std::string FetchPath(int port, const std::string& path) {
+  const int fd = RawConnect(static_cast<std::uint16_t>(port));
+  SendAll(fd, "GET " + path + " HTTP/1.0\r\n\r\n");
+  std::string response;
+  char buf[4096];
+  while (true) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+// The TSan target of the observability tier: HTTP /metrics, /trace and
+// /journal scrapers plus a kStats prober all hammering the server while
+// two tenants stream — every surface reads live reactor / journal /
+// recorder state, so this is where a locking mistake would surface. The
+// verdicts must still be byte-identical to the quiet in-process
+// reference.
+TEST(NetObservabilityTest, ConcurrentScrapeSurfacesUnderLoad) {
+  SpotServiceConfig scfg;
+  scfg.num_shards = 2;
+  scfg.collect_shard_timings = true;
+  SpotServerConfig ncfg;
+  ncfg.num_reactors = 2;
+  ncfg.batch_points = 48;
+  ncfg.trace_capacity = 256;
+  ncfg.metrics_port = 0;
+  TestServer server(scfg, ncfg);
+  ASSERT_GT(server.server().metrics_port(), 0);
+  const int http_port = server.server().metrics_port();
+
+  SpotService reference{SpotServiceConfig{}};
+  std::vector<std::unique_ptr<SpotClient>> clients;
+  for (int t = 0; t < 2; ++t) {
+    const std::string id = "tenant-" + std::to_string(t);
+    clients.push_back(std::make_unique<SpotClient>());
+    ASSERT_TRUE(clients.back()->Connect("127.0.0.1", server.port()));
+    ASSERT_TRUE(clients.back()->CreateSession(id, SessionConfig(),
+                                              TenantTraining(t)))
+        << clients.back()->last_error();
+    ASSERT_TRUE(
+        reference.CreateSession(id, SessionConfig(), TenantTraining(t)));
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> http_hits{0};
+  std::vector<std::thread> scrapers;
+  for (const char* path : {"/metrics", "/trace", "/journal"}) {
+    scrapers.emplace_back([http_port, path, &stop, &http_hits] {
+      while (!stop.load()) {
+        const std::string response = FetchPath(http_port, path);
+        EXPECT_NE(response.find("200 OK"), std::string::npos) << path;
+        ++http_hits;
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    });
+  }
+  scrapers.emplace_back([&server, &stop] {
+    SpotClient probe;
+    ASSERT_TRUE(probe.Connect("127.0.0.1", server.port()));
+    StatsResp resp;
+    std::string trace_json;
+    while (!stop.load()) {
+      ASSERT_TRUE(probe.Stats(&resp)) << probe.last_error();
+      ASSERT_TRUE(probe.TraceDump(&trace_json)) << probe.last_error();
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+
+  for (int t = 0; t < 2; ++t) {
+    const std::string id = "tenant-" + std::to_string(t);
+    const std::vector<DataPoint> points = TenantPoints(t, 500);
+    const std::vector<SpotResult> wire_verdicts = StreamOverWire(
+        *clients[static_cast<std::size_t>(t)], id, points,
+        2000 + static_cast<std::uint64_t>(t));
+    const IngestResult ref = reference.Ingest(id, points);
+    ASSERT_TRUE(ref.ok);
+    ASSERT_EQ(wire_verdicts.size(), points.size());
+    EXPECT_EQ(VerdictBytes(wire_verdicts), VerdictBytes(ref.verdicts))
+        << "session " << id << " diverged under concurrent scraping";
+  }
+  stop.store(true);
+  for (std::thread& t : scrapers) t.join();
+  EXPECT_GT(http_hits.load(), 0);
+
+  // The new HTTP surfaces deliver real content, not just 200s.
+  const std::string trace = FetchPath(http_port, "/trace");
+  EXPECT_NE(trace.find("application/json"), std::string::npos);
+  EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(trace.find("\"name\":\"process\""), std::string::npos);
+  const std::string journal = FetchPath(http_port, "/journal");
+  EXPECT_NE(journal.find("\"shards\""), std::string::npos);
+  EXPECT_NE(journal.find("\"events\""), std::string::npos);
+
+  // The quality sections reached both wire surfaces: per-session labels
+  // in the Prometheus text, SessionQuality entries in kStats.
+  std::string metrics;
+  StatsResp stats;
+  SpotClient probe;
+  ASSERT_TRUE(probe.Connect("127.0.0.1", server.port()));
+  ASSERT_TRUE(ScrapeUntilCount(probe, 1000, &stats)) << probe.last_error();
+  ASSERT_EQ(stats.sessions.size(), 2u);
+  std::uint64_t session_points = 0;
+  for (const SessionQuality& q : stats.sessions) {
+    session_points += q.points;
+    EXPECT_GT(q.tracked_subspaces, 0u) << q.session_id;
+    EXPECT_GT(q.base_cells, 0u) << q.session_id;
+  }
+  EXPECT_EQ(session_points, 1000u);
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    metrics = FetchPath(http_port, "/metrics");
+    if (metrics.find("spot_session_points{session=\"tenant-0\"}") !=
+            std::string::npos &&
+        metrics.find("spot_session_points{session=\"tenant-1\"}") !=
+            std::string::npos) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_EQ(SumSeries(metrics, "spot_session_points"), 1000u);
+  EXPECT_NE(metrics.find("spot_tracked_subspaces{session=\"tenant-0\"}"),
+            std::string::npos);
+  EXPECT_NE(metrics.find("spot_subspace_alarms{session="), std::string::npos);
+  EXPECT_NE(metrics.find("subspace=\"0x"), std::string::npos);
+  EXPECT_NE(metrics.find("spot_rd_margin_x1000_bucket"), std::string::npos);
 
   server.StopAndJoin();
 }

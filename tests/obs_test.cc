@@ -414,6 +414,36 @@ TEST(HttpExporterTest, ServesMetricsAndRejectsUnknownPaths) {
   exporter.Stop();  // idempotent
 }
 
+TEST(HttpExporterTest, AddRouteServesExtraPathsWithOwnContentType) {
+  HttpExporter exporter("127.0.0.1", 0, [] { return std::string("prom"); });
+  exporter.AddRoute("/trace", [] {
+    return std::string("{\"traceEvents\":[]}");
+  });
+  std::string error;
+  ASSERT_TRUE(exporter.Start(&error)) << error;
+
+  // The default renderer answers both / and /metrics.
+  const std::string root = HttpGet(exporter.port(), "GET / HTTP/1.0\r\n\r\n");
+  EXPECT_NE(root.find("200 OK"), std::string::npos);
+  EXPECT_NE(root.find("prom"), std::string::npos);
+
+  const std::string trace =
+      HttpGet(exporter.port(), "GET /trace HTTP/1.0\r\n\r\n");
+  EXPECT_NE(trace.find("200 OK"), std::string::npos);
+  EXPECT_NE(trace.find("application/json"), std::string::npos);
+  EXPECT_NE(trace.find("{\"traceEvents\":[]}"), std::string::npos);
+
+  // Query strings are stripped before the exact-path match; unknown paths
+  // still 404.
+  const std::string with_query =
+      HttpGet(exporter.port(), "GET /trace?pretty=1 HTTP/1.0\r\n\r\n");
+  EXPECT_NE(with_query.find("200 OK"), std::string::npos);
+  const std::string unknown =
+      HttpGet(exporter.port(), "GET /tracer HTTP/1.0\r\n\r\n");
+  EXPECT_NE(unknown.find("404"), std::string::npos);
+  exporter.Stop();
+}
+
 }  // namespace
 }  // namespace obs
 }  // namespace spot

@@ -391,11 +391,37 @@ TEST(CodecTest, RequestTypePredicate) {
   EXPECT_TRUE(
       IsRequestType(static_cast<std::uint8_t>(MsgType::kCreateSession)));
   EXPECT_TRUE(IsRequestType(static_cast<std::uint8_t>(MsgType::kStats)));
+  EXPECT_TRUE(
+      IsRequestType(static_cast<std::uint8_t>(MsgType::kTraceDump)));
   EXPECT_FALSE(IsRequestType(static_cast<std::uint8_t>(MsgType::kOk)));
   EXPECT_FALSE(
       IsRequestType(static_cast<std::uint8_t>(MsgType::kStatsResp)));
+  EXPECT_FALSE(
+      IsRequestType(static_cast<std::uint8_t>(MsgType::kTraceResp)));
   EXPECT_FALSE(IsRequestType(0));
   EXPECT_FALSE(IsRequestType(255));
+}
+
+TEST(FrameTest, TraceDumpRoundTrip) {
+  // The trace request is empty; the response payload is raw Chrome-trace
+  // JSON bytes with no codec of its own — the frame CRC is the integrity
+  // check, and the bytes must survive verbatim (quotes, braces and all).
+  FrameDecoder decoder;
+  Frame frame;
+  const std::string req = EncodeFrame(MsgType::kTraceDump, "");
+  decoder.Append(req.data(), req.size());
+  ASSERT_EQ(decoder.Next(&frame), FrameDecoder::Status::kFrame);
+  EXPECT_EQ(frame.type, MsgType::kTraceDump);
+  EXPECT_TRUE(frame.payload.empty());
+
+  const std::string json =
+      "{\"traceEvents\":[{\"name\":\"process\",\"ph\":\"X\",\"ts\":1,"
+      "\"dur\":2,\"pid\":0,\"tid\":0,\"args\":{\"batch\":7}}]}";
+  const std::string resp = EncodeFrame(MsgType::kTraceResp, json);
+  decoder.Append(resp.data(), resp.size());
+  ASSERT_EQ(decoder.Next(&frame), FrameDecoder::Status::kFrame);
+  EXPECT_EQ(frame.type, MsgType::kTraceResp);
+  EXPECT_EQ(frame.payload, json);
 }
 
 TEST(CodecTest, StatsRoundTrip) {
@@ -445,6 +471,94 @@ TEST(CodecTest, StatsRoundTrip) {
   // Trailing junk is rejected too.
   StatsResp scratch;
   EXPECT_FALSE(DecodeStats(wire + "x", &scratch));
+}
+
+TEST(CodecTest, StatsSessionQualityRoundTrip) {
+  // v2: the stats payload carries per-session detection-quality sections
+  // after the reactor/service snapshots. Histograms and the capped
+  // per-subspace rows must round-trip exactly, and truncating anywhere
+  // inside the new tail must fail cleanly like the v1 sections.
+  StatsResp resp;
+  resp.sessions_handed_off = 1;
+  resp.reactors = {obs::MetricsSnapshot()};
+  SessionQuality q;
+  q.session_id = "lg-0";
+  q.points = 5000;
+  q.alarms = 123;
+  q.tracked_subspaces = 9;
+  q.base_cells = 456;
+  q.slab_slots = 1024;
+  q.free_slots = 16;
+  q.compactions = 3;
+  q.cells_reclaimed = 77;
+  for (int i = 1; i <= 50; ++i) q.rd_margin.Record(i * 40.0);
+  q.irsd_margin.Record(999.0);
+  SubspaceQuality sub;
+  sub.subspace_bits = 0b1011;
+  sub.points = 5000;
+  sub.alarms = 100;
+  q.subspaces.push_back(sub);
+  sub.subspace_bits = 0b0100;
+  sub.alarms = 23;
+  q.subspaces.push_back(sub);
+  resp.sessions.push_back(q);
+  SessionQuality empty_q;  // a session that alarmed on nothing yet
+  empty_q.session_id = "idle";
+  resp.sessions.push_back(empty_q);
+
+  StatsResp decoded;
+  ASSERT_TRUE(DecodeStats(EncodeStats(resp), &decoded));
+  ASSERT_EQ(decoded.sessions.size(), 2u);
+  const SessionQuality& got = decoded.sessions[0];
+  EXPECT_EQ(got.session_id, "lg-0");
+  EXPECT_EQ(got.points, 5000u);
+  EXPECT_EQ(got.alarms, 123u);
+  EXPECT_EQ(got.tracked_subspaces, 9u);
+  EXPECT_EQ(got.base_cells, 456u);
+  EXPECT_EQ(got.slab_slots, 1024u);
+  EXPECT_EQ(got.free_slots, 16u);
+  EXPECT_EQ(got.compactions, 3u);
+  EXPECT_EQ(got.cells_reclaimed, 77u);
+  EXPECT_EQ(got.rd_margin, q.rd_margin);
+  EXPECT_EQ(got.irsd_margin, q.irsd_margin);
+  ASSERT_EQ(got.subspaces.size(), 2u);
+  EXPECT_EQ(got.subspaces[0].subspace_bits, 0b1011u);
+  EXPECT_EQ(got.subspaces[0].alarms, 100u);
+  EXPECT_EQ(got.subspaces[1].subspace_bits, 0b0100u);
+  EXPECT_EQ(decoded.sessions[1].session_id, "idle");
+  EXPECT_EQ(decoded.sessions[1].rd_margin.count(), 0u);
+
+  const std::string wire = EncodeStats(resp);
+  for (std::size_t cut = 0; cut < wire.size(); cut += 5) {
+    StatsResp scratch;
+    EXPECT_FALSE(DecodeStats(wire.substr(0, cut), &scratch)) << cut;
+  }
+  StatsResp scratch;
+  EXPECT_FALSE(DecodeStats(wire + "x", &scratch));
+}
+
+TEST(CodecTest, HostileSessionCountsDoNotAllocate) {
+  // A stats tail claiming 4G sessions (or 4G subspace rows inside one
+  // session) in a handful of bytes must be rejected by the size bound
+  // before any proportional allocation — same discipline as the v1
+  // reactor/instrument counts.
+  WireWriter w;
+  w.U64(0);            // handoffs
+  w.U32(0);            // reactors
+  w.U32(0);            // services
+  w.U32(0xFFFFFFFFu);  // "session count"
+  StatsResp scratch;
+  EXPECT_FALSE(DecodeStats(w.bytes(), &scratch));
+
+  StatsResp one;
+  one.sessions.emplace_back();
+  one.sessions.back().session_id = "s";
+  std::string wire = EncodeStats(one);
+  // The session's trailing subspace count is the last u32: rewrite it.
+  WireWriter tail;
+  tail.U32(0xFFFFFFFFu);
+  wire.replace(wire.size() - 4, 4, tail.bytes());
+  EXPECT_FALSE(DecodeStats(wire, &scratch));
 }
 
 TEST(CodecTest, HostileStatsCountsDoNotAllocate) {

@@ -1,0 +1,129 @@
+// Tests of the flight recorder (src/obs/trace.h, DESIGN.md Section 10):
+// ring wraparound with the reactor id stamped on entry, oldest-first
+// snapshots, and the Chrome-trace JSON rendering — complete "X" events,
+// shard-probe lanes on tid 1000+shard, batch-id correlation keys shared
+// across stages, and JSON-safe session names.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/trace.h"
+
+namespace spot {
+namespace obs {
+namespace {
+
+TraceEvent Span(TraceStage stage, std::uint64_t ts, std::uint64_t dur,
+                std::uint64_t batch = 0, const std::string& session = "") {
+  TraceEvent e;
+  e.stage = stage;
+  e.ts_us = ts;
+  e.dur_us = dur;
+  e.batch_id = batch;
+  e.points = dur;  // arbitrary but distinct per span
+  e.session = session;
+  return e;
+}
+
+// ---------------------------------------------------------------- recorder --
+
+TEST(TraceRecorderTest, StampsReactorAndWrapsOldestFirst) {
+  TraceRecorder rec(4, /*reactor=*/3);
+  EXPECT_EQ(rec.capacity(), 4u);
+  EXPECT_EQ(rec.reactor(), 3u);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    rec.Record(Span(TraceStage::kProcess, i, 1));
+  }
+  EXPECT_EQ(rec.dropped(), 6u);
+  const std::vector<TraceEvent> snap = rec.Snapshot();
+  ASSERT_EQ(snap.size(), 4u);
+  for (std::size_t i = 0; i < snap.size(); ++i) {
+    EXPECT_EQ(snap[i].ts_us, 6 + i);  // the newest window, oldest first
+    EXPECT_EQ(snap[i].reactor, 3u);   // stamped by Record, not the caller
+  }
+}
+
+TEST(TraceRecorderTest, ZeroCapacityDegradesToOne) {
+  // The recorder is only constructed when tracing is on, but a zero from a
+  // future config path must not divide by zero in the ring arithmetic.
+  TraceRecorder rec(0);
+  rec.Record(Span(TraceStage::kDecode, 1, 1));
+  rec.Record(Span(TraceStage::kDecode, 2, 1));
+  EXPECT_EQ(rec.capacity(), 1u);
+  ASSERT_EQ(rec.Snapshot().size(), 1u);
+  EXPECT_EQ(rec.Snapshot()[0].ts_us, 2u);
+}
+
+// ------------------------------------------------------------ chrome trace --
+
+TEST(RenderChromeTraceTest, EmitsCompleteEventsWithStageNames) {
+  TraceRecorder rec(16, /*reactor=*/1);
+  rec.Record(Span(TraceStage::kDecode, 10, 2));
+  rec.Record(Span(TraceStage::kProcess, 20, 5, /*batch=*/77, "lg-0"));
+  TraceEvent probe = Span(TraceStage::kShardProbe, 21, 3, 77, "lg-0");
+  probe.shard = 2;
+  rec.Record(probe);
+
+  const std::string json = RenderChromeTrace({rec.Snapshot()});
+  EXPECT_EQ(json.find("{\"traceEvents\":["), 0u);
+  EXPECT_EQ(json.rfind("]}"), json.size() - 2);
+  EXPECT_NE(json.find("\"name\":\"decode\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"process\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"shard_probe\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":20,\"dur\":5"), std::string::npos);
+  EXPECT_NE(json.find("\"session\":\"lg-0\""), std::string::npos);
+  // Reactor-thread spans: pid = tid = reactor. Shard probes get their own
+  // lane under the same pid.
+  EXPECT_NE(json.find("\"pid\":1,\"tid\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":1,\"tid\":1002"), std::string::npos);
+  EXPECT_NE(json.find("\"shard\":2"), std::string::npos);
+}
+
+TEST(RenderChromeTraceTest, BatchIdCorrelatesStages) {
+  // The serving pipeline gives process, shard_probe and encode spans of
+  // one coalesced chunk the same batch id; the renderer must carry it
+  // into args.batch verbatim so a Perfetto query can join the stages.
+  TraceRecorder rec(16, 0);
+  const std::uint64_t batch = (7ull << 48) | 42;  // reactor 7, seq 42
+  rec.Record(Span(TraceStage::kProcess, 1, 4, batch, "s"));
+  TraceEvent probe = Span(TraceStage::kShardProbe, 1, 2, batch, "s");
+  probe.shard = 0;
+  rec.Record(probe);
+  rec.Record(Span(TraceStage::kEncode, 5, 1, batch, "s"));
+  rec.Record(Span(TraceStage::kWrite, 6, 1));  // connection-scoped: batch 0
+
+  const std::string json = RenderChromeTrace({rec.Snapshot()});
+  const std::string key = "\"batch\":" + std::to_string(batch);
+  std::size_t hits = 0;
+  for (std::size_t pos = json.find(key); pos != std::string::npos;
+       pos = json.find(key, pos + 1)) {
+    ++hits;
+  }
+  EXPECT_EQ(hits, 3u);
+  EXPECT_NE(json.find("\"batch\":0"), std::string::npos);
+}
+
+TEST(RenderChromeTraceTest, MergesRecordersAndEscapesSessions) {
+  TraceRecorder r0(4, 0);
+  TraceRecorder r1(4, 1);
+  r0.Record(Span(TraceStage::kDecode, 1, 1));
+  r1.Record(Span(TraceStage::kWrite, 2, 1, 0, "we\"ird\\name"));
+
+  const std::string json =
+      RenderChromeTrace({r0.Snapshot(), r1.Snapshot()});
+  EXPECT_NE(json.find("\"pid\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":1"), std::string::npos);
+  EXPECT_NE(json.find("we\\\"ird\\\\name"), std::string::npos);
+
+  // Empty input is still a valid document.
+  EXPECT_EQ(RenderChromeTrace({}), "{\"traceEvents\":[]}");
+  EXPECT_EQ(RenderChromeTrace({{}}), "{\"traceEvents\":[]}");
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace spot

@@ -11,7 +11,12 @@
 //                [--training T] [--shards S] [--reactors R]
 //                [--session-prefix lg] [--csv FILE] [--skip K] [--resume]
 //                [--keep-open] [--verify] [--spawn-server]
-//                [--checkpoint-dir DIR] [--json OUT]
+//                [--checkpoint-dir DIR] [--json OUT] [--trace-out FILE]
+//
+// --trace-out FILE pulls the server's flight recorder after the run (a
+// kTraceDump round trip on a dedicated connection) and writes the
+// Chrome-trace JSON to FILE — load it in Perfetto or chrome://tracing.
+// Skipped gracefully against servers without tracing.
 //
 // Each of the C connections owns one session ("<prefix>-<c>") and streams
 // N points in ingest batches of B, flushing every F batches (the flush is
@@ -40,6 +45,7 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <sys/stat.h>
@@ -47,6 +53,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "common/log.h"
 #include "common/timer.h"
 #include "core/detector.h"
 #include "eval/presets.h"
@@ -81,6 +88,7 @@ struct Flags {
   bool verify = false;
   bool spawn_server = false;
   std::string checkpoint_dir;
+  std::string trace_out;
 };
 
 /// The session config: derived only from the flags, so a --resume run
@@ -345,6 +353,34 @@ void ScrapeServerStats(const Flags& flags, std::uint16_t port,
   json->Print(table, "SERVER: pipeline stage latency (scraped)");
 }
 
+/// --trace-out: pulls the server's flight recorder over the wire (a
+/// kTraceDump round trip on its own connection, like the stats scrape)
+/// and writes the Chrome-trace JSON to `path`. A server with tracing
+/// disabled answers kError; a pre-trace server closes the connection —
+/// both skip with a message instead of failing the run.
+void DumpServerTrace(const Flags& flags, std::uint16_t port,
+                     const std::string& path) {
+  spot::net::SpotClient client;
+  if (!client.Connect(flags.host, port)) {
+    std::printf("trace dump: skipped (%s)\n", client.last_error().c_str());
+    return;
+  }
+  std::string trace_json;
+  if (!client.TraceDump(&trace_json)) {
+    std::printf("trace dump: unsupported by this server (%s)\n",
+                client.last_error().c_str());
+    return;
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out || !out.write(trace_json.data(),
+                         static_cast<std::streamsize>(trace_json.size()))) {
+    SPOT_LOG(Error) << "cannot write trace to " << path;
+    return;
+  }
+  std::printf("trace dumped to %s (%zu bytes)\n", path.c_str(),
+              trace_json.size());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -378,10 +414,11 @@ int main(int argc, char** argv) {
   flags.verify = ex::TakeBoolFlag(&args, "verify");
   flags.spawn_server = ex::TakeBoolFlag(&args, "spawn-server");
   flags.checkpoint_dir = ex::TakeStringFlag(&args, "checkpoint-dir", "");
+  flags.trace_out = ex::TakeStringFlag(&args, "trace-out", "");
   // Swallow the reporter's flag, already parsed from argv.
   ex::TakeStringFlag(&args, "json", "");
   if (!args.empty()) {
-    std::fprintf(stderr, "unknown argument '%s'\n", args.front().c_str());
+    SPOT_LOG(Error) << "unknown argument '" << args.front() << "'";
     return 2;
   }
 
@@ -390,8 +427,8 @@ int main(int argc, char** argv) {
   if (use_csv) {
     csv = spot::stream::LoadCsvFile(flags.csv);
     if (csv.rows.size() <= flags.training) {
-      std::fprintf(stderr, "%s: need more than %zu rows\n",
-                   flags.csv.c_str(), flags.training);
+      SPOT_LOG(Error) << flags.csv << ": need more than " << flags.training
+                      << " rows";
       return 2;
     }
   }
@@ -408,12 +445,15 @@ int main(int argc, char** argv) {
     if (!scfg.checkpoint_dir.empty()) {
       ::mkdir(scfg.checkpoint_dir.c_str(), 0755);
     }
+    // Shard-probe trace lanes cost two clock reads per shard per batch, so
+    // collect them only when a dump is actually requested.
+    scfg.collect_shard_timings = !flags.trace_out.empty();
     spot::net::SpotServerConfig ncfg;
     ncfg.port = 0;
     ncfg.num_reactors = flags.reactors;
     server = std::make_unique<spot::net::SpotServer>(scfg, ncfg);
     if (!server->Start()) {
-      std::fprintf(stderr, "cannot start in-process server\n");
+      SPOT_LOG(Error) << "cannot start in-process server";
       return 1;
     }
     port = server->port();
@@ -443,6 +483,9 @@ int main(int argc, char** argv) {
   std::size_t sent_total = 0;
   for (const WorkerResult& r : results) sent_total += r.points_sent;
   ScrapeServerStats(flags, port, sent_total, &json);
+  if (!flags.trace_out.empty()) {
+    DumpServerTrace(flags, port, flags.trace_out);
+  }
 
   if (server != nullptr) {
     server->Stop();
@@ -462,8 +505,7 @@ int main(int argc, char** argv) {
   for (std::size_t c = 0; c < results.size(); ++c) {
     const WorkerResult& r = results[c];
     if (!r.ok) {
-      std::fprintf(stderr, "connection %zu failed: %s\n", c,
-                   r.error.c_str());
+      SPOT_LOG(Error) << "connection " << c << " failed: " << r.error;
       all_ok = false;
     }
     all_verified &= r.verified;

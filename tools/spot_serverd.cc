@@ -4,14 +4,21 @@
 //                [--reactors N] [--shards N] [--max-resident N]
 //                [--batch N] [--no-reuseport] [--no-epoll]
 //                [--metrics-port P] [--stats-interval SECS]
-//                [--slow-batch-ms MS]
+//                [--slow-batch-ms MS] [--log-level LEVEL]
+//                [--trace-capacity N] [--trace-file PATH]
 //
-// Observability (DESIGN.md Section 9): --metrics-port serves the live
-// Prometheus text scrape on a dedicated thread (0 = ephemeral port; the
-// bound port is printed as "metrics on <addr>:<port>"); --stats-interval
-// logs a merged per-interval summary line to stdout; --slow-batch-ms
-// warns on any engine batch slower than MS milliseconds (0 disables,
-// default 250).
+// Observability (DESIGN.md Sections 9-10): --metrics-port serves the
+// live Prometheus text scrape — plus GET /trace (Chrome-trace JSON) and
+// GET /journal (detector event journal) — on a dedicated thread (0 =
+// ephemeral port; the bound port is printed as "metrics on
+// <addr>:<port>"); --stats-interval logs a merged per-interval summary
+// line to stdout; --slow-batch-ms warns on any engine batch slower than
+// MS milliseconds (0 disables, default 250); --log-level picks the
+// minimum emitted severity (debug|info|warning|error, default info
+// here — the library default is warning); --trace-capacity sizes the
+// per-reactor flight-recorder rings (0 disables tracing, default 2048);
+// SIGUSR2 dumps the flight recorder to --trace-file (default
+// spot_trace.json) without disturbing the ingest pipeline.
 //
 // Hosts --reactors event-loop shards (default: min(hardware cores, 8)),
 // each with its own SpotService (N-shard fork-join pool per service)
@@ -28,17 +35,33 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
 #include <sys/stat.h>
 #include <thread>
 #include <vector>
 
+#include "common/log.h"
 #include "examples/example_flags.h"
 #include "net/spot_server.h"
 #include "obs/exposition.h"
 #include "service/spot_service.h"
 
 namespace {
+
+/// Parses --log-level values; unknown text keeps `fallback`.
+spot::LogLevel ParseLogLevel(const std::string& text,
+                             spot::LogLevel fallback) {
+  if (text == "debug") return spot::LogLevel::kDebug;
+  if (text == "info") return spot::LogLevel::kInfo;
+  if (text == "warning") return spot::LogLevel::kWarning;
+  if (text == "error") return spot::LogLevel::kError;
+  if (!text.empty()) {
+    SPOT_LOG(Warning) << "unknown --log-level '" << text
+                      << "' (want debug|info|warning|error)";
+  }
+  return fallback;
+}
 
 std::size_t DefaultReactors() {
   // hardware_concurrency() may legitimately report 0 (unknown).
@@ -94,21 +117,33 @@ int main(int argc, char** argv) {
       spot::examples::TakeStringFlag(&args, "slow-batch-ms");
   ncfg.slow_batch_warn_ms =
       slow_ms_text.empty() ? 250.0 : std::atof(slow_ms_text.c_str());
+  ncfg.trace_capacity =
+      spot::examples::TakeSizeFlag(&args, "trace-capacity", 2048);
+  const std::string trace_file = spot::examples::TakeStringFlag(
+      &args, "trace-file", "spot_trace.json");
   const std::size_t stats_interval =
       spot::examples::TakeSizeFlag(&args, "stats-interval", 0);
+  // A server is interactive enough to default chattier than the library's
+  // kWarning: startup/shutdown landmarks come through SPOT_LOG(Info).
+  spot::SetLogLevel(
+      ParseLogLevel(spot::examples::TakeStringFlag(&args, "log-level"),
+                    spot::LogLevel::kInfo));
 
   if (!args.empty()) {
-    std::fprintf(stderr, "unknown argument '%s'\n", args.front().c_str());
+    SPOT_LOG(Error) << "unknown argument '" << args.front() << "'";
     return 2;
   }
   if (!scfg.checkpoint_dir.empty()) {
     ::mkdir(scfg.checkpoint_dir.c_str(), 0755);
   }
+  // Shard-probe lanes ride the flight recorder; collecting them without
+  // it would pay two clock reads per shard per batch for nothing.
+  scfg.collect_shard_timings = ncfg.trace_capacity > 0;
 
   spot::net::SpotServer server(scfg, ncfg);
   if (!server.Start()) {
-    std::fprintf(stderr, "cannot listen on %s:%u\n",
-                 ncfg.bind_address.c_str(), ncfg.port);
+    SPOT_LOG(Error) << "cannot listen on " << ncfg.bind_address << ":"
+                    << ncfg.port;
     return 1;
   }
   spot::net::SpotServer::InstallSignalHandlers(&server);
@@ -144,8 +179,33 @@ int main(int argc, char** argv) {
     });
   }
 
+  // SIGUSR2 trace dumps: the signal handler only latches a flag; this
+  // watcher renders the flight recorder and writes the Chrome-trace file
+  // outside signal context, far from the reactors' loops.
+  std::thread tracer;
+  if (ncfg.trace_capacity > 0) {
+    tracer = std::thread([&server, trace_file] {
+      while (!server.stopping()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(200));
+        if (!spot::net::SpotServer::TraceRequested()) continue;
+        const std::string json = server.TraceJson();
+        std::ofstream out(trace_file,
+                          std::ios::binary | std::ios::trunc);
+        if (out && out.write(json.data(),
+                             static_cast<std::streamsize>(json.size()))) {
+          std::printf("trace dumped to %s (%zu bytes)\n",
+                      trace_file.c_str(), json.size());
+          std::fflush(stdout);
+        } else {
+          SPOT_LOG(Error) << "cannot write trace to " << trace_file;
+        }
+      }
+    });
+  }
+
   server.Run();  // until SIGTERM/SIGINT; drains + checkpoints on the way out
   if (dumper.joinable()) dumper.join();
+  if (tracer.joinable()) tracer.join();
 
   // Shutdown summary: one line per reactor, then the total, then the
   // service-side aggregates across all shards.
