@@ -120,6 +120,7 @@ int main(int argc, char** argv) {
   std::vector<spot::SpotResult> wire_verdicts;
   std::vector<spot::SpotResult> local_verdicts;
   std::size_t alarms = 0;
+  bool fed = false;
   for (std::size_t i = 0; i < stream.size(); i += batch) {
     const std::size_t n = std::min(batch, stream.size() - i);
     const std::vector<spot::DataPoint> chunk(
@@ -132,6 +133,48 @@ int main(int argc, char** argv) {
     const auto expected = reference.ProcessBatch(chunk);
     local_verdicts.insert(local_verdicts.end(), expected.begin(),
                           expected.end());
+
+    // Halfway through: the wire-v3 query/feedback plane (DESIGN.md
+    // Section 11). Ask the server for the worst outliers of the stream so
+    // far — the query's batch-boundary barrier flushes the pipelined
+    // ingest first — and label them back as a supervised feedback round.
+    // Both calls return the uniform RpcStatus shape: branch on the
+    // machine-readable code, never on message text. The round is mirrored
+    // on the reference detector so the final comparison still holds.
+    if (!fed && i + n >= stream.size() / 2) {
+      fed = true;
+      std::vector<spot::TopKEntry> top;
+      const spot::net::RpcStatus query = client.TopK("sensors", 5, &top);
+      if (!query.ok) {
+        std::fprintf(stderr, "top-k [%s]: %s\n",
+                     spot::net::ErrorCodeName(query.code),
+                     query.cause.c_str());
+        return 1;
+      }
+      std::printf("top-%zu outliers after %zu points:\n", top.size(), i + n);
+      for (const spot::TopKEntry& e : top) {
+        std::printf("  point %llu: decayed score %.4f, %zu outlying "
+                    "subspace(s)\n",
+                    static_cast<unsigned long long>(e.point_id),
+                    e.decayed_score, e.findings.size());
+      }
+      std::vector<std::uint64_t> ids;
+      for (const spot::TopKEntry& e : top) ids.push_back(e.point_id);
+      if (!ids.empty()) {
+        const spot::net::RpcStatus fb = client.Feedback("sensors", ids, {});
+        std::string ref_error;
+        const bool ref_ok = reference.ApplyFeedback(ids, {}, &ref_error);
+        if (fb.ok != ref_ok) {
+          std::fprintf(stderr, "feedback diverged: wire %s, local %s\n",
+                       fb.ok ? "ok" : fb.cause.c_str(),
+                       ref_ok ? "ok" : ref_error.c_str());
+          return 1;
+        }
+        std::printf("feedback round: %s\n",
+                    fb.ok ? "applied (supervised SST growth)"
+                          : fb.cause.c_str());
+      }
+    }
   }
   if (!client.Flush("sensors", &wire_verdicts)) {
     std::fprintf(stderr, "flush: %s\n", client.last_error().c_str());

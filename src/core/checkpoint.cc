@@ -17,7 +17,10 @@ namespace {
 // "SPOTCKP1" / "SPOTEND1" as little-endian u64s.
 constexpr std::uint64_t kHeaderMagic = 0x31504B43544F5053ULL;
 constexpr std::uint64_t kTrailerMagic = 0x31444E45544F5053ULL;
-constexpr std::uint8_t kFormatVersion = 1;
+// v2 added topk_capacity to the config, feedback_rounds to the stats and
+// the top-k retention section after the synapses (PR 9). Strict equality
+// stays the rule: v1 images are rejected, not migrated.
+constexpr std::uint8_t kFormatVersion = 2;
 
 }  // namespace
 
@@ -199,6 +202,7 @@ void WriteConfigBinary(CheckpointWriter& w, const SpotConfig& c) {
   w.Bool(c.relearn_on_drift);
   w.F64(c.prune_threshold);
   w.U64(c.compaction_period);
+  w.U64(c.topk_capacity);
   w.U64(c.num_shards);
   w.U64(c.seed);
 }
@@ -240,6 +244,7 @@ bool ReadConfigBinary(CheckpointReader& r, SpotConfig* config) {
   c.relearn_on_drift = r.Bool();
   c.prune_threshold = r.F64();
   c.compaction_period = r.U64();
+  c.topk_capacity = r.U64();
   c.num_shards = r.U64();
   c.seed = r.U64();
   if (!r.ok()) return false;
@@ -277,6 +282,7 @@ bool SpotDetector::SaveState(std::ostream& out) const {
     w.U64(stats_.evolution_rounds);
     w.U64(stats_.os_growth_runs);
     w.U64(stats_.drifts_detected);
+    w.U64(stats_.feedback_rounds);
     w.U64(stats_.batches_processed);
 
     rng_.SaveState(w);
@@ -284,6 +290,7 @@ bool SpotDetector::SaveState(std::ostream& out) const {
     drift_.SaveState(w);
     sst_.SaveState(w);
     synapses_->SaveState(w);
+    topk_.SaveState(w);
   }
   w.U64(kTrailerMagic);
   out.flush();
@@ -300,6 +307,7 @@ bool SpotDetector::LoadState(std::istream& in) {
   partition_.reset();
   tracked_cache_.clear();
   pcs_cache_.clear();
+  topk_.Clear();
   stats_ = SpotStats{};
   tick_ = 0;
   outliers_since_os_update_ = 0;
@@ -319,6 +327,10 @@ bool SpotDetector::LoadState(std::istream& in) {
   sst_ = Sst(config_.cs_capacity, config_.os_capacity);
   reservoir_ = ReservoirSample(config_.reservoir_capacity,
                                config_.seed ^ 0xABCDEF);
+  topk_ = TopKOutliers(config_.topk_capacity,
+                       config_.use_decay
+                           ? DecayModel(config_.omega, config_.epsilon)
+                           : DecayModel::None());
   drift_ = PageHinkley(config_.drift_delta, config_.drift_lambda);
 
   const bool was_learned = r.Bool();
@@ -346,6 +358,7 @@ bool SpotDetector::LoadState(std::istream& in) {
     stats_.evolution_rounds = r.U64();
     stats_.os_growth_runs = r.U64();
     stats_.drifts_detected = r.U64();
+    stats_.feedback_rounds = r.U64();
     stats_.batches_processed = r.U64();
 
     if (!rng_.LoadState(r) ||
@@ -372,6 +385,11 @@ bool SpotDetector::LoadState(std::istream& in) {
                           : DecayModel::None(),
         config_.prune_threshold, config_.compaction_period);
     if (!synapses_->LoadState(r)) {
+      synapses_.reset();
+      partition_.reset();
+      return false;
+    }
+    if (!topk_.LoadState(r)) {
       synapses_.reset();
       partition_.reset();
       return false;

@@ -13,11 +13,22 @@
 
 namespace spot {
 
+namespace {
+
+/// The decay model the top-k retention shares with the data synapses.
+DecayModel TopKDecay(const SpotConfig& config) {
+  return config.use_decay ? DecayModel(config.omega, config.epsilon)
+                          : DecayModel::None();
+}
+
+}  // namespace
+
 SpotDetector::SpotDetector(const SpotConfig& config)
     : config_(config),
       rng_(config.seed),
       sst_(config.cs_capacity, config.os_capacity),
       reservoir_(config.reservoir_capacity, config.seed ^ 0xABCDEF),
+      topk_(config.topk_capacity, TopKDecay(config)),
       drift_(config.drift_delta, config.drift_lambda) {}
 
 SpotDetector::~SpotDetector() = default;
@@ -109,6 +120,7 @@ bool SpotDetector::Learn(const std::vector<std::vector<double>>& training_data,
   // OS-growth cadence or accumulated drift signal may carry across.
   stats_ = SpotStats{};
   outliers_since_os_update_ = 0;
+  topk_ = TopKOutliers(config_.topk_capacity, TopKDecay(config_));
   drift_ = PageHinkley(config_.drift_delta, config_.drift_lambda);
   SyncTrackedSubspaces();
   tick_ = 0;
@@ -287,15 +299,29 @@ SpotResult SpotDetector::ProcessOne(const DataPoint& point) {
   result.is_outlier = !result.findings.empty();
   result.score = Clamp(1.0 - min_rd, 0.0, 1.0);
 
-  ApplyPointSideEffects(point.values, result);
+  ApplyPointSideEffects(point.id, tick_ - 1, point.values, result);
   return result;
 }
 
-void SpotDetector::ApplyPointSideEffects(const std::vector<double>& values,
+void SpotDetector::ApplyPointSideEffects(std::uint64_t point_id,
+                                         std::uint64_t tick,
+                                         const std::vector<double>& values,
                                          const SpotResult& result) {
   ++stats_.points_processed;
   if (result.is_outlier) {
     ++stats_.outliers_detected;
+    // Retain for top-k queries and feedback-by-id before any growth runs:
+    // retention is a pure function of the verdict, not of what OS growth
+    // does with it.
+    if (topk_.capacity() != 0) {
+      TopKEntry entry;
+      entry.point_id = point_id;
+      entry.tick = tick;
+      entry.score = result.score;
+      entry.values = values;
+      entry.findings = result.findings;
+      topk_.Offer(std::move(entry));
+    }
     // 3. OS growth: the detected outlier's top sparse subspaces join OS.
     if (config_.os_update_every != 0 &&
         ++outliers_since_os_update_ >= config_.os_update_every) {
@@ -349,6 +375,60 @@ void SpotDetector::GrowOutlierDriven(const std::vector<double>& values) {
     sst_.AddOutlierDriven(ss.subspace, ss.score);
   }
   SyncTrackedSubspaces();
+}
+
+bool SpotDetector::ApplyFeedback(
+    const std::vector<std::uint64_t>& point_ids,
+    const std::vector<std::vector<double>>& examples, std::string* error) {
+  const auto fail = [error](std::string msg) {
+    if (error != nullptr) *error = std::move(msg);
+    return false;
+  };
+  // Every failure path returns before the RNG draw below, so a refused
+  // round leaves the verdict stream untouched — and both the wire and the
+  // in-process reference refuse for the same reason at the same position.
+  if (!learned()) return fail("feedback before a successful Learn()");
+  if (point_ids.empty() && examples.empty()) {
+    return fail("feedback carries no labels");
+  }
+  const std::size_t dims = static_cast<std::size_t>(partition_->num_dims());
+  DomainKnowledge knowledge;
+  knowledge.outlier_examples.reserve(point_ids.size() + examples.size());
+  for (std::uint64_t id : point_ids) {
+    const std::vector<double>* values = topk_.Values(id);
+    if (values == nullptr) {
+      return fail("point id " + std::to_string(id) +
+                  " is not retained in the top-k window");
+    }
+    knowledge.outlier_examples.push_back(*values);
+  }
+  for (const auto& example : examples) {
+    if (example.size() != dims) {
+      return fail("labeled example has " + std::to_string(example.size()) +
+                  " attributes; the stream has " + std::to_string(dims));
+    }
+    knowledge.outlier_examples.push_back(example);
+  }
+  if (reservoir_.size() < 8) {
+    return fail("reservoir too small to learn from feedback");
+  }
+
+  // Same supervised learner as Learn()'s expert-knowledge branch, run
+  // against the reservoir's stand-in for recent data.
+  SupervisedConfig scfg = config_.supervised;
+  scfg.moga.num_dims = partition_->num_dims();
+  scfg.moga.max_dimension =
+      std::min(scfg.moga.max_dimension, scfg.moga.num_dims);
+  for (const auto& ss : LearnOutlierDrivenSubspaces(
+           reservoir_.Items(), *partition_, knowledge, scfg,
+           rng_.NextUint64())) {
+    sst_.AddOutlierDriven(ss.subspace, ss.score);
+  }
+  SyncTrackedSubspaces();
+  ++stats_.feedback_rounds;
+  Emit(DetectorEventKind::kFeedbackApplied, knowledge.outlier_examples.size(),
+       static_cast<double>(stats_.feedback_rounds));
+  return true;
 }
 
 void SpotDetector::RunSelfEvolution() {

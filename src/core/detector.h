@@ -11,8 +11,10 @@
 #include "common/rng.h"
 #include "core/detector_events.h"
 #include "core/drift_detector.h"
+#include "core/finding.h"
 #include "core/reservoir.h"
 #include "core/spot_config.h"
+#include "core/topk_outliers.h"
 #include "grid/pcs.h"
 #include "grid/synapse_manager.h"
 #include "learning/sst.h"
@@ -36,11 +38,8 @@ struct ShardSpan {
   std::uint64_t dur_us = 0;
 };
 
-/// One subspace in which a point was found outlying, with the PCS evidence.
-struct SubspaceFinding {
-  Subspace subspace;
-  Pcs pcs;
-};
+// SubspaceFinding lives in core/finding.h (included above) so the top-k
+// retention structure can share it without a header cycle.
 
 /// Verdict of SPOT on one streaming point: the label plus the outlying
 /// subspace(s) — "the context where these projected outliers exist"
@@ -61,6 +60,10 @@ struct SpotStats {
   std::uint64_t evolution_rounds = 0;
   std::uint64_t os_growth_runs = 0;
   std::uint64_t drifts_detected = 0;
+  /// ApplyFeedback rounds that reached the supervised learner (part of the
+  /// deterministic detector state: each round consumes one RNG draw, so the
+  /// count is checkpointed alongside the RNG stream).
+  std::uint64_t feedback_rounds = 0;
 
   /// Wall-clock seconds spent inside Process()/ProcessBatch() since
   /// Learn(), and the number of ProcessBatch() calls completed. These are
@@ -138,6 +141,29 @@ class SpotDetector {
   std::vector<SpotResult> ProcessBatch(
       const std::vector<std::vector<double>>& batch);
 
+  /// Supervised feedback entry point (the wire kFeedback request lands
+  /// here): labels previously seen points by id — resolved against the
+  /// top-k retention window — and/or submits fresh labeled outlier
+  /// examples, then routes them through the supervised outlier-driven
+  /// learner against the reservoir sample and grows OS with the result.
+  /// Must be called at a batch boundary (never mid-batch): each successful
+  /// round consumes one RNG draw, so call order relative to Process()
+  /// determines all subsequent verdicts. Returns false without touching
+  /// any state (or the RNG stream) when the detector is unlearned, no
+  /// labels were given, an id is not retained, an example's width does not
+  /// match the stream, or the reservoir is still too small; `error` (may
+  /// be nullptr) then names the problem.
+  bool ApplyFeedback(const std::vector<std::uint64_t>& point_ids,
+                     const std::vector<std::vector<double>>& examples,
+                     std::string* error = nullptr);
+
+  /// Up to k worst outliers in the current (omega, epsilon) window, best
+  /// first, with decayed scores stamped at the current tick. Const: query
+  /// timing can never perturb detection state.
+  std::vector<TopKEntry> QueryTopK(std::size_t k) const {
+    return topk_.Query(k, tick_);
+  }
+
   bool learned() const { return synapses_ != nullptr; }
   /// Attribute count the detector was trained on (0 before Learn()).
   /// Callers feeding externally sourced points (e.g. the network ingest
@@ -150,6 +176,7 @@ class SpotDetector {
   const SpotStats& stats() const { return stats_; }
   const SpotConfig& config() const { return config_; }
   const ReservoirSample& reservoir() const { return reservoir_; }
+  const TopKOutliers& topk() const { return topk_; }
 
   /// Number of SST subspaces currently tracked by the synapses.
   std::size_t TrackedSubspaces() const;
@@ -214,10 +241,13 @@ class SpotDetector {
   /// Shared per-point detection step (Process and sequential ProcessBatch
   /// both land here, which is what keeps them bit-identical).
   SpotResult ProcessOne(const DataPoint& point);
-  /// Post-verdict machinery of one point: stats, OS growth cadence, CS
-  /// self-evolution, drift watch. Shared verbatim by ProcessOne and the
-  /// sharded engine's serial join so the two paths cannot drift apart.
-  void ApplyPointSideEffects(const std::vector<double>& values,
+  /// Post-verdict machinery of one point: stats, top-k retention, OS
+  /// growth cadence, CS self-evolution, drift watch. Shared verbatim by
+  /// ProcessOne and the sharded engine's serial join so the two paths
+  /// cannot drift apart. `point_id`/`tick` identify the point for the
+  /// top-k window (tick is the value the point's synapse update used).
+  void ApplyPointSideEffects(std::uint64_t point_id, std::uint64_t tick,
+                             const std::vector<double>& values,
                              const SpotResult& result);
   void GrowOutlierDriven(const std::vector<double>& values);
   void RunSelfEvolution();
@@ -249,6 +279,10 @@ class SpotDetector {
   ThreadPool* external_pool_ = nullptr;
   std::unique_ptr<ThreadPool> owned_pool_;
   ReservoirSample reservoir_;
+  /// Worst-outlier retention for QueryTopK / feedback-by-id; rebuilt by
+  /// Learn() and LoadState() so it always matches the live config's
+  /// capacity and decay model.
+  TopKOutliers topk_;
   PageHinkley drift_;
   SpotStats stats_;
   std::uint64_t tick_ = 0;

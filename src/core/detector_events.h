@@ -46,6 +46,9 @@ enum class DetectorEventKind : std::uint8_t {
   kCheckpointLoad = 11,
   kSessionEvict = 12,
   kSessionReload = 13,
+  /// One ApplyFeedback round ran (a = labeled examples it learned from,
+  /// value = feedback_rounds so far).
+  kFeedbackApplied = 14,
 };
 
 /// Stable lower-case name used by the journal's JSON rendering.
@@ -79,6 +82,8 @@ inline const char* DetectorEventKindName(DetectorEventKind kind) {
       return "session_evict";
     case DetectorEventKind::kSessionReload:
       return "session_reload";
+    case DetectorEventKind::kFeedbackApplied:
+      return "feedback_applied";
   }
   return "unknown";
 }

@@ -1,0 +1,19 @@
+#ifndef SPOT_CORE_FINDING_H_
+#define SPOT_CORE_FINDING_H_
+
+#include "grid/pcs.h"
+#include "subspace/subspace.h"
+
+namespace spot {
+
+/// One subspace in which a point was found outlying, with the PCS evidence.
+/// (Lives in its own header so the top-k retention structure can hold
+/// findings without pulling in the full detector interface.)
+struct SubspaceFinding {
+  Subspace subspace;
+  Pcs pcs;
+};
+
+}  // namespace spot
+
+#endif  // SPOT_CORE_FINDING_H_

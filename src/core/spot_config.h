@@ -113,6 +113,12 @@ struct SpotConfig {
   /// Arrivals between compaction sweeps (0 disables).
   std::uint64_t compaction_period = 4096;
 
+  // --- Top-k outlier retention -------------------------------------------
+  /// Worst-outlier entries retained for kQueryTopK / QueryTopK() and
+  /// feedback-by-id, ranked by (omega, epsilon)-decayed score
+  /// (0 disables retention; queries then always return empty).
+  std::size_t topk_capacity = 64;
+
   // --- Batch sharding ----------------------------------------------------
   /// Shards the tracked SST subspaces across this many worker threads
   /// during ProcessBatch (1 = sequential in-place processing, the default).

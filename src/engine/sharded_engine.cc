@@ -147,7 +147,8 @@ std::vector<SpotResult> ShardedSpotEngine::ProcessBatch(
     result.is_outlier = !result.findings.empty();
     result.score = Clamp(1.0 - min_rd, 0.0, 1.0);
 
-    detector.ApplyPointSideEffects(points[j].values, result);
+    detector.ApplyPointSideEffects(points[j].id, frame_.ticks[j],
+                                   points[j].values, result);
 
     if (synapses.revision() != revision) {
       // The tracked set changed (OS growth, self-evolution or drift

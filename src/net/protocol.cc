@@ -31,7 +31,53 @@ bool ParseConfigBlob(const std::string& blob, SpotConfig* out) {
 
 bool IsRequestType(std::uint8_t type) {
   return type >= static_cast<std::uint8_t>(MsgType::kCreateSession) &&
-         type <= static_cast<std::uint8_t>(MsgType::kTraceDump);
+         type <= static_cast<std::uint8_t>(MsgType::kQueryTopK);
+}
+
+bool IsPlausibleRequestType(std::uint8_t type) {
+  // [1, 15]: the request half of the type space. Types here that this
+  // server does not implement get a kError(kUnsupportedRequest) reply;
+  // anything outside is a protocol violation.
+  return type >= static_cast<std::uint8_t>(MsgType::kCreateSession) &&
+         type < static_cast<std::uint8_t>(MsgType::kOk);
+}
+
+const char* ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kUnknown:
+      return "unknown";
+    case ErrorCode::kSessionUnknown:
+      return "session_unknown";
+    case ErrorCode::kSessionExists:
+      return "session_exists";
+    case ErrorCode::kNotAttached:
+      return "not_attached";
+    case ErrorCode::kAttachedElsewhere:
+      return "attached_elsewhere";
+    case ErrorCode::kWrongHomeReactor:
+      return "wrong_home_reactor";
+    case ErrorCode::kUnsupportedRequest:
+      return "unsupported_request";
+    case ErrorCode::kMalformedPayload:
+      return "malformed_payload";
+    case ErrorCode::kLearnFailed:
+      return "learn_failed";
+    case ErrorCode::kIngestFailed:
+      return "ingest_failed";
+    case ErrorCode::kCheckpointFailed:
+      return "checkpoint_failed";
+    case ErrorCode::kStatsUnavailable:
+      return "stats_unavailable";
+    case ErrorCode::kTracingDisabled:
+      return "tracing_disabled";
+    case ErrorCode::kFeedbackFailed:
+      return "feedback_failed";
+    case ErrorCode::kInvalidArgument:
+      return "invalid_argument";
+    case ErrorCode::kTransport:
+      return "transport";
+  }
+  return "unknown";
 }
 
 std::uint32_t Crc32(const void* data, std::size_t len) {
@@ -168,10 +214,11 @@ bool WireReader::Fail() {
 
 // ---------------------------------------------------------------- frames --
 
-std::string EncodeFrame(MsgType type, const std::string& payload) {
+std::string EncodeFrame(MsgType type, const std::string& payload,
+                        std::uint8_t version) {
   WireWriter w;
   w.U32(kFrameMagic);
-  w.U8(kWireVersion);
+  w.U8(version);
   w.U8(static_cast<std::uint8_t>(type));
   w.U16(0);  // flags
   w.U32(static_cast<std::uint32_t>(payload.size()));
@@ -212,7 +259,9 @@ FrameDecoder::Status FrameDecoder::Next(Frame* out) {
   const std::uint32_t payload_len = header.U32();
   const std::uint32_t payload_crc = header.U32();
   if (magic != kFrameMagic) return Corrupt("bad frame magic");
-  if (version != kWireVersion) return Corrupt("unknown protocol version");
+  if (version < kMinWireVersion || version > kWireVersion) {
+    return Corrupt("unknown protocol version");
+  }
   if (flags != 0) return Corrupt("non-zero reserved flags");
   if (payload_len > max_payload_) return Corrupt("oversized frame payload");
   if (buf_.size() - off_ < kFrameHeaderBytes + payload_len) {
@@ -229,6 +278,7 @@ FrameDecoder::Status FrameDecoder::Next(Frame* out) {
     return Corrupt("payload CRC mismatch");
   }
   out->type = static_cast<MsgType>(type);
+  out->version = version;
   out->payload.assign(payload, payload_len);
   off_ += kFrameHeaderBytes + payload_len;
   if (off_ == buf_.size()) {
@@ -366,6 +416,62 @@ bool DecodeCloseSession(const std::string& payload, CloseSessionReq* out) {
   return r.AtEnd();
 }
 
+std::string EncodeFeedback(const FeedbackReq& req) {
+  WireWriter w;
+  w.Str(req.session_id);
+  w.U32(static_cast<std::uint32_t>(req.point_ids.size()));
+  for (std::uint64_t id : req.point_ids) w.U64(id);
+  const std::uint32_t rows = static_cast<std::uint32_t>(req.examples.size());
+  const std::uint32_t dims =
+      rows > 0 ? static_cast<std::uint32_t>(req.examples.front().size()) : 0;
+  w.U32(rows);
+  w.U32(dims);
+  for (const auto& row : req.examples) {
+    for (double v : row) w.F64(v);
+  }
+  return w.Take();
+}
+
+bool DecodeFeedback(const std::string& payload, FeedbackReq* out) {
+  WireReader r(payload);
+  out->session_id = r.Str();
+  const std::uint32_t nids = r.U32();
+  if (!r.ok()) return false;
+  // Each labeled id is 8 bytes; bound by division against what is left so
+  // a crafted count cannot force a huge allocation (DecodeIngest's
+  // discipline).
+  if (nids > r.remaining() / 8) return r.Fail();
+  out->point_ids.assign(nids, 0);
+  for (std::uint64_t& id : out->point_ids) id = r.U64();
+  const std::uint32_t rows = r.U32();
+  const std::uint32_t dims = r.U32();
+  if (!r.ok()) return false;
+  // Same hostile-count bound as the training matrix: divide, never
+  // multiply rows*dims, and reject zero-width rows outright.
+  if (rows > 0 && (dims == 0 || rows > payload.size() / (8ull * dims))) {
+    return r.Fail();
+  }
+  out->examples.assign(rows, std::vector<double>(dims));
+  for (auto& row : out->examples) {
+    for (auto& v : row) v = r.F64();
+  }
+  return r.AtEnd();
+}
+
+std::string EncodeQueryTopK(const QueryTopKReq& req) {
+  WireWriter w;
+  w.Str(req.session_id);
+  w.U32(req.k);
+  return w.Take();
+}
+
+bool DecodeQueryTopK(const std::string& payload, QueryTopKReq* out) {
+  WireReader r(payload);
+  out->session_id = r.Str();
+  out->k = r.U32();
+  return r.AtEnd();
+}
+
 // ------------------------------------------------------- response codecs --
 
 std::string EncodeOk(const OkResp& resp) {
@@ -380,16 +486,21 @@ bool DecodeOk(const std::string& payload, OkResp* out) {
   return r.AtEnd();
 }
 
-std::string EncodeError(const ErrorResp& resp) {
+std::string EncodeError(const ErrorResp& resp, std::uint8_t version) {
   WireWriter w;
   w.U8(resp.request_type);
+  // The code field exists from v3 on; a v2-dialect error is message-only.
+  if (version >= 3) w.U16(static_cast<std::uint16_t>(resp.code));
   w.Str(resp.message);
   return w.Take();
 }
 
-bool DecodeError(const std::string& payload, ErrorResp* out) {
+bool DecodeError(const std::string& payload, ErrorResp* out,
+                 std::uint8_t version) {
   WireReader r(payload);
   out->request_type = r.U8();
+  out->code = version >= 3 ? static_cast<ErrorCode>(r.U16())
+                           : ErrorCode::kUnknown;
   out->message = r.Str();
   return r.AtEnd();
 }
@@ -457,6 +568,75 @@ bool DecodeVerdicts(const std::string& payload, VerdictsResp* out) {
   out->session_id = r.Str();
   out->first_point_id = r.U64();
   if (!DecodeVerdictList(&r, &out->verdicts)) return false;
+  return r.AtEnd();
+}
+
+void EncodeTopKEntryList(const std::vector<TopKEntry>& entries,
+                         WireWriter* w) {
+  w->U32(static_cast<std::uint32_t>(entries.size()));
+  for (const TopKEntry& e : entries) {
+    w->U64(e.point_id);
+    w->U64(e.tick);
+    w->F64(e.score);
+    w->F64(e.decayed_score);
+    w->U32(static_cast<std::uint32_t>(e.findings.size()));
+    for (const SubspaceFinding& f : e.findings) {
+      w->U64(f.subspace.bits());
+      w->F64(f.pcs.rd);
+      w->F64(f.pcs.irsd);
+      w->F64(f.pcs.count);
+    }
+  }
+}
+
+bool DecodeTopKEntryList(WireReader* r, std::vector<TopKEntry>* out) {
+  const std::uint32_t count = r->U32();
+  if (!r->ok()) return false;
+  // An entry occupies at least 36 bytes (id + tick + two scores + finding
+  // count); bound the untrusted count against the remaining bytes.
+  if (static_cast<std::uint64_t>(count) * 36 > r->remaining()) {
+    return r->Fail();
+  }
+  out->assign(count, TopKEntry{});
+  for (TopKEntry& e : *out) {
+    e.point_id = r->U64();
+    e.tick = r->U64();
+    e.score = r->F64();
+    e.decayed_score = r->F64();
+    const std::uint32_t nfindings = r->U32();
+    if (!r->ok()) return false;
+    // A finding is 32 bytes (subspace mask + three PCS doubles).
+    if (static_cast<std::uint64_t>(nfindings) * 32 > r->remaining()) {
+      return r->Fail();
+    }
+    e.findings.assign(nfindings, SubspaceFinding{});
+    for (SubspaceFinding& f : e.findings) {
+      f.subspace = Subspace(r->U64());
+      f.pcs.rd = r->F64();
+      f.pcs.irsd = r->F64();
+      f.pcs.count = r->F64();
+    }
+  }
+  return r->ok();
+}
+
+std::string TopKBytes(const std::vector<TopKEntry>& entries) {
+  WireWriter w;
+  EncodeTopKEntryList(entries, &w);
+  return w.Take();
+}
+
+std::string EncodeTopK(const TopKResp& resp) {
+  WireWriter w;
+  w.Str(resp.session_id);
+  EncodeTopKEntryList(resp.entries, &w);
+  return w.Take();
+}
+
+bool DecodeTopK(const std::string& payload, TopKResp* out) {
+  WireReader r(payload);
+  out->session_id = r.Str();
+  if (!DecodeTopKEntryList(&r, &out->entries)) return false;
   return r.AtEnd();
 }
 

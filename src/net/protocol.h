@@ -8,6 +8,7 @@
 
 #include "core/detector.h"
 #include "core/spot_config.h"
+#include "core/topk_outliers.h"
 #include "obs/metrics.h"
 #include "obs/quality.h"
 #include "stream/data_point.h"
@@ -15,12 +16,26 @@
 namespace spot {
 namespace net {
 
-/// SPOT wire protocol v2 (DESIGN.md Section 7).
+/// SPOT wire protocol v3 (DESIGN.md Sections 7 and 11).
 ///
-/// v2 (this version) adds the kTraceDump request / kTraceResp response
-/// pair (flight-recorder dump, DESIGN.md Section 10) and extends the
-/// kStatsResp payload with per-session detection-quality sections. Both
-/// ends bumped together; a v1 peer is rejected at the frame layer.
+/// v3 (this version) adds the feedback/query plane: the kFeedback request
+/// (supervised labeling of retained or fresh outlier examples), the
+/// kQueryTopK request / kTopKResp response pair (the k worst outliers in
+/// the current window, with their outlying-subspace findings), and a
+/// machine-readable ErrorCode carried in every kError payload. Unlike the
+/// v1 -> v2 bump, v3 *negotiates*: frames of version kMinWireVersion
+/// through kWireVersion are accepted (the layout of every v2 message is
+/// unchanged in v3 except kError, whose layout follows the enclosing
+/// frame's version), a v2-era server answers the new request types with a
+/// kError(kUnsupportedRequest) instead of closing the connection, and the
+/// client degrades gracefully when it sees that refusal. Servers reply in
+/// the highest version the peer has demonstrated (capped by their own),
+/// so a raw v2 client keeps receiving v2-layout errors.
+///
+/// v2 added the kTraceDump request / kTraceResp response pair
+/// (flight-recorder dump, DESIGN.md Section 10) and extended the
+/// kStatsResp payload with per-session detection-quality sections. A v1
+/// peer is still rejected at the frame layer.
 ///
 /// Every message is one *frame*: a fixed 16-byte header followed by a
 /// little-endian payload. The header is
@@ -53,7 +68,10 @@ namespace net {
 ///    seen every verdict for the points it sent.
 
 constexpr std::uint32_t kFrameMagic = 0x31575053;  // "SPW1" little-endian
-constexpr std::uint8_t kWireVersion = 2;
+constexpr std::uint8_t kWireVersion = 3;
+/// Oldest frame version still accepted (the v2 message layouts are a
+/// strict subset of v3, so speaking to a v2 peer costs nothing).
+constexpr std::uint8_t kMinWireVersion = 2;
 constexpr std::size_t kFrameHeaderBytes = 16;
 
 /// Default cap on a frame's payload. 16 MiB fits > 100k points of a
@@ -71,17 +89,55 @@ enum class MsgType : std::uint8_t {
   kCloseSession = 6,   // id + persist flag
   kStats = 7,          // empty payload; scrape the server's metrics
   kTraceDump = 8,      // empty payload; dump the flight recorder
+  kFeedback = 9,       // (v3) id + labeled point ids + fresh examples
+  kQueryTopK = 10,     // (v3) id + k; ask for the worst current outliers
 
   // Responses (server -> client).
   kOk = 16,         // echoes the request type it answers
-  kError = 17,      // echoes the request type + human-readable message
+  kError = 17,      // echoes the request type + error code + message
   kVerdicts = 18,   // id + verdicts for a coalesced run of ingested points
   kStatsResp = 19,  // whole-server metrics snapshot (answers kStats)
   kTraceResp = 20,  // raw Chrome-trace JSON bytes (answers kTraceDump)
+  kTopKResp = 21,   // (v3) id + top-k outlier entries (answers kQueryTopK)
 };
 
-/// True for the request-role message types a server accepts.
+/// True for the request-role message types this server version accepts.
 bool IsRequestType(std::uint8_t type);
+
+/// True for type values reserved for *future* requests as well ([1, 15]).
+/// A plausible-but-unsupported request gets a kError(kUnsupportedRequest)
+/// reply — the version-negotiation escape hatch — whereas an implausible
+/// type on a request stream is a protocol violation that closes the
+/// connection, exactly like a response-role type.
+bool IsPlausibleRequestType(std::uint8_t type);
+
+/// Machine-readable cause carried by every v3 kError payload (satellite of
+/// the wire-v3 redesign: clients branch on the code, never on message
+/// text). Codes are part of the wire contract — append, never renumber.
+enum class ErrorCode : std::uint16_t {
+  /// No code on the wire (v2-layout error) or an unrecognized value.
+  kUnknown = 0,
+  kSessionUnknown = 1,     // no such session (or its reload failed)
+  kSessionExists = 2,      // create of an id that is already live
+  kNotAttached = 3,        // session not attached to this connection
+  kAttachedElsewhere = 4,  // session attached to another connection
+  kWrongHomeReactor = 5,   // session pinned to a different reactor
+  kUnsupportedRequest = 6, // plausible request type this server lacks
+  kMalformedPayload = 7,   // undecodable or semantically invalid payload
+  kLearnFailed = 8,        // CreateSession's offline learning failed
+  kIngestFailed = 9,       // service refused the batch
+  kCheckpointFailed = 10,  // checkpoint write failed / no directory
+  kStatsUnavailable = 11,  // stats scrape not available on this server
+  kTracingDisabled = 12,   // flight recorder not enabled
+  kFeedbackFailed = 13,    // detector refused the feedback round
+
+  // Client-local codes (never sent by a server).
+  kInvalidArgument = 100,  // refused client-side before any send
+  kTransport = 101,        // connection failed mid-conversation
+};
+
+/// Stable lower-case name (for logs and tools; never parsed back).
+const char* ErrorCodeName(ErrorCode code);
 
 /// IEEE CRC-32 (the zlib/PNG polynomial, reflected).
 std::uint32_t Crc32(const void* data, std::size_t len);
@@ -149,18 +205,27 @@ class WireReader {
 
 struct Frame {
   MsgType type = MsgType::kError;
+  /// The version byte the frame arrived under (within [kMinWireVersion,
+  /// kWireVersion]); version-dependent payload layouts (kError) decode
+  /// against it, and servers reply in the highest version a connection
+  /// has demonstrated.
+  std::uint8_t version = kWireVersion;
   std::string payload;
 };
 
-/// Serializes one frame (header + payload) ready for the socket.
-std::string EncodeFrame(MsgType type, const std::string& payload);
+/// Serializes one frame (header + payload) ready for the socket, stamped
+/// with `version` (callers pass a peer's negotiated version to answer
+/// older clients in their own dialect).
+std::string EncodeFrame(MsgType type, const std::string& payload,
+                        std::uint8_t version = kWireVersion);
 
 /// Incremental frame parser over an arriving byte stream.
 ///
 /// Feed bytes with Append() as they arrive; Next() yields complete frames.
-/// Corruption (bad magic, unknown version, non-zero flags, CRC mismatch,
-/// payload over `max_payload`) is terminal: the decoder latches kCorrupt
-/// and the connection must be closed. Truncation is simply kNeedMore.
+/// Corruption (bad magic, a version outside [kMinWireVersion,
+/// kWireVersion], non-zero flags, CRC mismatch, payload over
+/// `max_payload`) is terminal: the decoder latches kCorrupt and the
+/// connection must be closed. Truncation is simply kNeedMore.
 ///
 /// Memory bound: every kNeedMore return reclaims the prefix consumed by
 /// already-delivered frames, so the internal buffer never holds more than
@@ -231,6 +296,23 @@ struct CloseSessionReq {
   bool persist = true;
 };
 
+/// (v3) Supervised feedback: label previously ingested points by id
+/// (resolved against the session's top-k retention window server-side)
+/// and/or submit fresh labeled outlier examples (rectangular, the
+/// session's dimensionality). Answered kOk/kError after the round ran at
+/// a batch boundary of the session's stream.
+struct FeedbackReq {
+  std::string session_id;
+  std::vector<std::uint64_t> point_ids;
+  std::vector<std::vector<double>> examples;  // rectangular, row-major
+};
+
+/// (v3) Ask for the k worst outliers in the session's current window.
+struct QueryTopKReq {
+  std::string session_id;
+  std::uint32_t k = 0;
+};
+
 std::string EncodeCreateSession(const CreateSessionReq& req);
 bool DecodeCreateSession(const std::string& payload, CreateSessionReq* out);
 
@@ -249,14 +331,25 @@ bool DecodeCheckpoint(const std::string& payload, CheckpointReq* out);
 std::string EncodeCloseSession(const CloseSessionReq& req);
 bool DecodeCloseSession(const std::string& payload, CloseSessionReq* out);
 
+std::string EncodeFeedback(const FeedbackReq& req);
+bool DecodeFeedback(const std::string& payload, FeedbackReq* out);
+
+std::string EncodeQueryTopK(const QueryTopKReq& req);
+bool DecodeQueryTopK(const std::string& payload, QueryTopKReq* out);
+
 // ------------------------------------------------------- response codecs --
 
 struct OkResp {
   std::uint8_t request_type = 0;  // the MsgType this Ok answers
 };
 
+/// kError payload. The v3 layout is `u8 request_type, u16 code, str
+/// message`; the v2 layout lacks the code field. Encode/Decode take the
+/// enclosing frame's version so both dialects round-trip; a v2-layout
+/// error decodes with code == kUnknown.
 struct ErrorResp {
   std::uint8_t request_type = 0;
+  ErrorCode code = ErrorCode::kUnknown;
   std::string message;
 };
 
@@ -273,8 +366,10 @@ struct VerdictsResp {
 std::string EncodeOk(const OkResp& resp);
 bool DecodeOk(const std::string& payload, OkResp* out);
 
-std::string EncodeError(const ErrorResp& resp);
-bool DecodeError(const std::string& payload, ErrorResp* out);
+std::string EncodeError(const ErrorResp& resp,
+                        std::uint8_t version = kWireVersion);
+bool DecodeError(const std::string& payload, ErrorResp* out,
+                 std::uint8_t version = kWireVersion);
 
 std::string EncodeVerdicts(const VerdictsResp& resp);
 bool DecodeVerdicts(const std::string& payload, VerdictsResp* out);
@@ -315,6 +410,28 @@ void EncodeVerdictList(const std::vector<SpotResult>& verdicts,
                        WireWriter* w);
 bool DecodeVerdictList(WireReader* r, std::vector<SpotResult>* out);
 std::string VerdictBytes(const std::vector<SpotResult>& verdicts);
+
+/// (v3) Answers kQueryTopK: the session's k worst current outliers, best
+/// first. Each entry carries identity (point id + tick), raw and decayed
+/// score, and the outlying-subspace findings — but *not* the point's
+/// attribute values, which stay server-side (label them by id via
+/// kFeedback instead of re-uploading them).
+struct TopKResp {
+  std::string session_id;
+  std::vector<TopKEntry> entries;
+};
+
+std::string EncodeTopK(const TopKResp& resp);
+bool DecodeTopK(const std::string& payload, TopKResp* out);
+
+/// Canonical byte encoding of a top-k entry list (the kTopKResp payload
+/// body, values omitted — the VerdictBytes sibling for query results).
+/// Two top-k answers are equal iff their TopKBytes match; the loadgen's
+/// --verify mode and the differential tests compare through this.
+void EncodeTopKEntryList(const std::vector<TopKEntry>& entries,
+                         WireWriter* w);
+bool DecodeTopKEntryList(WireReader* r, std::vector<TopKEntry>* out);
+std::string TopKBytes(const std::vector<TopKEntry>& entries);
 
 }  // namespace net
 }  // namespace spot

@@ -161,6 +161,7 @@ void Reactor::PublishMetrics() {
   obs_.GetCounter("batches_run")->Set(stats_.batches_run);
   obs_.GetCounter("points_ingested")->Set(stats_.points_ingested);
   obs_.GetCounter("listener_pauses")->Set(stats_.listener_pauses);
+  obs_.GetCounter("unsupported_requests")->Set(stats_.unsupported_requests);
   std::size_t pending_points = 0;
   std::size_t queued_bytes = 0;
   for (const auto& [fd, conn] : conns_) {
@@ -386,6 +387,12 @@ void Reactor::ReadReady(int fd) {
         return;
       }
       ++stats_.frames_received;
+      // Version negotiation is per-connection and monotone: the highest
+      // version the peer ever stamps is what replies are capped to
+      // (together with our own config_.wire_version).
+      if (frame.version > conn.peer_version) {
+        conn.peer_version = frame.version;
+      }
       if (!HandleFrame(conn, frame)) {
         // Response (if any) is queued; close once it drains.
         conn.want_close = true;
@@ -397,9 +404,29 @@ void Reactor::ReadReady(int fd) {
 
 bool Reactor::HandleFrame(Conn& conn, const Frame& frame) {
   const std::uint8_t type = static_cast<std::uint8_t>(frame.type);
-  if (!IsRequestType(type)) {
+  // Three tiers of request-type acceptance (DESIGN.md Section 11):
+  // supported at this server's wire version -> serviced; plausible but
+  // not supported (a future request type, or a v3 type on a server
+  // running with wire_version == 2) -> refused with a cause and the
+  // connection stays open (the negotiation escape hatch clients degrade
+  // through); implausible (a response-role type on the request stream)
+  // -> protocol violation, refused and closed.
+  const bool supported =
+      IsRequestType(type) &&
+      !(config_.wire_version < 3 && (frame.type == MsgType::kFeedback ||
+                                     frame.type == MsgType::kQueryTopK));
+  if (!supported) {
+    if (IsPlausibleRequestType(type)) {
+      ++stats_.unsupported_requests;
+      SendError(conn, frame.type, ErrorCode::kUnsupportedRequest,
+                "request type " + std::to_string(type) +
+                    " is not supported by this server (wire v" +
+                    std::to_string(config_.wire_version) + ")");
+      return true;
+    }
     ++stats_.protocol_errors;
-    SendError(conn, frame.type, "unexpected non-request frame");
+    SendError(conn, frame.type, ErrorCode::kUnsupportedRequest,
+              "unexpected non-request frame");
     return false;
   }
   switch (frame.type) {
@@ -407,9 +434,10 @@ bool Reactor::HandleFrame(Conn& conn, const Frame& frame) {
       CreateSessionReq req;
       if (!DecodeCreateSession(frame.payload, &req)) break;
       std::string error;
-      if (!registry_->BeginCreate(req.session_id, index_, conn.fd,
-                                  &error)) {
-        SendError(conn, frame.type, error);
+      ErrorCode code = ErrorCode::kUnknown;
+      if (!registry_->BeginCreate(req.session_id, index_, conn.fd, &error,
+                                  &code)) {
+        SendError(conn, frame.type, code, error);
         return true;
       }
       // Learn() runs outside the registry lock — only this id is
@@ -417,7 +445,7 @@ bool Reactor::HandleFrame(Conn& conn, const Frame& frame) {
       if (!service_->CreateSession(req.session_id, req.config,
                                    req.training)) {
         registry_->Forget(req.session_id);
-        SendError(conn, frame.type,
+        SendError(conn, frame.type, ErrorCode::kLearnFailed,
                   "CreateSession('" + req.session_id +
                       "') failed (invalid id, config or training)");
         return true;
@@ -430,8 +458,10 @@ bool Reactor::HandleFrame(Conn& conn, const Frame& frame) {
       ResumeSessionReq req;
       if (!DecodeResumeSession(frame.payload, &req)) break;
       std::string error;
-      if (!registry_->Attach(req.session_id, index_, conn.fd, &error)) {
-        SendError(conn, frame.type, error);
+      ErrorCode code = ErrorCode::kUnknown;
+      if (!registry_->Attach(req.session_id, index_, conn.fd, &error,
+                             &code)) {
+        SendError(conn, frame.type, code, error);
         return true;
       }
       if (std::find(conn.sessions.begin(), conn.sessions.end(),
@@ -447,14 +477,9 @@ bool Reactor::HandleFrame(Conn& conn, const Frame& frame) {
     case MsgType::kFlush: {
       FlushReq req;
       if (!DecodeFlush(frame.payload, &req)) break;
-      if (!req.session_id.empty()) {
-        auto owner = session_owner_.find(req.session_id);
-        if (owner == session_owner_.end() || owner->second != conn.fd) {
-          SendError(conn, frame.type,
-                    "session '" + req.session_id +
-                        "' is not attached to this connection");
-          return true;
-        }
+      if (!req.session_id.empty() &&
+          !RequireAttached(conn, frame.type, req.session_id)) {
+        return true;
       }
       bool ok = true;
       for (auto& [id, pending] : conn.pending) {
@@ -483,7 +508,8 @@ bool Reactor::HandleFrame(Conn& conn, const Frame& frame) {
       if (ok) {
         SendOk(conn, frame.type);
       } else {
-        SendError(conn, frame.type, "checkpoint failed");
+        SendError(conn, frame.type, ErrorCode::kCheckpointFailed,
+                  "checkpoint failed");
       }
       return true;
     }
@@ -496,7 +522,8 @@ bool Reactor::HandleFrame(Conn& conn, const Frame& frame) {
       // falls through to the close-the-connection path below.
       if (!frame.payload.empty()) break;
       if (!stats_source_) {
-        SendError(conn, frame.type, "stats not available on this server");
+        SendError(conn, frame.type, ErrorCode::kStatsUnavailable,
+                  "stats not available on this server");
         return true;
       }
       // Publish our own registry first so the snapshot reflects this
@@ -513,7 +540,8 @@ bool Reactor::HandleFrame(Conn& conn, const Frame& frame) {
       // required; anything else is malformed and closes the connection.
       if (!frame.payload.empty()) break;
       if (!trace_source_) {
-        SendError(conn, frame.type, "tracing not enabled on this server");
+        SendError(conn, frame.type, ErrorCode::kTracingDisabled,
+                  "tracing not enabled on this server");
         return true;
       }
       c_trace_dumps_->Inc();
@@ -523,20 +551,14 @@ bool Reactor::HandleFrame(Conn& conn, const Frame& frame) {
     case MsgType::kCloseSession: {
       CloseSessionReq req;
       if (!DecodeCloseSession(frame.payload, &req)) break;
-      auto owner = session_owner_.find(req.session_id);
-      if (owner == session_owner_.end() || owner->second != conn.fd) {
-        SendError(conn, frame.type,
-                  "session '" + req.session_id +
-                      "' is not attached to this connection");
-        return true;
-      }
+      if (!RequireAttached(conn, frame.type, req.session_id)) return true;
       auto pending = conn.pending.find(req.session_id);
       if (pending != conn.pending.end() && !pending->second.empty() &&
           !ProcessPending(conn, req.session_id, /*all=*/true)) {
         return false;
       }
       if (!service_->CloseSession(req.session_id, req.persist)) {
-        SendError(conn, frame.type,
+        SendError(conn, frame.type, ErrorCode::kCheckpointFailed,
                   "CloseSession('" + req.session_id + "') failed");
         return true;
       }
@@ -548,11 +570,58 @@ bool Reactor::HandleFrame(Conn& conn, const Frame& frame) {
       SendOk(conn, frame.type);
       return true;
     }
+    case MsgType::kFeedback: {
+      FeedbackReq req;
+      if (!DecodeFeedback(frame.payload, &req)) break;
+      if (!RequireAttached(conn, frame.type, req.session_id)) return true;
+      // Batch-boundary barrier: every point this connection already
+      // delivered for the session is processed before the round, so the
+      // detector's tick and RNG stream sit at exactly the position the
+      // in-process reference reaches before its own ApplyFeedback —
+      // that positional identity is what makes the differential
+      // bit-identity guarantee hold (DESIGN.md Section 11).
+      auto pending = conn.pending.find(req.session_id);
+      if (pending != conn.pending.end() && !pending->second.empty() &&
+          !ProcessPending(conn, req.session_id, /*all=*/true)) {
+        return false;
+      }
+      std::string error;
+      if (!service_->ApplyFeedback(req.session_id, req.point_ids,
+                                   req.examples, &error)) {
+        SendError(conn, frame.type, ErrorCode::kFeedbackFailed, error);
+        return true;
+      }
+      SendOk(conn, frame.type);
+      return true;
+    }
+    case MsgType::kQueryTopK: {
+      QueryTopKReq req;
+      if (!DecodeQueryTopK(frame.payload, &req)) break;
+      if (!RequireAttached(conn, frame.type, req.session_id)) return true;
+      // Same barrier as kFeedback: the query answers "after everything
+      // you sent so far", never a mid-batch snapshot.
+      auto pending = conn.pending.find(req.session_id);
+      if (pending != conn.pending.end() && !pending->second.empty() &&
+          !ProcessPending(conn, req.session_id, /*all=*/true)) {
+        return false;
+      }
+      TopKResp resp;
+      resp.session_id = req.session_id;
+      std::string error;
+      if (!service_->QueryTopK(req.session_id, req.k, &resp.entries,
+                               &error)) {
+        SendError(conn, frame.type, ErrorCode::kSessionUnknown, error);
+        return true;
+      }
+      Enqueue(conn, MsgType::kTopKResp, EncodeTopK(resp));
+      return true;
+    }
     default:
       break;
   }
   ++stats_.protocol_errors;
-  SendError(conn, frame.type, "malformed request payload");
+  SendError(conn, frame.type, ErrorCode::kMalformedPayload,
+            "malformed request payload");
   return false;
 }
 
@@ -563,15 +632,12 @@ bool Reactor::HandleIngest(Conn& conn, const std::string& payload) {
   IngestReq req;
   if (!DecodeIngest(payload, &req)) {
     ++stats_.protocol_errors;
-    SendError(conn, MsgType::kIngest, "malformed ingest payload");
+    SendError(conn, MsgType::kIngest, ErrorCode::kMalformedPayload,
+              "malformed ingest payload");
     conn.want_close = true;
     return false;
   }
-  auto owner = session_owner_.find(req.session_id);
-  if (owner == session_owner_.end() || owner->second != conn.fd) {
-    SendError(conn, MsgType::kIngest,
-              "session '" + req.session_id +
-                  "' is not attached to this connection");
+  if (!RequireAttached(conn, MsgType::kIngest, req.session_id)) {
     conn.want_close = true;
     return false;
   }
@@ -667,7 +733,7 @@ bool Reactor::ProcessPending(Conn& conn, const std::string& id, bool all) {
                         << config_.slow_batch_warn_ms << " ms)";
     }
     if (!result.ok) {
-      SendError(conn, MsgType::kIngest,
+      SendError(conn, MsgType::kIngest, ErrorCode::kIngestFailed,
                 "Ingest('" + id + "') failed at the service");
       conn.want_close = true;
       ok = false;
@@ -742,8 +808,23 @@ void Reactor::FlushAllPending() {
 
 // ---------------------------------------------------------------- writes --
 
+std::uint8_t Reactor::ReplyVersion(const Conn& conn) const {
+  return std::min(conn.peer_version, config_.wire_version);
+}
+
+bool Reactor::RequireAttached(Conn& conn, MsgType request,
+                              const std::string& id) {
+  auto owner = session_owner_.find(id);
+  if (owner != session_owner_.end() && owner->second == conn.fd) {
+    return true;
+  }
+  SendError(conn, request, ErrorCode::kNotAttached,
+            "session '" + id + "' is not attached to this connection");
+  return false;
+}
+
 void Reactor::Enqueue(Conn& conn, MsgType type, const std::string& payload) {
-  conn.outbuf.append(EncodeFrame(type, payload));
+  conn.outbuf.append(EncodeFrame(type, payload, ReplyVersion(conn)));
   ++stats_.frames_sent;
   TryFlush(conn);
   UpdateBackpressure(conn);
@@ -755,12 +836,16 @@ void Reactor::SendOk(Conn& conn, MsgType request) {
   Enqueue(conn, MsgType::kOk, EncodeOk(resp));
 }
 
-void Reactor::SendError(Conn& conn, MsgType request,
+void Reactor::SendError(Conn& conn, MsgType request, ErrorCode code,
                         const std::string& message) {
   ErrorResp resp;
   resp.request_type = static_cast<std::uint8_t>(request);
+  resp.code = code;
   resp.message = message;
-  Enqueue(conn, MsgType::kError, EncodeError(resp));
+  // The kError payload layout follows the frame version (a v2 peer gets
+  // the code-less v2 layout), which is why the encode and the Enqueue
+  // below must agree on ReplyVersion.
+  Enqueue(conn, MsgType::kError, EncodeError(resp, ReplyVersion(conn)));
 }
 
 void Reactor::TryFlush(Conn& conn) {

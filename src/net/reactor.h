@@ -117,6 +117,11 @@ class Reactor {
     bool want_close = false;  // close once outbuf drains
     bool poll_read = true;    // interest currently registered
     bool poll_write = false;
+    /// Highest frame version this peer has demonstrated (monotone,
+    /// starts at the floor). Replies go out stamped — and kError laid
+    /// out — at min(peer_version, config.wire_version), so a v2 client
+    /// keeps receiving v2-dialect frames from a v3 server.
+    std::uint8_t peer_version = kMinWireVersion;
     /// Sessions attached to (and exclusively owned by) this connection.
     std::vector<std::string> sessions;
     /// Per-session coalescing buffers, ordered for deterministic
@@ -148,9 +153,16 @@ class Reactor {
   /// of every loop turn — a few-KB copy, far off the per-point path.
   void PublishMetrics();
 
+  /// The version this connection's replies are stamped with:
+  /// min(peer_version, config.wire_version).
+  std::uint8_t ReplyVersion(const Conn& conn) const;
+  /// True when `id` is attached to exactly this connection; otherwise a
+  /// kError(kNotAttached) naming the session is queued and false returns.
+  bool RequireAttached(Conn& conn, MsgType request, const std::string& id);
   void Enqueue(Conn& conn, MsgType type, const std::string& payload);
   void SendOk(Conn& conn, MsgType request);
-  void SendError(Conn& conn, MsgType request, const std::string& message);
+  void SendError(Conn& conn, MsgType request, ErrorCode code,
+                 const std::string& message);
   /// Non-blocking write of the connection's output queue (traced as a
   /// `write` span when bytes actually move and tracing is on).
   void TryFlush(Conn& conn);

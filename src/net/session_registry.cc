@@ -13,10 +13,12 @@ SessionRegistry::SessionRegistry(std::vector<SpotService*> services,
     : services_(std::move(services)), allow_handoff_(allow_handoff) {}
 
 bool SessionRegistry::BeginCreate(const std::string& id, int reactor,
-                                  int conn_fd, std::string* error) {
+                                  int conn_fd, std::string* error,
+                                  ErrorCode* code) {
   std::lock_guard<std::mutex> lock(mu_);
   if (owners_.find(id) != owners_.end()) {
     *error = "session '" + id + "' already exists";
+    *code = ErrorCode::kSessionExists;
     return false;
   }
   // A session created directly in a service (embedders, tests) has no
@@ -24,6 +26,7 @@ bool SessionRegistry::BeginCreate(const std::string& id, int reactor,
   for (const SpotService* service : services_) {
     if (service->HasSession(id)) {
       *error = "session '" + id + "' already exists";
+      *code = ErrorCode::kSessionExists;
       return false;
     }
   }
@@ -32,7 +35,8 @@ bool SessionRegistry::BeginCreate(const std::string& id, int reactor,
 }
 
 bool SessionRegistry::Attach(const std::string& id, int reactor,
-                             int conn_fd, std::string* error) {
+                             int conn_fd, std::string* error,
+                             ErrorCode* code) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = owners_.find(id);
   if (it != owners_.end()) {
@@ -44,6 +48,7 @@ bool SessionRegistry::Attach(const std::string& id, int reactor,
       *error = "session '" + id +
                "' is attached to another connection (on reactor " +
                std::to_string(owner.conn_reactor) + ")";
+      *code = ErrorCode::kAttachedElsewhere;
       return false;
     }
     if (owner.home == reactor) {
@@ -59,12 +64,14 @@ bool SessionRegistry::Attach(const std::string& id, int reactor,
       *error = "session '" + id + "' lives on reactor " +
                std::to_string(owner.home) +
                " and no checkpoint directory is configured for hand-off";
+      *code = ErrorCode::kWrongHomeReactor;
       return false;
     }
     if (!services_[static_cast<std::size_t>(owner.home)]->CloseSession(
             id, /*persist=*/true)) {
       *error = "hand-off checkpoint of session '" + id + "' from reactor " +
                std::to_string(owner.home) + " failed";
+      *code = ErrorCode::kCheckpointFailed;
       return false;
     }
     if (!services_[static_cast<std::size_t>(reactor)]->OpenSession(id)) {
@@ -73,6 +80,7 @@ bool SessionRegistry::Attach(const std::string& id, int reactor,
       owners_.erase(it);
       *error = "hand-off reopen of session '" + id + "' on reactor " +
                std::to_string(reactor) + " failed";
+      *code = ErrorCode::kCheckpointFailed;
       return false;
     }
     SPOT_LOG(Info) << "session '" << id << "' handed off: reactor "
@@ -99,12 +107,14 @@ bool SessionRegistry::Attach(const std::string& id, int reactor,
     if (!allow_handoff_) {
       *error = "session '" + id + "' lives on reactor " + std::to_string(q) +
                " and no checkpoint directory is configured for hand-off";
+      *code = ErrorCode::kWrongHomeReactor;
       return false;
     }
     if (!services_[q]->CloseSession(id, /*persist=*/true) ||
         !own->OpenSession(id)) {
       *error = "hand-off of session '" + id + "' from reactor " +
                std::to_string(q) + " failed";
+      *code = ErrorCode::kCheckpointFailed;
       return false;
     }
     ++handoffs_;
@@ -112,6 +122,7 @@ bool SessionRegistry::Attach(const std::string& id, int reactor,
     return true;
   }
   *error = "no session or checkpoint for '" + id + "'";
+  *code = ErrorCode::kSessionUnknown;
   return false;
 }
 

@@ -8,6 +8,8 @@
 #include <string>
 #include <vector>
 
+#include "net/protocol.h"
+
 namespace spot {
 
 class SpotService;
@@ -46,12 +48,12 @@ class SessionRegistry {
   SessionRegistry& operator=(const SessionRegistry&) = delete;
 
   /// Reserves `id` for a CreateSession on `reactor`, attached to
-  /// `conn_fd`. False (with `*error` set) when any reactor already knows
-  /// the id — registered here or resident in some service. On success the
-  /// caller runs CreateSession on its own service outside the registry
-  /// lock and must call Forget(id) if that fails.
+  /// `conn_fd`. False (with `*error` and `*code` set) when any reactor
+  /// already knows the id — registered here or resident in some service.
+  /// On success the caller runs CreateSession on its own service outside
+  /// the registry lock and must call Forget(id) if that fails.
   bool BeginCreate(const std::string& id, int reactor, int conn_fd,
-                   std::string* error);
+                   std::string* error, ErrorCode* code);
 
   /// Attaches `id` to `conn_fd` on `reactor` for a ResumeSession, making
   /// that reactor's service the session's home. Semantics:
@@ -62,8 +64,11 @@ class SessionRegistry {
   ///    without a registry entry): hand-off via the shared checkpoint
   ///    directory, refused when there is none;
   ///  - unknown everywhere: reopened from the checkpoint directory.
+  /// On failure `*error` carries the human-readable cause and `*code` the
+  /// machine-readable one (kAttachedElsewhere, kWrongHomeReactor,
+  /// kCheckpointFailed for a failed hand-off, kSessionUnknown).
   bool Attach(const std::string& id, int reactor, int conn_fd,
-              std::string* error);
+              std::string* error, ErrorCode* code);
 
   /// The owning connection went away. The session stays in its home
   /// reactor's service, unattached, ready for a later Attach from any

@@ -19,12 +19,17 @@ namespace net {
 
 SpotClient::~SpotClient() { Disconnect(); }
 
-bool SpotClient::Connect(const std::string& host, std::uint16_t port) {
+RpcStatus SpotClient::Finish(bool ok) {
+  if (ok) return RpcStatus::Success();
+  return RpcStatus::Failure(last_code_, last_error_);
+}
+
+RpcStatus SpotClient::Connect(const std::string& host, std::uint16_t port) {
   Disconnect();
   fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd_ < 0) {
-    last_error_ = std::string("socket(): ") + std::strerror(errno);
-    return false;
+    FailTransport(std::string("socket(): ") + std::strerror(errno));
+    return Finish(false);
   }
   sockaddr_in addr;
   std::memset(&addr, 0, sizeof(addr));
@@ -32,15 +37,17 @@ bool SpotClient::Connect(const std::string& host, std::uint16_t port) {
   addr.sin_port = htons(port);
   const std::string resolved = host == "localhost" ? "127.0.0.1" : host;
   if (::inet_pton(AF_INET, resolved.c_str(), &addr.sin_addr) != 1) {
-    last_error_ = "bad host '" + host + "' (IPv4 dotted quad expected)";
     Disconnect();
-    return false;
+    FailInvalid("bad host '" + host + "' (IPv4 dotted quad expected)");
+    return Finish(false);
   }
   if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
       0) {
-    last_error_ = std::string("connect(): ") + std::strerror(errno);
+    const std::string what = std::string("connect(): ") +
+                             std::strerror(errno);
     Disconnect();
-    return false;
+    FailTransport(what);
+    return Finish(false);
   }
   const int one = 1;
   ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
@@ -48,7 +55,8 @@ bool SpotClient::Connect(const std::string& host, std::uint16_t port) {
   stash_.clear();
   outstanding_.clear();
   last_error_.clear();
-  return true;
+  last_code_ = ErrorCode::kUnknown;
+  return RpcStatus::Success();
 }
 
 void SpotClient::Disconnect() {
@@ -60,25 +68,32 @@ void SpotClient::Disconnect() {
 
 void SpotClient::FailTransport(const std::string& what) {
   last_error_ = what;
+  last_code_ = ErrorCode::kTransport;
   Disconnect();
+}
+
+void SpotClient::FailInvalid(const std::string& what) {
+  last_error_ = what;
+  last_code_ = ErrorCode::kInvalidArgument;
 }
 
 bool SpotClient::SendFrame(MsgType type, const std::string& payload) {
   if (fd_ < 0) {
     last_error_ = "not connected";
+    last_code_ = ErrorCode::kTransport;
     return false;
   }
   // A payload over the wire cap is connection-fatal server-side (the
   // frame decoder latches corrupt and closes); refuse to send it and
   // name the real cause instead, leaving the connection untouched.
   if (payload.size() > max_payload_) {
-    last_error_ = "frame payload of " + std::to_string(payload.size()) +
-                  " bytes exceeds the " + std::to_string(max_payload_) +
-                  "-byte wire cap; split the batch (or set_max_payload to "
-                  "match a server with a raised cap)";
+    FailInvalid("frame payload of " + std::to_string(payload.size()) +
+                " bytes exceeds the " + std::to_string(max_payload_) +
+                "-byte wire cap; split the batch (or set_max_payload to "
+                "match a server with a raised cap)");
     return false;
   }
-  const std::string wire = EncodeFrame(type, payload);
+  const std::string wire = EncodeFrame(type, payload, wire_version_);
   std::size_t off = 0;
   while (off < wire.size()) {
     // Non-blocking sends, draining inbound verdicts whenever the socket
@@ -131,6 +146,26 @@ bool SpotClient::StashVerdicts(const Frame& frame) {
   return true;
 }
 
+bool SpotClient::RecordServerError(const Frame& frame, MsgType request) {
+  ErrorResp resp;
+  if (!DecodeError(frame.payload, &resp, frame.version)) {
+    FailTransport("malformed error frame from server");
+    return false;
+  }
+  last_error_ = resp.message;
+  last_code_ = resp.code;
+  // Graceful degradation against pre-v3 servers (the kStats pattern,
+  // DESIGN.md Section 11): a v2-layout refusal carries no code, but a
+  // v2-dialect error answering a v3-only request *means* the request
+  // type is beyond the server — surface it as the code the server would
+  // have sent had it spoken v3.
+  if (frame.version < 3 && last_code_ == ErrorCode::kUnknown &&
+      (request == MsgType::kFeedback || request == MsgType::kQueryTopK)) {
+    last_code_ = ErrorCode::kUnsupportedRequest;
+  }
+  return true;
+}
+
 bool SpotClient::ConsumeFrames(MsgType request, bool* done, bool* ok) {
   Frame frame;
   while (true) {
@@ -156,14 +191,9 @@ bool SpotClient::ConsumeFrames(MsgType request, bool* done, bool* ok) {
         return true;
       }
       case MsgType::kError: {
-        ErrorResp resp;
-        if (!DecodeError(frame.payload, &resp)) {
-          FailTransport("malformed error frame from server");
-          return false;
-        }
-        // Report the server's message whichever request it blames (an
+        // Report the server's refusal whichever request it blames (an
         // ingest error surfaces at the next barrier).
-        last_error_ = resp.message;
+        if (!RecordServerError(frame, request)) return false;
         *done = true;
         *ok = false;
         return true;
@@ -197,12 +227,7 @@ bool SpotClient::ConsumeStatsFrames(StatsResp* out, bool* done, bool* ok) {
         *ok = true;
         return true;
       case MsgType::kError: {
-        ErrorResp resp;
-        if (!DecodeError(frame.payload, &resp)) {
-          FailTransport("malformed error frame from server");
-          return false;
-        }
-        last_error_ = resp.message;
+        if (!RecordServerError(frame, MsgType::kStats)) return false;
         *done = true;
         *ok = false;
         return true;
@@ -235,12 +260,7 @@ bool SpotClient::ConsumeTraceFrames(std::string* json, bool* done,
         *ok = true;
         return true;
       case MsgType::kError: {
-        ErrorResp resp;
-        if (!DecodeError(frame.payload, &resp)) {
-          FailTransport("malformed error frame from server");
-          return false;
-        }
-        last_error_ = resp.message;
+        if (!RecordServerError(frame, MsgType::kTraceDump)) return false;
         *done = true;
         *ok = false;
         return true;
@@ -252,62 +272,136 @@ bool SpotClient::ConsumeTraceFrames(std::string* json, bool* done,
   }
 }
 
-bool SpotClient::TraceDump(std::string* json) {
-  json->clear();
-  if (!SendFrame(MsgType::kTraceDump, std::string())) return false;
-  if (fd_ < 0) {
-    if (last_error_.empty()) last_error_ = "not connected";
-    return false;
-  }
-  bool done = false;
-  bool ok = false;
-  if (!ConsumeTraceFrames(json, &done, &ok)) return false;
-  char buf[65536];
-  while (!done) {
-    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
-    if (n == 0) {
-      FailTransport("server closed the connection");
+bool SpotClient::ConsumeTopKFrames(const std::string& id,
+                                   std::vector<TopKEntry>* out, bool* done,
+                                   bool* ok) {
+  Frame frame;
+  while (true) {
+    const FrameDecoder::Status status = decoder_.Next(&frame);
+    if (status == FrameDecoder::Status::kNeedMore) return true;
+    if (status == FrameDecoder::Status::kCorrupt) {
+      FailTransport("corrupt frame from server: " + decoder_.error());
       return false;
     }
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      FailTransport(std::string("recv(): ") + std::strerror(errno));
-      return false;
+    switch (frame.type) {
+      case MsgType::kVerdicts:
+        if (!StashVerdicts(frame)) return false;
+        break;
+      case MsgType::kTopKResp: {
+        TopKResp resp;
+        if (!DecodeTopK(frame.payload, &resp) || resp.session_id != id) {
+          FailTransport("malformed top-k frame from server");
+          return false;
+        }
+        *out = std::move(resp.entries);
+        *done = true;
+        *ok = true;
+        return true;
+      }
+      case MsgType::kError: {
+        if (!RecordServerError(frame, MsgType::kQueryTopK)) return false;
+        *done = true;
+        *ok = false;
+        return true;
+      }
+      default:
+        FailTransport("unexpected frame type from server");
+        return false;
     }
-    bytes_received_ += static_cast<std::uint64_t>(n);
-    decoder_.Append(buf, static_cast<std::size_t>(n));
-    if (!ConsumeTraceFrames(json, &done, &ok)) return false;
   }
-  return ok;
 }
 
-bool SpotClient::Stats(StatsResp* out) {
-  *out = StatsResp{};
-  if (!SendFrame(MsgType::kStats, std::string())) return false;
+RpcStatus SpotClient::TraceDump(std::string* json) {
+  json->clear();
+  if (!SendFrame(MsgType::kTraceDump, std::string())) return Finish(false);
   if (fd_ < 0) {
-    if (last_error_.empty()) last_error_ = "not connected";
-    return false;
+    if (last_error_.empty()) FailTransport("not connected");
+    return Finish(false);
   }
   bool done = false;
   bool ok = false;
-  if (!ConsumeStatsFrames(out, &done, &ok)) return false;
+  if (!ConsumeTraceFrames(json, &done, &ok)) return Finish(false);
   char buf[65536];
   while (!done) {
     const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
     if (n == 0) {
       FailTransport("server closed the connection");
-      return false;
+      return Finish(false);
     }
     if (n < 0) {
       if (errno == EINTR) continue;
       FailTransport(std::string("recv(): ") + std::strerror(errno));
-      return false;
+      return Finish(false);
     }
     bytes_received_ += static_cast<std::uint64_t>(n);
     decoder_.Append(buf, static_cast<std::size_t>(n));
-    if (!ConsumeStatsFrames(out, &done, &ok)) return false;
+    if (!ConsumeTraceFrames(json, &done, &ok)) return Finish(false);
   }
-  return ok;
+  return Finish(ok);
+}
+
+RpcStatus SpotClient::Stats(StatsResp* out) {
+  *out = StatsResp{};
+  if (!SendFrame(MsgType::kStats, std::string())) return Finish(false);
+  if (fd_ < 0) {
+    if (last_error_.empty()) FailTransport("not connected");
+    return Finish(false);
+  }
+  bool done = false;
+  bool ok = false;
+  if (!ConsumeStatsFrames(out, &done, &ok)) return Finish(false);
+  char buf[65536];
+  while (!done) {
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n == 0) {
+      FailTransport("server closed the connection");
+      return Finish(false);
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      FailTransport(std::string("recv(): ") + std::strerror(errno));
+      return Finish(false);
+    }
+    bytes_received_ += static_cast<std::uint64_t>(n);
+    decoder_.Append(buf, static_cast<std::size_t>(n));
+    if (!ConsumeStatsFrames(out, &done, &ok)) return Finish(false);
+  }
+  return Finish(ok);
+}
+
+RpcStatus SpotClient::TopK(const std::string& id, std::uint32_t k,
+                           std::vector<TopKEntry>* out) {
+  out->clear();
+  QueryTopKReq req;
+  req.session_id = id;
+  req.k = k;
+  if (!SendFrame(MsgType::kQueryTopK, EncodeQueryTopK(req))) {
+    return Finish(false);
+  }
+  if (fd_ < 0) {
+    if (last_error_.empty()) FailTransport("not connected");
+    return Finish(false);
+  }
+  bool done = false;
+  bool ok = false;
+  if (!ConsumeTopKFrames(id, out, &done, &ok)) return Finish(false);
+  char buf[65536];
+  while (!done) {
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n == 0) {
+      FailTransport("server closed the connection");
+      return Finish(false);
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      FailTransport(std::string("recv(): ") + std::strerror(errno));
+      return Finish(false);
+    }
+    bytes_received_ += static_cast<std::uint64_t>(n);
+    decoder_.Append(buf, static_cast<std::size_t>(n));
+    if (!ConsumeTopKFrames(id, out, &done, &ok)) return Finish(false);
+  }
+  return Finish(ok);
 }
 
 bool SpotClient::DrainPending() {
@@ -343,10 +437,18 @@ bool SpotClient::DrainPending() {
       continue;
     }
     if (frame.type == MsgType::kError) {
+      // An asynchronous refusal (the server is about to close on us):
+      // record its code + cause, then drop the transport.
       ErrorResp resp;
-      last_error_ = DecodeError(frame.payload, &resp)
-                        ? resp.message
-                        : "malformed error frame from server";
+      if (DecodeError(frame.payload, &resp, frame.version)) {
+        last_error_ = resp.message;
+        last_code_ = resp.code == ErrorCode::kUnknown
+                         ? ErrorCode::kTransport
+                         : resp.code;
+      } else {
+        last_error_ = "malformed error frame from server";
+        last_code_ = ErrorCode::kTransport;
+      }
       Disconnect();
       return false;
     }
@@ -357,7 +459,7 @@ bool SpotClient::DrainPending() {
 
 bool SpotClient::AwaitResponse(MsgType request) {
   if (fd_ < 0) {
-    if (last_error_.empty()) last_error_ = "not connected";
+    if (last_error_.empty()) FailTransport("not connected");
     return false;
   }
   bool done = false;
@@ -382,7 +484,7 @@ bool SpotClient::AwaitResponse(MsgType request) {
   return ok;
 }
 
-bool SpotClient::CreateSession(
+RpcStatus SpotClient::CreateSession(
     const std::string& id, const SpotConfig& config,
     const std::vector<std::vector<double>>& training) {
   // The wire encodes the training matrix as rows * dims cells, so a
@@ -391,58 +493,62 @@ bool SpotClient::CreateSession(
   // an error that names the offending row instead.
   for (std::size_t i = 0; i < training.size(); ++i) {
     if (training[i].size() != training.front().size()) {
-      last_error_ = "ragged training matrix: row " + std::to_string(i) +
-                    " has " + std::to_string(training[i].size()) +
-                    " attributes, row 0 has " +
-                    std::to_string(training.front().size());
-      return false;
+      FailInvalid("ragged training matrix: row " + std::to_string(i) +
+                  " has " + std::to_string(training[i].size()) +
+                  " attributes, row 0 has " +
+                  std::to_string(training.front().size()));
+      return Finish(false);
     }
   }
   CreateSessionReq req;
   req.session_id = id;
   req.config = config;
   req.training = training;
-  return SendFrame(MsgType::kCreateSession, EncodeCreateSession(req)) &&
-         AwaitResponse(MsgType::kCreateSession);
+  return Finish(
+      SendFrame(MsgType::kCreateSession, EncodeCreateSession(req)) &&
+      AwaitResponse(MsgType::kCreateSession));
 }
 
-bool SpotClient::ResumeSession(const std::string& id) {
+RpcStatus SpotClient::ResumeSession(const std::string& id) {
   ResumeSessionReq req{id};
-  return SendFrame(MsgType::kResumeSession, EncodeResumeSession(req)) &&
-         AwaitResponse(MsgType::kResumeSession);
+  return Finish(
+      SendFrame(MsgType::kResumeSession, EncodeResumeSession(req)) &&
+      AwaitResponse(MsgType::kResumeSession));
 }
 
-bool SpotClient::Ingest(const std::string& id,
-                        const std::vector<DataPoint>& points) {
+RpcStatus SpotClient::Ingest(const std::string& id,
+                             const std::vector<DataPoint>& points) {
   // Same wire constraint as the training matrix: a batch mixing point
   // dimensions cannot be encoded; name the offender instead of letting
   // the server drop the connection on a malformed payload.
   for (std::size_t i = 0; i < points.size(); ++i) {
     if (points[i].values.size() != points.front().values.size()) {
-      last_error_ = "mixed-dimension ingest batch: point " +
-                    std::to_string(i) + " has " +
-                    std::to_string(points[i].values.size()) +
-                    " attributes, point 0 has " +
-                    std::to_string(points.front().values.size());
-      return false;
+      FailInvalid("mixed-dimension ingest batch: point " +
+                  std::to_string(i) + " has " +
+                  std::to_string(points[i].values.size()) +
+                  " attributes, point 0 has " +
+                  std::to_string(points.front().values.size()));
+      return Finish(false);
     }
   }
   IngestReq req;
   req.session_id = id;
   req.points = points;
-  if (!SendFrame(MsgType::kIngest, EncodeIngest(req))) return false;
+  if (!SendFrame(MsgType::kIngest, EncodeIngest(req))) {
+    return Finish(false);
+  }
   std::deque<std::uint64_t>& pending = outstanding_[id];
   for (const DataPoint& p : points) pending.push_back(p.id);
   // Opportunistic drain keeps the pipeline deadlock-free (see class doc).
-  return DrainPending();
+  return Finish(DrainPending());
 }
 
-bool SpotClient::Flush(const std::string& id,
-                       std::vector<SpotResult>* verdicts) {
+RpcStatus SpotClient::Flush(const std::string& id,
+                            std::vector<SpotResult>* verdicts) {
   FlushReq req{id};
   if (!SendFrame(MsgType::kFlush, EncodeFlush(req)) ||
       !AwaitResponse(MsgType::kFlush)) {
-    return false;
+    return Finish(false);
   }
   auto it = stash_.find(id);
   if (it != stash_.end()) {
@@ -453,21 +559,47 @@ bool SpotClient::Flush(const std::string& id,
     }
     stash_.erase(it);
   }
-  return true;
+  return RpcStatus::Success();
 }
 
-bool SpotClient::Checkpoint(const std::string& id) {
+RpcStatus SpotClient::Checkpoint(const std::string& id) {
   CheckpointReq req{id};
-  return SendFrame(MsgType::kCheckpoint, EncodeCheckpoint(req)) &&
-         AwaitResponse(MsgType::kCheckpoint);
+  return Finish(SendFrame(MsgType::kCheckpoint, EncodeCheckpoint(req)) &&
+                AwaitResponse(MsgType::kCheckpoint));
 }
 
-bool SpotClient::CloseSession(const std::string& id, bool persist,
-                              std::vector<SpotResult>* verdicts) {
+RpcStatus SpotClient::Feedback(
+    const std::string& id, const std::vector<std::uint64_t>& point_ids,
+    const std::vector<std::vector<double>>& examples) {
+  if (point_ids.empty() && examples.empty()) {
+    FailInvalid("feedback carries no labels (no point ids, no examples)");
+    return Finish(false);
+  }
+  // Rectangularity, like CreateSession's training matrix: the wire
+  // carries one rows*dims block.
+  for (std::size_t i = 0; i < examples.size(); ++i) {
+    if (examples[i].size() != examples.front().size()) {
+      FailInvalid("ragged feedback examples: row " + std::to_string(i) +
+                  " has " + std::to_string(examples[i].size()) +
+                  " attributes, row 0 has " +
+                  std::to_string(examples.front().size()));
+      return Finish(false);
+    }
+  }
+  FeedbackReq req;
+  req.session_id = id;
+  req.point_ids = point_ids;
+  req.examples = examples;
+  return Finish(SendFrame(MsgType::kFeedback, EncodeFeedback(req)) &&
+                AwaitResponse(MsgType::kFeedback));
+}
+
+RpcStatus SpotClient::CloseSession(const std::string& id, bool persist,
+                                   std::vector<SpotResult>* verdicts) {
   CloseSessionReq req{id, persist};
   if (!SendFrame(MsgType::kCloseSession, EncodeCloseSession(req)) ||
       !AwaitResponse(MsgType::kCloseSession)) {
-    return false;
+    return Finish(false);
   }
   auto it = stash_.find(id);
   if (it != stash_.end()) {
@@ -479,7 +611,7 @@ bool SpotClient::CloseSession(const std::string& id, bool persist,
     stash_.erase(it);
   }
   outstanding_.erase(id);  // the session is gone; drop its id queue
-  return true;
+  return RpcStatus::Success();
 }
 
 }  // namespace net

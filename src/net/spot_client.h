@@ -15,6 +15,31 @@
 namespace spot {
 namespace net {
 
+/// Uniform status of one client RPC (DESIGN.md Section 11): every
+/// SpotClient call returns the same shape — success, a machine-readable
+/// ErrorCode, and a human-readable cause — so callers branch on the code
+/// and never on message text. `code` distinguishes server refusals
+/// (carried on the wire by a v3 kError), client-side validation failures
+/// (kInvalidArgument, nothing was sent) and transport breakage
+/// (kTransport, the connection is gone). Tests in boolean contexts as
+/// `if (!status)`; the explicit conversion keeps it out of arithmetic.
+struct RpcStatus {
+  bool ok = true;
+  ErrorCode code = ErrorCode::kUnknown;
+  std::string cause;
+
+  explicit operator bool() const { return ok; }
+
+  static RpcStatus Success() { return RpcStatus{}; }
+  static RpcStatus Failure(ErrorCode code, std::string cause) {
+    RpcStatus s;
+    s.ok = false;
+    s.code = code;
+    s.cause = std::move(cause);
+    return s;
+  }
+};
+
 /// Small blocking client for the SPOT wire protocol (DESIGN.md Section 7).
 ///
 /// Ingest is *pipelined*: it writes the frame and returns without waiting,
@@ -28,6 +53,15 @@ namespace net {
 /// and returns the session's verdicts accumulated since the last barrier,
 /// one per ingested point in point order.
 ///
+/// Version negotiation (wire v3): the client stamps its frames with
+/// wire_version() (default kWireVersion) and decodes version-dependent
+/// payloads (kError) against the version of the frame that carried them.
+/// Against a server that lacks the v3 request types, Feedback() and
+/// TopK() degrade gracefully: the server's refusal comes back as a plain
+/// RpcStatus with code kUnsupportedRequest — whether the server said so
+/// explicitly (v3 layout) or implied it by refusing a v3-only request in
+/// a v2-layout error — and the connection stays usable.
+///
 /// The client is single-threaded and not thread-safe; use one client per
 /// connection (the load generator runs one per worker thread).
 class SpotClient {
@@ -39,56 +73,76 @@ class SpotClient {
   SpotClient& operator=(const SpotClient&) = delete;
 
   /// Connects to `host:port` (IPv4 dotted quad or "localhost").
-  bool Connect(const std::string& host, std::uint16_t port);
+  RpcStatus Connect(const std::string& host, std::uint16_t port);
   void Disconnect();
   bool connected() const { return fd_ >= 0; }
 
   /// Creates and learns a session on the server (blocks for the Ok).
   /// `training` must be rectangular — the wire carries one rows*dims
-  /// matrix — so a ragged input fails fast here (row named in
-  /// last_error()) without touching the connection.
-  bool CreateSession(const std::string& id, const SpotConfig& config,
-                     const std::vector<std::vector<double>>& training);
+  /// matrix — so a ragged input fails fast here (kInvalidArgument, row
+  /// named in the cause) without touching the connection.
+  RpcStatus CreateSession(const std::string& id, const SpotConfig& config,
+                          const std::vector<std::vector<double>>& training);
 
   /// Re-attaches a session that is live on the server or resumable from
   /// its checkpoint directory (blocks for the Ok).
-  bool ResumeSession(const std::string& id);
+  RpcStatus ResumeSession(const std::string& id);
 
   /// Pipelined ingest: sends the batch and returns. Verdicts are
   /// collected per session and handed out by the next Flush(). Every
   /// point in the batch must have the same dimension (fails fast
   /// client-side otherwise, like CreateSession's training matrix).
-  bool Ingest(const std::string& id, const std::vector<DataPoint>& points);
+  RpcStatus Ingest(const std::string& id,
+                   const std::vector<DataPoint>& points);
 
   /// Barrier: forces the server to process everything pending for `id`
   /// and appends all of the session's verdicts received since the last
   /// Flush() to `verdicts` (nullptr discards them). Blocks for the Ok.
-  bool Flush(const std::string& id, std::vector<SpotResult>* verdicts);
+  RpcStatus Flush(const std::string& id, std::vector<SpotResult>* verdicts);
 
   /// Server-side checkpoint of `id`, or of every session when `id` is
   /// empty (blocks for the Ok).
-  bool Checkpoint(const std::string& id = "");
+  RpcStatus Checkpoint(const std::string& id = "");
+
+  /// (v3) Supervised feedback round: label previously ingested points by
+  /// id — they must still be retained in the session's top-k window
+  /// server-side — and/or submit fresh labeled outlier examples of the
+  /// session's dimensionality. The server forces a batch boundary first,
+  /// so the round lands at the same stream position an in-process caller
+  /// would see, and the verdict stream stays bit-identical. Blocks for
+  /// the Ok; code kUnsupportedRequest against a pre-v3 server (the
+  /// connection stays usable).
+  RpcStatus Feedback(const std::string& id,
+                     const std::vector<std::uint64_t>& point_ids,
+                     const std::vector<std::vector<double>>& examples);
+
+  /// (v3) Streaming top-k query: the session's k worst outliers in the
+  /// current (omega, epsilon)-decayed window, best first, with their
+  /// outlying-subspace findings. Read-only server-side — interleaving
+  /// queries never perturbs the verdict stream. Blocks for the
+  /// kTopKResp; code kUnsupportedRequest against a pre-v3 server.
+  RpcStatus TopK(const std::string& id, std::uint32_t k,
+                 std::vector<TopKEntry>* out);
 
   /// Scrapes the server's observability snapshot (blocks for the
-  /// kStatsResp; interleaved verdicts are stashed as usual). Returns
-  /// false when the server answers with an error or predates the kStats
-  /// request — servers older than the stats protocol treat the unknown
-  /// type as malformed and close the connection, so callers wanting a
-  /// graceful "unsupported" probe should scrape on a dedicated client.
-  bool Stats(StatsResp* out);
+  /// kStatsResp; interleaved verdicts are stashed as usual). Fails when
+  /// the server answers with an error or predates the kStats request —
+  /// servers older than the stats protocol treat the unknown type as
+  /// malformed and close the connection, so callers wanting a graceful
+  /// "unsupported" probe should scrape on a dedicated client.
+  RpcStatus Stats(StatsResp* out);
 
   /// Dumps the server's flight recorder (blocks for the kTraceResp;
   /// interleaved verdicts are stashed as usual). `json` receives the raw
-  /// Chrome-trace JSON bytes. False when tracing is disabled server-side
-  /// (the server answers kError) or on a transport error. Same
-  /// old-server caveat as Stats(): a pre-v2 server closes the connection
-  /// on the unknown request type.
-  bool TraceDump(std::string* json);
+  /// Chrome-trace JSON bytes. Fails with kTracingDisabled when the
+  /// recorder is off server-side. Same old-server caveat as Stats(): a
+  /// pre-v2 server closes the connection on the unknown request type.
+  RpcStatus TraceDump(std::string* json);
 
   /// Closes the session on the server. Implies a flush of its pending
   /// points; trailing verdicts are appended to `verdicts` when non-null.
-  bool CloseSession(const std::string& id, bool persist = true,
-                    std::vector<SpotResult>* verdicts = nullptr);
+  RpcStatus CloseSession(const std::string& id, bool persist = true,
+                         std::vector<SpotResult>* verdicts = nullptr);
 
   /// Wire payload cap in both directions: requests over it are refused
   /// fail-fast (an over-cap frame is connection-fatal server-side), and
@@ -98,8 +152,18 @@ class SpotClient {
   void set_max_payload(std::size_t bytes) { max_payload_ = bytes; }
   std::size_t max_payload() const { return max_payload_; }
 
-  /// Last transport or server-reported error (empty when none).
+  /// Version this client stamps its frames with (and therefore the
+  /// highest dialect a version-negotiating server will answer it in).
+  /// Default kWireVersion; the negotiation tests set 2 to impersonate a
+  /// v2-era client against a v3 server.
+  void set_wire_version(std::uint8_t version) { wire_version_ = version; }
+  std::uint8_t wire_version() const { return wire_version_; }
+
+  /// Cause of the last failed call (empty when none) — the same string
+  /// as the returned RpcStatus::cause, kept for log lines and tools.
   const std::string& last_error() const { return last_error_; }
+  /// Code of the last failed call (kUnknown when none failed yet).
+  ErrorCode last_code() const { return last_code_; }
 
   std::uint64_t bytes_sent() const { return bytes_sent_; }
   std::uint64_t bytes_received() const { return bytes_received_; }
@@ -108,8 +172,8 @@ class SpotClient {
   /// Writes one frame fully (blocking). False on a transport error.
   bool SendFrame(MsgType type, const std::string& payload);
   /// Blocks until a kOk/kError for `request` arrives, stashing kVerdicts
-  /// frames seen on the way. False on kError (message in last_error_) or
-  /// a transport error.
+  /// frames seen on the way. False on kError (cause in last_error_,
+  /// code in last_code_) or a transport error.
   bool AwaitResponse(MsgType request);
   /// Non-blocking read: stashes any already-arrived frames.
   bool DrainPending();
@@ -122,13 +186,26 @@ class SpotClient {
   /// ConsumeFrames variant for the trace dump: resolves on kTraceResp
   /// (raw JSON moved into `json`) instead of kOk.
   bool ConsumeTraceFrames(std::string* json, bool* done, bool* ok);
+  /// ConsumeFrames variant for the top-k query: resolves on kTopKResp
+  /// for `id` (entries moved into `out`) instead of kOk.
+  bool ConsumeTopKFrames(const std::string& id,
+                         std::vector<TopKEntry>* out, bool* done, bool* ok);
   bool StashVerdicts(const Frame& frame);
+  /// Decodes a kError frame against its version, records cause + code
+  /// (applying the v2-degradation mapping for `request`), and leaves the
+  /// connection open. False only when the frame itself is malformed.
+  bool RecordServerError(const Frame& frame, MsgType request);
   void FailTransport(const std::string& what);
+  void FailInvalid(const std::string& what);
+  /// The RpcStatus for the bool the internal helpers produced.
+  RpcStatus Finish(bool ok);
 
   int fd_ = -1;
   std::size_t max_payload_ = kDefaultMaxPayloadBytes;
+  std::uint8_t wire_version_ = kWireVersion;
   FrameDecoder decoder_;
   std::string last_error_;
+  ErrorCode last_code_ = ErrorCode::kUnknown;
   std::map<std::string, std::vector<SpotResult>> stash_;
   /// Ids of ingested points awaiting verdicts, per session. Each arriving
   /// verdict run is checked against this queue: its first_point_id must

@@ -342,6 +342,38 @@ IngestResult SpotService::Ingest(
   return IngestImpl(id, batch);
 }
 
+bool SpotService::ApplyFeedback(
+    const std::string& id, const std::vector<std::uint64_t>& point_ids,
+    const std::vector<std::vector<double>>& examples, std::string* error) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Session* session = ResidentLocked(id);
+  if (session == nullptr) {
+    if (error != nullptr) {
+      *error = "unknown session '" + id + "' (or reload failed)";
+    }
+    return false;
+  }
+  if (!session->detector->ApplyFeedback(point_ids, examples, error)) {
+    return false;
+  }
+  session->last_stats = session->detector->stats();
+  return true;
+}
+
+bool SpotService::QueryTopK(const std::string& id, std::size_t k,
+                            std::vector<TopKEntry>* out, std::string* error) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Session* session = ResidentLocked(id);
+  if (session == nullptr) {
+    if (error != nullptr) {
+      *error = "unknown session '" + id + "' (or reload failed)";
+    }
+    return false;
+  }
+  *out = session->detector->QueryTopK(k);
+  return true;
+}
+
 bool SpotService::Checkpoint(const std::string& id) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = sessions_.find(id);

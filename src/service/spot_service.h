@@ -185,6 +185,25 @@ class SpotService {
   IngestResult Ingest(const std::string& id,
                       const std::vector<std::vector<double>>& batch);
 
+  /// Routes one supervised feedback round to `id`'s detector (reloading it
+  /// if needed): labels retained points by id and/or submits fresh labeled
+  /// examples (see SpotDetector::ApplyFeedback). Must be called at a batch
+  /// boundary of the session's stream — feedback consumes one RNG draw, so
+  /// its position relative to Ingest calls determines all later verdicts.
+  /// False with `error` (may be nullptr) set when the session is unknown,
+  /// cannot be made resident, or the detector refused the round.
+  bool ApplyFeedback(const std::string& id,
+                     const std::vector<std::uint64_t>& point_ids,
+                     const std::vector<std::vector<double>>& examples,
+                     std::string* error = nullptr);
+
+  /// The k worst outliers in `id`'s current (omega, epsilon) window, best
+  /// first (reloads the session if needed; the query itself never mutates
+  /// detection state). False with `error` set when the session is unknown
+  /// or cannot be made resident.
+  bool QueryTopK(const std::string& id, std::size_t k,
+                 std::vector<TopKEntry>* out, std::string* error = nullptr);
+
   /// Writes `id`'s checkpoint without evicting it. True for a session that
   /// is already (only) on disk.
   bool Checkpoint(const std::string& id);

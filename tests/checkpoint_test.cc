@@ -278,6 +278,85 @@ TEST(CheckpointTest, FileRoundTripViaAtomicRename) {
   EXPECT_FALSE(LoadCheckpointFile(&restored, path + ".does-not-exist"));
 }
 
+/// One supervised round at the current position: label the worst retained
+/// outliers by id plus one fresh example (the detector's own dimension).
+bool FeedbackRound(SpotDetector* det) {
+  std::vector<std::uint64_t> ids;
+  for (const TopKEntry& e : det->QueryTopK(4)) ids.push_back(e.point_id);
+  const std::vector<double> example(
+      static_cast<std::size_t>(det->dimension()), 3.5);
+  return det->ApplyFeedback(ids, {example});
+}
+
+// The feedback & query plane survives a checkpoint (DESIGN.md Section 11):
+// the top-k retention window round-trips entry for entry (ids, ticks, raw
+// scores, values, findings), the feedback_rounds counter persists, and a
+// post-restore feedback round — whose RNG draw and supervised SST growth
+// depend on everything before it — leaves both detectors bit-identical.
+TEST(CheckpointTest, TopKWindowAndFeedbackStateRoundTrip) {
+  const int kDims = 6;
+  const auto training = TrainingBatch(kDims, 300);
+  const auto stream = DriftingEvalStream(kDims, 2000, 5);
+  auto original = LearnedDetector(EventfulConfig(), training);
+  Drive(original.get(), stream, 0, 800, 64);
+  ASSERT_TRUE(FeedbackRound(original.get()));
+  Drive(original.get(), stream, 800, 1000, 64);
+  ASSERT_GT(original->topk().size(), 0u);
+  EXPECT_EQ(original->stats().feedback_rounds, 1u);
+
+  const std::string bytes = SaveToString(*original);
+  SpotDetector restored{SpotConfig{}};
+  ASSERT_TRUE(LoadFromString(&restored, bytes));
+  EXPECT_EQ(restored.stats().feedback_rounds, 1u);
+
+  const auto want = original->QueryTopK(16);
+  const auto got = restored.QueryTopK(16);
+  ASSERT_EQ(got.size(), want.size());
+  ASSERT_GT(got.size(), 0u);
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].point_id, want[i].point_id) << i;
+    EXPECT_EQ(got[i].tick, want[i].tick) << i;
+    EXPECT_EQ(got[i].score, want[i].score) << i;
+    EXPECT_EQ(got[i].decayed_score, want[i].decayed_score) << i;
+    EXPECT_EQ(got[i].values, want[i].values) << i;
+    ASSERT_EQ(got[i].findings.size(), want[i].findings.size()) << i;
+  }
+  // Feedback-by-id resolves through the restored window too.
+  EXPECT_NE(restored.topk().Values(got[0].point_id), nullptr);
+
+  // A feedback round on each side must consume the same RNG draw and grow
+  // the same subspaces: the verdict tails stay identical point by point.
+  ASSERT_TRUE(FeedbackRound(original.get()));
+  ASSERT_TRUE(FeedbackRound(&restored));
+  EXPECT_EQ(restored.stats().feedback_rounds, 2u);
+  const auto expected = Drive(original.get(), stream, 1000, 2000, 64);
+  const auto tail = Drive(&restored, stream, 1000, 2000, 64);
+  ASSERT_EQ(tail.size(), expected.size());
+  for (std::size_t i = 0; i < tail.size(); ++i) {
+    ExpectIdentical(expected[i], tail[i], i, "post-feedback");
+  }
+}
+
+// Pre-feedback-plane checkpoints (format v1) must be refused outright:
+// the v2 image carries topk_capacity, feedback_rounds and the top-k
+// window, and guessing defaults for them would silently fork the verdict
+// stream the checkpoint promises to reproduce.
+TEST(CheckpointTest, RejectsOtherFormatVersions) {
+  const auto training = TrainingBatch(5, 200);
+  auto det = LearnedDetector(EventfulConfig(), training);
+  std::string bytes = SaveToString(*det);
+
+  // The format version is the byte right after the 8-byte header magic.
+  for (const char version : {char{1}, char{3}, char{0}}) {
+    std::string forged = bytes;
+    forged[8] = version;
+    SpotDetector victim{SpotConfig{}};
+    EXPECT_FALSE(LoadFromString(&victim, forged))
+        << "accepted format version " << static_cast<int>(version);
+    EXPECT_FALSE(victim.learned());
+  }
+}
+
 // ------------------------------------------------- per-layer round trips --
 
 TEST(CheckpointLayerTest, RngResumesItsExactStream) {

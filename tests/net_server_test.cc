@@ -403,6 +403,7 @@ TEST(NetRobustnessTest, SessionExclusiveToOneConnection) {
   SpotClient second;
   ASSERT_TRUE(second.Connect("127.0.0.1", server.port()));
   EXPECT_FALSE(second.ResumeSession("solo"));
+  EXPECT_EQ(second.last_code(), ErrorCode::kAttachedElsewhere);
   EXPECT_NE(second.last_error().find("another connection"),
             std::string::npos);
 
@@ -451,6 +452,7 @@ TEST(NetMultiReactorTest, CrossReactorClaimRefusedNamesOwner) {
   SpotClient second;  // -> reactor 1
   ASSERT_TRUE(second.Connect("127.0.0.1", server.port()));
   EXPECT_FALSE(second.ResumeSession("pin"));
+  EXPECT_EQ(second.last_code(), ErrorCode::kAttachedElsewhere);
   EXPECT_NE(second.last_error().find("another connection"),
             std::string::npos)
       << second.last_error();
@@ -459,6 +461,7 @@ TEST(NetMultiReactorTest, CrossReactorClaimRefusedNamesOwner) {
   // A create under the same id is refused too.
   EXPECT_FALSE(
       second.CreateSession("pin", SessionConfig(), TenantTraining(0)));
+  EXPECT_EQ(second.last_code(), ErrorCode::kSessionExists);
   EXPECT_NE(second.last_error().find("already exists"), std::string::npos)
       << second.last_error();
 
@@ -507,7 +510,7 @@ TEST(NetMultiReactorTest, CrossReactorHandOffBitIdentical) {
     ASSERT_TRUE(client.Connect("127.0.0.1", server.port()));
     bool resumed = false;
     for (int attempt = 0; attempt < 100 && !resumed; ++attempt) {
-      resumed = client.ResumeSession("s");
+      resumed = client.ResumeSession("s").ok;
       if (!resumed) {
         // Reactor 0 may not have reaped the first connection yet.
         std::this_thread::sleep_for(std::chrono::milliseconds(10));
@@ -553,6 +556,7 @@ TEST(NetMultiReactorTest, CrossReactorResumeRefusedWithoutCheckpointDir) {
   EXPECT_NE(error.find("no checkpoint directory"), std::string::npos)
       << error;
   EXPECT_NE(error.find("reactor 0"), std::string::npos) << error;
+  EXPECT_EQ(second.last_code(), ErrorCode::kWrongHomeReactor);
 
   // A resume landing back on the home reactor still works.
   SpotClient third;  // -> reactor 0
@@ -1196,6 +1200,7 @@ TEST(NetObservabilityTest, TraceDumpRefusedWhenTracingOff) {
   ASSERT_TRUE(client.Connect("127.0.0.1", server.port()));
   std::string json;
   EXPECT_FALSE(client.TraceDump(&json));
+  EXPECT_EQ(client.last_code(), ErrorCode::kTracingDisabled);
   EXPECT_NE(client.last_error().find("tracing"), std::string::npos)
       << client.last_error();
   // The refusal is a protocol kError, not a connection loss: the same
@@ -1337,6 +1342,321 @@ TEST(NetObservabilityTest, ConcurrentScrapeSurfacesUnderLoad) {
   EXPECT_NE(metrics.find("spot_rd_margin_x1000_bucket"), std::string::npos);
 
   server.StopAndJoin();
+}
+
+// ------------------------------------- feedback & query plane (wire v3) --
+
+// The feedback-plane differential (DESIGN.md Section 11): a stream with
+// interleaved supervised feedback rounds and top-k queries over the wire
+// must stay byte-identical to an in-process service applying the same
+// rounds at the same batch boundaries — every top-k answer matching
+// TopKBytes for TopKBytes on the way. The wire side deliberately never
+// flushes before a feedback round: the server's own batch-boundary
+// barrier (ProcessPending before servicing kFeedback/kQueryTopK) is what
+// must line the RNG position up with the reference.
+TEST(NetFeedbackTest, FeedbackAndTopKOverWireBitIdentical) {
+  for (const std::size_t reactors : {1, 2}) {
+    SpotServiceConfig scfg;
+    scfg.num_shards = 2;
+    SpotServerConfig ncfg;
+    ncfg.batch_points = 48;
+    ncfg.num_reactors = reactors;
+    TestServer server(scfg, ncfg);
+
+    SpotService reference{SpotServiceConfig{}};
+    ASSERT_TRUE(
+        reference.CreateSession("fb", SessionConfig(), TenantTraining(0)));
+
+    SpotClient client;
+    ASSERT_TRUE(client.Connect("127.0.0.1", server.port()));
+    ASSERT_TRUE(
+        client.CreateSession("fb", SessionConfig(), TenantTraining(0)))
+        << client.last_error();
+
+    const std::vector<DataPoint> points = TenantPoints(0, 600);
+    const std::size_t kBatch = 100;
+    std::vector<SpotResult> wire_verdicts;
+    std::vector<SpotResult> ref_verdicts;
+    std::size_t applied = 0;
+    for (std::size_t i = 0; i < points.size(); i += kBatch) {
+      const std::vector<DataPoint> batch(
+          points.begin() + static_cast<long>(i),
+          points.begin() + static_cast<long>(i + kBatch));
+      ASSERT_TRUE(client.Ingest("fb", batch)) << client.last_error();
+      const IngestResult ref = reference.Ingest("fb", batch);
+      ASSERT_TRUE(ref.ok);
+      ref_verdicts.insert(ref_verdicts.end(), ref.verdicts.begin(),
+                          ref.verdicts.end());
+
+      // Top-k answers must agree even though the wire side has pending
+      // unflushed points — the query's barrier forces them through.
+      std::vector<TopKEntry> got;
+      ASSERT_TRUE(client.TopK("fb", 6, &got)) << client.last_error();
+      std::vector<TopKEntry> want;
+      ASSERT_TRUE(reference.QueryTopK("fb", 6, &want));
+      EXPECT_EQ(TopKBytes(got), TopKBytes(want)) << "batch at " << i;
+
+      // Every other batch: a supervised round labeling the current worst
+      // outliers by id plus one fresh example, mirrored on the reference.
+      if ((i / kBatch) % 2 == 1) {
+        std::vector<std::uint64_t> ids;
+        for (const TopKEntry& e : got) ids.push_back(e.point_id);
+        const RpcStatus fb =
+            client.Feedback("fb", ids, {batch.front().values});
+        std::string ref_error;
+        const bool ref_ok = reference.ApplyFeedback(
+            "fb", ids, {batch.front().values}, &ref_error);
+        ASSERT_EQ(fb.ok, ref_ok)
+            << "wire: " << fb.cause << " reference: " << ref_error;
+        if (fb.ok) ++applied;
+      }
+    }
+    ASSERT_TRUE(client.Flush("fb", &wire_verdicts)) << client.last_error();
+    ASSERT_EQ(wire_verdicts.size(), points.size());
+    EXPECT_EQ(VerdictBytes(wire_verdicts), VerdictBytes(ref_verdicts))
+        << "reactors=" << reactors;
+    // The rounds must actually have taken: a differential between two
+    // no-op paths would prove nothing about supervised SST growth.
+    EXPECT_GT(applied, 0u);
+    SessionMetrics m;
+    bool found = false;
+    for (std::size_t r = 0; r < server.server().num_reactors() && !found;
+         ++r) {
+      found = server.server().service(r).GetMetrics("fb", &m);
+    }
+    ASSERT_TRUE(found);
+    EXPECT_EQ(m.stats.feedback_rounds, applied);
+    server.StopAndJoin();
+  }
+}
+
+// Feedback-driven SST growth must survive the checkpoint kill→restart
+// path: rounds applied before the cut shape the verdicts after it, and
+// the top-k retention window (the id source for feedback) must come back
+// byte-identical too.
+TEST(NetFeedbackTest, FeedbackSurvivesCheckpointRestart) {
+  const std::string dir = MakeCheckpointDir("fbresume");
+  const std::vector<DataPoint> points = TenantPoints(0, 600);
+  const std::size_t kCut = 300;
+
+  // Uninterrupted reference with one feedback round before the cut and
+  // one after, each at a batch boundary.
+  SpotService reference{SpotServiceConfig{}};
+  ASSERT_TRUE(
+      reference.CreateSession("s", SessionConfig(), TenantTraining(0)));
+  std::vector<SpotResult> ref_verdicts;
+  const auto ref_ingest = [&](std::size_t from, std::size_t to) {
+    const IngestResult r = reference.Ingest(
+        "s", std::vector<DataPoint>(points.begin() + static_cast<long>(from),
+                                    points.begin() + static_cast<long>(to)));
+    ASSERT_TRUE(r.ok);
+    ref_verdicts.insert(ref_verdicts.end(), r.verdicts.begin(),
+                        r.verdicts.end());
+  };
+  const auto ref_feedback = [&](const std::vector<double>& example) {
+    std::vector<TopKEntry> top;
+    ASSERT_TRUE(reference.QueryTopK("s", 4, &top));
+    std::vector<std::uint64_t> ids;
+    for (const TopKEntry& e : top) ids.push_back(e.point_id);
+    ASSERT_TRUE(reference.ApplyFeedback("s", ids, {example}));
+  };
+  ref_ingest(0, kCut);
+  ref_feedback(points[0].values);
+  ref_ingest(kCut, 450);
+  ref_feedback(points[kCut].values);
+  ref_ingest(450, points.size());
+
+  std::vector<SpotResult> wire_verdicts;
+  std::string topk_before_kill;
+  {
+    SpotServiceConfig scfg;
+    scfg.checkpoint_dir = dir;
+    TestServer server(scfg, SpotServerConfig{});
+    SpotClient client;
+    ASSERT_TRUE(client.Connect("127.0.0.1", server.port()));
+    ASSERT_TRUE(
+        client.CreateSession("s", SessionConfig(), TenantTraining(0)));
+    ASSERT_TRUE(client.Ingest(
+        "s", std::vector<DataPoint>(points.begin(),
+                                    points.begin() + kCut)));
+    std::vector<TopKEntry> top;
+    ASSERT_TRUE(client.TopK("s", 4, &top)) << client.last_error();
+    std::vector<std::uint64_t> ids;
+    for (const TopKEntry& e : top) ids.push_back(e.point_id);
+    ASSERT_TRUE(client.Feedback("s", ids, {points[0].values}))
+        << client.last_error();
+    ASSERT_TRUE(client.Flush("s", &wire_verdicts));
+    topk_before_kill = TopKBytes(top);
+    client.Disconnect();
+    server.StopAndJoin();  // graceful SIGTERM path: drain + CheckpointAll
+  }
+  {
+    SpotServiceConfig scfg;
+    scfg.checkpoint_dir = dir;
+    scfg.num_shards = 4;  // the restart may even change the shard count
+    TestServer server(scfg, SpotServerConfig{});
+    SpotClient client;
+    ASSERT_TRUE(client.Connect("127.0.0.1", server.port()));
+    ASSERT_TRUE(client.ResumeSession("s")) << client.last_error();
+    ASSERT_TRUE(client.Ingest(
+        "s", std::vector<DataPoint>(points.begin() + kCut,
+                                    points.begin() + 450)));
+    std::vector<TopKEntry> top;
+    ASSERT_TRUE(client.TopK("s", 4, &top)) << client.last_error();
+    std::vector<std::uint64_t> ids;
+    for (const TopKEntry& e : top) ids.push_back(e.point_id);
+    ASSERT_TRUE(client.Feedback("s", ids, {points[kCut].values}))
+        << client.last_error();
+    ASSERT_TRUE(client.Ingest(
+        "s", std::vector<DataPoint>(points.begin() + 450, points.end())));
+    ASSERT_TRUE(client.Flush("s", &wire_verdicts));
+    server.StopAndJoin();
+  }
+  ASSERT_EQ(wire_verdicts.size(), points.size());
+  EXPECT_EQ(VerdictBytes(wire_verdicts), VerdictBytes(ref_verdicts));
+  EXPECT_FALSE(topk_before_kill.empty());
+}
+
+// A session another connection owns refuses feedback and queries with
+// kNotAttached — by code, not by message prose.
+TEST(NetFeedbackTest, FeedbackAndTopKRequireAttachment) {
+  TestServer server(SpotServiceConfig{}, SpotServerConfig{});
+  SpotClient owner;
+  ASSERT_TRUE(owner.Connect("127.0.0.1", server.port()));
+  ASSERT_TRUE(
+      owner.CreateSession("own", SessionConfig(), TenantTraining(0)));
+
+  SpotClient intruder;
+  ASSERT_TRUE(intruder.Connect("127.0.0.1", server.port()));
+  std::vector<TopKEntry> top;
+  const RpcStatus q = intruder.TopK("own", 4, &top);
+  EXPECT_FALSE(q.ok);
+  EXPECT_EQ(q.code, ErrorCode::kNotAttached);
+  const RpcStatus fb = intruder.Feedback("own", {}, {TenantTraining(0)[0]});
+  EXPECT_FALSE(fb.ok);
+  EXPECT_EQ(fb.code, ErrorCode::kNotAttached);
+
+  // A refused round on the detector side carries kFeedbackFailed: labels
+  // naming an id the top-k window does not retain.
+  const RpcStatus bad =
+      owner.Feedback("own", {std::uint64_t{999999}}, {});
+  EXPECT_FALSE(bad.ok);
+  EXPECT_EQ(bad.code, ErrorCode::kFeedbackFailed);
+  EXPECT_NE(bad.cause.find("not retained"), std::string::npos) << bad.cause;
+
+  // Client-side validation fails fast without touching the wire.
+  const std::uint64_t sent = owner.bytes_sent();
+  const RpcStatus empty = owner.Feedback("own", {}, {});
+  EXPECT_FALSE(empty.ok);
+  EXPECT_EQ(empty.code, ErrorCode::kInvalidArgument);
+  EXPECT_EQ(owner.bytes_sent(), sent);
+
+  // None of the refusals cost anyone the connection.
+  std::vector<SpotResult> verdicts;
+  ASSERT_TRUE(owner.Ingest("own", TenantPoints(0, 16)));
+  EXPECT_TRUE(owner.Flush("own", &verdicts));
+  EXPECT_EQ(verdicts.size(), 16u);
+}
+
+// ------------------------------------------------- version negotiation --
+
+// Forward direction: a v2-era server (wire_version = 2) must refuse the
+// v3 request types with a machine-readable cause on the open connection —
+// never by closing it — and keep serving the v2 surface untouched.
+TEST(NetVersioningTest, V2ServerRefusesV3RequestsWithoutClosing) {
+  SpotServerConfig ncfg;
+  ncfg.wire_version = 2;
+  TestServer server(SpotServiceConfig{}, ncfg);
+
+  SpotClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()));
+  ASSERT_TRUE(
+      client.CreateSession("v2", SessionConfig(), TenantTraining(0)))
+      << client.last_error();
+
+  // The v3 requests degrade to kUnsupportedRequest. The server replies in
+  // the v2 error layout (no code on the wire); the client derives the
+  // code from the refused request type.
+  std::vector<TopKEntry> top;
+  const RpcStatus q = client.TopK("v2", 4, &top);
+  EXPECT_FALSE(q.ok);
+  EXPECT_EQ(q.code, ErrorCode::kUnsupportedRequest);
+  EXPECT_NE(q.cause.find("not supported"), std::string::npos) << q.cause;
+  const RpcStatus fb = client.Feedback("v2", {}, {TenantTraining(0)[0]});
+  EXPECT_FALSE(fb.ok);
+  EXPECT_EQ(fb.code, ErrorCode::kUnsupportedRequest);
+
+  // Same connection, full v2 service before and after the refusals.
+  std::vector<SpotResult> verdicts;
+  ASSERT_TRUE(client.Ingest("v2", TenantPoints(0, 32)));
+  ASSERT_TRUE(client.Flush("v2", &verdicts)) << client.last_error();
+  EXPECT_EQ(verdicts.size(), 32u);
+
+  server.StopAndJoin();
+  EXPECT_EQ(server.stats().unsupported_requests, 2u);
+  EXPECT_EQ(server.stats().protocol_errors, 0u);
+}
+
+// Reverse direction: a v2-era client against a v3 server. The server
+// caps every reply at the version the peer demonstrated, so the client
+// never sees a v3-layout payload it cannot parse — errors decode in the
+// v2 layout (code absent on the wire, kUnknown after decode) and the
+// connection survives them.
+TEST(NetVersioningTest, V3ServerSpeaksV2ToV2Clients) {
+  TestServer server(SpotServiceConfig{}, SpotServerConfig{});
+
+  SpotClient client;
+  client.set_wire_version(2);
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()));
+
+  const RpcStatus resume = client.ResumeSession("ghost");
+  EXPECT_FALSE(resume.ok);
+  // A v3 client would read kSessionUnknown; the v2 layout cannot carry
+  // the code, and ResumeSession is not a v3-only request, so no
+  // degradation mapping applies.
+  EXPECT_EQ(resume.code, ErrorCode::kUnknown);
+  EXPECT_NE(resume.cause.find("ghost"), std::string::npos) << resume.cause;
+
+  // The refusal cost nothing: the same v2 client gets full service.
+  ASSERT_TRUE(
+      client.CreateSession("old", SessionConfig(), TenantTraining(0)))
+      << client.last_error();
+  std::vector<SpotResult> verdicts;
+  ASSERT_TRUE(client.Ingest("old", TenantPoints(0, 32)));
+  ASSERT_TRUE(client.Flush("old", &verdicts)) << client.last_error();
+  EXPECT_EQ(verdicts.size(), 32u);
+
+  // A v3 client on the same server reads the full-fidelity code.
+  SpotClient modern;
+  ASSERT_TRUE(modern.Connect("127.0.0.1", server.port()));
+  EXPECT_FALSE(modern.ResumeSession("ghost"));
+  EXPECT_EQ(modern.last_code(), ErrorCode::kSessionUnknown);
+}
+
+// Every server refusal carries its machine-readable code (the Section 11
+// error-code table) — the client branches on codes, never on prose.
+TEST(NetVersioningTest, RefusalsCarryMachineReadableCodes) {
+  const std::string dir = MakeCheckpointDir("codes");
+  SpotServiceConfig scfg;
+  scfg.checkpoint_dir = dir;
+  TestServer server(scfg, SpotServerConfig{});
+
+  SpotClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()));
+  EXPECT_FALSE(client.ResumeSession("nope"));
+  EXPECT_EQ(client.last_code(), ErrorCode::kSessionUnknown);
+
+  ASSERT_TRUE(
+      client.CreateSession("dup", SessionConfig(), TenantTraining(0)));
+  const RpcStatus dup =
+      client.CreateSession("dup", SessionConfig(), TenantTraining(0));
+  EXPECT_FALSE(dup.ok);
+  EXPECT_EQ(dup.code, ErrorCode::kSessionExists);
+
+  SpotClient second;
+  ASSERT_TRUE(second.Connect("127.0.0.1", server.port()));
+  EXPECT_FALSE(second.ResumeSession("dup"));
+  EXPECT_EQ(second.last_code(), ErrorCode::kAttachedElsewhere);
 }
 
 }  // namespace

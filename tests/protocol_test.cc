@@ -339,10 +339,197 @@ TEST(CodecTest, SimpleRequestRoundTrips) {
   ASSERT_TRUE(DecodeOk(EncodeOk(ok), &ok2));
   EXPECT_EQ(ok2.request_type, static_cast<std::uint8_t>(MsgType::kFlush));
 
-  ErrorResp err{static_cast<std::uint8_t>(MsgType::kIngest), "no session"};
+  ErrorResp err;
+  err.request_type = static_cast<std::uint8_t>(MsgType::kIngest);
+  err.code = ErrorCode::kSessionUnknown;
+  err.message = "no session";
   ErrorResp err2;
   ASSERT_TRUE(DecodeError(EncodeError(err), &err2));
+  EXPECT_EQ(err2.request_type, static_cast<std::uint8_t>(MsgType::kIngest));
+  EXPECT_EQ(err2.code, ErrorCode::kSessionUnknown);
   EXPECT_EQ(err2.message, "no session");
+}
+
+TEST(CodecTest, ErrorRespSpeaksBothLayouts) {
+  // v3 carries the machine-readable code; the v2 layout lacks the field
+  // and decodes with code == kUnknown. Cross-layout decodes must fail
+  // (v3 bytes under the v2 layout leave trailing junk or vice versa),
+  // never mis-parse.
+  ErrorResp err;
+  err.request_type = static_cast<std::uint8_t>(MsgType::kFeedback);
+  err.code = ErrorCode::kUnsupportedRequest;
+  err.message = "nope";
+
+  const std::string v3 = EncodeError(err, /*version=*/3);
+  const std::string v2 = EncodeError(err, /*version=*/2);
+  EXPECT_EQ(v3.size(), v2.size() + 2);  // the u16 code
+
+  ErrorResp got;
+  ASSERT_TRUE(DecodeError(v3, &got, /*version=*/3));
+  EXPECT_EQ(got.code, ErrorCode::kUnsupportedRequest);
+  EXPECT_EQ(got.message, "nope");
+
+  got = ErrorResp();
+  ASSERT_TRUE(DecodeError(v2, &got, /*version=*/2));
+  EXPECT_EQ(got.code, ErrorCode::kUnknown);  // no code on the wire
+  EXPECT_EQ(got.message, "nope");
+
+  EXPECT_FALSE(DecodeError(v3, &got, /*version=*/2));
+  EXPECT_FALSE(DecodeError(v2, &got, /*version=*/3));
+}
+
+TEST(CodecTest, ErrorCodeNamesAreStable) {
+  EXPECT_STREQ(ErrorCodeName(ErrorCode::kUnknown), "unknown");
+  EXPECT_STREQ(ErrorCodeName(ErrorCode::kSessionUnknown),
+               "session_unknown");
+  EXPECT_STREQ(ErrorCodeName(ErrorCode::kUnsupportedRequest),
+               "unsupported_request");
+  EXPECT_STREQ(ErrorCodeName(ErrorCode::kFeedbackFailed),
+               "feedback_failed");
+  EXPECT_STREQ(ErrorCodeName(static_cast<ErrorCode>(9999)), "unknown");
+}
+
+TEST(CodecTest, FeedbackRoundTrip) {
+  FeedbackReq req;
+  req.session_id = "fb";
+  req.point_ids = {42, 7, 1000000007};
+  req.examples = {{1.5, -2.5, 0.0}, {3.25, 4.0, 1.0 / 3.0}};
+  FeedbackReq got;
+  ASSERT_TRUE(DecodeFeedback(EncodeFeedback(req), &got));
+  EXPECT_EQ(got.session_id, "fb");
+  EXPECT_EQ(got.point_ids, req.point_ids);
+  EXPECT_EQ(got.examples, req.examples);
+
+  // Ids-only and examples-only rounds are both legal payloads.
+  FeedbackReq ids_only;
+  ids_only.session_id = "fb";
+  ids_only.point_ids = {1};
+  ASSERT_TRUE(DecodeFeedback(EncodeFeedback(ids_only), &got));
+  EXPECT_EQ(got.point_ids, ids_only.point_ids);
+  EXPECT_TRUE(got.examples.empty());
+
+  // Truncation anywhere must fail cleanly, and trailing junk too.
+  const std::string wire = EncodeFeedback(req);
+  for (std::size_t cut = 0; cut < wire.size(); ++cut) {
+    FeedbackReq scratch;
+    EXPECT_FALSE(DecodeFeedback(wire.substr(0, cut), &scratch)) << cut;
+  }
+  FeedbackReq scratch;
+  EXPECT_FALSE(DecodeFeedback(wire + "x", &scratch));
+}
+
+TEST(CodecTest, HostileFeedbackCountsDoNotAllocate) {
+  // 4G point ids announced in a dozen bytes: rejected by the
+  // remaining-bytes bound before any allocation.
+  WireWriter w;
+  w.Str("s");
+  w.U32(0xFFFFFFFFu);  // id count
+  FeedbackReq got;
+  EXPECT_FALSE(DecodeFeedback(w.bytes(), &got));
+
+  // rows * dims chosen to wrap mod 2^64 — the bound must divide, never
+  // multiply untrusted counts (same discipline as DecodeIngest).
+  WireWriter o;
+  o.Str("s");
+  o.U32(0);            // no ids
+  o.U32(0x40000000u);  // rows = 2^30
+  o.U32(0x80000000u);  // dims: 8 * rows * dims = 2^64 -> wraps to 0
+  EXPECT_FALSE(DecodeFeedback(o.bytes(), &got));
+
+  // Zero-width rows claim zero payload bytes but cost an allocation each.
+  WireWriter z;
+  z.Str("s");
+  z.U32(0);
+  z.U32(0xFFFFFFFFu);  // rows
+  z.U32(0);            // dims
+  EXPECT_FALSE(DecodeFeedback(z.bytes(), &got));
+}
+
+TEST(CodecTest, QueryTopKRoundTrip) {
+  QueryTopKReq req;
+  req.session_id = "q";
+  req.k = 17;
+  QueryTopKReq got;
+  ASSERT_TRUE(DecodeQueryTopK(EncodeQueryTopK(req), &got));
+  EXPECT_EQ(got.session_id, "q");
+  EXPECT_EQ(got.k, 17u);
+
+  const std::string wire = EncodeQueryTopK(req);
+  for (std::size_t cut = 0; cut < wire.size(); ++cut) {
+    QueryTopKReq scratch;
+    EXPECT_FALSE(DecodeQueryTopK(wire.substr(0, cut), &scratch)) << cut;
+  }
+  QueryTopKReq scratch;
+  EXPECT_FALSE(DecodeQueryTopK(wire + "x", &scratch));
+}
+
+std::vector<TopKEntry> SampleTopK() {
+  std::vector<TopKEntry> entries(2);
+  entries[0].point_id = 424242;
+  entries[0].tick = 99;
+  entries[0].score = 0.875;
+  entries[0].decayed_score = 0.4375;
+  SubspaceFinding f;
+  f.subspace = Subspace(0b1011);
+  f.pcs.rd = 0.125;
+  f.pcs.irsd = 0.5;
+  f.pcs.count = 17.25;
+  entries[0].findings.push_back(f);
+  entries[1].point_id = 7;
+  entries[1].tick = 3;
+  entries[1].score = 1.0 / 3.0;
+  entries[1].decayed_score = 1.0 / 3.0;
+  return entries;
+}
+
+TEST(CodecTest, TopKRoundTripBitExactly) {
+  TopKResp resp;
+  resp.session_id = "t";
+  resp.entries = SampleTopK();
+  TopKResp got;
+  ASSERT_TRUE(DecodeTopK(EncodeTopK(resp), &got));
+  EXPECT_EQ(got.session_id, "t");
+  // Bit-exact round trip == identical canonical top-k bytes.
+  EXPECT_EQ(TopKBytes(got.entries), TopKBytes(resp.entries));
+  ASSERT_EQ(got.entries.size(), 2u);
+  EXPECT_EQ(got.entries[0].point_id, 424242u);
+  EXPECT_EQ(got.entries[0].tick, 99u);
+  ASSERT_EQ(got.entries[0].findings.size(), 1u);
+  EXPECT_EQ(got.entries[0].findings[0].subspace.bits(), 0b1011u);
+  // Attribute values never travel (they stay server-side for labeling).
+  EXPECT_TRUE(got.entries[0].values.empty());
+
+  // The canonical bytes distinguish any score perturbation.
+  std::vector<TopKEntry> other = SampleTopK();
+  other[1].decayed_score = std::nextafter(other[1].decayed_score, 1.0);
+  EXPECT_NE(TopKBytes(resp.entries), TopKBytes(other));
+
+  // Truncation sweep + trailing junk.
+  const std::string wire = EncodeTopK(resp);
+  for (std::size_t cut = 0; cut < wire.size(); ++cut) {
+    TopKResp scratch;
+    EXPECT_FALSE(DecodeTopK(wire.substr(0, cut), &scratch)) << cut;
+  }
+  TopKResp scratch;
+  EXPECT_FALSE(DecodeTopK(wire + "x", &scratch));
+}
+
+TEST(CodecTest, HostileTopKCountsDoNotAllocate) {
+  WireWriter w;
+  w.Str("t");
+  w.U32(0xFFFFFFFFu);  // entry count in a 9-byte payload
+  TopKResp got;
+  EXPECT_FALSE(DecodeTopK(w.bytes(), &got));
+
+  WireWriter f;
+  f.Str("t");
+  f.U32(1);            // one entry...
+  f.U64(1);            // point_id
+  f.U64(2);            // tick
+  f.F64(1.0);          // score
+  f.F64(1.0);          // decayed
+  f.U32(0xFFFFFFFFu);  // ...claiming 4G findings
+  EXPECT_FALSE(DecodeTopK(f.bytes(), &got));
 }
 
 std::vector<SpotResult> SampleVerdicts() {
@@ -393,13 +580,63 @@ TEST(CodecTest, RequestTypePredicate) {
   EXPECT_TRUE(IsRequestType(static_cast<std::uint8_t>(MsgType::kStats)));
   EXPECT_TRUE(
       IsRequestType(static_cast<std::uint8_t>(MsgType::kTraceDump)));
+  EXPECT_TRUE(IsRequestType(static_cast<std::uint8_t>(MsgType::kFeedback)));
+  EXPECT_TRUE(
+      IsRequestType(static_cast<std::uint8_t>(MsgType::kQueryTopK)));
   EXPECT_FALSE(IsRequestType(static_cast<std::uint8_t>(MsgType::kOk)));
   EXPECT_FALSE(
       IsRequestType(static_cast<std::uint8_t>(MsgType::kStatsResp)));
   EXPECT_FALSE(
       IsRequestType(static_cast<std::uint8_t>(MsgType::kTraceResp)));
+  EXPECT_FALSE(
+      IsRequestType(static_cast<std::uint8_t>(MsgType::kTopKResp)));
   EXPECT_FALSE(IsRequestType(0));
   EXPECT_FALSE(IsRequestType(255));
+}
+
+TEST(CodecTest, PlausibleRequestTypePredicate) {
+  // Every supported request type is plausible; so is the reserved band
+  // up to (not including) the response range — those get the
+  // kUnsupportedRequest refusal instead of a closed connection.
+  for (std::uint8_t t = 1; t <= 10; ++t) {
+    EXPECT_TRUE(IsPlausibleRequestType(t)) << int(t);
+  }
+  EXPECT_TRUE(IsPlausibleRequestType(11));
+  EXPECT_TRUE(IsPlausibleRequestType(15));
+  EXPECT_FALSE(IsPlausibleRequestType(0));
+  EXPECT_FALSE(
+      IsPlausibleRequestType(static_cast<std::uint8_t>(MsgType::kOk)));
+  EXPECT_FALSE(IsPlausibleRequestType(
+      static_cast<std::uint8_t>(MsgType::kTopKResp)));
+  EXPECT_FALSE(IsPlausibleRequestType(255));
+}
+
+TEST(FrameTest, VersionNegotiationRange) {
+  // v2 frames are still accepted (and report their version); v1 and
+  // anything above kWireVersion are corrupt.
+  FrameDecoder decoder;
+  Frame frame;
+  const std::string v2 = EncodeFrame(MsgType::kFlush, EncodeFlush({""}),
+                                     /*version=*/2);
+  decoder.Append(v2.data(), v2.size());
+  ASSERT_EQ(decoder.Next(&frame), FrameDecoder::Status::kFrame);
+  EXPECT_EQ(frame.version, 2);
+
+  const std::string v3 = EncodeFrame(MsgType::kFlush, EncodeFlush({""}));
+  decoder.Append(v3.data(), v3.size());
+  ASSERT_EQ(decoder.Next(&frame), FrameDecoder::Status::kFrame);
+  EXPECT_EQ(frame.version, kWireVersion);
+
+  for (std::uint8_t bad : {std::uint8_t{1}, std::uint8_t{kWireVersion + 1}}) {
+    std::string wire = EncodeFrame(MsgType::kFlush, "x");
+    wire[4] = static_cast<char>(bad);
+    // Re-stamping the version byte does not touch the payload CRC, so
+    // the version check is what must reject it.
+    FrameDecoder fresh;
+    fresh.Append(wire.data(), wire.size());
+    EXPECT_EQ(fresh.Next(&frame), FrameDecoder::Status::kCorrupt)
+        << int(bad);
+  }
 }
 
 TEST(FrameTest, TraceDumpRoundTrip) {

@@ -271,6 +271,67 @@ TEST(SpotServiceTest, RejectsUnknownAndInvalidSessions) {
                                      TenantTraining(0)));
 }
 
+// Service routing of the feedback & query plane (DESIGN.md Section 11):
+// ApplyFeedback/QueryTopK reach the session's detector — including a
+// session that was LRU-evicted to disk in between — and behave exactly
+// like the detector called directly.
+TEST(SpotServiceTest, RoutesFeedbackAndTopKThroughEvictionBitIdentically) {
+  const std::string dir = MakeCheckpointDir("feedback");
+  SpotServiceConfig scfg;
+  scfg.checkpoint_dir = dir;
+  scfg.max_resident = 1;  // every alternation forces an eviction round trip
+  SpotService service(scfg);
+  ASSERT_TRUE(service.CreateSession("a", SessionConfig(), TenantTraining(0)));
+  ASSERT_TRUE(service.CreateSession("b", SessionConfig(), TenantTraining(1)));
+
+  SpotDetector reference{SessionConfig()};
+  ASSERT_TRUE(reference.Learn(TenantTraining(0)));
+
+  const auto stream = TenantStream(0, 600, 1);
+  const auto decoy = TenantStream(1, 600, 2);
+  std::vector<SpotResult> got, want;
+  for (std::size_t i = 0; i < 600; i += 100) {
+    const std::vector<DataPoint> batch = Chunk(stream, i, i + 100);
+    const IngestResult r = service.Ingest("a", batch);
+    ASSERT_TRUE(r.ok);
+    got.insert(got.end(), r.verdicts.begin(), r.verdicts.end());
+    for (auto& v : reference.ProcessBatch(batch)) want.push_back(v);
+    // Touch the other session so "a" is evicted before its feedback.
+    ASSERT_TRUE(service.Ingest("b", Chunk(decoy, i, i + 100)).ok);
+    ASSERT_FALSE(service.IsResident("a"));
+
+    std::vector<TopKEntry> top;
+    ASSERT_TRUE(service.QueryTopK("a", 4, &top));
+    const auto ref_top = reference.QueryTopK(4);
+    ASSERT_EQ(top.size(), ref_top.size());
+    for (std::size_t e = 0; e < top.size(); ++e) {
+      EXPECT_EQ(top[e].point_id, ref_top[e].point_id);
+      EXPECT_EQ(top[e].decayed_score, ref_top[e].decayed_score);
+    }
+    std::vector<std::uint64_t> ids;
+    for (const TopKEntry& e : top) ids.push_back(e.point_id);
+    std::string error;
+    const bool ok =
+        service.ApplyFeedback("a", ids, {batch.front().values}, &error);
+    EXPECT_EQ(ok, reference.ApplyFeedback(ids, {batch.front().values}))
+        << error;
+  }
+  ExpectSameVerdicts(got, want, "feedback through eviction");
+
+  SessionMetrics m;
+  ASSERT_TRUE(service.GetMetrics("a", &m));
+  EXPECT_EQ(m.stats.feedback_rounds, reference.stats().feedback_rounds);
+  EXPECT_GT(m.stats.feedback_rounds, 0u);
+
+  // Unknown sessions are refused with a named cause.
+  std::string error;
+  EXPECT_FALSE(service.ApplyFeedback("ghost", {}, {{1.0}}, &error));
+  EXPECT_NE(error.find("ghost"), std::string::npos) << error;
+  std::vector<TopKEntry> top;
+  EXPECT_FALSE(service.QueryTopK("ghost", 4, &top, &error));
+  EXPECT_NE(error.find("ghost"), std::string::npos) << error;
+}
+
 TEST(SpotServiceTest, CloseWithoutPersistDiscardsAndWithPersistKeeps) {
   const std::string dir = MakeCheckpointDir("close");
   SpotServiceConfig scfg;

@@ -108,23 +108,28 @@ def run_loadgen(build_dir: str) -> list:
     The end-to-end serving-boundary metric: pts/s and flush round-trip
     latency percentiles through real loopback sockets, with --verify
     asserting the wire verdicts are byte-identical to an in-process
-    reference. Two passes — a single reactor and a two-reactor server —
-    merged into one table (the "reactors" column tells them apart), so
-    the trajectory records the serving tier at both scales. Context only
-    — it never gates.
+    reference. Three passes — a single reactor, a two-reactor server,
+    and a two-reactor feedback-heavy mix (supervised kFeedback rounds +
+    kQueryTopK interleaved with the ingest, still under --verify) —
+    merged into one table (the "mix" and "reactors" columns tell them
+    apart), so the trajectory records the serving tier at both scales
+    and the cost of the wire-v3 request plane. Context only — it never
+    gates.
     """
     binary = os.path.join(build_dir, "tools", "spot_loadgen")
     if not os.path.exists(binary):
         fail(f"{binary} not found (build with SPOT_BUILD_TOOLS=ON)")
     merged = None
-    for reactors in ("1", "2"):
+    for reactors, mix in (("1", "alarm-heavy"), ("2", "alarm-heavy"),
+                          ("2", "feedback-heavy")):
         with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
             raw_path = tmp.name
         try:
             subprocess.run(
                 [binary, "--spawn-server", "--connections", "2",
                  "--points", "6000", "--batch", "200", "--dims", "8",
-                 "--reactors", reactors, "--verify", f"--json={raw_path}"],
+                 "--reactors", reactors, "--mix", mix, "--verify",
+                 f"--json={raw_path}"],
                 check=True, stdout=subprocess.DEVNULL)
             with open(raw_path) as f:
                 raw = json.load(f)

@@ -9,9 +9,26 @@
 //   spot_loadgen --port 7077 [--host H] [--connections C] [--points N]
 //                [--batch B] [--flush-every F] [--rate R] [--dims D]
 //                [--training T] [--shards S] [--reactors R]
+//                [--mix alarm-heavy|feedback-heavy|query-heavy]
 //                [--session-prefix lg] [--csv FILE] [--skip K] [--resume]
 //                [--keep-open] [--verify] [--spawn-server]
 //                [--checkpoint-dir DIR] [--json OUT] [--trace-out FILE]
+//
+// --mix selects the request blend on top of the ingest stream (wire v3,
+// DESIGN.md Section 11):
+//   alarm-heavy    pure ingest + flush (the default; the pre-v3 workload)
+//   feedback-heavy a supervised kFeedback round every 4th batch (labeling
+//                  the current top-k outliers by id plus one fresh
+//                  example), plus an occasional kQueryTopK
+//   query-heavy    a kQueryTopK every 2nd batch, with an occasional
+//                  feedback round
+// The feedback/query schedule is a pure function of the absolute batch
+// index, so a --skip/--resume replay re-applies exactly the rounds the
+// killed run already ran (keep --skip a multiple of --batch). Under
+// --verify every top-k answer is compared byte-for-byte (TopKBytes)
+// against the in-process reference and every feedback round must agree
+// with the reference's ApplyFeedback outcome — on top of the usual
+// bit-identical verdict-stream check.
 //
 // --trace-out FILE pulls the server's flight recorder after the run (a
 // kTraceDump round trip on a dedicated connection) and writes the
@@ -89,7 +106,75 @@ struct Flags {
   bool spawn_server = false;
   std::string checkpoint_dir;
   std::string trace_out;
+  std::string mix = "alarm-heavy";
 };
+
+/// Cadences of the scheduled v3 requests, per workload class. A cadence
+/// of 0 disables the request; otherwise the request runs after every
+/// batch whose absolute index b satisfies (b + 1) % cadence == 0 — a
+/// pure function of b, so resumed runs replay the identical schedule.
+struct MixPlan {
+  std::size_t feedback_every = 0;
+  std::size_t query_every = 0;
+  std::uint32_t feedback_k = 4;  // label the current k worst outliers
+  std::uint32_t query_k = 8;
+};
+
+bool PlanFor(const std::string& mix, MixPlan* plan) {
+  if (mix == "alarm-heavy") {
+    *plan = MixPlan{};  // pure ingest
+    return true;
+  }
+  if (mix == "feedback-heavy") {
+    plan->feedback_every = 4;
+    plan->query_every = 16;
+    return true;
+  }
+  if (mix == "query-heavy") {
+    plan->feedback_every = 32;
+    plan->query_every = 2;
+    return true;
+  }
+  return false;
+}
+
+bool FeedbackDue(const MixPlan& plan, std::uint64_t batch_index) {
+  return plan.feedback_every != 0 &&
+         (batch_index + 1) % plan.feedback_every == 0;
+}
+
+bool QueryDue(const MixPlan& plan, std::uint64_t batch_index) {
+  return plan.query_every != 0 && (batch_index + 1) % plan.query_every == 0;
+}
+
+/// The feedback round due after batch b: label whatever the session's
+/// top-k window currently retains (ids from `top`) plus one fresh labeled
+/// example — the first point of the batch, known to the wire worker and
+/// the in-process reference alike.
+std::vector<std::uint64_t> FeedbackIds(
+    const std::vector<spot::TopKEntry>& top) {
+  std::vector<std::uint64_t> ids;
+  ids.reserve(top.size());
+  for (const spot::TopKEntry& e : top) ids.push_back(e.point_id);
+  return ids;
+}
+
+/// Replays the scheduled state-mutating rounds on the in-process
+/// reference for one batch (the query itself is read-only; it matters
+/// only as the id source of a due feedback round). Shared between the
+/// skipped-prefix warm-up and the served portion so both walk the same
+/// schedule.
+void ReplayScheduledOps(spot::SpotDetector* reference, const MixPlan& plan,
+                        std::uint64_t batch_index,
+                        const std::vector<double>& fresh_example) {
+  if (!FeedbackDue(plan, batch_index)) return;
+  const std::vector<spot::TopKEntry> top =
+      reference->QueryTopK(plan.feedback_k);
+  std::string error;
+  // Failure (e.g. a still-filling reservoir) is as deterministic as
+  // success; the served portion asserts the wire outcome matches.
+  reference->ApplyFeedback(FeedbackIds(top), {fresh_example}, &error);
+}
 
 /// The session config: derived only from the flags, so a --resume run
 /// reconstructs the identical reference the original run used.
@@ -151,6 +236,9 @@ struct WorkerResult {
   std::string error;
   double span_seconds = 0.0;  // detection span: first ingest -> last flush
   std::size_t points_sent = 0;
+  std::size_t feedback_rounds = 0;   // wire kFeedback rounds attempted
+  std::size_t feedback_applied = 0;  // ... that the server accepted
+  std::size_t topk_queries = 0;      // wire kQueryTopK round trips
   /// Flush round-trip latencies in microseconds. A log2 histogram instead
   /// of a per-flush vector: O(1) memory however long the run, mergeable
   /// across workers, and still good for the p50/p95/p99 columns (within
@@ -163,10 +251,15 @@ void RunWorker(const Flags& flags, std::size_t c, std::uint16_t port,
                WorkerResult* result) {
   const std::string id =
       flags.session_prefix + "-" + std::to_string(c);
+  MixPlan plan;
+  if (!PlanFor(flags.mix, &plan)) {
+    result->error = "unknown --mix '" + flags.mix + "'";
+    return;
+  }
   spot::net::SpotClient client;
   bool connected = false;
   for (int attempt = 0; attempt < 50 && !connected; ++attempt) {
-    connected = client.Connect(flags.host, port);
+    connected = client.Connect(flags.host, port).ok;
     if (!connected) {
       std::this_thread::sleep_for(std::chrono::milliseconds(100));
     }
@@ -179,9 +272,10 @@ void RunWorker(const Flags& flags, std::size_t c, std::uint16_t port,
   const std::vector<std::vector<double>> training = Training(flags, c, csv);
   const std::vector<spot::DataPoint> stream = Stream(flags, c, csv);
 
-  if (flags.resume ? !client.ResumeSession(id)
+  if (flags.resume ? !client.ResumeSession(id).ok
                    : !client.CreateSession(id, SessionConfig(flags),
-                                           training)) {
+                                           training)
+                          .ok) {
     result->error = (flags.resume ? "resume: " : "create: ") +
                     client.last_error();
     return;
@@ -189,9 +283,11 @@ void RunWorker(const Flags& flags, std::size_t c, std::uint16_t port,
 
   // In-process reference: same config, same training, same stream —
   // including a silent replay of the [0, skip) prefix an earlier run
-  // already served, so the comparison picks up exactly where it left off.
+  // already served (with its scheduled feedback rounds, which mutate the
+  // detector), so the comparison picks up exactly where it left off.
   std::unique_ptr<spot::SpotDetector> reference;
   std::vector<spot::SpotResult> expected;
+  std::uint64_t batch_index = 0;
   if (flags.verify) {
     reference =
         std::make_unique<spot::SpotDetector>(SessionConfig(flags));
@@ -204,7 +300,12 @@ void RunWorker(const Flags& flags, std::size_t c, std::uint16_t port,
       reference->ProcessBatch(std::vector<spot::DataPoint>(
           stream.begin() + static_cast<long>(i),
           stream.begin() + static_cast<long>(i + n)));
+      ReplayScheduledOps(reference.get(), plan, batch_index,
+                         stream[i].values);
+      ++batch_index;
     }
+  } else {
+    batch_index = (flags.skip + flags.batch - 1) / flags.batch;
   }
 
   std::vector<spot::SpotResult> verdicts;
@@ -239,6 +340,69 @@ void RunWorker(const Flags& flags, std::size_t c, std::uint16_t port,
       expected.insert(expected.end(), ref.begin(), ref.end());
     }
     result->points_sent += n;
+
+    // Scheduled v3 requests (--mix): query first, then the feedback
+    // round, in a fixed order so the wire and the reference walk the
+    // same sequence. Both requests force a server-side batch boundary,
+    // which is exactly where the reference sits after ProcessBatch.
+    if (QueryDue(plan, batch_index)) {
+      std::vector<spot::TopKEntry> got;
+      if (!client.TopK(id, plan.query_k, &got)) {
+        result->error = "top-k query: " + client.last_error();
+        return;
+      }
+      ++result->topk_queries;
+      if (flags.verify &&
+          spot::net::TopKBytes(got) !=
+              spot::net::TopKBytes(reference->QueryTopK(plan.query_k))) {
+        result->verified = false;
+        result->error = "top-k bytes diverge from in-process reference "
+                        "at batch " + std::to_string(batch_index);
+        return;
+      }
+    }
+    if (FeedbackDue(plan, batch_index)) {
+      std::vector<spot::TopKEntry> top;
+      if (!client.TopK(id, plan.feedback_k, &top)) {
+        result->error = "top-k (feedback ids): " + client.last_error();
+        return;
+      }
+      ++result->topk_queries;
+      const std::vector<std::uint64_t> ids = FeedbackIds(top);
+      const spot::net::RpcStatus fb =
+          client.Feedback(id, ids, {batch.front().values});
+      // kFeedbackFailed is a legitimate deterministic outcome (e.g. a
+      // reservoir still filling early in the stream); anything else —
+      // transport, unsupported, not attached — fails the run.
+      if (!fb && fb.code != spot::net::ErrorCode::kFeedbackFailed) {
+        result->error = "feedback: " + client.last_error();
+        return;
+      }
+      ++result->feedback_rounds;
+      if (fb.ok) ++result->feedback_applied;
+      if (flags.verify) {
+        if (spot::net::TopKBytes(top) !=
+            spot::net::TopKBytes(reference->QueryTopK(plan.feedback_k))) {
+          result->verified = false;
+          result->error = "feedback-id top-k bytes diverge at batch " +
+                          std::to_string(batch_index);
+          return;
+        }
+        std::string ref_error;
+        const bool ref_ok = reference->ApplyFeedback(
+            ids, {batch.front().values}, &ref_error);
+        if (ref_ok != fb.ok) {
+          result->verified = false;
+          result->error = "feedback outcome diverges at batch " +
+                          std::to_string(batch_index) + ": wire " +
+                          (fb.ok ? "ok" : "failed") + ", reference " +
+                          (ref_ok ? "ok" : "failed");
+          return;
+        }
+      }
+    }
+    ++batch_index;
+
     if (++batches_since_flush >= flags.flush_every) {
       if (!client.Flush(id, &verdicts)) {
         result->error = "flush: " + client.last_error();
@@ -415,10 +579,24 @@ int main(int argc, char** argv) {
   flags.spawn_server = ex::TakeBoolFlag(&args, "spawn-server");
   flags.checkpoint_dir = ex::TakeStringFlag(&args, "checkpoint-dir", "");
   flags.trace_out = ex::TakeStringFlag(&args, "trace-out", "");
+  flags.mix = ex::TakeStringFlag(&args, "mix", flags.mix);
   // Swallow the reporter's flag, already parsed from argv.
   ex::TakeStringFlag(&args, "json", "");
   if (!args.empty()) {
     SPOT_LOG(Error) << "unknown argument '" << args.front() << "'";
+    return 2;
+  }
+  MixPlan plan;
+  if (!PlanFor(flags.mix, &plan)) {
+    SPOT_LOG(Error) << "unknown --mix '" << flags.mix
+                    << "' (alarm-heavy | feedback-heavy | query-heavy)";
+    return 2;
+  }
+  if ((plan.feedback_every != 0 || plan.query_every != 0) &&
+      flags.skip % flags.batch != 0) {
+    SPOT_LOG(Error) << "--mix " << flags.mix << " needs --skip to be a "
+                    << "multiple of --batch (the request schedule is keyed "
+                    << "to batch boundaries)";
     return 2;
   }
 
@@ -463,9 +641,9 @@ int main(int argc, char** argv) {
   }
 
   std::printf("loadgen: %zu connection(s) x %zu points (batch %zu, flush "
-              "every %zu, rate %zu pts/s/conn, skip %zu)%s\n",
+              "every %zu, rate %zu pts/s/conn, skip %zu, mix %s)%s\n",
               flags.connections, flags.points, flags.batch,
-              flags.flush_every, flags.rate, flags.skip,
+              flags.flush_every, flags.rate, flags.skip, flags.mix.c_str(),
               flags.verify ? " with --verify" : "");
 
   std::vector<WorkerResult> results(flags.connections);
@@ -496,6 +674,9 @@ int main(int argc, char** argv) {
   bool all_verified = true;
   double max_span = 0.0;
   std::size_t total_points = 0;
+  std::size_t feedback_rounds = 0;
+  std::size_t feedback_applied = 0;
+  std::size_t topk_queries = 0;
   // Per-connection throughput spread: with multiple reactors, skew
   // between the fastest and slowest connection is the first sign of an
   // unbalanced accept spread or a stalled reactor.
@@ -511,6 +692,9 @@ int main(int argc, char** argv) {
     all_verified &= r.verified;
     max_span = std::max(max_span, r.span_seconds);
     total_points += r.points_sent;
+    feedback_rounds += r.feedback_rounds;
+    feedback_applied += r.feedback_applied;
+    topk_queries += r.topk_queries;
     const double conn_rate =
         r.span_seconds > 0.0
             ? static_cast<double>(r.points_sent) / r.span_seconds
@@ -522,10 +706,11 @@ int main(int argc, char** argv) {
 
   const double pts_per_sec =
       max_span > 0.0 ? static_cast<double>(total_points) / max_span : 0.0;
-  spot::eval::Table table({"connections", "points", "batch", "shards",
+  spot::eval::Table table({"mix", "connections", "points", "batch", "shards",
                            "reactors", "pts/s", "conn min", "conn max",
                            "p50 ms", "p95 ms", "p99 ms"});
-  table.AddRow({spot::eval::Table::Int(flags.connections),
+  table.AddRow({flags.mix,
+                spot::eval::Table::Int(flags.connections),
                 spot::eval::Table::Int(total_points),
                 spot::eval::Table::Int(flags.batch),
                 spot::eval::Table::Int(flags.shards),
@@ -540,6 +725,13 @@ int main(int argc, char** argv) {
                 spot::eval::Table::Num(latency_us.Quantile(0.95) / 1000.0, 2),
                 spot::eval::Table::Num(latency_us.Quantile(0.99) / 1000.0, 2)});
   json.Print(table, "LOADGEN: end-to-end server throughput");
+
+  if (plan.feedback_every != 0 || plan.query_every != 0) {
+    std::printf("mix %s: %zu top-k queries, %zu feedback rounds "
+                "(%zu applied)\n",
+                flags.mix.c_str(), topk_queries, feedback_rounds,
+                feedback_applied);
+  }
 
   if (flags.verify) {
     std::printf("\nBIT-IDENTICAL VERDICTS: %s\n",
