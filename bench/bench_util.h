@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <fstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/detector.h"
@@ -27,7 +28,8 @@ namespace bench {
 /// given, the tables it prints are ALSO written as one JSON document
 ///
 ///     {"schema": "spot-bench-v1", "bench": "<binary name>",
-///      "tables": [{"title": ..., "headers": [...], "rows": [[...]]}]}
+///      "tables": [{"title": ..., "headers": [...], "rows": [[...]]}],
+///      "counters": {"instr/pt": 512.3, ...}}        // when any were set
 ///
 /// so the perf trajectory can be tracked across PRs by diffing artifacts
 /// instead of scraping stdout. Cells are emitted as the exact strings the
@@ -73,6 +75,20 @@ class JsonReporter {
     tables_.push_back(table);
   }
 
+  /// Records one scalar into the document's `counters` block (hardware
+  /// profiling rates like instructions-per-point ride here — named
+  /// scalars, not table cells, so downstream tooling reads them without
+  /// knowing any table's shape). Last write per name wins.
+  void SetCounter(const std::string& name, double value) {
+    for (auto& [n, v] : counters_) {
+      if (n == name) {
+        v = value;
+        return;
+      }
+    }
+    counters_.emplace_back(name, value);
+  }
+
   /// The assembled JSON document (exposed for tests; the destructor writes
   /// it to the `--json` path).
   std::string json_doc() const {
@@ -90,7 +106,18 @@ class JsonReporter {
       }
       doc += "]}";
     }
-    doc += "]}\n";
+    doc += "]";
+    if (!counters_.empty()) {
+      doc += ", \"counters\": {";
+      for (std::size_t i = 0; i < counters_.size(); ++i) {
+        if (i > 0) doc += ", ";
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.6g", counters_[i].second);
+        doc += Quote(counters_[i].first) + ": " + buf;
+      }
+      doc += "}";
+    }
+    doc += "}\n";
     return doc;
   }
 
@@ -133,6 +160,8 @@ class JsonReporter {
   std::string path_;
   std::vector<std::string> titles_;
   std::vector<eval::Table> tables_;
+  /// Insertion-ordered named scalars for the `counters` block.
+  std::vector<std::pair<std::string, double>> counters_;
 };
 
 /// The shared experiment configuration (see src/eval/presets.h — one

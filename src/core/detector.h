@@ -19,6 +19,7 @@
 #include "grid/synapse_manager.h"
 #include "learning/sst.h"
 #include "learning/supervised.h"
+#include "obs/perf_counters.h"
 #include "stream/detector_iface.h"
 
 namespace spot {
@@ -227,6 +228,20 @@ class SpotDetector {
   bool collect_shard_timings() const { return collect_shard_timings_; }
   const std::vector<ShardSpan>& shard_spans() const { return shard_spans_; }
 
+  /// Enables hardware-counter attribution of sharded batches (DESIGN.md
+  /// Section 12): after each sharded ProcessBatch, bin_perf() holds the
+  /// counter deltas of the phase-0 binning pass and shard_perf() one
+  /// entry per shard for its probe loop (both overwritten per batch,
+  /// mirroring shard_spans). Off by default; pure measurement — verdicts,
+  /// stats and checkpoint bytes are bit-identical either way, and
+  /// sequential (num_shards == 1) batches never produce totals.
+  void set_collect_perf_counters(bool on) { collect_perf_counters_ = on; }
+  bool collect_perf_counters() const { return collect_perf_counters_; }
+  const obs::PerfStageTotals& bin_perf() const { return bin_perf_; }
+  const std::vector<obs::PerfStageTotals>& shard_perf() const {
+    return shard_perf_;
+  }
+
  private:
   // The sharded engine drives the same per-point pipeline from its batch
   // join (reservoir, verdict assembly, ApplyPointSideEffects) and borrows
@@ -295,6 +310,11 @@ class SpotDetector {
   /// Filled by the sharded engine when timing collection is on (one entry
   /// per shard, overwritten each sharded batch).
   std::vector<ShardSpan> shard_spans_;
+  bool collect_perf_counters_ = false;
+  /// Filled by the sharded engine when counter collection is on
+  /// (overwritten each sharded batch, like shard_spans_).
+  obs::PerfStageTotals bin_perf_;
+  std::vector<obs::PerfStageTotals> shard_perf_;
 };
 
 /// Adapter exposing SpotDetector through the generic StreamDetector

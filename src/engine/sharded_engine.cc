@@ -6,6 +6,7 @@
 #include "common/math_util.h"
 #include "common/timer.h"
 #include "grid/synapse_manager.h"
+#include "obs/perf_counters.h"
 
 namespace spot {
 
@@ -76,6 +77,15 @@ std::vector<SpotResult> ShardedSpotEngine::ProcessBatch(
   const SpotConfig& config = detector.config_;
   const ShardRunParams params{config.rd_threshold, config.irsd_threshold,
                               config.fringe_factor};
+  // Counter attribution (DESIGN.md Section 12): per-batch overwrite,
+  // mirroring shard_spans_ — the service harvests the deltas right after
+  // ProcessBatch returns. Pure measurement on the side: the measured code
+  // is untouched, so verdicts stay bit-identical with profiling on.
+  const bool perf = detector.collect_perf_counters_;
+  if (perf) {
+    detector.bin_perf_ = obs::PerfStageTotals{};
+    detector.shard_perf_.assign(num_shards_, obs::PerfStageTotals{});
+  }
 
   // Phase 0 — coordinator: bin each point once, fold it into the
   // single-owner base grid, and snapshot the per-point total weight. The
@@ -83,23 +93,28 @@ std::vector<SpotResult> ShardedSpotEngine::ProcessBatch(
   // join; every weight is exactly the W the sequential path would read.
   // Binning the whole batch first lets the fold loop prefetch point j+1's
   // base-cell bucket while folding point j (DESIGN.md Section 3.9).
-  frame_.points = &points;
-  frame_.base_coords.resize(n);
-  frame_.ticks.resize(n);
-  frame_.total_weights.resize(n);
-  for (std::size_t j = 0; j < n; ++j) {
-    frame_.ticks[j] = detector.tick_++;
-    synapses.BinBase(points[j].values, &frame_.base_coords[j]);
-  }
-  const BaseGrid& base = synapses.base_grid();
-  std::uint64_t hash = base.PrefetchCoords(frame_.base_coords[0]);
-  for (std::size_t j = 0; j < n; ++j) {
-    const std::uint64_t next_hash =
-        j + 1 < n ? base.PrefetchCoords(frame_.base_coords[j + 1]) : 0;
-    frame_.total_weights[j] =
-        synapses.AddBase(frame_.base_coords[j], hash, points[j].values,
-                         frame_.ticks[j]);
-    hash = next_hash;
+  {
+    obs::ScopedCounters bin_perf(perf ? obs::ThreadPerfGroup() : nullptr,
+                                 &detector.bin_perf_);
+    bin_perf.set_units(n);
+    frame_.points = &points;
+    frame_.base_coords.resize(n);
+    frame_.ticks.resize(n);
+    frame_.total_weights.resize(n);
+    for (std::size_t j = 0; j < n; ++j) {
+      frame_.ticks[j] = detector.tick_++;
+      synapses.BinBase(points[j].values, &frame_.base_coords[j]);
+    }
+    const BaseGrid& base = synapses.base_grid();
+    std::uint64_t hash = base.PrefetchCoords(frame_.base_coords[0]);
+    for (std::size_t j = 0; j < n; ++j) {
+      const std::uint64_t next_hash =
+          j + 1 < n ? base.PrefetchCoords(frame_.base_coords[j + 1]) : 0;
+      frame_.total_weights[j] =
+          synapses.AddBase(frame_.base_coords[j], hash, points[j].values,
+                           frame_.ticks[j]);
+      hash = next_hash;
+    }
   }
 
   // Phase 1 — fan the per-subspace work out to the shards. When the flight
@@ -114,14 +129,27 @@ std::vector<SpotResult> ShardedSpotEngine::ProcessBatch(
   if (pool_ != nullptr) {
     pool_->Dispatch(shards_.size(), [&](std::size_t k) {
       const std::uint64_t t0 = timed ? SteadyMicrosSinceStart() : 0;
-      shards_[k].ProcessRun(frame_, 0, n, params);
+      {
+        // Each worker thread measures with its own group into its own
+        // slot — no contention; Dispatch joins before anyone reads them.
+        obs::ScopedCounters probe_perf(
+            perf ? obs::ThreadPerfGroup() : nullptr,
+            perf ? &detector.shard_perf_[k] : nullptr);
+        probe_perf.set_units(n * shards_[k].NumGrids());  // logical probes
+        shards_[k].ProcessRun(frame_, 0, n, params);
+      }
       if (timed) {
         detector.shard_spans_[k] = {t0, SteadyMicrosSinceStart() - t0};
       }
     });
   } else {
     const std::uint64_t t0 = timed ? SteadyMicrosSinceStart() : 0;
-    shards_[0].ProcessRun(frame_, 0, n, params);
+    {
+      obs::ScopedCounters probe_perf(perf ? obs::ThreadPerfGroup() : nullptr,
+                                     perf ? &detector.shard_perf_[0] : nullptr);
+      probe_perf.set_units(n * shards_[0].NumGrids());
+      shards_[0].ProcessRun(frame_, 0, n, params);
+    }
     if (timed) {
       detector.shard_spans_[0] = {t0, SteadyMicrosSinceStart() - t0};
     }

@@ -94,6 +94,12 @@ void Reactor::Run() {
 
 bool Reactor::RunOnce(int timeout_ms) {
   if (stopping() || poller_ == nullptr || shutdown_done_) return false;
+  if (config_.profile_counters && perf_group_ == nullptr) {
+    // Opened here — on the loop thread — rather than in Init(), which
+    // runs on the server's starting thread: a perf_event group counts
+    // the thread that opened it.
+    perf_group_ = obs::PerfCounterGroup::Open();
+  }
   std::vector<Poller::Event> events;
   if (poller_->Wait(timeout_ms, &events) < 0) {
     SPOT_LOG(Error) << "reactor " << index_
@@ -174,6 +180,25 @@ void Reactor::PublishMetrics() {
   obs_.GetGauge("pending_points")->Set(static_cast<double>(pending_points));
   obs_.GetGauge("outbound_queued_bytes")
       ->Set(static_cast<double>(queued_bytes));
+  if (perf_group_ != nullptr) {
+    obs::PublishPerfMode(&obs_, perf_group_.get());
+    obs::PublishPerfTotals(&obs_, "stage=\"decode\"", perf_decode_);
+    obs::PublishPerfTotals(&obs_, "stage=\"coalesce\"", perf_coalesce_);
+    obs::PublishPerfTotals(&obs_, "stage=\"process\"", perf_process_);
+    obs::PublishPerfTotals(&obs_, "stage=\"encode\"", perf_encode_);
+    obs::PublishPerfTotals(&obs_, "stage=\"write\"", perf_write_);
+    if (index_ == 0) {
+      // Process-wide gauges once, not per reactor — and on a coarse
+      // cadence: counting /proc/self/fd entries every loop turn is
+      // measurable at high turn rates.
+      const std::int64_t now_us =
+          static_cast<std::int64_t>(SteadyMicrosSinceStart());
+      if (now_us - last_process_gauges_us_ >= 500000) {
+        last_process_gauges_us_ = now_us;
+        obs::PublishProcessGauges(&obs_);
+      }
+    }
+  }
   hub_->Publish(static_cast<std::size_t>(index_), obs_.Snapshot());
 }
 
@@ -364,8 +389,10 @@ void Reactor::ReadReady(int fd) {
       const MonoClock::time_point decode_start = MonoClock::now();
       const std::uint64_t trace_t0 =
           trace_ != nullptr ? SteadyMicrosSinceStart() : 0;
+      obs::ScopedCounters decode_perf(perf_group_.get(), &perf_decode_);
       const FrameDecoder::Status status = conn.decoder.Next(&frame);
       if (status == FrameDecoder::Status::kFrame) {
+        decode_perf.set_units(1);  // one whole frame decoded
         h_decode_us_->Record(MicrosSince(decode_start));
         if (trace_ != nullptr) {
           obs::TraceEvent span;
@@ -375,6 +402,9 @@ void Reactor::ReadReady(int fd) {
           span.points = frame.payload.size();  // bytes for byte stages
           trace_->Record(span);
         }
+      } else {
+        // Incomplete or corrupt attempts would skew per-frame rates.
+        decode_perf.Cancel();
       }
       if (status == FrameDecoder::Status::kNeedMore) break;
       if (status == FrameDecoder::Status::kCorrupt) {
@@ -629,8 +659,10 @@ bool Reactor::HandleIngest(Conn& conn, const std::string& payload) {
   const MonoClock::time_point coalesce_start = MonoClock::now();
   const std::uint64_t trace_t0 =
       trace_ != nullptr ? SteadyMicrosSinceStart() : 0;
+  obs::ScopedCounters coalesce_perf(perf_group_.get(), &perf_coalesce_);
   IngestReq req;
   if (!DecodeIngest(payload, &req)) {
+    coalesce_perf.Cancel();
     ++stats_.protocol_errors;
     SendError(conn, MsgType::kIngest, ErrorCode::kMalformedPayload,
               "malformed ingest payload");
@@ -638,6 +670,7 @@ bool Reactor::HandleIngest(Conn& conn, const std::string& payload) {
     return false;
   }
   if (!RequireAttached(conn, MsgType::kIngest, req.session_id)) {
+    coalesce_perf.Cancel();
     conn.want_close = true;
     return false;
   }
@@ -653,6 +686,8 @@ bool Reactor::HandleIngest(Conn& conn, const std::string& payload) {
   service_->RecordNetwork(req.session_id, activity);
   // Coalesce stage ends here; the early batch cut below is accounted to
   // the process stage by ProcessPending itself.
+  coalesce_perf.set_units(frame_points);
+  coalesce_perf.Commit();
   h_coalesce_us_->Record(MicrosSince(coalesce_start));
   if (trace_ != nullptr) {
     obs::TraceEvent span;
@@ -698,7 +733,14 @@ bool Reactor::ProcessPending(Conn& conn, const std::string& id, bool all) {
     const MonoClock::time_point process_start = MonoClock::now();
     const std::uint64_t trace_t0 =
         trace_ != nullptr ? SteadyMicrosSinceStart() : 0;
-    IngestResult result = service_->Ingest(id, chunk);
+    IngestResult result;
+    {
+      // The engine's own bin/probe scopes nest inside this one (snapshot
+      // deltas — each measures exactly its own window).
+      obs::ScopedCounters process_perf(perf_group_.get(), &perf_process_);
+      process_perf.set_units(n);
+      result = service_->Ingest(id, chunk);
+    }
     const double process_us = MicrosSince(process_start);
     h_process_us_->Record(process_us);
     h_batch_points_->Record(static_cast<double>(n));
@@ -772,7 +814,10 @@ bool Reactor::ProcessPending(Conn& conn, const std::string& id, bool all) {
       const MonoClock::time_point encode_start = MonoClock::now();
       const std::uint64_t encode_t0 =
           trace_ != nullptr ? SteadyMicrosSinceStart() : 0;
+      obs::ScopedCounters encode_perf(perf_group_.get(), &perf_encode_);
+      encode_perf.set_units(resp.verdicts.size());
       const std::string payload = EncodeVerdicts(resp);
+      encode_perf.Commit();
       h_encode_us_->Record(MicrosSince(encode_start));
       if (trace_ != nullptr) {
         obs::TraceEvent span;
@@ -855,12 +900,14 @@ void Reactor::TryFlush(Conn& conn) {
     return;
   }
   obs::ScopedLatency write_timer(h_write_us_);
+  obs::ScopedCounters write_perf(perf_group_.get(), &perf_write_);
   if (trace_ == nullptr) {
-    WriteLoop(conn);
+    write_perf.set_units(WriteLoop(conn));  // bytes for byte stages
     return;
   }
   const std::uint64_t trace_t0 = SteadyMicrosSinceStart();
   const std::size_t sent = WriteLoop(conn);
+  write_perf.set_units(sent);
   if (sent > 0) {
     obs::TraceEvent span;
     span.stage = obs::TraceStage::kWrite;

@@ -15,6 +15,7 @@
 #include "net/protocol.h"
 #include "net/server_config.h"
 #include "obs/metrics.h"
+#include "obs/perf_counters.h"
 #include "obs/trace.h"
 #include "stream/data_point.h"
 
@@ -233,6 +234,22 @@ class Reactor {
   /// bits keeps ids globally unique, so a merged multi-reactor trace
   /// never aliases two batches. 0 is reserved for "not batch-scoped".
   std::uint64_t next_batch_seq_ = 1;
+
+  /// Hardware-counter profiling plane (DESIGN.md Section 12). The group
+  /// is opened lazily on the loop thread (perf_event groups count the
+  /// opening thread) the first time RunOnce runs with profiling on; null
+  /// means profiling off and every stage hook costs one pointer test.
+  /// Totals are loop-thread-local like the registry; they flow out as
+  /// labeled `perf_*` families in PublishMetrics.
+  std::unique_ptr<obs::PerfCounterGroup> perf_group_;
+  obs::PerfStageTotals perf_decode_;
+  obs::PerfStageTotals perf_coalesce_;
+  obs::PerfStageTotals perf_process_;
+  obs::PerfStageTotals perf_encode_;
+  obs::PerfStageTotals perf_write_;
+  /// Process-level gauges (RSS, fds, uptime) are refreshed by reactor 0
+  /// only, at most every ~500 ms — /proc reads are cheap but not free.
+  std::int64_t last_process_gauges_us_ = 0;
 };
 
 }  // namespace net

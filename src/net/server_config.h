@@ -95,6 +95,18 @@ struct SpotServerConfig {
   /// GET /trace). 0 disables tracing entirely — the hot path then pays
   /// one null-pointer test per stage and records nothing.
   std::size_t trace_capacity = 2048;
+
+  /// Hardware performance-counter profiling plane (DESIGN.md Section 12):
+  /// when true each reactor opens a per-thread perf_event group (cycles,
+  /// instructions, cache refs/misses, branch misses) on its loop thread
+  /// and attributes counter deltas to the five pipeline stages
+  /// (decode/coalesce/process/encode/write), published as labeled
+  /// `perf_*` families on every scrape surface. Where the syscall is
+  /// denied (perf_event_paranoid, seccomp, non-Linux) the plane degrades
+  /// to a wall-clock software fallback and says so via the `perf_mode`
+  /// gauge. Off by default — disabled hooks cost one boolean test — and
+  /// verdicts/checkpoint bytes are bit-identical either way.
+  bool profile_counters = false;
 };
 
 /// Event-loop counters. Each reactor owns one instance, written only by

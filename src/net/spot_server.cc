@@ -56,6 +56,9 @@ SpotServer::SpotServer(SpotServiceConfig service_config,
     : config_(std::move(config)) {
   if (config_.batch_points == 0) config_.batch_points = 1;
   if (config_.num_reactors == 0) config_.num_reactors = 1;
+  // One profiling switch for both tiers: the reactors read it from
+  // config_, the engine tier through each shard's service config.
+  if (config_.profile_counters) service_config.collect_perf_counters = true;
   services_.reserve(config_.num_reactors);
   std::vector<SpotService*> raw;
   for (std::size_t i = 0; i < config_.num_reactors; ++i) {

@@ -2,7 +2,7 @@
 
 #include <cinttypes>
 #include <cstdio>
-#include <set>
+#include <map>
 
 namespace spot {
 namespace obs {
@@ -12,6 +12,31 @@ std::string FormatDouble(double v) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.17g", v);
   return buf;
+}
+
+/// Registry keys may embed label pairs in the metric name itself —
+/// `perf_cycles{stage="decode"}` — which lets a label-less Registry carry
+/// labeled families through every scrape surface unchanged (DESIGN.md
+/// Section 12). Splits such a key into its family base name and the
+/// embedded label string (empty for plain names).
+void SplitEmbeddedLabels(const std::string& name, std::string* base,
+                         std::string* embedded) {
+  const std::size_t brace = name.find('{');
+  if (brace == std::string::npos || name.back() != '}') {
+    *base = name;
+    embedded->clear();
+    return;
+  }
+  *base = name.substr(0, brace);
+  *embedded = name.substr(brace + 1, name.size() - brace - 2);
+}
+
+/// Section label first (reactor=/shard=/session=), embedded pairs after.
+std::string MergeLabels(const std::string& section,
+                        const std::string& embedded) {
+  if (section.empty()) return embedded;
+  if (embedded.empty()) return section;
+  return section + "," + embedded;
 }
 
 void AppendSeries(const std::string& name, const std::string& labels,
@@ -28,40 +53,56 @@ std::string WithLe(const std::string& labels, const std::string& le) {
   return merged;
 }
 
+/// A family's series across every section, in section order (embedded
+/// variants of one section follow the section's own map order).
+template <typename Value>
+using Family = std::map<std::string, std::vector<std::pair<std::string,
+                                                           Value>>>;
+
+template <typename Value, typename Map>
+void Collect(const std::string& section, const Map& series, Family<Value>* out) {
+  std::string base, embedded;
+  for (const auto& [name, value] : series) {
+    SplitEmbeddedLabels(name, &base, &embedded);
+    (*out)[base].emplace_back(MergeLabels(section, embedded), value);
+  }
+}
+
 }  // namespace
 
 std::string RenderPrometheus(const std::vector<LabeledSnapshot>& sections) {
   std::string out;
-  std::set<std::string> counter_names, gauge_names, hist_names;
+  // Group by family base name so each family gets exactly one TYPE line,
+  // however many sections — or embedded label variants — carry it.
+  Family<std::uint64_t> counters;
+  Family<double> gauges;
+  Family<const Histogram*> hists;
   for (const auto& [labels, snap] : sections) {
-    (void)labels;
-    for (const auto& [name, v] : snap.counters) counter_names.insert(name);
-    for (const auto& [name, v] : snap.gauges) gauge_names.insert(name);
-    for (const auto& [name, h] : snap.histograms) hist_names.insert(name);
+    Collect(labels, snap.counters, &counters);
+    Collect(labels, snap.gauges, &gauges);
+    std::string base, embedded;
+    for (const auto& [name, h] : snap.histograms) {
+      SplitEmbeddedLabels(name, &base, &embedded);
+      hists[base].emplace_back(MergeLabels(labels, embedded), &h);
+    }
   }
 
-  for (const std::string& name : counter_names) {
+  for (const auto& [name, series] : counters) {
     out.append("# TYPE spot_").append(name).append(" counter\n");
-    for (const auto& [labels, snap] : sections) {
-      auto it = snap.counters.find(name);
-      if (it == snap.counters.end()) continue;
-      AppendSeries(name, labels, std::to_string(it->second), &out);
+    for (const auto& [labels, value] : series) {
+      AppendSeries(name, labels, std::to_string(value), &out);
     }
   }
-  for (const std::string& name : gauge_names) {
+  for (const auto& [name, series] : gauges) {
     out.append("# TYPE spot_").append(name).append(" gauge\n");
-    for (const auto& [labels, snap] : sections) {
-      auto it = snap.gauges.find(name);
-      if (it == snap.gauges.end()) continue;
-      AppendSeries(name, labels, FormatDouble(it->second), &out);
+    for (const auto& [labels, value] : series) {
+      AppendSeries(name, labels, FormatDouble(value), &out);
     }
   }
-  for (const std::string& name : hist_names) {
+  for (const auto& [name, series] : hists) {
     out.append("# TYPE spot_").append(name).append(" histogram\n");
-    for (const auto& [labels, snap] : sections) {
-      auto it = snap.histograms.find(name);
-      if (it == snap.histograms.end()) continue;
-      const Histogram& h = it->second;
+    for (const auto& [labels, hp] : series) {
+      const Histogram& h = *hp;
       int top = -1;
       for (int i = 0; i < Histogram::kNumBuckets; ++i) {
         if (h.bucket(i) != 0) top = i;

@@ -7,6 +7,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <utility>
 
@@ -16,17 +17,64 @@ namespace {
 
 constexpr std::size_t kMaxRequestBytes = 4096;
 
-bool SendAll(int fd, const char* data, std::size_t len) {
+using Clock = std::chrono::steady_clock;
+
+/// Milliseconds left until `deadline` (0 once it passed).
+int RemainingMs(Clock::time_point deadline) {
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        deadline - Clock::now())
+                        .count();
+  return left > 0 ? static_cast<int>(left) : 0;
+}
+
+/// Arms SO_RCVTIMEO/SO_SNDTIMEO with min(2s, time-to-deadline) so every
+/// blocking socket call both makes timely progress checks and can never
+/// overshoot the connection's overall deadline.
+void ArmTimeout(int fd, int opt, Clock::time_point deadline) {
+  int ms = RemainingMs(deadline);
+  if (ms > 2000) ms = 2000;
+  if (ms < 1) ms = 1;
+  timeval tv{ms / 1000, (ms % 1000) * 1000};
+  ::setsockopt(fd, SOL_SOCKET, opt, &tv, sizeof(tv));
+}
+
+/// Writes the whole buffer or gives up at `deadline`. A client reading a
+/// trickle at a time refills the socket buffer slowly; without the
+/// deadline each refill resets the per-send timeout and one slow scraper
+/// wedges the serial exporter for everyone (the bug this bounds away).
+bool SendAll(int fd, const char* data, std::size_t len,
+             Clock::time_point deadline) {
   std::size_t off = 0;
   while (off < len) {
+    if (RemainingMs(deadline) == 0) return false;
+    ArmTimeout(fd, SO_SNDTIMEO, deadline);
     const ssize_t n = ::send(fd, data + off, len - off, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) continue;  // re-check
       return false;
     }
     off += static_cast<std::size_t>(n);
   }
   return true;
+}
+
+/// Lingering close: half-close our side, then drain whatever the client
+/// still has in flight (bounded by the deadline). Closing with unread
+/// request bytes pending would RST the connection and can discard the
+/// response the kernel had not yet pushed — curl would then see a
+/// truncated body despite the Content-Length promise.
+void DrainAndClose(int fd, Clock::time_point deadline) {
+  ::shutdown(fd, SHUT_WR);
+  char buf[1024];
+  while (RemainingMs(deadline) > 0) {
+    ArmTimeout(fd, SO_RCVTIMEO, deadline);
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n > 0) continue;
+    if (n < 0 && errno == EINTR) continue;
+    break;  // EOF, timeout, or error: nothing more to wait for
+  }
+  ::close(fd);
 }
 
 }  // namespace
@@ -99,20 +147,22 @@ void HttpExporter::Run() {
     if (ready <= 0) continue;
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) continue;
-    timeval tv{2, 0};  // a stuck scraper cannot wedge the exporter
-    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
-    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
-    Serve(fd);
-    ::close(fd);
+    Serve(fd);  // sets its own per-exchange deadline and closes fd
   }
 }
 
 void HttpExporter::Serve(int fd) {
+  // One deadline bounds the whole exchange: a stuck or trickling scraper
+  // cannot wedge the serial exporter thread past this point.
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::milliseconds(response_deadline_ms_);
   std::string request;
   char buf[1024];
   while (request.size() < kMaxRequestBytes &&
          request.find("\r\n\r\n") == std::string::npos &&
          request.find("\n\n") == std::string::npos) {
+    if (RemainingMs(deadline) == 0) break;
+    ArmTimeout(fd, SO_RCVTIMEO, deadline);
     const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
     if (n <= 0) {
       if (n < 0 && errno == EINTR) continue;
@@ -121,7 +171,10 @@ void HttpExporter::Serve(int fd) {
     request.append(buf, static_cast<std::size_t>(n));
   }
   const std::size_t line_end = request.find('\n');
-  if (line_end == std::string::npos) return;
+  if (line_end == std::string::npos) {
+    ::close(fd);
+    return;
+  }
   std::string line = request.substr(0, line_end);
   // Request line: METHOD SP PATH SP VERSION.
   const std::size_t sp1 = line.find(' ');
@@ -156,7 +209,8 @@ void HttpExporter::Serve(int fd) {
                          "\r\nContent-Length: " + std::to_string(body.size()) +
                          "\r\nConnection: close\r\n\r\n";
   if (method != "HEAD") response += body;
-  SendAll(fd, response.data(), response.size());
+  SendAll(fd, response.data(), response.size(), deadline);
+  DrainAndClose(fd, deadline);
 }
 
 }  // namespace obs

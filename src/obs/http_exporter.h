@@ -40,6 +40,14 @@ class HttpExporter {
   void AddRoute(const std::string& path, Renderer renderer,
                 std::string content_type = "application/json");
 
+  /// Caps the *whole* exchange with one client — request read, response
+  /// write, and the lingering close — at `ms` milliseconds. The per-call
+  /// socket timeouts alone cannot bound a connection: a trickle reader
+  /// draining one sndbuf refill per timeout window would hold the serial
+  /// exporter thread (and every scraper behind it) indefinitely. Default
+  /// 5000 ms; call before Start().
+  void set_response_deadline_ms(int ms) { response_deadline_ms_ = ms; }
+
   /// Binds, listens, and spawns the serving thread. False (with *error
   /// set) when the socket cannot be set up.
   bool Start(std::string* error);
@@ -61,6 +69,7 @@ class HttpExporter {
 
   std::string bind_address_;
   int port_;
+  int response_deadline_ms_ = 5000;
   /// Exact-path routing table; populated with /metrics and / by the
   /// constructor, extended by AddRoute, read-only once Start() ran.
   std::map<std::string, Route> routes_;

@@ -67,6 +67,7 @@ void SpotService::ApplyPoolLocked(SpotDetector* detector) {
   detector->set_thread_pool(pool_.get());
   detector->set_num_shards(config_.num_shards);
   detector->set_collect_shard_timings(config_.collect_shard_timings);
+  detector->set_collect_perf_counters(config_.collect_perf_counters);
 }
 
 void SpotService::BindSinkLocked(const std::string& id, Session* session) {
@@ -280,6 +281,7 @@ IngestResult SpotService::IngestImpl(const std::string& id,
   if (config_.collect_shard_timings) {
     result.shard_spans = session->detector->shard_spans();
   }
+  if (config_.collect_perf_counters) HarvestPerfLocked(*session->detector);
   ++session->batches_ingested;
   session->last_stats = session->detector->stats();
   if (config_.collect_quality || session->sink != nullptr) {
@@ -330,6 +332,38 @@ void SpotService::AccumulateQualityLocked(
   }
   session->last_compactions = comp;
   session->last_reclaimed = rec;
+}
+
+void SpotService::HarvestPerfLocked(const SpotDetector& detector) {
+  // The detector overwrites its totals every *sharded* batch, so each
+  // harvest folds exactly one batch's deltas. Sequential sessions
+  // (num_shards <= 1) produce all-zero totals — the families still render,
+  // with zero samples, which is itself the signal that the engine tier ran
+  // unsharded.
+  perf_bin_total_.Merge(detector.bin_perf());
+  const std::vector<obs::PerfStageTotals>& per_shard = detector.shard_perf();
+  if (perf_probe_totals_.size() < per_shard.size()) {
+    perf_probe_totals_.resize(per_shard.size());
+  }
+  for (std::size_t k = 0; k < per_shard.size(); ++k) {
+    perf_probe_totals_[k].Merge(per_shard[k]);
+  }
+  obs::PublishPerfTotals(&obs_, "stage=\"bin\"", perf_bin_total_);
+  std::uint64_t hw_samples = perf_bin_total_.hw_samples;
+  for (std::size_t k = 0; k < perf_probe_totals_.size(); ++k) {
+    obs::PublishPerfTotals(
+        &obs_,
+        "stage=\"probe\",engine_shard=\"" + std::to_string(k) + "\"",
+        perf_probe_totals_[k]);
+    hw_samples += perf_probe_totals_[k].hw_samples;
+  }
+  // Engine-tier mode, derived from what the pool threads actually
+  // measured (the service cannot reach their thread-local groups): any
+  // hardware sample means the PMU is live.
+  obs_.GetGauge("perf_mode")
+      ->Set(static_cast<double>(
+          hw_samples > 0 ? static_cast<int>(obs::PerfMode::kHardware)
+                         : static_cast<int>(obs::PerfMode::kSoftware)));
 }
 
 IngestResult SpotService::Ingest(const std::string& id,

@@ -57,6 +57,15 @@ struct SpotServiceConfig {
   /// in IngestResult::shard_spans. The serving layer turns these into
   /// `shard_probe` flight-recorder lanes; off by default for embedded use.
   bool collect_shard_timings = false;
+
+  /// Collect hardware-counter deltas for each sharded ProcessBatch's
+  /// phase-0 binning pass and per-shard probe loops (DESIGN.md Section
+  /// 12) and accumulate them into the service's ObsSnapshot as labeled
+  /// `perf_*` families (`stage="bin"`, `stage="probe",engine_shard="k"`).
+  /// Degrades to a clock-only software fallback where perf_event_open is
+  /// denied. Off by default; verdicts and checkpoint bytes are
+  /// bit-identical either way.
+  bool collect_perf_counters = false;
 };
 
 /// Point-in-time view of one session (the per-session half of the metrics
@@ -328,6 +337,10 @@ class SpotService {
   /// journals the batch's grid-compaction delta.
   void AccumulateQualityLocked(Session* session,
                                const std::vector<SpotResult>& verdicts);
+  /// Merges the detector's per-batch counter deltas (bin pass + per-shard
+  /// probe loops) into the service running totals and republishes the
+  /// labeled `perf_*` families into obs_ (mu_ held).
+  void HarvestPerfLocked(const SpotDetector& detector);
 
   SpotServiceConfig config_;
   /// The one pool every session's sharded engine borrows (null when
@@ -349,6 +362,14 @@ class SpotService {
   obs::Registry obs_;
   obs::Histogram* h_ckpt_save_us_ = obs_.GetHistogram("checkpoint_save_us");
   obs::Histogram* h_ckpt_load_us_ = obs_.GetHistogram("checkpoint_load_us");
+
+  /// Engine-tier perf accumulation (collect_perf_counters): detectors
+  /// overwrite their bin/shard totals every sharded batch; IngestImpl
+  /// merges those deltas here (mu_ held) and republishes the labeled
+  /// families into obs_. `engine_shard=` (not `shard=`) because the
+  /// serving tier already sections service snapshots under shard="i".
+  obs::PerfStageTotals perf_bin_total_;
+  std::vector<obs::PerfStageTotals> perf_probe_totals_;
 
   /// Event journal shared by every session (null when disabled). Created
   /// once in the constructor; sinks hand out stable pointers to it.

@@ -21,6 +21,7 @@
 #include <fstream>
 #include <iterator>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <sys/resource.h>
 #include <sys/socket.h>
@@ -230,6 +231,117 @@ TEST(NetDifferentialTest, HandOffAcceptModeByteIdentical) {
 TEST(NetDifferentialTest, MultiReactorPollFallbackByteIdentical) {
   RunDifferential(/*shards=*/2, /*reactors=*/2, /*use_reuseport=*/true,
                   /*use_epoll=*/false);
+}
+
+// The profiling differential (DESIGN.md Section 12): the same streams
+// through a profiling-on and a profiling-off server must produce
+// byte-identical wire verdicts, identical ingest stats, and — after the
+// graceful shutdown checkpoint — byte-identical checkpoint files.
+// Observation must never perturb detection; the counters only ever read
+// the hot path, they are not allowed to touch it.
+std::string FileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.is_open()) << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// Streams in fixed-size chunks with a Flush barrier after each, so the
+/// batch boundaries the service sees are identical run to run. The free-
+/// running StreamOverWire coalesces by arrival timing, which legitimately
+/// varies the batch split (and with it stats_.batches_processed inside
+/// the checkpoint) between two otherwise identical servers — this
+/// differential must only ever see profiling-induced differences.
+std::vector<SpotResult> StreamDeterministic(SpotClient& client,
+                                            const std::string& id,
+                                            const std::vector<DataPoint>& points,
+                                            std::size_t chunk) {
+  std::vector<SpotResult> verdicts;
+  for (std::size_t i = 0; i < points.size(); i += chunk) {
+    const std::size_t n = std::min(chunk, points.size() - i);
+    EXPECT_TRUE(client.Ingest(
+        id, std::vector<DataPoint>(points.begin() + static_cast<long>(i),
+                                   points.begin() + static_cast<long>(i + n))))
+        << client.last_error();
+    EXPECT_TRUE(client.Flush(id, &verdicts)) << client.last_error();
+  }
+  return verdicts;
+}
+
+void RunProfilingDifferential(std::size_t shards, std::size_t reactors) {
+  std::vector<std::string> verdict_bytes;     // [off, on]
+  std::vector<std::string> checkpoint_bytes;  // [off, on] x 2 tenants
+  std::vector<SpotServerStats> stats;
+  for (const bool profile : {false, true}) {
+    const std::string dir = MakeCheckpointDir(
+        (std::string("profdiff_") + (profile ? "on" : "off") + "_" +
+         std::to_string(shards) + "x" + std::to_string(reactors))
+            .c_str());
+    SpotServiceConfig scfg;
+    scfg.num_shards = shards;
+    scfg.checkpoint_dir = dir;
+    SpotServerConfig ncfg;
+    ncfg.batch_points = 48;
+    ncfg.num_reactors = reactors;
+    ncfg.profile_counters = profile;
+    TestServer server(scfg, ncfg);
+
+    std::vector<std::unique_ptr<SpotClient>> clients;
+    for (int t = 0; t < 2; ++t) {
+      const std::string id = "tenant-" + std::to_string(t);
+      clients.push_back(std::make_unique<SpotClient>());
+      ASSERT_TRUE(clients.back()->Connect("127.0.0.1", server.port()));
+      ASSERT_TRUE(clients.back()->CreateSession(id, SessionConfig(),
+                                                TenantTraining(t)))
+          << clients.back()->last_error();
+    }
+    std::string all_verdicts;
+    for (int t = 0; t < 2; ++t) {
+      const std::string id = "tenant-" + std::to_string(t);
+      const std::vector<SpotResult> verdicts = StreamDeterministic(
+          *clients[static_cast<std::size_t>(t)], id, TenantPoints(t, 500),
+          /*chunk=*/100);
+      all_verdicts += VerdictBytes(verdicts);
+    }
+    verdict_bytes.push_back(all_verdicts);
+    for (auto& client : clients) client->Disconnect();
+    server.StopAndJoin();  // graceful: drains + CheckpointAll
+    stats.push_back(server.stats());
+    for (int t = 0; t < 2; ++t) {
+      checkpoint_bytes.push_back(
+          FileBytes(dir + "/tenant-" + std::to_string(t) + ".ckpt"));
+    }
+  }
+  ASSERT_EQ(verdict_bytes.size(), 2u);
+  EXPECT_EQ(verdict_bytes[0], verdict_bytes[1])
+      << "profiling perturbed verdict bytes at shards=" << shards
+      << " reactors=" << reactors;
+  EXPECT_EQ(stats[0].points_ingested, stats[1].points_ingested);
+  EXPECT_EQ(stats[0].batches_run, stats[1].batches_run);
+  for (int t = 0; t < 2; ++t) {
+    EXPECT_FALSE(checkpoint_bytes[static_cast<std::size_t>(t)].empty());
+    EXPECT_EQ(checkpoint_bytes[static_cast<std::size_t>(t)],
+              checkpoint_bytes[static_cast<std::size_t>(t) + 2])
+        << "profiling perturbed checkpoint bytes for tenant " << t
+        << " at shards=" << shards << " reactors=" << reactors;
+  }
+}
+
+TEST(NetDifferentialTest, ProfilingOnVsOffBitIdenticalOneShardOneReactor) {
+  RunProfilingDifferential(/*shards=*/1, /*reactors=*/1);
+}
+
+TEST(NetDifferentialTest, ProfilingOnVsOffBitIdenticalFourShardsOneReactor) {
+  RunProfilingDifferential(/*shards=*/4, /*reactors=*/1);
+}
+
+TEST(NetDifferentialTest, ProfilingOnVsOffBitIdenticalOneShardTwoReactors) {
+  RunProfilingDifferential(/*shards=*/1, /*reactors=*/2);
+}
+
+TEST(NetDifferentialTest, ProfilingOnVsOffBitIdenticalFourShardsTwoReactors) {
+  RunProfilingDifferential(/*shards=*/4, /*reactors=*/2);
 }
 
 // ------------------------------------------------------------ robustness --

@@ -6,10 +6,12 @@
 // exporter over a real socket.
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <arpa/inet.h>
@@ -299,6 +301,50 @@ TEST(ExpositionTest, RendersPrometheusTextWithLabels) {
   EXPECT_EQ(type_lines, 1u);
 }
 
+TEST(ExpositionTest, EmbeddedLabelsMergeAfterTheSectionLabel) {
+  // Registry keys may embed labels in the name (`perf_cycles{stage=...}`,
+  // DESIGN.md Section 12); the renderer must split them back out, put the
+  // section label first, and still emit exactly one TYPE line per family.
+  MetricsSnapshot r0, r1;
+  r0.counters["perf_cycles{stage=\"decode\"}"] = 100;
+  r0.counters["perf_cycles{stage=\"process\"}"] = 900;
+  r1.counters["perf_cycles{stage=\"decode\"}"] = 50;
+  r0.gauges["perf_ipc{stage=\"decode\"}"] = 1.5;
+  MetricsSnapshot svc;
+  svc.counters["perf_cycles{stage=\"probe\",engine_shard=\"2\"}"] = 7;
+
+  const std::string text = RenderPrometheus(
+      {{"reactor=\"0\"", r0}, {"reactor=\"1\"", r1}, {"shard=\"0\"", svc}});
+
+  EXPECT_NE(
+      text.find("spot_perf_cycles{reactor=\"0\",stage=\"decode\"} 100\n"),
+      std::string::npos);
+  EXPECT_NE(
+      text.find("spot_perf_cycles{reactor=\"0\",stage=\"process\"} 900\n"),
+      std::string::npos);
+  EXPECT_NE(
+      text.find("spot_perf_cycles{reactor=\"1\",stage=\"decode\"} 50\n"),
+      std::string::npos);
+  EXPECT_NE(text.find("spot_perf_cycles{shard=\"0\",stage=\"probe\","
+                      "engine_shard=\"2\"} 7\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("spot_perf_ipc{reactor=\"0\",stage=\"decode\"} 1.5\n"),
+            std::string::npos);
+  // One TYPE line for the whole spot_perf_cycles family despite four
+  // series across three sections, and the gauge typed independently.
+  std::size_t type_lines = 0;
+  for (std::size_t pos = text.find("# TYPE spot_perf_cycles counter");
+       pos != std::string::npos;
+       pos = text.find("# TYPE spot_perf_cycles counter", pos + 1)) {
+    ++type_lines;
+  }
+  EXPECT_EQ(type_lines, 1u);
+  EXPECT_NE(text.find("# TYPE spot_perf_ipc gauge\n"), std::string::npos);
+  // A braced key must never leak into an exposition name verbatim.
+  EXPECT_EQ(text.find("spot_perf_cycles{stage=\"decode\"}{"),
+            std::string::npos);
+}
+
 TEST(ExpositionTest, CumulativeBucketsAreMonotonic) {
   Rng rng(5);
   MetricsSnapshot snap;
@@ -441,6 +487,68 @@ TEST(HttpExporterTest, AddRouteServesExtraPathsWithOwnContentType) {
   const std::string unknown =
       HttpGet(exporter.port(), "GET /tracer HTTP/1.0\r\n\r\n");
   EXPECT_NE(unknown.find("404"), std::string::npos);
+  exporter.Stop();
+}
+
+TEST(HttpExporterTest, SlowReadingClientCannotWedgeTheExporter) {
+  // Regression: the exporter serves connections serially, so a scraper
+  // that accepts the response one sip at a time used to reset the
+  // per-send timeout on every sip and hold the thread hostage for as
+  // long as it cared to trickle. One deadline now bounds the whole
+  // exchange. The body must dwarf the socket buffers so the sender
+  // actually blocks on the slow reader.
+  const std::string big_body(16 * 1024 * 1024, 'm');
+  HttpExporter exporter("127.0.0.1", 0,
+                        [&big_body] { return big_body; });
+  exporter.set_response_deadline_ms(300);
+  std::string error;
+  ASSERT_TRUE(exporter.Start(&error)) << error;
+
+  // The trickle client: request /metrics, then read one byte every 20 ms
+  // without ever draining the socket.
+  std::thread slow([port = exporter.port()] {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      ::close(fd);
+      return;
+    }
+    const char req[] = "GET /metrics HTTP/1.0\r\n\r\n";
+    (void)!::send(fd, req, sizeof(req) - 1, MSG_NOSIGNAL);
+    char byte;
+    for (int i = 0; i < 100; ++i) {
+      if (::recv(fd, &byte, 1, 0) <= 0) break;  // server gave up on us
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    ::close(fd);
+  });
+
+  // Give the trickle client time to occupy the serve loop, then scrape
+  // normally: the full body must arrive promptly once the deadline cuts
+  // the slow client off.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::string response =
+      HttpGet(exporter.port(), "GET /metrics HTTP/1.0\r\n\r\n");
+  const double elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  slow.join();
+
+  EXPECT_LT(elapsed_s, 10.0) << "fast scraper waited behind a slow reader";
+  EXPECT_NE(response.find("200 OK"), std::string::npos);
+  // The Content-Length promise curl relies on, and a body that keeps it.
+  const std::string want_len =
+      "Content-Length: " + std::to_string(big_body.size());
+  EXPECT_NE(response.find(want_len), std::string::npos);
+  const std::size_t header_end = response.find("\r\n\r\n");
+  ASSERT_NE(header_end, std::string::npos);
+  EXPECT_EQ(response.size() - header_end - 4, big_body.size());
   exporter.Stop();
 }
 

@@ -70,13 +70,22 @@ def run_e11(build_dir: str) -> list:
             match.group(2),                                   # SST size
             str(int(round(bench["items_per_second"]))),       # pts/s
             f"{bench.get('probes/pt', 0):.0f}",
+            # Hardware-counter rates (0 when perf_event_open is
+            # unavailable and the bench fell back to the software clock).
+            # Trend columns only — never gated: instructions-per-point is
+            # far more stable than pts/s on shared CI hardware, so read it
+            # when a pts/s wiggle needs a verdict.
+            f"{bench.get('instr/pt', 0):.0f}",
+            f"{bench.get('miss/probe', 0):.3f}",
         ])
     for title, rows in tables.items():
         if not rows:
             fail(f"no rows extracted for {title!r} — bench output changed?")
         rows.sort(key=lambda r: int(r[0]))
     return [
-        {"title": title, "headers": ["SST size", GATE_COLUMN, "probes/pt"],
+        {"title": title,
+         "headers": ["SST size", GATE_COLUMN, "probes/pt", "instr/pt",
+                     "miss/probe"],
          "rows": rows}
         for title, rows in tables.items()
     ]
@@ -115,11 +124,19 @@ def run_loadgen(build_dir: str) -> list:
     apart), so the trajectory records the serving tier at both scales
     and the cost of the wire-v3 request plane. Context only — it never
     gates.
+
+    Runs with --prof so the spawned servers profile their pipeline stages;
+    the scraped instructions-per-point of the process stage comes back in
+    the loadgen document's ``counters`` block (merged into the trajectory
+    document, 0/absent when perf_event_open is unavailable). --prof is
+    exercised under --verify here, so this doubles as a regression check
+    that profiling never perturbs verdict bytes.
     """
     binary = os.path.join(build_dir, "tools", "spot_loadgen")
     if not os.path.exists(binary):
         fail(f"{binary} not found (build with SPOT_BUILD_TOOLS=ON)")
     merged = None
+    counters = {}
     for reactors, mix in (("1", "alarm-heavy"), ("2", "alarm-heavy"),
                           ("2", "feedback-heavy")):
         with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
@@ -129,7 +146,7 @@ def run_loadgen(build_dir: str) -> list:
                 [binary, "--spawn-server", "--connections", "2",
                  "--points", "6000", "--batch", "200", "--dims", "8",
                  "--reactors", reactors, "--mix", mix, "--verify",
-                 f"--json={raw_path}"],
+                 "--prof", f"--json={raw_path}"],
                 check=True, stdout=subprocess.DEVNULL)
             with open(raw_path) as f:
                 raw = json.load(f)
@@ -138,12 +155,13 @@ def run_loadgen(build_dir: str) -> list:
         if raw.get("schema") != SCHEMA:
             fail(f"{binary} emitted schema {raw.get('schema')!r}, "
                  f"expected {SCHEMA!r}")
+        counters.update(raw.get("counters", {}))
         if merged is None:
             merged = raw["tables"]
         else:
             for into, more in zip(merged, raw["tables"]):
                 into["rows"].extend(more["rows"])
-    return merged
+    return merged, counters
 
 
 def validate(path: str) -> dict:
@@ -237,12 +255,18 @@ def main() -> int:
         print(f"{args.validate}: valid {SCHEMA}")
         return 0
 
+    loadgen_tables, loadgen_counters = run_loadgen(args.build_dir)
     current = {
         "schema": SCHEMA,
         "bench": "bench_regression",
         "tables": run_e11(args.build_dir) + run_e2(args.build_dir) +
-                  run_loadgen(args.build_dir),
+                  loadgen_tables,
     }
+    if loadgen_counters:
+        # End-to-end hardware rates scraped from the spawned server
+        # (e.g. the process stage's instructions-per-point). Trend data
+        # only — never gated.
+        current["counters"] = loadgen_counters
 
     if args.out:
         with open(args.out, "w") as f:

@@ -13,6 +13,15 @@
 //                [--session-prefix lg] [--csv FILE] [--skip K] [--resume]
 //                [--keep-open] [--verify] [--spawn-server]
 //                [--checkpoint-dir DIR] [--json OUT] [--trace-out FILE]
+//                [--prof]
+//
+// --prof turns on the hardware-counter profiling plane (DESIGN.md
+// Section 12) on the spawned server (with --spawn-server) and renders a
+// stage x counter attribution table (IPC, instructions/unit,
+// cache-misses/unit) from the post-run scrape; against an external
+// server the table appears whenever that server runs with --prof. The
+// overall instructions-per-point also lands in the JSON document's
+// `counters` block as `instr/pt` for the bench-regression trajectory.
 //
 // --mix selects the request blend on top of the ingest stream (wire v3,
 // DESIGN.md Section 11):
@@ -104,6 +113,7 @@ struct Flags {
   bool keep_open = false;
   bool verify = false;
   bool spawn_server = false;
+  bool prof = false;
   std::string checkpoint_dir;
   std::string trace_out;
   std::string mix = "alarm-heavy";
@@ -515,6 +525,66 @@ void ScrapeServerStats(const Flags& flags, std::uint16_t port,
                   spot::eval::Table::Num(hist.Quantile(0.99), 1)});
   }
   json->Print(table, "SERVER: pipeline stage latency (scraped)");
+
+  // Stage x counter attribution (DESIGN.md Section 12), present whenever
+  // the server ran with profiling on (--prof here with --spawn-server, or
+  // the external server's own switch). The perf series ride the same
+  // kStats snapshot as the latency table, keyed by their embedded labels.
+  constexpr const char kUnitsPrefix[] = "perf_units{";
+  bool any_perf = false;
+  spot::eval::Table perf_table({"stage", "units", "ipc", "instr/u",
+                                "miss/u", "bmiss/u"});
+  for (const auto& [name, units] : merged.counters) {
+    if (name.rfind(kUnitsPrefix, 0) != 0) continue;
+    any_perf = true;
+    const std::string labels = name.substr(sizeof(kUnitsPrefix) - 1,
+                                           name.size() - sizeof(kUnitsPrefix));
+    const auto raw = [&merged, &labels](const char* base) -> double {
+      const auto it = merged.counters.find(std::string(base) + "{" + labels +
+                                           "}");
+      return it == merged.counters.end() ? 0.0
+                                         : static_cast<double>(it->second);
+    };
+    const double u = static_cast<double>(units);
+    const double cycles = raw("perf_cycles");
+    const double instr = raw("perf_instructions");
+    // Human-readable stage tag: the quoted label values, slash-joined
+    // (`stage="probe",engine_shard="2"` -> probe/2).
+    std::string stage;
+    for (std::size_t at = 0; (at = labels.find('"', at)) != std::string::npos;
+         ) {
+      const std::size_t close = labels.find('"', at + 1);
+      if (close == std::string::npos) break;
+      if (!stage.empty()) stage += "/";
+      stage += labels.substr(at + 1, close - at - 1);
+      at = close + 1;
+    }
+    const auto per = [u](double v) { return u > 0.0 ? v / u : 0.0; };
+    perf_table.AddRow(
+        {stage, spot::eval::Table::Int(units),
+         spot::eval::Table::Num(cycles > 0.0 ? instr / cycles : 0.0, 2),
+         spot::eval::Table::Num(per(instr), 1),
+         spot::eval::Table::Num(per(raw("perf_cache_misses")), 3),
+         spot::eval::Table::Num(per(raw("perf_branch_misses")), 3)});
+    if (labels == "stage=\"process\"") {
+      // The whole-batch service call, per point: the trajectory scalar
+      // tools/bench_regression.py tracks (gates better than pts/s on
+      // shared hardware — see DESIGN.md Section 12).
+      json->SetCounter("instr/pt", per(instr));
+    }
+  }
+  if (any_perf) {
+    // Derived from the raw sample counters, not the summed-gauge
+    // perf_mode (see obs::MergedPerfMode).
+    const spot::obs::PerfMode mode = spot::obs::MergedPerfMode(merged);
+    std::printf("perf mode: %s\n",
+                mode == spot::obs::PerfMode::kHardware
+                    ? "hardware"
+                    : mode == spot::obs::PerfMode::kSoftware
+                          ? "software fallback"
+                          : "disabled");
+    json->Print(perf_table, "SERVER: stage x counter attribution (scraped)");
+  }
 }
 
 /// --trace-out: pulls the server's flight recorder over the wire (a
@@ -577,6 +647,7 @@ int main(int argc, char** argv) {
   flags.keep_open = ex::TakeBoolFlag(&args, "keep-open");
   flags.verify = ex::TakeBoolFlag(&args, "verify");
   flags.spawn_server = ex::TakeBoolFlag(&args, "spawn-server");
+  flags.prof = ex::TakeBoolFlag(&args, "prof");
   flags.checkpoint_dir = ex::TakeStringFlag(&args, "checkpoint-dir", "");
   flags.trace_out = ex::TakeStringFlag(&args, "trace-out", "");
   flags.mix = ex::TakeStringFlag(&args, "mix", flags.mix);
@@ -629,6 +700,7 @@ int main(int argc, char** argv) {
     spot::net::SpotServerConfig ncfg;
     ncfg.port = 0;
     ncfg.num_reactors = flags.reactors;
+    ncfg.profile_counters = flags.prof;  // mirrored into the service tier
     server = std::make_unique<spot::net::SpotServer>(scfg, ncfg);
     if (!server->Start()) {
       SPOT_LOG(Error) << "cannot start in-process server";

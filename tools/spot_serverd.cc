@@ -6,7 +6,7 @@
 //                [--metrics-port P] [--stats-interval SECS]
 //                [--slow-batch-ms MS] [--log-level LEVEL]
 //                [--trace-capacity N] [--trace-file PATH]
-//                [--wire-version V]
+//                [--wire-version V] [--prof] [--prof-interval SECS]
 //
 // Observability (DESIGN.md Sections 9-10): --metrics-port serves the
 // live Prometheus text scrape — plus GET /trace (Chrome-trace JSON) and
@@ -19,7 +19,12 @@
 // here — the library default is warning); --trace-capacity sizes the
 // per-reactor flight-recorder rings (0 disables tracing, default 2048);
 // SIGUSR2 dumps the flight recorder to --trace-file (default
-// spot_trace.json) without disturbing the ingest pipeline.
+// spot_trace.json) without disturbing the ingest pipeline; --prof turns
+// on the hardware-counter profiling plane (DESIGN.md Section 12 — the
+// `spot_perf_*` families appear on every scrape surface, falling back to
+// clock-only mode where perf_event_open is denied); --prof-interval
+// (implies --prof) additionally logs a one-line per-stage IPC/cache-miss
+// summary every SECS seconds, mirroring --stats-interval.
 //
 // Hosts --reactors event-loop shards (default: min(hardware cores, 8)),
 // each with its own SpotService (N-shard fork-join pool per service)
@@ -46,6 +51,7 @@
 #include "examples/example_flags.h"
 #include "net/spot_server.h"
 #include "obs/exposition.h"
+#include "obs/perf_counters.h"
 #include "service/spot_service.h"
 
 namespace {
@@ -129,6 +135,10 @@ int main(int argc, char** argv) {
       &args, "trace-file", "spot_trace.json");
   const std::size_t stats_interval =
       spot::examples::TakeSizeFlag(&args, "stats-interval", 0);
+  const std::size_t prof_interval =
+      spot::examples::TakeSizeFlag(&args, "prof-interval", 0);
+  const bool prof =
+      spot::examples::TakeBoolFlag(&args, "prof") || prof_interval > 0;
   // A server is interactive enough to default chattier than the library's
   // kWarning: startup/shutdown landmarks come through SPOT_LOG(Info).
   spot::SetLogLevel(
@@ -145,6 +155,9 @@ int main(int argc, char** argv) {
   // Shard-probe lanes ride the flight recorder; collecting them without
   // it would pay two clock reads per shard per batch for nothing.
   scfg.collect_shard_timings = ncfg.trace_capacity > 0;
+  // One switch for both profiling tiers (the server mirrors it into each
+  // service shard's collect_perf_counters).
+  ncfg.profile_counters = prof;
 
   spot::net::SpotServer server(scfg, ncfg);
   if (!server.Start()) {
@@ -185,6 +198,26 @@ int main(int argc, char** argv) {
     });
   }
 
+  // Periodic profiling dump (--prof-interval): one per-stage IPC /
+  // instructions-per-unit / cache-miss line per interval, rendered from
+  // the same merged snapshot as the stats line.
+  std::thread prof_dumper;
+  if (prof_interval > 0) {
+    prof_dumper = std::thread([&server, prof_interval] {
+      auto next = std::chrono::steady_clock::now() +
+                  std::chrono::seconds(prof_interval);
+      while (!server.stopping()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(200));
+        if (std::chrono::steady_clock::now() < next) continue;
+        next += std::chrono::seconds(prof_interval);
+        const spot::net::StatsResp snap = server.StatsSnapshot();
+        const std::string line =
+            spot::obs::RenderPerfSummary(snap.Merged());
+        if (!line.empty()) SPOT_LOG(Info) << line;
+      }
+    });
+  }
+
   // SIGUSR2 trace dumps: the signal handler only latches a flag; this
   // watcher renders the flight recorder and writes the Chrome-trace file
   // outside signal context, far from the reactors' loops.
@@ -211,6 +244,7 @@ int main(int argc, char** argv) {
 
   server.Run();  // until SIGTERM/SIGINT; drains + checkpoints on the way out
   if (dumper.joinable()) dumper.join();
+  if (prof_dumper.joinable()) prof_dumper.join();
   if (tracer.joinable()) tracer.join();
 
   // Shutdown summary: one line per reactor, then the total, then the
